@@ -1,0 +1,179 @@
+//! Skyline cardinality estimation and adaptive algorithm selection.
+//!
+//! The paper's related work (its ref. [4], Chaudhuri et al., ICDE 2006)
+//! estimates constrained-skyline cardinality "to assess which skyline
+//! algorithm to apply in the naive approach". This module provides both
+//! ingredients:
+//!
+//! * [`expected_skyline_size`] — the classical closed form for
+//!   independent dimensions, `E[|Sky|] ≈ (ln n)^(d−1) / (d−1)!`
+//!   (Bentley/Buchta), exact in its leading term for continuous
+//!   independent attributes;
+//! * [`sample_skyline_fraction`] — a distribution-free estimate from a
+//!   deterministic sample, robust to correlation;
+//! * [`Adaptive`] — a [`SkylineAlgorithm`] that picks its inner routine
+//!   per input: BNL for tiny inputs (no sort overhead), SaLSa when the
+//!   sampled skyline fraction is small (its early termination pays off),
+//!   SFS otherwise (anti-correlated-like inputs, where nothing
+//!   terminates early and presorting is the best one can do).
+
+use skycache_geom::Point;
+
+use crate::inmem::{Bnl, Salsa, Sfs, SkylineAlgorithm, SkylineOutput};
+
+/// Expected skyline size of `n` points with `d` independent, continuous
+/// dimensions: `(ln n)^(d−1) / (d−1)!`.
+pub fn expected_skyline_size(n: usize, d: usize) -> f64 {
+    if n == 0 || d == 0 {
+        return 0.0;
+    }
+    if d == 1 {
+        return 1.0;
+    }
+    let ln_n = (n as f64).ln().max(1.0);
+    let mut result = 1.0;
+    for i in 1..d {
+        result *= ln_n / i as f64;
+    }
+    result.min(n as f64)
+}
+
+/// Estimates the skyline fraction of `points` from a deterministic
+/// stride sample of at most `sample_cap` points. Returns a value in
+/// `[0, 1]`; 0 for empty input.
+pub fn sample_skyline_fraction(points: &[Point], sample_cap: usize) -> f64 {
+    if points.is_empty() || sample_cap == 0 {
+        return 0.0;
+    }
+    let stride = (points.len() / sample_cap).max(1);
+    let sample: Vec<Point> = points.iter().step_by(stride).cloned().collect();
+    let sample_len = sample.len();
+    let sky = Bnl.compute(sample).skyline.len();
+    sky as f64 / sample_len as f64
+}
+
+/// Input sizes below this skip estimation entirely (BNL wins outright).
+const TINY: usize = 64;
+/// Sample size for fraction estimation.
+const SAMPLE: usize = 256;
+/// Sampled skyline fraction below which SaLSa's early termination is
+/// expected to pay for its more expensive sort key.
+const SALSA_THRESHOLD: f64 = 0.10;
+
+/// Cardinality-guided skyline routine (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Adaptive;
+
+impl Adaptive {
+    /// The routine [`compute`](SkylineAlgorithm::compute) would delegate
+    /// to for this input (exposed for tests and diagnostics).
+    pub fn choice(points: &[Point]) -> &'static str {
+        if points.len() < TINY {
+            return "BNL";
+        }
+        if sample_skyline_fraction(points, SAMPLE) < SALSA_THRESHOLD {
+            "SaLSa"
+        } else {
+            "SFS"
+        }
+    }
+}
+
+impl SkylineAlgorithm for Adaptive {
+    fn name(&self) -> &'static str {
+        "Adaptive"
+    }
+
+    fn compute(&self, points: Vec<Point>) -> SkylineOutput {
+        match Self::choice(&points) {
+            "BNL" => Bnl.compute(points),
+            "SaLSa" => Salsa.compute(points),
+            _ => Sfs.compute(points),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{naive_skyline, sorted};
+
+    fn pseudo(n: usize, dims: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    #[test]
+    fn closed_form_basics() {
+        assert_eq!(expected_skyline_size(0, 3), 0.0);
+        assert_eq!(expected_skyline_size(1_000, 1), 1.0);
+        // 2-D: ~ln n.
+        let e2 = expected_skyline_size(10_000, 2);
+        assert!((e2 - (10_000f64).ln()).abs() < 1e-9);
+        // Monotone in d for fixed large n.
+        assert!(expected_skyline_size(100_000, 4) > expected_skyline_size(100_000, 3));
+        // Never exceeds n.
+        assert!(expected_skyline_size(10, 10) <= 10.0);
+    }
+
+    #[test]
+    fn closed_form_matches_measurement_on_independent_data() {
+        let pts = pseudo(20_000, 3, 5);
+        let measured = naive_skyline(&pts).len() as f64;
+        let predicted = expected_skyline_size(20_000, 3);
+        let ratio = measured / predicted;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "measured {measured}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn sampled_fraction_discriminates() {
+        // A dominance chain: fraction near zero.
+        let chain: Vec<Point> = (0..5_000)
+            .map(|i| Point::from(vec![i as f64, i as f64]))
+            .collect();
+        assert!(sample_skyline_fraction(&chain, 256) < 0.02);
+        // An anti-chain: fraction 1.
+        let anti: Vec<Point> = (0..5_000)
+            .map(|i| Point::from(vec![i as f64, (5_000 - i) as f64]))
+            .collect();
+        assert!(sample_skyline_fraction(&anti, 256) > 0.99);
+        assert_eq!(sample_skyline_fraction(&[], 256), 0.0);
+    }
+
+    #[test]
+    fn adaptive_matches_naive_and_chooses_sensibly() {
+        // Tiny input → BNL.
+        let tiny = pseudo(20, 3, 1);
+        assert_eq!(Adaptive::choice(&tiny), "BNL");
+        assert_eq!(
+            sorted(Adaptive.compute(tiny.clone()).skyline),
+            sorted(naive_skyline(&tiny))
+        );
+
+        // Independent 3-D at 10k: skyline fraction ≪ 10% → SaLSa.
+        let indep = pseudo(10_000, 3, 2);
+        assert_eq!(Adaptive::choice(&indep), "SaLSa");
+        assert_eq!(
+            sorted(Adaptive.compute(indep.clone()).skyline),
+            sorted(naive_skyline(&indep))
+        );
+
+        // Anti-chain: everything is skyline → SFS.
+        let anti: Vec<Point> = (0..1_000)
+            .map(|i| Point::from(vec![i as f64, (1_000 - i) as f64]))
+            .collect();
+        assert_eq!(Adaptive::choice(&anti), "SFS");
+        assert_eq!(Adaptive.compute(anti.clone()).skyline.len(), 1_000);
+    }
+}

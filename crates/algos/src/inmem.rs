@@ -1,0 +1,330 @@
+//! In-memory skyline algorithms: BNL, SFS and two-way divide & conquer.
+
+use skycache_geom::dominance::{compare, DomRelation};
+use skycache_geom::{dominates, Point};
+
+/// Result of an in-memory skyline computation.
+#[derive(Clone, Debug)]
+pub struct SkylineOutput {
+    /// The skyline points. Duplicate coordinate vectors are all kept
+    /// (equal points do not dominate one another).
+    pub skyline: Vec<Point>,
+    /// Number of pairwise dominance tests performed.
+    pub dominance_tests: u64,
+}
+
+/// A pluggable in-memory skyline routine.
+///
+/// CBCS's benefit is orthogonal to this choice (paper, Section 7): the
+/// engine accepts any implementor.
+pub trait SkylineAlgorithm: Send + Sync {
+    /// Short identifier used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Computes the skyline of `points` (minimization in all dimensions).
+    fn compute(&self, points: Vec<Point>) -> SkylineOutput;
+}
+
+/// Block-Nested-Loops (Börzsönyi et al., ICDE 2001), unbounded-window
+/// variant: each point is compared against the current window; dominated
+/// window entries are evicted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bnl;
+
+impl SkylineAlgorithm for Bnl {
+    fn name(&self) -> &'static str {
+        "BNL"
+    }
+
+    fn compute(&self, points: Vec<Point>) -> SkylineOutput {
+        let mut window: Vec<Point> = Vec::new();
+        let mut tests = 0u64;
+        'next_point: for p in points {
+            let mut i = 0;
+            while i < window.len() {
+                tests += 1;
+                match compare(&window[i], &p) {
+                    DomRelation::Dominates => continue 'next_point,
+                    DomRelation::DominatedBy => {
+                        window.swap_remove(i);
+                    }
+                    DomRelation::Equal | DomRelation::Incomparable => i += 1,
+                }
+            }
+            window.push(p);
+        }
+        SkylineOutput { skyline: window, dominance_tests: tests }
+    }
+}
+
+/// Sort-Filter Skyline (Chomicki, Godfrey, Gryz & Liang): presort by a
+/// monotone score so that no point can dominate an earlier one, then a
+/// single filter pass against the growing skyline (no evictions needed).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sfs;
+
+impl SkylineAlgorithm for Sfs {
+    fn name(&self) -> &'static str {
+        "SFS"
+    }
+
+    fn compute(&self, mut points: Vec<Point>) -> SkylineOutput {
+        // The entropy score is monotone w.r.t. dominance for the
+        // non-negative data of the benchmarks; the coordinate sum is
+        // monotone in general. Use the sum: s ≺ t ⇒ sum(s) < sum(t),
+        // so after sorting ascending no point dominates a predecessor.
+        points.sort_by(|a, b| {
+            a.coord_sum()
+                .partial_cmp(&b.coord_sum())
+                .expect("NaN-free")
+        });
+        let mut skyline: Vec<Point> = Vec::new();
+        let mut tests = 0u64;
+        for p in points {
+            let mut dominated = false;
+            for s in &skyline {
+                tests += 1;
+                if dominates(s, &p) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                skyline.push(p);
+            }
+        }
+        SkylineOutput { skyline, dominance_tests: tests }
+    }
+}
+
+/// Two-way divide & conquer (Börzsönyi et al.): split at the median of the
+/// first dimension, solve the halves recursively, and merge by filtering
+/// the union of the partial skylines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DivideConquer;
+
+/// Below this size recursion falls back to BNL.
+const DC_CUTOFF: usize = 64;
+
+impl SkylineAlgorithm for DivideConquer {
+    fn name(&self) -> &'static str {
+        "D&C"
+    }
+
+    fn compute(&self, points: Vec<Point>) -> SkylineOutput {
+        let mut tests = 0u64;
+        let skyline = dc(points, 0, &mut tests);
+        SkylineOutput { skyline, dominance_tests: tests }
+    }
+}
+
+fn dc(mut points: Vec<Point>, depth: usize, tests: &mut u64) -> Vec<Point> {
+    if points.len() <= DC_CUTOFF || depth > 40 {
+        let out = Bnl.compute(points);
+        *tests += out.dominance_tests;
+        return out.skyline;
+    }
+    let dim = depth % points[0].dims();
+    // Median split on `dim`.
+    let mid = points.len() / 2;
+    points.select_nth_unstable_by(mid, |a, b| {
+        a[dim].partial_cmp(&b[dim]).expect("NaN-free")
+    });
+    let upper = points.split_off(mid);
+    let mut lower_sky = dc(points, depth + 1, tests);
+    let upper_sky = dc(upper, depth + 1, tests);
+
+    // Merge: lower-half skyline points may dominate upper-half ones (and,
+    // on ties at the split value, vice versa) — filter the union.
+    let merged: Vec<Point> = lower_sky.drain(..).chain(upper_sky).collect();
+    let out = Bnl.compute(merged);
+    *tests += out.dominance_tests;
+    out.skyline
+}
+
+/// SaLSa — Sort and Limit Skyline algorithm (Bartolini, Ciaccia & Patella):
+/// presort by the *minimum coordinate* and keep the smallest maximum
+/// coordinate seen among skyline points as a stop line. Once every
+/// remaining point's minimum coordinate exceeds that stop line, some
+/// skyline point dominates all of them and the scan terminates early —
+/// SFS, by contrast, must always scan its entire input.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Salsa;
+
+impl SkylineAlgorithm for Salsa {
+    fn name(&self) -> &'static str {
+        "SaLSa"
+    }
+
+    fn compute(&self, mut points: Vec<Point>) -> SkylineOutput {
+        let min_coord = |p: &Point| -> f64 {
+            p.coords().iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        let max_coord = |p: &Point| -> f64 {
+            p.coords().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        };
+        // Sort by (minC, sum): minC ordering enables the stop test; the
+        // sum tie-break keeps the order monotone w.r.t. dominance (a
+        // dominator cannot sort after a point it dominates: its minC and
+        // its sum are both <=, with the sum strictly smaller).
+        points.sort_by(|a, b| {
+            (min_coord(a), a.coord_sum())
+                .partial_cmp(&(min_coord(b), b.coord_sum()))
+                .expect("NaN-free")
+        });
+
+        let mut skyline: Vec<Point> = Vec::new();
+        let mut tests = 0u64;
+        let mut stop = f64::INFINITY; // min over skyline of max coordinate
+        for p in points {
+            if min_coord(&p) > stop {
+                // Every later point q has minC(q) >= minC(p) > stop, so
+                // the stop-line point strictly dominates them all.
+                break;
+            }
+            let mut dominated = false;
+            for s in &skyline {
+                tests += 1;
+                if dominates(s, &p) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                stop = stop.min(max_coord(&p));
+                skyline.push(p);
+            }
+        }
+        SkylineOutput { skyline, dominance_tests: tests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{naive_skyline, sorted};
+
+    fn algos() -> Vec<Box<dyn SkylineAlgorithm>> {
+        vec![Box::new(Bnl), Box::new(Sfs), Box::new(DivideConquer), Box::new(Salsa)]
+    }
+
+    fn p(c: &[f64]) -> Point {
+        Point::from(c.to_vec())
+    }
+
+    fn pseudo_random_points(n: usize, dims: usize, seed: u64) -> Vec<Point> {
+        // Small xorshift so this module needs no external RNG.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_naive() {
+        let pts = pseudo_random_points(400, 4, 42);
+        let want = sorted(naive_skyline(&pts));
+        for algo in algos() {
+            let got = sorted(algo.compute(pts.clone()).skyline);
+            assert_eq!(got, want, "{} diverges from naive", algo.name());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        for algo in algos() {
+            assert!(algo.compute(vec![]).skyline.is_empty(), "{}", algo.name());
+            let one = algo.compute(vec![p(&[1.0, 2.0])]).skyline;
+            assert_eq!(one, vec![p(&[1.0, 2.0])], "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn duplicates_are_all_kept() {
+        let pts = vec![p(&[1.0, 1.0]), p(&[1.0, 1.0]), p(&[2.0, 2.0])];
+        for algo in algos() {
+            let sky = algo.compute(pts.clone()).skyline;
+            assert_eq!(sky.len(), 2, "{}: duplicates of a skyline point stay", algo.name());
+            assert!(sky.iter().all(|s| *s == p(&[1.0, 1.0])));
+        }
+    }
+
+    #[test]
+    fn totally_ordered_chain_yields_minimum() {
+        let pts: Vec<Point> = (0..50).map(|i| p(&[i as f64, i as f64])).collect();
+        for algo in algos() {
+            let sky = algo.compute(pts.clone()).skyline;
+            assert_eq!(sky, vec![p(&[0.0, 0.0])], "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn anti_chain_is_fully_kept() {
+        let pts: Vec<Point> = (0..50).map(|i| p(&[i as f64, (49 - i) as f64])).collect();
+        for algo in algos() {
+            let sky = algo.compute(pts.clone()).skyline;
+            assert_eq!(sky.len(), 50, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn sfs_does_fewer_tests_than_bnl_on_sorted_friendly_data() {
+        // On a dominance chain SFS needs one test per point; BNL's window
+        // churn costs at least as much.
+        let pts: Vec<Point> = (0..2000).map(|i| p(&[i as f64, i as f64, i as f64])).collect();
+        let sfs = Sfs.compute(pts.clone());
+        let bnl = Bnl.compute(pts);
+        assert!(sfs.dominance_tests <= bnl.dominance_tests);
+        assert_eq!(sfs.skyline.len(), 1);
+    }
+
+    #[test]
+    fn salsa_terminates_early_on_correlated_data() {
+        // A strong dominator near the origin lets SaLSa stop after a few
+        // points, while SFS scans everything.
+        let mut pts: Vec<Point> = (1..2_000)
+            .map(|i| {
+                let v = 0.5 + i as f64 / 2_000.0;
+                p(&[v, v + 0.01, v + 0.02])
+            })
+            .collect();
+        pts.push(p(&[0.1, 0.1, 0.1]));
+        let salsa = Salsa.compute(pts.clone());
+        let sfs = Sfs.compute(pts);
+        assert_eq!(
+            crate::testutil::sorted(salsa.skyline),
+            crate::testutil::sorted(sfs.skyline)
+        );
+        assert!(
+            salsa.dominance_tests * 10 < sfs.dominance_tests,
+            "SaLSa {} vs SFS {}",
+            salsa.dominance_tests,
+            sfs.dominance_tests
+        );
+    }
+
+    #[test]
+    fn output_is_a_subset_and_undominated() {
+        let pts = pseudo_random_points(300, 3, 7);
+        for algo in algos() {
+            let sky = algo.compute(pts.clone()).skyline;
+            for s in &sky {
+                assert!(pts.contains(s), "{}: fabricated point", algo.name());
+                assert!(
+                    !pts.iter().any(|t| skycache_geom::dominates(t, s)),
+                    "{}: dominated point in skyline",
+                    algo.name()
+                );
+            }
+            // Completeness: every undominated input point appears.
+            let want = naive_skyline(&pts);
+            assert_eq!(sky.len(), want.len(), "{}", algo.name());
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Skyline algorithms.
+//!
+//! The paper's evaluation uses three computational components, all
+//! implemented here from scratch:
+//!
+//! * [`Sfs`] — Sort-Filter Skyline (Chomicki et al.), the in-memory
+//!   skyline routine inside both the Baseline method and CBCS ("we use the
+//!   Sort-Filter Skyline algorithm in both", Section 7);
+//! * [`Bnl`] — Block-Nested-Loops (Börzsönyi et al.), the original
+//!   skyline algorithm, kept as a second pluggable component to
+//!   demonstrate that CBCS is "independent of the skyline algorithm used"
+//!   (Section 7.3);
+//! * [`bbs`] — Branch-and-Bound Skyline (Papadias et al.) over the
+//!   workspace R\*-tree, the I/O-optimal non-caching state of the art that
+//!   CBCS is compared against;
+//! * [`DivideConquer`] — the D&C scheme of Börzsönyi et al. in its basic
+//!   two-way form, included for completeness of the in-memory suite;
+//! * [`Salsa`] — the Sort-and-Limit variant (Bartolini et al.), whose
+//!   early-termination behaviour rounds out the pluggable-component study.
+//!
+//! Every routine counts its dominance tests — the paper's proxy for
+//! skyline computation cost.
+//!
+//! ```
+//! use skycache_algos::{Sfs, SkylineAlgorithm};
+//! use skycache_geom::Point;
+//!
+//! let hotels = vec![
+//!     Point::from(vec![1.0, 180.0]), // near, pricey   — skyline
+//!     Point::from(vec![6.0, 90.0]),  // far, cheap     — skyline
+//!     Point::from(vec![3.0, 120.0]), // balanced       — skyline
+//!     Point::from(vec![4.0, 200.0]), // dominated by (3.0, 120.0)
+//! ];
+//! let out = Sfs.compute(hotels);
+//! assert_eq!(out.skyline.len(), 3);
+//! assert!(out.dominance_tests > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bbs;
+pub mod cardinality;
+mod inmem;
+
+pub use bbs::{bbs_constrained, BbsOutput, BbsStats};
+pub use cardinality::{expected_skyline_size, sample_skyline_fraction, Adaptive};
+pub use inmem::{Bnl, DivideConquer, Salsa, Sfs, SkylineAlgorithm, SkylineOutput};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use skycache_geom::{dominates, Point};
+
+    /// Reference `O(n²)` skyline with keep-duplicates semantics.
+    pub fn naive_skyline(points: &[Point]) -> Vec<Point> {
+        points
+            .iter()
+            .filter(|t| !points.iter().any(|s| dominates(s, t)))
+            .cloned()
+            .collect()
+    }
+
+    /// Sorts points lexicographically for set comparison.
+    pub fn sorted(mut pts: Vec<Point>) -> Vec<Point> {
+        pts.sort_by(|a, b| {
+            a.coords()
+                .partial_cmp(b.coords())
+                .expect("NaN-free")
+        });
+        pts
+    }
+}

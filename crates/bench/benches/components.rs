@@ -1,0 +1,91 @@
+//! Component microbenchmarks: the substrates underneath the figures —
+//! skyline algorithms, R\*-tree operations, storage range execution, and
+//! the geometric kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skycache_algos::{Bnl, DivideConquer, Sfs, SkylineAlgorithm};
+use skycache_bench::synthetic_table;
+use skycache_datagen::{Distribution, SyntheticGen};
+use skycache_geom::subtract::subtract_box;
+use skycache_geom::{Aabb, Constraints, HyperRect, Point};
+use skycache_rtree::{RStarTree, RTreeParams};
+
+fn bench_skyline_algos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skyline_algorithms");
+    group.sample_size(10);
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        let points = SyntheticGen::new(dist, 4, 42).generate(20_000);
+        for (name, algo) in [
+            ("bnl", &Bnl as &dyn SkylineAlgorithm),
+            ("sfs", &Sfs),
+            ("dc", &DivideConquer),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, dist.label()),
+                &points,
+                |b, pts| b.iter(|| algo.compute(pts.clone())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let points: Vec<(Point, u32)> = SyntheticGen::new(Distribution::Independent, 3, 7)
+        .generate(50_000)
+        .into_iter()
+        .zip(0..)
+        .collect();
+
+    let mut group = c.benchmark_group("rtree");
+    group.sample_size(10);
+
+    group.bench_function("bulk_load_50k", |b| {
+        b.iter(|| RStarTree::bulk_load_points(points.clone(), RTreeParams::default()))
+    });
+
+    group.bench_function("insert_5k", |b| {
+        b.iter(|| {
+            let mut t = RStarTree::new(3);
+            for (p, v) in points.iter().take(5_000) {
+                t.insert(Aabb::from_point(p), *v);
+            }
+            t
+        })
+    });
+
+    let tree = RStarTree::bulk_load_points(points.clone(), RTreeParams::default());
+    let window = Aabb::new(vec![0.2; 3], vec![0.5; 3]).unwrap();
+    group.bench_function("window_query", |b| b.iter(|| tree.search(&window).len()));
+    group.bench_function("knn_10", |b| b.iter(|| tree.nearest_k(&[0.3, 0.3, 0.3], 10)));
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let table = synthetic_table(Distribution::Independent, 4, 100_000, 42);
+    let constraints = Constraints::from_pairs(&[(0.3, 0.6); 4]).unwrap();
+
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(20);
+    group.bench_function("range_query_4d", |b| {
+        b.iter(|| table.fetch_constrained(&constraints))
+    });
+    // Empty-query detection must be near-free.
+    let empty = Constraints::from_pairs(&[(2.0, 3.0); 4]).unwrap();
+    group.bench_function("empty_query_detection", |b| {
+        b.iter(|| table.fetch_constrained(&empty))
+    });
+    group.finish();
+}
+
+fn bench_geom(c: &mut Criterion) {
+    let rect = HyperRect::closed(&[0.0; 6], &[1.0; 6]);
+    let cut = Aabb::new(vec![0.3; 6], vec![0.8; 6]).unwrap();
+    let mut group = c.benchmark_group("geom");
+    group.bench_function("subtract_box_6d", |b| b.iter(|| subtract_box(&rect, &cut)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_skyline_algos, bench_rtree, bench_storage, bench_geom);
+criterion_main!(benches);

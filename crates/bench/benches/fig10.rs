@@ -1,0 +1,62 @@
+//! Figure 10 (criterion): the three pipeline stages in isolation —
+//! processing (query planning / MPR), fetching (storage execution), and
+//! skyline computation (SFS) — on the Figure-10 configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use skycache_algos::{Sfs, SkylineAlgorithm};
+use skycache_bench::synthetic_table;
+use skycache_core::{cases, MprMode};
+use skycache_datagen::Distribution;
+use skycache_geom::{Constraints, Point};
+
+fn bench_fig10(c: &mut Criterion) {
+    let table = synthetic_table(Distribution::Independent, 3, 100_000, 42);
+    let old = Constraints::from_pairs(&[(0.2, 0.7); 3]).unwrap();
+    let new = Constraints::from_pairs(&[(0.25, 0.7), (0.2, 0.7), (0.2, 0.7)]).unwrap();
+    let cached: Vec<Point> = {
+        let fetched = table.fetch_constrained(&old);
+        Sfs.compute(fetched.rows.into_iter().map(|r| r.point).collect()).skyline
+    };
+
+    let mut group = c.benchmark_group("fig10_stages");
+    group.sample_size(20);
+
+    group.bench_function("processing_plan_case4", |b| {
+        b.iter(|| cases::plan(&old, &cached, &new, MprMode::Approximate { k: 1 }))
+    });
+
+    let plan = cases::plan(&old, &cached, &new, MprMode::Approximate { k: 1 });
+    group.bench_function("fetching_mpr_regions", |b| {
+        b.iter(|| table.fetch_batch(&plan.regions))
+    });
+
+    group.bench_function("fetching_baseline_region", |b| {
+        b.iter(|| table.fetch_constrained(&new))
+    });
+
+    let baseline_input: Vec<Point> = table
+        .fetch_constrained(&new)
+        .rows
+        .into_iter()
+        .map(|r| r.point)
+        .collect();
+    group.bench_function("skyline_sfs_baseline_input", |b| {
+        b.iter(|| Sfs.compute(baseline_input.clone()))
+    });
+
+    let merged: Vec<Point> = plan
+        .retained
+        .iter()
+        .cloned()
+        .chain(table.fetch_batch(&plan.regions).rows.into_iter().map(|r| r.point))
+        .collect();
+    group.bench_function("skyline_sfs_mpr_input", |b| {
+        b.iter(|| Sfs.compute(merged.clone()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

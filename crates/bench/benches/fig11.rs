@@ -1,0 +1,88 @@
+//! Figure 11 (criterion): cache search strategies — both the selection
+//! cost over a large candidate set and a small end-to-end workload pass
+//! per strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use skycache_bench::{interactive_queries, run_queries, synthetic_table};
+use skycache_core::{
+    Cache, CbcsConfig, CbcsExecutor, MprMode, SearchStrategy,
+};
+use skycache_geom::{Aabb, Constraints, Point};
+
+fn strategies() -> Vec<SearchStrategy> {
+    vec![
+        SearchStrategy::Random,
+        SearchStrategy::MaxOverlap,
+        SearchStrategy::MaxOverlapSP,
+        SearchStrategy::Prioritized1D,
+        SearchStrategy::prioritized_nd_std(),
+        SearchStrategy::OptimumDistance,
+    ]
+}
+
+fn bench_selection(c: &mut Criterion) {
+    // A cache with 500 items; selection must scan them all.
+    let mut cache = Cache::new(3);
+    let mut x = 0.17f64;
+    for _ in 0..500 {
+        x = (x * 97.31).fract();
+        let lo = [x * 0.5, (x * 57.17).fract() * 0.5, (x * 31.73).fract() * 0.5];
+        let cc = Constraints::from_pairs(&[
+            (lo[0], lo[0] + 0.4),
+            (lo[1], lo[1] + 0.4),
+            (lo[2], lo[2] + 0.4),
+        ])
+        .unwrap();
+        let sky = vec![Point::from(vec![lo[0] + 0.05, lo[1] + 0.05, lo[2] + 0.05])];
+        cache.insert(cc, sky);
+    }
+    let query = Constraints::from_pairs(&[(0.2, 0.6); 3]).unwrap();
+    let bounds = Aabb::new(vec![0.0; 3], vec![1.0; 3]).unwrap();
+    let candidates = cache.overlapping(&query);
+
+    let mut group = c.benchmark_group("fig11_selection");
+    for strategy in strategies() {
+        group.bench_with_input(
+            BenchmarkId::new("select", strategy.label()),
+            &strategy,
+            |b, s| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| s.select(&candidates, &query, &bounds, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let table = synthetic_table(skycache_datagen::Distribution::Independent, 5, 30_000, 42);
+    let queries = interactive_queries(&table, 40, 17, None);
+
+    let mut group = c.benchmark_group("fig11_workload");
+    group.sample_size(10);
+    for strategy in strategies() {
+        group.bench_with_input(
+            BenchmarkId::new("interactive", strategy.label()),
+            &strategy,
+            |b, s| {
+                b.iter(|| {
+                    let config = CbcsConfig {
+                        mpr: MprMode::Approximate { k: 1 },
+                        strategy: s.clone(),
+                        ..Default::default()
+                    };
+                    let mut ex = CbcsExecutor::new(&table, config);
+                    run_queries(&mut ex, &queries)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_workload);
+criterion_main!(benches);

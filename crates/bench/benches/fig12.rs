@@ -1,0 +1,71 @@
+//! Figure 12 (criterion): the real-estate workload per method, CPU cost
+//! at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skycache_bench::{
+    independent_queries, interactive_queries, real_estate_table, run_queries,
+};
+use skycache_core::{
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode,
+    SearchStrategy,
+};
+
+fn bench_fig12(c: &mut Criterion) {
+    let table = real_estate_table(50_000, 2005);
+
+    let mut group = c.benchmark_group("fig12_real_estate");
+    group.sample_size(10);
+
+    // (a) interactive
+    let queries = interactive_queries(&table, 40, 17, None);
+    group.bench_function("interactive/baseline", |b| {
+        b.iter(|| {
+            let mut ex = BaselineExecutor::new(&table);
+            run_queries(&mut ex, &queries)
+        })
+    });
+    {
+        let mut ex = BbsExecutor::new(&table);
+        group.bench_function("interactive/bbs", |b| b.iter(|| run_queries(&mut ex, &queries)));
+    }
+    group.bench_function("interactive/ampr1", |b| {
+        b.iter(|| {
+            let config = CbcsConfig {
+                mpr: MprMode::Approximate { k: 1 },
+                strategy: SearchStrategy::MaxOverlapSP,
+                ..Default::default()
+            };
+            let mut ex = CbcsExecutor::new(&table, config);
+            run_queries(&mut ex, &queries)
+        })
+    });
+
+    // (b) independent, preloaded cache, varying #NN.
+    let preload = independent_queries(&table, 100, 5, None);
+    let queries = independent_queries(&table, 25, 19, None);
+    for k in [1usize, 5, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("independent/ampr", k),
+            &k,
+            |b, &k| {
+                b.iter(|| {
+                    let config = CbcsConfig {
+                        mpr: MprMode::Approximate { k },
+                        strategy: SearchStrategy::prioritized_nd_std(),
+                        ..Default::default()
+                    };
+                    let mut ex = CbcsExecutor::new(&table, config);
+                    for c in &preload {
+                        ex.query(c).expect("preload succeeds");
+                    }
+                    run_queries(&mut ex, &queries)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

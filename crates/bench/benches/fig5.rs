@@ -1,0 +1,59 @@
+//! Figure 5 (criterion): CPU cost of answering the interactive 5-D
+//! workload per method, at reduced scale. Wall-clock here excludes the
+//! simulated I/O latency — run `repro fig5` for the end-to-end numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skycache_bench::{interactive_queries, run_queries, synthetic_table};
+use skycache_core::{
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, MprMode, SearchStrategy,
+};
+use skycache_datagen::Distribution;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_interactive_5d");
+    group.sample_size(10);
+
+    for dist in [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::AntiCorrelated,
+    ] {
+        let table = synthetic_table(dist, 5, 30_000, 42);
+        let queries = interactive_queries(&table, 40, 17, None);
+
+        group.bench_with_input(
+            BenchmarkId::new("baseline", dist.label()),
+            &queries,
+            |b, q| {
+                b.iter(|| {
+                    let mut ex = BaselineExecutor::new(&table);
+                    run_queries(&mut ex, q)
+                })
+            },
+        );
+
+        let bbs_table = table.clone();
+        group.bench_with_input(BenchmarkId::new("bbs", dist.label()), &queries, |b, q| {
+            // Tree construction amortized outside the timer.
+            let mut ex = BbsExecutor::new(&bbs_table);
+            b.iter(|| run_queries(&mut ex, q))
+        });
+
+        group.bench_with_input(BenchmarkId::new("ampr1", dist.label()), &queries, |b, q| {
+            b.iter(|| {
+                let config = CbcsConfig {
+                    mpr: MprMode::Approximate { k: 1 },
+                    strategy: SearchStrategy::MaxOverlapSP,
+                    ..Default::default()
+                };
+                let mut ex = CbcsExecutor::new(&table, config);
+                run_queries(&mut ex, q)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

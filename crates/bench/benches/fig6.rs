@@ -1,0 +1,53 @@
+//! Figure 6 (criterion): exact MPR vs aMPR vs Baseline vs BBS on 3-D
+//! independent data, CPU cost at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skycache_bench::{interactive_queries, run_queries, synthetic_table};
+use skycache_core::{
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, MprMode, SearchStrategy,
+};
+use skycache_datagen::Distribution;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_interactive_3d");
+    group.sample_size(10);
+
+    for n in [20_000usize, 40_000] {
+        let table = synthetic_table(Distribution::Independent, 3, n, 42);
+        let queries = interactive_queries(&table, 40, 17, None);
+
+        group.bench_with_input(BenchmarkId::new("baseline", n), &queries, |b, q| {
+            b.iter(|| {
+                let mut ex = BaselineExecutor::new(&table);
+                run_queries(&mut ex, q)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("bbs", n), &queries, |b, q| {
+            let mut ex = BbsExecutor::new(&table);
+            b.iter(|| run_queries(&mut ex, q))
+        });
+
+        for (label, mode) in [
+            ("mpr", MprMode::Exact),
+            ("ampr1", MprMode::Approximate { k: 1 }),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &queries, |b, q| {
+                b.iter(|| {
+                    let config = CbcsConfig {
+                        mpr: mode,
+                        strategy: SearchStrategy::MaxOverlapSP,
+                        ..Default::default()
+                    };
+                    let mut ex = CbcsExecutor::new(&table, config);
+                    run_queries(&mut ex, q)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

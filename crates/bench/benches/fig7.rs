@@ -1,0 +1,41 @@
+//! Figure 7 (criterion): dimensionality scaling (5 constrained dims, the
+//! rest unconstrained), CPU cost at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skycache_bench::{interactive_queries, run_queries, synthetic_table};
+use skycache_core::{BaselineExecutor, CbcsConfig, CbcsExecutor, MprMode, SearchStrategy};
+use skycache_datagen::Distribution;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_dimensionality");
+    group.sample_size(10);
+
+    for d in [6usize, 8, 10] {
+        let table = synthetic_table(Distribution::Independent, d, 20_000, 42);
+        let queries = interactive_queries(&table, 30, 17, Some(5));
+
+        group.bench_with_input(BenchmarkId::new("baseline", d), &queries, |b, q| {
+            b.iter(|| {
+                let mut ex = BaselineExecutor::new(&table);
+                run_queries(&mut ex, q)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("ampr1", d), &queries, |b, q| {
+            b.iter(|| {
+                let config = CbcsConfig {
+                    mpr: MprMode::Approximate { k: 1 },
+                    strategy: SearchStrategy::MaxOverlapSP,
+                    ..Default::default()
+                };
+                let mut ex = CbcsExecutor::new(&table, config);
+                run_queries(&mut ex, q)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

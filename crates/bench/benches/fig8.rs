@@ -1,0 +1,49 @@
+//! Figure 8 (criterion): the fetch path itself — one big Baseline range
+//! query vs the batch of small MPR range queries over the same storage.
+//! (`repro fig8` prints the points-read counters the figure plots.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skycache_bench::synthetic_table;
+use skycache_core::{missing_points_region, MprMode};
+use skycache_datagen::Distribution;
+use skycache_geom::Constraints;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_fetch_path");
+    group.sample_size(20);
+
+    for n in [50_000usize, 100_000] {
+        let table = synthetic_table(Distribution::Independent, 3, n, 42);
+        let old = Constraints::from_pairs(&[(0.2, 0.7); 3]).unwrap();
+        let new = Constraints::from_pairs(&[(0.2, 0.8), (0.15, 0.7), (0.2, 0.7)]).unwrap();
+        // Cached skyline for the old constraints, computed once.
+        let cached: Vec<_> = {
+            let fetched = table.fetch_constrained(&old);
+            use skycache_algos::{Sfs, SkylineAlgorithm};
+            Sfs.compute(fetched.rows.into_iter().map(|r| r.point).collect()).skyline
+        };
+
+        group.bench_with_input(BenchmarkId::new("baseline_fetch", n), &new, |b, q| {
+            b.iter(|| table.fetch_constrained(q))
+        });
+
+        let exact = missing_points_region(&old, &cached, &new, MprMode::Exact);
+        group.bench_with_input(
+            BenchmarkId::new("mpr_fetch_batch", n),
+            &exact.regions,
+            |b, regions| b.iter(|| table.fetch_batch(regions)),
+        );
+
+        let approx = missing_points_region(&old, &cached, &new, MprMode::Approximate { k: 1 });
+        group.bench_with_input(
+            BenchmarkId::new("ampr_fetch_batch", n),
+            &approx.regions,
+            |b, regions| b.iter(|| table.fetch_batch(regions)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 9 (criterion): the MPR computation itself — range-query
+//! generation cost for the exact MPR vs the aMPR with 1/3/6/10 nearest
+//! neighbors as dimensionality grows (the paper's "just generating the
+//! range queries took several hours" effect).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skycache_algos::{Sfs, SkylineAlgorithm};
+use skycache_core::{missing_points_region, MprMode};
+use skycache_datagen::{Distribution, SyntheticGen};
+use skycache_geom::{Constraints, Point};
+
+fn setup(d: usize) -> (Constraints, Vec<Point>, Constraints) {
+    let points = SyntheticGen::new(Distribution::Independent, d, 42).generate(5_000);
+    let old = Constraints::from_pairs(&vec![(0.2, 0.7); d]).unwrap();
+    let mut pairs = vec![(0.2, 0.7); d];
+    pairs[0] = (0.25, 0.8); // lower raised + upper raised: unstable general case
+    let new = Constraints::from_pairs(&pairs).unwrap();
+    let cached = Sfs
+        .compute(points.into_iter().filter(|p| old.satisfies(p)).collect())
+        .skyline;
+    (old, cached, new)
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_mpr_generation");
+    group.sample_size(10);
+
+    for d in [2usize, 3, 4, 5] {
+        let (old, cached, new) = setup(d);
+        group.bench_with_input(BenchmarkId::new("mpr", d), &d, |b, _| {
+            b.iter(|| missing_points_region(&old, &cached, &new, MprMode::Exact))
+        });
+        for k in [1usize, 3, 6, 10] {
+            group.bench_with_input(BenchmarkId::new(format!("ampr{k}"), d), &d, |b, _| {
+                b.iter(|| {
+                    missing_points_region(&old, &cached, &new, MprMode::Approximate { k })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

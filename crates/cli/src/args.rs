@@ -1,0 +1,232 @@
+//! A small, dependency-free flag parser: `--key value`, `--flag`, and
+//! positional arguments, with typed accessors and unknown-flag detection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, Vec<String>>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Errors from argument parsing or typed access.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--flag` appeared without its required value.
+    MissingValue(String),
+    /// A required flag was absent.
+    Required(String),
+    /// A value failed to parse.
+    Invalid {
+        /// The flag name.
+        flag: String,
+        /// The offending raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Flags that no command recognizes.
+    Unknown(Vec<String>),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} requires a value"),
+            ArgError::Required(flag) => write!(f, "missing required --{flag}"),
+            ArgError::Invalid { flag, value, expected } => {
+                write!(f, "--{flag} {value:?}: expected {expected}")
+            }
+            ArgError::Unknown(flags) => {
+                write!(f, "unknown flag(s): ")?;
+                for (i, fl) in flags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "--{fl}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["real-estate", "help", "full"];
+
+impl Args {
+    /// Parses raw arguments (excluding program name and subcommand).
+    pub fn parse(raw: &[String]) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    args.flags.entry(name.to_owned()).or_default().push(String::new());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
+                    args.flags
+                        .entry(name.to_owned())
+                        .or_default()
+                        .push(value.clone());
+                }
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    fn raw(&self, flag: &str) -> Option<&String> {
+        self.consumed.borrow_mut().push(flag.to_owned());
+        self.flags.get(flag).and_then(|v| v.last())
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.consumed.borrow_mut().push(flag.to_owned());
+        self.flags.contains_key(flag)
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, flag: &str) -> Option<String> {
+        self.raw(flag).cloned()
+    }
+
+    /// Required string flag.
+    pub fn require(&self, flag: &str) -> Result<String, ArgError> {
+        self.get(flag).ok_or_else(|| ArgError::Required(flag.to_owned()))
+    }
+
+    /// Optional typed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.raw(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                flag: flag.to_owned(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Rejects flags that were never consumed by the command.
+    pub fn finish(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<String> = self
+            .flags
+            .keys()
+            .filter(|k| !consumed.contains(k))
+            .cloned()
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError::Unknown(unknown))
+        }
+    }
+}
+
+/// Parses a range list `lo:hi,lo:hi,...` (dimensions in order; `*` or an
+/// empty side means unbounded).
+pub fn parse_ranges(spec: &str) -> Result<Vec<(f64, f64)>, ArgError> {
+    let invalid = |value: &str| ArgError::Invalid {
+        flag: "range".to_owned(),
+        value: value.to_owned(),
+        expected: "lo:hi[,lo:hi...] with numbers or *",
+    };
+    let side = |s: &str| -> Result<Option<f64>, ArgError> {
+        if s.is_empty() || s == "*" {
+            return Ok(None);
+        }
+        s.parse::<f64>().map(Some).map_err(|_| invalid(s))
+    };
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let (lo, hi) = part.split_once(':').ok_or_else(|| invalid(part))?;
+        let lo = side(lo)?.unwrap_or(f64::NEG_INFINITY);
+        let hi = side(hi)?.unwrap_or(f64::INFINITY);
+        if lo > hi {
+            return Err(invalid(part));
+        }
+        out.push((lo, hi));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        let raw: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw)
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse(&["data.skyc", "--n", "1000", "--real-estate"]).unwrap();
+        assert_eq!(a.positional(), &["data.skyc"]);
+        assert_eq!(a.get_or("n", 0usize).unwrap(), 1000);
+        assert!(a.has("real-estate"));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn missing_value_is_reported() {
+        assert_eq!(
+            parse(&["--n"]).unwrap_err(),
+            ArgError::MissingValue("n".into())
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let a = parse(&["--bogus", "1"]).unwrap();
+        let _ = a.get("n");
+        assert_eq!(a.finish().unwrap_err(), ArgError::Unknown(vec!["bogus".into()]));
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let a = parse(&["--seed", "nope"]).unwrap();
+        assert!(matches!(
+            a.get_or("seed", 0u64),
+            Err(ArgError::Invalid { .. })
+        ));
+        let b = parse(&[]).unwrap();
+        assert_eq!(b.get_or("seed", 7u64).unwrap(), 7);
+        assert!(matches!(b.require("out"), Err(ArgError::Required(_))));
+    }
+
+    #[test]
+    fn range_parsing() {
+        assert_eq!(
+            parse_ranges("0.1:0.5,2:3").unwrap(),
+            vec![(0.1, 0.5), (2.0, 3.0)]
+        );
+        assert_eq!(
+            parse_ranges("*:5,1:*").unwrap(),
+            vec![(f64::NEG_INFINITY, 5.0), (1.0, f64::INFINITY)]
+        );
+        assert_eq!(
+            parse_ranges(":*").unwrap(),
+            vec![(f64::NEG_INFINITY, f64::INFINITY)]
+        );
+        assert!(parse_ranges("5:1").is_err());
+        assert!(parse_ranges("abc").is_err());
+        assert!(parse_ranges("1:x").is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! The in-memory constrained-skyline cache (paper Section 6 / Def. 3).
+//!
+//! Each cache item is the 3-tuple `⟨Sky(S,C), MBR, C⟩`. Items are indexed
+//! by an R\*-tree over the skylines' minimum bounding rectangles; a lookup
+//! for new constraints `C′` returns every item with `R_C′ ∩ MBR ≠ ∅`.
+//! (For an item whose skyline is *empty*, the MBR is undefined; we index
+//! such items by their constraint region instead so the knowledge "this
+//! region is empty" stays discoverable — a strict improvement documented
+//! in DESIGN.md.)
+//!
+//! Replacement (Section 6.2): insertion and use counters on the items
+//! support LRU (least recently used) and LCU (least commonly used)
+//! eviction when a capacity is set.
+
+use std::collections::HashMap;
+
+use skycache_geom::{dominates, Aabb, Constraints, Point};
+use skycache_rtree::RStarTree;
+
+/// A cached constrained-skyline result.
+#[derive(Clone, Debug)]
+pub struct CacheItem {
+    /// Unique id within the cache.
+    pub id: u64,
+    /// The constraints `C` the skyline was computed under.
+    pub constraints: Constraints,
+    /// The cached result `Sky(S, C)`.
+    pub skyline: Vec<Point>,
+    /// Minimum bounding rectangle of the skyline (`None` when empty).
+    pub mbr: Option<Aabb>,
+    /// Logical insertion time.
+    pub inserted_at: u64,
+    /// Logical time of last use.
+    pub last_used: u64,
+    /// Number of times the item answered (part of) a query.
+    pub use_count: u64,
+}
+
+/// Cache eviction policy (applies only when a capacity is configured).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Evict the least recently used item.
+    #[default]
+    Lru,
+    /// Evict the least commonly used item (ties: older first).
+    Lcu,
+}
+
+/// The cache: items plus an R\*-tree over their index boxes.
+#[derive(Debug)]
+pub struct Cache {
+    items: HashMap<u64, CacheItem>,
+    index: RStarTree<u64>,
+    clock: u64,
+    next_id: u64,
+    capacity: Option<usize>,
+    policy: ReplacementPolicy,
+    dims: usize,
+}
+
+impl Cache {
+    /// Creates an unbounded cache for `dims`-dimensional data.
+    pub fn new(dims: usize) -> Self {
+        Self::with_capacity(dims, None, ReplacementPolicy::default())
+    }
+
+    /// Creates a cache with an optional capacity and eviction policy.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0` or `capacity == Some(0)`.
+    pub fn with_capacity(
+        dims: usize,
+        capacity: Option<usize>,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        assert!(dims > 0, "zero-dimensional cache");
+        assert!(capacity != Some(0), "capacity must be at least 1");
+        Cache {
+            items: HashMap::new(),
+            index: RStarTree::new(dims),
+            clock: 0,
+            next_id: 0,
+            capacity,
+            policy,
+            dims,
+        }
+    }
+
+    /// Number of cached items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the cache holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Dimensionality of cached queries.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The box an item is indexed under: the skyline MBR, or the
+    /// constraint region for empty skylines.
+    fn index_box(constraints: &Constraints, mbr: &Option<Aabb>) -> Aabb {
+        mbr.clone().unwrap_or_else(|| constraints.aabb().clone())
+    }
+
+    /// Inserts a result, evicting if over capacity. Returns the item id.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn insert(&mut self, constraints: Constraints, skyline: Vec<Point>) -> u64 {
+        assert_eq!(constraints.dims(), self.dims, "constraints dimensionality mismatch");
+        self.clock += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        let mbr = Aabb::bounding(&skyline);
+        self.index.insert(Self::index_box(&constraints, &mbr), id);
+        self.items.insert(
+            id,
+            CacheItem {
+                id,
+                constraints,
+                skyline,
+                mbr,
+                inserted_at: self.clock,
+                last_used: self.clock,
+                use_count: 0,
+            },
+        );
+        if let Some(cap) = self.capacity {
+            while self.items.len() > cap {
+                self.evict_one(id);
+            }
+        }
+        id
+    }
+
+    fn evict_one(&mut self, protect: u64) {
+        let victim = self
+            .items
+            .values()
+            .filter(|it| it.id != protect)
+            .min_by_key(|it| match self.policy {
+                ReplacementPolicy::Lru => (it.last_used, it.inserted_at, it.id),
+                ReplacementPolicy::Lcu => (it.use_count, it.inserted_at, it.id),
+            })
+            .map(|it| it.id);
+        if let Some(id) = victim {
+            self.remove(id);
+        }
+    }
+
+    /// Removes an item by id, returning it.
+    pub fn remove(&mut self, id: u64) -> Option<CacheItem> {
+        let item = self.items.remove(&id)?;
+        let key = Self::index_box(&item.constraints, &item.mbr);
+        let removed = self.index.remove(&key, |&v| v == id);
+        debug_assert!(removed.is_some(), "index out of sync with items");
+        Some(item)
+    }
+
+    /// Returns an item by id.
+    pub fn get(&self, id: u64) -> Option<&CacheItem> {
+        self.items.get(&id)
+    }
+
+    /// All items whose index box intersects the query region `R_C′`
+    /// (the paper's `R_C′ ∩ MBR ≠ ∅` lookup), in unspecified order.
+    pub fn overlapping(&self, new: &Constraints) -> Vec<&CacheItem> {
+        assert_eq!(new.dims(), self.dims, "constraints dimensionality mismatch");
+        self.index
+            .search(new.aabb())
+            .into_iter()
+            .map(|id| self.items.get(id).expect("index out of sync"))
+            .collect()
+    }
+
+    /// Records a use of the item (updates LRU/LCU counters).
+    pub fn touch(&mut self, id: u64) {
+        self.clock += 1;
+        if let Some(item) = self.items.get_mut(&id) {
+            item.last_used = self.clock;
+            item.use_count += 1;
+        }
+    }
+
+    /// Iterates over all items.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheItem> {
+        self.items.values()
+    }
+
+    /// Re-derives an item's MBR and index entry after its skyline changed.
+    fn reindex(&mut self, id: u64) {
+        let Some(item) = self.items.get_mut(&id) else { return };
+        let old_key = Self::index_box(&item.constraints, &item.mbr);
+        let new_mbr = Aabb::bounding(&item.skyline);
+        if new_mbr == item.mbr {
+            return;
+        }
+        item.mbr = new_mbr;
+        let new_key = Self::index_box(&item.constraints, &item.mbr);
+        let removed = self.index.remove(&old_key, |&v| v == id);
+        debug_assert!(removed.is_some(), "index out of sync with items");
+        self.index.insert(new_key, id);
+    }
+
+    /// Dynamic-data maintenance (paper Section 6.2, "each cache item as a
+    /// separate dataset with a continuous skyline query"): integrates a
+    /// newly inserted data point into every cached result whose
+    /// constraints it satisfies. Returns the number of items updated.
+    pub fn on_insert(&mut self, p: &Point) -> usize {
+        assert_eq!(p.dims(), self.dims, "point dimensionality mismatch");
+        let affected: Vec<u64> = self
+            .items
+            .values()
+            .filter(|item| item.constraints.satisfies(p))
+            .map(|item| item.id)
+            .collect();
+        let mut updated = 0;
+        for id in affected {
+            let item = self.items.get_mut(&id).expect("just listed");
+            if item.skyline.iter().any(|s| dominates(s, p)) {
+                continue; // dominated: the cached skyline is unchanged
+            }
+            // p enters the skyline; points it dominates leave.
+            item.skyline.retain(|s| !dominates(p, s));
+            item.skyline.push(p.clone());
+            self.reindex(id);
+            updated += 1;
+        }
+        updated
+    }
+
+    /// Dynamic-data maintenance on deletion: cached results whose skyline
+    /// contains the deleted point can no longer be trusted (points it
+    /// dominated may resurface) and are dropped — the conservative
+    /// strategy; exclusive-dominance-region recomputation à la DeltaSky
+    /// (paper ref. [21]) is a possible refinement. Returns the number of
+    /// items dropped.
+    pub fn on_delete(&mut self, p: &Point) -> usize {
+        assert_eq!(p.dims(), self.dims, "point dimensionality mismatch");
+        let affected: Vec<u64> = self
+            .items
+            .values()
+            .filter(|item| item.skyline.iter().any(|s| s == p))
+            .map(|item| item.id)
+            .collect();
+        let dropped = affected.len();
+        for id in affected {
+            self.remove(id);
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(pairs: &[(f64, f64)]) -> Constraints {
+        Constraints::from_pairs(pairs).unwrap()
+    }
+
+    fn p(coords: &[f64]) -> Point {
+        Point::from(coords.to_vec())
+    }
+
+    #[test]
+    fn insert_and_lookup_by_mbr() {
+        let mut cache = Cache::new(2);
+        let id = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.2, 0.8]), p(&[0.6, 0.3])]);
+        assert_eq!(cache.len(), 1);
+        // Query overlapping the skyline MBR [0.2,0.6]x[0.3,0.8].
+        let hits = cache.overlapping(&c(&[(0.5, 0.9), (0.1, 0.4)]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, id);
+        // Query overlapping the constraint region but not the MBR.
+        let misses = cache.overlapping(&c(&[(0.9, 1.0), (0.9, 1.0)]));
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn empty_skyline_indexed_by_constraints() {
+        let mut cache = Cache::new(2);
+        let id = cache.insert(c(&[(0.4, 0.6), (0.4, 0.6)]), vec![]);
+        let hits = cache.overlapping(&c(&[(0.5, 0.9), (0.5, 0.9)]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, id);
+        assert!(hits[0].mbr.is_none());
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut cache = Cache::with_capacity(1, Some(2), ReplacementPolicy::Lru);
+        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
+        let b = cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        cache.touch(a); // a is now more recent than b
+        let _c = cache.insert(c(&[(2.0, 3.0)]), vec![p(&[2.5])]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(a).is_some(), "recently used item kept");
+        assert!(cache.get(b).is_none(), "LRU item evicted");
+    }
+
+    #[test]
+    fn lcu_eviction() {
+        let mut cache = Cache::with_capacity(1, Some(2), ReplacementPolicy::Lcu);
+        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
+        let b = cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        cache.touch(b);
+        cache.touch(b);
+        cache.touch(a);
+        let _c = cache.insert(c(&[(2.0, 3.0)]), vec![p(&[2.5])]);
+        assert!(cache.get(b).is_some(), "commonly used item kept");
+        assert!(cache.get(a).is_none(), "LCU item evicted");
+    }
+
+    #[test]
+    fn newest_item_is_protected_from_eviction() {
+        let mut cache = Cache::with_capacity(1, Some(1), ReplacementPolicy::Lru);
+        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
+        let b = cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(a).is_none());
+        assert!(cache.get(b).is_some());
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut cache = Cache::new(2);
+        let a = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.5, 0.5])]);
+        let b = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.5, 0.5])]);
+        assert_eq!(cache.len(), 2);
+        let removed = cache.remove(a).unwrap();
+        assert_eq!(removed.id, a);
+        let hits = cache.overlapping(&c(&[(0.0, 1.0), (0.0, 1.0)]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, b);
+        assert!(cache.remove(a).is_none());
+    }
+
+    #[test]
+    fn many_unbounded_empty_results_are_cacheable() {
+        // Regression: partially-constrained queries (Fig. 7 setup) cache
+        // empty skylines indexed by their (±inf) constraint regions; the
+        // R*-tree must survive splits/reinserts over such boxes.
+        let mut cache = Cache::new(3);
+        for i in 0..200 {
+            let v = i as f64;
+            let cc = Constraints::new(
+                vec![v, f64::NEG_INFINITY, f64::NEG_INFINITY],
+                vec![v + 0.5, f64::INFINITY, f64::INFINITY],
+            )
+            .unwrap();
+            cache.insert(cc, vec![]);
+        }
+        assert_eq!(cache.len(), 200);
+        let probe = Constraints::new(
+            vec![10.2, f64::NEG_INFINITY, f64::NEG_INFINITY],
+            vec![10.3, f64::INFINITY, f64::INFINITY],
+        )
+        .unwrap();
+        let hits = cache.overlapping(&probe);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn on_insert_updates_affected_items() {
+        let mut cache = Cache::new(2);
+        let a = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.5, 0.5])]);
+        let b = cache.insert(c(&[(2.0, 3.0), (2.0, 3.0)]), vec![p(&[2.5, 2.5])]);
+
+        // New point inside item a's constraints, dominating its skyline.
+        let updated = cache.on_insert(&p(&[0.2, 0.2]));
+        assert_eq!(updated, 1);
+        assert_eq!(cache.get(a).unwrap().skyline, vec![p(&[0.2, 0.2])]);
+        assert_eq!(cache.get(b).unwrap().skyline, vec![p(&[2.5, 2.5])]);
+        // The MBR index moved with the skyline.
+        let hits = cache.overlapping(&c(&[(0.1, 0.3), (0.1, 0.3)]));
+        assert!(hits.iter().any(|it| it.id == a));
+
+        // A dominated insertion changes nothing.
+        assert_eq!(cache.on_insert(&p(&[0.9, 0.9])), 0);
+        assert_eq!(cache.get(a).unwrap().skyline.len(), 1);
+
+        // An incomparable insertion joins the skyline.
+        assert_eq!(cache.on_insert(&p(&[0.1, 0.9])), 1);
+        assert_eq!(cache.get(a).unwrap().skyline.len(), 2);
+    }
+
+    #[test]
+    fn on_delete_drops_items_holding_the_point() {
+        let mut cache = Cache::new(2);
+        let a = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.5, 0.5])]);
+        let b = cache.insert(c(&[(0.0, 2.0), (0.0, 2.0)]), vec![p(&[0.5, 0.5]), p(&[1.5, 0.2])]);
+        let keep = cache.insert(c(&[(2.0, 3.0), (2.0, 3.0)]), vec![p(&[2.5, 2.5])]);
+
+        let dropped = cache.on_delete(&p(&[0.5, 0.5]));
+        assert_eq!(dropped, 2);
+        assert!(cache.get(a).is_none());
+        assert!(cache.get(b).is_none());
+        assert!(cache.get(keep).is_some());
+        // Deleting a non-skyline point is free.
+        assert_eq!(cache.on_delete(&p(&[9.0, 9.0])), 0);
+    }
+
+    #[test]
+    fn touch_updates_counters() {
+        let mut cache = Cache::new(1);
+        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
+        let before = cache.get(a).unwrap().last_used;
+        cache.touch(a);
+        let item = cache.get(a).unwrap();
+        assert_eq!(item.use_count, 1);
+        assert!(item.last_used > before);
+    }
+}

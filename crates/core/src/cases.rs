@@ -1,0 +1,184 @@
+//! Query planning: the specialized incremental-case solutions of
+//! Section 4.2 (Theorems 2–5) unified with the general MPR.
+//!
+//! Each theorem's fetch set is exactly what [`missing_points_region`]
+//! computes for that overlap class — the geometry degenerates to the
+//! paper's special cases automatically:
+//!
+//! * **Case (a)** (Theorem 2): the only unknown space is `ΔC`, and no
+//!   cached dominance region can reach below the old lower bound, so the
+//!   MPR is `ΔC` unpruned.
+//! * **Case (b)** (Theorem 3): `R_C′ ⊂ R_C` leaves no unknown space, the
+//!   removed points' dominance regions miss `R_C′`, and the result is just
+//!   the filtered cached skyline — no fetch, no skyline recomputation.
+//! * **Case (c)** (Theorem 4): `ΔC` minus the retained dominance regions.
+//! * **Case (d)** (Theorem 5): no unknown space, but the removed points'
+//!   old dominance regions inside `R_C′` resurface, minus retained
+//!   dominance regions.
+//!
+//! The planner therefore runs true fast paths only where the theorems
+//! license skipping work entirely (exact hits and Case (b)); all other
+//! classes share the MPR machinery.
+
+use skycache_geom::{Constraints, HyperRect, Point};
+
+use crate::mpr::{missing_points_region_multi, MprMode};
+use crate::stability::{classify, Overlap};
+
+/// What the engine must do to answer `C′` from a cached item.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// Classified relationship between cached and queried constraints.
+    pub overlap: Overlap,
+    /// Disjoint range queries to fetch from storage.
+    pub regions: Vec<HyperRect>,
+    /// Cached skyline points that remain candidates under `C′`.
+    pub retained: Vec<Point>,
+    /// Whether a skyline recomputation over `retained ∪ fetched` is
+    /// required (false for exact hits and Case (b), per Theorem 3).
+    pub needs_skyline: bool,
+    /// Cached skyline points invalidated by `C′`.
+    pub removed_points: usize,
+    /// Retained points used for dominance pruning.
+    pub prune_points_used: usize,
+    /// Disjoint pieces contributed by the invalidated (unstable) region.
+    pub invalidated_pieces: usize,
+}
+
+/// Builds the execution plan for answering `new` from the cached result
+/// `(old, cached_skyline)`.
+pub fn plan(
+    old: &Constraints,
+    cached_skyline: &[Point],
+    new: &Constraints,
+    mode: MprMode,
+) -> QueryPlan {
+    plan_with_extra(old, cached_skyline, &[], new, mode)
+}
+
+/// Multi-item planning (the paper's Section 6.3 extension): additionally
+/// prunes and merges with `extra_points` harvested from other overlapping
+/// cache items (see [`missing_points_region_multi`] for the soundness
+/// argument). The exact-hit and Case (b) fast paths ignore the extras —
+/// their results are already fully determined by the primary item.
+pub fn plan_with_extra(
+    old: &Constraints,
+    cached_skyline: &[Point],
+    extra_points: &[Point],
+    new: &Constraints,
+    mode: MprMode,
+) -> QueryPlan {
+    let overlap = classify(old, new);
+    match overlap {
+        Overlap::Exact => QueryPlan {
+            overlap,
+            regions: Vec::new(),
+            retained: cached_skyline.to_vec(),
+            needs_skyline: false,
+            removed_points: 0,
+            prune_points_used: 0,
+            invalidated_pieces: 0,
+        },
+        Overlap::CaseB { .. } => {
+            // Theorem 3: Sky(S, C′) = Sky(S, C) ∩ S_C′.
+            let (retained, removed): (Vec<_>, Vec<_>) =
+                cached_skyline.iter().cloned().partition(|p| new.satisfies(p));
+            QueryPlan {
+                overlap,
+                regions: Vec::new(),
+                retained,
+                needs_skyline: false,
+                removed_points: removed.len(),
+                prune_points_used: 0,
+                invalidated_pieces: 0,
+            }
+        }
+        _ => {
+            let out =
+                missing_points_region_multi(old, cached_skyline, extra_points, new, mode);
+            QueryPlan {
+                overlap,
+                regions: out.regions,
+                retained: out.retained,
+                needs_skyline: true,
+                removed_points: out.removed_points,
+                prune_points_used: out.prune_points_used,
+                invalidated_pieces: out.invalidated_pieces,
+            }
+        }
+    }
+}
+
+/// Theorem 3's closed-form Case (b) solution, exposed for direct use:
+/// simply drop cached skyline points that violate the new constraints.
+pub fn case_b_solution(cached_skyline: &[Point], new: &Constraints) -> Vec<Point> {
+    cached_skyline
+        .iter()
+        .filter(|p| new.satisfies(p))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(pairs: &[(f64, f64)]) -> Constraints {
+        Constraints::from_pairs(pairs).unwrap()
+    }
+
+    fn p(coords: &[f64]) -> Point {
+        Point::from(coords.to_vec())
+    }
+
+    #[test]
+    fn exact_plan_is_free() {
+        let cc = c(&[(0.0, 1.0), (0.0, 1.0)]);
+        let sky = vec![p(&[0.1, 0.9]), p(&[0.5, 0.2])];
+        let plan = plan(&cc, &sky, &cc.clone(), MprMode::Exact);
+        assert_eq!(plan.overlap, Overlap::Exact);
+        assert!(plan.regions.is_empty());
+        assert!(!plan.needs_skyline);
+        assert_eq!(plan.retained, sky);
+    }
+
+    #[test]
+    fn case_b_plan_filters_without_fetch() {
+        let old = c(&[(0.0, 1.0), (0.0, 1.0)]);
+        let new = c(&[(0.0, 1.0), (0.0, 0.5)]);
+        let sky = vec![p(&[0.1, 0.9]), p(&[0.5, 0.2])];
+        let plan = plan(&old, &sky, &new, MprMode::Exact);
+        assert_eq!(plan.overlap, Overlap::CaseB { dim: 1 });
+        assert!(plan.regions.is_empty());
+        assert!(!plan.needs_skyline);
+        assert_eq!(plan.retained, vec![p(&[0.5, 0.2])]);
+        assert_eq!(plan.removed_points, 1);
+        assert_eq!(case_b_solution(&sky, &new), vec![p(&[0.5, 0.2])]);
+    }
+
+    #[test]
+    fn case_a_plan_fetches_delta() {
+        let old = c(&[(0.5, 1.0), (0.0, 1.0)]);
+        let new = c(&[(0.0, 1.0), (0.0, 1.0)]);
+        let sky = vec![p(&[0.6, 0.2])];
+        let plan = plan(&old, &sky, &new, MprMode::Exact);
+        assert_eq!(plan.overlap, Overlap::CaseA { dim: 0 });
+        assert!(plan.needs_skyline);
+        assert_eq!(plan.regions.len(), 1);
+        // Theorem 2: no pruning of ΔC is possible.
+        assert!(plan.regions[0].contains_point(&p(&[0.2, 0.9])));
+    }
+
+    #[test]
+    fn unstable_plan_reports_invalidation() {
+        let old = c(&[(0.0, 2.0), (0.0, 2.0)]);
+        let new = c(&[(1.0, 2.0), (0.0, 2.0)]);
+        let sky = vec![p(&[0.5, 0.5])];
+        let plan = plan(&old, &sky, &new, MprMode::Exact);
+        assert_eq!(plan.overlap, Overlap::CaseD { dim: 0 });
+        assert!(plan.needs_skyline);
+        assert_eq!(plan.removed_points, 1);
+        assert!(plan.invalidated_pieces > 0);
+        assert!(!plan.regions.is_empty());
+    }
+}

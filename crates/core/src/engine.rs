@@ -1,0 +1,774 @@
+//! Query executors: Baseline, BBS and CBCS behind one interface.
+//!
+//! All three answer constrained skyline queries over a
+//! [`skycache_storage::Table`] and report the statistics the paper's
+//! evaluation plots: points read from disk, range queries
+//! issued/executed/empty, dominance tests, and the three-stage time
+//! breakdown of Figure 10 (*processing* — main-memory selection of range
+//! queries; *fetching* — latency to read points; *skyline* — the in-memory
+//! skyline computation).
+//!
+//! Wall-clock figures combine measured CPU time with the deterministic
+//! simulated I/O latency of the table's [`skycache_storage::CostModel`]
+//! (see DESIGN.md: the substitution preserves the paper's cost structure
+//! while staying machine-independent).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use skycache_algos::{bbs_constrained, BbsStats, Sfs, SkylineAlgorithm};
+use skycache_geom::{Aabb, Constraints, Point};
+use skycache_rtree::{RStarTree, RTreeParams};
+use skycache_storage::{FetchStats, Table};
+
+use crate::cache::{Cache, ReplacementPolicy};
+use crate::cases::{plan_with_extra, QueryPlan};
+use crate::mpr::MprMode;
+use crate::stability::Overlap;
+use crate::strategy::SearchStrategy;
+use crate::{CoreError, Result};
+
+/// The Figure-10 stage breakdown of one query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Main-memory planning: cache search, case classification, MPR
+    /// computation.
+    pub processing: Duration,
+    /// Reading points from storage (simulated I/O latency plus measured
+    /// executor time).
+    pub fetching: Duration,
+    /// In-memory skyline computation.
+    pub skyline: Duration,
+}
+
+impl StageTimes {
+    /// Total query latency.
+    pub fn total(&self) -> Duration {
+        self.processing + self.fetching + self.skyline
+    }
+}
+
+/// Statistics of one executed query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Rows of the queried regions read from the heap — the paper's
+    /// "points read" metric.
+    pub points_read: u64,
+    /// Heap tuples fetched by the chosen storage plans (≥ `points_read`;
+    /// the latency driver).
+    pub heap_fetches: u64,
+    /// Range queries handed to storage.
+    pub range_queries_issued: u64,
+    /// Range queries that touched the heap.
+    pub range_queries_executed: u64,
+    /// Range queries discarded by index-only emptiness detection.
+    pub range_queries_empty: u64,
+    /// Pairwise dominance tests performed.
+    pub dominance_tests: u64,
+    /// Stage time breakdown.
+    pub stages: StageTimes,
+    /// Whether a cached item was used.
+    pub cache_hit: bool,
+    /// Overlap classification of the used cache item, if any.
+    pub case: Option<Overlap>,
+    /// Number of overlapping cache items the lookup returned.
+    pub candidates: usize,
+    /// Cached skyline points merged into the result computation.
+    pub retained_points: u64,
+    /// Cached skyline points invalidated by the new constraints.
+    pub removed_points: u64,
+    /// Result cardinality.
+    pub result_size: u64,
+    /// BBS-specific counters (BBS executor only).
+    pub bbs: Option<BbsStats>,
+}
+
+impl QueryStats {
+    fn absorb_fetch(&mut self, fetch: &FetchStats) {
+        self.points_read += fetch.points_read;
+        self.heap_fetches += fetch.heap_fetches;
+        self.range_queries_issued += fetch.range_queries_issued;
+        self.range_queries_executed += fetch.range_queries_executed;
+        self.range_queries_empty += fetch.range_queries_empty;
+    }
+
+    /// Whether the used cache item was stable w.r.t. the query (None when
+    /// no cache item was used).
+    pub fn stable(&self) -> Option<bool> {
+        self.case.map(Overlap::is_stable)
+    }
+}
+
+/// Result of one query: the constrained skyline and its statistics.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The constrained skyline `Sky(S, C)`.
+    pub skyline: Vec<Point>,
+    /// Work and latency counters.
+    pub stats: QueryStats,
+}
+
+/// A constrained-skyline query executor.
+pub trait Executor {
+    /// Human-readable method name (used by benchmark output).
+    fn name(&self) -> String;
+
+    /// Answers `Sky(S, C)`.
+    fn query(&mut self, c: &Constraints) -> Result<QueryResult>;
+}
+
+pub(crate) fn check_dims(table: &Table, c: &Constraints) -> Result<()> {
+    if table.dims() != c.dims() {
+        return Err(CoreError::DimensionMismatch {
+            expected: table.dims(),
+            actual: c.dims(),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// The naive method of Börzsönyi et al.: one range query fetching all of
+/// `S_C`, then an in-memory skyline algorithm (SFS by default, as in the
+/// paper's evaluation).
+pub struct BaselineExecutor<'t> {
+    table: &'t Table,
+    algo: Box<dyn SkylineAlgorithm>,
+}
+
+impl<'t> BaselineExecutor<'t> {
+    /// Creates a Baseline executor using SFS.
+    pub fn new(table: &'t Table) -> Self {
+        BaselineExecutor { table, algo: Box::new(Sfs) }
+    }
+
+    /// Replaces the skyline component (the paper argues CBCS's benefit is
+    /// independent of this choice; so is Baseline's cost profile).
+    pub fn with_algorithm(mut self, algo: Box<dyn SkylineAlgorithm>) -> Self {
+        self.algo = algo;
+        self
+    }
+}
+
+impl Executor for BaselineExecutor<'_> {
+    fn name(&self) -> String {
+        "Baseline".into()
+    }
+
+    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
+        check_dims(self.table, c)?;
+        let mut stats = QueryStats::default();
+
+        let t0 = Instant::now();
+        let fetch = self.table.fetch_constrained(c);
+        stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
+        stats.absorb_fetch(&fetch.stats);
+
+        let t1 = Instant::now();
+        let points: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
+        let out = self.algo.compute(points);
+        stats.stages.skyline = t1.elapsed();
+        stats.dominance_tests = out.dominance_tests;
+        stats.result_size = out.skyline.len() as u64;
+
+        Ok(QueryResult { skyline: out.skyline, stats })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BBS
+// ---------------------------------------------------------------------------
+
+/// Configuration of the BBS executor's I/O accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct BbsConfig {
+    /// Simulated latency per R-tree node access (one page read).
+    pub node_ns: u64,
+    /// R-tree fan-out parameters.
+    pub params: RTreeParams,
+}
+
+impl Default for BbsConfig {
+    fn default() -> Self {
+        // A node access is a random page read on a cold cache — same
+        // order as the range executor's per-seek charge, scaled down
+        // because R-tree traversals enjoy some upper-level locality.
+        BbsConfig { node_ns: 2_000_000, params: RTreeParams::default() }
+    }
+}
+
+/// The I/O-optimal BBS method of Papadias et al. over an STR-bulk-loaded
+/// R\*-tree of the dataset.
+pub struct BbsExecutor<'t> {
+    table: &'t Table,
+    tree: RStarTree<u32>,
+    config: BbsConfig,
+}
+
+impl<'t> BbsExecutor<'t> {
+    /// Builds the dataset R-tree (STR bulk load) and the executor.
+    pub fn new(table: &'t Table) -> Self {
+        Self::with_config(table, BbsConfig::default())
+    }
+
+    /// Creates an executor with explicit I/O accounting parameters.
+    pub fn with_config(table: &'t Table, config: BbsConfig) -> Self {
+        let tree = RStarTree::bulk_load_points(
+            table
+                .all_points()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.clone(), i as u32)),
+            config.params,
+        );
+        BbsExecutor { table, tree, config }
+    }
+}
+
+impl Executor for BbsExecutor<'_> {
+    fn name(&self) -> String {
+        "BBS".into()
+    }
+
+    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
+        check_dims(self.table, c)?;
+        let mut stats = QueryStats::default();
+
+        let t0 = Instant::now();
+        let out = bbs_constrained(&self.tree, c);
+        let wall = t0.elapsed();
+
+        // BBS interleaves I/O and computation; attribute the simulated
+        // node-access latency to fetching and the measured CPU time to the
+        // skyline stage.
+        stats.stages.fetching =
+            Duration::from_nanos(self.config.node_ns * out.stats.node_accesses);
+        stats.stages.skyline = wall;
+        stats.dominance_tests = out.stats.dominance_tests;
+        stats.points_read = out.stats.entries_popped - out.stats.node_accesses;
+        stats.result_size = out.skyline.len() as u64;
+        stats.bbs = Some(out.stats);
+
+        Ok(QueryResult { skyline: out.skyline, stats })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CBCS
+// ---------------------------------------------------------------------------
+
+/// Configuration of the CBCS executor.
+#[derive(Clone, Debug)]
+pub struct CbcsConfig {
+    /// Exact MPR or the approximate MPR with `k` nearest neighbors.
+    pub mpr: MprMode,
+    /// Cache search strategy (Section 6.1).
+    pub strategy: SearchStrategy,
+    /// Cache capacity (`None` = unbounded, as in the paper's experiments).
+    pub capacity: Option<usize>,
+    /// Eviction policy when a capacity is set.
+    pub policy: ReplacementPolicy,
+    /// Seed for the `Random` strategy.
+    pub seed: u64,
+    /// Whether every query result is inserted into the cache.
+    pub cache_results: bool,
+    /// Multi-item processing (the paper's Section 6.3 extension): harvest
+    /// pruning points from up to this many *additional* overlapping cache
+    /// items (by descending constraint overlap). `0` — the paper's
+    /// single-item CBCS — is the default.
+    pub extra_items: usize,
+}
+
+impl Default for CbcsConfig {
+    fn default() -> Self {
+        CbcsConfig {
+            mpr: MprMode::Approximate { k: 1 },
+            strategy: SearchStrategy::MaxOverlapSP,
+            capacity: None,
+            policy: ReplacementPolicy::Lru,
+            seed: 0xC0FFEE,
+            cache_results: true,
+            extra_items: 0,
+        }
+    }
+}
+
+/// The paper's contribution: Cache-Based Constrained Skyline.
+///
+/// Flow per query (Section 6): R\*-tree cache lookup → search strategy →
+/// case classification → specialized solution or (a)MPR → fetch the
+/// missing regions → merge with retained cached points → skyline → cache
+/// the result.
+pub struct CbcsExecutor<'t> {
+    table: &'t Table,
+    cache: Cache,
+    config: CbcsConfig,
+    algo: Box<dyn SkylineAlgorithm>,
+    rng: StdRng,
+    data_bounds: Aabb,
+}
+
+impl<'t> CbcsExecutor<'t> {
+    /// Creates a CBCS executor with an empty cache.
+    pub fn new(table: &'t Table, config: CbcsConfig) -> Self {
+        let cache = Cache::with_capacity(table.dims(), config.capacity, config.policy);
+        let data_bounds =
+            Aabb::bounding(table.all_points()).expect("tables are non-empty");
+        let rng = StdRng::seed_from_u64(config.seed);
+        CbcsExecutor { table, cache, config, algo: Box::new(Sfs), rng, data_bounds }
+    }
+
+    /// Replaces the in-memory skyline component.
+    pub fn with_algorithm(mut self, algo: Box<dyn SkylineAlgorithm>) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Read access to the cache (for inspection and tests).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Drops all cached items.
+    pub fn clear_cache(&mut self) {
+        self.cache = Cache::with_capacity(
+            self.table.dims(),
+            self.config.capacity,
+            self.config.policy,
+        );
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CbcsConfig {
+        &self.config
+    }
+
+}
+
+impl Executor for CbcsExecutor<'_> {
+    fn name(&self) -> String {
+        format!("CBCS[{}]", self.config.mpr.label())
+    }
+
+    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
+        check_dims(self.table, c)?;
+        execute_cbcs_query(
+            self.table,
+            &mut self.cache,
+            &self.config,
+            self.algo.as_ref(),
+            &mut self.rng,
+            &self.data_bounds,
+            c,
+        )
+    }
+}
+
+/// The CBCS query pipeline (paper Section 6), shared by the borrowing
+/// [`CbcsExecutor`] and the owning [`DynamicCbcsExecutor`].
+fn execute_cbcs_query(
+    table: &Table,
+    cache: &mut Cache,
+    config: &CbcsConfig,
+    algo: &dyn SkylineAlgorithm,
+    rng: &mut StdRng,
+    data_bounds: &Aabb,
+    c: &Constraints,
+) -> Result<QueryResult> {
+    let mut stats = QueryStats::default();
+
+    // Processing stage: cache lookup, strategy, classification, MPR.
+    let t0 = Instant::now();
+    let selection = {
+        let candidates = cache.overlapping(c);
+        stats.candidates = candidates.len();
+        config
+            .strategy
+            .select(&candidates, c, data_bounds, rng)
+            .map(|idx| {
+                let item = candidates[idx];
+                // Section 6.3 extension: harvest extra pruning points
+                // from the next-best items by constraint overlap.
+                let extra: Vec<Point> = if config.extra_items > 0 {
+                    let mut others: Vec<&&crate::cache::CacheItem> = candidates
+                        .iter()
+                        .filter(|it| it.id != item.id)
+                        .collect();
+                    others.sort_by(|a, b| {
+                        // total_cmp: overlap volumes of partially
+                        // unbounded regions may be inf or NaN (0·inf).
+                        c.overlap_volume(&b.constraints)
+                            .total_cmp(&c.overlap_volume(&a.constraints))
+                    });
+                    others
+                        .into_iter()
+                        .take(config.extra_items)
+                        .flat_map(|it| it.skyline.iter().cloned())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                (
+                    item.id,
+                    plan_with_extra(&item.constraints, &item.skyline, &extra, c, config.mpr),
+                )
+            })
+    };
+    stats.stages.processing = t0.elapsed();
+
+    let skyline = match selection {
+        None => query_naive(table, algo, c, &mut stats),
+        Some((item_id, query_plan)) => {
+            stats.cache_hit = true;
+            cache.touch(item_id);
+            query_planned(table, algo, query_plan, &mut stats)
+        }
+    };
+    stats.result_size = skyline.len() as u64;
+
+    if config.cache_results {
+        cache.insert(c.clone(), skyline.clone());
+    }
+
+    Ok(QueryResult { skyline, stats })
+}
+
+/// The cache-miss path: one constraint range query plus a full skyline.
+pub(crate) fn query_naive(
+    table: &Table,
+    algo: &dyn SkylineAlgorithm,
+    c: &Constraints,
+    stats: &mut QueryStats,
+) -> Vec<Point> {
+    let t0 = Instant::now();
+    let fetch = table.fetch_constrained(c);
+    stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
+    stats.absorb_fetch(&fetch.stats);
+
+    let t1 = Instant::now();
+    let points: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
+    let out = algo.compute(points);
+    stats.stages.skyline = t1.elapsed();
+    stats.dominance_tests = out.dominance_tests;
+    out.skyline
+}
+
+/// The cache-hit path: fetch the plan's regions, merge, recompute.
+pub(crate) fn query_planned(
+    table: &Table,
+    algo: &dyn SkylineAlgorithm,
+    plan: QueryPlan,
+    stats: &mut QueryStats,
+) -> Vec<Point> {
+    stats.case = Some(plan.overlap);
+    stats.retained_points = plan.retained.len() as u64;
+    stats.removed_points = plan.removed_points as u64;
+
+    let t0 = Instant::now();
+    let fetch = table.fetch_batch(&plan.regions);
+    stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
+    stats.absorb_fetch(&fetch.stats);
+
+    let t1 = Instant::now();
+    let skyline = if plan.needs_skyline {
+        let fetched: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
+        let merged = merge_dedup(plan.retained, fetched);
+        let out = algo.compute(merged);
+        stats.dominance_tests = out.dominance_tests;
+        out.skyline
+    } else {
+        // Exact hit or Case (b): the retained points are the answer.
+        plan.retained
+    };
+    stats.stages.skyline = t1.elapsed();
+    skyline
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic CBCS (paper Section 6.2: dynamic data)
+// ---------------------------------------------------------------------------
+
+/// CBCS over a table it owns and may mutate.
+///
+/// The paper sketches dynamic-data support "by viewing each cache item as
+/// a separate dataset with a continuous skyline query": on
+/// [`insert`](DynamicCbcsExecutor::insert) the new point is folded into
+/// every cached skyline whose constraints it satisfies; on
+/// [`delete`](DynamicCbcsExecutor::delete), cached results holding the
+/// deleted point are dropped (the conservative maintenance policy — see
+/// [`Cache::on_delete`]). Query answering is identical to
+/// [`CbcsExecutor`].
+pub struct DynamicCbcsExecutor {
+    table: Table,
+    cache: Cache,
+    config: CbcsConfig,
+    algo: Box<dyn SkylineAlgorithm>,
+    rng: StdRng,
+    data_bounds: Aabb,
+}
+
+impl DynamicCbcsExecutor {
+    /// Takes ownership of the table and starts with an empty cache.
+    pub fn new(table: Table, config: CbcsConfig) -> Self {
+        let cache = Cache::with_capacity(table.dims(), config.capacity, config.policy);
+        let data_bounds =
+            Aabb::bounding(table.all_points()).expect("tables are non-empty");
+        let rng = StdRng::seed_from_u64(config.seed);
+        DynamicCbcsExecutor { table, cache, config, algo: Box::new(Sfs), rng, data_bounds }
+    }
+
+    /// Replaces the in-memory skyline component.
+    pub fn with_algorithm(mut self, algo: Box<dyn SkylineAlgorithm>) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Read access to the table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Read access to the cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Inserts a data point, maintaining both the storage indexes and
+    /// every affected cached skyline. Returns the new row id.
+    pub fn insert(&mut self, p: Point) -> Result<skycache_storage::RowId> {
+        let row = self.table.insert(p.clone())?;
+        self.data_bounds.merge(&Aabb::from_point(&p));
+        self.cache.on_insert(&p);
+        Ok(row)
+    }
+
+    /// Deletes a row, dropping cached results that can no longer be
+    /// trusted. Returns the deleted point.
+    pub fn delete(&mut self, row: skycache_storage::RowId) -> Option<Point> {
+        let p = self.table.delete(row)?;
+        self.cache.on_delete(&p);
+        Some(p)
+    }
+}
+
+impl Executor for DynamicCbcsExecutor {
+    fn name(&self) -> String {
+        format!("DynamicCBCS[{}]", self.config.mpr.label())
+    }
+
+    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
+        check_dims(&self.table, c)?;
+        execute_cbcs_query(
+            &self.table,
+            &mut self.cache,
+            &self.config,
+            self.algo.as_ref(),
+            &mut self.rng,
+            &self.data_bounds,
+            c,
+        )
+    }
+}
+
+/// Merges retained cached points with fetched rows, dropping one fetched
+/// copy per identical retained point: with the approximate MPR, regions
+/// not pruned by a retained point `u` may re-fetch `u`'s stored row, and
+/// keeping both copies would duplicate `u` in the result.
+fn merge_dedup(retained: Vec<Point>, fetched: Vec<Point>) -> Vec<Point> {
+    use std::collections::HashMap;
+    if retained.is_empty() {
+        return fetched;
+    }
+    let mut counts: HashMap<Vec<u64>, usize> = HashMap::new();
+    for p in &retained {
+        let key: Vec<u64> = p.coords().iter().map(|c| c.to_bits()).collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let mut merged = retained;
+    merged.reserve(fetched.len());
+    for p in fetched {
+        let key: Vec<u64> = p.coords().iter().map(|c| c.to_bits()).collect();
+        match counts.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1, // drop this duplicate copy
+            _ => merged.push(p),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycache_storage::TableConfig;
+
+    fn p(coords: &[f64]) -> Point {
+        Point::from(coords.to_vec())
+    }
+
+    fn grid_table() -> Table {
+        // 20x20 grid over [0, 1.9]^2 with step 0.1.
+        let points: Vec<Point> = (0..20)
+            .flat_map(|i| {
+                (0..20).map(move |j| p(&[f64::from(i) / 10.0, f64::from(j) / 10.0]))
+            })
+            .collect();
+        Table::build(points, TableConfig::default()).unwrap()
+    }
+
+    fn c(pairs: &[(f64, f64)]) -> Constraints {
+        Constraints::from_pairs(pairs).unwrap()
+    }
+
+    #[test]
+    fn baseline_computes_constrained_skyline() {
+        let table = grid_table();
+        let mut ex = BaselineExecutor::new(&table);
+        let res = ex.query(&c(&[(0.5, 1.0), (0.5, 1.0)])).unwrap();
+        // The grid's constrained skyline is the single corner (0.5, 0.5).
+        assert_eq!(res.skyline, vec![p(&[0.5, 0.5])]);
+        assert!(res.stats.points_read > 0);
+        assert_eq!(res.stats.range_queries_issued, 1);
+    }
+
+    #[test]
+    fn executors_agree() {
+        let table = grid_table();
+        let mut baseline = BaselineExecutor::new(&table);
+        let mut bbs = BbsExecutor::new(&table);
+        let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
+        for cc in [
+            c(&[(0.3, 1.2), (0.2, 0.8)]),
+            c(&[(0.35, 1.2), (0.2, 0.8)]),
+            c(&[(0.35, 1.4), (0.2, 0.8)]),
+            c(&[(0.0, 1.9), (0.0, 1.9)]),
+        ] {
+            let mut a = baseline.query(&cc).unwrap().skyline;
+            let mut b = bbs.query(&cc).unwrap().skyline;
+            let mut d = cbcs.query(&cc).unwrap().skyline;
+            let key = |x: &Point| (x[0].to_bits(), x[1].to_bits());
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            d.sort_by_key(key);
+            assert_eq!(a, b, "BBS diverged on {cc:?}");
+            assert_eq!(a, d, "CBCS diverged on {cc:?}");
+        }
+    }
+
+    #[test]
+    fn cbcs_first_query_misses_then_hits() {
+        let table = grid_table();
+        let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
+        let c1 = c(&[(0.2, 1.0), (0.2, 1.0)]);
+        let r1 = cbcs.query(&c1).unwrap();
+        assert!(!r1.stats.cache_hit);
+        assert_eq!(cbcs.cache().len(), 1);
+
+        // Case (c): widen the upper bound of dim 0.
+        let c2 = c(&[(0.2, 1.2), (0.2, 1.0)]);
+        let r2 = cbcs.query(&c2).unwrap();
+        assert!(r2.stats.cache_hit);
+        assert_eq!(r2.stats.case, Some(Overlap::CaseC { dim: 0 }));
+        assert!(r2.stats.points_read < r1.stats.points_read);
+    }
+
+    #[test]
+    fn cbcs_case_b_needs_no_fetch() {
+        let table = grid_table();
+        let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
+        let c1 = c(&[(0.2, 1.0), (0.2, 1.0)]);
+        cbcs.query(&c1).unwrap();
+        let c2 = c(&[(0.2, 0.8), (0.2, 1.0)]);
+        let r2 = cbcs.query(&c2).unwrap();
+        assert_eq!(r2.stats.case, Some(Overlap::CaseB { dim: 0 }));
+        assert_eq!(r2.stats.points_read, 0);
+        assert_eq!(r2.stats.range_queries_issued, 0);
+        assert_eq!(r2.stats.dominance_tests, 0);
+    }
+
+    #[test]
+    fn cbcs_exact_hit_is_free() {
+        let table = grid_table();
+        let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
+        let c1 = c(&[(0.2, 1.0), (0.2, 1.0)]);
+        let r1 = cbcs.query(&c1).unwrap();
+        let r2 = cbcs.query(&c1).unwrap();
+        assert_eq!(r2.stats.case, Some(Overlap::Exact));
+        assert_eq!(r2.stats.points_read, 0);
+        assert_eq!(r2.skyline, r1.skyline);
+    }
+
+    #[test]
+    fn cbcs_matches_baseline_on_unstable_chain() {
+        let table = grid_table();
+        let mut baseline = BaselineExecutor::new(&table);
+        let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
+        let chain = [
+            c(&[(0.0, 1.5), (0.0, 1.5)]),
+            c(&[(0.3, 1.5), (0.0, 1.5)]), // case (d): lower increased
+            c(&[(0.3, 1.5), (0.4, 1.5)]), // case (d) again
+            c(&[(0.2, 1.5), (0.4, 1.5)]), // case (a)
+        ];
+        for cc in &chain {
+            let mut a = baseline.query(cc).unwrap().skyline;
+            let mut b = cbcs.query(cc).unwrap().skyline;
+            let key = |x: &Point| (x[0].to_bits(), x[1].to_bits());
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b, "diverged on {cc:?}");
+        }
+    }
+
+    #[test]
+    fn cbcs_no_duplicates_with_small_k() {
+        // aMPR(0) prunes nothing: every retained point's region is
+        // re-fetched, and dedup must kill the copies.
+        let table = grid_table();
+        let config = CbcsConfig {
+            mpr: MprMode::Approximate { k: 0 },
+            ..CbcsConfig::default()
+        };
+        let mut cbcs = CbcsExecutor::new(&table, config);
+        cbcs.query(&c(&[(0.2, 1.0), (0.2, 1.0)])).unwrap();
+        let res = cbcs.query(&c(&[(0.1, 1.0), (0.2, 1.0)])).unwrap();
+        let mut sky = res.skyline.clone();
+        sky.sort_by_key(|x| (x[0].to_bits(), x[1].to_bits()));
+        sky.dedup();
+        assert_eq!(sky.len(), res.skyline.len(), "duplicate points in result");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let table = grid_table();
+        let mut ex = BaselineExecutor::new(&table);
+        let bad = Constraints::from_pairs(&[(0.0, 1.0)]).unwrap();
+        assert!(matches!(
+            ex.query(&bad),
+            Err(CoreError::DimensionMismatch { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn merge_dedup_drops_one_copy_per_retained() {
+        let retained = vec![p(&[1.0, 1.0]), p(&[2.0, 2.0])];
+        let fetched = vec![p(&[1.0, 1.0]), p(&[1.0, 1.0]), p(&[3.0, 3.0])];
+        let merged = merge_dedup(retained, fetched);
+        // 2 retained + (1 duplicate of [1,1] kept — the data really holds
+        // two copies) + [3,3].
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn stage_times_total() {
+        let t = StageTimes {
+            processing: Duration::from_millis(1),
+            fetching: Duration::from_millis(2),
+            skyline: Duration::from_millis(3),
+        };
+        assert_eq!(t.total(), Duration::from_millis(6));
+    }
+}

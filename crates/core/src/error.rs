@@ -1,0 +1,54 @@
+use std::fmt;
+
+use skycache_geom::GeomError;
+use skycache_storage::StorageError;
+
+/// Errors produced by the CBCS engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Query dimensionality differs from the table's.
+    DimensionMismatch {
+        /// The table's dimensionality.
+        expected: usize,
+        /// The query's dimensionality.
+        actual: usize,
+    },
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// Underlying geometry failure.
+    Geom(GeomError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "query dimensionality {actual} != table dimensionality {expected}")
+            }
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Geom(e) => write!(f, "geometry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Geom(e) => Some(e),
+            CoreError::DimensionMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<GeomError> for CoreError {
+    fn from(e: GeomError) -> Self {
+        CoreError::Geom(e)
+    }
+}

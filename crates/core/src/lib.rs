@@ -1,0 +1,78 @@
+//! CBCS — Cache-Based Constrained Skyline queries.
+//!
+//! This crate implements the contribution of *Efficient caching for
+//! constrained skyline queries* (Mortensen, Chester, Assent & Magnani,
+//! EDBT 2015):
+//!
+//! * [`stability`] — the stability theory of Section 4.1 (Definition 4,
+//!   Theorem 1) and the classification of a cached-query/new-query pair
+//!   into the paper's overlap cases;
+//! * [`cases`] — the specialized solutions for the four incremental
+//!   single-bound changes (Theorems 2–5);
+//! * [`mpr`] — the Missing Points Region of Section 5: the minimal
+//!   possibly-disjoint region that must be fetched from disk (Definition
+//!   5, complete and minimal per Theorems 6–7), computed by
+//!   hyper-rectangle splitting (Algorithm 1, including the inverted-logic
+//!   preprocessing for unstable cache items), plus the approximate MPR
+//!   that prunes with only the `k` nearest cached skyline points;
+//! * [`cache`] — the in-memory constrained-skyline cache of Section 6:
+//!   items `⟨Sky(S,C), MBR, C⟩` indexed by an R\*-tree over their MBRs,
+//!   with LRU/LCU replacement;
+//! * [`strategy`] — the cache search strategies of Section 6.1;
+//! * [`engine`] — three executors sharing one interface: the naive
+//!   [`BaselineExecutor`], the [`BbsExecutor`] state of the art, and the
+//!   caching [`CbcsExecutor`], each reporting the per-query statistics the
+//!   paper's evaluation plots — plus the extensions the paper sketches as
+//!   future work: [`DynamicCbcsExecutor`] (dynamic data, Section 6.2),
+//!   multi-item pruning ([`CbcsConfig::extra_items`], Section 6.3), and a
+//!   thread-safe [`SharedCache`] for multi-user deployments.
+//!
+//! ```
+//! use skycache_core::{CbcsConfig, CbcsExecutor, Executor, MprMode};
+//! use skycache_geom::{Constraints, Point};
+//! use skycache_storage::{Table, TableConfig};
+//!
+//! let points: Vec<Point> = (0..1000)
+//!     .map(|i| Point::from(vec![f64::from(i % 31), f64::from(i % 37)]))
+//!     .collect();
+//! let table = Table::build(points, TableConfig::default()).unwrap();
+//!
+//! let config = CbcsConfig { mpr: MprMode::Exact, ..Default::default() };
+//! let mut cbcs = CbcsExecutor::new(&table, config);
+//!
+//! let c1 = Constraints::from_pairs(&[(5.0, 20.0), (5.0, 20.0)]).unwrap();
+//! let miss = cbcs.query(&c1).unwrap();
+//! assert!(!miss.stats.cache_hit);
+//!
+//! // Widen one bound: answered from the cache via the MPR (case 3).
+//! let c2 = Constraints::from_pairs(&[(5.0, 22.0), (5.0, 20.0)]).unwrap();
+//! let hit = cbcs.query(&c2).unwrap();
+//! assert!(hit.stats.cache_hit);
+//! assert!(hit.stats.points_read <= miss.stats.points_read);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod cases;
+pub mod engine;
+mod error;
+pub mod mpr;
+pub mod shared;
+pub mod stability;
+pub mod strategy;
+
+pub use cache::{Cache, CacheItem, ReplacementPolicy};
+pub use engine::{
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, DynamicCbcsExecutor,
+    Executor, QueryResult, QueryStats, StageTimes,
+};
+pub use error::CoreError;
+pub use mpr::{missing_points_region, missing_points_region_multi, MprMode, MprOutput};
+pub use shared::{SharedCache, SharedCbcsExecutor};
+pub use stability::{classify, is_stable, Overlap};
+pub use strategy::SearchStrategy;
+
+/// Convenience alias for core results.
+pub type Result<T> = std::result::Result<T, CoreError>;

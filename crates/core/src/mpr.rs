@@ -1,0 +1,434 @@
+//! The Missing Points Region (paper Section 5).
+//!
+//! Given a cached result `⟨Sky(S,C), C⟩` and new constraints `C′`, the MPR
+//! is the minimal (possibly disjoint) region whose points can neither be
+//! confirmed nor excluded from `Sky(S, C′)` using the cache alone
+//! (Definition 5). It is assembled from three ingredients:
+//!
+//! 1. **Unknown space** — the part of `R_C′` outside the old region
+//!    (`R_C′ \ (R_C ∩ R_C′)`); the cache says nothing about it.
+//! 2. **Invalidated space** (unstable case only) — for every cached
+//!    skyline point `t` that no longer satisfies `C′`, its old constrained
+//!    dominance region `DR(t, C)` clipped to `R_C′`: points `t` used to
+//!    dominate may resurface. This is the "inverted logic" preprocessing
+//!    step described after Algorithm 1. Geometry makes the stable cases
+//!    free: a point removed by a lowered upper bound has
+//!    `DR(t, C) ∩ R_C′ = ∅`, so no special-casing is needed.
+//! 3. **Dominance pruning** — the dominance regions `DR(u, C′)` of cached
+//!    skyline points `u` that satisfy `C′` are subtracted: anything there
+//!    is dominated by a point we already hold.
+//!
+//! The exact MPR subtracts *every* retained skyline point's region, which
+//! in higher dimensions shatters the result into enormous numbers of
+//! range queries (Figure 9 of the paper, reproduced by this crate's
+//! benches). The **approximate MPR** ([`MprMode::Approximate`]) subtracts
+//! only the `k` retained points nearest to `C̲′` — a conservative
+//! superset that trades extra points read for drastically fewer range
+//! queries (Section 5.3).
+
+use skycache_geom::dominance::dominance_box;
+use skycache_geom::subtract::{disjoint_union, subtract_box, subtract_box_from_all};
+use skycache_geom::{Constraints, HyperRect, Point};
+
+/// Exact or approximate MPR computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MprMode {
+    /// Prune with every retained cached skyline point (minimal region,
+    /// maximal number of range queries).
+    Exact,
+    /// Prune with only the `k` retained points nearest to the queried
+    /// region's lower corner (the paper's aMPR; `k = #NN`).
+    Approximate {
+        /// Number of nearest neighbors used for pruning.
+        k: usize,
+    },
+}
+
+impl MprMode {
+    /// Label used in benchmark output, e.g. `MPR` or `aMPR(3p)`.
+    pub fn label(self) -> String {
+        match self {
+            MprMode::Exact => "MPR".to_owned(),
+            MprMode::Approximate { k } => format!("aMPR({k}p)"),
+        }
+    }
+}
+
+/// Result of an MPR computation.
+#[derive(Clone, Debug)]
+pub struct MprOutput {
+    /// Pairwise-disjoint range queries covering the (approximate) MPR.
+    pub regions: Vec<HyperRect>,
+    /// Cached skyline points that still satisfy `C′` (the merge input of
+    /// Theorem 6), in cache order.
+    pub retained: Vec<Point>,
+    /// Number of cached skyline points invalidated by `C′`.
+    pub removed_points: usize,
+    /// Number of retained points actually used for dominance pruning.
+    pub prune_points_used: usize,
+    /// Disjoint pieces contributed by the invalidated (unstable) region.
+    pub invalidated_pieces: usize,
+}
+
+/// Computes the (approximate) Missing Points Region.
+///
+/// Returns disjoint range queries plus the retained cached points; per
+/// Theorem 6, `Sky(S, C′) = Sky(retained ∪ fetch(regions), C′)`.
+///
+/// # Panics
+/// Panics if dimensionalities differ.
+pub fn missing_points_region(
+    old: &Constraints,
+    cached_skyline: &[Point],
+    new: &Constraints,
+    mode: MprMode,
+) -> MprOutput {
+    missing_points_region_multi(old, cached_skyline, &[], new, mode)
+}
+
+/// Multi-item variant (the paper's Section 6.3 extension): `extra_points`
+/// are skyline points taken from *other* overlapping cache items.
+///
+/// Soundness: for any stored point `u` satisfying `C′`, every point of
+/// `DR(u, C′)` is dominated by `u` and hence excluded from `Sky(S, C′)` —
+/// regardless of which cached query produced `u` — so subtracting its
+/// dominance region from the MPR never loses a result point, *provided*
+/// `u` itself joins the merge set. Completeness of the final skyline also
+/// holds for extra points that are not themselves in `Sky(S, C′)`: if
+/// some `v ≺ u` exists in `S_C′`, then `v` is either a retained point, a
+/// fetched point, or itself dominated by a pruning point `w` (and then
+/// `w ≺ u` with `w` in the merge set), so `u` is always filtered out by
+/// the final skyline computation. The returned `retained` therefore
+/// includes the surviving extra points.
+///
+/// # Panics
+/// Panics if dimensionalities differ.
+pub fn missing_points_region_multi(
+    old: &Constraints,
+    cached_skyline: &[Point],
+    extra_points: &[Point],
+    new: &Constraints,
+    mode: MprMode,
+) -> MprOutput {
+    assert_eq!(old.dims(), new.dims(), "constraints dimensionality mismatch");
+
+    let new_region = new.region();
+
+    // Step 1: unknown space = R_C′ \ overlap (Algorithm 1 lines 2–12).
+    let mut regions = match old.overlap_region(new) {
+        Some(overlap) => subtract_box(&new_region, &overlap),
+        None => vec![new_region],
+    };
+
+    // Partition the cached skyline by the new constraints.
+    let (mut retained, removed): (Vec<&Point>, Vec<&Point>) =
+        cached_skyline.iter().partition(|p| new.satisfies(p));
+
+    // Adopt extra pruning points from other cache items (deduplicated
+    // against the primary item's retained points by coordinates).
+    if !extra_points.is_empty() {
+        let mut seen: std::collections::HashSet<Vec<u64>> = retained
+            .iter()
+            .map(|p| p.coords().iter().map(|c| c.to_bits()).collect())
+            .collect();
+        for p in extra_points {
+            if !new.satisfies(p) {
+                continue;
+            }
+            let key: Vec<u64> = p.coords().iter().map(|c| c.to_bits()).collect();
+            if seen.insert(key) {
+                retained.push(p);
+            }
+        }
+    }
+
+    // Step 2: invalidated space (the unstable preprocessing). For each
+    // removed point t, DR(t, C) ∩ R_C′. These lie inside the overlap
+    // region, hence disjoint from step 1.
+    //
+    // The exact MPR decomposes the union of these boxes into disjoint
+    // pieces — minimal reads, but "cache invalidation yields a
+    // prohibitive amount of range queries with subsequent random access
+    // latency for MPR" (paper, Section 7.2). The approximate MPR instead
+    // covers the union with its bounding box: a conservative superset
+    // (completeness is preserved; only extra points may be read) that
+    // keeps the number of range queries small, mirroring how aMPR trades
+    // reads for fewer queries on the pruning side.
+    let invalid_boxes: Vec<_> = removed
+        .iter()
+        .filter_map(|t| dominance_box(t, old))
+        .filter_map(|dr| dr.intersection(new.aabb()))
+        .collect();
+    let invalidated = match mode {
+        MprMode::Exact => disjoint_union(&invalid_boxes),
+        MprMode::Approximate { .. } => match invalid_boxes.split_first() {
+            None => Vec::new(),
+            Some((first, rest)) => {
+                let mut cover = first.clone();
+                for b in rest {
+                    cover.merge(b);
+                }
+                vec![cover.to_rect()]
+            }
+        },
+    };
+    let invalidated_pieces = invalidated.len();
+    regions.extend(invalidated);
+
+    // Step 3: subtract retained dominance regions DR(u, C′)
+    // (Algorithm 1 lines 13–26). Pruning points are applied nearest-to-C̲′
+    // first — the near points prune the most (Section 5.3) — and the aMPR
+    // stops after k of them.
+    let mut order: Vec<usize> = (0..retained.len()).collect();
+    let corner = new.lo();
+    let dist = |p: &Point| -> f64 {
+        p.coords()
+            .iter()
+            .zip(corner)
+            .map(|(a, b)| {
+                // Unconstrained dimensions (−∞ corner) contribute nothing.
+                if b.is_finite() {
+                    (a - b) * (a - b)
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    };
+    order.sort_by(|&a, &b| {
+        dist(retained[a])
+            .partial_cmp(&dist(retained[b]))
+            .expect("NaN-free")
+            .then(a.cmp(&b))
+    });
+    let limit = match mode {
+        MprMode::Exact => order.len(),
+        MprMode::Approximate { k } => k.min(order.len()),
+    };
+
+    let mut prune_points_used = 0;
+    for &idx in order.iter().take(limit) {
+        if regions.is_empty() {
+            break;
+        }
+        let Some(dr) = dominance_box(retained[idx], new) else {
+            continue;
+        };
+        regions = subtract_box_from_all(regions, &dr);
+        prune_points_used += 1;
+    }
+
+    // Drop any degenerate leftovers.
+    regions.retain(|r| !r.is_empty());
+
+    MprOutput {
+        regions,
+        retained: retained.into_iter().cloned().collect(),
+        removed_points: removed.len(),
+        prune_points_used,
+        invalidated_pieces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycache_geom::subtract::pairwise_disjoint;
+
+    fn c(pairs: &[(f64, f64)]) -> Constraints {
+        Constraints::from_pairs(pairs).unwrap()
+    }
+
+    fn p(coords: &[f64]) -> Point {
+        Point::from(coords.to_vec())
+    }
+
+    fn covers(regions: &[HyperRect], point: &Point) -> usize {
+        regions.iter().filter(|r| r.contains_point(point)).count()
+    }
+
+    #[test]
+    fn exact_match_yields_empty_mpr() {
+        let cc = c(&[(0.0, 1.0), (0.0, 1.0)]);
+        let sky = vec![p(&[0.2, 0.3])];
+        let out = missing_points_region(&cc, &sky, &cc.clone(), MprMode::Exact);
+        assert!(out.regions.is_empty());
+        assert_eq!(out.retained, sky);
+        assert_eq!(out.removed_points, 0);
+    }
+
+    #[test]
+    fn disjoint_constraints_fetch_everything() {
+        let old = c(&[(0.0, 1.0), (0.0, 1.0)]);
+        let new = c(&[(2.0, 3.0), (2.0, 3.0)]);
+        let out = missing_points_region(&old, &[p(&[0.5, 0.5])], &new, MprMode::Exact);
+        assert_eq!(out.regions.len(), 1);
+        assert_eq!(out.regions[0], new.region());
+        assert!(out.retained.is_empty());
+        assert_eq!(out.removed_points, 1);
+        // The removed point's old dominance region misses R_C′ entirely.
+        assert_eq!(out.invalidated_pieces, 0);
+    }
+
+    #[test]
+    fn case_a_fetches_only_delta_c() {
+        // Lower bound of dim 0 decreased: ΔC is the new left slab.
+        let old = c(&[(1.0, 2.0), (1.0, 2.0)]);
+        let new = c(&[(0.5, 2.0), (1.0, 2.0)]);
+        let sky = vec![p(&[1.2, 1.1])];
+        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        // One slab; cached dominance regions cannot intersect ΔC.
+        assert_eq!(out.regions.len(), 1);
+        let slab = &out.regions[0];
+        assert!(slab.contains_point(&p(&[0.7, 1.5])));
+        assert!(!slab.contains_point(&p(&[1.0, 1.5]))); // boundary goes to overlap
+        assert!(!slab.contains_point(&p(&[1.2, 1.1])));
+        assert_eq!(out.retained, sky);
+    }
+
+    #[test]
+    fn case_b_fetches_nothing() {
+        let old = c(&[(1.0, 2.0), (1.0, 2.0)]);
+        let new = c(&[(1.0, 1.6), (1.0, 2.0)]);
+        let sky = vec![p(&[1.2, 1.1]), p(&[1.8, 1.05])];
+        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        assert!(out.regions.is_empty(), "{:?}", out.regions);
+        // The out-of-range skyline point is removed, and its dominance
+        // region cannot intersect the shrunk query region.
+        assert_eq!(out.retained, vec![p(&[1.2, 1.1])]);
+        assert_eq!(out.removed_points, 1);
+        assert_eq!(out.invalidated_pieces, 0);
+    }
+
+    #[test]
+    fn case_c_prunes_delta_with_dominance_regions() {
+        // Upper bound of dim 0 increased; cached point near the corner
+        // shadows part of the new slab.
+        let old = c(&[(0.0, 1.0), (0.0, 1.0)]);
+        let new = c(&[(0.0, 2.0), (0.0, 1.0)]);
+        let sky = vec![p(&[0.5, 0.2])];
+        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        assert!(pairwise_disjoint(&out.regions));
+        // Points in ΔC below y=0.2 must be fetched…
+        assert_eq!(covers(&out.regions, &p(&[1.5, 0.1])), 1);
+        // …points in ΔC above y=0.2 are dominated by (0.5, 0.2).
+        assert_eq!(covers(&out.regions, &p(&[1.5, 0.5])), 0);
+        // Overlap region is never fetched.
+        assert_eq!(covers(&out.regions, &p(&[0.5, 0.5])), 0);
+        assert_eq!(covers(&out.regions, &p(&[0.7, 0.1])), 0);
+    }
+
+    #[test]
+    fn case_d_fetches_invalidated_region() {
+        // Lower bound of dim 0 increased past a cached skyline point:
+        // unstable. The removed point's dominance region inside the new
+        // constraints must be re-fetched, except where retained points
+        // still dominate.
+        let old = c(&[(0.0, 2.0), (0.0, 2.0)]);
+        let new = c(&[(1.0, 2.0), (0.0, 2.0)]);
+        let sky = vec![p(&[0.5, 0.5]), p(&[1.5, 0.1])];
+        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        assert_eq!(out.removed_points, 1); // (0.5, 0.5) is out
+        assert_eq!(out.retained, vec![p(&[1.5, 0.1])]);
+        assert!(out.invalidated_pieces > 0);
+        assert!(pairwise_disjoint(&out.regions));
+        // Invalidated: points previously dominated by (0.5,0.5) with x >= 1.
+        assert_eq!(covers(&out.regions, &p(&[1.2, 0.8])), 1);
+        // Still dominated by the retained (1.5, 0.1):
+        assert_eq!(covers(&out.regions, &p(&[1.7, 0.5])), 0);
+        // Not in the old dominance region and not newly exposed: y < 0.5
+        // and x inside the old region was never invalidated.
+        assert_eq!(covers(&out.regions, &p(&[1.2, 0.3])), 0);
+    }
+
+    #[test]
+    fn unstable_without_removed_points_adds_nothing() {
+        let old = c(&[(0.0, 2.0), (0.0, 2.0)]);
+        let new = c(&[(1.0, 2.0), (0.0, 2.0)]);
+        // The cached skyline point still satisfies C′.
+        let sky = vec![p(&[1.5, 0.5])];
+        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        assert_eq!(out.removed_points, 0);
+        assert_eq!(out.invalidated_pieces, 0);
+        // Everything in R_C′ is either old-and-valid or dominated.
+        assert_eq!(covers(&out.regions, &p(&[1.6, 0.6])), 0);
+    }
+
+    #[test]
+    fn approximate_mode_is_superset_of_exact() {
+        let old = c(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]);
+        let new = c(&[(0.0, 1.4), (0.0, 1.2), (0.0, 1.0)]);
+        let sky = vec![
+            p(&[0.1, 0.8, 0.3]),
+            p(&[0.4, 0.4, 0.4]),
+            p(&[0.8, 0.1, 0.6]),
+            p(&[0.2, 0.6, 0.1]),
+        ];
+        let exact = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        let approx = missing_points_region(&old, &sky, &new, MprMode::Approximate { k: 1 });
+        assert!(approx.regions.len() <= exact.regions.len());
+        assert_eq!(approx.prune_points_used, 1);
+        // Superset: every probe covered by exact is covered by approx.
+        let mut x = 0.13_f64;
+        for _ in 0..500 {
+            x = (x * 97.31).fract();
+            let probe = p(&[x * 1.4, (x * 57.17).fract() * 1.2, (x * 31.73).fract()]);
+            if covers(&exact.regions, &probe) == 1 {
+                assert_eq!(covers(&approx.regions, &probe), 1, "probe {probe:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_regions_are_disjoint_in_3d() {
+        let old = c(&[(0.2, 0.8), (0.2, 0.8), (0.2, 0.8)]);
+        let new = c(&[(0.1, 0.9), (0.2, 0.8), (0.3, 0.9)]);
+        let sky = vec![
+            p(&[0.3, 0.3, 0.4]),
+            p(&[0.5, 0.25, 0.5]),
+            p(&[0.25, 0.6, 0.35]),
+        ];
+        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        assert!(pairwise_disjoint(&out.regions));
+    }
+
+    #[test]
+    fn more_dimensions_generate_more_regions() {
+        // Figure 4's lesson: each extra dimension multiplies the pieces.
+        let mut counts = Vec::new();
+        for d in 2..=5usize {
+            let old = Constraints::from_pairs(&vec![(0.0, 1.0); d]).unwrap();
+            let new = Constraints::from_pairs(
+                &(0..d).map(|i| (0.0, if i == 0 { 1.5 } else { 1.0 })).collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let sky: Vec<Point> = (0..6)
+                .map(|j| {
+                    Point::from(
+                        (0..d)
+                            .map(|i| 0.15 + 0.1 * ((i + j) % 5) as f64)
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+            counts.push(out.regions.len());
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "region counts should not shrink with dimensionality: {counts:?}"
+        );
+        assert!(counts[3] > counts[0], "{counts:?}");
+    }
+
+    #[test]
+    fn ampr_k_zero_prunes_nothing() {
+        let old = c(&[(0.0, 1.0), (0.0, 1.0)]);
+        let new = c(&[(0.0, 1.5), (0.0, 1.0)]);
+        let sky = vec![p(&[0.1, 0.1])];
+        let out = missing_points_region(&old, &sky, &new, MprMode::Approximate { k: 0 });
+        assert_eq!(out.prune_points_used, 0);
+        // ΔC is fetched whole.
+        assert_eq!(covers(&out.regions, &p(&[1.2, 0.9])), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Multi-user CBCS: a thread-safe cache shared by concurrent executors.
+//!
+//! The paper's second workload models "independent queries in a
+//! multi-user system" — many users benefiting from one cache. This module
+//! provides that deployment shape: a [`SharedCache`] (an
+//! `Arc<RwLock<Cache>>`) and a [`SharedCbcsExecutor`] per user/session.
+//!
+//! Locking protocol: the cache is *read*-locked only while searching and
+//! while the selected item's contents are cloned out; planning, fetching
+//! and the skyline computation — the expensive parts — run without any
+//! lock; a short *write* lock then records the use and inserts the new
+//! result. A cached item may be evicted between the read and write phases;
+//! that is benign (the executor works on its own clone, and `touch` on a
+//! gone item is a no-op), so queries never block each other for longer
+//! than the cache search itself.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use skycache_algos::{Sfs, SkylineAlgorithm};
+use skycache_geom::{Aabb, Constraints, Point};
+use skycache_storage::Table;
+
+use crate::cache::Cache;
+use crate::cases::plan_with_extra;
+use crate::engine::{
+    check_dims, query_naive, query_planned, CbcsConfig, Executor, QueryResult, QueryStats,
+};
+use crate::Result;
+
+/// A cache shared between executors (and threads).
+#[derive(Clone)]
+pub struct SharedCache {
+    inner: Arc<RwLock<Cache>>,
+}
+
+impl SharedCache {
+    /// Creates a shared cache with the capacity/policy of `config`.
+    pub fn new(dims: usize, config: &CbcsConfig) -> Self {
+        SharedCache {
+            inner: Arc::new(RwLock::new(Cache::with_capacity(
+                dims,
+                config.capacity,
+                config.policy,
+            ))),
+        }
+    }
+
+    /// Number of cached items (takes a read lock).
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the cache is empty (takes a read lock).
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Runs a closure with read access to the underlying cache.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Cache) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+/// A per-user CBCS executor over a [`SharedCache`].
+pub struct SharedCbcsExecutor<'t> {
+    table: &'t Table,
+    cache: SharedCache,
+    config: CbcsConfig,
+    algo: Box<dyn SkylineAlgorithm>,
+    rng: StdRng,
+    data_bounds: Aabb,
+}
+
+impl<'t> SharedCbcsExecutor<'t> {
+    /// Creates an executor bound to an existing shared cache.
+    ///
+    /// # Panics
+    /// Panics if the cache and table dimensionalities differ.
+    pub fn new(table: &'t Table, cache: SharedCache, config: CbcsConfig) -> Self {
+        assert_eq!(
+            cache.inner.read().dims(),
+            table.dims(),
+            "cache/table dimensionality mismatch"
+        );
+        let data_bounds =
+            Aabb::bounding(table.all_points()).expect("tables are non-empty");
+        let rng = StdRng::seed_from_u64(config.seed);
+        SharedCbcsExecutor { table, cache, config, algo: Box::new(Sfs), rng, data_bounds }
+    }
+
+    /// Replaces the in-memory skyline component.
+    pub fn with_algorithm(mut self, algo: Box<dyn SkylineAlgorithm>) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Handle to the shared cache.
+    pub fn cache(&self) -> &SharedCache {
+        &self.cache
+    }
+}
+
+impl Executor for SharedCbcsExecutor<'_> {
+    fn name(&self) -> String {
+        format!("SharedCBCS[{}]", self.config.mpr.label())
+    }
+
+    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
+        check_dims(self.table, c)?;
+        let mut stats = QueryStats::default();
+
+        // Phase 1 (read lock): search + clone the selected item out.
+        let t0 = Instant::now();
+        let selection = {
+            let cache = self.cache.inner.read();
+            let candidates = cache.overlapping(c);
+            stats.candidates = candidates.len();
+            self.config
+                .strategy
+                .select(&candidates, c, &self.data_bounds, &mut self.rng)
+                .map(|idx| {
+                    let item = candidates[idx];
+                    let extra: Vec<Point> = if self.config.extra_items > 0 {
+                        let mut others: Vec<_> =
+                            candidates.iter().filter(|it| it.id != item.id).collect();
+                        others.sort_by(|a, b| {
+                            c.overlap_volume(&b.constraints)
+                                .total_cmp(&c.overlap_volume(&a.constraints))
+                        });
+                        others
+                            .into_iter()
+                            .take(self.config.extra_items)
+                            .flat_map(|it| it.skyline.iter().cloned())
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    (item.id, item.constraints.clone(), item.skyline.clone(), extra)
+                })
+        };
+
+        // Phase 2 (no lock): plan, fetch, merge, skyline.
+        let skyline = match selection {
+            None => {
+                stats.stages.processing = t0.elapsed();
+                query_naive(self.table, self.algo.as_ref(), c, &mut stats)
+            }
+            Some((item_id, old_c, old_sky, extra)) => {
+                let plan = plan_with_extra(&old_c, &old_sky, &extra, c, self.config.mpr);
+                stats.stages.processing = t0.elapsed();
+                stats.cache_hit = true;
+                self.cache.inner.write().touch(item_id);
+                query_planned(self.table, self.algo.as_ref(), plan, &mut stats)
+            }
+        };
+        stats.result_size = skyline.len() as u64;
+
+        // Phase 3 (write lock): publish the result.
+        if self.config.cache_results {
+            self.cache.inner.write().insert(c.clone(), skyline.clone());
+        }
+
+        Ok(QueryResult { skyline, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycache_geom::Point;
+    use skycache_storage::TableConfig;
+
+    fn table() -> Table {
+        let points: Vec<Point> = (0..20)
+            .flat_map(|i| {
+                (0..20).map(move |j| Point::from(vec![f64::from(i) / 10.0, f64::from(j) / 10.0]))
+            })
+            .collect();
+        Table::build(points, TableConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn second_user_hits_first_users_result() {
+        let t = table();
+        let shared = SharedCache::new(2, &CbcsConfig::default());
+        let mut alice = SharedCbcsExecutor::new(&t, shared.clone(), CbcsConfig::default());
+        let mut bob = SharedCbcsExecutor::new(&t, shared.clone(), CbcsConfig::default());
+
+        let c = Constraints::from_pairs(&[(0.2, 1.0), (0.2, 1.0)]).unwrap();
+        let r1 = alice.query(&c).unwrap();
+        assert!(!r1.stats.cache_hit);
+
+        let r2 = bob.query(&c).unwrap();
+        assert!(r2.stats.cache_hit, "bob must hit alice's cached result");
+        assert_eq!(r2.skyline, r1.skyline);
+        assert_eq!(shared.len(), 2); // both results cached
+    }
+
+    #[test]
+    fn concurrent_users_stay_correct() {
+        let t = table();
+        let shared = SharedCache::new(2, &CbcsConfig::default());
+        let queries: Vec<Constraints> = (0..8)
+            .map(|i| {
+                let lo = f64::from(i) * 0.05;
+                Constraints::from_pairs(&[(lo, lo + 1.0), (0.1, 1.4)]).unwrap()
+            })
+            .collect();
+
+        // Reference answers, computed single-threaded.
+        let mut reference = Vec::new();
+        {
+            let mut ex = crate::engine::BaselineExecutor::new(&t);
+            for c in &queries {
+                let mut sky = ex.query(c).unwrap().skyline;
+                sky.sort_by_key(|p| (p[0].to_bits(), p[1].to_bits()));
+                reference.push(sky);
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let t = &t;
+                let shared = shared.clone();
+                let queries = &queries;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let config = CbcsConfig { seed: worker as u64, ..Default::default() };
+                    let mut ex = SharedCbcsExecutor::new(t, shared, config);
+                    for _round in 0..3 {
+                        for (c, want) in queries.iter().zip(reference) {
+                            let mut got = ex.query(c).unwrap().skyline;
+                            got.sort_by_key(|p| (p[0].to_bits(), p[1].to_bits()));
+                            assert_eq!(&got, want, "worker {worker}");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(shared.len() >= queries.len());
+    }
+}

@@ -1,0 +1,364 @@
+//! Cache search strategies (paper Section 6.1).
+//!
+//! When a query's region overlaps several cached items' MBRs, a strategy
+//! picks the item to answer from. The paper compares seven; all are
+//! implemented here and benchmarked in `skycache-bench` (Figure 11).
+
+use rand::Rng;
+
+use skycache_geom::{Aabb, Constraints};
+
+use crate::cache::CacheItem;
+use crate::stability::{classify, is_stable, Overlap};
+
+/// A cache search strategy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SearchStrategy {
+    /// Uniformly random choice among the overlapping items.
+    Random,
+    /// Maximum constraint-region overlap volume with the query.
+    MaxOverlap,
+    /// Like `MaxOverlap`, but stable items (Theorem 1) are always
+    /// preferred over unstable ones, regardless of overlap ("SP" =
+    /// stability preference).
+    MaxOverlapSP,
+    /// Prefers simple single-bound cases in the paper's fixed order —
+    /// Case 2, Case 3, Case 1, general stable, Case 4, general unstable —
+    /// with ties broken by `MaxOverlap`.
+    Prioritized1D,
+    /// Scores the four case types independently (`weights[0..4]` penalize
+    /// case 1–4 changes respectively) and penalizes each changed bound by
+    /// its case weight; minimal total penalty wins, ties broken by
+    /// `MaxOverlap`. The paper's *Std* variant is `(10, 0, 5, 20)`, the
+    /// deliberately bad one `(10, 50, 30, 0)`.
+    PrioritizedND {
+        /// Penalties for case-1..case-4 bound changes.
+        weights: [f64; 4],
+    },
+    /// Picks the item whose lower constraint corner is closest to the
+    /// query's lower corner.
+    OptimumDistance,
+}
+
+impl SearchStrategy {
+    /// The paper's `PrioritizednD (Std)` weights.
+    pub fn prioritized_nd_std() -> Self {
+        SearchStrategy::PrioritizedND { weights: [10.0, 0.0, 5.0, 20.0] }
+    }
+
+    /// The paper's `PrioritizednD (Bad)` weights, included to show that
+    /// the case scoring matters.
+    pub fn prioritized_nd_bad() -> Self {
+        SearchStrategy::PrioritizedND { weights: [10.0, 50.0, 30.0, 0.0] }
+    }
+
+    /// Label used in benchmark output.
+    pub fn label(&self) -> String {
+        match self {
+            SearchStrategy::Random => "Random".into(),
+            SearchStrategy::MaxOverlap => "MaxOverlap".into(),
+            SearchStrategy::MaxOverlapSP => "MaxOverlapSP".into(),
+            SearchStrategy::Prioritized1D => "Prioritized1D".into(),
+            SearchStrategy::PrioritizedND { weights } => {
+                if *weights == [10.0, 0.0, 5.0, 20.0] {
+                    "PrioritizednD(Std)".into()
+                } else if *weights == [10.0, 50.0, 30.0, 0.0] {
+                    "PrioritizednD(Bad)".into()
+                } else {
+                    format!(
+                        "PrioritizednD({},{},{},{})",
+                        weights[0], weights[1], weights[2], weights[3]
+                    )
+                }
+            }
+            SearchStrategy::OptimumDistance => "OptimumDistance".into(),
+        }
+    }
+
+    /// Chooses among `candidates` (all overlapping the query per the cache
+    /// lookup). Returns an index into `candidates`, or `None` when empty.
+    ///
+    /// `data_bounds` clamps unbounded constraint dimensions so overlap
+    /// volumes and corner distances stay finite.
+    pub fn select<R: Rng>(
+        &self,
+        candidates: &[&CacheItem],
+        new: &Constraints,
+        data_bounds: &Aabb,
+        rng: &mut R,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        if candidates.len() == 1 {
+            return Some(0);
+        }
+        let best = match self {
+            SearchStrategy::Random => rng.gen_range(0..candidates.len()),
+            SearchStrategy::MaxOverlap => {
+                argmax_by(candidates, |it| clamped_overlap(it, new, data_bounds))
+            }
+            SearchStrategy::MaxOverlapSP => {
+                argmax_by(candidates, |it| {
+                    let stable = is_stable(&it.constraints, new);
+                    // Stability dominates; overlap breaks ties.
+                    (u8::from(stable), clamped_overlap(it, new, data_bounds))
+                })
+            }
+            SearchStrategy::Prioritized1D => {
+                argmax_by(candidates, |it| {
+                    let rank = case_rank(classify(&it.constraints, new));
+                    (std::cmp::Reverse(rank), clamped_overlap(it, new, data_bounds))
+                })
+            }
+            SearchStrategy::PrioritizedND { weights } => {
+                argmax_by(candidates, |it| {
+                    let penalty = nd_penalty(&it.constraints, new, weights);
+                    (
+                        std::cmp::Reverse(FiniteF64(penalty)),
+                        clamped_overlap(it, new, data_bounds),
+                    )
+                })
+            }
+            SearchStrategy::OptimumDistance => {
+                argmax_by(candidates, |it| {
+                    std::cmp::Reverse(FiniteF64(corner_distance(it, new, data_bounds)))
+                })
+            }
+        };
+        Some(best)
+    }
+}
+
+/// Total-order wrapper for finite scores.
+#[derive(PartialEq, PartialOrd)]
+struct FiniteF64(f64);
+
+impl Eq for FiniteF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for FiniteF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("scores are finite")
+    }
+}
+
+fn argmax_by<K: Ord>(candidates: &[&CacheItem], mut key: impl FnMut(&CacheItem) -> K) -> usize {
+    let mut best = 0;
+    let mut best_key = key(candidates[0]);
+    for (i, it) in candidates.iter().enumerate().skip(1) {
+        let k = key(it);
+        if k > best_key {
+            best_key = k;
+            best = i;
+        }
+    }
+    best
+}
+
+fn clamp_box(c: &Constraints, bounds: &Aabb) -> Aabb {
+    let lo: Vec<f64> = c
+        .lo()
+        .iter()
+        .zip(bounds.lo())
+        .map(|(v, b)| v.max(*b))
+        .collect();
+    let hi: Vec<f64> = c
+        .hi()
+        .iter()
+        .zip(bounds.hi())
+        .zip(&lo)
+        .map(|((v, b), l)| v.min(*b).max(*l))
+        .collect();
+    Aabb::new_unchecked(lo, hi)
+}
+
+fn clamped_overlap(item: &CacheItem, new: &Constraints, bounds: &Aabb) -> FiniteF64 {
+    let a = clamp_box(&item.constraints, bounds);
+    let b = clamp_box(new, bounds);
+    FiniteF64(a.overlap_area(&b))
+}
+
+fn corner_distance(item: &CacheItem, new: &Constraints, bounds: &Aabb) -> f64 {
+    let a = clamp_box(&item.constraints, bounds);
+    let b = clamp_box(new, bounds);
+    a.lo()
+        .iter()
+        .zip(b.lo())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Rank of a case for `Prioritized1D`: lower is better. Exact hits beat
+/// everything; disjoint items are useless.
+fn case_rank(overlap: Overlap) -> u8 {
+    match overlap {
+        Overlap::Exact => 0,
+        Overlap::CaseB { .. } => 1,
+        Overlap::CaseC { .. } => 2,
+        Overlap::CaseA { .. } => 3,
+        Overlap::GeneralStable => 4,
+        Overlap::CaseD { .. } => 5,
+        Overlap::GeneralUnstable => 6,
+        Overlap::Disjoint => 7,
+    }
+}
+
+/// `PrioritizednD` penalty: each changed bound is scored by the case type
+/// of that change (lower decrease = case 1, upper decrease = case 2,
+/// upper increase = case 3, lower increase = case 4).
+fn nd_penalty(old: &Constraints, new: &Constraints, weights: &[f64; 4]) -> f64 {
+    let mut penalty = 0.0;
+    for i in 0..old.dims() {
+        if new.lo()[i] < old.lo()[i] {
+            penalty += weights[0];
+        } else if new.lo()[i] > old.lo()[i] {
+            penalty += weights[3];
+        }
+        if new.hi()[i] < old.hi()[i] {
+            penalty += weights[1];
+        } else if new.hi()[i] > old.hi()[i] {
+            penalty += weights[2];
+        }
+    }
+    penalty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use skycache_geom::Point;
+
+    fn bounds() -> Aabb {
+        Aabb::new(vec![0.0, 0.0], vec![10.0, 10.0]).unwrap()
+    }
+
+    fn item(id: u64, pairs: &[(f64, f64)]) -> CacheItem {
+        let constraints = Constraints::from_pairs(pairs).unwrap();
+        let skyline = vec![Point::from(vec![
+            (pairs[0].0 + pairs[0].1) / 2.0,
+            (pairs[1].0 + pairs[1].1) / 2.0,
+        ])];
+        let mbr = Aabb::bounding(&skyline);
+        CacheItem {
+            id,
+            constraints,
+            skyline,
+            mbr,
+            inserted_at: id,
+            last_used: id,
+            use_count: 0,
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let new = Constraints::from_pairs(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        assert_eq!(
+            SearchStrategy::Random.select(&[], &new, &bounds(), &mut rng()),
+            None
+        );
+    }
+
+    #[test]
+    fn max_overlap_picks_biggest_intersection() {
+        let a = item(0, &[(0.0, 2.0), (0.0, 2.0)]);
+        let b = item(1, &[(0.0, 5.0), (0.0, 5.0)]);
+        let new = Constraints::from_pairs(&[(0.0, 4.0), (0.0, 4.0)]).unwrap();
+        let got = SearchStrategy::MaxOverlap
+            .select(&[&a, &b], &new, &bounds(), &mut rng())
+            .unwrap();
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn max_overlap_sp_prefers_stability_over_overlap() {
+        // `a` overlaps more but is unstable (its lower bound is below the
+        // query's: raising the lower bound from a to new is a case-4-ish
+        // change). `b` is stable with less overlap.
+        let a = item(0, &[(0.0, 5.0), (0.0, 5.0)]); // lo 0 < new lo 1 → unstable
+        let b = item(1, &[(1.0, 3.0), (1.0, 3.0)]); // lo == new lo → stable
+        let new = Constraints::from_pairs(&[(1.0, 4.5), (1.0, 4.5)]).unwrap();
+        assert!(!is_stable(&a.constraints, &new));
+        assert!(is_stable(&b.constraints, &new));
+        let got = SearchStrategy::MaxOverlapSP
+            .select(&[&a, &b], &new, &bounds(), &mut rng())
+            .unwrap();
+        assert_eq!(got, 1);
+        // Plain MaxOverlap would pick `a`.
+        let plain = SearchStrategy::MaxOverlap
+            .select(&[&a, &b], &new, &bounds(), &mut rng())
+            .unwrap();
+        assert_eq!(plain, 0);
+    }
+
+    #[test]
+    fn prioritized_1d_prefers_case_b() {
+        let new = Constraints::from_pairs(&[(1.0, 3.0), (1.0, 3.0)]).unwrap();
+        // Case B item: query shrinks its upper bound in dim 0.
+        let case_b = item(0, &[(1.0, 4.0), (1.0, 3.0)]);
+        // Case A item: query extends its lower bound in dim 0.
+        let case_a = item(1, &[(2.0, 3.0), (1.0, 3.0)]);
+        let got = SearchStrategy::Prioritized1D
+            .select(&[&case_a, &case_b], &new, &bounds(), &mut rng())
+            .unwrap();
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn prioritized_nd_std_favors_upper_decreases() {
+        let new = Constraints::from_pairs(&[(1.0, 3.0), (1.0, 3.0)]).unwrap();
+        // Item whose two changed bounds are upper decreases (weight 0).
+        let cheap = item(0, &[(1.0, 4.0), (1.0, 4.0)]);
+        // Item whose two changed bounds are lower increases (weight 20).
+        let pricey = item(1, &[(0.0, 3.0), (0.0, 3.0)]);
+        let got = SearchStrategy::prioritized_nd_std()
+            .select(&[&pricey, &cheap], &new, &bounds(), &mut rng())
+            .unwrap();
+        assert_eq!(got, 1);
+        // The Bad weights invert the preference.
+        let got_bad = SearchStrategy::prioritized_nd_bad()
+            .select(&[&pricey, &cheap], &new, &bounds(), &mut rng())
+            .unwrap();
+        assert_eq!(got_bad, 0);
+    }
+
+    #[test]
+    fn optimum_distance_picks_nearest_corner() {
+        let new = Constraints::from_pairs(&[(2.0, 3.0), (2.0, 3.0)]).unwrap();
+        let near = item(0, &[(2.1, 5.0), (1.9, 5.0)]);
+        let far = item(1, &[(0.0, 5.0), (0.0, 5.0)]);
+        let got = SearchStrategy::OptimumDistance
+            .select(&[&far, &near], &new, &bounds(), &mut rng())
+            .unwrap();
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let a = item(0, &[(0.0, 2.0), (0.0, 2.0)]);
+        let b = item(1, &[(0.0, 5.0), (0.0, 5.0)]);
+        let new = Constraints::from_pairs(&[(0.0, 4.0), (0.0, 4.0)]).unwrap();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..20 {
+            let x = SearchStrategy::Random.select(&[&a, &b], &new, &bounds(), &mut r1);
+            let y = SearchStrategy::Random.select(&[&a, &b], &new, &bounds(), &mut r2);
+            assert_eq!(x, y);
+            assert!(x.unwrap() < 2);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SearchStrategy::prioritized_nd_std().label(), "PrioritizednD(Std)");
+        assert_eq!(SearchStrategy::prioritized_nd_bad().label(), "PrioritizednD(Bad)");
+        assert_eq!(SearchStrategy::MaxOverlapSP.label(), "MaxOverlapSP");
+    }
+}

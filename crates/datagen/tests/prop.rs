@@ -1,0 +1,114 @@
+//! Property tests for the data and workload generators: every generated
+//! query must be well-formed, every refinement must be a legal
+//! single-bound change of the paper's four kinds, and generation must be
+//! a pure function of the seed.
+
+use proptest::prelude::*;
+
+use skycache_datagen::{
+    DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen,
+    SyntheticGen,
+};
+
+fn dist() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Independent),
+        Just(Distribution::Correlated),
+        Just(Distribution::AntiCorrelated),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All synthetic data lies in the unit cube and generation is
+    /// seed-deterministic.
+    #[test]
+    fn synthetic_points_well_formed(d in dist(), dims in 1..6usize, seed in any::<u64>()) {
+        let g = SyntheticGen::new(d, dims, seed);
+        let pts = g.generate(300);
+        prop_assert_eq!(pts.len(), 300);
+        for p in &pts {
+            prop_assert_eq!(p.dims(), dims);
+            prop_assert!(p.coords().iter().all(|c| (0.0..=1.0).contains(c)));
+        }
+        prop_assert_eq!(pts, g.generate(300));
+    }
+
+    /// Real-estate records stay in their documented ranges for any seed.
+    #[test]
+    fn real_estate_well_formed(seed in any::<u64>()) {
+        for p in RealEstateGen::new(seed).generate(200) {
+            prop_assert_eq!(p.dims(), 4);
+            let (year, sqm) = (-p[0], -p[1]);
+            prop_assert!((1850.0..=2005.0).contains(&year));
+            prop_assert!((18.0..=900.0).contains(&sqm));
+            prop_assert!(p[2] > 0.0 && p[3] > 0.0);
+        }
+    }
+
+    /// Interactive chains: every query box is valid, every refinement
+    /// changes exactly one bound of one constrained dimension, and the
+    /// magnitude stays in the paper's 5–10% window.
+    #[test]
+    fn interactive_chains_are_legal(
+        d in dist(),
+        dims in 2..5usize,
+        seed in any::<u64>(),
+        total in 20..80usize,
+    ) {
+        let pts = SyntheticGen::new(d, dims, seed ^ 0xABCD).generate(1_000);
+        let stats = DimStats::compute(&pts);
+        let w = InteractiveWorkload::new(stats).generate(total, seed);
+        prop_assert_eq!(w.len(), total);
+
+        for pair in w.queries().windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            for i in 0..dims {
+                prop_assert!(b.constraints.lo()[i] <= b.constraints.hi()[i]);
+            }
+            if a.chain != b.chain {
+                prop_assert_eq!(b.step, 0);
+                continue;
+            }
+            let mut changed_bounds = 0;
+            for i in 0..dims {
+                let width = a.constraints.hi()[i] - a.constraints.lo()[i];
+                let lo_d = (a.constraints.lo()[i] - b.constraints.lo()[i]).abs();
+                let hi_d = (a.constraints.hi()[i] - b.constraints.hi()[i]).abs();
+                if lo_d > 0.0 {
+                    changed_bounds += 1;
+                    if width > 0.0 {
+                        let pct = lo_d / width;
+                        prop_assert!((0.049..0.101).contains(&pct), "lo moved {pct}");
+                    }
+                }
+                if hi_d > 0.0 {
+                    changed_bounds += 1;
+                    if width > 0.0 {
+                        let pct = hi_d / width;
+                        prop_assert!((0.049..0.101).contains(&pct), "hi moved {pct}");
+                    }
+                }
+            }
+            prop_assert!(changed_bounds <= 1, "multiple bounds changed in one step");
+        }
+    }
+
+    /// Independent workloads: fresh chain ids, bounded by 3σ, valid boxes.
+    #[test]
+    fn independent_workload_well_formed(dims in 1..5usize, seed in any::<u64>()) {
+        let pts = SyntheticGen::new(Distribution::Independent, dims, seed ^ 0x5A5A)
+            .generate(1_000);
+        let stats = DimStats::compute(&pts);
+        let w = IndependentWorkload::new(stats.clone()).generate(40, seed);
+        for (i, q) in w.queries().iter().enumerate() {
+            prop_assert_eq!(q.chain, i);
+            prop_assert_eq!(q.step, 0);
+            for (d, s) in stats.iter().enumerate() {
+                prop_assert!(q.constraints.lo()[d] >= s.mean - 3.0 * s.std - 1e-9);
+                prop_assert!(q.constraints.hi()[d] <= s.mean + 3.0 * s.std + 1e-9);
+            }
+        }
+    }
+}

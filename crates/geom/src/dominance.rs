@@ -1,0 +1,147 @@
+//! Pareto dominance tests and dominance regions.
+//!
+//! Dominance is the paper's Definition in Section 3: `s ≺ t` iff
+//! `∀i: s[i] ≤ t[i]` and `∃i: s[i] < t[i]` (minimization in all
+//! dimensions). The *dominance region* `DR(s)` of a point (Definition 2)
+//! is the set of points it dominates — geometrically the closed box
+//! `[s, ∞)` minus `s` itself; constrained to `C` it becomes
+//! `DR(s, C) = [s, C̄] \ {s}` for `s` satisfying `C`.
+
+use crate::{Aabb, Constraints, Point};
+
+/// The outcome of comparing two points under Pareto dominance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DomRelation {
+    /// The left point dominates the right one.
+    Dominates,
+    /// The right point dominates the left one.
+    DominatedBy,
+    /// Identical coordinate vectors (neither dominates).
+    Equal,
+    /// Neither dominates the other.
+    Incomparable,
+}
+
+/// Returns `true` iff `s ≺ t`: `s` is at least as small as `t` on every
+/// dimension and strictly smaller on at least one.
+#[inline]
+pub fn dominates(s: &Point, t: &Point) -> bool {
+    debug_assert_eq!(s.dims(), t.dims());
+    let mut strict = false;
+    for (a, b) in s.coords().iter().zip(t.coords()) {
+        if a > b {
+            return false;
+        }
+        if a < b {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Weak dominance: `s[i] ≤ t[i]` for all `i` (allows equality everywhere).
+#[inline]
+pub fn dominates_weak(s: &Point, t: &Point) -> bool {
+    debug_assert_eq!(s.dims(), t.dims());
+    s.coords().iter().zip(t.coords()).all(|(a, b)| a <= b)
+}
+
+/// Single-pass comparison classifying the relation between two points.
+pub fn compare(s: &Point, t: &Point) -> DomRelation {
+    debug_assert_eq!(s.dims(), t.dims());
+    let (mut s_less, mut t_less) = (false, false);
+    for (a, b) in s.coords().iter().zip(t.coords()) {
+        if a < b {
+            s_less = true;
+        } else if b < a {
+            t_less = true;
+        }
+        if s_less && t_less {
+            return DomRelation::Incomparable;
+        }
+    }
+    match (s_less, t_less) {
+        (true, false) => DomRelation::Dominates,
+        (false, true) => DomRelation::DominatedBy,
+        (false, false) => DomRelation::Equal,
+        (true, true) => unreachable!("early-returned above"),
+    }
+}
+
+/// The constrained dominance region `DR(s, C)` as a closed box
+/// `[s, C̄]`, or `None` when `s` exceeds `C̄` in some dimension (then no
+/// point satisfying `C` is dominated by `s`... except none, the region is
+/// empty).
+///
+/// Note the closed box over-approximates `DR(s, C)` by exactly one point:
+/// `s` itself, which is not dominated by `s`. All callers in this
+/// workspace keep `s` available from the cache, so the over-approximation
+/// never loses information (see DESIGN.md, "Semantics notes").
+pub fn dominance_box(s: &Point, c: &Constraints) -> Option<Aabb> {
+    debug_assert_eq!(s.dims(), c.dims());
+    if s.coords().iter().zip(c.hi()).any(|(a, b)| a > b) {
+        return None;
+    }
+    // Clamp the lower corner to the constraint region so the box is the
+    // portion of DR(s) inside R_C even when s itself lies below C̲.
+    let lo: Vec<f64> = s.coords().iter().zip(c.lo()).map(|(a, b)| a.max(*b)).collect();
+    Some(Aabb::new_unchecked(lo, c.hi().to_vec()))
+}
+
+/// Whether any point of `candidates` dominates `t`.
+pub fn dominated_by_any(t: &Point, candidates: &[Point]) -> bool {
+    candidates.iter().any(|s| dominates(s, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(c: &[f64]) -> Point {
+        Point::from(c.to_vec())
+    }
+
+    #[test]
+    fn strict_dominance() {
+        assert!(dominates(&p(&[1.0, 2.0]), &p(&[1.0, 3.0])));
+        assert!(dominates(&p(&[0.0, 0.0]), &p(&[1.0, 1.0])));
+        assert!(!dominates(&p(&[1.0, 2.0]), &p(&[1.0, 2.0]))); // equal
+        assert!(!dominates(&p(&[1.0, 3.0]), &p(&[2.0, 2.0]))); // incomparable
+    }
+
+    #[test]
+    fn weak_dominance_allows_equality() {
+        assert!(dominates_weak(&p(&[1.0, 2.0]), &p(&[1.0, 2.0])));
+        assert!(!dominates_weak(&p(&[1.0, 3.0]), &p(&[1.0, 2.0])));
+    }
+
+    #[test]
+    fn compare_classifies() {
+        assert_eq!(compare(&p(&[1.0, 1.0]), &p(&[2.0, 2.0])), DomRelation::Dominates);
+        assert_eq!(compare(&p(&[2.0, 2.0]), &p(&[1.0, 1.0])), DomRelation::DominatedBy);
+        assert_eq!(compare(&p(&[1.0, 2.0]), &p(&[2.0, 1.0])), DomRelation::Incomparable);
+        assert_eq!(compare(&p(&[1.0, 2.0]), &p(&[1.0, 2.0])), DomRelation::Equal);
+    }
+
+    #[test]
+    fn dominance_box_clamps_and_rejects() {
+        let c = Constraints::new(vec![0.0, 0.0], vec![10.0, 10.0]).unwrap();
+        let b = dominance_box(&p(&[2.0, 3.0]), &c).unwrap();
+        assert_eq!(b.lo(), &[2.0, 3.0]);
+        assert_eq!(b.hi(), &[10.0, 10.0]);
+
+        // Point below the constraint region: box clamped to R_C.
+        let b2 = dominance_box(&p(&[-5.0, 3.0]), &c).unwrap();
+        assert_eq!(b2.lo(), &[0.0, 3.0]);
+
+        // Point beyond the upper constraints: empty region.
+        assert!(dominance_box(&p(&[11.0, 3.0]), &c).is_none());
+    }
+
+    #[test]
+    fn dominated_by_any_scans() {
+        let cands = vec![p(&[5.0, 5.0]), p(&[1.0, 1.0])];
+        assert!(dominated_by_any(&p(&[2.0, 2.0]), &cands));
+        assert!(!dominated_by_any(&p(&[0.5, 0.5]), &cands));
+    }
+}

@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Errors produced by fallible geometric constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// Two arguments had differing dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the first argument.
+        expected: usize,
+        /// Dimensionality of the offending argument.
+        actual: usize,
+    },
+    /// A box was constructed with `lo[i] > hi[i]` in some dimension.
+    InvertedBounds {
+        /// Dimension in which the bounds are inverted.
+        dim: usize,
+    },
+    /// A coordinate was NaN; ordered geometry requires totally ordered values.
+    NotANumber {
+        /// Dimension holding the NaN.
+        dim: usize,
+    },
+    /// Zero-dimensional geometry is not meaningful for skyline queries.
+    ZeroDimensions,
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            GeomError::InvertedBounds { dim } => {
+                write!(f, "inverted bounds in dimension {dim} (lo > hi)")
+            }
+            GeomError::NotANumber { dim } => write!(f, "NaN coordinate in dimension {dim}"),
+            GeomError::ZeroDimensions => write!(f, "zero-dimensional geometry"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}

@@ -1,0 +1,44 @@
+//! Geometric kernel for constrained skyline processing.
+//!
+//! This crate provides the spatial vocabulary shared by every other
+//! `skycache` crate:
+//!
+//! * [`Point`] — an owned, fixed-dimensionality coordinate vector;
+//! * [`Interval`] — a 1-D range with *per-endpoint inclusivity*, needed
+//!   because the MPR algorithm (Algorithm 1 of the paper) splits regions
+//!   with strict inequalities so that the emitted range queries stay
+//!   pairwise disjoint;
+//! * [`HyperRect`] — a product of intervals (a possibly half-open box);
+//! * [`Aabb`] — a closed axis-aligned box with the area/margin/mindist
+//!   algebra required by the R\*-tree;
+//! * [`Constraints`] — a closed box with query semantics, the `C = ⟨C̲, C̄⟩`
+//!   of the paper;
+//! * [`dominance`] — Pareto dominance tests and dominance regions;
+//! * [`subtract`] — box subtraction and disjoint decomposition, the kernel
+//!   of the Missing Points Region computation.
+//!
+//! All skylines in this workspace **minimize** every dimension, matching the
+//! paper; a preference for maximization is handled by negating the attribute.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod aabb;
+mod constraints;
+pub mod dominance;
+mod error;
+mod interval;
+mod point;
+mod rect;
+pub mod subtract;
+
+pub use aabb::Aabb;
+pub use constraints::Constraints;
+pub use dominance::{dominates, dominates_weak, DomRelation};
+pub use error::GeomError;
+pub use interval::Interval;
+pub use point::Point;
+pub use rect::HyperRect;
+
+/// Convenience alias: results of fallible geometric constructors.
+pub type Result<T> = std::result::Result<T, GeomError>;

@@ -1,0 +1,128 @@
+//! Property-based tests for the R\*-tree: dynamic operation sequences must
+//! preserve structural invariants and query correctness.
+
+use proptest::prelude::*;
+use skycache_geom::{Aabb, Point};
+use skycache_rtree::{RStarTree, RTreeParams};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u8, u8),
+    Remove(u8, u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0..30u8), (0..30u8)).prop_map(|(x, y)| Op::Insert(x, y)),
+            ((0..30u8), (0..30u8)).prop_map(|(x, y)| Op::Remove(x, y)),
+        ],
+        0..120,
+    )
+}
+
+fn pt_box(x: u8, y: u8) -> Aabb {
+    Aabb::from_point(&Point::from(vec![f64::from(x), f64::from(y)]))
+}
+
+proptest! {
+    /// A random insert/remove sequence, mirrored against a Vec model:
+    /// the tree and the model agree on every window query, and structural
+    /// invariants hold throughout.
+    #[test]
+    fn tree_matches_model(ops in ops(), wx in 0..30u8, wy in 0..30u8, ww in 1..15u8, wh in 1..15u8) {
+        let mut tree: RStarTree<(u8, u8)> = RStarTree::new(2);
+        let mut model: Vec<(u8, u8)> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(x, y) => {
+                    tree.insert(pt_box(x, y), (x, y));
+                    model.push((x, y));
+                }
+                Op::Remove(x, y) => {
+                    let in_model = model.iter().position(|&p| p == (x, y));
+                    let removed = tree.remove(&pt_box(x, y), |&p| p == (x, y));
+                    match in_model {
+                        Some(i) => {
+                            prop_assert!(removed.is_some());
+                            model.swap_remove(i);
+                        }
+                        None => prop_assert!(removed.is_none()),
+                    }
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants();
+
+        let window = Aabb::new(
+            vec![f64::from(wx), f64::from(wy)],
+            vec![f64::from(wx + ww), f64::from(wy + wh)],
+        ).unwrap();
+        let mut got: Vec<(u8, u8)> = tree.search(&window).into_iter().copied().collect();
+        let mut want: Vec<(u8, u8)> = model
+            .iter()
+            .filter(|&&(x, y)| window.contains_point(&Point::from(vec![f64::from(x), f64::from(y)])))
+            .copied()
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bulk loading N points yields the same query results as inserting
+    /// them one by one, and both satisfy the invariants.
+    #[test]
+    fn bulk_equals_incremental(coords in prop::collection::vec((0..50u8, 0..50u8), 1..200)) {
+        let points: Vec<(Point, usize)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Point::from(vec![f64::from(x), f64::from(y)]), i))
+            .collect();
+        let bulk = RStarTree::bulk_load_points(points.clone(), RTreeParams::default());
+        bulk.check_invariants();
+
+        let mut incr: RStarTree<usize> = RStarTree::new(2);
+        for (p, v) in &points {
+            incr.insert(Aabb::from_point(p), *v);
+        }
+        incr.check_invariants();
+
+        let window = Aabb::new(vec![10.0, 10.0], vec![35.0, 35.0]).unwrap();
+        let mut a: Vec<usize> = bulk.search(&window).into_iter().copied().collect();
+        let mut b: Vec<usize> = incr.search(&window).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// nearest_k distances are sorted and match brute force.
+    #[test]
+    fn nearest_k_sorted_and_correct(
+        coords in prop::collection::vec((0..100u8, 0..100u8), 1..150),
+        tx in 0..100u8, ty in 0..100u8, k in 1..20usize,
+    ) {
+        let points: Vec<(Point, usize)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Point::from(vec![f64::from(x), f64::from(y)]), i))
+            .collect();
+        let tree = RStarTree::bulk_load_points(points.clone(), RTreeParams::default());
+        let target = [f64::from(tx), f64::from(ty)];
+        let got = tree.nearest_k(&target, k);
+        prop_assert_eq!(got.len(), k.min(points.len()));
+        // Sorted ascending.
+        for w in got.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        // Distances match brute force.
+        let mut dists: Vec<f64> = points
+            .iter()
+            .map(|(p, _)| p.dist_sq(&Point::from(target.to_vec())))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, (d, _)) in got.iter().enumerate() {
+            prop_assert_eq!(*d, dists[i]);
+        }
+    }
+}

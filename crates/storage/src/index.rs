@@ -1,0 +1,196 @@
+use skycache_geom::{Interval, Point};
+
+use crate::table::RowId;
+
+/// A read-optimized single-dimension index: the B-tree stand-in.
+///
+/// Keys are stored as a sorted `(key, row)` array; range location is two
+/// binary searches (`O(log n)`), mirroring a B-tree descent, and the rows
+/// of a range are a contiguous slice, mirroring a leaf scan.
+#[derive(Clone, Debug)]
+pub struct ColumnIndex {
+    /// Sorted keys.
+    keys: Vec<f64>,
+    /// Row ids parallel to `keys`.
+    rows: Vec<RowId>,
+}
+
+impl ColumnIndex {
+    /// Builds the index of dimension `dim` over `points`.
+    pub fn build(points: &[Point], dim: usize) -> Self {
+        let mut pairs: Vec<(f64, RowId)> = points
+            .iter()
+            .enumerate()
+            .map(|(row, p)| (p[dim], row as RowId))
+            .collect();
+        pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN-free data"));
+        ColumnIndex {
+            keys: pairs.iter().map(|p| p.0).collect(),
+            rows: pairs.iter().map(|p| p.1).collect(),
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Half-open position range `[start, end)` of keys inside `iv`.
+    fn locate(&self, iv: &Interval) -> (usize, usize) {
+        let start = if iv.lo() == f64::NEG_INFINITY {
+            0
+        } else if iv.lo_open() {
+            self.keys.partition_point(|&k| k <= iv.lo())
+        } else {
+            self.keys.partition_point(|&k| k < iv.lo())
+        };
+        let end = if iv.hi() == f64::INFINITY {
+            self.keys.len()
+        } else if iv.hi_open() {
+            self.keys.partition_point(|&k| k < iv.hi())
+        } else {
+            self.keys.partition_point(|&k| k <= iv.hi())
+        };
+        (start, end.max(start))
+    }
+
+    /// Number of rows whose key lies in `iv`.
+    pub fn count_in(&self, iv: &Interval) -> usize {
+        let (s, e) = self.locate(iv);
+        e - s
+    }
+
+    /// Row ids whose key lies in `iv`, in key order.
+    pub fn rows_in(&self, iv: &Interval) -> &[RowId] {
+        let (s, e) = self.locate(iv);
+        &self.rows[s..e]
+    }
+
+    /// Smallest and largest key, if any.
+    pub fn key_bounds(&self) -> Option<(f64, f64)> {
+        Some((*self.keys.first()?, *self.keys.last()?))
+    }
+
+    /// Inserts a `(key, row)` entry, keeping keys sorted (`O(n)` memmove,
+    /// like a B-tree leaf insert without node splits — adequate for the
+    /// moderate update rates of the dynamic-data extension).
+    pub fn insert(&mut self, key: f64, row: RowId) {
+        debug_assert!(!key.is_nan());
+        let pos = self.keys.partition_point(|&k| k < key);
+        self.keys.insert(pos, key);
+        self.rows.insert(pos, row);
+    }
+
+    /// Appends an entry known to be `>=` every existing key (bulk
+    /// reconstruction fast path).
+    pub(crate) fn push_sorted(&mut self, key: f64, row: RowId) {
+        debug_assert!(self.keys.last().is_none_or(|&k| k <= key));
+        self.keys.push(key);
+        self.rows.push(row);
+    }
+
+    /// Removes the entry for `(key, row)`. Returns whether it existed.
+    pub fn remove(&mut self, key: f64, row: RowId) -> bool {
+        let start = self.keys.partition_point(|&k| k < key);
+        let end = self.keys.partition_point(|&k| k <= key);
+        for i in start..end {
+            if self.rows[i] == row {
+                self.keys.remove(i);
+                self.rows.remove(i);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> ColumnIndex {
+        let pts: Vec<Point> = [5.0, 1.0, 3.0, 3.0, 9.0]
+            .iter()
+            .map(|&v| Point::from(vec![v, 0.0]))
+            .collect();
+        ColumnIndex::build(&pts, 0)
+    }
+
+    #[test]
+    fn build_sorts_keys() {
+        let i = idx();
+        assert_eq!(i.len(), 5);
+        assert_eq!(i.key_bounds(), Some((1.0, 9.0)));
+    }
+
+    #[test]
+    fn count_closed_range() {
+        let i = idx();
+        assert_eq!(i.count_in(&Interval::closed(3.0, 5.0)), 3);
+        assert_eq!(i.count_in(&Interval::closed(0.0, 10.0)), 5);
+        assert_eq!(i.count_in(&Interval::closed(6.0, 8.0)), 0);
+    }
+
+    #[test]
+    fn open_endpoints_exclude_keys() {
+        let i = idx();
+        assert_eq!(i.count_in(&Interval::new(3.0, 5.0, true, false)), 1); // only 5
+        assert_eq!(i.count_in(&Interval::new(3.0, 5.0, false, true)), 2); // the 3s
+        assert_eq!(i.count_in(&Interval::new(3.0, 3.0, true, true)), 0);
+    }
+
+    #[test]
+    fn unbounded_ranges() {
+        let i = idx();
+        assert_eq!(i.count_in(&Interval::closed(f64::NEG_INFINITY, f64::INFINITY)), 5);
+        assert_eq!(i.count_in(&Interval::closed(f64::NEG_INFINITY, 3.0)), 3);
+        assert_eq!(i.count_in(&Interval::closed(5.0, f64::INFINITY)), 2);
+    }
+
+    #[test]
+    fn rows_in_returns_matching_rows() {
+        let i = idx();
+        let rows = i.rows_in(&Interval::closed(3.0, 3.0));
+        // Rows 2 and 3 hold key 3.0 (order between equal keys unspecified).
+        let mut rows = rows.to_vec();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![2, 3]);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut i = idx();
+        i.insert(4.0, 9);
+        assert_eq!(i.len(), 6);
+        assert_eq!(i.count_in(&Interval::closed(3.5, 4.5)), 1);
+        assert_eq!(i.rows_in(&Interval::closed(4.0, 4.0)), &[9]);
+        i.insert(0.5, 10);
+        assert_eq!(i.key_bounds(), Some((0.5, 9.0)));
+    }
+
+    #[test]
+    fn remove_targets_exact_entry() {
+        let mut i = idx();
+        // Two rows hold key 3.0; remove only row 3.
+        assert!(i.remove(3.0, 3));
+        assert_eq!(i.count_in(&Interval::closed(3.0, 3.0)), 1);
+        assert_eq!(i.rows_in(&Interval::closed(3.0, 3.0)), &[2]);
+        // Removing a non-existent pairing is a no-op.
+        assert!(!i.remove(3.0, 99));
+        assert!(!i.remove(77.0, 2));
+        assert_eq!(i.len(), 4);
+    }
+
+    #[test]
+    fn empty_index() {
+        let i = ColumnIndex::build(&[], 0);
+        assert!(i.is_empty());
+        assert_eq!(i.count_in(&Interval::closed(0.0, 1.0)), 0);
+        assert_eq!(i.key_bounds(), None);
+    }
+}

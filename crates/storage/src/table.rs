@@ -1,0 +1,569 @@
+use std::time::Duration;
+
+use skycache_geom::{Constraints, HyperRect, Point};
+
+use crate::cost::{CostModel, FetchStats};
+use crate::error::StorageError;
+use crate::index::ColumnIndex;
+use crate::Result;
+
+/// Identifier of a stored row.
+pub type RowId = u32;
+
+/// A fetched row: its id plus a copy of the stored point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Stable row identifier.
+    pub id: RowId,
+    /// The point's coordinates.
+    pub point: Point,
+}
+
+/// Table construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TableConfig {
+    /// Points per heap page (affects page accounting only).
+    pub page_capacity: usize,
+    /// I/O latency model used to simulate fetch times.
+    pub cost_model: CostModel,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig { page_capacity: 128, cost_model: CostModel::default() }
+    }
+}
+
+/// Result of executing one or more range queries.
+#[derive(Clone, Debug, Default)]
+pub struct FetchResult {
+    /// Rows satisfying the query region(s).
+    pub rows: Vec<Row>,
+    /// I/O counters for the fetch.
+    pub stats: FetchStats,
+    /// Simulated latency under the table's [`CostModel`].
+    pub simulated_latency: Duration,
+}
+
+impl FetchResult {
+    /// Folds another fetch into this one.
+    pub fn absorb(&mut self, other: FetchResult) {
+        self.rows.extend(other.rows);
+        self.stats.merge(&other.stats);
+        self.simulated_latency += other.simulated_latency;
+    }
+}
+
+/// A read-only table of points: paged heap plus one [`ColumnIndex`] per
+/// dimension (the paper's "PostgreSQL with each dimension indexed by a
+/// standard B-tree").
+#[derive(Clone, Debug)]
+pub struct Table {
+    points: Vec<Point>,
+    /// Liveness per heap slot; deletions tombstone instead of compacting
+    /// so row ids stay stable (index entries of dead rows are removed, so
+    /// index-driven plans never see them).
+    live: Vec<bool>,
+    live_count: usize,
+    indexes: Vec<ColumnIndex>,
+    dims: usize,
+    config: TableConfig,
+}
+
+impl Table {
+    /// Builds a table (heap + all indexes) from a non-empty point set.
+    pub fn build(points: Vec<Point>, config: TableConfig) -> Result<Self> {
+        if config.page_capacity == 0 {
+            return Err(StorageError::InvalidPageCapacity);
+        }
+        let dims = points.first().ok_or(StorageError::EmptyTable)?.dims();
+        if let Some(bad) = points.iter().find(|p| p.dims() != dims) {
+            return Err(StorageError::DimensionMismatch {
+                expected: dims,
+                actual: bad.dims(),
+            });
+        }
+        if points.len() > RowId::MAX as usize {
+            return Err(StorageError::InvalidPageCapacity);
+        }
+        let indexes = (0..dims).map(|d| ColumnIndex::build(&points, d)).collect();
+        let live = vec![true; points.len()];
+        let live_count = points.len();
+        Ok(Table { points, live, live_count, indexes, dims, config })
+    }
+
+    /// Reconstructs a table from persisted parts (heap slots plus a
+    /// liveness bitmap), rebuilding the per-dimension indexes over the
+    /// live rows only.
+    pub(crate) fn from_parts(
+        points: Vec<Point>,
+        live: Vec<bool>,
+        config: TableConfig,
+    ) -> Result<Self> {
+        if config.page_capacity == 0 {
+            return Err(StorageError::InvalidPageCapacity);
+        }
+        if points.len() != live.len() {
+            return Err(StorageError::Corrupt(
+                "liveness bitmap length mismatch".into(),
+            ));
+        }
+        let dims = points.first().ok_or(StorageError::EmptyTable)?.dims();
+        if let Some(bad) = points.iter().find(|p| p.dims() != dims) {
+            return Err(StorageError::DimensionMismatch {
+                expected: dims,
+                actual: bad.dims(),
+            });
+        }
+        let live_count = live.iter().filter(|&&l| l).count();
+        let mut indexes: Vec<ColumnIndex> = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let mut index = ColumnIndex::build(&[], d);
+            let mut pairs: Vec<(f64, RowId)> = points
+                .iter()
+                .enumerate()
+                .filter(|&(row, _)| live[row])
+                .map(|(row, p)| (p[d], row as RowId))
+                .collect();
+            pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN-free"));
+            for (key, row) in pairs {
+                index.push_sorted(key, row);
+            }
+            indexes.push(index);
+        }
+        Ok(Table { points, live, live_count, indexes, dims, config })
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of heap slots, including tombstoned rows.
+    pub fn slot_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the table holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Dimensionality of stored points.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    /// Direct access to a stored point (no I/O accounting; for index
+    /// construction and tests).
+    pub fn point(&self, row: RowId) -> &Point {
+        &self.points[row as usize]
+    }
+
+    /// All heap slots in row order, *including logically deleted rows*
+    /// (no I/O accounting). Correct for tables that have not been mutated;
+    /// prefer [`Table::live_points`] after deletions.
+    pub fn all_points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Live `(row, point)` pairs in row order (no I/O accounting; used to
+    /// bulk-load secondary structures such as the BBS R-tree).
+    pub fn live_points(&self) -> impl Iterator<Item = (RowId, &Point)> {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|&(row, _)| self.live[row])
+            .map(|(row, p)| (row as RowId, p))
+    }
+
+    /// Whether a row is live.
+    pub fn is_live(&self, row: RowId) -> bool {
+        self.live.get(row as usize).copied().unwrap_or(false)
+    }
+
+    /// Appends a point (the dynamic-data extension, paper Section 6.2),
+    /// maintaining every per-dimension index. Returns the new row id.
+    pub fn insert(&mut self, point: Point) -> Result<RowId> {
+        if point.dims() != self.dims {
+            return Err(StorageError::DimensionMismatch {
+                expected: self.dims,
+                actual: point.dims(),
+            });
+        }
+        if self.points.len() >= RowId::MAX as usize {
+            return Err(StorageError::InvalidPageCapacity);
+        }
+        let row = self.points.len() as RowId;
+        for (dim, index) in self.indexes.iter_mut().enumerate() {
+            index.insert(point[dim], row);
+        }
+        self.points.push(point);
+        self.live.push(true);
+        self.live_count += 1;
+        Ok(row)
+    }
+
+    /// Deletes a row (tombstoning its heap slot and removing its index
+    /// entries). Returns the deleted point, or `None` if the row does not
+    /// exist or was already deleted.
+    pub fn delete(&mut self, row: RowId) -> Option<Point> {
+        let idx = row as usize;
+        if !self.live.get(idx).copied().unwrap_or(false) {
+            return None;
+        }
+        self.live[idx] = false;
+        self.live_count -= 1;
+        let point = self.points[idx].clone();
+        for (dim, index) in self.indexes.iter_mut().enumerate() {
+            let removed = index.remove(point[dim], row);
+            debug_assert!(removed, "index out of sync with heap");
+        }
+        Some(point)
+    }
+
+    /// Heap page of a row.
+    pub fn page_of(&self, row: RowId) -> usize {
+        row as usize / self.config.page_capacity
+    }
+
+    /// Executes one range query over a (possibly half-open) region.
+    ///
+    /// Planning mirrors a DBMS with one B-tree per dimension:
+    ///
+    /// 1. probe every finitely-bounded dimension's index; if any
+    ///    projection is empty, answer from the index alone ("the B-trees
+    ///    detect the empty queries", paper Section 7.3.2);
+    /// 2. otherwise choose between a **single-index scan** (fetch the most
+    ///    selective dimension's candidates from the heap, post-filter the
+    ///    rest — heap cost: that dimension's candidate count) and a
+    ///    **bitmap AND scan** (intersect the per-dimension row sets in the
+    ///    indexes, fetch only the intersection — heap cost ≈ the matching
+    ///    rows, plus cheap per-entry index work), using the standard
+    ///    selectivity-product estimate.
+    pub fn fetch(&self, region: &HyperRect) -> FetchResult {
+        assert_eq!(region.dims(), self.dims, "query/table dimensionality mismatch");
+        let mut stats = FetchStats { range_queries_issued: 1, ..Default::default() };
+
+        if region.is_empty() {
+            // Degenerate regions are rejected during planning, before any
+            // index work.
+            stats.range_queries_empty = 1;
+            let simulated_latency = self.config.cost_model.fetch_latency(&stats);
+            return FetchResult { rows: Vec::new(), stats, simulated_latency };
+        }
+
+        // Probe indexes.
+        let mut probed: Vec<(usize, usize)> = Vec::new(); // (dim, count)
+        let mut empty = false;
+        for (dim, iv) in region.intervals().iter().enumerate() {
+            let unbounded = iv.lo() == f64::NEG_INFINITY && iv.hi() == f64::INFINITY;
+            if unbounded {
+                continue; // no predicate on this dimension
+            }
+            stats.index_probes += 1;
+            let count = self.indexes[dim].count_in(iv);
+            if count == 0 {
+                empty = true;
+                break;
+            }
+            probed.push((dim, count));
+        }
+
+        if empty {
+            stats.range_queries_empty = 1;
+            let simulated_latency = self.config.cost_model.fetch_latency(&stats);
+            return FetchResult { rows: Vec::new(), stats, simulated_latency };
+        }
+
+        stats.range_queries_executed = 1;
+        let rows: Vec<Row> = match probed.iter().min_by_key(|&&(_, c)| c).copied() {
+            None => {
+                // Fully unbounded query: sequential scan of the heap
+                // (dead slots are still paged in, hence still charged).
+                stats.heap_fetches = self.points.len() as u64;
+                self.points
+                    .iter()
+                    .enumerate()
+                    .filter(|&(row, _)| self.live[row])
+                    .map(|(row, point)| Row { id: row as RowId, point: point.clone() })
+                    .collect()
+            }
+            Some((best_dim, best_count)) => {
+                // Plan choice: single-index heap cost vs bitmap estimate.
+                let n = self.points.len() as f64;
+                let est_match: f64 = probed
+                    .iter()
+                    .fold(n, |acc, &(_, c)| acc * (c as f64 / n));
+                let entries: usize = probed.iter().map(|&(_, c)| c).sum();
+                let ratio = self.config.cost_model.entry_to_point_ratio();
+                let bitmap_cost = est_match + ratio * entries as f64;
+                let use_bitmap = probed.len() > 1 && bitmap_cost < best_count as f64;
+
+                // Either way the candidates of the most selective
+                // dimension are scanned and filtered; the plans differ in
+                // what touches the *heap*, i.e. in the accounting.
+                let rows: Vec<Row> = self.indexes[best_dim]
+                    .rows_in(region.interval(best_dim))
+                    .iter()
+                    .filter_map(|&row| {
+                        let point = &self.points[row as usize];
+                        region
+                            .contains_point(point)
+                            .then(|| Row { id: row, point: point.clone() })
+                    })
+                    .collect();
+                if use_bitmap {
+                    // Bitmap AND: every constrained index range is scanned
+                    // (cheap, index-only); only intersecting rows hit the
+                    // heap.
+                    stats.index_entries_scanned = entries as u64;
+                    stats.heap_fetches = rows.len() as u64;
+                } else {
+                    // Single-index scan: every candidate tuple of the most
+                    // selective dimension is fetched and post-filtered.
+                    stats.index_entries_scanned = best_count as u64;
+                    stats.heap_fetches = best_count as u64;
+                }
+                rows
+            }
+        };
+        stats.rows_matched = rows.len() as u64;
+        stats.points_read = stats.rows_matched;
+        let simulated_latency = self.config.cost_model.fetch_latency(&stats);
+        FetchResult { rows, stats, simulated_latency }
+    }
+
+    /// Executes a batch of disjoint range queries, merging rows and stats.
+    pub fn fetch_batch(&self, regions: &[HyperRect]) -> FetchResult {
+        let mut out = FetchResult::default();
+        for region in regions {
+            out.absorb(self.fetch(region));
+        }
+        out
+    }
+
+    /// Executes the constraint range query `RQ(C)` of the naive approach.
+    pub fn fetch_constrained(&self, c: &Constraints) -> FetchResult {
+        self.fetch(&c.region())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycache_geom::Interval;
+
+    fn table() -> Table {
+        // Grid of 100 2-D points: (i, j) for i, j in 0..10.
+        let points: Vec<Point> = (0..10)
+            .flat_map(|i| (0..10).map(move |j| Point::from(vec![i as f64, j as f64])))
+            .collect();
+        Table::build(points, TableConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn build_validates() {
+        assert_eq!(
+            Table::build(vec![], TableConfig::default()).unwrap_err(),
+            StorageError::EmptyTable
+        );
+        let bad = vec![Point::from(vec![1.0, 2.0]), Point::from(vec![1.0])];
+        assert!(matches!(
+            Table::build(bad, TableConfig::default()).unwrap_err(),
+            StorageError::DimensionMismatch { expected: 2, actual: 1 }
+        ));
+        let cfg = TableConfig { page_capacity: 0, ..Default::default() };
+        assert_eq!(
+            Table::build(vec![Point::from(vec![0.0])], cfg).unwrap_err(),
+            StorageError::InvalidPageCapacity
+        );
+    }
+
+    #[test]
+    fn fetch_constrained_matches_filter() {
+        let t = table();
+        let c = Constraints::from_pairs(&[(2.0, 4.0), (3.0, 5.0)]).unwrap();
+        let res = t.fetch_constrained(&c);
+        assert_eq!(res.rows.len(), 9);
+        assert!(res.rows.iter().all(|r| c.satisfies(&r.point)));
+        assert_eq!(res.stats.rows_matched, 9);
+        // Both dimensions are moderately selective (30 candidates each,
+        // ~9 estimated matches): the planner picks a bitmap AND, so only
+        // the matching rows hit the heap while both index ranges are
+        // scanned as cheap index-only work.
+        assert_eq!(res.stats.points_read, 9);
+        assert_eq!(res.stats.heap_fetches, 9);
+        assert_eq!(res.stats.index_entries_scanned, 60);
+        assert_eq!(res.stats.range_queries_executed, 1);
+        assert_eq!(res.stats.index_probes, 2);
+    }
+
+    #[test]
+    fn picks_most_selective_dimension() {
+        let t = table();
+        // Dim 0 matches 10 keys, dim 1 matches 1 key → dim 1 chosen.
+        let c = Constraints::from_pairs(&[(0.0, 9.0), (4.0, 4.0)]).unwrap();
+        let res = t.fetch_constrained(&c);
+        assert_eq!(res.rows.len(), 10);
+        // Dim 1 alone matches 10 rows; a bitmap AND with the unselective
+        // dim 0 (all 100 rows) would cost more, so the planner stays with
+        // the single-index scan: all 10 candidates hit the heap.
+        assert_eq!(res.stats.points_read, 10);
+        assert_eq!(res.stats.heap_fetches, 10);
+        assert_eq!(res.stats.index_entries_scanned, 10);
+    }
+
+    #[test]
+    fn empty_detection_skips_heap() {
+        let t = table();
+        let c = Constraints::from_pairs(&[(20.0, 30.0), (0.0, 9.0)]).unwrap();
+        let res = t.fetch_constrained(&c);
+        assert!(res.rows.is_empty());
+        assert_eq!(res.stats.range_queries_empty, 1);
+        assert_eq!(res.stats.range_queries_executed, 0);
+        assert_eq!(res.stats.points_read, 0);
+    }
+
+    #[test]
+    fn degenerate_region_rejected_in_planning() {
+        let t = table();
+        let region = HyperRect::from_intervals(vec![
+            Interval::new(3.0, 3.0, true, false), // empty interval
+            Interval::closed(0.0, 9.0),
+        ]);
+        let res = t.fetch(&region);
+        assert!(res.rows.is_empty());
+        assert_eq!(res.stats.range_queries_empty, 1);
+        assert_eq!(res.stats.index_probes, 0);
+    }
+
+    #[test]
+    fn half_open_region_excludes_boundary() {
+        let t = table();
+        let region = HyperRect::from_intervals(vec![
+            Interval::new(2.0, 4.0, true, true), // only key 3
+            Interval::closed(0.0, 9.0),
+        ]);
+        let res = t.fetch(&region);
+        assert_eq!(res.rows.len(), 10);
+        assert!(res.rows.iter().all(|r| r.point[0] == 3.0));
+    }
+
+    #[test]
+    fn unbounded_query_scans_heap() {
+        let t = table();
+        let c = Constraints::unbounded(2).unwrap();
+        let res = t.fetch_constrained(&c);
+        assert_eq!(res.rows.len(), 100);
+        assert_eq!(res.stats.points_read, 100);
+        assert_eq!(res.stats.heap_fetches, 100);
+    }
+
+    #[test]
+    fn batch_merges_stats() {
+        let t = table();
+        let r1 = Constraints::from_pairs(&[(0.0, 1.0), (0.0, 1.0)]).unwrap().region();
+        let r2 = Constraints::from_pairs(&[(8.0, 9.0), (8.0, 9.0)]).unwrap().region();
+        let res = t.fetch_batch(&[r1, r2]);
+        assert_eq!(res.rows.len(), 8);
+        assert_eq!(res.stats.range_queries_issued, 2);
+        assert_eq!(res.stats.range_queries_executed, 2);
+        assert_eq!(res.stats.rows_matched, 8);
+    }
+
+    #[test]
+    fn simulated_latency_uses_cost_model() {
+        let t = table();
+        let c = Constraints::from_pairs(&[(2.0, 4.0), (3.0, 5.0)]).unwrap();
+        let res = t.fetch_constrained(&c);
+        let expect = t.config().cost_model.fetch_latency(&res.stats);
+        assert_eq!(res.simulated_latency, expect);
+        assert!(res.simulated_latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn insert_is_queryable_immediately() {
+        let mut t = table();
+        let row = t.insert(Point::from(vec![3.5, 3.5])).unwrap();
+        assert_eq!(t.len(), 101);
+        assert!(t.is_live(row));
+        let c = Constraints::from_pairs(&[(3.2, 3.8), (3.2, 3.8)]).unwrap();
+        let res = t.fetch_constrained(&c);
+        assert_eq!(res.rows.len(), 1);
+        assert_eq!(res.rows[0].id, row);
+        // Dimensionality is validated.
+        assert!(t.insert(Point::from(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn delete_removes_from_all_plans() {
+        let mut t = table();
+        // Row for point (4, 4) in the grid: row = 4*10 + 4.
+        let deleted = t.delete(44).unwrap();
+        assert_eq!(deleted, Point::from(vec![4.0, 4.0]));
+        assert_eq!(t.len(), 99);
+        assert!(!t.is_live(44));
+        assert!(t.delete(44).is_none(), "double delete is a no-op");
+
+        // Single-index and bitmap plans no longer see it.
+        let c = Constraints::from_pairs(&[(4.0, 4.0), (4.0, 4.0)]).unwrap();
+        assert!(t.fetch_constrained(&c).rows.is_empty());
+        // Sequential scan path skips it too.
+        let all = t.fetch_constrained(&Constraints::unbounded(2).unwrap());
+        assert_eq!(all.rows.len(), 99);
+        assert!(all.rows.iter().all(|r| r.id != 44));
+        // live_points agrees.
+        assert_eq!(t.live_points().count(), 99);
+    }
+
+    #[test]
+    fn mutated_table_matches_rebuilt_table() {
+        let mut t = table();
+        t.delete(17).unwrap();
+        t.delete(83).unwrap();
+        let added = Point::from(vec![2.5, 7.5]);
+        t.insert(added.clone()).unwrap();
+
+        // Rebuild from the live set and compare query results.
+        let live: Vec<Point> = t.live_points().map(|(_, p)| p.clone()).collect();
+        let rebuilt = Table::build(live, TableConfig::default()).unwrap();
+        for c in [
+            Constraints::from_pairs(&[(0.0, 9.0), (0.0, 9.0)]).unwrap(),
+            Constraints::from_pairs(&[(1.0, 3.0), (6.0, 8.0)]).unwrap(),
+            Constraints::from_pairs(&[(2.5, 2.5), (7.5, 7.5)]).unwrap(),
+        ] {
+            let mut a: Vec<Point> =
+                t.fetch_constrained(&c).rows.into_iter().map(|r| r.point).collect();
+            let mut b: Vec<Point> = rebuilt
+                .fetch_constrained(&c)
+                .rows
+                .into_iter()
+                .map(|r| r.point)
+                .collect();
+            let key = |p: &Point| (p[0].to_bits(), p[1].to_bits());
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b, "constraints {c:?}");
+        }
+    }
+
+    #[test]
+    fn page_accounting() {
+        let cfg = TableConfig { page_capacity: 7, ..Default::default() };
+        let t = Table::build(
+            (0..20).map(|i| Point::from(vec![i as f64])).collect(),
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(t.page_of(0), 0);
+        assert_eq!(t.page_of(6), 0);
+        assert_eq!(t.page_of(7), 1);
+        assert_eq!(t.page_of(19), 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the storage engine: every plan the executor may
+//! choose (single-index scan, bitmap AND, sequential scan, empty-query
+//! detection) must return exactly the brute-force filter result, and the
+//! accounting must obey its invariants — under arbitrary regions,
+//! endpoint openness, and table mutations.
+
+use proptest::prelude::*;
+
+use skycache_geom::{HyperRect, Interval, Point};
+use skycache_storage::{Table, TableConfig};
+
+const DIMS: usize = 3;
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0..=10u8).prop_map(f64::from)
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    prop::collection::vec(coord(), DIMS).prop_map(Point::from)
+}
+
+fn dataset() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(point(), 1..200)
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (coord(), coord(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(a, b, lo_open, hi_open, unbounded)| {
+            if unbounded {
+                Interval::closed(f64::NEG_INFINITY, f64::INFINITY)
+            } else {
+                Interval::new(a.min(b), a.max(b), lo_open, hi_open)
+            }
+        },
+    )
+}
+
+fn region() -> impl Strategy<Value = HyperRect> {
+    prop::collection::vec(interval(), DIMS).prop_map(HyperRect::from_intervals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// fetch == brute-force filter, for every plan shape.
+    #[test]
+    fn fetch_matches_bruteforce(points in dataset(), region in region()) {
+        let table = Table::build(points.clone(), TableConfig::default()).unwrap();
+        let result = table.fetch(&region);
+
+        let mut got: Vec<u32> = result.rows.iter().map(|r| r.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| region.contains_point(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+
+        // Accounting invariants.
+        let s = &result.stats;
+        prop_assert_eq!(s.rows_matched as usize, result.rows.len());
+        prop_assert_eq!(s.points_read, s.rows_matched);
+        prop_assert!(s.heap_fetches >= s.rows_matched);
+        prop_assert_eq!(s.range_queries_issued, 1);
+        prop_assert_eq!(s.range_queries_executed + s.range_queries_empty, 1);
+        if s.range_queries_empty == 1 {
+            prop_assert!(result.rows.is_empty());
+            prop_assert_eq!(s.heap_fetches, 0);
+        }
+        prop_assert_eq!(
+            result.simulated_latency,
+            table.config().cost_model.fetch_latency(s)
+        );
+    }
+
+    /// Empty-query detection never fires on a region that has matches.
+    #[test]
+    fn empty_detection_is_sound(points in dataset(), region in region()) {
+        let table = Table::build(points.clone(), TableConfig::default()).unwrap();
+        let result = table.fetch(&region);
+        if result.stats.range_queries_empty == 1 {
+            prop_assert!(
+                points.iter().all(|p| !region.contains_point(p)),
+                "empty detection discarded a non-empty query"
+            );
+        }
+    }
+
+    /// After arbitrary insert/delete churn, fetch still equals the filter
+    /// over the live set.
+    #[test]
+    fn mutations_preserve_fetch_semantics(
+        initial in dataset(),
+        inserts in prop::collection::vec(point(), 0..30),
+        delete_picks in prop::collection::vec(any::<u16>(), 0..30),
+        region in region(),
+    ) {
+        let mut table = Table::build(initial.clone(), TableConfig::default()).unwrap();
+        let mut model: Vec<(u32, Point)> = initial
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p))
+            .collect();
+
+        for p in &inserts {
+            let row = table.insert(p.clone()).unwrap();
+            model.push((row, p.clone()));
+        }
+        for pick in &delete_picks {
+            if model.is_empty() {
+                break;
+            }
+            let idx = *pick as usize % model.len();
+            let (row, _) = model.swap_remove(idx);
+            prop_assert!(table.delete(row).is_some());
+        }
+        prop_assert_eq!(table.len(), model.len());
+
+        let mut got: Vec<u32> = table.fetch(&region).rows.iter().map(|r| r.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = model
+            .iter()
+            .filter(|(_, p)| region.contains_point(p))
+            .map(|(row, _)| *row)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Save/load roundtrips arbitrary mutated tables bit-exactly.
+    #[test]
+    fn persistence_roundtrip(
+        initial in dataset(),
+        delete_picks in prop::collection::vec(any::<u16>(), 0..10),
+        region in region(),
+    ) {
+        let mut table = Table::build(initial.clone(), TableConfig::default()).unwrap();
+        let mut rows: Vec<u32> = (0..initial.len() as u32).collect();
+        for pick in &delete_picks {
+            if rows.is_empty() {
+                break;
+            }
+            let idx = *pick as usize % rows.len();
+            table.delete(rows.swap_remove(idx)).unwrap();
+        }
+
+        let path = std::env::temp_dir().join(format!(
+            "skycache-prop-{}-{:x}.skyc",
+            std::process::id(),
+            rand_suffix(&initial)
+        ));
+        table.save(&path).unwrap();
+        let loaded = Table::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(loaded.len(), table.len());
+        let mut a: Vec<u32> = table.fetch(&region).rows.iter().map(|r| r.id).collect();
+        let mut b: Vec<u32> = loaded.fetch(&region).rows.iter().map(|r| r.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Cheap content-derived suffix so concurrent test processes don't collide.
+fn rand_suffix(points: &[Point]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in points {
+        for c in p.coords() {
+            h ^= c.to_bits();
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}

@@ -1,0 +1,91 @@
+//! Dynamic data and multi-user caching — the paper's Section 6.2
+//! deployment scenarios, implemented by this library as extensions.
+//!
+//! Part 1: a [`DynamicCbcsExecutor`] owns its table; inserting and
+//! deleting listings maintains cached skylines incrementally ("each cache
+//! item as a separate dataset with a continuous skyline query").
+//!
+//! Part 2: several user sessions share one [`SharedCache`] — the second
+//! user's query hits the first user's cached result.
+//!
+//! Run with: `cargo run --release --example live_updates`
+
+use skycache::core::{
+    CbcsConfig, DynamicCbcsExecutor, Executor, SharedCache, SharedCbcsExecutor,
+};
+use skycache::datagen::{Distribution, SyntheticGen};
+use skycache::geom::{Constraints, Point};
+use skycache::storage::{Table, TableConfig};
+
+fn main() {
+    // -------- Part 1: live updates ------------------------------------
+    println!("== dynamic data (Section 6.2) ==");
+    let points = SyntheticGen::new(Distribution::Independent, 2, 11).generate(50_000);
+    let table = Table::build(points, TableConfig::default()).expect("valid data");
+    let mut engine = DynamicCbcsExecutor::new(table, CbcsConfig::default());
+
+    let c = Constraints::from_pairs(&[(0.2, 0.7), (0.2, 0.7)]).expect("valid");
+    let r1 = engine.query(&c).expect("query succeeds");
+    println!("initial skyline: {} points (cache miss)", r1.skyline.len());
+
+    // A hot new listing lands at the cached region's best corner — it
+    // dominates everything there and must take over the cached skyline.
+    let hot = Point::from(vec![0.2, 0.2]);
+    engine.insert(hot.clone()).expect("insert succeeds");
+    let r2 = engine.query(&c).expect("query succeeds");
+    println!(
+        "after insert:    {} points (cache hit: {}, includes new listing: {})",
+        r2.skyline.len(),
+        r2.stats.cache_hit,
+        r2.skyline.contains(&hot),
+    );
+
+    // The listing is sold (deleted): its cached items are invalidated and
+    // the next query recomputes, then re-caches.
+    let row = engine
+        .table()
+        .live_points()
+        .find(|(_, p)| **p == hot)
+        .map(|(row, _)| row)
+        .expect("just inserted");
+    engine.delete(row).expect("delete succeeds");
+    let r3 = engine.query(&c).expect("query succeeds");
+    println!(
+        "after delete:    {} points (gone again: {})\n",
+        r3.skyline.len(),
+        !r3.skyline.contains(&hot),
+    );
+
+    // -------- Part 2: multi-user shared cache --------------------------
+    println!("== multi-user shared cache ==");
+    let points = SyntheticGen::new(Distribution::Independent, 3, 13).generate(100_000);
+    let table = Table::build(points, TableConfig::default()).expect("valid data");
+    let shared = SharedCache::new(3, &CbcsConfig::default());
+
+    let mut alice = SharedCbcsExecutor::new(&table, shared.clone(), CbcsConfig::default());
+    let mut bob = SharedCbcsExecutor::new(
+        &table,
+        shared.clone(),
+        CbcsConfig { seed: 2, ..Default::default() },
+    );
+
+    let c = Constraints::from_pairs(&[(0.1, 0.6); 3]).expect("valid");
+    let ra = alice.query(&c).expect("query succeeds");
+    println!(
+        "alice: {:>6} points read ({})",
+        ra.stats.points_read,
+        if ra.stats.cache_hit { "hit" } else { "miss" }
+    );
+
+    // Bob refines Alice's query and benefits from her cached result.
+    let c2 = Constraints::from_pairs(&[(0.1, 0.65), (0.1, 0.6), (0.1, 0.6)]).expect("valid");
+    let rb = bob.query(&c2).expect("query succeeds");
+    println!(
+        "bob:   {:>6} points read ({}, case {})",
+        rb.stats.points_read,
+        if rb.stats.cache_hit { "hit" } else { "miss" },
+        rb.stats.case.map_or("-", |c| c.label()),
+    );
+    println!("shared cache now holds {} items", shared.len());
+    assert!(rb.stats.points_read < ra.stats.points_read / 4);
+}

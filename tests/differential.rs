@@ -1,0 +1,228 @@
+//! End-to-end differential tests: every executor configuration must
+//! produce exactly the same constrained skylines as the naive Baseline on
+//! realistic workloads over every data distribution.
+//!
+//! This is the repository's main correctness gate for the paper pipeline:
+//! a bug anywhere in stability classification, the case solutions, MPR
+//! splitting, aMPR approximation, caching, strategy selection, storage
+//! planning, the R\*-tree, or the skyline algorithms shows up here as a
+//! skyline mismatch.
+
+use skycache::core::{
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode,
+    SearchStrategy,
+};
+use skycache::datagen::{
+    DimStats, Distribution, IndependentWorkload, InteractiveWorkload, SyntheticGen,
+};
+use skycache::geom::{Constraints, Point};
+use skycache::storage::{CostModel, Table, TableConfig};
+
+fn sort_key(p: &Point) -> Vec<u64> {
+    p.coords().iter().map(|c| c.to_bits()).collect()
+}
+
+fn sorted(mut v: Vec<Point>) -> Vec<Point> {
+    v.sort_by_key(sort_key);
+    v
+}
+
+fn table_for(dist: Distribution, dims: usize, n: usize, seed: u64) -> Table {
+    let points = SyntheticGen::new(dist, dims, seed).generate(n);
+    let config = TableConfig { cost_model: CostModel::free(), ..Default::default() };
+    Table::build(points, config).unwrap()
+}
+
+fn assert_matches_baseline(
+    table: &Table,
+    queries: &[Constraints],
+    mut cbcs: CbcsExecutor<'_>,
+    label: &str,
+) {
+    let mut baseline = BaselineExecutor::new(table);
+    for (i, c) in queries.iter().enumerate() {
+        let want = sorted(baseline.query(c).unwrap().skyline);
+        let got = sorted(cbcs.query(c).unwrap().skyline);
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "{label}: query {i} ({c:?}) cardinality {} != {}",
+            got.len(),
+            want.len()
+        );
+        assert_eq!(got, want, "{label}: query {i} ({c:?}) skyline mismatch");
+    }
+}
+
+fn interactive_queries(table: &Table, n: usize, seed: u64) -> Vec<Constraints> {
+    let stats = DimStats::compute(table.all_points());
+    InteractiveWorkload::new(stats)
+        .generate(n, seed)
+        .queries()
+        .iter()
+        .map(|q| q.constraints.clone())
+        .collect()
+}
+
+fn independent_queries(table: &Table, n: usize, seed: u64) -> Vec<Constraints> {
+    let stats = DimStats::compute(table.all_points());
+    IndependentWorkload::new(stats)
+        .generate(n, seed)
+        .queries()
+        .iter()
+        .map(|q| q.constraints.clone())
+        .collect()
+}
+
+#[test]
+fn cbcs_exact_mpr_matches_baseline_interactive_all_distributions() {
+    for dist in [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::AntiCorrelated,
+    ] {
+        let table = table_for(dist, 3, 4_000, 11);
+        let queries = interactive_queries(&table, 60, 21);
+        let config = CbcsConfig { mpr: MprMode::Exact, ..Default::default() };
+        assert_matches_baseline(
+            &table,
+            &queries,
+            CbcsExecutor::new(&table, config),
+            &format!("exact-MPR/{dist:?}"),
+        );
+    }
+}
+
+#[test]
+fn cbcs_ampr_matches_baseline_for_all_k() {
+    let table = table_for(Distribution::Independent, 4, 4_000, 13);
+    let queries = interactive_queries(&table, 50, 23);
+    for k in [0, 1, 3, 6, 10] {
+        let config = CbcsConfig {
+            mpr: MprMode::Approximate { k },
+            ..Default::default()
+        };
+        assert_matches_baseline(
+            &table,
+            &queries,
+            CbcsExecutor::new(&table, config),
+            &format!("aMPR({k})"),
+        );
+    }
+}
+
+#[test]
+fn cbcs_matches_baseline_under_every_strategy() {
+    let table = table_for(Distribution::Independent, 3, 3_000, 17);
+    let queries = interactive_queries(&table, 40, 29);
+    for strategy in [
+        SearchStrategy::Random,
+        SearchStrategy::MaxOverlap,
+        SearchStrategy::MaxOverlapSP,
+        SearchStrategy::Prioritized1D,
+        SearchStrategy::prioritized_nd_std(),
+        SearchStrategy::prioritized_nd_bad(),
+        SearchStrategy::OptimumDistance,
+    ] {
+        let label = strategy.label();
+        let config = CbcsConfig {
+            mpr: MprMode::Approximate { k: 2 },
+            strategy,
+            ..Default::default()
+        };
+        assert_matches_baseline(
+            &table,
+            &queries,
+            CbcsExecutor::new(&table, config),
+            &label,
+        );
+    }
+}
+
+#[test]
+fn cbcs_matches_baseline_on_independent_workload_with_warm_cache() {
+    let table = table_for(Distribution::Independent, 3, 3_000, 19);
+    let queries = independent_queries(&table, 80, 31);
+    let config = CbcsConfig {
+        mpr: MprMode::Approximate { k: 3 },
+        strategy: SearchStrategy::prioritized_nd_std(),
+        ..Default::default()
+    };
+    assert_matches_baseline(&table, &queries, CbcsExecutor::new(&table, config), "independent");
+}
+
+#[test]
+fn bbs_matches_baseline_on_workload() {
+    let table = table_for(Distribution::AntiCorrelated, 3, 3_000, 23);
+    let queries = interactive_queries(&table, 30, 37);
+    let mut baseline = BaselineExecutor::new(&table);
+    let mut bbs = BbsExecutor::new(&table);
+    for (i, c) in queries.iter().enumerate() {
+        let want = sorted(baseline.query(c).unwrap().skyline);
+        let got = sorted(bbs.query(c).unwrap().skyline);
+        assert_eq!(got, want, "BBS query {i} mismatch");
+    }
+}
+
+#[test]
+fn cbcs_with_bounded_cache_stays_correct() {
+    let table = table_for(Distribution::Independent, 3, 2_000, 29);
+    let queries = interactive_queries(&table, 60, 41);
+    for policy in [
+        skycache::core::ReplacementPolicy::Lru,
+        skycache::core::ReplacementPolicy::Lcu,
+    ] {
+        let config = CbcsConfig {
+            capacity: Some(4),
+            policy,
+            ..Default::default()
+        };
+        let cbcs = CbcsExecutor::new(&table, config);
+        assert_matches_baseline(&table, &queries, cbcs, &format!("{policy:?}-cap4"));
+    }
+}
+
+#[test]
+fn cbcs_handles_degenerate_and_empty_regions() {
+    let table = table_for(Distribution::Independent, 2, 1_000, 31);
+    let mut baseline = BaselineExecutor::new(&table);
+    let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
+    let queries = [
+        // Empty region (outside the data space).
+        Constraints::from_pairs(&[(2.0, 3.0), (2.0, 3.0)]).unwrap(),
+        // Degenerate (zero-width) region.
+        Constraints::from_pairs(&[(0.5, 0.5), (0.0, 1.0)]).unwrap(),
+        // Full space.
+        Constraints::from_pairs(&[(0.0, 1.0), (0.0, 1.0)]).unwrap(),
+        // Overlapping the empty region cached earlier.
+        Constraints::from_pairs(&[(1.5, 2.5), (1.5, 2.5)]).unwrap(),
+    ];
+    for (i, c) in queries.iter().enumerate() {
+        let want = sorted(baseline.query(c).unwrap().skyline);
+        let got = sorted(cbcs.query(c).unwrap().skyline);
+        assert_eq!(got, want, "query {i} mismatch");
+    }
+}
+
+#[test]
+fn cbcs_reads_fewer_points_than_baseline_on_refinement_chains() {
+    // The paper's headline effect: on interactive chains, CBCS touches far
+    // fewer points than Baseline.
+    let table = table_for(Distribution::Independent, 3, 20_000, 37);
+    let queries = interactive_queries(&table, 100, 43);
+    let mut baseline = BaselineExecutor::new(&table);
+    let mut cbcs = CbcsExecutor::new(
+        &table,
+        CbcsConfig { mpr: MprMode::Approximate { k: 1 }, ..Default::default() },
+    );
+    let mut base_read = 0u64;
+    let mut cbcs_read = 0u64;
+    for c in &queries {
+        base_read += baseline.query(c).unwrap().stats.points_read;
+        cbcs_read += cbcs.query(c).unwrap().stats.points_read;
+    }
+    assert!(
+        cbcs_read * 2 < base_read,
+        "expected >2x fewer points read: CBCS {cbcs_read} vs Baseline {base_read}"
+    );
+}

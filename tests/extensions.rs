@@ -1,0 +1,182 @@
+//! Integration tests for the paper's future-work extensions implemented by
+//! this library: multi-item cache exploitation (Section 6.3) and dynamic
+//! data (Section 6.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use skycache::core::{
+    BaselineExecutor, CbcsConfig, CbcsExecutor, DynamicCbcsExecutor, Executor, MprMode,
+    SearchStrategy,
+};
+use skycache::datagen::{DimStats, Distribution, InteractiveWorkload, SyntheticGen};
+use skycache::geom::{Constraints, Point};
+use skycache::storage::{CostModel, Table, TableConfig};
+
+fn sorted(mut v: Vec<Point>) -> Vec<Point> {
+    v.sort_by_key(|p| p.coords().iter().map(|c| c.to_bits()).collect::<Vec<_>>());
+    v
+}
+
+fn table_3d(n: usize, seed: u64) -> Table {
+    let points = SyntheticGen::new(Distribution::Independent, 3, seed).generate(n);
+    let config = TableConfig { cost_model: CostModel::free(), ..Default::default() };
+    Table::build(points, config).unwrap()
+}
+
+fn workload(table: &Table, n: usize, seed: u64) -> Vec<Constraints> {
+    let stats = DimStats::compute(table.all_points());
+    InteractiveWorkload::new(stats)
+        .generate(n, seed)
+        .queries()
+        .iter()
+        .map(|q| q.constraints.clone())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Multi-item processing (Section 6.3)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn multi_item_stays_correct() {
+    let table = table_3d(4_000, 3);
+    let queries = workload(&table, 80, 7);
+    let mut baseline = BaselineExecutor::new(&table);
+    for extra in [1usize, 2, 4] {
+        let config = CbcsConfig {
+            mpr: MprMode::Approximate { k: 2 },
+            extra_items: extra,
+            ..Default::default()
+        };
+        let mut cbcs = CbcsExecutor::new(&table, config);
+        for (i, c) in queries.iter().enumerate() {
+            let want = sorted(baseline.query(c).unwrap().skyline);
+            let got = sorted(cbcs.query(c).unwrap().skyline);
+            assert_eq!(got, want, "extra_items={extra}, query {i}");
+        }
+    }
+}
+
+#[test]
+fn multi_item_never_reads_more_points() {
+    // Extra pruning points can only shrink the fetched region, so the
+    // total points read must not increase (per-query ties are fine).
+    let table = table_3d(20_000, 5);
+    let queries = workload(&table, 100, 11);
+    let mut single_total = 0u64;
+    let mut multi_total = 0u64;
+    for (extra, total) in [(0usize, &mut single_total), (3, &mut multi_total)] {
+        let config = CbcsConfig {
+            mpr: MprMode::Approximate { k: 3 },
+            strategy: SearchStrategy::MaxOverlapSP,
+            extra_items: extra,
+            ..Default::default()
+        };
+        let mut cbcs = CbcsExecutor::new(&table, config);
+        for c in &queries {
+            *total += cbcs.query(c).unwrap().stats.points_read;
+        }
+    }
+    assert!(
+        multi_total <= single_total,
+        "multi-item read more: {multi_total} vs {single_total}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic data (Section 6.2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dynamic_executor_matches_recomputation_under_churn() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let table = table_3d(2_000, 13);
+    let queries = workload(&table, 60, 17);
+    let mut dynamic = DynamicCbcsExecutor::new(table, CbcsConfig::default());
+
+    let mut live_rows: Vec<u32> = (0..2_000).collect();
+    for (i, c) in queries.iter().enumerate() {
+        // Interleave churn: a couple of inserts and deletes per query.
+        for _ in 0..2 {
+            let p = Point::from(vec![
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ]);
+            let row = dynamic.insert(p).unwrap();
+            live_rows.push(row);
+        }
+        for _ in 0..2 {
+            let pos = rng.gen_range(0..live_rows.len());
+            let row = live_rows.swap_remove(pos);
+            assert!(dynamic.delete(row).is_some());
+        }
+
+        // The cached answer must equal recomputing from the live data.
+        let got = sorted(dynamic.query(c).unwrap().skyline);
+        let live: Vec<Point> =
+            dynamic.table().live_points().map(|(_, p)| p.clone()).collect();
+        let fresh = Table::build(
+            live,
+            TableConfig { cost_model: CostModel::free(), ..Default::default() },
+        )
+        .unwrap();
+        let want = sorted(BaselineExecutor::new(&fresh).query(c).unwrap().skyline);
+        assert_eq!(got, want, "query {i} diverged after churn");
+    }
+}
+
+#[test]
+fn insert_into_cached_region_updates_answers() {
+    let table = table_3d(1_000, 19);
+    let mut dynamic = DynamicCbcsExecutor::new(table, CbcsConfig::default());
+    let c = Constraints::from_pairs(&[(0.2, 0.8); 3]).unwrap();
+    let before = dynamic.query(&c).unwrap().skyline;
+
+    // A point dominating the whole region becomes the sole skyline point.
+    dynamic.insert(Point::from(vec![0.2, 0.2, 0.2])).unwrap();
+    let after = dynamic.query(&c).unwrap();
+    assert_eq!(after.skyline, vec![Point::from(vec![0.2, 0.2, 0.2])]);
+    // And it was answered from the (maintained) cache, not recomputed.
+    assert!(after.stats.cache_hit);
+    assert!(!before.is_empty());
+}
+
+#[test]
+fn delete_of_skyline_point_invalidates_only_affected_items() {
+    let table = table_3d(1_000, 23);
+    let mut dynamic = DynamicCbcsExecutor::new(table, CbcsConfig::default());
+
+    // Two disjoint cached regions.
+    let c1 = Constraints::from_pairs(&[(0.0, 0.45); 3]).unwrap();
+    let c2 = Constraints::from_pairs(&[(0.55, 1.0); 3]).unwrap();
+    let r1 = dynamic.query(&c1).unwrap().skyline;
+    dynamic.query(&c2).unwrap();
+    assert_eq!(dynamic.cache().len(), 2);
+
+    // Delete a skyline point of region 1.
+    let victim = r1[0].clone();
+    let row = dynamic
+        .table()
+        .live_points()
+        .find(|(_, p)| **p == victim)
+        .map(|(row, _)| row)
+        .expect("skyline point exists in table");
+    dynamic.delete(row).unwrap();
+
+    // Region 1's item was dropped; region 2's survived.
+    assert_eq!(dynamic.cache().len(), 1);
+
+    // Re-querying region 1 is correct (recomputed, then re-cached).
+    let got = sorted(dynamic.query(&c1).unwrap().skyline);
+    let live: Vec<Point> =
+        dynamic.table().live_points().map(|(_, p)| p.clone()).collect();
+    let fresh = Table::build(
+        live,
+        TableConfig { cost_model: CostModel::free(), ..Default::default() },
+    )
+    .unwrap();
+    let want = sorted(BaselineExecutor::new(&fresh).query(&c1).unwrap().skyline);
+    assert_eq!(got, want);
+}
