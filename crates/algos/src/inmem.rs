@@ -1,7 +1,11 @@
 //! In-memory skyline algorithms: BNL, SFS and two-way divide & conquer.
+//!
+//! BNL's and SFS's inner loops run over [`PointBlock`] — a flat
+//! structure-of-arrays coordinate buffer — so the dominance-test hot path
+//! does no per-point allocation and no pointer chasing.
 
-use skycache_geom::dominance::{compare, DomRelation};
-use skycache_geom::{dominates, Point};
+use skycache_geom::dominance::{compare_raw, dominates_raw, DomRelation};
+use skycache_geom::{dominates, Point, PointBlock};
 
 /// Result of an in-memory skyline computation.
 #[derive(Clone, Debug)]
@@ -37,13 +41,16 @@ impl SkylineAlgorithm for Bnl {
     }
 
     fn compute(&self, points: Vec<Point>) -> SkylineOutput {
-        let mut window: Vec<Point> = Vec::new();
+        let Ok(input) = PointBlock::from_points(&points) else {
+            return SkylineOutput { skyline: Vec::new(), dominance_tests: 0 };
+        };
+        let mut window = PointBlock::new(input.dims()).expect("dims > 0");
         let mut tests = 0u64;
-        'next_point: for p in points {
+        'next_point: for row in input.rows() {
             let mut i = 0;
             while i < window.len() {
                 tests += 1;
-                match compare(&window[i], &p) {
+                match compare_raw(window.row(i), row) {
                     DomRelation::Dominates => continue 'next_point,
                     DomRelation::DominatedBy => {
                         window.swap_remove(i);
@@ -51,9 +58,9 @@ impl SkylineAlgorithm for Bnl {
                     DomRelation::Equal | DomRelation::Incomparable => i += 1,
                 }
             }
-            window.push(p);
+            window.push_row(row);
         }
-        SkylineOutput { skyline: window, dominance_tests: tests }
+        SkylineOutput { skyline: window.to_points(), dominance_tests: tests }
     }
 }
 
@@ -78,22 +85,25 @@ impl SkylineAlgorithm for Sfs {
                 .partial_cmp(&b.coord_sum())
                 .expect("NaN-free")
         });
-        let mut skyline: Vec<Point> = Vec::new();
+        let Ok(input) = PointBlock::from_points(&points) else {
+            return SkylineOutput { skyline: Vec::new(), dominance_tests: 0 };
+        };
+        let mut skyline = PointBlock::new(input.dims()).expect("dims > 0");
         let mut tests = 0u64;
-        for p in points {
+        for row in input.rows() {
             let mut dominated = false;
-            for s in &skyline {
+            for s in skyline.rows() {
                 tests += 1;
-                if dominates(s, &p) {
+                if dominates_raw(s, row) {
                     dominated = true;
                     break;
                 }
             }
             if !dominated {
-                skyline.push(p);
+                skyline.push_row(row);
             }
         }
-        SkylineOutput { skyline, dominance_tests: tests }
+        SkylineOutput { skyline: skyline.to_points(), dominance_tests: tests }
     }
 }
 
@@ -205,7 +215,15 @@ mod tests {
     use crate::testutil::{naive_skyline, sorted};
 
     fn algos() -> Vec<Box<dyn SkylineAlgorithm>> {
-        vec![Box::new(Bnl), Box::new(Sfs), Box::new(DivideConquer), Box::new(Salsa)]
+        vec![
+            Box::new(Bnl),
+            Box::new(Sfs),
+            Box::new(DivideConquer),
+            Box::new(Salsa),
+            // Forced thread count + tiny threshold so the scoped-thread
+            // path is exercised even on single-core hosts.
+            Box::new(crate::ParallelDc { threads: 4, sequential_threshold: 32 }),
+        ]
     }
 
     fn p(c: &[f64]) -> Point {

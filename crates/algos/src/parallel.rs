@@ -1,0 +1,219 @@
+//! Parallel divide & conquer skyline over scoped threads.
+//!
+//! [`ParallelDc`] splits the input into one contiguous chunk per worker,
+//! computes each chunk's local skyline independently (SFS per chunk),
+//! then cross-filters the union of local skylines — also in parallel —
+//! to drop points dominated by another chunk's skyline. Both phases run
+//! on `std::thread::scope`, so no thread pool or external runtime is
+//! needed, and all data is borrowed rather than `Arc`-wrapped.
+//!
+//! The result is *set-identical* to every sequential algorithm in this
+//! crate (including keep-duplicates semantics: equal points never
+//! dominate each other, so all copies survive). `dominance_tests` is
+//! deterministic for a fixed `(threads, sequential_threshold)` but
+//! differs from the sequential algorithms' counts — partitioning changes
+//! which comparisons happen, not what the skyline is.
+
+use std::thread;
+
+use skycache_geom::{filter_block, Point, PointBlock};
+
+use crate::{DivideConquer, Sfs, SkylineAlgorithm, SkylineOutput};
+
+/// Parallel divide & conquer: local skylines per chunk, then a parallel
+/// cross-filter merge.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelDc {
+    /// Worker count; `0` resolves to `std::thread::available_parallelism()`.
+    pub threads: usize,
+    /// Inputs smaller than this run sequential [`DivideConquer`] instead
+    /// (thread spawn + merge overhead beats the win on small inputs).
+    pub sequential_threshold: usize,
+}
+
+impl ParallelDc {
+    /// Default sequential-fallback threshold.
+    pub const DEFAULT_SEQUENTIAL_THRESHOLD: usize = 4096;
+
+    /// Auto-sized worker count, default threshold.
+    pub fn new() -> Self {
+        ParallelDc { threads: 0, sequential_threshold: Self::DEFAULT_SEQUENTIAL_THRESHOLD }
+    }
+
+    /// Fixed worker count, default threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelDc { threads, ..Self::new() }
+    }
+
+    /// The worker count this instance will actually use.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+impl Default for ParallelDc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SkylineAlgorithm for ParallelDc {
+    fn name(&self) -> &'static str {
+        "ParallelD&C"
+    }
+
+    fn compute(&self, points: Vec<Point>) -> SkylineOutput {
+        let threads = self.resolved_threads();
+        if threads <= 1 || points.len() < self.sequential_threshold.max(2) {
+            return DivideConquer.compute(points);
+        }
+        let dims = points[0].dims();
+
+        // Phase 1: local skyline per contiguous chunk, one worker each.
+        let chunk_len = points.len().div_ceil(threads);
+        let locals: Vec<SkylineOutput> = thread::scope(|s| {
+            let handles: Vec<_> = points
+                .chunks(chunk_len)
+                .map(|chunk| s.spawn(move || Sfs.compute(chunk.to_vec())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("local skyline worker panicked"))
+                .collect()
+        });
+        let mut tests: u64 = locals.iter().map(|o| o.dominance_tests).sum();
+
+        // Union of local skylines, in chunk order, as one flat block.
+        let union_len: usize = locals.iter().map(|o| o.skyline.len()).sum();
+        let mut union = PointBlock::with_capacity(dims, union_len).expect("dims > 0");
+        for local in &locals {
+            for p in &local.skyline {
+                union.push(p);
+            }
+        }
+
+        // Phase 2: cross-filter. A union row survives iff no union row
+        // strictly dominates it — self-comparison and duplicates are
+        // harmless because strict dominance is irreflexive. Each worker
+        // filters its span of candidates against the whole (shared) union.
+        let n = union.len();
+        let span = n.div_ceil(threads).max(1);
+        let union_ref = &union;
+        let filtered: Vec<(PointBlock, u64)> = thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .filter_map(|t| {
+                    let lo = t * span;
+                    if lo >= n {
+                        return None;
+                    }
+                    let hi = ((t + 1) * span).min(n);
+                    Some(s.spawn(move || {
+                        let mut cand =
+                            PointBlock::with_capacity(dims, hi - lo).expect("dims > 0");
+                        for i in lo..hi {
+                            cand.push_row(union_ref.row(i));
+                        }
+                        let stats = filter_block(&mut cand, union_ref);
+                        (cand, stats.dominance_tests)
+                    }))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("merge filter worker panicked"))
+                .collect()
+        });
+
+        let mut skyline = Vec::new();
+        for (block, block_tests) in filtered {
+            tests += block_tests;
+            skyline.extend(block.to_points());
+        }
+        // Emit in SFS's canonical order (ascending coordinate sum) so a
+        // caller caching the result plans the same follow-up regions
+        // whether it computed sequentially or in parallel.
+        skyline.sort_by(|a, b| a.coord_sum().total_cmp(&b.coord_sum()));
+        SkylineOutput { skyline, dominance_tests: tests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{naive_skyline, sorted};
+    use crate::Bnl;
+
+    fn pseudo_random_points(n: usize, dims: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    /// Forces the scoped-thread path regardless of host core count.
+    fn forced() -> ParallelDc {
+        ParallelDc { threads: 4, sequential_threshold: 8 }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_data() {
+        let pts = pseudo_random_points(700, 4, 99);
+        let want = sorted(Bnl.compute(pts.clone()).skyline);
+        let got = sorted(forced().compute(pts).skyline);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let algo = ParallelDc::new();
+        let pts = pseudo_random_points(100, 3, 5);
+        let want = sorted(naive_skyline(&pts));
+        assert_eq!(sorted(algo.compute(pts).skyline), want);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(forced().compute(vec![]).skyline.is_empty());
+        let one = vec![Point::from(vec![1.0, 2.0])];
+        assert_eq!(forced().compute(one.clone()).skyline, one);
+    }
+
+    #[test]
+    fn duplicates_survive_across_chunks() {
+        // Two identical skyline points far apart in the input land in
+        // different chunks; both must be kept.
+        let mut pts = pseudo_random_points(200, 2, 17);
+        let dup = Point::from(vec![0.0, 0.0]);
+        pts.insert(0, dup.clone());
+        pts.push(dup.clone());
+        let sky = forced().compute(pts).skyline;
+        assert_eq!(sky.iter().filter(|p| **p == dup).count(), 2);
+    }
+
+    #[test]
+    fn deterministic_tests_count_for_fixed_config() {
+        let pts = pseudo_random_points(500, 3, 3);
+        let a = forced().compute(pts.clone());
+        let b = forced().compute(pts);
+        assert_eq!(a.dominance_tests, b.dominance_tests);
+        assert_eq!(sorted(a.skyline), sorted(b.skyline));
+    }
+
+    #[test]
+    fn more_threads_than_points_is_fine() {
+        let algo = ParallelDc { threads: 16, sequential_threshold: 2 };
+        let pts = pseudo_random_points(9, 2, 77);
+        let want = sorted(naive_skyline(&pts));
+        assert_eq!(sorted(algo.compute(pts).skyline), want);
+    }
+}

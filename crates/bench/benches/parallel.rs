@@ -1,0 +1,88 @@
+//! Sequential vs parallel execution: the `ParallelDc` skyline kernel
+//! against SFS across cardinality/dimensionality/lanes, the lane-parallel
+//! batch fetch against the sequential one, and the end-to-end CBCS
+//! pipeline under both `ExecMode`s. The `repro parallel` experiment
+//! records the same comparison to `BENCH_parallel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skycache_algos::{ParallelDc, Sfs, SkylineAlgorithm};
+use skycache_bench::{interactive_queries, synthetic_table};
+use skycache_core::{CbcsConfig, CbcsExecutor, ExecMode, Executor, MprMode};
+use skycache_datagen::{Distribution, SyntheticGen};
+use skycache_geom::HyperRect;
+
+fn bench_skyline_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_skyline");
+    group.sample_size(10);
+    for (n, dims) in [(50_000usize, 5usize), (100_000, 5)] {
+        let points = SyntheticGen::new(Distribution::Independent, dims, 42).generate(n);
+        let label = format!("{n}x{dims}d");
+        group.bench_with_input(BenchmarkId::new("sfs", &label), &points, |b, pts| {
+            b.iter(|| Sfs.compute(pts.clone()))
+        });
+        for lanes in [2usize, 4, 8] {
+            let algo = ParallelDc { threads: lanes, sequential_threshold: 4096 };
+            group.bench_with_input(
+                BenchmarkId::new(format!("pardc_{lanes}"), &label),
+                &points,
+                |b, pts| b.iter(|| algo.compute(pts.clone())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch_fetch(c: &mut Criterion) {
+    let table = synthetic_table(Distribution::Independent, 4, 100_000, 42);
+    // Disjoint slabs along dimension 0, like an MPR decomposition.
+    let regions: Vec<HyperRect> = (0..8)
+        .map(|i| {
+            let lo = i as f64 * 0.1;
+            let mut lows = vec![0.2; 4];
+            let mut highs = vec![0.7; 4];
+            lows[0] = lo;
+            highs[0] = lo + 0.1;
+            HyperRect::closed(&lows, &highs)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("parallel_fetch");
+    group.sample_size(20);
+    group.bench_function("sequential_8_regions", |b| {
+        b.iter(|| table.fetch_batch(&regions))
+    });
+    for lanes in [2usize, 4, 8] {
+        group.bench_function(format!("parallel_8_regions_{lanes}_lanes"), |b| {
+            b.iter(|| table.fetch_batch_parallel(&regions, lanes))
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let table = synthetic_table(Distribution::Independent, 5, 50_000, 42);
+    let queries = interactive_queries(&table, 40, 17, None);
+
+    let mut group = c.benchmark_group("parallel_pipeline");
+    group.sample_size(10);
+    for (label, exec) in [
+        ("sequential", ExecMode::Sequential),
+        ("parallel", ExecMode::Parallel { lanes: 4, dc_threshold: 4096 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config =
+                    CbcsConfig { mpr: MprMode::Exact, exec, ..Default::default() };
+                let mut ex = CbcsExecutor::new(&table, config);
+                for q in &queries {
+                    std::hint::black_box(ex.query(q).expect("benchmark query succeeds"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skyline_kernels, bench_batch_fetch, bench_end_to_end);
+criterion_main!(benches);

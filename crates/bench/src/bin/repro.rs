@@ -23,6 +23,7 @@ experiments:
   ablation-replacement   LRU vs LCU under small capacities
   ablation-k             aMPR nearest-neighbor sweep
   ablation-multi         multi-item cache exploitation (Sec 6.3 extension)
+  parallel               sequential vs parallel pipeline (writes BENCH_parallel.json)
   all    everything above";
 
 fn main() -> ExitCode {
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
         ("ablation-replacement", figures::ablation_replacement),
         ("ablation-k", figures::ablation_k),
         ("ablation-multi", figures::ablation_multi),
+        ("parallel", figures::parallel),
     ] {
         if want(name) {
             runner(&scale);

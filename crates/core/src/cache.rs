@@ -178,10 +178,12 @@ impl Cache {
             .collect()
     }
 
-    /// Records a use of the item (updates LRU/LCU counters).
+    /// Records a use of the item (updates LRU/LCU counters). A miss on an
+    /// unknown id leaves the logical clock untouched, so recency ordering
+    /// only advances on real cache events.
     pub fn touch(&mut self, id: u64) {
-        self.clock += 1;
         if let Some(item) = self.items.get_mut(&id) {
+            self.clock += 1;
             item.last_used = self.clock;
             item.use_count += 1;
         }
@@ -415,5 +417,18 @@ mod tests {
         let item = cache.get(a).unwrap();
         assert_eq!(item.use_count, 1);
         assert!(item.last_used > before);
+    }
+
+    #[test]
+    fn touch_on_unknown_id_does_not_advance_the_clock() {
+        // Regression: touch() used to bump the clock before checking
+        // presence, so misses inflated later items' recency timestamps.
+        let mut cache = Cache::new(1);
+        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
+        cache.touch(a + 1000); // no such item
+        let b = cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        assert_eq!(cache.get(a).unwrap().inserted_at, 1);
+        assert_eq!(cache.get(b).unwrap().inserted_at, 2);
+        assert_eq!(cache.get(a).unwrap().use_count, 0);
     }
 }

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use skycache_algos::{bbs_constrained, BbsStats, Sfs, SkylineAlgorithm};
+use skycache_algos::{bbs_constrained, BbsStats, ParallelDc, Sfs, SkylineAlgorithm, SkylineOutput};
 use skycache_geom::{Aabb, Constraints, Point};
 use skycache_rtree::{RStarTree, RTreeParams};
 use skycache_storage::{FetchStats, Table};
@@ -29,6 +29,70 @@ use crate::mpr::MprMode;
 use crate::stability::Overlap;
 use crate::strategy::SearchStrategy;
 use crate::{CoreError, Result};
+
+/// How an executor runs the fetch and skyline stages of a query.
+///
+/// `Sequential` is the paper's single-threaded pipeline and the default.
+/// `Parallel` fetches a plan's regions over `lanes` concurrent I/O lanes
+/// ([`Table::fetch_batch_parallel`]) and switches the skyline stage to
+/// [`ParallelDc`] once the merged input reaches `dc_threshold` points.
+/// Both modes produce the same skyline *set* and identical fetch counters
+/// (`points_read`, `heap_fetches`, `range_queries_*`); only
+/// `dominance_tests` and the simulated latency may differ — see DESIGN.md.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single-threaded fetching and skyline computation.
+    #[default]
+    Sequential,
+    /// Concurrent fetch lanes plus a parallel skyline kernel.
+    Parallel {
+        /// Concurrent I/O lanes for multi-region fetches, and the worker
+        /// count of the parallel skyline kernel.
+        lanes: usize,
+        /// Minimum merged input size before [`ParallelDc`] replaces the
+        /// configured sequential algorithm.
+        dc_threshold: usize,
+    },
+}
+
+impl ExecMode {
+    /// Parallel mode sized to the host: one lane per available core,
+    /// default [`ParallelDc`] fallback threshold.
+    pub fn parallel_auto() -> Self {
+        let lanes = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ExecMode::Parallel {
+            lanes,
+            dc_threshold: ParallelDc::DEFAULT_SEQUENTIAL_THRESHOLD,
+        }
+    }
+
+    /// The fetch-lane count (1 in sequential mode).
+    pub fn lanes(&self) -> usize {
+        match self {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel { lanes, .. } => (*lanes).max(1),
+        }
+    }
+}
+
+/// Runs the skyline stage under `exec`: the configured sequential
+/// algorithm, or [`ParallelDc`] when parallel mode is on and the input is
+/// large enough to amortize thread spawns.
+fn compute_skyline(
+    algo: &dyn SkylineAlgorithm,
+    exec: ExecMode,
+    points: Vec<Point>,
+) -> SkylineOutput {
+    match exec {
+        ExecMode::Parallel { lanes, dc_threshold }
+            if lanes > 1 && points.len() >= dc_threshold =>
+        {
+            ParallelDc { threads: lanes, sequential_threshold: dc_threshold }
+                .compute(points)
+        }
+        _ => algo.compute(points),
+    }
+}
 
 /// The Figure-10 stage breakdown of one query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -139,18 +203,26 @@ pub(crate) fn check_dims(table: &Table, c: &Constraints) -> Result<()> {
 pub struct BaselineExecutor<'t> {
     table: &'t Table,
     algo: Box<dyn SkylineAlgorithm>,
+    exec: ExecMode,
 }
 
 impl<'t> BaselineExecutor<'t> {
     /// Creates a Baseline executor using SFS.
     pub fn new(table: &'t Table) -> Self {
-        BaselineExecutor { table, algo: Box::new(Sfs) }
+        BaselineExecutor { table, algo: Box::new(Sfs), exec: ExecMode::default() }
     }
 
     /// Replaces the skyline component (the paper argues CBCS's benefit is
     /// independent of this choice; so is Baseline's cost profile).
     pub fn with_algorithm(mut self, algo: Box<dyn SkylineAlgorithm>) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Selects sequential or parallel execution of the skyline stage
+    /// (Baseline issues a single range query, so fetching is unaffected).
+    pub fn with_exec_mode(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 }
@@ -171,7 +243,7 @@ impl Executor for BaselineExecutor<'_> {
 
         let t1 = Instant::now();
         let points: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
-        let out = self.algo.compute(points);
+        let out = compute_skyline(self.algo.as_ref(), self.exec, points);
         stats.stages.skyline = t1.elapsed();
         stats.dominance_tests = out.dominance_tests;
         stats.result_size = out.skyline.len() as u64;
@@ -282,6 +354,8 @@ pub struct CbcsConfig {
     /// items (by descending constraint overlap). `0` — the paper's
     /// single-item CBCS — is the default.
     pub extra_items: usize,
+    /// Sequential or parallel execution of the fetch and skyline stages.
+    pub exec: ExecMode,
 }
 
 impl Default for CbcsConfig {
@@ -294,6 +368,7 @@ impl Default for CbcsConfig {
             seed: 0xC0FFEE,
             cache_results: true,
             extra_items: 0,
+            exec: ExecMode::Sequential,
         }
     }
 }
@@ -422,11 +497,11 @@ fn execute_cbcs_query(
     stats.stages.processing = t0.elapsed();
 
     let skyline = match selection {
-        None => query_naive(table, algo, c, &mut stats),
+        None => query_naive(table, algo, config.exec, c, &mut stats),
         Some((item_id, query_plan)) => {
             stats.cache_hit = true;
             cache.touch(item_id);
-            query_planned(table, algo, query_plan, &mut stats)
+            query_planned(table, algo, config.exec, query_plan, &mut stats)
         }
     };
     stats.result_size = skyline.len() as u64;
@@ -442,6 +517,7 @@ fn execute_cbcs_query(
 pub(crate) fn query_naive(
     table: &Table,
     algo: &dyn SkylineAlgorithm,
+    exec: ExecMode,
     c: &Constraints,
     stats: &mut QueryStats,
 ) -> Vec<Point> {
@@ -452,16 +528,21 @@ pub(crate) fn query_naive(
 
     let t1 = Instant::now();
     let points: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
-    let out = algo.compute(points);
+    let out = compute_skyline(algo, exec, points);
     stats.stages.skyline = t1.elapsed();
     stats.dominance_tests = out.dominance_tests;
     out.skyline
 }
 
 /// The cache-hit path: fetch the plan's regions, merge, recompute.
+///
+/// In parallel mode the MPR/aMPR regions are fetched over `exec.lanes()`
+/// concurrent lanes; rows and fetch counters are identical to the
+/// sequential path, and the simulated latency is the slowest lane.
 pub(crate) fn query_planned(
     table: &Table,
     algo: &dyn SkylineAlgorithm,
+    exec: ExecMode,
     plan: QueryPlan,
     stats: &mut QueryStats,
 ) -> Vec<Point> {
@@ -470,7 +551,12 @@ pub(crate) fn query_planned(
     stats.removed_points = plan.removed_points as u64;
 
     let t0 = Instant::now();
-    let fetch = table.fetch_batch(&plan.regions);
+    let fetch = match exec {
+        ExecMode::Parallel { lanes, .. } if lanes > 1 && plan.regions.len() > 1 => {
+            table.fetch_batch_parallel(&plan.regions, lanes)
+        }
+        _ => table.fetch_batch(&plan.regions),
+    };
     stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
     stats.absorb_fetch(&fetch.stats);
 
@@ -478,7 +564,7 @@ pub(crate) fn query_planned(
     let skyline = if plan.needs_skyline {
         let fetched: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
         let merged = merge_dedup(plan.retained, fetched);
-        let out = algo.compute(merged);
+        let out = compute_skyline(algo, exec, merged);
         stats.dominance_tests = out.dominance_tests;
         out.skyline
     } else {

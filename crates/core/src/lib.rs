@@ -66,7 +66,7 @@ pub mod strategy;
 pub use cache::{Cache, CacheItem, ReplacementPolicy};
 pub use engine::{
     BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, DynamicCbcsExecutor,
-    Executor, QueryResult, QueryStats, StageTimes,
+    ExecMode, Executor, QueryResult, QueryStats, StageTimes,
 };
 pub use error::CoreError;
 pub use mpr::{missing_points_region, missing_points_region_multi, MprMode, MprOutput};

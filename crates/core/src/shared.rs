@@ -148,14 +148,14 @@ impl Executor for SharedCbcsExecutor<'_> {
         let skyline = match selection {
             None => {
                 stats.stages.processing = t0.elapsed();
-                query_naive(self.table, self.algo.as_ref(), c, &mut stats)
+                query_naive(self.table, self.algo.as_ref(), self.config.exec, c, &mut stats)
             }
             Some((item_id, old_c, old_sky, extra)) => {
                 let plan = plan_with_extra(&old_c, &old_sky, &extra, c, self.config.mpr);
                 stats.stages.processing = t0.elapsed();
                 stats.cache_hit = true;
                 self.cache.inner.write().touch(item_id);
-                query_planned(self.table, self.algo.as_ref(), plan, &mut stats)
+                query_planned(self.table, self.algo.as_ref(), self.config.exec, plan, &mut stats)
             }
         };
         stats.result_size = skyline.len() as u64;

@@ -1,7 +1,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use skycache_geom::Point;
+use skycache_geom::{Point, PointBlock};
 
 use crate::util::normal;
 
@@ -67,48 +67,65 @@ impl SyntheticGen {
 
     /// Generates `n` points deterministically.
     pub fn generate(&self, n: usize) -> Vec<Point> {
+        self.generate_block(n)
+            .rows()
+            .map(|row| Point::new_unchecked(row.to_vec()))
+            .collect()
+    }
+
+    /// Generates `n` points deterministically into one flat
+    /// [`PointBlock`]: a single coordinate allocation plus a reused
+    /// scratch row, instead of one heap allocation per point. Consumes
+    /// the RNG identically to [`SyntheticGen::generate`], so the two
+    /// produce the same coordinates for the same seed.
+    pub fn generate_block(&self, n: usize) -> PointBlock {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut out = Vec::with_capacity(n);
+        let mut block = PointBlock::with_capacity(self.dims, n).expect("dims > 0");
+        let mut row = Vec::with_capacity(self.dims);
         for _ in 0..n {
-            out.push(match self.dist {
-                Distribution::Independent => self.gen_independent(&mut rng),
-                Distribution::Correlated => self.gen_correlated(&mut rng),
-                Distribution::AntiCorrelated => self.gen_anti_correlated(&mut rng),
-            });
+            match self.dist {
+                Distribution::Independent => self.fill_independent(&mut rng, &mut row),
+                Distribution::Correlated => self.fill_correlated(&mut rng, &mut row),
+                Distribution::AntiCorrelated => {
+                    self.fill_anti_correlated(&mut rng, &mut row)
+                }
+            }
+            block.push_row(&row);
         }
-        out
+        block
     }
 
-    fn gen_independent<R: Rng>(&self, rng: &mut R) -> Point {
-        let coords: Vec<f64> = (0..self.dims).map(|_| rng.gen_range(0.0..1.0)).collect();
-        Point::new_unchecked(coords)
+    fn fill_independent<R: Rng>(&self, rng: &mut R, row: &mut Vec<f64>) {
+        row.clear();
+        row.extend((0..self.dims).map(|_| rng.gen_range(0.0..1.0)));
     }
 
-    fn gen_correlated<R: Rng>(&self, rng: &mut R) -> Point {
+    fn fill_correlated<R: Rng>(&self, rng: &mut R, row: &mut Vec<f64>) {
         // A peaked position on the diagonal plus small perpendicular noise.
         loop {
+            row.clear();
             // Sum of two uniforms: triangular distribution peaked at 0.5.
             let v = 0.5 * (rng.gen_range(0.0..1.0) + rng.gen_range(0.0..1.0));
-            let coords: Vec<f64> =
-                (0..self.dims).map(|_| v + normal(rng, 0.0, 0.05)).collect();
-            if coords.iter().all(|c| (0.0..=1.0).contains(c)) {
-                return Point::new_unchecked(coords);
+            row.extend((0..self.dims).map(|_| v + normal(rng, 0.0, 0.05)));
+            if row.iter().all(|c| (0.0..=1.0).contains(c)) {
+                return;
             }
         }
     }
 
-    fn gen_anti_correlated<R: Rng>(&self, rng: &mut R) -> Point {
+    fn fill_anti_correlated<R: Rng>(&self, rng: &mut R, row: &mut Vec<f64>) {
         // Points near the plane Σ x_i = |D|/2: start all dimensions at a
         // normally distributed v, then shift mass between random pairs of
         // dimensions, keeping the coordinate sum constant.
-        'outer: loop {
+        loop {
             let v = normal(rng, 0.5, 0.1);
             if !(0.0..=1.0).contains(&v) {
                 continue;
             }
-            let mut coords = vec![v; self.dims];
+            row.clear();
+            row.resize(self.dims, v);
             if self.dims == 1 {
-                return Point::new_unchecked(coords);
+                return;
             }
             for _ in 0..self.dims {
                 let i = rng.gen_range(0..self.dims);
@@ -117,18 +134,17 @@ impl SyntheticGen {
                     j = rng.gen_range(0..self.dims);
                 }
                 // Transferable mass keeping both coordinates in [0,1].
-                let max_shift = (1.0 - coords[j]).min(coords[i]);
+                let max_shift = (1.0 - row[j]).min(row[i]);
                 if max_shift <= 0.0 {
                     continue;
                 }
                 let shift = rng.gen_range(0.0..max_shift);
-                coords[i] -= shift;
-                coords[j] += shift;
+                row[i] -= shift;
+                row[j] += shift;
             }
-            if coords.iter().all(|c| (0.0..=1.0).contains(c)) {
-                return Point::new_unchecked(coords);
+            if row.iter().all(|c| (0.0..=1.0).contains(c)) {
+                return;
             }
-            continue 'outer;
         }
     }
 }
@@ -163,6 +179,21 @@ mod tests {
             vb += (p[b] - mb).powi(2);
         }
         cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn block_generation_matches_point_generation() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
+            let g = SyntheticGen::new(dist, 4, 11);
+            let block = g.generate_block(500);
+            assert_eq!(block.len(), 500);
+            assert_eq!(block.dims(), 4);
+            assert_eq!(block.to_points(), g.generate(500), "{dist:?}");
+        }
     }
 
     #[test]

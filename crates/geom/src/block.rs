@@ -1,0 +1,256 @@
+//! Flat structure-of-arrays point storage for dominance-heavy kernels.
+//!
+//! A [`PointBlock`] stores `len` points of fixed dimensionality `dims` in
+//! one contiguous `Vec<f64>` with stride `dims`. Skyline inner loops
+//! (BNL/SFS windows, the parallel divide-and-conquer merge) operate on
+//! bare `&[f64]` rows via [`crate::dominance::dominates_raw`], so the hot
+//! path performs no per-point allocation and walks memory linearly —
+//! unlike `Vec<Point>`, where every comparison chases a separate `Box`.
+
+use crate::dominance::dominates_raw;
+use crate::{GeomError, Point, Result};
+
+/// A dense block of equal-dimensionality points (structure-of-arrays).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointBlock {
+    coords: Vec<f64>,
+    dims: usize,
+}
+
+impl PointBlock {
+    /// Creates an empty block for `dims`-dimensional points.
+    pub fn new(dims: usize) -> Result<Self> {
+        if dims == 0 {
+            return Err(GeomError::ZeroDimensions);
+        }
+        Ok(PointBlock { coords: Vec::new(), dims })
+    }
+
+    /// Creates an empty block with room for `capacity` points.
+    pub fn with_capacity(dims: usize, capacity: usize) -> Result<Self> {
+        if dims == 0 {
+            return Err(GeomError::ZeroDimensions);
+        }
+        Ok(PointBlock { coords: Vec::with_capacity(dims * capacity), dims })
+    }
+
+    /// Builds a block from points, which must be non-empty (the block
+    /// takes its dimensionality from the first point).
+    ///
+    /// # Panics
+    /// Panics in debug builds if dimensionalities are mixed.
+    pub fn from_points(points: &[Point]) -> Result<Self> {
+        let dims = points.first().map_or(0, Point::dims);
+        let mut block = PointBlock::with_capacity(dims, points.len())?;
+        for p in points {
+            block.push(p);
+        }
+        Ok(block)
+    }
+
+    /// Number of points stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dims
+    }
+
+    /// Whether the block holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Dimensionality of every stored point.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The coordinate row of point `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// The whole backing buffer (row-major, stride [`Self::dims`]).
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Iterates over coordinate rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.coords.chunks_exact(self.dims)
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    /// Panics in debug builds on dimensionality mismatch.
+    #[inline]
+    pub fn push(&mut self, p: &Point) {
+        self.push_row(p.coords());
+    }
+
+    /// Appends a bare coordinate row.
+    ///
+    /// # Panics
+    /// Panics in debug builds on dimensionality mismatch.
+    #[inline]
+    pub fn push_row(&mut self, row: &[f64]) {
+        debug_assert_eq!(row.len(), self.dims);
+        self.coords.extend_from_slice(row);
+    }
+
+    /// Removes row `i` by moving the last row into its place (O(dims)).
+    pub fn swap_remove(&mut self, i: usize) {
+        let last = self.len() - 1;
+        if i != last {
+            let (head, tail) = self.coords.split_at_mut(last * self.dims);
+            head[i * self.dims..(i + 1) * self.dims].copy_from_slice(tail);
+        }
+        self.coords.truncate(last * self.dims);
+    }
+
+    /// Removes all points.
+    pub fn clear(&mut self) {
+        self.coords.clear();
+    }
+
+    /// Materializes the block as owned [`Point`]s.
+    pub fn to_points(&self) -> Vec<Point> {
+        self.rows().map(|r| Point::new_unchecked(r.to_vec())).collect()
+    }
+}
+
+impl From<&[Point]> for PointBlock {
+    /// Converts from a non-empty point slice.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty (no dimensionality to infer); use
+    /// [`PointBlock::new`] for empty blocks.
+    fn from(points: &[Point]) -> Self {
+        PointBlock::from_points(points).expect("cannot infer dims of an empty point slice")
+    }
+}
+
+/// Result of a block dominance filter: how much work it did. Survivors
+/// are compacted into the candidate block itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockFilter {
+    /// Number of pairwise dominance tests performed.
+    pub dominance_tests: u64,
+    /// Number of candidate rows removed as dominated.
+    pub removed: usize,
+}
+
+/// Removes from `candidates` every row strictly dominated by some row of
+/// `window`, compacting survivors in place (stable order, no per-point
+/// allocation).
+///
+/// `window` and `candidates` may be the same data copied into two blocks,
+/// but aliasing one block for both roles is impossible by construction
+/// (`&mut` vs `&`), which is what makes the in-place compaction sound.
+pub fn filter_block(candidates: &mut PointBlock, window: &PointBlock) -> BlockFilter {
+    debug_assert_eq!(candidates.dims(), window.dims());
+    let dims = candidates.dims;
+    let mut stats = BlockFilter::default();
+    let mut write = 0usize;
+    for read in 0..candidates.len() {
+        let row = candidates.row(read);
+        let mut dominated = false;
+        for w in window.rows() {
+            stats.dominance_tests += 1;
+            if dominates_raw(w, row) {
+                dominated = true;
+                break;
+            }
+        }
+        if dominated {
+            stats.removed += 1;
+        } else {
+            if write != read {
+                candidates.coords.copy_within(read * dims..(read + 1) * dims, write * dims);
+            }
+            write += 1;
+        }
+    }
+    candidates.coords.truncate(write * dims);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(rows: &[&[f64]]) -> PointBlock {
+        let mut b = PointBlock::new(rows[0].len()).unwrap();
+        for r in rows {
+            b.push_row(r);
+        }
+        b
+    }
+
+    #[test]
+    fn new_rejects_zero_dims() {
+        assert!(PointBlock::new(0).is_err());
+        assert!(PointBlock::with_capacity(0, 8).is_err());
+    }
+
+    #[test]
+    fn push_and_access() {
+        let b = block(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dims(), 2);
+        assert_eq!(b.row(1), &[3.0, 4.0]);
+        assert_eq!(b.as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.rows().count(), 2);
+    }
+
+    #[test]
+    fn round_trips_through_points() {
+        let pts = vec![
+            Point::new(vec![1.0, 2.0, 3.0]).unwrap(),
+            Point::new(vec![4.0, 5.0, 6.0]).unwrap(),
+        ];
+        let b = PointBlock::from_points(&pts).unwrap();
+        assert_eq!(b.to_points(), pts);
+    }
+
+    #[test]
+    fn swap_remove_moves_last_row() {
+        let mut b = block(&[&[1.0], &[2.0], &[3.0]]);
+        b.swap_remove(0);
+        assert_eq!(b.to_points(), vec![Point::from(vec![3.0]), Point::from(vec![2.0])]);
+        b.swap_remove(1);
+        assert_eq!(b.len(), 1);
+        b.swap_remove(0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn filter_block_matches_naive() {
+        let window = block(&[&[1.0, 1.0], &[0.0, 3.0]]);
+        // Dominated by (1,1); incomparable; equal to a window row
+        // (equality does not dominate); dominated by (0,3).
+        let mut cands = block(&[&[2.0, 2.0], &[0.5, 1.5], &[1.0, 1.0], &[0.0, 4.0]]);
+        let stats = filter_block(&mut cands, &window);
+        assert_eq!(cands.to_points(), vec![
+            Point::from(vec![0.5, 1.5]),
+            Point::from(vec![1.0, 1.0]),
+        ]);
+        assert_eq!(stats.removed, 2);
+        // Row 1: 2 tests (no hit); row 2: 2 tests; rows 0 and 3: early
+        // exit after 1 and 2 tests respectively.
+        assert_eq!(stats.dominance_tests, 1 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn filter_block_empty_window_keeps_all() {
+        let window = PointBlock::new(2).unwrap();
+        let mut cands = block(&[&[9.0, 9.0], &[0.0, 0.0]]);
+        let stats = filter_block(&mut cands, &window);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(stats, BlockFilter::default());
+    }
+}

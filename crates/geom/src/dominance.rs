@@ -22,13 +22,14 @@ pub enum DomRelation {
     Incomparable,
 }
 
-/// Returns `true` iff `s ≺ t`: `s` is at least as small as `t` on every
-/// dimension and strictly smaller on at least one.
+/// Raw-slice form of [`dominates`]: operates on bare coordinate rows so
+/// that flat [`crate::PointBlock`] storage can test dominance without
+/// materializing `Point`s.
 #[inline]
-pub fn dominates(s: &Point, t: &Point) -> bool {
-    debug_assert_eq!(s.dims(), t.dims());
+pub fn dominates_raw(s: &[f64], t: &[f64]) -> bool {
+    debug_assert_eq!(s.len(), t.len());
     let mut strict = false;
-    for (a, b) in s.coords().iter().zip(t.coords()) {
+    for (a, b) in s.iter().zip(t) {
         if a > b {
             return false;
         }
@@ -39,18 +40,18 @@ pub fn dominates(s: &Point, t: &Point) -> bool {
     strict
 }
 
-/// Weak dominance: `s[i] ≤ t[i]` for all `i` (allows equality everywhere).
+/// Raw-slice form of [`dominates_weak`].
 #[inline]
-pub fn dominates_weak(s: &Point, t: &Point) -> bool {
-    debug_assert_eq!(s.dims(), t.dims());
-    s.coords().iter().zip(t.coords()).all(|(a, b)| a <= b)
+pub fn dominates_weak_raw(s: &[f64], t: &[f64]) -> bool {
+    debug_assert_eq!(s.len(), t.len());
+    s.iter().zip(t).all(|(a, b)| a <= b)
 }
 
-/// Single-pass comparison classifying the relation between two points.
-pub fn compare(s: &Point, t: &Point) -> DomRelation {
-    debug_assert_eq!(s.dims(), t.dims());
+/// Raw-slice form of [`compare`].
+pub fn compare_raw(s: &[f64], t: &[f64]) -> DomRelation {
+    debug_assert_eq!(s.len(), t.len());
     let (mut s_less, mut t_less) = (false, false);
-    for (a, b) in s.coords().iter().zip(t.coords()) {
+    for (a, b) in s.iter().zip(t) {
         if a < b {
             s_less = true;
         } else if b < a {
@@ -66,6 +67,27 @@ pub fn compare(s: &Point, t: &Point) -> DomRelation {
         (false, false) => DomRelation::Equal,
         (true, true) => unreachable!("early-returned above"),
     }
+}
+
+/// Returns `true` iff `s ≺ t`: `s` is at least as small as `t` on every
+/// dimension and strictly smaller on at least one.
+#[inline]
+pub fn dominates(s: &Point, t: &Point) -> bool {
+    debug_assert_eq!(s.dims(), t.dims());
+    dominates_raw(s.coords(), t.coords())
+}
+
+/// Weak dominance: `s[i] ≤ t[i]` for all `i` (allows equality everywhere).
+#[inline]
+pub fn dominates_weak(s: &Point, t: &Point) -> bool {
+    debug_assert_eq!(s.dims(), t.dims());
+    dominates_weak_raw(s.coords(), t.coords())
+}
+
+/// Single-pass comparison classifying the relation between two points.
+pub fn compare(s: &Point, t: &Point) -> DomRelation {
+    debug_assert_eq!(s.dims(), t.dims());
+    compare_raw(s.coords(), t.coords())
 }
 
 /// The constrained dominance region `DR(s, C)` as a closed box

@@ -24,6 +24,7 @@
 #![warn(clippy::all)]
 
 mod aabb;
+pub mod block;
 mod constraints;
 pub mod dominance;
 mod error;
@@ -33,6 +34,7 @@ mod rect;
 pub mod subtract;
 
 pub use aabb::Aabb;
+pub use block::{filter_block, BlockFilter, PointBlock};
 pub use constraints::Constraints;
 pub use dominance::{dominates, dominates_weak, DomRelation};
 pub use error::GeomError;

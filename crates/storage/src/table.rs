@@ -348,6 +348,58 @@ impl Table {
         out
     }
 
+    /// Executes a batch of disjoint range queries over up to `lanes`
+    /// concurrent I/O streams (scoped threads, round-robin assignment).
+    ///
+    /// Rows and every [`FetchStats`] counter are **identical** to
+    /// [`Table::fetch_batch`] — results are merged in region order, and
+    /// the counters describe work done, which parallelism does not
+    /// change. Only `simulated_latency` differs: each lane's queries run
+    /// sequentially within the lane, lanes overlap, and the batch is
+    /// charged the slowest lane via
+    /// [`CostModel::critical_path_latency`].
+    pub fn fetch_batch_parallel(&self, regions: &[HyperRect], lanes: usize) -> FetchResult {
+        let lanes = lanes.clamp(1, regions.len().max(1));
+        if lanes <= 1 {
+            return self.fetch_batch(regions);
+        }
+
+        let mut per_region: Vec<Option<FetchResult>> = vec![None; regions.len()];
+        let mut lane_totals = vec![Duration::ZERO; lanes];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..lanes)
+                .map(|lane| {
+                    s.spawn(move || {
+                        let mut fetched = Vec::new();
+                        let mut total = Duration::ZERO;
+                        for (idx, region) in
+                            regions.iter().enumerate().skip(lane).step_by(lanes)
+                        {
+                            let result = self.fetch(region);
+                            total += result.simulated_latency;
+                            fetched.push((idx, result));
+                        }
+                        (fetched, total)
+                    })
+                })
+                .collect();
+            for (lane, handle) in handles.into_iter().enumerate() {
+                let (fetched, total) = handle.join().expect("fetch lane panicked");
+                lane_totals[lane] = total;
+                for (idx, result) in fetched {
+                    per_region[idx] = Some(result);
+                }
+            }
+        });
+
+        let mut out = FetchResult::default();
+        for result in per_region {
+            out.absorb(result.expect("every region fetched by its lane"));
+        }
+        out.simulated_latency = self.config.cost_model.critical_path_latency(&lane_totals);
+        out
+    }
+
     /// Executes the constraint range query `RQ(C)` of the naive approach.
     pub fn fetch_constrained(&self, c: &Constraints) -> FetchResult {
         self.fetch(&c.region())
@@ -475,6 +527,73 @@ mod tests {
         assert_eq!(res.stats.range_queries_issued, 2);
         assert_eq!(res.stats.range_queries_executed, 2);
         assert_eq!(res.stats.rows_matched, 8);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_exactly() {
+        let t = table();
+        let regions: Vec<HyperRect> = [
+            [(0.0, 2.0), (0.0, 2.0)],
+            [(7.0, 9.0), (7.0, 9.0)],
+            [(3.0, 4.0), (5.0, 6.0)],
+            [(20.0, 30.0), (0.0, 9.0)], // empty
+            [(5.0, 5.0), (0.0, 9.0)],
+        ]
+        .iter()
+        .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+        .collect();
+        let seq = t.fetch_batch(&regions);
+        for lanes in [1, 2, 3, 8] {
+            let par = t.fetch_batch_parallel(&regions, lanes);
+            assert_eq!(par.rows, seq.rows, "{lanes} lanes: row mismatch");
+            assert_eq!(par.stats, seq.stats, "{lanes} lanes: stats mismatch");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_charges_slowest_lane() {
+        let t = table();
+        let regions: Vec<HyperRect> = [
+            [(0.0, 2.0), (0.0, 2.0)],
+            [(7.0, 9.0), (7.0, 9.0)],
+            [(3.0, 4.0), (5.0, 6.0)],
+        ]
+        .iter()
+        .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+        .collect();
+        let singles: Vec<Duration> =
+            regions.iter().map(|r| t.fetch(r).simulated_latency).collect();
+
+        // 3 lanes, 3 regions: each lane runs one query, so the batch
+        // costs exactly the most expensive single query.
+        let par = t.fetch_batch_parallel(&regions, 3);
+        assert_eq!(par.simulated_latency, singles.iter().copied().max().unwrap());
+        assert!(par.simulated_latency < t.fetch_batch(&regions).simulated_latency);
+
+        // 2 lanes, round-robin: lane 0 gets regions 0 and 2, lane 1 gets
+        // region 1.
+        let par2 = t.fetch_batch_parallel(&regions, 2);
+        assert_eq!(par2.simulated_latency, (singles[0] + singles[2]).max(singles[1]));
+
+        // 1 lane degenerates to the sequential sum.
+        let par1 = t.fetch_batch_parallel(&regions, 1);
+        assert_eq!(par1.simulated_latency, t.fetch_batch(&regions).simulated_latency);
+    }
+
+    #[test]
+    fn parallel_batch_handles_degenerate_inputs() {
+        let t = table();
+        // Empty region list.
+        let none = t.fetch_batch_parallel(&[], 4);
+        assert!(none.rows.is_empty());
+        assert_eq!(none.stats, FetchStats::default());
+        // More lanes than regions is clamped.
+        let r = Constraints::from_pairs(&[(1.0, 2.0), (1.0, 2.0)]).unwrap().region();
+        let one = t.fetch_batch_parallel(std::slice::from_ref(&r), 16);
+        assert_eq!(one.rows, t.fetch(&r).rows);
+        // Zero lanes behaves as one.
+        let zero = t.fetch_batch_parallel(std::slice::from_ref(&r), 0);
+        assert_eq!(zero.stats, one.stats);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Differential tests for `ExecMode::Parallel`.
+//!
+//! The parallel pipeline must be invisible in the paper's metrics: the
+//! skyline *set* and every fetch-side counter (`points_read`,
+//! `heap_fetches`, `range_queries_issued/executed/empty`) are identical
+//! to sequential execution — only wall-clock latency and (for
+//! `ParallelDc`) `dominance_tests` may differ. The thresholds here force
+//! the parallel code paths even on a single-core host.
+
+use std::thread;
+
+use skycache::core::{
+    BaselineExecutor, CbcsConfig, CbcsExecutor, ExecMode, Executor, MprMode, QueryStats,
+    SharedCache, SharedCbcsExecutor,
+};
+use skycache::datagen::{DimStats, Distribution, InteractiveWorkload, SyntheticGen};
+use skycache::geom::{Constraints, Point};
+use skycache::storage::{CostModel, Table, TableConfig};
+
+/// Forces both parallel stages regardless of host core count: >1 fetch
+/// lane and a D&C threshold low enough that every non-trivial skyline
+/// input takes the threaded path.
+const PARALLEL: ExecMode = ExecMode::Parallel { lanes: 4, dc_threshold: 16 };
+
+fn sort_key(p: &Point) -> Vec<u64> {
+    p.coords().iter().map(|c| c.to_bits()).collect()
+}
+
+fn sorted(mut v: Vec<Point>) -> Vec<Point> {
+    v.sort_by_key(sort_key);
+    v
+}
+
+fn table_for(dist: Distribution, dims: usize, n: usize, seed: u64) -> Table {
+    let points = SyntheticGen::new(dist, dims, seed).generate(n);
+    let config = TableConfig { cost_model: CostModel::free(), ..Default::default() };
+    Table::build(points, config).unwrap()
+}
+
+fn interactive_queries(table: &Table, n: usize, seed: u64) -> Vec<Constraints> {
+    let stats = DimStats::compute(table.all_points());
+    InteractiveWorkload::new(stats)
+        .generate(n, seed)
+        .queries()
+        .iter()
+        .map(|q| q.constraints.clone())
+        .collect()
+}
+
+/// The fetch-side counters that must not change with the execution mode.
+fn fetch_metrics(stats: &QueryStats) -> [u64; 5] {
+    [
+        stats.points_read,
+        stats.heap_fetches,
+        stats.range_queries_issued,
+        stats.range_queries_executed,
+        stats.range_queries_empty,
+    ]
+}
+
+#[test]
+fn parallel_cbcs_matches_sequential_skylines_and_fetch_metrics() {
+    for dist in [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::AntiCorrelated,
+    ] {
+        let table = table_for(dist, 3, 4_000, 47);
+        let queries = interactive_queries(&table, 60, 53);
+        let mut seq = CbcsExecutor::new(&table, CbcsConfig::default());
+        let mut par = CbcsExecutor::new(
+            &table,
+            CbcsConfig { exec: PARALLEL, ..Default::default() },
+        );
+        for (i, c) in queries.iter().enumerate() {
+            let a = seq.query(c).unwrap();
+            let b = par.query(c).unwrap();
+            assert_eq!(
+                sorted(a.skyline),
+                sorted(b.skyline),
+                "{dist:?}: query {i} skyline mismatch"
+            );
+            assert_eq!(
+                fetch_metrics(&a.stats),
+                fetch_metrics(&b.stats),
+                "{dist:?}: query {i} fetch metrics diverged"
+            );
+            assert_eq!(a.stats.cache_hit, b.stats.cache_hit, "{dist:?}: query {i}");
+            assert_eq!(a.stats.case, b.stats.case, "{dist:?}: query {i}");
+        }
+    }
+}
+
+#[test]
+fn parallel_exact_mpr_matches_sequential() {
+    // Exact MPR is the multi-region-fetch-heavy configuration: its plans
+    // are what fetch_batch_parallel actually spreads across lanes.
+    let table = table_for(Distribution::Independent, 4, 4_000, 59);
+    let queries = interactive_queries(&table, 50, 61);
+    let seq_cfg = CbcsConfig { mpr: MprMode::Exact, ..Default::default() };
+    let par_cfg = CbcsConfig { mpr: MprMode::Exact, exec: PARALLEL, ..Default::default() };
+    let mut seq = CbcsExecutor::new(&table, seq_cfg);
+    let mut par = CbcsExecutor::new(&table, par_cfg);
+    for (i, c) in queries.iter().enumerate() {
+        let a = seq.query(c).unwrap();
+        let b = par.query(c).unwrap();
+        assert_eq!(sorted(a.skyline), sorted(b.skyline), "query {i} skyline mismatch");
+        assert_eq!(
+            fetch_metrics(&a.stats),
+            fetch_metrics(&b.stats),
+            "query {i} fetch metrics diverged"
+        );
+    }
+}
+
+#[test]
+fn parallel_baseline_matches_sequential() {
+    let table = table_for(Distribution::AntiCorrelated, 3, 5_000, 67);
+    let queries = interactive_queries(&table, 25, 71);
+    let mut seq = BaselineExecutor::new(&table);
+    let mut par = BaselineExecutor::new(&table).with_exec_mode(PARALLEL);
+    for (i, c) in queries.iter().enumerate() {
+        let a = seq.query(c).unwrap();
+        let b = par.query(c).unwrap();
+        assert_eq!(sorted(a.skyline), sorted(b.skyline), "query {i} skyline mismatch");
+        assert_eq!(
+            fetch_metrics(&a.stats),
+            fetch_metrics(&b.stats),
+            "query {i} fetch metrics diverged"
+        );
+    }
+}
+
+#[test]
+fn shared_cache_parallel_executors_stay_correct_under_concurrency() {
+    // Several users over one shared cache, each running the parallel
+    // pipeline, racing each other: every answer must still equal the
+    // Baseline answer for its query.
+    let table = table_for(Distribution::Independent, 3, 2_000, 73);
+    let queries = interactive_queries(&table, 30, 79);
+    let reference: Vec<Vec<Point>> = {
+        let mut baseline = BaselineExecutor::new(&table);
+        queries.iter().map(|c| sorted(baseline.query(c).unwrap().skyline)).collect()
+    };
+
+    let config = CbcsConfig { exec: PARALLEL, ..Default::default() };
+    let shared = SharedCache::new(table.dims(), &config);
+    thread::scope(|s| {
+        for worker in 0..4u64 {
+            let t = &table;
+            let queries = &queries;
+            let reference = &reference;
+            let shared = shared.clone();
+            let config = CbcsConfig { seed: worker, exec: PARALLEL, ..Default::default() };
+            s.spawn(move || {
+                let mut ex = SharedCbcsExecutor::new(t, shared, config);
+                for _round in 0..2 {
+                    for (c, want) in queries.iter().zip(reference) {
+                        let got = sorted(ex.query(c).unwrap().skyline);
+                        assert_eq!(&got, want, "worker {worker} diverged on {c:?}");
+                    }
+                }
+            });
+        }
+    });
+    assert!(!shared.is_empty());
+}
