@@ -109,21 +109,15 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n)
-            .map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>()))
-            .collect()
+        (0..n).map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>())).collect()
     }
 
     fn tree_of(points: &[Point]) -> RStarTree<usize> {
-        RStarTree::bulk_load_points(
-            points.iter().cloned().zip(0..),
-            RTreeParams::default(),
-        )
+        RStarTree::bulk_load_points(points.iter().cloned().zip(0..), RTreeParams::default())
     }
 
     fn reference(points: &[Point], c: &Constraints) -> Vec<Point> {
-        let constrained: Vec<Point> =
-            points.iter().filter(|p| c.satisfies(p)).cloned().collect();
+        let constrained: Vec<Point> = points.iter().filter(|p| c.satisfies(p)).cloned().collect();
         Sfs.compute(constrained).skyline
     }
 

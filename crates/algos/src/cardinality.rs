@@ -106,9 +106,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n)
-            .map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>()))
-            .collect()
+        (0..n).map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>())).collect()
     }
 
     #[test]
@@ -130,23 +128,17 @@ mod tests {
         let measured = naive_skyline(&pts).len() as f64;
         let predicted = expected_skyline_size(20_000, 3);
         let ratio = measured / predicted;
-        assert!(
-            (0.4..2.5).contains(&ratio),
-            "measured {measured}, predicted {predicted}"
-        );
+        assert!((0.4..2.5).contains(&ratio), "measured {measured}, predicted {predicted}");
     }
 
     #[test]
     fn sampled_fraction_discriminates() {
         // A dominance chain: fraction near zero.
-        let chain: Vec<Point> = (0..5_000)
-            .map(|i| Point::from(vec![i as f64, i as f64]))
-            .collect();
+        let chain: Vec<Point> = (0..5_000).map(|i| Point::from(vec![i as f64, i as f64])).collect();
         assert!(sample_skyline_fraction(&chain, 256) < 0.02);
         // An anti-chain: fraction 1.
-        let anti: Vec<Point> = (0..5_000)
-            .map(|i| Point::from(vec![i as f64, (5_000 - i) as f64]))
-            .collect();
+        let anti: Vec<Point> =
+            (0..5_000).map(|i| Point::from(vec![i as f64, (5_000 - i) as f64])).collect();
         assert!(sample_skyline_fraction(&anti, 256) > 0.99);
         assert_eq!(sample_skyline_fraction(&[], 256), 0.0);
     }
@@ -156,23 +148,16 @@ mod tests {
         // Tiny input → BNL.
         let tiny = pseudo(20, 3, 1);
         assert_eq!(Adaptive::choice(&tiny), "BNL");
-        assert_eq!(
-            sorted(Adaptive.compute(tiny.clone()).skyline),
-            sorted(naive_skyline(&tiny))
-        );
+        assert_eq!(sorted(Adaptive.compute(tiny.clone()).skyline), sorted(naive_skyline(&tiny)));
 
         // Independent 3-D at 10k: skyline fraction ≪ 10% → SaLSa.
         let indep = pseudo(10_000, 3, 2);
         assert_eq!(Adaptive::choice(&indep), "SaLSa");
-        assert_eq!(
-            sorted(Adaptive.compute(indep.clone()).skyline),
-            sorted(naive_skyline(&indep))
-        );
+        assert_eq!(sorted(Adaptive.compute(indep.clone()).skyline), sorted(naive_skyline(&indep)));
 
         // Anti-chain: everything is skyline → SFS.
-        let anti: Vec<Point> = (0..1_000)
-            .map(|i| Point::from(vec![i as f64, (1_000 - i) as f64]))
-            .collect();
+        let anti: Vec<Point> =
+            (0..1_000).map(|i| Point::from(vec![i as f64, (1_000 - i) as f64])).collect();
         assert_eq!(Adaptive::choice(&anti), "SFS");
         assert_eq!(Adaptive.compute(anti.clone()).skyline.len(), 1_000);
     }

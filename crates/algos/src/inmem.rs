@@ -44,6 +44,7 @@ impl SkylineAlgorithm for Bnl {
         let Ok(input) = PointBlock::from_points(&points) else {
             return SkylineOutput { skyline: Vec::new(), dominance_tests: 0 };
         };
+        // skylint: allow(no-panic-paths) — input.dims() >= 1 by PointBlock construction.
         let mut window = PointBlock::new(input.dims()).expect("dims > 0");
         let mut tests = 0u64;
         'next_point: for row in input.rows() {
@@ -80,14 +81,11 @@ impl SkylineAlgorithm for Sfs {
         // non-negative data of the benchmarks; the coordinate sum is
         // monotone in general. Use the sum: s ≺ t ⇒ sum(s) < sum(t),
         // so after sorting ascending no point dominates a predecessor.
-        points.sort_by(|a, b| {
-            a.coord_sum()
-                .partial_cmp(&b.coord_sum())
-                .expect("NaN-free")
-        });
+        points.sort_by(|a, b| a.coord_sum().total_cmp(&b.coord_sum()));
         let Ok(input) = PointBlock::from_points(&points) else {
             return SkylineOutput { skyline: Vec::new(), dominance_tests: 0 };
         };
+        // skylint: allow(no-panic-paths) — input.dims() >= 1 by PointBlock construction.
         let mut skyline = PointBlock::new(input.dims()).expect("dims > 0");
         let mut tests = 0u64;
         for row in input.rows() {
@@ -137,9 +135,7 @@ fn dc(mut points: Vec<Point>, depth: usize, tests: &mut u64) -> Vec<Point> {
     let dim = depth % points[0].dims();
     // Median split on `dim`.
     let mid = points.len() / 2;
-    points.select_nth_unstable_by(mid, |a, b| {
-        a[dim].partial_cmp(&b[dim]).expect("NaN-free")
-    });
+    points.select_nth_unstable_by(mid, |a, b| a[dim].total_cmp(&b[dim]));
     let upper = points.split_off(mid);
     let mut lower_sky = dc(points, depth + 1, tests);
     let upper_sky = dc(upper, depth + 1, tests);
@@ -167,20 +163,18 @@ impl SkylineAlgorithm for Salsa {
     }
 
     fn compute(&self, mut points: Vec<Point>) -> SkylineOutput {
-        let min_coord = |p: &Point| -> f64 {
-            p.coords().iter().copied().fold(f64::INFINITY, f64::min)
-        };
-        let max_coord = |p: &Point| -> f64 {
-            p.coords().iter().copied().fold(f64::NEG_INFINITY, f64::max)
-        };
+        let min_coord =
+            |p: &Point| -> f64 { p.coords().iter().copied().fold(f64::INFINITY, f64::min) };
+        let max_coord =
+            |p: &Point| -> f64 { p.coords().iter().copied().fold(f64::NEG_INFINITY, f64::max) };
         // Sort by (minC, sum): minC ordering enables the stop test; the
         // sum tie-break keeps the order monotone w.r.t. dominance (a
         // dominator cannot sort after a point it dominates: its minC and
         // its sum are both <=, with the sum strictly smaller).
         points.sort_by(|a, b| {
-            (min_coord(a), a.coord_sum())
-                .partial_cmp(&(min_coord(b), b.coord_sum()))
-                .expect("NaN-free")
+            min_coord(a)
+                .total_cmp(&min_coord(b))
+                .then_with(|| a.coord_sum().total_cmp(&b.coord_sum()))
         });
 
         let mut skyline: Vec<Point> = Vec::new();
@@ -239,9 +233,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n)
-            .map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>()))
-            .collect()
+        (0..n).map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>())).collect()
     }
 
     #[test]
@@ -315,10 +307,7 @@ mod tests {
         pts.push(p(&[0.1, 0.1, 0.1]));
         let salsa = Salsa.compute(pts.clone());
         let sfs = Sfs.compute(pts);
-        assert_eq!(
-            crate::testutil::sorted(salsa.skyline),
-            crate::testutil::sorted(sfs.skyline)
-        );
+        assert_eq!(crate::testutil::sorted(salsa.skyline), crate::testutil::sorted(sfs.skyline));
         assert!(
             salsa.dominance_tests * 10 < sfs.dominance_tests,
             "SaLSa {} vs SFS {}",

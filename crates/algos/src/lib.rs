@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(rust_2018_idioms)]
 
 pub mod bbs;
 pub mod cardinality;
@@ -58,20 +59,12 @@ pub(crate) mod testutil {
 
     /// Reference `O(n²)` skyline with keep-duplicates semantics.
     pub fn naive_skyline(points: &[Point]) -> Vec<Point> {
-        points
-            .iter()
-            .filter(|t| !points.iter().any(|s| dominates(s, t)))
-            .cloned()
-            .collect()
+        points.iter().filter(|t| !points.iter().any(|s| dominates(s, t))).cloned().collect()
     }
 
     /// Sorts points lexicographically for set comparison.
     pub fn sorted(mut pts: Vec<Point>) -> Vec<Point> {
-        pts.sort_by(|a, b| {
-            a.coords()
-                .partial_cmp(b.coords())
-                .expect("NaN-free")
-        });
+        pts.sort_by(|a, b| a.coords().partial_cmp(b.coords()).expect("NaN-free"));
         pts
     }
 }

@@ -82,6 +82,8 @@ impl SkylineAlgorithm for ParallelDc {
                 .collect();
             handles
                 .into_iter()
+                // join() only fails if a worker panicked; propagating is correct.
+                // skylint: allow(no-panic-paths) — worker panic propagation.
                 .map(|h| h.join().expect("local skyline worker panicked"))
                 .collect()
         });
@@ -89,6 +91,7 @@ impl SkylineAlgorithm for ParallelDc {
 
         // Union of local skylines, in chunk order, as one flat block.
         let union_len: usize = locals.iter().map(|o| o.skyline.len()).sum();
+        // skylint: allow(no-panic-paths) — dims >= 1: taken from a non-empty input point.
         let mut union = PointBlock::with_capacity(dims, union_len).expect("dims > 0");
         for local in &locals {
             for p in &local.skyline {
@@ -112,8 +115,8 @@ impl SkylineAlgorithm for ParallelDc {
                     }
                     let hi = ((t + 1) * span).min(n);
                     Some(s.spawn(move || {
-                        let mut cand =
-                            PointBlock::with_capacity(dims, hi - lo).expect("dims > 0");
+                        // skylint: allow(no-panic-paths) — dims >= 1 as above.
+                        let mut cand = PointBlock::with_capacity(dims, hi - lo).expect("dims > 0");
                         for i in lo..hi {
                             cand.push_row(union_ref.row(i));
                         }
@@ -124,6 +127,7 @@ impl SkylineAlgorithm for ParallelDc {
                 .collect();
             handles
                 .into_iter()
+                // skylint: allow(no-panic-paths) — join() only fails on a worker panic.
                 .map(|h| h.join().expect("merge filter worker panicked"))
                 .collect()
         });
@@ -155,9 +159,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n)
-            .map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>()))
-            .collect()
+        (0..n).map(|_| Point::from((0..dims).map(|_| next()).collect::<Vec<_>>())).collect()
     }
 
     /// Forces the scoped-thread path regardless of host core count.

@@ -13,18 +13,11 @@ fn coord() -> impl Strategy<Value = f64> {
 }
 
 fn points(dims: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec(
-        prop::collection::vec(coord(), dims).prop_map(Point::from),
-        0..200,
-    )
+    prop::collection::vec(prop::collection::vec(coord(), dims).prop_map(Point::from), 0..200)
 }
 
 fn naive(points: &[Point]) -> Vec<Point> {
-    points
-        .iter()
-        .filter(|t| !points.iter().any(|s| dominates(s, t)))
-        .cloned()
-        .collect()
+    points.iter().filter(|t| !points.iter().any(|s| dominates(s, t))).cloned().collect()
 }
 
 fn sorted(mut v: Vec<Point>) -> Vec<Point> {

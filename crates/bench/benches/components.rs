@@ -16,16 +16,12 @@ fn bench_skyline_algos(c: &mut Criterion) {
     group.sample_size(10);
     for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
         let points = SyntheticGen::new(dist, 4, 42).generate(20_000);
-        for (name, algo) in [
-            ("bnl", &Bnl as &dyn SkylineAlgorithm),
-            ("sfs", &Sfs),
-            ("dc", &DivideConquer),
-        ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, dist.label()),
-                &points,
-                |b, pts| b.iter(|| algo.compute(pts.clone())),
-            );
+        for (name, algo) in
+            [("bnl", &Bnl as &dyn SkylineAlgorithm), ("sfs", &Sfs), ("dc", &DivideConquer)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, dist.label()), &points, |b, pts| {
+                b.iter(|| algo.compute(pts.clone()))
+            });
         }
     }
     group.finish();
@@ -68,14 +64,10 @@ fn bench_storage(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("storage");
     group.sample_size(20);
-    group.bench_function("range_query_4d", |b| {
-        b.iter(|| table.fetch_constrained(&constraints))
-    });
+    group.bench_function("range_query_4d", |b| b.iter(|| table.fetch_constrained(&constraints)));
     // Empty-query detection must be near-free.
     let empty = Constraints::from_pairs(&[(2.0, 3.0); 4]).unwrap();
-    group.bench_function("empty_query_detection", |b| {
-        b.iter(|| table.fetch_constrained(&empty))
-    });
+    group.bench_function("empty_query_detection", |b| b.iter(|| table.fetch_constrained(&empty)));
     group.finish();
 }
 

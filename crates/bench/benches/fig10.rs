@@ -27,20 +27,12 @@ fn bench_fig10(c: &mut Criterion) {
     });
 
     let plan = cases::plan(&old, &cached, &new, MprMode::Approximate { k: 1 });
-    group.bench_function("fetching_mpr_regions", |b| {
-        b.iter(|| table.fetch_batch(&plan.regions))
-    });
+    group.bench_function("fetching_mpr_regions", |b| b.iter(|| table.fetch_batch(&plan.regions)));
 
-    group.bench_function("fetching_baseline_region", |b| {
-        b.iter(|| table.fetch_constrained(&new))
-    });
+    group.bench_function("fetching_baseline_region", |b| b.iter(|| table.fetch_constrained(&new)));
 
-    let baseline_input: Vec<Point> = table
-        .fetch_constrained(&new)
-        .rows
-        .into_iter()
-        .map(|r| r.point)
-        .collect();
+    let baseline_input: Vec<Point> =
+        table.fetch_constrained(&new).rows.into_iter().map(|r| r.point).collect();
     group.bench_function("skyline_sfs_baseline_input", |b| {
         b.iter(|| Sfs.compute(baseline_input.clone()))
     });
@@ -51,9 +43,7 @@ fn bench_fig10(c: &mut Criterion) {
         .cloned()
         .chain(table.fetch_batch(&plan.regions).rows.into_iter().map(|r| r.point))
         .collect();
-    group.bench_function("skyline_sfs_mpr_input", |b| {
-        b.iter(|| Sfs.compute(merged.clone()))
-    });
+    group.bench_function("skyline_sfs_mpr_input", |b| b.iter(|| Sfs.compute(merged.clone())));
 
     group.finish();
 }

@@ -8,9 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use skycache_bench::{interactive_queries, run_queries, synthetic_table};
-use skycache_core::{
-    Cache, CbcsConfig, CbcsExecutor, MprMode, SearchStrategy,
-};
+use skycache_core::{Cache, CbcsConfig, CbcsExecutor, MprMode, SearchStrategy};
 use skycache_geom::{Aabb, Constraints, Point};
 
 fn strategies() -> Vec<SearchStrategy> {
@@ -46,14 +44,10 @@ fn bench_selection(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig11_selection");
     for strategy in strategies() {
-        group.bench_with_input(
-            BenchmarkId::new("select", strategy.label()),
-            &strategy,
-            |b, s| {
-                let mut rng = StdRng::seed_from_u64(7);
-                b.iter(|| s.select(&candidates, &query, &bounds, &mut rng))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("select", strategy.label()), &strategy, |b, s| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| s.select(&candidates, &query, &bounds, &mut rng))
+        });
     }
     group.finish();
 }

@@ -3,12 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use skycache_bench::{
-    independent_queries, interactive_queries, real_estate_table, run_queries,
-};
+use skycache_bench::{independent_queries, interactive_queries, real_estate_table, run_queries};
 use skycache_core::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode,
-    SearchStrategy,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy,
 };
 
 fn bench_fig12(c: &mut Criterion) {
@@ -45,24 +42,20 @@ fn bench_fig12(c: &mut Criterion) {
     let preload = independent_queries(&table, 100, 5, None);
     let queries = independent_queries(&table, 25, 19, None);
     for k in [1usize, 5, 10] {
-        group.bench_with_input(
-            BenchmarkId::new("independent/ampr", k),
-            &k,
-            |b, &k| {
-                b.iter(|| {
-                    let config = CbcsConfig {
-                        mpr: MprMode::Approximate { k },
-                        strategy: SearchStrategy::prioritized_nd_std(),
-                        ..Default::default()
-                    };
-                    let mut ex = CbcsExecutor::new(&table, config);
-                    for c in &preload {
-                        ex.query(c).expect("preload succeeds");
-                    }
-                    run_queries(&mut ex, &queries)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("independent/ampr", k), &k, |b, &k| {
+            b.iter(|| {
+                let config = CbcsConfig {
+                    mpr: MprMode::Approximate { k },
+                    strategy: SearchStrategy::prioritized_nd_std(),
+                    ..Default::default()
+                };
+                let mut ex = CbcsExecutor::new(&table, config);
+                for c in &preload {
+                    ex.query(c).expect("preload succeeds");
+                }
+                run_queries(&mut ex, &queries)
+            })
+        });
     }
     group.finish();
 }

@@ -14,24 +14,17 @@ fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_interactive_5d");
     group.sample_size(10);
 
-    for dist in [
-        Distribution::Independent,
-        Distribution::Correlated,
-        Distribution::AntiCorrelated,
-    ] {
+    for dist in [Distribution::Independent, Distribution::Correlated, Distribution::AntiCorrelated]
+    {
         let table = synthetic_table(dist, 5, 30_000, 42);
         let queries = interactive_queries(&table, 40, 17, None);
 
-        group.bench_with_input(
-            BenchmarkId::new("baseline", dist.label()),
-            &queries,
-            |b, q| {
-                b.iter(|| {
-                    let mut ex = BaselineExecutor::new(&table);
-                    run_queries(&mut ex, q)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("baseline", dist.label()), &queries, |b, q| {
+            b.iter(|| {
+                let mut ex = BaselineExecutor::new(&table);
+                run_queries(&mut ex, q)
+            })
+        });
 
         let bbs_table = table.clone();
         group.bench_with_input(BenchmarkId::new("bbs", dist.label()), &queries, |b, q| {

@@ -29,10 +29,7 @@ fn bench_fig6(c: &mut Criterion) {
             b.iter(|| run_queries(&mut ex, q))
         });
 
-        for (label, mode) in [
-            ("mpr", MprMode::Exact),
-            ("ampr1", MprMode::Approximate { k: 1 }),
-        ] {
+        for (label, mode) in [("mpr", MprMode::Exact), ("ampr1", MprMode::Approximate { k: 1 })] {
             group.bench_with_input(BenchmarkId::new(label, n), &queries, |b, q| {
                 b.iter(|| {
                     let config = CbcsConfig {

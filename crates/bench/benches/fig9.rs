@@ -16,9 +16,7 @@ fn setup(d: usize) -> (Constraints, Vec<Point>, Constraints) {
     let mut pairs = vec![(0.2, 0.7); d];
     pairs[0] = (0.25, 0.8); // lower raised + upper raised: unstable general case
     let new = Constraints::from_pairs(&pairs).unwrap();
-    let cached = Sfs
-        .compute(points.into_iter().filter(|p| old.satisfies(p)).collect())
-        .skyline;
+    let cached = Sfs.compute(points.into_iter().filter(|p| old.satisfies(p)).collect()).skyline;
     (old, cached, new)
 }
 
@@ -33,9 +31,7 @@ fn bench_fig9(c: &mut Criterion) {
         });
         for k in [1usize, 3, 6, 10] {
             group.bench_with_input(BenchmarkId::new(format!("ampr{k}"), d), &d, |b, _| {
-                b.iter(|| {
-                    missing_points_region(&old, &cached, &new, MprMode::Approximate { k })
-                })
+                b.iter(|| missing_points_region(&old, &cached, &new, MprMode::Approximate { k }))
             });
         }
     }

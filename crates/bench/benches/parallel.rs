@@ -49,9 +49,7 @@ fn bench_batch_fetch(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("parallel_fetch");
     group.sample_size(20);
-    group.bench_function("sequential_8_regions", |b| {
-        b.iter(|| table.fetch_batch(&regions))
-    });
+    group.bench_function("sequential_8_regions", |b| b.iter(|| table.fetch_batch(&regions)));
     for lanes in [2usize, 4, 8] {
         group.bench_function(format!("parallel_8_regions_{lanes}_lanes"), |b| {
             b.iter(|| table.fetch_batch_parallel(&regions, lanes))
@@ -72,8 +70,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let config =
-                    CbcsConfig { mpr: MprMode::Exact, exec, ..Default::default() };
+                let config = CbcsConfig { mpr: MprMode::Exact, exec, ..Default::default() };
                 let mut ex = CbcsExecutor::new(&table, config);
                 for q in &queries {
                     std::hint::black_box(ex.query(q).expect("benchmark query succeeds"));

@@ -6,17 +6,17 @@
 //! original experiments).
 
 use skycache_core::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode,
-    Overlap, ReplacementPolicy, SearchStrategy,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, Overlap,
+    ReplacementPolicy, SearchStrategy,
 };
 use skycache_datagen::Distribution;
 use skycache_geom::Constraints;
 use skycache_storage::Table;
 
 use crate::{
-    filter_by_case, fmt_size, independent_queries, interactive_queries, print_header,
-    print_row, real_estate_table, run_queries, split_by_stability, summarize,
-    synthetic_table, Record, Summary,
+    filter_by_case, fmt_size, independent_queries, interactive_queries, print_header, print_row,
+    real_estate_table, run_queries, split_by_stability, summarize, synthetic_table, Record,
+    Summary,
 };
 
 /// Experiment scale knobs.
@@ -119,10 +119,7 @@ fn run_cbcs(
 fn method_rows(label: &str, records: &[Record]) {
     let all = summarize(records.iter());
     let (stable, unstable) = split_by_stability(records);
-    print_row(
-        label,
-        &[secs(all.avg_time_s), count(all.avg_points), count(all.avg_rq)],
-    );
+    print_row(label, &[secs(all.avg_time_s), count(all.avg_points), count(all.avg_rq)]);
     if !stable.is_empty() {
         let s = summarize(stable.iter().copied());
         print_row(
@@ -148,15 +145,11 @@ fn size_columns() -> Vec<String> {
 /// the paper).
 pub fn fig5(scale: &Scale) {
     println!("\n#### Figure 5: scalability with dataset size (|D|=5, interactive) ####");
-    for dist in [
-        Distribution::Independent,
-        Distribution::Correlated,
-        Distribution::AntiCorrelated,
-    ] {
+    for dist in [Distribution::Independent, Distribution::Correlated, Distribution::AntiCorrelated]
+    {
         for &n in &scale.sizes {
             let table = synthetic_table(dist, 5, n, 42);
-            let queries =
-                interactive_queries(&table, scale.interactive_queries, 17, None);
+            let queries = interactive_queries(&table, scale.interactive_queries, 17, None);
             print_header(
                 &format!("Fig 5 [{}] |S| = {}", dist.label(), fmt_size(n)),
                 &size_columns(),
@@ -199,13 +192,7 @@ pub fn fig6(scale: &Scale) {
         let s = summarize(&run_queries(&mut bbs, &queries));
         print_row("BBS", &[secs(s.avg_time_s), count(s.avg_points), count(s.avg_rq)]);
 
-        let records = run_cbcs(
-            &table,
-            &queries,
-            &[],
-            MprMode::Exact,
-            SearchStrategy::MaxOverlapSP,
-        );
+        let records = run_cbcs(&table, &queries, &[], MprMode::Exact, SearchStrategy::MaxOverlapSP);
         method_rows("MPR", &records);
 
         let records = run_cbcs(
@@ -226,8 +213,7 @@ pub fn fig7(scale: &Scale) {
         fmt_size(scale.dim_study_n));
     for &d in &scale.dims_fig7 {
         let table = synthetic_table(Distribution::Independent, d, scale.dim_study_n, 42);
-        let queries =
-            interactive_queries(&table, scale.interactive_queries, 17, Some(5));
+        let queries = interactive_queries(&table, scale.interactive_queries, 17, Some(5));
         print_header(&format!("Fig 7 |D| = {d}"), &size_columns());
 
         let mut baseline = BaselineExecutor::new(&table);
@@ -255,8 +241,7 @@ pub fn fig8(scale: &Scale) {
     for (dims, with_mpr) in [(5usize, false), (3usize, true)] {
         for &n in &scale.sizes {
             let table = synthetic_table(Distribution::Independent, dims, n, 42);
-            let queries =
-                interactive_queries(&table, scale.interactive_queries, 17, None);
+            let queries = interactive_queries(&table, scale.interactive_queries, 17, None);
             print_header(
                 &format!("Fig 8 |D| = {dims}, |S| = {}", fmt_size(n)),
                 &["pts read".into(), "rq issued".into(), "rq executed".into()],
@@ -264,16 +249,14 @@ pub fn fig8(scale: &Scale) {
 
             let mut baseline = BaselineExecutor::new(&table);
             let b = summarize(&run_queries(&mut baseline, &queries));
-            print_row("Baseline", &[count(b.avg_points), count(b.avg_rq), count(b.avg_rq_executed)]);
+            print_row(
+                "Baseline",
+                &[count(b.avg_points), count(b.avg_rq), count(b.avg_rq_executed)],
+            );
 
             if with_mpr {
-                let records = run_cbcs(
-                    &table,
-                    &queries,
-                    &[],
-                    MprMode::Exact,
-                    SearchStrategy::MaxOverlapSP,
-                );
+                let records =
+                    run_cbcs(&table, &queries, &[], MprMode::Exact, SearchStrategy::MaxOverlapSP);
                 points_rows("MPR", &records);
             }
             let records = run_cbcs(
@@ -408,15 +391,7 @@ pub fn fig10(scale: &Scale) {
 }
 
 fn print_stage_row(label: &str, s: &Summary) {
-    print_row(
-        label,
-        &[
-            ms(s.stages_s[0]),
-            ms(s.stages_s[1]),
-            ms(s.stages_s[2]),
-            ms(s.avg_time_s),
-        ],
-    );
+    print_row(label, &[ms(s.stages_s[0]), ms(s.stages_s[1]), ms(s.stages_s[2]), ms(s.avg_time_s)]);
 }
 
 /// Figures 11a/11b: response time per cache search strategy.
@@ -441,18 +416,10 @@ pub fn fig11(scale: &Scale) {
     let queries = interactive_queries(&table, scale.interactive_queries, 17, None);
     print_header("Fig 11a (interactive)", &size_columns());
     for strategy in &strategies {
-        let records = run_cbcs(
-            &table,
-            &queries,
-            &[],
-            MprMode::Approximate { k: 1 },
-            strategy.clone(),
-        );
+        let records =
+            run_cbcs(&table, &queries, &[], MprMode::Approximate { k: 1 }, strategy.clone());
         let s = summarize(records.iter());
-        print_row(
-            &strategy.label(),
-            &[secs(s.avg_time_s), count(s.avg_points), count(s.avg_rq)],
-        );
+        print_row(&strategy.label(), &[secs(s.avg_time_s), count(s.avg_points), count(s.avg_rq)]);
     }
 
     // (b) independent queries over a preloaded cache. The paper drops
@@ -464,18 +431,10 @@ pub fn fig11(scale: &Scale) {
         if *strategy == SearchStrategy::Prioritized1D {
             continue;
         }
-        let records = run_cbcs(
-            &table,
-            &queries,
-            &preload,
-            MprMode::Approximate { k: 1 },
-            strategy.clone(),
-        );
+        let records =
+            run_cbcs(&table, &queries, &preload, MprMode::Approximate { k: 1 }, strategy.clone());
         let s = summarize(records.iter());
-        print_row(
-            &strategy.label(),
-            &[secs(s.avg_time_s), count(s.avg_points), count(s.avg_rq)],
-        );
+        print_row(&strategy.label(), &[secs(s.avg_time_s), count(s.avg_points), count(s.avg_rq)]);
     }
 }
 
@@ -510,8 +469,7 @@ pub fn fig12(scale: &Scale) {
 
     // (b) independent queries, preloaded cache, varying #NN.
     let preload = independent_queries(&table, scale.preload, 5, None);
-    let queries =
-        independent_queries(&table, scale.independent_queries.clamp(25, 50), 19, None);
+    let queries = independent_queries(&table, scale.independent_queries.clamp(25, 50), 19, None);
     print_header("Fig 12b (independent, preloaded cache)", &size_columns());
     let mut baseline = BaselineExecutor::new(&table);
     let b = summarize(&run_queries(&mut baseline, &queries));
@@ -541,10 +499,7 @@ pub fn ablation_replacement(scale: &Scale) {
     println!("\n#### Ablation: cache replacement policies (interactive, |D|=3) ####");
     let table = synthetic_table(Distribution::Independent, 3, scale.mid_n.min(200_000), 42);
     let queries = interactive_queries(&table, scale.interactive_queries.max(200), 17, None);
-    print_header(
-        "replacement",
-        &["avg time".into(), "pts read".into(), "hit rate".into()],
-    );
+    print_header("replacement", &["avg time".into(), "pts read".into(), "hit rate".into()]);
     for (label, capacity, policy) in [
         ("unbounded", None, ReplacementPolicy::Lru),
         ("LRU cap=8", Some(8), ReplacementPolicy::Lru),
@@ -679,9 +634,7 @@ pub fn parallel(scale: &Scale) {
     }
 
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!(
-        "\n#### Parallel pipeline: sequential vs parallel (host parallelism = {host}) ####"
-    );
+    println!("\n#### Parallel pipeline: sequential vs parallel (host parallelism = {host}) ####");
 
     // Lane counts below 2 would compare the sequential fallback against
     // SFS, which says nothing about parallelism.
@@ -747,11 +700,7 @@ pub fn parallel(scale: &Scale) {
     );
     let mut summaries = Vec::new();
     for (label, exec_mode) in [("Sequential", ExecMode::Sequential), ("Parallel", exec)] {
-        let config = CbcsConfig {
-            mpr: MprMode::Exact,
-            exec: exec_mode,
-            ..Default::default()
-        };
+        let config = CbcsConfig { mpr: MprMode::Exact, exec: exec_mode, ..Default::default() };
         let records = run_queries(&mut CbcsExecutor::new(&table, config), &queries);
         let s = summarize(records.iter());
         print_row(label, &[secs(s.avg_time_s), count(s.avg_points), count(s.avg_rq)]);

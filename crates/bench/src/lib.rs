@@ -16,8 +16,7 @@ use std::time::Duration;
 
 use skycache_core::{Executor, Overlap, QueryStats};
 use skycache_datagen::{
-    DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen,
-    SyntheticGen,
+    DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen, SyntheticGen,
 };
 use skycache_geom::Constraints;
 use skycache_storage::{Table, TableConfig};
@@ -47,12 +46,7 @@ pub fn interactive_queries(
     if let Some(k) = constrained_dims {
         generator = generator.constrained_dims(k);
     }
-    generator
-        .generate(total, seed)
-        .queries()
-        .iter()
-        .map(|q| q.constraints.clone())
-        .collect()
+    generator.generate(total, seed).queries().iter().map(|q| q.constraints.clone()).collect()
 }
 
 /// Independent multi-user queries (Section 7.1, workload 2).
@@ -67,12 +61,7 @@ pub fn independent_queries(
     if let Some(k) = constrained_dims {
         generator = generator.constrained_dims(k);
     }
-    generator
-        .generate(total, seed)
-        .queries()
-        .iter()
-        .map(|q| q.constraints.clone())
-        .collect()
+    generator.generate(total, seed).queries().iter().map(|q| q.constraints.clone()).collect()
 }
 
 /// One executed query's record, kept for later slicing.
@@ -149,14 +138,8 @@ pub fn summarize<'a>(records: impl IntoIterator<Item = &'a Record>) -> Summary {
 
 /// Slices records by stability of the used cache item.
 pub fn split_by_stability(records: &[Record]) -> (Vec<&Record>, Vec<&Record>) {
-    let stable = records
-        .iter()
-        .filter(|r| r.stats.stable() == Some(true))
-        .collect();
-    let unstable = records
-        .iter()
-        .filter(|r| r.stats.stable() == Some(false))
-        .collect();
+    let stable = records.iter().filter(|r| r.stats.stable() == Some(true)).collect();
+    let unstable = records.iter().filter(|r| r.stats.stable() == Some(false)).collect();
     (stable, unstable)
 }
 
@@ -165,10 +148,7 @@ pub fn filter_by_case<'a>(
     records: &'a [Record],
     pred: impl Fn(Overlap) -> bool + 'a,
 ) -> Vec<&'a Record> {
-    records
-        .iter()
-        .filter(|r| r.stats.case.is_some_and(&pred))
-        .collect()
+    records.iter().filter(|r| r.stats.case.is_some_and(&pred)).collect()
 }
 
 /// Formats a dataset size like the paper's axis labels (`2M`, `500k`).

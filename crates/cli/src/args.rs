@@ -69,13 +69,8 @@ impl Args {
                 if BOOLEAN_FLAGS.contains(&name) {
                     args.flags.entry(name.to_owned()).or_default().push(String::new());
                 } else {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
-                    args.flags
-                        .entry(name.to_owned())
-                        .or_default()
-                        .push(value.clone());
+                    let value = it.next().ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
+                    args.flags.entry(name.to_owned()).or_default().push(value.clone());
                 }
             } else {
                 args.positional.push(a.clone());
@@ -125,12 +120,8 @@ impl Args {
     /// Rejects flags that were never consumed by the command.
     pub fn finish(&self) -> Result<(), ArgError> {
         let consumed = self.consumed.borrow();
-        let unknown: Vec<String> = self
-            .flags
-            .keys()
-            .filter(|k| !consumed.contains(k))
-            .cloned()
-            .collect();
+        let unknown: Vec<String> =
+            self.flags.keys().filter(|k| !consumed.contains(k)).cloned().collect();
         if unknown.is_empty() {
             Ok(())
         } else {
@@ -186,10 +177,7 @@ mod tests {
 
     #[test]
     fn missing_value_is_reported() {
-        assert_eq!(
-            parse(&["--n"]).unwrap_err(),
-            ArgError::MissingValue("n".into())
-        );
+        assert_eq!(parse(&["--n"]).unwrap_err(), ArgError::MissingValue("n".into()));
     }
 
     #[test]
@@ -202,10 +190,7 @@ mod tests {
     #[test]
     fn typed_defaults_and_errors() {
         let a = parse(&["--seed", "nope"]).unwrap();
-        assert!(matches!(
-            a.get_or("seed", 0u64),
-            Err(ArgError::Invalid { .. })
-        ));
+        assert!(matches!(a.get_or("seed", 0u64), Err(ArgError::Invalid { .. })));
         let b = parse(&[]).unwrap();
         assert_eq!(b.get_or("seed", 7u64).unwrap(), 7);
         assert!(matches!(b.require("out"), Err(ArgError::Required(_))));
@@ -213,18 +198,12 @@ mod tests {
 
     #[test]
     fn range_parsing() {
-        assert_eq!(
-            parse_ranges("0.1:0.5,2:3").unwrap(),
-            vec![(0.1, 0.5), (2.0, 3.0)]
-        );
+        assert_eq!(parse_ranges("0.1:0.5,2:3").unwrap(), vec![(0.1, 0.5), (2.0, 3.0)]);
         assert_eq!(
             parse_ranges("*:5,1:*").unwrap(),
             vec![(f64::NEG_INFINITY, 5.0), (1.0, f64::INFINITY)]
         );
-        assert_eq!(
-            parse_ranges(":*").unwrap(),
-            vec![(f64::NEG_INFINITY, f64::INFINITY)]
-        );
+        assert_eq!(parse_ranges(":*").unwrap(), vec![(f64::NEG_INFINITY, f64::INFINITY)]);
         assert!(parse_ranges("5:1").is_err());
         assert!(parse_ranges("abc").is_err());
         assert!(parse_ranges("1:x").is_err());

@@ -4,12 +4,10 @@ use std::error::Error;
 use std::time::Instant;
 
 use skycache_core::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode,
-    SearchStrategy,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy,
 };
 use skycache_datagen::{
-    DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen,
-    SyntheticGen,
+    DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen, SyntheticGen,
 };
 use skycache_geom::{Constraints, Point};
 use skycache_storage::{Table, TableConfig};
@@ -43,10 +41,7 @@ pub fn generate(args: &Args) -> CmdResult {
             Some("anti") | Some("anti-correlated") => Distribution::AntiCorrelated,
             Some(other) => return Err(format!("unknown distribution: {other}").into()),
         };
-        println!(
-            "generating {n} {} points, {dims} dimensions (seed {seed})...",
-            dist.label()
-        );
+        println!("generating {n} {} points, {dims} dimensions (seed {seed})...", dist.label());
         SyntheticGen::new(dist, dims, seed).generate(n)
     };
     args.finish()?;
@@ -75,11 +70,9 @@ fn constraints_from_flag(args: &Args, dims: usize) -> Result<Constraints, Box<dy
     let spec = args.require("range")?;
     let ranges = parse_ranges(&spec)?;
     if ranges.len() != dims {
-        return Err(format!(
-            "--range has {} dimensions but the dataset has {dims}",
-            ranges.len()
-        )
-        .into());
+        return Err(
+            format!("--range has {} dimensions but the dataset has {dims}", ranges.len()).into()
+        );
     }
     Ok(Constraints::from_pairs(&ranges)?)
 }
@@ -171,10 +164,7 @@ pub fn workload(args: &Args) -> CmdResult {
     let mut total_pts = 0u64;
     let mut total_time = 0.0f64;
     let mut hits = 0usize;
-    println!(
-        "{:<6} {:>10} {:>10} {:>8} {:>18}",
-        "query", "|skyline|", "pts read", "rq", "case"
-    );
+    println!("{:<6} {:>10} {:>10} {:>8} {:>18}", "query", "|skyline|", "pts read", "rq", "case");
     for (i, c) in queries.iter().enumerate() {
         let r = ex.query(c)?;
         total_pts += r.stats.points_read;
@@ -223,10 +213,7 @@ pub fn compare(args: &Args) -> CmdResult {
         ("CBCS (aMPR)", Box::new(CbcsExecutor::new(&table, config))),
     ];
 
-    println!(
-        "\n{:<14} {:>12} {:>12} {:>14}",
-        "method", "avg time", "pts read", "dom. tests"
-    );
+    println!("\n{:<14} {:>12} {:>12} {:>14}", "method", "avg time", "pts read", "dom. tests");
     let mut reference: Option<Vec<usize>> = None;
     for (name, ex) in &mut methods {
         let (mut time, mut pts, mut dom) = (0.0f64, 0u64, 0u64);

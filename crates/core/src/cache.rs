@@ -12,7 +12,11 @@
 //! support LRU (least recently used) and LCU (least commonly used)
 //! eviction when a capacity is set.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: eviction scans and dynamic-data maintenance
+// iterate the items, and iteration order must not depend on a randomized
+// hasher (determinism lint) — ties in evict_one and the order of cache
+// reindexing feed back into query planning.
+use std::collections::BTreeMap;
 
 use skycache_geom::{dominates, Aabb, Constraints, Point};
 use skycache_rtree::RStarTree;
@@ -49,7 +53,7 @@ pub enum ReplacementPolicy {
 /// The cache: items plus an R\*-tree over their index boxes.
 #[derive(Debug)]
 pub struct Cache {
-    items: HashMap<u64, CacheItem>,
+    items: BTreeMap<u64, CacheItem>,
     index: RStarTree<u64>,
     clock: u64,
     next_id: u64,
@@ -68,15 +72,11 @@ impl Cache {
     ///
     /// # Panics
     /// Panics if `dims == 0` or `capacity == Some(0)`.
-    pub fn with_capacity(
-        dims: usize,
-        capacity: Option<usize>,
-        policy: ReplacementPolicy,
-    ) -> Self {
+    pub fn with_capacity(dims: usize, capacity: Option<usize>, policy: ReplacementPolicy) -> Self {
         assert!(dims > 0, "zero-dimensional cache");
         assert!(capacity != Some(0), "capacity must be at least 1");
         Cache {
-            items: HashMap::new(),
+            items: BTreeMap::new(),
             index: RStarTree::new(dims),
             clock: 0,
             next_id: 0,
@@ -135,7 +135,23 @@ impl Cache {
                 self.evict_one(id);
             }
         }
+        self.debug_assert_clock_monotone();
         id
+    }
+
+    /// Invariant (debug builds): the logical clock dominates every
+    /// timestamp recorded in the cache. Eviction compares `last_used` /
+    /// `inserted_at` values; if a stale clock ever re-issued an old
+    /// timestamp, LRU ordering would silently rank a fresh use below an
+    /// ancient one (the exact bug class fixed in `touch` — see the
+    /// `touch_on_unknown_id_does_not_advance_the_clock` regression test).
+    fn debug_assert_clock_monotone(&self) {
+        debug_assert!(
+            self.items
+                .values()
+                .all(|it| it.last_used <= self.clock && it.inserted_at <= self.clock),
+            "logical clock fell behind a recorded timestamp"
+        );
     }
 
     fn evict_one(&mut self, protect: u64) {
@@ -171,11 +187,10 @@ impl Cache {
     /// (the paper's `R_C′ ∩ MBR ≠ ∅` lookup), in unspecified order.
     pub fn overlapping(&self, new: &Constraints) -> Vec<&CacheItem> {
         assert_eq!(new.dims(), self.dims, "constraints dimensionality mismatch");
-        self.index
-            .search(new.aabb())
-            .into_iter()
-            .map(|id| self.items.get(id).expect("index out of sync"))
-            .collect()
+        let ids = self.index.search(new.aabb());
+        let hits: Vec<&CacheItem> = ids.iter().filter_map(|id| self.items.get(id)).collect();
+        debug_assert_eq!(hits.len(), ids.len(), "index out of sync with items");
+        hits
     }
 
     /// Records a use of the item (updates LRU/LCU counters). A miss on an
@@ -187,6 +202,7 @@ impl Cache {
             item.last_used = self.clock;
             item.use_count += 1;
         }
+        self.debug_assert_clock_monotone();
     }
 
     /// Iterates over all items.
@@ -223,7 +239,7 @@ impl Cache {
             .collect();
         let mut updated = 0;
         for id in affected {
-            let item = self.items.get_mut(&id).expect("just listed");
+            let Some(item) = self.items.get_mut(&id) else { continue };
             if item.skyline.iter().any(|s| dominates(s, p)) {
                 continue; // dominated: the cached skyline is unchanged
             }
@@ -417,6 +433,33 @@ mod tests {
         let item = cache.get(a).unwrap();
         assert_eq!(item.use_count, 1);
         assert!(item.last_used > before);
+    }
+
+    #[test]
+    fn logical_clock_is_strictly_monotone_over_cache_events() {
+        // Invariant backing `debug_assert_clock_monotone`: every insert
+        // and every successful touch produces a timestamp strictly greater
+        // than all timestamps recorded before it, so LRU recency is a
+        // total, stable order.
+        let mut cache = Cache::new(1);
+        let mut seen_max = 0u64;
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            let id = cache.insert(c(&[(f64::from(i), f64::from(i) + 1.0)]), vec![]);
+            let stamp = cache.get(id).unwrap().inserted_at;
+            assert!(stamp > seen_max, "insert stamp {stamp} not past {seen_max}");
+            seen_max = stamp;
+            ids.push(id);
+        }
+        for &id in ids.iter().rev() {
+            cache.touch(id);
+            let stamp = cache.get(id).unwrap().last_used;
+            assert!(stamp > seen_max, "touch stamp {stamp} not past {seen_max}");
+            seen_max = stamp;
+        }
+        // Failed touches leave the order untouched.
+        cache.touch(9999);
+        assert!(cache.iter().all(|it| it.last_used <= seen_max));
     }
 
     #[test]

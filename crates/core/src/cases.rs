@@ -94,8 +94,7 @@ pub fn plan_with_extra(
             }
         }
         _ => {
-            let out =
-                missing_points_region_multi(old, cached_skyline, extra_points, new, mode);
+            let out = missing_points_region_multi(old, cached_skyline, extra_points, new, mode);
             QueryPlan {
                 overlap,
                 regions: out.regions,
@@ -112,11 +111,7 @@ pub fn plan_with_extra(
 /// Theorem 3's closed-form Case (b) solution, exposed for direct use:
 /// simply drop cached skyline points that violate the new constraints.
 pub fn case_b_solution(cached_skyline: &[Point], new: &Constraints) -> Vec<Point> {
-    cached_skyline
-        .iter()
-        .filter(|p| new.satisfies(p))
-        .cloned()
-        .collect()
+    cached_skyline.iter().filter(|p| new.satisfies(p)).cloned().collect()
 }
 
 #[cfg(test)]

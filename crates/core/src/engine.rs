@@ -13,7 +13,7 @@
 //! (see DESIGN.md: the substitution preserves the paper's cost structure
 //! while staying machine-independent).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +25,7 @@ use skycache_storage::{FetchStats, Table};
 
 use crate::cache::{Cache, ReplacementPolicy};
 use crate::cases::{plan_with_extra, QueryPlan};
+use crate::clock::Stopwatch;
 use crate::mpr::MprMode;
 use crate::stability::Overlap;
 use crate::strategy::SearchStrategy;
@@ -60,10 +61,7 @@ impl ExecMode {
     /// default [`ParallelDc`] fallback threshold.
     pub fn parallel_auto() -> Self {
         let lanes = std::thread::available_parallelism().map_or(1, |n| n.get());
-        ExecMode::Parallel {
-            lanes,
-            dc_threshold: ParallelDc::DEFAULT_SEQUENTIAL_THRESHOLD,
-        }
+        ExecMode::Parallel { lanes, dc_threshold: ParallelDc::DEFAULT_SEQUENTIAL_THRESHOLD }
     }
 
     /// The fetch-lane count (1 in sequential mode).
@@ -84,11 +82,8 @@ fn compute_skyline(
     points: Vec<Point>,
 ) -> SkylineOutput {
     match exec {
-        ExecMode::Parallel { lanes, dc_threshold }
-            if lanes > 1 && points.len() >= dc_threshold =>
-        {
-            ParallelDc { threads: lanes, sequential_threshold: dc_threshold }
-                .compute(points)
+        ExecMode::Parallel { lanes, dc_threshold } if lanes > 1 && points.len() >= dc_threshold => {
+            ParallelDc { threads: lanes, sequential_threshold: dc_threshold }.compute(points)
         }
         _ => algo.compute(points),
     }
@@ -185,10 +180,7 @@ pub trait Executor {
 
 pub(crate) fn check_dims(table: &Table, c: &Constraints) -> Result<()> {
     if table.dims() != c.dims() {
-        return Err(CoreError::DimensionMismatch {
-            expected: table.dims(),
-            actual: c.dims(),
-        });
+        return Err(CoreError::DimensionMismatch { expected: table.dims(), actual: c.dims() });
     }
     Ok(())
 }
@@ -236,12 +228,12 @@ impl Executor for BaselineExecutor<'_> {
         check_dims(self.table, c)?;
         let mut stats = QueryStats::default();
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let fetch = self.table.fetch_constrained(c);
         stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
         stats.absorb_fetch(&fetch.stats);
 
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let points: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
         let out = compute_skyline(self.algo.as_ref(), self.exec, points);
         stats.stages.skyline = t1.elapsed();
@@ -291,11 +283,7 @@ impl<'t> BbsExecutor<'t> {
     /// Creates an executor with explicit I/O accounting parameters.
     pub fn with_config(table: &'t Table, config: BbsConfig) -> Self {
         let tree = RStarTree::bulk_load_points(
-            table
-                .all_points()
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (p.clone(), i as u32)),
+            table.all_points().iter().enumerate().map(|(i, p)| (p.clone(), i as u32)),
             config.params,
         );
         BbsExecutor { table, tree, config }
@@ -311,15 +299,14 @@ impl Executor for BbsExecutor<'_> {
         check_dims(self.table, c)?;
         let mut stats = QueryStats::default();
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let out = bbs_constrained(&self.tree, c);
         let wall = t0.elapsed();
 
         // BBS interleaves I/O and computation; attribute the simulated
         // node-access latency to fetching and the measured CPU time to the
         // skyline stage.
-        stats.stages.fetching =
-            Duration::from_nanos(self.config.node_ns * out.stats.node_accesses);
+        stats.stages.fetching = Duration::from_nanos(self.config.node_ns * out.stats.node_accesses);
         stats.stages.skyline = wall;
         stats.dominance_tests = out.stats.dominance_tests;
         stats.points_read = out.stats.entries_popped - out.stats.node_accesses;
@@ -392,8 +379,9 @@ impl<'t> CbcsExecutor<'t> {
     /// Creates a CBCS executor with an empty cache.
     pub fn new(table: &'t Table, config: CbcsConfig) -> Self {
         let cache = Cache::with_capacity(table.dims(), config.capacity, config.policy);
-        let data_bounds =
-            Aabb::bounding(table.all_points()).expect("tables are non-empty");
+        let data_bounds = Aabb::bounding(table.all_points())
+            // skylint: allow(no-panic-paths) — Table::build rejects empty point sets.
+            .expect("tables are non-empty");
         let rng = StdRng::seed_from_u64(config.seed);
         CbcsExecutor { table, cache, config, algo: Box::new(Sfs), rng, data_bounds }
     }
@@ -411,18 +399,14 @@ impl<'t> CbcsExecutor<'t> {
 
     /// Drops all cached items.
     pub fn clear_cache(&mut self) {
-        self.cache = Cache::with_capacity(
-            self.table.dims(),
-            self.config.capacity,
-            self.config.policy,
-        );
+        self.cache =
+            Cache::with_capacity(self.table.dims(), self.config.capacity, self.config.policy);
     }
 
     /// The active configuration.
     pub fn config(&self) -> &CbcsConfig {
         &self.config
     }
-
 }
 
 impl Executor for CbcsExecutor<'_> {
@@ -458,41 +442,32 @@ fn execute_cbcs_query(
     let mut stats = QueryStats::default();
 
     // Processing stage: cache lookup, strategy, classification, MPR.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let selection = {
         let candidates = cache.overlapping(c);
         stats.candidates = candidates.len();
-        config
-            .strategy
-            .select(&candidates, c, data_bounds, rng)
-            .map(|idx| {
-                let item = candidates[idx];
-                // Section 6.3 extension: harvest extra pruning points
-                // from the next-best items by constraint overlap.
-                let extra: Vec<Point> = if config.extra_items > 0 {
-                    let mut others: Vec<&&crate::cache::CacheItem> = candidates
-                        .iter()
-                        .filter(|it| it.id != item.id)
-                        .collect();
-                    others.sort_by(|a, b| {
-                        // total_cmp: overlap volumes of partially
-                        // unbounded regions may be inf or NaN (0·inf).
-                        c.overlap_volume(&b.constraints)
-                            .total_cmp(&c.overlap_volume(&a.constraints))
-                    });
-                    others
-                        .into_iter()
-                        .take(config.extra_items)
-                        .flat_map(|it| it.skyline.iter().cloned())
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                (
-                    item.id,
-                    plan_with_extra(&item.constraints, &item.skyline, &extra, c, config.mpr),
-                )
-            })
+        config.strategy.select(&candidates, c, data_bounds, rng).map(|idx| {
+            let item = candidates[idx];
+            // Section 6.3 extension: harvest extra pruning points
+            // from the next-best items by constraint overlap.
+            let extra: Vec<Point> = if config.extra_items > 0 {
+                let mut others: Vec<&&crate::cache::CacheItem> =
+                    candidates.iter().filter(|it| it.id != item.id).collect();
+                others.sort_by(|a, b| {
+                    // total_cmp: overlap volumes of partially
+                    // unbounded regions may be inf or NaN (0·inf).
+                    c.overlap_volume(&b.constraints).total_cmp(&c.overlap_volume(&a.constraints))
+                });
+                others
+                    .into_iter()
+                    .take(config.extra_items)
+                    .flat_map(|it| it.skyline.iter().cloned())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (item.id, plan_with_extra(&item.constraints, &item.skyline, &extra, c, config.mpr))
+        })
     };
     stats.stages.processing = t0.elapsed();
 
@@ -521,12 +496,12 @@ pub(crate) fn query_naive(
     c: &Constraints,
     stats: &mut QueryStats,
 ) -> Vec<Point> {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let fetch = table.fetch_constrained(c);
     stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
     stats.absorb_fetch(&fetch.stats);
 
-    let t1 = Instant::now();
+    let t1 = Stopwatch::start();
     let points: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
     let out = compute_skyline(algo, exec, points);
     stats.stages.skyline = t1.elapsed();
@@ -550,7 +525,7 @@ pub(crate) fn query_planned(
     stats.retained_points = plan.retained.len() as u64;
     stats.removed_points = plan.removed_points as u64;
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let fetch = match exec {
         ExecMode::Parallel { lanes, .. } if lanes > 1 && plan.regions.len() > 1 => {
             table.fetch_batch_parallel(&plan.regions, lanes)
@@ -560,7 +535,7 @@ pub(crate) fn query_planned(
     stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
     stats.absorb_fetch(&fetch.stats);
 
-    let t1 = Instant::now();
+    let t1 = Stopwatch::start();
     let skyline = if plan.needs_skyline {
         let fetched: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
         let merged = merge_dedup(plan.retained, fetched);
@@ -602,8 +577,9 @@ impl DynamicCbcsExecutor {
     /// Takes ownership of the table and starts with an empty cache.
     pub fn new(table: Table, config: CbcsConfig) -> Self {
         let cache = Cache::with_capacity(table.dims(), config.capacity, config.policy);
-        let data_bounds =
-            Aabb::bounding(table.all_points()).expect("tables are non-empty");
+        let data_bounds = Aabb::bounding(table.all_points())
+            // skylint: allow(no-panic-paths) — Table::build rejects empty point sets.
+            .expect("tables are non-empty");
         let rng = StdRng::seed_from_u64(config.seed);
         DynamicCbcsExecutor { table, cache, config, algo: Box::new(Sfs), rng, data_bounds }
     }
@@ -666,11 +642,13 @@ impl Executor for DynamicCbcsExecutor {
 /// not pruned by a retained point `u` may re-fetch `u`'s stored row, and
 /// keeping both copies would duplicate `u` in the result.
 fn merge_dedup(retained: Vec<Point>, fetched: Vec<Point>) -> Vec<Point> {
-    use std::collections::HashMap;
+    // BTreeMap for the determinism policy; the map is lookup-only, so
+    // only code shape (not behavior) depends on the choice.
+    use std::collections::BTreeMap;
     if retained.is_empty() {
         return fetched;
     }
-    let mut counts: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut counts: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
     for p in &retained {
         let key: Vec<u64> = p.coords().iter().map(|c| c.to_bits()).collect();
         *counts.entry(key).or_insert(0) += 1;
@@ -699,9 +677,7 @@ mod tests {
     fn grid_table() -> Table {
         // 20x20 grid over [0, 1.9]^2 with step 0.1.
         let points: Vec<Point> = (0..20)
-            .flat_map(|i| {
-                (0..20).map(move |j| p(&[f64::from(i) / 10.0, f64::from(j) / 10.0]))
-            })
+            .flat_map(|i| (0..20).map(move |j| p(&[f64::from(i) / 10.0, f64::from(j) / 10.0])))
             .collect();
         Table::build(points, TableConfig::default()).unwrap()
     }
@@ -814,10 +790,7 @@ mod tests {
         // aMPR(0) prunes nothing: every retained point's region is
         // re-fetched, and dedup must kill the copies.
         let table = grid_table();
-        let config = CbcsConfig {
-            mpr: MprMode::Approximate { k: 0 },
-            ..CbcsConfig::default()
-        };
+        let config = CbcsConfig { mpr: MprMode::Approximate { k: 0 }, ..CbcsConfig::default() };
         let mut cbcs = CbcsExecutor::new(&table, config);
         cbcs.query(&c(&[(0.2, 1.0), (0.2, 1.0)])).unwrap();
         let res = cbcs.query(&c(&[(0.1, 1.0), (0.2, 1.0)])).unwrap();

@@ -53,20 +53,30 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(rust_2018_idioms)]
 
+/// The constrained-skyline cache (Section 6): items, index, replacement.
 pub mod cache;
+/// Specialized solutions for the four single-bound cases (Theorems 2–5).
 pub mod cases;
+/// The audited wall-clock site ([`clock::Stopwatch`]).
+pub mod clock;
+/// Query executors: Baseline, BBS and CBCS behind one interface.
 pub mod engine;
 mod error;
+/// The (approximate) Missing Points Region (Section 5).
 pub mod mpr;
+/// Thread-safe shared cache for multi-user deployments.
 pub mod shared;
+/// Stability theory (Definition 4, Theorem 1) and case classification.
 pub mod stability;
+/// Cache search strategies (Section 6.1).
 pub mod strategy;
 
 pub use cache::{Cache, CacheItem, ReplacementPolicy};
 pub use engine::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, DynamicCbcsExecutor,
-    ExecMode, Executor, QueryResult, QueryStats, StageTimes,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, DynamicCbcsExecutor, ExecMode,
+    Executor, QueryResult, QueryStats, StageTimes,
 };
 pub use error::CoreError;
 pub use mpr::{missing_points_region, missing_points_region_multi, MprMode, MprOutput};

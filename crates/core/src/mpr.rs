@@ -127,10 +127,10 @@ pub fn missing_points_region_multi(
     // Adopt extra pruning points from other cache items (deduplicated
     // against the primary item's retained points by coordinates).
     if !extra_points.is_empty() {
-        let mut seen: std::collections::HashSet<Vec<u64>> = retained
-            .iter()
-            .map(|p| p.coords().iter().map(|c| c.to_bits()).collect())
-            .collect();
+        // BTreeSet for the determinism policy (membership-only here, but
+        // keeping hash collections out of planning paths is the point).
+        let mut seen: std::collections::BTreeSet<Vec<u64>> =
+            retained.iter().map(|p| p.coords().iter().map(|c| c.to_bits()).collect()).collect();
         for p in extra_points {
             if !new.satisfies(p) {
                 continue;
@@ -195,12 +195,7 @@ pub fn missing_points_region_multi(
             })
             .sum()
     };
-    order.sort_by(|&a, &b| {
-        dist(retained[a])
-            .partial_cmp(&dist(retained[b]))
-            .expect("NaN-free")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| dist(retained[a]).total_cmp(&dist(retained[b])).then(a.cmp(&b)));
     let limit = match mode {
         MprMode::Exact => order.len(),
         MprMode::Approximate { k } => k.min(order.len()),
@@ -220,6 +215,17 @@ pub fn missing_points_region_multi(
 
     // Drop any degenerate leftovers.
     regions.retain(|r| !r.is_empty());
+
+    // Invariant (debug builds): the emitted range queries are pairwise
+    // disjoint — in both modes. Step 1 splits with strict inequalities
+    // (Algorithm 1), step 2 lies inside the overlap (disjoint from step
+    // 1; `disjoint_union` or a single cover box internally), and step 3
+    // only subtracts. Overlapping regions would double-fetch rows and
+    // break the paper's minimality accounting (Thm. 7).
+    debug_assert!(
+        skycache_geom::subtract::pairwise_disjoint(&regions),
+        "MPR emitted overlapping range queries"
+    );
 
     MprOutput {
         regions,
@@ -383,13 +389,39 @@ mod tests {
     fn exact_regions_are_disjoint_in_3d() {
         let old = c(&[(0.2, 0.8), (0.2, 0.8), (0.2, 0.8)]);
         let new = c(&[(0.1, 0.9), (0.2, 0.8), (0.3, 0.9)]);
-        let sky = vec![
-            p(&[0.3, 0.3, 0.4]),
-            p(&[0.5, 0.25, 0.5]),
-            p(&[0.25, 0.6, 0.35]),
-        ];
+        let sky = vec![p(&[0.3, 0.3, 0.4]), p(&[0.5, 0.25, 0.5]), p(&[0.25, 0.6, 0.35])];
         let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
         assert!(pairwise_disjoint(&out.regions));
+    }
+
+    #[test]
+    fn regions_are_pairwise_disjoint_in_every_mode() {
+        // Invariant backing the debug_assert in
+        // missing_points_region_multi: whatever the mode and however the
+        // constraints moved (widened, narrowed, shifted — stable and
+        // unstable cases alike), the emitted range queries never overlap.
+        let old = c(&[(0.2, 1.0), (0.1, 0.9), (0.0, 0.8)]);
+        let sky = vec![p(&[0.3, 0.2, 0.7]), p(&[0.25, 0.8, 0.1]), p(&[0.9, 0.15, 0.4])];
+        let news = [
+            c(&[(0.0, 1.2), (0.1, 0.9), (0.0, 0.8)]), // widen dim 0 both ways
+            c(&[(0.4, 1.0), (0.1, 0.9), (0.0, 0.8)]), // unstable: lower raised
+            c(&[(0.2, 1.0), (0.0, 1.1), (0.2, 1.0)]), // mixed shift
+            c(&[(1.5, 2.0), (1.5, 2.0), (1.5, 2.0)]), // disjoint from old
+        ];
+        for new in &news {
+            for mode in [
+                MprMode::Exact,
+                MprMode::Approximate { k: 0 },
+                MprMode::Approximate { k: 1 },
+                MprMode::Approximate { k: 8 },
+            ] {
+                let out = missing_points_region(&old, &sky, new, mode);
+                assert!(
+                    pairwise_disjoint(&out.regions),
+                    "overlapping regions for {new:?} under {mode:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -405,9 +437,7 @@ mod tests {
             let sky: Vec<Point> = (0..6)
                 .map(|j| {
                     Point::from(
-                        (0..d)
-                            .map(|i| 0.15 + 0.1 * ((i + j) % 5) as f64)
-                            .collect::<Vec<_>>(),
+                        (0..d).map(|i| 0.15 + 0.1 * ((i + j) % 5) as f64).collect::<Vec<_>>(),
                     )
                 })
                 .collect();

@@ -15,7 +15,6 @@
 //! than the cache search itself.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -27,6 +26,7 @@ use skycache_storage::Table;
 
 use crate::cache::Cache;
 use crate::cases::plan_with_extra;
+use crate::clock::Stopwatch;
 use crate::engine::{
     check_dims, query_naive, query_planned, CbcsConfig, Executor, QueryResult, QueryStats,
 };
@@ -52,17 +52,17 @@ impl SharedCache {
 
     /// Number of cached items (takes a read lock).
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().len() // lock-order: read
     }
 
     /// Whether the cache is empty (takes a read lock).
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().is_empty() // lock-order: read
     }
 
     /// Runs a closure with read access to the underlying cache.
     pub fn with_read<R>(&self, f: impl FnOnce(&Cache) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.inner.read()) // lock-order: read
     }
 }
 
@@ -83,12 +83,13 @@ impl<'t> SharedCbcsExecutor<'t> {
     /// Panics if the cache and table dimensionalities differ.
     pub fn new(table: &'t Table, cache: SharedCache, config: CbcsConfig) -> Self {
         assert_eq!(
-            cache.inner.read().dims(),
+            cache.inner.read().dims(), // lock-order: read
             table.dims(),
             "cache/table dimensionality mismatch"
         );
-        let data_bounds =
-            Aabb::bounding(table.all_points()).expect("tables are non-empty");
+        let data_bounds = Aabb::bounding(table.all_points())
+            // skylint: allow(no-panic-paths) — Table::build rejects empty point sets.
+            .expect("tables are non-empty");
         let rng = StdRng::seed_from_u64(config.seed);
         SharedCbcsExecutor { table, cache, config, algo: Box::new(Sfs), rng, data_bounds }
     }
@@ -115,16 +116,16 @@ impl Executor for SharedCbcsExecutor<'_> {
         let mut stats = QueryStats::default();
 
         // Phase 1 (read lock): search + clone the selected item out.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let selection = {
-            let cache = self.cache.inner.read();
+            let cache = self.cache.inner.read(); // lock-order: read
             let candidates = cache.overlapping(c);
             stats.candidates = candidates.len();
             self.config
                 .strategy
                 .select(&candidates, c, &self.data_bounds, &mut self.rng)
-                .map(|idx| {
-                    let item = candidates[idx];
+                .and_then(|idx| candidates.get(idx))
+                .map(|&item| {
                     let extra: Vec<Point> = if self.config.extra_items > 0 {
                         let mut others: Vec<_> =
                             candidates.iter().filter(|it| it.id != item.id).collect();
@@ -154,7 +155,7 @@ impl Executor for SharedCbcsExecutor<'_> {
                 let plan = plan_with_extra(&old_c, &old_sky, &extra, c, self.config.mpr);
                 stats.stages.processing = t0.elapsed();
                 stats.cache_hit = true;
-                self.cache.inner.write().touch(item_id);
+                self.cache.inner.write().touch(item_id); // lock-order: write
                 query_planned(self.table, self.algo.as_ref(), self.config.exec, plan, &mut stats)
             }
         };
@@ -162,7 +163,7 @@ impl Executor for SharedCbcsExecutor<'_> {
 
         // Phase 3 (write lock): publish the result.
         if self.config.cache_results {
-            self.cache.inner.write().insert(c.clone(), skyline.clone());
+            self.cache.inner.write().insert(c.clone(), skyline.clone()); // lock-order: write
         }
 
         Ok(QueryResult { skyline, stats })

@@ -148,22 +148,10 @@ mod tests {
     #[test]
     fn four_single_bound_cases() {
         let old = c(&[(1.0, 2.0), (1.0, 2.0)]);
-        assert_eq!(
-            classify(&old, &c(&[(0.5, 2.0), (1.0, 2.0)])),
-            Overlap::CaseA { dim: 0 }
-        );
-        assert_eq!(
-            classify(&old, &c(&[(1.0, 1.5), (1.0, 2.0)])),
-            Overlap::CaseB { dim: 0 }
-        );
-        assert_eq!(
-            classify(&old, &c(&[(1.0, 2.0), (1.0, 2.5)])),
-            Overlap::CaseC { dim: 1 }
-        );
-        assert_eq!(
-            classify(&old, &c(&[(1.0, 2.0), (1.5, 2.0)])),
-            Overlap::CaseD { dim: 1 }
-        );
+        assert_eq!(classify(&old, &c(&[(0.5, 2.0), (1.0, 2.0)])), Overlap::CaseA { dim: 0 });
+        assert_eq!(classify(&old, &c(&[(1.0, 1.5), (1.0, 2.0)])), Overlap::CaseB { dim: 0 });
+        assert_eq!(classify(&old, &c(&[(1.0, 2.0), (1.0, 2.5)])), Overlap::CaseC { dim: 1 });
+        assert_eq!(classify(&old, &c(&[(1.0, 2.0), (1.5, 2.0)])), Overlap::CaseD { dim: 1 });
     }
 
     #[test]

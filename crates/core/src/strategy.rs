@@ -105,41 +105,38 @@ impl SearchStrategy {
                     (u8::from(stable), clamped_overlap(it, new, data_bounds))
                 })
             }
-            SearchStrategy::Prioritized1D => {
-                argmax_by(candidates, |it| {
-                    let rank = case_rank(classify(&it.constraints, new));
-                    (std::cmp::Reverse(rank), clamped_overlap(it, new, data_bounds))
-                })
-            }
-            SearchStrategy::PrioritizedND { weights } => {
-                argmax_by(candidates, |it| {
-                    let penalty = nd_penalty(&it.constraints, new, weights);
-                    (
-                        std::cmp::Reverse(FiniteF64(penalty)),
-                        clamped_overlap(it, new, data_bounds),
-                    )
-                })
-            }
-            SearchStrategy::OptimumDistance => {
-                argmax_by(candidates, |it| {
-                    std::cmp::Reverse(FiniteF64(corner_distance(it, new, data_bounds)))
-                })
-            }
+            SearchStrategy::Prioritized1D => argmax_by(candidates, |it| {
+                let rank = case_rank(classify(&it.constraints, new));
+                (std::cmp::Reverse(rank), clamped_overlap(it, new, data_bounds))
+            }),
+            SearchStrategy::PrioritizedND { weights } => argmax_by(candidates, |it| {
+                let penalty = nd_penalty(&it.constraints, new, weights);
+                (std::cmp::Reverse(FiniteF64(penalty)), clamped_overlap(it, new, data_bounds))
+            }),
+            SearchStrategy::OptimumDistance => argmax_by(candidates, |it| {
+                std::cmp::Reverse(FiniteF64(corner_distance(it, new, data_bounds)))
+            }),
         };
         Some(best)
     }
 }
 
-/// Total-order wrapper for finite scores.
-#[derive(PartialEq, PartialOrd)]
+/// Total-order wrapper for scores (IEEE total order, so no panic path
+/// even if a score ever degenerates to NaN).
+#[derive(PartialEq)]
 struct FiniteF64(f64);
 
 impl Eq for FiniteF64 {}
 
-#[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for FiniteF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("scores are finite")
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for FiniteF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -157,19 +154,9 @@ fn argmax_by<K: Ord>(candidates: &[&CacheItem], mut key: impl FnMut(&CacheItem) 
 }
 
 fn clamp_box(c: &Constraints, bounds: &Aabb) -> Aabb {
-    let lo: Vec<f64> = c
-        .lo()
-        .iter()
-        .zip(bounds.lo())
-        .map(|(v, b)| v.max(*b))
-        .collect();
-    let hi: Vec<f64> = c
-        .hi()
-        .iter()
-        .zip(bounds.hi())
-        .zip(&lo)
-        .map(|((v, b), l)| v.min(*b).max(*l))
-        .collect();
+    let lo: Vec<f64> = c.lo().iter().zip(bounds.lo()).map(|(v, b)| v.max(*b)).collect();
+    let hi: Vec<f64> =
+        c.hi().iter().zip(bounds.hi()).zip(&lo).map(|((v, b), l)| v.min(*b).max(*l)).collect();
     Aabb::new_unchecked(lo, hi)
 }
 
@@ -182,11 +169,7 @@ fn clamped_overlap(item: &CacheItem, new: &Constraints, bounds: &Aabb) -> Finite
 fn corner_distance(item: &CacheItem, new: &Constraints, bounds: &Aabb) -> f64 {
     let a = clamp_box(&item.constraints, bounds);
     let b = clamp_box(new, bounds);
-    a.lo()
-        .iter()
-        .zip(b.lo())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.lo().iter().zip(b.lo()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 /// Rank of a case for `Prioritized1D`: lower is better. Exact hits beat
@@ -242,15 +225,7 @@ mod tests {
             (pairs[1].0 + pairs[1].1) / 2.0,
         ])];
         let mbr = Aabb::bounding(&skyline);
-        CacheItem {
-            id,
-            constraints,
-            skyline,
-            mbr,
-            inserted_at: id,
-            last_used: id,
-            use_count: 0,
-        }
+        CacheItem { id, constraints, skyline, mbr, inserted_at: id, last_used: id, use_count: 0 }
     }
 
     fn rng() -> StdRng {
@@ -260,10 +235,7 @@ mod tests {
     #[test]
     fn empty_candidates_yield_none() {
         let new = Constraints::from_pairs(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
-        assert_eq!(
-            SearchStrategy::Random.select(&[], &new, &bounds(), &mut rng()),
-            None
-        );
+        assert_eq!(SearchStrategy::Random.select(&[], &new, &bounds(), &mut rng()), None);
     }
 
     #[test]
@@ -271,9 +243,8 @@ mod tests {
         let a = item(0, &[(0.0, 2.0), (0.0, 2.0)]);
         let b = item(1, &[(0.0, 5.0), (0.0, 5.0)]);
         let new = Constraints::from_pairs(&[(0.0, 4.0), (0.0, 4.0)]).unwrap();
-        let got = SearchStrategy::MaxOverlap
-            .select(&[&a, &b], &new, &bounds(), &mut rng())
-            .unwrap();
+        let got =
+            SearchStrategy::MaxOverlap.select(&[&a, &b], &new, &bounds(), &mut rng()).unwrap();
         assert_eq!(got, 1);
     }
 
@@ -287,14 +258,12 @@ mod tests {
         let new = Constraints::from_pairs(&[(1.0, 4.5), (1.0, 4.5)]).unwrap();
         assert!(!is_stable(&a.constraints, &new));
         assert!(is_stable(&b.constraints, &new));
-        let got = SearchStrategy::MaxOverlapSP
-            .select(&[&a, &b], &new, &bounds(), &mut rng())
-            .unwrap();
+        let got =
+            SearchStrategy::MaxOverlapSP.select(&[&a, &b], &new, &bounds(), &mut rng()).unwrap();
         assert_eq!(got, 1);
         // Plain MaxOverlap would pick `a`.
-        let plain = SearchStrategy::MaxOverlap
-            .select(&[&a, &b], &new, &bounds(), &mut rng())
-            .unwrap();
+        let plain =
+            SearchStrategy::MaxOverlap.select(&[&a, &b], &new, &bounds(), &mut rng()).unwrap();
         assert_eq!(plain, 0);
     }
 

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(rust_2018_idioms)]
 
 pub mod real_estate;
 mod synthetic;
@@ -36,9 +37,7 @@ pub mod workload;
 
 pub use real_estate::RealEstateGen;
 pub use synthetic::{Distribution, SyntheticGen};
-pub use workload::{
-    DimStats, IndependentWorkload, InteractiveWorkload, QuerySpec, Workload,
-};
+pub use workload::{DimStats, IndependentWorkload, InteractiveWorkload, QuerySpec, Workload};
 
 pub(crate) mod util {
     use rand::Rng;

@@ -55,11 +55,11 @@ impl RealEstateGen {
     fn gen_one<R: Rng>(&self, rng: &mut R) -> Point {
         // Construction year: mixture of building booms.
         let year = match rng.gen_range(0..100u32) {
-            0..=14 => normal(rng, 1915.0, 12.0),  // pre-war urban stock
-            15..=39 => normal(rng, 1955.0, 8.0),  // post-war expansion
-            40..=74 => normal(rng, 1972.0, 6.0),  // the 70s boom
+            0..=14 => normal(rng, 1915.0, 12.0), // pre-war urban stock
+            15..=39 => normal(rng, 1955.0, 8.0), // post-war expansion
+            40..=74 => normal(rng, 1972.0, 6.0), // the 70s boom
             75..=89 => normal(rng, 1990.0, 7.0),
-            _ => normal(rng, 2002.0, 2.5),        // recent builds
+            _ => normal(rng, 2002.0, 2.5), // recent builds
         }
         .clamp(1850.0, 2005.0);
 
@@ -84,9 +84,8 @@ impl RealEstateGen {
         let valuation = (base * location_mult).clamp(50.0, 30_000.0);
 
         // Sales price tracks valuation with market noise.
-        let price = (valuation * rng.gen_range(0.75..1.35)
-            * log_normal(rng, 0.0, 0.08))
-        .clamp(40.0, 40_000.0);
+        let price = (valuation * rng.gen_range(0.75..1.35) * log_normal(rng, 0.0, 0.08))
+            .clamp(40.0, 40_000.0);
 
         Point::new_unchecked(vec![-year, -sqm, valuation, price])
     }

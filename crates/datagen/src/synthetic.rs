@@ -67,10 +67,7 @@ impl SyntheticGen {
 
     /// Generates `n` points deterministically.
     pub fn generate(&self, n: usize) -> Vec<Point> {
-        self.generate_block(n)
-            .rows()
-            .map(|row| Point::new_unchecked(row.to_vec()))
-            .collect()
+        self.generate_block(n).rows().map(|row| Point::new_unchecked(row.to_vec())).collect()
     }
 
     /// Generates `n` points deterministically into one flat
@@ -80,15 +77,14 @@ impl SyntheticGen {
     /// produce the same coordinates for the same seed.
     pub fn generate_block(&self, n: usize) -> PointBlock {
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // skylint: allow(no-panic-paths) — SyntheticGen::new asserts dims >= 1.
         let mut block = PointBlock::with_capacity(self.dims, n).expect("dims > 0");
         let mut row = Vec::with_capacity(self.dims);
         for _ in 0..n {
             match self.dist {
                 Distribution::Independent => self.fill_independent(&mut rng, &mut row),
                 Distribution::Correlated => self.fill_correlated(&mut rng, &mut row),
-                Distribution::AntiCorrelated => {
-                    self.fill_anti_correlated(&mut rng, &mut row)
-                }
+                Distribution::AntiCorrelated => self.fill_anti_correlated(&mut rng, &mut row),
             }
             block.push_row(&row);
         }
@@ -183,11 +179,9 @@ mod tests {
 
     #[test]
     fn block_generation_matches_point_generation() {
-        for dist in [
-            Distribution::Independent,
-            Distribution::Correlated,
-            Distribution::AntiCorrelated,
-        ] {
+        for dist in
+            [Distribution::Independent, Distribution::Correlated, Distribution::AntiCorrelated]
+        {
             let g = SyntheticGen::new(dist, 4, 11);
             let block = g.generate_block(500);
             assert_eq!(block.len(), 500);
@@ -206,18 +200,13 @@ mod tests {
 
     #[test]
     fn all_coords_in_unit_cube() {
-        for dist in [
-            Distribution::Independent,
-            Distribution::Correlated,
-            Distribution::AntiCorrelated,
-        ] {
+        for dist in
+            [Distribution::Independent, Distribution::Correlated, Distribution::AntiCorrelated]
+        {
             let pts = SyntheticGen::new(dist, 5, 1).generate(2_000);
             assert_eq!(pts.len(), 2_000);
             for p in &pts {
-                assert!(
-                    p.coords().iter().all(|c| (0.0..=1.0).contains(c)),
-                    "{dist:?}: {p:?}"
-                );
+                assert!(p.coords().iter().all(|c| (0.0..=1.0).contains(c)), "{dist:?}: {p:?}");
             }
         }
     }
@@ -249,8 +238,7 @@ mod tests {
     #[test]
     fn anti_correlated_sum_concentrated() {
         let pts = SyntheticGen::new(Distribution::AntiCorrelated, 4, 5).generate(5_000);
-        let mean_sum =
-            pts.iter().map(Point::coord_sum).sum::<f64>() / pts.len() as f64;
+        let mean_sum = pts.iter().map(Point::coord_sum).sum::<f64>() / pts.len() as f64;
         assert!((mean_sum - 2.0).abs() < 0.1, "mean coord sum {mean_sum}");
     }
 

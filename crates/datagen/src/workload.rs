@@ -56,10 +56,7 @@ impl DimStats {
                 var[i] += (c - mean[i]) * (c - mean[i]);
             }
         }
-        mean.into_iter()
-            .zip(var)
-            .map(|(mean, v)| DimStats { mean, std: (v / n).sqrt() })
-            .collect()
+        mean.into_iter().zip(var).map(|(mean, v)| DimStats { mean, std: (v / n).sqrt() }).collect()
     }
 }
 
@@ -109,11 +106,7 @@ struct GenParams {
     sigma_span: f64,
 }
 
-fn initial_constraints<R: Rng>(
-    rng: &mut R,
-    stats: &[DimStats],
-    params: &GenParams,
-) -> Constraints {
+fn initial_constraints<R: Rng>(rng: &mut R, stats: &[DimStats], params: &GenParams) -> Constraints {
     let dims = stats.len();
     let mut lo = vec![f64::NEG_INFINITY; dims];
     let mut hi = vec![f64::INFINITY; dims];
@@ -125,6 +118,7 @@ fn initial_constraints<R: Rng>(
         lo[i] = a.min(b);
         hi[i] = a.max(b);
     }
+    // skylint: allow(no-panic-paths) — lo/hi are min/max of the same two samples.
     Constraints::new(lo, hi).expect("lo <= hi by construction")
 }
 
@@ -159,11 +153,8 @@ fn refine<R: Rng>(
         let (lo, hi) = (c.lo()[dim], c.hi()[dim]);
         // 5–10% of the current constraint width; for unbounded dimensions
         // fall back to the dimension's spread.
-        let base_width = if lo.is_finite() && hi.is_finite() {
-            hi - lo
-        } else {
-            6.0 * stats[dim].std
-        };
+        let base_width =
+            if lo.is_finite() && hi.is_finite() { hi - lo } else { 6.0 * stats[dim].std };
         let delta = base_width.max(f64::MIN_POSITIVE) * rng.gen_range(0.05..0.10);
         let (new_lo, new_hi) = match kind {
             Refinement::DecreaseLower => (lo - delta, hi),
@@ -192,10 +183,7 @@ impl InteractiveWorkload {
     /// Creates a generator anchored on the dataset statistics.
     pub fn new(stats: Vec<DimStats>) -> Self {
         let constrained_dims = stats.len();
-        InteractiveWorkload {
-            stats,
-            params: GenParams { constrained_dims, sigma_span: 3.0 },
-        }
+        InteractiveWorkload { stats, params: GenParams { constrained_dims, sigma_span: 3.0 } }
     }
 
     /// Constrains only the first `k` dimensions (Fig. 7 setup); the rest
@@ -243,10 +231,7 @@ impl IndependentWorkload {
     /// Creates a generator anchored on the dataset statistics.
     pub fn new(stats: Vec<DimStats>) -> Self {
         let constrained_dims = stats.len();
-        IndependentWorkload {
-            stats,
-            params: GenParams { constrained_dims, sigma_span: 3.0 },
-        }
+        IndependentWorkload { stats, params: GenParams { constrained_dims, sigma_span: 3.0 } }
     }
 
     /// Constrains only the first `k` dimensions.
@@ -345,10 +330,7 @@ mod tests {
                 let d = lo_d.max(hi_d);
                 if d > 0.0 && width > 0.0 {
                     let pct = d / width;
-                    assert!(
-                        (0.049..0.101).contains(&pct),
-                        "refinement changed dim {i} by {pct}"
-                    );
+                    assert!((0.049..0.101).contains(&pct), "refinement changed dim {i} by {pct}");
                 }
             }
         }
@@ -361,8 +343,7 @@ mod tests {
         assert_eq!(w.len(), 50);
         assert!(w.queries().iter().all(|q| q.step == 0));
         // Chains all distinct.
-        let chains: std::collections::HashSet<_> =
-            w.queries().iter().map(|q| q.chain).collect();
+        let chains: std::collections::HashSet<_> = w.queries().iter().map(|q| q.chain).collect();
         assert_eq!(chains.len(), 50);
     }
 

@@ -6,8 +6,7 @@
 use proptest::prelude::*;
 
 use skycache_datagen::{
-    DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen,
-    SyntheticGen,
+    DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen, SyntheticGen,
 };
 
 fn dist() -> impl Strategy<Value = Distribution> {

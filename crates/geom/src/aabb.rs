@@ -87,11 +87,7 @@ impl Aabb {
     /// Membership test for a point (closed on all faces).
     pub fn contains_point(&self, p: &Point) -> bool {
         debug_assert_eq!(self.dims(), p.dims());
-        self.lo
-            .iter()
-            .zip(self.hi.iter())
-            .zip(p.coords())
-            .all(|((l, h), c)| l <= c && c <= h)
+        self.lo.iter().zip(self.hi.iter()).zip(p.coords()).all(|((l, h), c)| l <= c && c <= h)
     }
 
     /// Whether `other` lies entirely inside `self`.
@@ -116,20 +112,16 @@ impl Aabb {
         if !self.intersects(other) {
             return None;
         }
-        let lo: Vec<f64> =
-            self.lo.iter().zip(&other.lo).map(|(a, b)| a.max(*b)).collect();
-        let hi: Vec<f64> =
-            self.hi.iter().zip(&other.hi).map(|(a, b)| a.min(*b)).collect();
+        let lo: Vec<f64> = self.lo.iter().zip(&other.lo).map(|(a, b)| a.max(*b)).collect();
+        let hi: Vec<f64> = self.hi.iter().zip(&other.hi).map(|(a, b)| a.min(*b)).collect();
         Some(Aabb { lo: lo.into(), hi: hi.into() })
     }
 
     /// Smallest box enclosing both.
     pub fn union(&self, other: &Aabb) -> Aabb {
         debug_assert_eq!(self.dims(), other.dims());
-        let lo: Vec<f64> =
-            self.lo.iter().zip(&other.lo).map(|(a, b)| a.min(*b)).collect();
-        let hi: Vec<f64> =
-            self.hi.iter().zip(&other.hi).map(|(a, b)| a.max(*b)).collect();
+        let lo: Vec<f64> = self.lo.iter().zip(&other.lo).map(|(a, b)| a.min(*b)).collect();
+        let hi: Vec<f64> = self.hi.iter().zip(&other.hi).map(|(a, b)| a.max(*b)).collect();
         Aabb { lo: lo.into(), hi: hi.into() }
     }
 

@@ -130,6 +130,7 @@ impl From<&[Point]> for PointBlock {
     /// Panics if `points` is empty (no dimensionality to infer); use
     /// [`PointBlock::new`] for empty blocks.
     fn from(points: &[Point]) -> Self {
+        // skylint: allow(no-panic-paths) — documented `# Panics` contract above.
         PointBlock::from_points(points).expect("cannot infer dims of an empty point slice")
     }
 }
@@ -235,10 +236,10 @@ mod tests {
         // (equality does not dominate); dominated by (0,3).
         let mut cands = block(&[&[2.0, 2.0], &[0.5, 1.5], &[1.0, 1.0], &[0.0, 4.0]]);
         let stats = filter_block(&mut cands, &window);
-        assert_eq!(cands.to_points(), vec![
-            Point::from(vec![0.5, 1.5]),
-            Point::from(vec![1.0, 1.0]),
-        ]);
+        assert_eq!(
+            cands.to_points(),
+            vec![Point::from(vec![0.5, 1.5]), Point::from(vec![1.0, 1.0]),]
+        );
         assert_eq!(stats.removed, 2);
         // Row 1: 2 tests (no hit); row 2: 2 tests; rows 0 and 3: early
         // exit after 1 and 2 tests respectively.

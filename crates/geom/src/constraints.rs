@@ -32,10 +32,7 @@ impl Constraints {
             return Err(GeomError::ZeroDimensions);
         }
         Ok(Constraints {
-            bounds: Aabb::new_unchecked(
-                vec![f64::NEG_INFINITY; dims],
-                vec![f64::INFINITY; dims],
-            ),
+            bounds: Aabb::new_unchecked(vec![f64::NEG_INFINITY; dims], vec![f64::INFINITY; dims]),
         })
     }
 
@@ -117,11 +114,7 @@ impl Constraints {
     /// Squared distance between the lower corners of two constraint sets —
     /// the score of the `OptimumDistance` cache search strategy.
     pub fn lower_corner_dist_sq(&self, other: &Constraints) -> f64 {
-        self.lo()
-            .iter()
-            .zip(other.lo())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        self.lo().iter().zip(other.lo()).map(|(a, b)| (a - b) * (a - b)).sum()
     }
 }
 
@@ -181,4 +174,3 @@ mod tests {
         assert_eq!(a.lower_corner_dist_sq(&b), 25.0);
     }
 }
-

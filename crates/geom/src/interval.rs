@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::float::exact_eq;
+
 /// A 1-D range with per-endpoint inclusivity.
 ///
 /// Algorithm 1 of the paper splits hyper-rectangles with strict
@@ -55,7 +57,9 @@ impl Interval {
     /// An interval is empty when it contains no real number.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.lo > self.hi || (self.lo == self.hi && (self.lo_open || self.hi_open))
+        // Endpoints are only ever copied, never recomputed, so exact
+        // comparison is the correct tie test (see crate::float).
+        self.lo > self.hi || (exact_eq(self.lo, self.hi) && (self.lo_open || self.hi_open))
     }
 
     /// Membership test.
@@ -68,12 +72,15 @@ impl Interval {
 
     /// Intersection of two intervals (may be empty).
     pub fn intersect(&self, other: &Interval) -> Interval {
-        let (lo, lo_open) = match self.lo.partial_cmp(&other.lo).expect("NaN-free") {
+        // total_cmp never panics; endpoints are NaN-free by construction
+        // (Aabb/Constraints validate), so its -0.0 < 0.0 refinement only
+        // affects which bit pattern of a numeric tie is kept.
+        let (lo, lo_open) = match self.lo.total_cmp(&other.lo) {
             std::cmp::Ordering::Greater => (self.lo, self.lo_open),
             std::cmp::Ordering::Less => (other.lo, other.lo_open),
             std::cmp::Ordering::Equal => (self.lo, self.lo_open || other.lo_open),
         };
-        let (hi, hi_open) = match self.hi.partial_cmp(&other.hi).expect("NaN-free") {
+        let (hi, hi_open) = match self.hi.total_cmp(&other.hi) {
             std::cmp::Ordering::Less => (self.hi, self.hi_open),
             std::cmp::Ordering::Greater => (other.hi, other.hi_open),
             std::cmp::Ordering::Equal => (self.hi, self.hi_open || other.hi_open),
@@ -92,10 +99,10 @@ impl Interval {
         if other.is_empty() {
             return true;
         }
-        let lo_ok = self.lo < other.lo
-            || (self.lo == other.lo && (!self.lo_open || other.lo_open));
-        let hi_ok = self.hi > other.hi
-            || (self.hi == other.hi && (!self.hi_open || other.hi_open));
+        let lo_ok =
+            self.lo < other.lo || (exact_eq(self.lo, other.lo) && (!self.lo_open || other.lo_open));
+        let hi_ok =
+            self.hi > other.hi || (exact_eq(self.hi, other.hi) && (!self.hi_open || other.hi_open));
         lo_ok && hi_ok
     }
 

@@ -22,15 +22,21 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(rust_2018_idioms)]
 
 mod aabb;
+/// Flat structure-of-arrays point storage for allocation-free hot loops.
 pub mod block;
 mod constraints;
+/// Pareto dominance tests and dominance regions.
 pub mod dominance;
 mod error;
+/// Explicit float-comparison helpers (exact vs. tolerance semantics).
+pub mod float;
 mod interval;
 mod point;
 mod rect;
+/// Box subtraction and disjoint decomposition (the MPR kernel).
 pub mod subtract;
 
 pub use aabb::Aabb;

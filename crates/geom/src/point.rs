@@ -56,11 +56,7 @@ impl Point {
     /// Panics in debug builds if dimensionalities differ.
     pub fn dist_sq(&self, other: &Point) -> f64 {
         debug_assert_eq!(self.dims(), other.dims());
-        self.coords
-            .iter()
-            .zip(other.coords.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        self.coords.iter().zip(other.coords.iter()).map(|(a, b)| (a - b) * (a - b)).sum()
     }
 
     /// Sum of coordinates — the monotone scoring function used by SFS
@@ -110,10 +106,7 @@ mod tests {
 
     #[test]
     fn new_rejects_nan() {
-        assert_eq!(
-            Point::new(vec![1.0, f64::NAN]),
-            Err(GeomError::NotANumber { dim: 1 })
-        );
+        assert_eq!(Point::new(vec![1.0, f64::NAN]), Err(GeomError::NotANumber { dim: 1 }));
     }
 
     #[test]

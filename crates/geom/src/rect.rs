@@ -75,21 +75,14 @@ impl HyperRect {
     /// Whether two rectangles share at least one point.
     pub fn intersects(&self, other: &HyperRect) -> bool {
         debug_assert_eq!(self.dims(), other.dims());
-        self.dims
-            .iter()
-            .zip(other.dims.iter())
-            .all(|(a, b)| a.intersects(b))
+        self.dims.iter().zip(other.dims.iter()).all(|(a, b)| a.intersects(b))
     }
 
     /// Intersection rectangle, `None` when disjoint.
     pub fn intersection(&self, other: &HyperRect) -> Option<HyperRect> {
         debug_assert_eq!(self.dims(), other.dims());
-        let dims: Vec<Interval> = self
-            .dims
-            .iter()
-            .zip(other.dims.iter())
-            .map(|(a, b)| a.intersect(b))
-            .collect();
+        let dims: Vec<Interval> =
+            self.dims.iter().zip(other.dims.iter()).map(|(a, b)| a.intersect(b)).collect();
         if dims.iter().any(Interval::is_empty) {
             None
         } else {
@@ -100,10 +93,7 @@ impl HyperRect {
     /// Whether `other` is fully contained in `self`.
     pub fn contains_rect(&self, other: &HyperRect) -> bool {
         debug_assert_eq!(self.dims(), other.dims());
-        self.dims
-            .iter()
-            .zip(other.dims.iter())
-            .all(|(a, b)| a.contains_interval(b))
+        self.dims.iter().zip(other.dims.iter()).all(|(a, b)| a.contains_interval(b))
     }
 
     /// Hyper-volume.

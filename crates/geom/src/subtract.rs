@@ -180,11 +180,7 @@ mod tests {
         // Every source-box corner sample must be covered exactly once.
         for probe in [[0.1, 0.1], [2.5, 2.5], [1.2, 1.2], [1.0, 2.5]] {
             let p = Point::from(probe.to_vec());
-            assert_eq!(
-                out.iter().filter(|r| r.contains_point(&p)).count(),
-                1,
-                "probe {probe:?}"
-            );
+            assert_eq!(out.iter().filter(|r| r.contains_point(&p)).count(), 1, "probe {probe:?}");
         }
     }
 

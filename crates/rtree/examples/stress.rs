@@ -1,11 +1,16 @@
-use skycache_rtree::{RStarTree, RTreeParams};
 use skycache_geom::{Aabb, Point};
+use skycache_rtree::{RStarTree, RTreeParams};
 
 fn main() {
     // small params to force frequent splits/underflows
     let params = RTreeParams { max_entries: 4, min_entries: 2, reinsert_count: 1 };
     let mut state: u64 = 0x9E3779B97F4A7C15;
-    let mut next = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
     for dims in [1usize, 2, 3] {
         let mut t: RStarTree<u64> = RStarTree::with_params(dims, params);
         let mut live: Vec<(Vec<f64>, u64)> = Vec::new();
@@ -22,7 +27,9 @@ fn main() {
                 let got = t.remove(&Aabb::from_point(&Point::from(coords.clone())), |&v| v == id);
                 assert_eq!(got, Some(id), "dims={dims} step={step}");
             }
-            if step % 997 == 0 { t.check_invariants(); }
+            if step % 997 == 0 {
+                t.check_invariants();
+            }
         }
         t.check_invariants();
         assert_eq!(t.len(), live.len());

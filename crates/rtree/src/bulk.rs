@@ -26,10 +26,8 @@ impl<T> RStarTree<T> {
         }
 
         // Pack leaves.
-        let leaf_entries: Vec<LeafEntry<T>> = items
-            .into_iter()
-            .map(|(mbr, value)| LeafEntry { mbr, value })
-            .collect();
+        let leaf_entries: Vec<LeafEntry<T>> =
+            items.into_iter().map(|(mbr, value)| LeafEntry { mbr, value }).collect();
         let groups = str_partition(leaf_entries, dims, params.max_entries);
         let mut nodes: Vec<Box<Node<T>>> =
             groups.into_iter().map(|g| Box::new(Node::Leaf(g))).collect();
@@ -40,27 +38,28 @@ impl<T> RStarTree<T> {
             let children: Vec<ChildEntry<T>> = nodes
                 .into_iter()
                 .map(|child| ChildEntry {
+                    // skylint: allow(no-panic-paths) — STR packing never emits empty nodes.
                     mbr: child.mbr().expect("packed nodes are non-empty"),
                     child,
                 })
                 .collect();
             let groups = str_partition(children, dims, params.max_entries);
-            nodes = groups
-                .into_iter()
-                .map(|g| Box::new(Node::Inner { level, children: g }))
-                .collect();
+            nodes =
+                groups.into_iter().map(|g| Box::new(Node::Inner { level, children: g })).collect();
             level += 1;
         }
+        // skylint: allow(no-panic-paths) — the packing loop always leaves a root.
         RStarTree::from_root(nodes.pop().expect("at least one node"), params, dims, len)
     }
 
     /// Convenience: bulk-loads a tree of points (degenerate boxes), the
     /// layout BBS queries.
-    pub fn bulk_load_points(points: impl IntoIterator<Item = (Point, T)>, params: RTreeParams) -> Self {
-        let items: Vec<(Aabb, T)> = points
-            .into_iter()
-            .map(|(p, v)| (Aabb::from_point(&p), v))
-            .collect();
+    pub fn bulk_load_points(
+        points: impl IntoIterator<Item = (Point, T)>,
+        params: RTreeParams,
+    ) -> Self {
+        let items: Vec<(Aabb, T)> =
+            points.into_iter().map(|(p, v)| (Aabb::from_point(&p), v)).collect();
         let dims = items.first().map_or(1, |(b, _)| b.dims());
         Self::bulk_load(dims, items, params)
     }
@@ -86,20 +85,12 @@ fn balanced_chunks<E>(mut entries: Vec<E>, groups: usize) -> Vec<Vec<E>> {
 }
 
 fn sort_by_center<E: crate::split::HasMbr>(entries: &mut [E], dim: usize) {
-    entries.sort_by(|a, b| {
-        a.mbr().center()[dim]
-            .partial_cmp(&b.mbr().center()[dim])
-            .expect("NaN-free")
-    });
+    entries.sort_by(|a, b| a.mbr().center()[dim].total_cmp(&b.mbr().center()[dim]));
 }
 
 /// Recursively tiles `entries` into groups of at most `cap`, slicing one
 /// dimension at a time by center coordinate.
-fn str_partition<E: crate::split::HasMbr>(
-    entries: Vec<E>,
-    dims: usize,
-    cap: usize,
-) -> Vec<Vec<E>> {
+fn str_partition<E: crate::split::HasMbr>(entries: Vec<E>, dims: usize, cap: usize) -> Vec<Vec<E>> {
     fn tile<E: crate::split::HasMbr>(
         mut entries: Vec<E>,
         dim: usize,
@@ -180,11 +171,8 @@ mod tests {
         let window = Aabb::new(vec![10.0, 20.0, 5.0], vec![40.0, 60.0, 30.0]).unwrap();
         let mut got: Vec<usize> = t.search(&window).into_iter().copied().collect();
         got.sort_unstable();
-        let mut want: Vec<usize> = pts
-            .iter()
-            .filter(|(p, _)| window.contains_point(p))
-            .map(|&(_, v)| v)
-            .collect();
+        let mut want: Vec<usize> =
+            pts.iter().filter(|(p, _)| window.contains_point(p)).map(|&(_, v)| v).collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }
@@ -195,10 +183,8 @@ mod tests {
         t.insert(Aabb::from_point(&Point::from(vec![500.0, 500.0, 500.0])), 999_999);
         assert_eq!(t.len(), 2_001);
         t.check_invariants();
-        let hit = t.remove(
-            &Aabb::from_point(&Point::from(vec![500.0, 500.0, 500.0])),
-            |&v| v == 999_999,
-        );
+        let hit =
+            t.remove(&Aabb::from_point(&Point::from(vec![500.0, 500.0, 500.0])), |&v| v == 999_999);
         assert_eq!(hit, Some(999_999));
         t.check_invariants();
     }

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(rust_2018_idioms)]
 
 mod bulk;
 mod node;

@@ -19,10 +19,7 @@ pub(crate) struct ChildEntry<T> {
 #[derive(Debug)]
 pub(crate) enum Node<T> {
     Leaf(Vec<LeafEntry<T>>),
-    Inner {
-        level: usize,
-        children: Vec<ChildEntry<T>>,
-    },
+    Inner { level: usize, children: Vec<ChildEntry<T>> },
 }
 
 impl<T> Node<T> {

@@ -47,11 +47,7 @@ impl<T> Ord for HeapItem<'_, T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on score via reversed comparison; ties broken by
         // insertion order for determinism.
-        other
-            .score
-            .partial_cmp(&self.score)
-            .expect("NaN-free scores")
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.score.total_cmp(&self.score).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -81,11 +77,7 @@ impl<'t, T, S: Fn(&Aabb) -> f64> BestFirst<'t, T, S> {
         let mut bf = BestFirst { score, heap: BinaryHeap::new(), seq: 0 };
         if let Some(mbr) = tree.mbr() {
             let s = (bf.score)(&mbr);
-            bf.heap.push(HeapItem {
-                score: s,
-                seq: 0,
-                payload: Payload::Node(&tree.root, mbr),
-            });
+            bf.heap.push(HeapItem { score: s, seq: 0, payload: Payload::Node(&tree.root, mbr) });
             bf.seq = 1;
         }
         bf
@@ -191,10 +183,8 @@ mod tests {
         let got = tree.nearest_k(&target, 10);
         assert_eq!(got.len(), 10);
 
-        let mut want: Vec<(f64, usize)> = data
-            .iter()
-            .map(|(p, v)| (p.dist_sq(&Point::from(target.to_vec())), *v))
-            .collect();
+        let mut want: Vec<(f64, usize)> =
+            data.iter().map(|(p, v)| (p.dist_sq(&Point::from(target.to_vec())), *v)).collect();
         want.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let want_dists: Vec<f64> = want.iter().take(10).map(|w| w.0).collect();
         let got_dists: Vec<f64> = got.iter().map(|g| g.0).collect();
@@ -242,10 +232,7 @@ mod tests {
                 }
             }
         }
-        let want = pts(300)
-            .iter()
-            .filter(|(p, _)| window.contains_point(p))
-            .count();
+        let want = pts(300).iter().filter(|(p, _)| window.contains_point(p)).count();
         assert_eq!(items, want);
     }
 

@@ -55,9 +55,7 @@ pub(crate) fn rstar_split<E: HasMbr>(mut entries: Vec<E>, min: usize) -> (Vec<E>
         for by_upper in [false, true] {
             sort_entries(&mut entries, axis, by_upper);
             let margin: f64 = distributions(total, min)
-                .map(|k| {
-                    bounding(&entries[..k]).margin() + bounding(&entries[k..]).margin()
-                })
+                .map(|k| bounding(&entries[..k]).margin() + bounding(&entries[k..]).margin())
                 .sum();
             if margin < best_margin {
                 best_margin = margin;
@@ -98,7 +96,7 @@ fn sort_entries<E: HasMbr>(entries: &mut [E], axis: usize, by_upper: bool) {
         } else {
             (a.mbr().lo()[axis], b.mbr().lo()[axis])
         };
-        ka.partial_cmp(&kb).expect("NaN-free geometry")
+        ka.total_cmp(&kb)
     });
 }
 
@@ -130,9 +128,8 @@ mod tests {
 
     #[test]
     fn split_respects_min_fill() {
-        let entries: Vec<_> = (0..10)
-            .map(|i| leaf([i as f64, 0.0], [i as f64 + 0.5, 1.0]))
-            .collect();
+        let entries: Vec<_> =
+            (0..10).map(|i| leaf([i as f64, 0.0], [i as f64 + 0.5, 1.0])).collect();
         let (a, b) = rstar_split(entries, 4);
         assert!(a.len() >= 4 && b.len() >= 4);
         assert_eq!(a.len() + b.len(), 10);

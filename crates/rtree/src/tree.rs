@@ -28,8 +28,7 @@ impl RTreeParams {
             "need 2 <= min_entries <= max_entries/2"
         );
         assert!(
-            self.reinsert_count >= 1
-                && self.reinsert_count <= self.max_entries - self.min_entries,
+            self.reinsert_count >= 1 && self.reinsert_count <= self.max_entries - self.min_entries,
             "reinsert_count out of range"
         );
     }
@@ -114,7 +113,12 @@ impl<T> RStarTree<T> {
         RStarTree { root: Box::new(Node::Leaf(Vec::new())), params, dims, len: 0 }
     }
 
-    pub(crate) fn from_root(root: Box<Node<T>>, params: RTreeParams, dims: usize, len: usize) -> Self {
+    pub(crate) fn from_root(
+        root: Box<Node<T>>,
+        params: RTreeParams,
+        dims: usize,
+        len: usize,
+    ) -> Self {
         RStarTree { root, params, dims, len }
     }
 
@@ -175,6 +179,7 @@ impl<T> RStarTree<T> {
         if let Some(sibling) = split {
             // Root split: grow the tree by one level.
             let old_root = std::mem::replace(&mut self.root, Box::new(Node::Leaf(Vec::new())));
+            // skylint: allow(no-panic-paths) — a root that just split holds entries.
             let old_mbr = old_root.mbr().expect("split root is non-empty");
             let level = old_root.level() + 1;
             *self.root = Node::Inner {
@@ -208,6 +213,7 @@ impl<T> RStarTree<T> {
                 break;
             }
             if let Node::Inner { children, .. } = self.root.as_mut() {
+                // skylint: allow(no-panic-paths) — guarded by len() == 1 just above.
                 let only = children.pop().expect("one child");
                 self.root = only.child;
             }
@@ -276,11 +282,8 @@ impl<T> RStarTree<T> {
     /// understanding why BBS degrades with dimensionality (sibling MBR
     /// overlap grows, so constraint pruning keeps fewer subtrees out).
     pub fn stats(&self) -> TreeStats {
-        let mut stats = TreeStats {
-            height: self.height(),
-            entries: self.len(),
-            ..Default::default()
-        };
+        let mut stats =
+            TreeStats { height: self.height(), entries: self.len(), ..Default::default() };
         fn walk<T>(node: &Node<T>, s: &mut TreeStats, max_entries: usize) {
             match node {
                 Node::Leaf(entries) => {
@@ -333,6 +336,7 @@ impl<T> RStarTree<T> {
                     assert!(!children.is_empty() || is_root, "empty inner node");
                     for c in children {
                         let child_mbr = walk(&c.child, expected_level - 1, false, params, count)
+                            // skylint: allow(no-panic-paths) — invariant checker; panics are its job.
                             .expect("non-root nodes are non-empty");
                         assert_eq!(c.mbr, child_mbr, "stored child MBR not tight");
                     }
@@ -372,11 +376,8 @@ fn choose_subtree<T>(children: &[ChildEntry<T>], mbr: &Aabb) -> usize {
                 .filter(|&(j, _)| j != i)
                 .map(|(_, o)| enlarged.overlap_area(&o.mbr))
                 .sum();
-            let key = (
-                overlap_after - overlap_before,
-                enlarged.area() - c.mbr.area(),
-                c.mbr.area(),
-            );
+            let key =
+                (overlap_after - overlap_before, enlarged.area() - c.mbr.area(), c.mbr.area());
             if key < best_key {
                 best_key = key;
                 best = i;
@@ -447,6 +448,7 @@ fn insert_impl<T>(
     children[idx].mbr = children[idx]
         .child
         .mbr()
+        // skylint: allow(no-panic-paths) — children keep >= min entries during insertion.
         .expect("children keep >= min entries during insertion");
     if let Some(sibling) = split {
         children.push(sibling);
@@ -477,6 +479,7 @@ fn overflow_leaf<T>(
     let (keep, split) = rstar_split(all, params.min_entries);
     *entries = keep;
     let sibling = Node::Leaf(split);
+    // skylint: allow(no-panic-paths) — rstar_split emits two non-empty groups.
     let mbr = sibling.mbr().expect("split group is non-empty");
     Some(ChildEntry { mbr, child: Box::new(sibling) })
 }
@@ -501,6 +504,7 @@ fn overflow_inner<T>(
     let (keep, split) = rstar_split(all, params.min_entries);
     *children = keep;
     let sibling = Node::Inner { level, children: split };
+    // skylint: allow(no-panic-paths) — rstar_split emits two non-empty groups.
     let mbr = sibling.mbr().expect("split group is non-empty");
     Some(ChildEntry { mbr, child: Box::new(sibling) })
 }
@@ -518,14 +522,9 @@ fn strip_farthest<E: crate::split::HasMbr>(entries: &mut Vec<E>, count: usize) -
     };
     let center = node_mbr.center();
     let dist = |e: &E| -> f64 {
-        e.mbr()
-            .center()
-            .iter()
-            .zip(&center)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        e.mbr().center().iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum()
     };
-    entries.sort_by(|a, b| dist(a).partial_cmp(&dist(b)).expect("NaN-free"));
+    entries.sort_by(|a, b| dist(a).total_cmp(&dist(b)));
     let at = entries.len() - count;
     entries.split_off(at)
 }
@@ -540,9 +539,7 @@ fn remove_impl<T>(
 ) -> Option<T> {
     match node {
         Node::Leaf(entries) => {
-            let idx = entries
-                .iter()
-                .position(|e| e.mbr == *mbr && pred(&e.value))?;
+            let idx = entries.iter().position(|e| e.mbr == *mbr && pred(&e.value))?;
             Some(entries.swap_remove(idx).value)
         }
         Node::Inner { children, .. } => {
@@ -571,6 +568,7 @@ fn remove_impl<T>(
                     }
                 }
             } else {
+                // skylint: allow(no-panic-paths) — underfull children were drained above.
                 children[i].mbr = children[i].child.mbr().expect("non-empty");
             }
             removed
@@ -626,9 +624,7 @@ mod tests {
         let t: RStarTree<u8> = RStarTree::new(3);
         assert!(t.is_empty());
         assert_eq!(t.mbr(), None);
-        assert!(t
-            .search(&Aabb::new(vec![0.0; 3], vec![1.0; 3]).unwrap())
-            .is_empty());
+        assert!(t.search(&Aabb::new(vec![0.0; 3], vec![1.0; 3]).unwrap()).is_empty());
         t.check_invariants();
     }
 
@@ -699,18 +695,11 @@ mod tests {
         assert_eq!(s.height, t.height());
         assert!(s.leaf_nodes >= 1_000 / t.params().max_entries);
         let fill = s.avg_leaf_fill();
-        assert!(
-            fill > 0.3 && fill <= 1.0,
-            "implausible leaf fill {fill}"
-        );
+        assert!(fill > 0.3 && fill <= 1.0, "implausible leaf fill {fill}");
         // Bulk-loaded trees pack tighter than incrementally built ones.
         let bulk = RStarTree::bulk_load_points(
-            (0..1_000usize).map(|i| {
-                (
-                    skycache_geom::Point::from(vec![(i % 37) as f64, (i / 37) as f64]),
-                    i,
-                )
-            }),
+            (0..1_000usize)
+                .map(|i| (skycache_geom::Point::from(vec![(i % 37) as f64, (i / 37) as f64]), i)),
             RTreeParams::default(),
         );
         assert!(bulk.stats().avg_leaf_fill() >= fill * 0.9);

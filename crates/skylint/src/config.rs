@@ -1,0 +1,280 @@
+//! `skylint.toml` — a minimal, dependency-free TOML-subset parser.
+//!
+//! Supported syntax (all the policy file needs, nothing more):
+//!
+//! ```toml
+//! # comment
+//! [section.subsection]
+//! key = "string"
+//! flag = true
+//! names = ["a", "b"]        # single-line or
+//! files = [
+//!     "one",
+//!     "two",
+//! ]                         # multi-line arrays
+//! ```
+//!
+//! Values are exposed as strings, bools and string arrays, addressed by
+//! `"section.subsection.key"`. Unknown syntax is a hard error: a policy
+//! file that cannot be read exactly must not silently weaken the policy.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed configuration value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An array of quoted strings.
+    List(Vec<String>),
+}
+
+/// Parsed configuration: a flat map keyed `section.key`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    values: BTreeMap<String, Value>,
+}
+
+/// Error raised on malformed configuration input.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "skylint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(src: &str) -> Result<Config, ConfigError> {
+        let mut values = BTreeMap::new();
+        let mut section = String::new();
+        let mut lines = src.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unterminated section header: {raw:?}"),
+                    });
+                };
+                section = name.trim().to_owned();
+                continue;
+            }
+            let Some((key, rhs)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`: {raw:?}"),
+                });
+            };
+            let key = key.trim();
+            let mut rhs = rhs.trim().to_owned();
+            // Multi-line array: keep consuming lines until the bracket closes.
+            if rhs.starts_with('[') && !balanced(&rhs) {
+                for (_, cont) in lines.by_ref() {
+                    rhs.push(' ');
+                    rhs.push_str(strip_comment(cont).trim());
+                    if balanced(&rhs) {
+                        break;
+                    }
+                }
+            }
+            let value =
+                parse_value(&rhs).map_err(|message| ConfigError { line: lineno, message })?;
+            let full = if section.is_empty() { key.to_owned() } else { format!("{section}.{key}") };
+            values.insert(full, value);
+        }
+        Ok(Config { values })
+    }
+
+    /// String value at `key`, if present and a string.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.values.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool value at `key`; `default` when absent.
+    pub fn bool(&self, key: &str, default: bool) -> bool {
+        match self.values.get(key) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+
+    /// String-list value at `key`; empty when absent.
+    pub fn list(&self, key: &str) -> Vec<String> {
+        match self.values.get(key) {
+            Some(Value::List(v)) => v.clone(),
+            Some(Value::Str(s)) => vec![s.clone()],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether `key` exists at all.
+    pub fn contains(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+/// Strips a trailing `# comment` that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Whether every `[` has been closed (quote-aware, good enough for the
+/// string-array subset).
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for c in s.chars() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    depth == 0 && !in_str
+}
+
+fn parse_value(rhs: &str) -> Result<Value, String> {
+    if rhs == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if rhs == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(s) = parse_string(rhs) {
+        return Ok(Value::Str(s));
+    }
+    if let Some(inner) = rhs.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for piece in split_top_level(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match parse_string(piece) {
+                Some(s) => items.push(s),
+                None => return Err(format!("array items must be quoted strings, got {piece:?}")),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    Err(format!("unsupported value syntax: {rhs:?}"))
+}
+
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Splits on commas that are not inside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for c in s.chars() {
+        match c {
+            '"' if !prev_backslash => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_keys_and_arrays() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+top = "level"
+[rules.determinism]
+enabled = true
+names = ["HashMap", "HashSet"] # trailing comment
+files = [
+    "a/b.rs",
+    "c/d.rs",
+]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.str("top"), Some("level"));
+        assert!(cfg.bool("rules.determinism.enabled", false));
+        assert_eq!(cfg.list("rules.determinism.names"), vec!["HashMap", "HashSet"]);
+        assert_eq!(cfg.list("rules.determinism.files"), vec!["a/b.rs", "c/d.rs"]);
+        assert!(!cfg.contains("rules.determinism.missing"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("k = \"a # b\"").unwrap();
+        assert_eq!(cfg.str("k"), Some("a # b"));
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(Config::parse("[unterminated").is_err());
+        assert!(Config::parse("novalue").is_err());
+        assert!(Config::parse("k = [1, 2]").is_err());
+        let err = Config::parse("\n\nk = @").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Scan orchestration: policy resolution, file walking, rule dispatch.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::model::SourceModel;
+use crate::report::Finding;
+use crate::rules::{run_all, FileCtx};
+
+/// Resolved policy: every knob `skylint.toml` can set, with defaults that
+/// match this repository's layout.
+#[derive(Clone, Debug)]
+pub struct Policy {
+    /// Path prefixes scanned for Rust sources.
+    pub include: Vec<String>,
+    /// Path prefixes skipped entirely (vendored code, build output, …).
+    pub exclude: Vec<String>,
+    /// Crates whose `src/` trees carry the full library policy.
+    pub library_paths: Vec<String>,
+    /// Files where bracket indexing is forbidden (no-panic-paths).
+    pub index_strict_files: Vec<String>,
+    /// Wall-clock type names forbidden by `determinism`.
+    pub time_idents: Vec<String>,
+    /// Hash-collection type names forbidden by `determinism`.
+    pub hash_idents: Vec<String>,
+    /// Files where float `==`/`!=` is checked.
+    pub float_files: Vec<String>,
+    /// Identifier names treated as float-valued in those files.
+    pub float_fields: Vec<String>,
+    /// Files allowed to call `spawn(…)`.
+    pub spawn_allowed: Vec<String>,
+    /// Files under the lock-order protocol.
+    pub lock_files: Vec<String>,
+    /// Declared lock phases, in acquisition order.
+    pub lock_phases: Vec<String>,
+    /// Headers every library crate root must carry.
+    pub required_headers: Vec<String>,
+    /// Crates whose module-scope `pub` items must carry doc comments.
+    pub doc_paths: Vec<String>,
+}
+
+impl Policy {
+    /// Builds the policy from a parsed config, falling back to built-in
+    /// defaults for absent keys.
+    pub fn from_config(cfg: &Config) -> Policy {
+        let list_or = |key: &str, default: &[&str]| -> Vec<String> {
+            if cfg.contains(key) {
+                cfg.list(key)
+            } else {
+                default.iter().map(|s| (*s).to_owned()).collect()
+            }
+        };
+        Policy {
+            include: list_or("paths.include", &["crates", "src"]),
+            exclude: list_or(
+                "paths.exclude",
+                &["target", "vendor", "crates/skylint/tests/fixtures"],
+            ),
+            library_paths: list_or(
+                "crates.library",
+                &[
+                    "crates/geom",
+                    "crates/algos",
+                    "crates/core",
+                    "crates/storage",
+                    "crates/rtree",
+                    "crates/datagen",
+                    "src",
+                ],
+            ),
+            index_strict_files: list_or("rules.no-panic-paths.index-strict-files", &[]),
+            time_idents: list_or("rules.determinism.time-idents", &["Instant", "SystemTime"]),
+            hash_idents: list_or("rules.determinism.hash-idents", &["HashMap", "HashSet"]),
+            float_files: list_or("rules.determinism.float-eq-files", &[]),
+            float_fields: list_or("rules.determinism.float-fields", &["lo", "hi"]),
+            spawn_allowed: list_or("rules.concurrency-hygiene.spawn-allowed", &[]),
+            lock_files: list_or("rules.concurrency-hygiene.lock-protocol-files", &[]),
+            lock_phases: list_or("rules.concurrency-hygiene.lock-phases", &["read", "write"]),
+            required_headers: list_or("rules.api-hygiene.required-headers", &[]),
+            doc_paths: list_or("rules.api-hygiene.doc-paths", &[]),
+        }
+    }
+}
+
+/// Aggregate result of one scan.
+pub struct ScanOutcome {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files lexed.
+    pub files_scanned: usize,
+    /// Total source lines lexed.
+    pub lines_scanned: usize,
+}
+
+/// Scans `root` under `policy` and returns every finding.
+pub fn scan(root: &Path, policy: &Policy) -> std::io::Result<ScanOutcome> {
+    let mut files = Vec::new();
+    for inc in &policy.include {
+        collect_rs_files(root, &root.join(inc), policy, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+
+    let mut findings = Vec::new();
+    let mut lines_scanned = 0usize;
+    let files_scanned = files.len();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        lines_scanned += src.lines().count();
+        let model = SourceModel::build(rel.clone(), &src);
+        let ctx = FileCtx {
+            is_library: policy
+                .library_paths
+                .iter()
+                .any(|p| rel == p || rel.starts_with(&format!("{p}/"))),
+            is_test_file: is_test_path(rel),
+            model: &model,
+            policy,
+        };
+        run_all(&ctx, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    Ok(ScanOutcome { findings, files_scanned, lines_scanned })
+}
+
+/// Lints a single in-memory file (used by the fixture tests).
+pub fn scan_source(path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
+    let model = SourceModel::build(path.to_owned(), src);
+    let ctx = FileCtx {
+        is_library: policy
+            .library_paths
+            .iter()
+            .any(|p| path == p || path.starts_with(&format!("{p}/"))),
+        is_test_file: is_test_path(path),
+        model: &model,
+        policy,
+    };
+    let mut findings = Vec::new();
+    run_all(&ctx, &mut findings);
+    findings
+}
+
+/// Whether a repo-relative path is test/bench/example code, exempt from
+/// the library-only rules.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    policy: &Policy,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    let rel_of = |p: &Path| -> String {
+        p.strip_prefix(root)
+            .unwrap_or(p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+    if dir.is_file() {
+        let rel = rel_of(dir);
+        if rel.ends_with(".rs") && !excluded(&rel, policy) {
+            out.push(rel);
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let rel = rel_of(&path);
+        if excluded(&rel, policy) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, policy, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn excluded(rel: &str, policy: &Policy) -> bool {
+    policy.exclude.iter().any(|p| rel == p || rel.starts_with(&format!("{p}/")))
+}

@@ -1,0 +1,530 @@
+//! A hand-rolled Rust lexer.
+//!
+//! `skylint` deliberately avoids `syn`/`proc-macro2` (the workspace builds
+//! offline against vendored dependency subsets, see `vendor/README.md`), so
+//! the rule engine works on a token stream produced here. The lexer handles
+//! every surface feature the rules need to be *sound* about:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals: plain, raw (`r#"…"#` with any number of hashes),
+//!   byte and byte-raw variants;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * numeric literals, classifying **float** vs. integer (`1.0`, `1.`,
+//!   `1e-3`, `2f64` are floats; `1`, `0x1f`, `1.max(2)`'s `1` are not);
+//! * multi-character operators (`==`, `!=`, `::`, `->`, `..=`, …).
+//!
+//! Comments are emitted as tokens (not skipped): the rule engine reads
+//! `// skylint: allow(...)`, `// SAFETY:` and `// lock-order:` annotations
+//! from them.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Integer literal (including `0x…`, `0b…`, suffixed forms).
+    Int,
+    /// Floating-point literal (`1.0`, `1.`, `1e-3`, `2.5f32`).
+    Float,
+    /// String/char-like literal (plain, raw, byte, char).
+    Literal,
+    /// `//…` line comment, text includes the leading slashes.
+    LineComment,
+    /// `/*…*/` block comment (possibly nested), full text.
+    BlockComment,
+    /// Operator or punctuation, possibly multi-character (`==`, `::`, `{`).
+    Op,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Raw text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the operator/punctuation `s`.
+    pub fn is_op(&self, s: &str) -> bool {
+        self.kind == TokKind::Op && self.text == s
+    }
+
+    /// Whether this token is any comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs are
+/// consumed to end-of-input and malformed bytes become 1-char `Op` tokens,
+/// so the rule engine always sees *something* positionally sane.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'r' | b'b' if self.raw_or_byte_literal(line) => {}
+                b'"' => self.string_literal(line),
+                b'\'' => self.quote(line),
+                b'0'..=b'9' => self.number(line),
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(line),
+                _ => self.operator(line),
+            }
+            // Defensive: guarantee forward progress whatever the input.
+            if self.pos == start && self.line == line {
+                self.pos += 1;
+            }
+        }
+        self.toks
+    }
+
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.toks.push(Token { kind, text, line });
+    }
+
+    fn bump_line_counter(&mut self, from: usize) {
+        self.line += self.src[from..self.pos].iter().filter(|&&b| b == b'\n').count() as u32;
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, start, line);
+        self.bump_line_counter(start);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns false
+    /// (consuming nothing) when the `r`/`b` starts a plain identifier.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let start = self.pos;
+        let mut i = self.pos;
+        // Optional b, optional r, then hashes+quote or quote.
+        if self.src[i] == b'b' {
+            i += 1;
+        }
+        if self.src.get(i) == Some(&b'r') {
+            i += 1;
+            let mut hashes = 0usize;
+            while self.src.get(i) == Some(&b'#') {
+                hashes += 1;
+                i += 1;
+            }
+            if self.src.get(i) != Some(&b'"') {
+                return false; // identifier like `ref` / `break` / `r#keyword`?
+            }
+            // `r#ident` (raw identifier) has hashes==1 and no quote — handled
+            // by the return above. Here we are at the opening quote.
+            i += 1;
+            // Scan to closing quote followed by `hashes` hashes.
+            loop {
+                match self.src.get(i) {
+                    None => break,
+                    Some(b'"') => {
+                        let mut j = i + 1;
+                        let mut h = 0;
+                        while h < hashes && self.src.get(j) == Some(&b'#') {
+                            h += 1;
+                            j += 1;
+                        }
+                        if h == hashes {
+                            i = j;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    Some(_) => i += 1,
+                }
+            }
+            self.pos = i;
+            self.push(TokKind::Literal, start, line);
+            self.bump_line_counter(start);
+            true
+        } else if self.src[self.pos] == b'b' && self.src.get(i) == Some(&b'"') {
+            self.pos = i; // at the quote
+            self.string_literal_from(start, line);
+            true
+        } else if self.src[self.pos] == b'b' && self.src.get(i) == Some(&b'\'') {
+            // Byte char literal b'x'.
+            self.pos = i + 1;
+            if self.src.get(self.pos) == Some(&b'\\') {
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+            if self.src.get(self.pos) == Some(&b'\'') {
+                self.pos += 1;
+            }
+            self.push(TokKind::Literal, start, line);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        let start = self.pos;
+        self.string_literal_from(start, line);
+    }
+
+    fn string_literal_from(&mut self, start: usize, line: u32) {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.src.len());
+        self.push(TokKind::Literal, start, line);
+        self.bump_line_counter(start);
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self, line: u32) {
+        let start = self.pos;
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match next {
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                // 'a' is a char literal; 'a (no closing quote) a lifetime.
+                // Lifetimes are one-or-more ident chars NOT followed by '.
+                let mut j = self.pos + 1;
+                while self.src.get(j).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+                    j += 1;
+                }
+                self.src.get(j) != Some(&b'\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            while self.src.get(self.pos).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+                self.pos += 1;
+            }
+            self.push(TokKind::Lifetime, start, line);
+            return;
+        }
+        // Char literal: '…' with escapes ('\'', '\n', '\u{1F600}').
+        self.pos += 1;
+        match self.src.get(self.pos) {
+            Some(b'\\') => {
+                self.pos += 2;
+                // \u{…}
+                while self.pos < self.src.len()
+                    && self.src[self.pos] != b'\''
+                    && self.src[self.pos] != b'\n'
+                {
+                    self.pos += 1;
+                }
+            }
+            Some(_) => {
+                // Possibly multibyte UTF-8; advance to the closing quote.
+                self.pos += 1;
+                while self.pos < self.src.len()
+                    && self.src[self.pos] != b'\''
+                    && self.src[self.pos] != b'\n'
+                {
+                    self.pos += 1;
+                }
+            }
+            None => {}
+        }
+        if self.src.get(self.pos) == Some(&b'\'') {
+            self.pos += 1;
+        }
+        let _ = after;
+        self.push(TokKind::Literal, start, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.src[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+        {
+            self.pos += 2;
+            while self.src.get(self.pos).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+                self.pos += 1;
+            }
+            self.push(TokKind::Int, start, line);
+            return;
+        }
+        while self.src.get(self.pos).is_some_and(|c| c.is_ascii_digit() || *c == b'_') {
+            self.pos += 1;
+        }
+        // Fractional part: `.` followed by a digit, or a trailing `.` that
+        // is not a method call (`1.max(2)`) or a range (`1..2`).
+        if self.src.get(self.pos) == Some(&b'.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    is_float = true;
+                    self.pos += 1;
+                    while self.src.get(self.pos).is_some_and(|c| c.is_ascii_digit() || *c == b'_') {
+                        self.pos += 1;
+                    }
+                }
+                Some(c) if c == b'_' || c.is_ascii_alphabetic() || c == b'.' => {
+                    // method call or range: the `.` is not ours
+                }
+                _ => {
+                    is_float = true;
+                    self.pos += 1; // trailing dot: `1.`
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.src.get(self.pos), Some(b'e' | b'E')) {
+            let mut j = self.pos + 1;
+            if matches!(self.src.get(j), Some(b'+' | b'-')) {
+                j += 1;
+            }
+            if self.src.get(j).is_some_and(u8::is_ascii_digit) {
+                is_float = true;
+                self.pos = j;
+                while self.src.get(self.pos).is_some_and(|c| c.is_ascii_digit() || *c == b'_') {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Suffix (f32/f64 force float; u8/i64/usize keep int).
+        let suffix_start = self.pos;
+        while self.src.get(self.pos).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+            self.pos += 1;
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            is_float = true;
+        }
+        self.push(if is_float { TokKind::Float } else { TokKind::Int }, start, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    fn operator(&mut self, line: u32) {
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        for op in OPERATORS {
+            if rest.starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                self.push(TokKind::Op, start, line);
+                return;
+            }
+        }
+        self.pos += 1;
+        self.push(TokKind::Op, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_operators() {
+        let toks = kinds("a == b != c :: d -> e");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "a".into()),
+                (TokKind::Op, "==".into()),
+                (TokKind::Ident, "b".into()),
+                (TokKind::Op, "!=".into()),
+                (TokKind::Ident, "c".into()),
+                (TokKind::Op, "::".into()),
+                (TokKind::Ident, "d".into()),
+                (TokKind::Op, "->".into()),
+                (TokKind::Ident, "e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        assert_eq!(kinds("1.0")[0].0, TokKind::Float);
+        assert_eq!(kinds("1.")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e-3")[0].0, TokKind::Float);
+        assert_eq!(kinds("2.5f32")[0].0, TokKind::Float);
+        assert_eq!(kinds("3f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("1")[0].0, TokKind::Int);
+        assert_eq!(kinds("0x1f")[0].0, TokKind::Int);
+        assert_eq!(kinds("1_000u64")[0].0, TokKind::Int);
+        // `1.max(2)`: the dot belongs to the method call.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Int, "1".into()));
+        assert_eq!(toks[1], (TokKind::Op, ".".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "max".into()));
+        // Ranges keep both sides integral.
+        let toks = kinds("0..10");
+        assert_eq!(toks[0].0, TokKind::Int);
+        assert_eq!(toks[1], (TokKind::Op, "..".into()));
+        assert_eq!(toks[2].0, TokKind::Int);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, t)| *k == TokKind::Literal && t.starts_with('\'')).collect();
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn static_lifetime_and_multichar_literal() {
+        let toks = kinds("&'static str");
+        assert_eq!(toks[1], (TokKind::Lifetime, "'static".into()));
+        let toks = kinds("'\\u{1F600}'");
+        assert_eq!(toks[0].0, TokKind::Literal);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let toks = kinds(r####"let s = r#"a "quoted" == thing"#;"####);
+        let lit = toks.iter().find(|(k, _)| *k == TokKind::Literal).unwrap();
+        assert!(lit.1.contains("quoted"));
+        // The `==` inside the raw string must NOT surface as an operator.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Op && t == "=="));
+        // Double-hash raw string containing `"#`.
+        let toks = kinds(r#####"r##"inner "# still"##"#####);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokKind::Literal);
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let toks = kinds(r###"(b"bytes", br#"raw == bytes"#, b'x')"###);
+        let lits: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Literal).collect();
+        assert_eq!(lits.len(), 3);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Op && t == "=="));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\n/* c\nc */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1); // a
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // comment starts on line 4
+        assert_eq!(toks[3].line, 6); // b
+    }
+
+    #[test]
+    fn line_comments_and_doc_comments() {
+        let toks = kinds("//! inner\n/// outer\n// skylint: allow(x)\nfn f() {}");
+        assert_eq!(toks[0].0, TokKind::LineComment);
+        assert!(toks[0].1.starts_with("//!"));
+        assert_eq!(toks[1].0, TokKind::LineComment);
+        assert_eq!(toks[2].0, TokKind::LineComment);
+        assert!(toks[2].1.contains("skylint"));
+    }
+
+    #[test]
+    fn r_prefixed_identifiers_are_idents() {
+        let toks = kinds("ref r2 break b ra");
+        assert!(toks.iter().all(|(k, _)| *k == TokKind::Ident));
+        assert_eq!(toks.len(), 5);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        assert!(!lex("\"open").is_empty());
+        assert!(!lex("/* open").is_empty());
+        assert!(!lex("r#\"open").is_empty());
+        assert!(!lex("'").is_empty());
+    }
+}

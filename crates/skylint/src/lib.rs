@@ -1,0 +1,43 @@
+//! `skylint` — in-repo static analysis for the skycache workspace.
+//!
+//! Enforces the policies that keep the paper's correctness story intact
+//! mechanically rather than by review vigilance:
+//!
+//! * **no-panic-paths** — library crates surface typed errors, never
+//!   panics, on data-dependent failures;
+//! * **determinism** — no wall clocks, no hash-iteration order, no raw
+//!   float equality in the paths that produce cached results (Thm. 1 /
+//!   Cors. 1–2 stability and Thms. 6–7 MPR minimality assume replayed
+//!   plans are byte-identical);
+//! * **concurrency-hygiene** — thread spawns only in the sanctioned
+//!   parallel lanes, annotated-and-ordered lock acquisitions in the shared
+//!   cache, `// SAFETY:` on every unsafe block;
+//! * **api-hygiene** — lint headers and a documented public surface.
+//!
+//! The analysis is a hand-rolled lexer plus token-pattern rules — no
+//! `syn`, no network dependencies — consistent with this workspace's
+//! vendored-offline build (see `vendor/README.md`). Run it with:
+//!
+//! ```text
+//! cargo run -p skylint -- check
+//! cargo run -p skylint -- explain determinism
+//! ```
+//!
+//! Policy knobs live in `skylint.toml` at the repository root; per-line
+//! escapes use `// skylint: allow(<rule>) — <justification>`. See
+//! DESIGN.md §9 for the rationale of every rule.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+
+pub use config::Config;
+pub use engine::{scan, scan_source, Policy, ScanOutcome};
+pub use report::Finding;

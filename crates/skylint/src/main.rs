@@ -1,0 +1,151 @@
+//! `skylint` CLI: `check`, `explain <rule>`, `rules`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use skylint::report::{render_bench, render_human, render_json};
+use skylint::rules::{explain, RULE_IDS};
+use skylint::{scan, Config, Policy};
+
+const USAGE: &str = "\
+skylint — static analysis for the skycache workspace
+
+USAGE:
+    skylint check [--root PATH] [--config PATH] [--json] [--bench-out PATH] [--quiet]
+    skylint explain <rule>
+    skylint rules
+
+Exit codes: 0 clean · 1 violations found · 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("explain") => match args.get(1) {
+            Some(rule) => match explain(rule) {
+                Some(text) => {
+                    println!("{text}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown rule {rule:?}; known rules: {}", RULE_IDS.join(", "));
+                    ExitCode::from(2)
+                }
+            },
+            None => {
+                eprintln!("usage: skylint explain <rule>");
+                ExitCode::from(2)
+            }
+        },
+        Some("rules") => {
+            for r in RULE_IDS {
+                println!("{r}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut quiet = false;
+    let mut bench_out: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_err("--root needs a path"),
+            },
+            "--config" => match it.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => return usage_err("--config needs a path"),
+            },
+            "--bench-out" => match it.next() {
+                Some(p) => bench_out = Some(PathBuf::from(p)),
+                None => return usage_err("--bench-out needs a path"),
+            },
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            other => return usage_err(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    // Default config: <root>/skylint.toml when present.
+    let config_path = config_path.unwrap_or_else(|| root.join("skylint.toml"));
+    let cfg = if config_path.exists() {
+        match std::fs::read_to_string(&config_path) {
+            Ok(src) => match Config::parse(&src) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("skylint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("skylint: cannot read {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+    let policy = Policy::from_config(&cfg);
+
+    let t0 = Instant::now();
+    let outcome = match scan(&root, &policy) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("skylint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    if let Some(path) = bench_out {
+        let record = render_bench(
+            outcome.files_scanned,
+            outcome.lines_scanned,
+            &RULE_IDS,
+            outcome.findings.len(),
+            wall_ms,
+        );
+        if let Err(e) = std::fs::write(&path, record) {
+            eprintln!("skylint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if json {
+        print!("{}", render_json(&outcome.findings));
+    } else if !outcome.findings.is_empty() {
+        print!("{}", render_human(&outcome.findings));
+    } else if !quiet {
+        println!(
+            "skylint: clean — {} files, {} lines, {} rules, {:.1} ms",
+            outcome.files_scanned,
+            outcome.lines_scanned,
+            RULE_IDS.len(),
+            wall_ms
+        );
+    }
+
+    if outcome.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("skylint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

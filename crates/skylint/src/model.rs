@@ -1,0 +1,331 @@
+//! Per-file source model built on top of the token stream.
+//!
+//! Rules need three structural facts the raw tokens don't carry:
+//!
+//! 1. **Test regions** — spans of `#[cfg(test)] mod … { … }` (any
+//!    attribute order). Policies forbid panics/nondeterminism in *library*
+//!    code; tests are exempt by design.
+//! 2. **Allow annotations** — `// skylint: allow(rule-id[, rule-id…]) — why`
+//!    comments suppress findings of those rules on the comment's own line
+//!    and on the line immediately below, mirroring `#[allow]` placement.
+//! 3. **Function spans** — which tokens belong to which `fn` body, used by
+//!    the lock-order check to reason per function.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// A lexed file plus the structural indexes rules consume.
+pub struct SourceModel {
+    /// Repo-relative path (slash-separated) of the file.
+    pub path: String,
+    /// Raw source lines, for snippets in findings.
+    pub lines: Vec<String>,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// `allow` annotations: line → rule ids suppressed on that line and
+    /// the next.
+    pub allows: BTreeMap<u32, Vec<String>>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` modules.
+    pub test_line_ranges: Vec<(u32, u32)>,
+    /// Token-index ranges `[start, end)` of function bodies, with the
+    /// function name (innermost functions listed after their parents).
+    pub fn_spans: Vec<FnSpan>,
+}
+
+/// A function body's token range.
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Index of the opening-brace token.
+    pub body_start: usize,
+    /// Index one past the closing-brace token.
+    pub body_end: usize,
+}
+
+impl SourceModel {
+    /// Lexes and indexes one file.
+    pub fn build(path: String, src: &str) -> SourceModel {
+        let tokens = lex(src);
+        let lines = src.lines().map(str::to_owned).collect();
+        let allows = collect_allows(&tokens);
+        let test_line_ranges = collect_test_regions(&tokens);
+        let fn_spans = collect_fn_spans(&tokens);
+        SourceModel { path, lines, tokens, allows, test_line_ranges, fn_spans }
+    }
+
+    /// Whether `line` is inside a `#[cfg(test)]` module.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_line_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Whether findings of `rule` are suppressed at `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        let hit = |l: u32| self.allows.get(&l).is_some_and(|rules| rules.iter().any(|r| r == rule));
+        hit(line) || (line > 1 && hit(line - 1))
+    }
+
+    /// The trimmed source line for a finding snippet.
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    }
+
+    /// Returns any comment token ending on `line` or `line - 1` whose text
+    /// contains `needle` (used for `// SAFETY:` and `// lock-order:`).
+    pub fn comment_near(&self, line: u32, needle: &str) -> Option<&str> {
+        // Line comments sit on one line; that is the only shape the
+        // annotations use, so a per-line scan of comment tokens suffices.
+        self.tokens
+            .iter()
+            .filter(|t| t.is_comment())
+            .filter(|t| t.line == line || t.line + 1 == line)
+            .find(|t| t.text.contains(needle))
+            .map(|t| t.text.as_str())
+    }
+}
+
+/// Extracts `skylint: allow(rule[, rule])` annotations from comments.
+fn collect_allows(tokens: &[Token]) -> BTreeMap<u32, Vec<String>> {
+    let mut map: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        let Some(idx) = t.text.find("skylint: allow(") else { continue };
+        let rest = &t.text[idx + "skylint: allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        for rule in rest[..close].split(',') {
+            map.entry(t.line).or_default().push(rule.trim().to_owned());
+        }
+    }
+    map
+}
+
+/// Finds `#[cfg(test)] … mod name { … }` line spans.
+fn collect_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let toks: Vec<(usize, &Token)> =
+        tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(&toks, i) {
+            // Skip this and any further attributes, then expect `mod`/`fn`.
+            let mut j = i;
+            while j < toks.len() && toks[j].1.is_op("#") {
+                j = skip_attr(&toks, j);
+            }
+            // Tolerate visibility / keywords before the item keyword.
+            let mut k = j;
+            while k < toks.len() {
+                let t = toks[k].1;
+                let skippable = t.is_ident("pub")
+                    || t.is_ident("crate")
+                    || t.is_ident("in")
+                    || t.is_ident("super")
+                    || t.is_op("(")
+                    || t.is_op(")");
+                if !skippable {
+                    break;
+                }
+                k += 1;
+            }
+            if k < toks.len() && (toks[k].1.is_ident("mod") || toks[k].1.is_ident("fn")) {
+                // Find the opening brace, then its match.
+                let mut b = k;
+                while b < toks.len() && !toks[b].1.is_op("{") {
+                    if toks[b].1.is_op(";") {
+                        break; // `mod name;` — no inline body
+                    }
+                    b += 1;
+                }
+                if b < toks.len() && toks[b].1.is_op("{") {
+                    let end = matching_brace(&toks, b);
+                    let start_line = toks[i].1.line;
+                    let end_line = toks[end.min(toks.len() - 1)].1.line;
+                    regions.push((start_line, end_line));
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Whether non-comment token index `i` starts `#[cfg(test)]` or
+/// `#[cfg(all(test, …))]`-style attributes mentioning `test`.
+fn is_cfg_test_attr(toks: &[(usize, &Token)], i: usize) -> bool {
+    if !toks[i].1.is_op("#") {
+        return false;
+    }
+    let Some(open) = toks.get(i + 1) else { return false };
+    if !open.1.is_op("[") {
+        return false;
+    }
+    if !toks.get(i + 2).is_some_and(|t| t.1.is_ident("cfg")) {
+        return false;
+    }
+    // Scan inside the attribute for the bare ident `test`, rejecting
+    // negations so `#[cfg(not(test))]` items stay under the full policy.
+    let end = skip_attr(toks, i);
+    let attr = &toks[i..end];
+    attr.iter().any(|(_, t)| t.is_ident("test")) && !attr.iter().any(|(_, t)| t.is_ident("not"))
+}
+
+/// Returns the index one past an attribute starting at `#`.
+fn skip_attr(toks: &[(usize, &Token)], i: usize) -> usize {
+    let mut j = i + 1; // at `[`
+    if j >= toks.len() || !toks[j].1.is_op("[") {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].1.is_op("[") {
+            depth += 1;
+        } else if toks[j].1.is_op("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index of the token after the brace matching the `{` at `open`.
+fn matching_brace(toks: &[(usize, &Token)], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].1.is_op("{") {
+            depth += 1;
+        } else if toks[j].1.is_op("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len() - 1
+}
+
+/// Collects `fn name(…) … { … }` body token spans (indexes into the *full*
+/// token stream, comments included).
+fn collect_fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            let name = tokens
+                .get(i + 1)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            // Scan to the body `{`, skipping where-clauses etc. A `;`
+            // first means a trait method signature — no body.
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            let mut paren = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_op("<") {
+                    angle += 1;
+                } else if t.is_op(">") {
+                    angle -= 1;
+                } else if t.is_op("(") {
+                    paren += 1;
+                } else if t.is_op(")") {
+                    paren -= 1;
+                } else if t.is_op(";") && paren <= 0 {
+                    break;
+                } else if t.is_op("{") && paren <= 0 && angle <= 0 {
+                    // Body found; match braces over the full stream.
+                    let mut depth = 0i32;
+                    let mut k = j;
+                    while k < tokens.len() {
+                        if tokens[k].is_op("{") {
+                            depth += 1;
+                        } else if tokens[k].is_op("}") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    spans.push(FnSpan { name, body_start: j, body_end: (k + 1).min(tokens.len()) });
+                    break;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_detection() {
+        let src = r#"
+fn library_code() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { helper().unwrap(); }
+}
+"#;
+        let m = SourceModel::build("x.rs".into(), src);
+        assert!(!m.in_test_region(2));
+        assert!(m.in_test_region(5));
+        assert!(m.in_test_region(7));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attrs_and_all() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\n#[allow(dead_code)]\nmod t {\n let x = 1;\n}\nfn after() {}\n";
+        let m = SourceModel::build("x.rs".into(), src);
+        assert!(m.in_test_region(4));
+        assert!(!m.in_test_region(6));
+    }
+
+    #[test]
+    fn allow_annotations_cover_same_and_next_line() {
+        let src = "// skylint: allow(no-panic-paths) — justified\nfoo().unwrap();\nbar().unwrap(); // skylint: allow(determinism, no-panic-paths)\nbaz().unwrap();\n";
+        let m = SourceModel::build("x.rs".into(), src);
+        assert!(m.is_allowed("no-panic-paths", 2));
+        assert!(m.is_allowed("no-panic-paths", 3));
+        assert!(m.is_allowed("determinism", 3));
+        // A same-line annotation also covers the following line.
+        assert!(m.is_allowed("no-panic-paths", 4));
+        assert!(!m.is_allowed("determinism", 2));
+        assert!(!m.is_allowed("determinism", 5));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() { inner(); }\nstruct S;\nimpl S {\n    fn b(&self) -> i32 { 1 }\n}\n";
+        let m = SourceModel::build("x.rs".into(), src);
+        let names: Vec<_> = m.fn_spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        for s in &m.fn_spans {
+            assert!(m.tokens[s.body_start].is_op("{"));
+            assert!(m.tokens[s.body_end - 1].is_op("}"));
+        }
+    }
+
+    #[test]
+    fn trait_signatures_have_no_span() {
+        let src = "trait T { fn sig(&self) -> usize; fn with_body(&self) { } }";
+        let m = SourceModel::build("x.rs".into(), src);
+        let names: Vec<_> = m.fn_spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["with_body"]);
+    }
+}

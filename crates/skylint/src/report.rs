@@ -1,0 +1,123 @@
+//! Finding types and output formatting (human, JSON, bench record).
+
+use std::fmt::Write as _;
+
+/// One policy violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id (`no-panic-paths`, `determinism`, …).
+    pub rule: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// The trimmed offending source line.
+    pub snippet: String,
+}
+
+/// Renders findings for terminals: `file:line [rule] message` + snippet.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            let _ = writeln!(out, "    | {}", f.snippet);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "skylint: {} violation{} found",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    out
+}
+
+/// Renders findings as a JSON array (stable field order, no deps).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(&f.rule),
+            json_str(&f.message),
+            json_str(&f.snippet),
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// The `BENCH_skylint.json` record: scan scale and wall time, so future
+/// PRs can track the cost of the analysis pass.
+pub fn render_bench(
+    files_scanned: usize,
+    lines_scanned: usize,
+    rules: &[&str],
+    findings: usize,
+    wall_ms: f64,
+) -> String {
+    let rule_list = rules.iter().map(|r| json_str(r)).collect::<Vec<_>>().join(", ");
+    format!(
+        "{{\n  \"tool\": \"skylint\",\n  \"files_scanned\": {files_scanned},\n  \
+         \"lines_scanned\": {lines_scanned},\n  \"rules_run\": [{rule_list}],\n  \
+         \"findings\": {findings},\n  \"wall_ms\": {wall_ms:.2}\n}}\n"
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Finding {
+        Finding {
+            rule: "determinism".into(),
+            file: "crates/core/src/cache.rs".into(),
+            line: 15,
+            message: "HashMap has randomized iteration order".into(),
+            snippet: "use std::collections::HashMap;".into(),
+        }
+    }
+
+    #[test]
+    fn human_output_has_location_rule_and_snippet() {
+        let s = render_human(&[f()]);
+        assert!(s.contains("crates/core/src/cache.rs:15 [determinism]"));
+        assert!(s.contains("| use std::collections::HashMap;"));
+        assert!(s.contains("1 violation found"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut bad = f();
+        bad.message = "a \"quoted\" msg".into();
+        let s = render_json(&[bad]);
+        assert!(s.contains("a \\\"quoted\\\" msg"));
+        assert!(s.trim_end().ends_with(']'));
+    }
+}

@@ -1,0 +1,621 @@
+//! The four policy rule families.
+//!
+//! Every rule reports findings as `(rule-id, line, message)` against a
+//! [`SourceModel`]; the engine handles allow-annotations, test-region
+//! exemptions and path scoping before a finding becomes user-visible.
+//!
+//! | id                    | guards                                           |
+//! |-----------------------|--------------------------------------------------|
+//! | `no-panic-paths`      | typed-error discipline in library crates         |
+//! | `determinism`         | byte-reproducible results across plans/modes     |
+//! | `concurrency-hygiene` | thread/lock discipline of the parallel lanes     |
+//! | `api-hygiene`         | lint headers + documented public surface         |
+//!
+//! Run `skylint explain <rule>` for the full rationale of each rule.
+
+use crate::engine::Policy;
+use crate::lexer::{TokKind, Token};
+use crate::model::SourceModel;
+use crate::report::Finding;
+
+/// All rule ids, in reporting order.
+pub const RULE_IDS: [&str; 4] =
+    ["no-panic-paths", "determinism", "concurrency-hygiene", "api-hygiene"];
+
+/// Long-form `explain` text for a rule id, if known.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    match rule {
+        "no-panic-paths" => Some(
+            "no-panic-paths — library crates must not contain hidden panic paths.\n\
+             \n\
+             Forbidden in library code (crates listed under [crates].library),\n\
+             outside #[cfg(test)] modules:\n\
+               * `.unwrap()` and `.expect(…)` method calls\n\
+               * `panic!`, `todo!`, `unimplemented!` macro invocations\n\
+               * bracket indexing (`xs[i]`) in files listed under\n\
+                 [rules.no-panic-paths].index-strict-files — use `.get(i)`\n\
+             \n\
+             Rationale: the CBCS engine is meant to serve shared, long-lived\n\
+             caches (ROADMAP: production-scale, heavy traffic). A panic in a\n\
+             library crate kills the worker thread mid-query; callers hold\n\
+             typed error channels (GeomError / StorageError / CoreError) that\n\
+             every fallible path must use instead. `assert!`-style contract\n\
+             checks with documented `# Panics` sections remain permitted: they\n\
+             guard API misuse, not data-dependent failures.\n\
+             \n\
+             Escape hatch: `// skylint: allow(no-panic-paths) — <why safe>`\n\
+             on (or directly above) the offending line, for invariants the\n\
+             type system cannot carry (e.g. re-raising a worker panic after\n\
+             `JoinHandle::join`).",
+        ),
+        "determinism" => Some(
+            "determinism — cached plans must be byte-for-byte reproducible.\n\
+             \n\
+             Forbidden in library code outside #[cfg(test)] modules:\n\
+               * `std::time::Instant` / `SystemTime` (any mention) — wall\n\
+                 clocks fork behaviour between runs; the one audited site is\n\
+                 core/src/clock.rs, which carries the allow annotation\n\
+               * `HashMap` / `HashSet` — iteration order is randomized per\n\
+                 process; every result-producing path must use BTreeMap /\n\
+                 BTreeSet / sorted vectors instead\n\
+               * float `==` / `!=` in files listed under\n\
+                 [rules.determinism].float-eq-files — comparisons on raw f64\n\
+                 expressions must go through skycache_geom::float helpers\n\
+                 (approx_eq / exact_eq), making every float comparison an\n\
+                 audited decision\n\
+             \n\
+             Rationale: the paper's stability theory (Thm. 1, Cors. 1–2) and\n\
+             MPR minimality (Thms. 6–7) assume a cached plan replayed under\n\
+             any ExecMode yields the identical skyline. HashMap iteration\n\
+             order leaking into eviction order, R-tree insertion order or\n\
+             result assembly silently breaks that; so does any wall-clock\n\
+             value feeding planning.\n\
+             \n\
+             Escape hatch: `// skylint: allow(determinism) — <why benign>`.",
+        ),
+        "concurrency-hygiene" => Some(
+            "concurrency-hygiene — thread and lock discipline.\n\
+             \n\
+             Checks:\n\
+               * `spawn(…)` (std::thread::spawn, scope.spawn, …) is permitted\n\
+                 only in the files listed under\n\
+                 [rules.concurrency-hygiene].spawn-allowed — today the two\n\
+                 parallel lanes: algos/src/parallel.rs and\n\
+                 storage/src/table.rs. Tests may spawn freely.\n\
+               * In lock-protocol files ([rules.concurrency-hygiene]\n\
+                 .lock-protocol-files), every `.read()` / `.write()` /\n\
+                 `.lock()` acquisition must carry a `// lock-order: <phase>`\n\
+                 annotation naming a declared phase, and within one function\n\
+                 phases must appear in declared order (read before write in\n\
+                 core/src/shared.rs) — enforcing the documented\n\
+                 search → compute-unlocked → publish protocol.\n\
+               * Every `unsafe {` block needs a `// SAFETY:` comment on or\n\
+                 directly above the line.\n\
+             \n\
+             Rationale: the shared multi-user cache (core/src/shared.rs)\n\
+             stays deadlock-free because no code path upgrades read → write\n\
+             while holding a guard; annotating each acquisition keeps the\n\
+             protocol reviewable and lets the linter reject regressions.",
+        ),
+        "api-hygiene" => Some(
+            "api-hygiene — library crates keep a warnings-clean surface.\n\
+             \n\
+             Checks:\n\
+               * each library crate root (src/lib.rs) starts with `//!` crate\n\
+                 docs and carries every header listed under\n\
+                 [rules.api-hygiene].required-headers (the\n\
+                 `#![deny(warnings)]`-compatible lint set)\n\
+               * public items at module scope in the crates listed under\n\
+                 [rules.api-hygiene].doc-paths carry `///` doc comments\n\
+                 (compile-time `#![warn(missing_docs)]` also covers impl\n\
+                 bodies; the lint runs without compiling)\n\
+             \n\
+             Rationale: CI promotes clippy/rustfmt to required jobs; the\n\
+             headers keep every crate compatible with `-D warnings`, and the\n\
+             documented public surface is what makes the cache reusable as a\n\
+             library (ROADMAP north star).",
+        ),
+        _ => None,
+    }
+}
+
+/// Context handed to each rule for one file.
+pub struct FileCtx<'a> {
+    /// Lexed + indexed source.
+    pub model: &'a SourceModel,
+    /// File belongs to a library crate's `src/` tree.
+    pub is_library: bool,
+    /// File lives under `tests/`, `benches/` or `examples/`.
+    pub is_test_file: bool,
+    /// Resolved policy configuration.
+    pub policy: &'a Policy,
+}
+
+impl FileCtx<'_> {
+    fn lib_code_at(&self, line: u32) -> bool {
+        self.is_library && !self.is_test_file && !self.model.in_test_region(line)
+    }
+
+    fn path_in(&self, list: &[String]) -> bool {
+        list.iter().any(|p| self.model.path == *p || self.model.path.starts_with(p.as_str()))
+    }
+}
+
+/// Runs every rule over one file.
+pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    no_panic_paths(ctx, out);
+    determinism(ctx, out);
+    concurrency_hygiene(ctx, out);
+    api_hygiene(ctx, out);
+}
+
+fn push(ctx: &FileCtx<'_>, out: &mut Vec<Finding>, rule: &str, line: u32, message: String) {
+    if ctx.model.is_allowed(rule, line) {
+        return;
+    }
+    out.push(Finding {
+        rule: rule.to_owned(),
+        file: ctx.model.path.clone(),
+        line,
+        message,
+        snippet: ctx.model.snippet(line),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// no-panic-paths
+// ---------------------------------------------------------------------------
+
+fn no_panic_paths(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "no-panic-paths";
+    let toks = &ctx.model.tokens;
+    let index_strict = ctx.path_in(&ctx.policy.index_strict_files);
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_comment() || !ctx.lib_code_at(t.line) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` method calls.
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && prev_code(toks, i).is_some_and(|p| p.is_op("."))
+            && next_code(toks, i).is_some_and(|n| n.is_op("("))
+        {
+            push(
+                ctx,
+                out,
+                RULE,
+                t.line,
+                format!(
+                    ".{}() panics on the error path — return a typed error \
+                     or annotate the invariant",
+                    t.text
+                ),
+            );
+        }
+        // panic!/todo!/unimplemented! macros.
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+            && next_code(toks, i).is_some_and(|n| n.is_op("!"))
+        {
+            push(
+                ctx,
+                out,
+                RULE,
+                t.line,
+                format!("{}! in library code — return a typed error instead", t.text),
+            );
+        }
+        // Index-without-get in strict files: `expr[` where expr is an
+        // identifier, `)` or `]` (expression position, not a type, attr or
+        // macro like vec![…]).
+        if index_strict
+            && t.is_op("[")
+            && prev_code(toks, i).is_some_and(|p| {
+                p.kind == TokKind::Ident && !is_keyword(&p.text) || p.is_op(")") || p.is_op("]")
+            })
+        {
+            push(
+                ctx,
+                out,
+                RULE,
+                t.line,
+                "bracket indexing can panic out-of-bounds — use .get(i) \
+                 (index-strict file)"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// Keywords that can precede `[` without forming an index expression
+/// (`if let Some(x) = …`, `return [a, b]`, `in [1, 2]`, …).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "return"
+            | "in"
+            | "mut"
+            | "ref"
+            | "move"
+            | "let"
+            | "const"
+            | "static"
+            | "as"
+            | "break"
+            | "continue"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "fn"
+            | "for"
+            | "while"
+            | "loop"
+            | "unsafe"
+            | "use"
+            | "pub"
+            | "type"
+            | "struct"
+            | "enum"
+            | "trait"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "determinism";
+    let toks = &ctx.model.tokens;
+    let float_strict = ctx.path_in(&ctx.policy.float_files);
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_comment() || !ctx.lib_code_at(t.line) {
+            continue;
+        }
+        if t.kind == TokKind::Ident && ctx.policy.time_idents.contains(&t.text) {
+            push(
+                ctx,
+                out,
+                RULE,
+                t.line,
+                format!(
+                    "{} reads the wall clock — route timing through \
+                     core/src/clock.rs (the audited site)",
+                    t.text
+                ),
+            );
+        }
+        if t.kind == TokKind::Ident && ctx.policy.hash_idents.contains(&t.text) {
+            push(
+                ctx,
+                out,
+                RULE,
+                t.line,
+                format!(
+                    "{} has randomized iteration order — use BTreeMap/BTreeSet \
+                     or a sorted Vec in result-producing paths",
+                    t.text
+                ),
+            );
+        }
+        // Float equality in geometry code.
+        if float_strict && (t.is_op("==") || t.is_op("!=")) {
+            let float_side = |tok: Option<&Token>| -> bool {
+                tok.is_some_and(|n| {
+                    n.kind == TokKind::Float
+                        || (n.kind == TokKind::Ident
+                            && ctx.policy.float_fields.contains(&n.text))
+                })
+            };
+            // Look left at the previous code token; look right skipping
+            // unary borrows/parens/negation. A float-field ident followed
+            // by `.` is a method/field access (`hi.len()`), not the raw
+            // field value, and does not count.
+            let left = prev_code(toks, i);
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|n| n.is_comment() || n.is_op("&") || n.is_op("(") || n.is_op("-"))
+            {
+                j += 1;
+            }
+            let right = toks.get(j).filter(|_| !toks.get(j + 1).is_some_and(|n| n.is_op(".")));
+            if float_side(left) || float_side(right) {
+                push(
+                    ctx,
+                    out,
+                    RULE,
+                    t.line,
+                    format!(
+                        "float `{}` in geometry code — use \
+                         skycache_geom::float::{{approx_eq, exact_eq}} so the \
+                         comparison mode is explicit",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// concurrency-hygiene
+// ---------------------------------------------------------------------------
+
+fn concurrency_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "concurrency-hygiene";
+    let toks = &ctx.model.tokens;
+    let spawn_ok = ctx.path_in(&ctx.policy.spawn_allowed);
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_comment() {
+            continue;
+        }
+        // spawn() outside the sanctioned lanes.
+        if !spawn_ok
+            && ctx.lib_code_at(t.line)
+            && t.is_ident("spawn")
+            && next_code(toks, i).is_some_and(|n| n.is_op("("))
+        {
+            push(
+                ctx,
+                out,
+                RULE,
+                t.line,
+                "spawn() outside the sanctioned parallel lanes \
+                 (algos/src/parallel.rs, storage/src/table.rs) — route \
+                 parallelism through those modules"
+                    .to_owned(),
+            );
+        }
+        // unsafe blocks need SAFETY comments (everywhere, tests included —
+        // unsound test code is still unsound).
+        if t.is_ident("unsafe")
+            && next_code(toks, i).is_some_and(|n| n.is_op("{"))
+            && ctx.model.comment_near(t.line, "SAFETY:").is_none()
+        {
+            push(
+                ctx,
+                out,
+                RULE,
+                t.line,
+                "unsafe block without a `// SAFETY:` comment on or above \
+                 the line"
+                    .to_owned(),
+            );
+        }
+    }
+    // Lock protocol, per function.
+    if ctx.path_in(&ctx.policy.lock_files) {
+        lock_protocol(ctx, out);
+    }
+}
+
+fn lock_protocol(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "concurrency-hygiene";
+    let toks = &ctx.model.tokens;
+    let phases = &ctx.policy.lock_phases;
+    for span in &ctx.model.fn_spans {
+        let mut last_phase: Option<usize> = None;
+        for i in span.body_start..span.body_end.min(toks.len()) {
+            let t = &toks[i];
+            if t.is_comment() || ctx.model.in_test_region(t.line) {
+                continue;
+            }
+            let is_acquisition = t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "read" | "write" | "lock" | "try_lock")
+                && prev_code(toks, i).is_some_and(|p| p.is_op("."))
+                && next_code(toks, i).is_some_and(|n| n.is_op("("));
+            if !is_acquisition {
+                continue;
+            }
+            let Some(comment) = ctx.model.comment_near(t.line, "lock-order:") else {
+                push(
+                    ctx,
+                    out,
+                    RULE,
+                    t.line,
+                    format!(
+                        ".{}() lock acquisition without a `// lock-order: \
+                         <phase>` annotation (declared phases: {})",
+                        t.text,
+                        phases.join(" < ")
+                    ),
+                );
+                continue;
+            };
+            let annotated = comment
+                .split("lock-order:")
+                .nth(1)
+                .map(|s| s.split_whitespace().next().unwrap_or("").to_owned())
+                .unwrap_or_default();
+            let Some(pos) = phases.iter().position(|p| *p == annotated) else {
+                push(
+                    ctx,
+                    out,
+                    RULE,
+                    t.line,
+                    format!(
+                        "lock-order phase {annotated:?} is not declared \
+                         (declared: {})",
+                        phases.join(" < ")
+                    ),
+                );
+                continue;
+            };
+            if let Some(prev) = last_phase {
+                if pos < prev {
+                    push(
+                        ctx,
+                        out,
+                        RULE,
+                        t.line,
+                        format!(
+                            "lock phase {:?} acquired after {:?} in fn {} — \
+                             violates the declared order {}",
+                            phases[pos],
+                            phases[prev],
+                            span.name,
+                            phases.join(" < ")
+                        ),
+                    );
+                }
+            }
+            last_phase = Some(pos.max(last_phase.unwrap_or(0)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// api-hygiene
+// ---------------------------------------------------------------------------
+
+fn api_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "api-hygiene";
+    if !ctx.is_library || ctx.is_test_file {
+        return;
+    }
+    let m = ctx.model;
+    // Crate roots: required headers + crate docs.
+    if m.path.ends_with("src/lib.rs") {
+        let src = m.lines.join("\n");
+        for header in &ctx.policy.required_headers {
+            if !src.contains(header.as_str()) {
+                push(
+                    ctx,
+                    out,
+                    RULE,
+                    1,
+                    format!("crate root is missing the required header `{header}`"),
+                );
+            }
+        }
+        if !m
+            .tokens
+            .first()
+            .is_some_and(|t| t.kind == TokKind::LineComment && t.text.starts_with("//!"))
+        {
+            push(ctx, out, RULE, 1, "crate root must open with `//!` crate documentation".into());
+        }
+    }
+    // Documented public items at module scope.
+    if ctx.path_in(&ctx.policy.doc_paths) {
+        undocumented_pub_items(ctx, out);
+    }
+}
+
+/// Flags `pub fn/struct/enum/trait/type/const/static/mod` items at module
+/// scope (brace depth 0, or inside non-test `mod` blocks — approximated by
+/// "not inside any fn body") lacking a preceding doc comment.
+fn undocumented_pub_items(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "api-hygiene";
+    let toks = &ctx.model.tokens;
+    let in_fn_body =
+        |i: usize| ctx.model.fn_spans.iter().any(|s| s.body_start < i && i < s.body_end);
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("pub") || ctx.model.in_test_region(t.line) || in_fn_body(i) {
+            continue;
+        }
+        // Skip visibility qualifiers: pub(crate), pub(super), pub(in …).
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.is_op("(")) {
+            continue; // pub(crate)/pub(super) items are not public API
+        }
+        while toks.get(j).is_some_and(|n| n.is_comment()) {
+            j += 1;
+        }
+        let Some(item) = toks.get(j) else { continue };
+        let kind = item.text.as_str();
+        if !matches!(
+            kind,
+            "fn" | "struct" | "enum" | "trait" | "type" | "const" | "static" | "mod" | "union"
+        ) {
+            continue; // pub use re-exports need no doc of their own
+        }
+        // Inside an impl block, missing_docs governs; the lexical check
+        // covers module scope only. Heuristic: an item whose enclosing
+        // brace context is an impl is preceded (searching back) by an
+        // `impl` at lower depth — approximate by checking whether any
+        // `impl` token appears before `i` with an unclosed brace.
+        if inside_impl(toks, i) {
+            continue;
+        }
+        if !has_doc_before(toks, i) {
+            push(ctx, out, RULE, t.line, format!("public `{kind}` lacks a doc comment (///)"));
+        }
+    }
+}
+
+/// Whether token `i` sits inside an `impl … { … }` body.
+fn inside_impl(toks: &[Token], i: usize) -> bool {
+    // Track a stack of open braces, noting which were opened by impl/mod.
+    let mut stack: Vec<bool> = Vec::new(); // true = impl brace
+    let mut pending_impl = false;
+    for t in &toks[..i] {
+        if t.is_comment() {
+            continue;
+        }
+        if t.is_ident("impl") {
+            pending_impl = true;
+        } else if t.is_op("{") {
+            stack.push(pending_impl);
+            pending_impl = false;
+        } else if t.is_op("}") {
+            stack.pop();
+        } else if t.is_op(";") {
+            pending_impl = false;
+        }
+    }
+    stack.iter().any(|&b| b)
+}
+
+/// Whether the item starting at token `i` has a doc comment or doc
+/// attribute directly above (skipping other attributes like #[derive]).
+fn has_doc_before(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        match t.kind {
+            TokKind::LineComment if t.text.starts_with("///") || t.text.starts_with("//!") => {
+                return true
+            }
+            TokKind::BlockComment if t.text.starts_with("/**") || t.text.starts_with("/*!") => {
+                return true
+            }
+            TokKind::LineComment | TokKind::BlockComment => continue,
+            // Walk over attributes: `]` closes one; skip to its `#`.
+            TokKind::Op if t.text == "]" => {
+                let mut depth = 1i32;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if toks[j].is_op("]") {
+                        depth += 1;
+                    } else if toks[j].is_op("[") {
+                        depth -= 1;
+                    }
+                }
+                // Check for a doc attribute #[doc = "…"].
+                if toks[j..i].iter().any(|t| t.is_ident("doc")) {
+                    return true;
+                }
+                if j > 0 && toks[j - 1].is_op("#") {
+                    j -= 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Previous non-comment token.
+fn prev_code(toks: &[Token], i: usize) -> Option<&Token> {
+    toks[..i].iter().rev().find(|t| !t.is_comment())
+}
+
+/// Next non-comment token.
+fn next_code(toks: &[Token], i: usize) -> Option<&Token> {
+    toks[i + 1..].iter().find(|t| !t.is_comment())
+}

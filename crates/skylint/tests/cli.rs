@@ -1,0 +1,77 @@
+//! End-to-end CLI tests: exit codes and output shapes of the `skylint`
+//! binary over the fixture trees.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rel)
+}
+
+fn skylint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_skylint")).args(args).output().expect("run skylint")
+}
+
+#[test]
+fn check_exits_nonzero_on_the_bad_tree() {
+    let root = fixture("bad_tree");
+    let out = skylint(&["check", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no-panic-paths"), "{stdout}");
+    assert!(stdout.contains("api-hygiene"), "{stdout}");
+    assert!(stdout.contains("src/lib.rs"), "{stdout}");
+}
+
+#[test]
+fn check_exits_zero_on_the_clean_tree() {
+    let root = fixture("clean_tree");
+    let out = skylint(&["check", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn json_output_lists_findings() {
+    let root = fixture("bad_tree");
+    let out = skylint(&["check", "--json", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.contains("\"rule\""), "{stdout}");
+    assert!(stdout.contains("\"line\""), "{stdout}");
+}
+
+#[test]
+fn bench_out_writes_a_record() {
+    let root = fixture("clean_tree");
+    let bench = Path::new(env!("CARGO_TARGET_TMPDIR")).join("BENCH_skylint_test.json");
+    let out = skylint(&[
+        "check",
+        "--quiet",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--bench-out",
+        bench.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let record = std::fs::read_to_string(&bench).expect("bench record written");
+    assert!(record.contains("\"files_scanned\""), "{record}");
+    assert!(record.contains("\"wall_ms\""), "{record}");
+}
+
+#[test]
+fn explain_and_rules_subcommands() {
+    let rules = skylint(&["rules"]);
+    assert_eq!(rules.status.code(), Some(0));
+    let listed = String::from_utf8_lossy(&rules.stdout);
+    for rule in ["no-panic-paths", "determinism", "concurrency-hygiene", "api-hygiene"] {
+        assert!(listed.contains(rule), "{listed}");
+        let explained = skylint(&["explain", rule]);
+        assert_eq!(explained.status.code(), Some(0), "explain {rule}");
+        assert!(!explained.stdout.is_empty(), "explain {rule} printed nothing");
+    }
+    assert_eq!(skylint(&["explain", "bogus"]).status.code(), Some(2));
+    assert_eq!(skylint(&["frobnicate"]).status.code(), Some(2));
+}

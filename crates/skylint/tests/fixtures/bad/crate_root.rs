@@ -1,0 +1,4 @@
+// Bad fixture: a crate root with no `//!` docs and no lint headers.
+
+/// Documented but homeless.
+pub fn noop() {}

@@ -1,0 +1,21 @@
+//! Bad fixture: raw float equality on interval endpoints.
+
+/// A 1-D interval.
+pub struct Iv {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Iv {
+    /// Degenerate test, the forbidden way.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Literal comparisons, also forbidden.
+    pub fn at_origin(&self) -> bool {
+        self.lo == 0.0 && self.hi != 1.0
+    }
+}

@@ -1,0 +1,10 @@
+//! Bad fixture: hash collections in a result-producing path.
+
+use std::collections::{HashMap, HashSet};
+
+/// Deduplicates with randomized iteration order.
+pub fn dedup(xs: &[u64]) -> Vec<u64> {
+    let seen: HashSet<u64> = xs.iter().copied().collect();
+    let _counts: HashMap<u64, usize> = HashMap::new();
+    seen.into_iter().collect()
+}

@@ -1,0 +1,6 @@
+//! Bad fixture: bracket indexing in an index-strict file.
+
+/// Reads position `i` the panicky way.
+pub fn nth(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}

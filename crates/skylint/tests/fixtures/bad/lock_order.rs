@@ -1,0 +1,27 @@
+//! Bad fixture: lock-protocol violations.
+
+use std::sync::RwLock;
+
+/// Shared state under the read-then-write protocol.
+pub struct Shared {
+    inner: RwLock<Vec<u64>>,
+}
+
+impl Shared {
+    /// Unannotated acquisition.
+    pub fn count(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Undeclared phase name.
+    pub fn peek(&self) -> Option<u64> {
+        self.inner.read().first().copied() // lock-order: browse
+    }
+
+    /// Write acquired before read within one function.
+    pub fn swap(&self) -> usize {
+        self.inner.write().push(1); // lock-order: write
+        let extra = 0;
+        self.inner.read().len() + extra // lock-order: read
+    }
+}

@@ -1,0 +1,17 @@
+//! Bad fixture: hidden panic paths in library code.
+
+/// Sums the ends of a slice, panicking on empty input.
+pub fn ends(xs: &[u64]) -> u64 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    head + tail
+}
+
+/// Unfinished branches, the forbidden way.
+pub fn unfinished(flag: bool) -> u64 {
+    if flag {
+        todo!("later")
+    } else {
+        panic!("boom")
+    }
+}

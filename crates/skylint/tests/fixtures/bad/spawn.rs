@@ -1,0 +1,6 @@
+//! Bad fixture: thread spawn outside the sanctioned lanes.
+
+/// Spawns an unmanaged worker.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

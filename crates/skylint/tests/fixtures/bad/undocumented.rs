@@ -1,0 +1,11 @@
+//! Bad fixture: an undocumented public surface.
+
+const _SPACER: () = ();
+
+pub fn mystery() -> u64 {
+    7
+}
+
+pub struct Opaque;
+
+pub const LIMIT: usize = 4;

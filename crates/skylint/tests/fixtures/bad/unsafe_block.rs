@@ -1,0 +1,6 @@
+//! Bad fixture: unsafe block without a SAFETY comment.
+
+/// Reads a byte through a raw pointer.
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+//! Bad fixture: wall-clock reads in library code.
+
+use std::time::Instant;
+
+/// Produces a nondeterministic timestamp.
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,14 @@
+//! Clean fixture: violations suppressed by justified allow annotations,
+//! both on the line above and trailing on the same line.
+
+/// Head of a slice the caller has proven non-empty.
+pub fn head(xs: &[u64]) -> u64 {
+    // skylint: allow(no-panic-paths) — caller checks is_empty first.
+    *xs.first().expect("non-empty by contract")
+}
+
+/// A wall-clock read at an audited site.
+pub fn audited_elapsed() -> u64 {
+    let t = std::time::Instant::now(); // skylint: allow(determinism) — audited site.
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,21 @@
+//! Clean fixture for the float-equality check: comparisons that look
+//! adjacent to endpoint equality but are not raw float `==`.
+
+/// An interval whose endpoints are only compared through helpers.
+pub struct Iv {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+/// Compares dimension counts, not endpoint values: `lo` and `hi` here are
+/// slices, and the method calls must not trip the float-equality check.
+pub fn dims_match(lo: &[f64], hi: &[f64]) -> bool {
+    lo.len() == hi.len()
+}
+
+/// Integer comparisons on non-float identifiers are fine.
+pub fn same_card(a: usize, b: usize) -> bool {
+    a == b && a != 0
+}

@@ -1,0 +1,17 @@
+//! Clean fixture: annotated lock acquisitions in declared phase order.
+
+use std::sync::RwLock;
+
+/// Shared state under the read-then-write protocol.
+pub struct Shared {
+    inner: RwLock<Vec<u64>>,
+}
+
+impl Shared {
+    /// Reads then writes, in declared phase order.
+    pub fn refresh(&self) -> usize {
+        let n = self.inner.read().len(); // lock-order: read
+        self.inner.write().push(n as u64); // lock-order: write
+        n
+    }
+}

@@ -1,0 +1,19 @@
+//! Clean fixture: panicky and hash-ordered code confined to the
+//! `#[cfg(test)]` region, where the library rules do not apply.
+
+/// Doubles a value.
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn doubles() {
+        let mut m = HashMap::new();
+        m.insert(1u64, super::double(1));
+        assert_eq!(*m.get(&1).unwrap(), 2);
+    }
+}

@@ -1,0 +1,8 @@
+//! A tiny crate that satisfies every policy.
+
+#![warn(missing_docs)]
+
+/// Adds one.
+pub fn incr(x: u64) -> u64 {
+    x + 1
+}

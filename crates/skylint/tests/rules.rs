@@ -1,0 +1,180 @@
+//! Fixture tests: every rule fires on its known-bad fixture and stays
+//! silent on the known-clean ones.
+//!
+//! Fixtures live under `tests/fixtures/` and are scanned in memory with
+//! [`skylint::scan_source`] under a synthetic policy whose path lists
+//! point at a fake `lib/src/` tree, so the tests are independent of the
+//! real repository policy in `skylint.toml`.
+
+use skylint::{scan_source, Finding, Policy};
+
+/// Policy for the fake `lib/` crate the fixtures pretend to live in.
+fn policy() -> Policy {
+    Policy {
+        include: vec!["lib".into()],
+        exclude: vec![],
+        library_paths: vec!["lib".into()],
+        index_strict_files: vec!["lib/src/strict.rs".into()],
+        time_idents: vec!["Instant".into(), "SystemTime".into()],
+        hash_idents: vec!["HashMap".into(), "HashSet".into()],
+        float_files: vec!["lib/src/geom.rs".into()],
+        float_fields: vec!["lo".into(), "hi".into()],
+        spawn_allowed: vec!["lib/src/par.rs".into()],
+        lock_files: vec!["lib/src/shared.rs".into()],
+        lock_phases: vec!["read".into(), "write".into()],
+        required_headers: vec!["#![warn(missing_docs)]".into()],
+        doc_paths: vec!["lib/src".into()],
+    }
+}
+
+fn findings(path: &str, src: &str) -> Vec<Finding> {
+    scan_source(path, src, &policy())
+}
+
+/// Asserts every finding carries `rule` and that there are `count` of them.
+fn assert_only(found: &[Finding], rule: &str, count: usize) {
+    let pretty: Vec<String> =
+        found.iter().map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message)).collect();
+    assert_eq!(found.len(), count, "expected {count} findings, got:\n{}", pretty.join("\n"));
+    for f in found {
+        assert_eq!(f.rule, rule, "unexpected rule in:\n{}", pretty.join("\n"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-panic-paths
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bad_panics_fixture_is_flagged() {
+    let found = findings("lib/src/panics.rs", include_str!("fixtures/bad/panics.rs"));
+    // unwrap + expect + todo! + panic!
+    assert_only(&found, "no-panic-paths", 4);
+}
+
+#[test]
+fn bad_indexing_fixture_is_flagged_only_in_strict_files() {
+    let src = include_str!("fixtures/bad/indexing.rs");
+    let strict = findings("lib/src/strict.rs", src);
+    assert_only(&strict, "no-panic-paths", 1);
+    assert!(strict[0].message.contains("bracket indexing"), "{:?}", strict[0]);
+    // The same source outside the index-strict list is clean.
+    assert_only(&findings("lib/src/other.rs", src), "no-panic-paths", 0);
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bad_wall_clock_fixture_is_flagged() {
+    let found = findings("lib/src/timing.rs", include_str!("fixtures/bad/wall_clock.rs"));
+    assert!(!found.is_empty());
+    assert!(found.iter().all(|f| f.rule == "determinism"), "{found:?}");
+    assert!(found.iter().any(|f| f.message.contains("wall clock")), "{found:?}");
+}
+
+#[test]
+fn bad_hash_collections_fixture_is_flagged() {
+    let found = findings("lib/src/dedup.rs", include_str!("fixtures/bad/hash_collections.rs"));
+    // use-line HashMap + HashSet, the two type ascriptions, HashMap::new.
+    assert_only(&found, "determinism", 5);
+}
+
+#[test]
+fn bad_float_eq_fixture_is_flagged() {
+    let found = findings("lib/src/geom.rs", include_str!("fixtures/bad/float_eq.rs"));
+    // lo == hi, lo == 0.0, hi != 1.0.
+    assert_only(&found, "determinism", 3);
+    // Outside the float-strict list, raw float equality is not checked.
+    assert_only(
+        &findings("lib/src/elsewhere.rs", include_str!("fixtures/bad/float_eq.rs")),
+        "determinism",
+        0,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// concurrency-hygiene
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bad_spawn_fixture_is_flagged_outside_the_lanes() {
+    let src = include_str!("fixtures/bad/spawn.rs");
+    let found = findings("lib/src/spawn.rs", src);
+    assert_only(&found, "concurrency-hygiene", 1);
+    // The sanctioned lane may spawn.
+    assert_only(&findings("lib/src/par.rs", src), "concurrency-hygiene", 0);
+}
+
+#[test]
+fn bad_unsafe_fixture_is_flagged() {
+    let found = findings("lib/src/raw.rs", include_str!("fixtures/bad/unsafe_block.rs"));
+    assert_only(&found, "concurrency-hygiene", 1);
+    assert!(found[0].message.contains("SAFETY"), "{:?}", found[0]);
+}
+
+#[test]
+fn bad_lock_order_fixture_is_flagged() {
+    let found = findings("lib/src/shared.rs", include_str!("fixtures/bad/lock_order.rs"));
+    // Unannotated acquisition, undeclared phase, write-before-read.
+    assert_only(&found, "concurrency-hygiene", 3);
+    assert!(found.iter().any(|f| f.message.contains("without a `// lock-order:")), "{found:?}");
+    assert!(found.iter().any(|f| f.message.contains("not declared")), "{found:?}");
+    assert!(found.iter().any(|f| f.message.contains("violates the declared order")), "{found:?}");
+}
+
+// ---------------------------------------------------------------------------
+// api-hygiene
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bad_crate_root_fixture_is_flagged() {
+    let found = findings("lib/src/lib.rs", include_str!("fixtures/bad/crate_root.rs"));
+    // Missing required header + missing `//!` crate docs.
+    assert_only(&found, "api-hygiene", 2);
+}
+
+#[test]
+fn bad_undocumented_fixture_is_flagged() {
+    let found = findings("lib/src/api.rs", include_str!("fixtures/bad/undocumented.rs"));
+    // pub fn, pub struct, pub const — each undocumented.
+    assert_only(&found, "api-hygiene", 3);
+}
+
+// ---------------------------------------------------------------------------
+// Clean fixtures and exemptions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn allow_annotations_suppress_findings() {
+    let found = findings("lib/src/allowed.rs", include_str!("fixtures/clean/allowed.rs"));
+    assert_only(&found, "-", 0);
+}
+
+#[test]
+fn cfg_test_regions_are_exempt() {
+    let found = findings("lib/src/tested.rs", include_str!("fixtures/clean/test_region.rs"));
+    assert_only(&found, "-", 0);
+}
+
+#[test]
+fn float_field_method_calls_are_not_float_equality() {
+    // Regression for the `hi.len() != lo.len()` false positive: a
+    // float-field identifier followed by `.` is an access, not a value.
+    let found = findings("lib/src/geom.rs", include_str!("fixtures/clean/geom.rs"));
+    assert_only(&found, "-", 0);
+}
+
+#[test]
+fn ordered_annotated_locks_are_clean() {
+    let found = findings("lib/src/shared.rs", include_str!("fixtures/clean/shared.rs"));
+    assert_only(&found, "-", 0);
+}
+
+#[test]
+fn test_paths_are_exempt_from_library_rules() {
+    // The worst fixture, relocated under tests/: nothing fires.
+    let found = findings("lib/tests/panics.rs", include_str!("fixtures/bad/panics.rs"));
+    assert_only(&found, "-", 0);
+}

@@ -1,0 +1,31 @@
+//! Self-test: the repository must scan clean under its own committed
+//! policy. Running inside `cargo test` makes lint cleanliness part of the
+//! tier-1 gate, not just a separate CI step.
+
+use std::path::Path;
+
+#[test]
+fn repository_is_skylint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg_src = std::fs::read_to_string(root.join("skylint.toml")).expect("read skylint.toml");
+    let cfg = skylint::Config::parse(&cfg_src).expect("parse skylint.toml");
+    let policy = skylint::Policy::from_config(&cfg);
+
+    let outcome = skylint::scan(&root, &policy).expect("scan repository");
+    assert!(
+        outcome.files_scanned > 50,
+        "suspiciously few files scanned ({}) — is the include list broken?",
+        outcome.files_scanned
+    );
+
+    let report: Vec<String> = outcome
+        .findings
+        .iter()
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        outcome.findings.is_empty(),
+        "the tree has skylint violations — run `cargo run -p skylint -- check`:\n{}",
+        report.join("\n")
+    );
+}

@@ -18,12 +18,9 @@ pub struct ColumnIndex {
 impl ColumnIndex {
     /// Builds the index of dimension `dim` over `points`.
     pub fn build(points: &[Point], dim: usize) -> Self {
-        let mut pairs: Vec<(f64, RowId)> = points
-            .iter()
-            .enumerate()
-            .map(|(row, p)| (p[dim], row as RowId))
-            .collect();
-        pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN-free data"));
+        let mut pairs: Vec<(f64, RowId)> =
+            points.iter().enumerate().map(|(row, p)| (p[dim], row as RowId)).collect();
+        pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         ColumnIndex {
             keys: pairs.iter().map(|p| p.0).collect(),
             rows: pairs.iter().map(|p| p.1).collect(),
@@ -114,10 +111,8 @@ mod tests {
     use super::*;
 
     fn idx() -> ColumnIndex {
-        let pts: Vec<Point> = [5.0, 1.0, 3.0, 3.0, 9.0]
-            .iter()
-            .map(|&v| Point::from(vec![v, 0.0]))
-            .collect();
+        let pts: Vec<Point> =
+            [5.0, 1.0, 3.0, 3.0, 9.0].iter().map(|&v| Point::from(vec![v, 0.0])).collect();
         ColumnIndex::build(&pts, 0)
     }
 

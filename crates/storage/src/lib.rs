@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(rust_2018_idioms)]
 
 mod cost;
 mod error;

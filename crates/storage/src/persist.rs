@@ -49,9 +49,7 @@ fn fnv1a(data: &[u8]) -> u64 {
 impl Table {
     /// Serializes the table (heap + tombstones + config) to `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let mut buf = BytesMut::with_capacity(
-            64 + self.slot_count() * (self.dims() * 8 + 1),
-        );
+        let mut buf = BytesMut::with_capacity(64 + self.slot_count() * (self.dims() * 8 + 1));
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u32_le(self.dims() as u32);
@@ -102,6 +100,7 @@ impl Table {
             return Err(StorageError::Corrupt("file too short".into()));
         }
         let (payload, tail) = raw.split_at(raw.len() - 8);
+        // skylint: allow(no-panic-paths) — split_at gives tail exactly 8 bytes.
         let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
         if fnv1a(payload) != stored {
             return Err(StorageError::Corrupt("checksum mismatch".into()));

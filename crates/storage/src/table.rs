@@ -78,10 +78,7 @@ impl Table {
         }
         let dims = points.first().ok_or(StorageError::EmptyTable)?.dims();
         if let Some(bad) = points.iter().find(|p| p.dims() != dims) {
-            return Err(StorageError::DimensionMismatch {
-                expected: dims,
-                actual: bad.dims(),
-            });
+            return Err(StorageError::DimensionMismatch { expected: dims, actual: bad.dims() });
         }
         if points.len() > RowId::MAX as usize {
             return Err(StorageError::InvalidPageCapacity);
@@ -104,16 +101,11 @@ impl Table {
             return Err(StorageError::InvalidPageCapacity);
         }
         if points.len() != live.len() {
-            return Err(StorageError::Corrupt(
-                "liveness bitmap length mismatch".into(),
-            ));
+            return Err(StorageError::Corrupt("liveness bitmap length mismatch".into()));
         }
         let dims = points.first().ok_or(StorageError::EmptyTable)?.dims();
         if let Some(bad) = points.iter().find(|p| p.dims() != dims) {
-            return Err(StorageError::DimensionMismatch {
-                expected: dims,
-                actual: bad.dims(),
-            });
+            return Err(StorageError::DimensionMismatch { expected: dims, actual: bad.dims() });
         }
         let live_count = live.iter().filter(|&&l| l).count();
         let mut indexes: Vec<ColumnIndex> = Vec::with_capacity(dims);
@@ -125,7 +117,7 @@ impl Table {
                 .filter(|&(row, _)| live[row])
                 .map(|(row, p)| (p[d], row as RowId))
                 .collect();
-            pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN-free"));
+            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
             for (key, row) in pairs {
                 index.push_sorted(key, row);
             }
@@ -297,9 +289,7 @@ impl Table {
             Some((best_dim, best_count)) => {
                 // Plan choice: single-index heap cost vs bitmap estimate.
                 let n = self.points.len() as f64;
-                let est_match: f64 = probed
-                    .iter()
-                    .fold(n, |acc, &(_, c)| acc * (c as f64 / n));
+                let est_match: f64 = probed.iter().fold(n, |acc, &(_, c)| acc * (c as f64 / n));
                 let entries: usize = probed.iter().map(|&(_, c)| c).sum();
                 let ratio = self.config.cost_model.entry_to_point_ratio();
                 let bitmap_cost = est_match + ratio * entries as f64;
@@ -313,9 +303,7 @@ impl Table {
                     .iter()
                     .filter_map(|&row| {
                         let point = &self.points[row as usize];
-                        region
-                            .contains_point(point)
-                            .then(|| Row { id: row, point: point.clone() })
+                        region.contains_point(point).then(|| Row { id: row, point: point.clone() })
                     })
                     .collect();
                 if use_bitmap {
@@ -372,9 +360,7 @@ impl Table {
                     s.spawn(move || {
                         let mut fetched = Vec::new();
                         let mut total = Duration::ZERO;
-                        for (idx, region) in
-                            regions.iter().enumerate().skip(lane).step_by(lanes)
-                        {
+                        for (idx, region) in regions.iter().enumerate().skip(lane).step_by(lanes) {
                             let result = self.fetch(region);
                             total += result.simulated_latency;
                             fetched.push((idx, result));
@@ -384,6 +370,7 @@ impl Table {
                 })
                 .collect();
             for (lane, handle) in handles.into_iter().enumerate() {
+                // skylint: allow(no-panic-paths) — join() only fails on a lane panic.
                 let (fetched, total) = handle.join().expect("fetch lane panicked");
                 lane_totals[lane] = total;
                 for (idx, result) in fetched {
@@ -394,6 +381,7 @@ impl Table {
 
         let mut out = FetchResult::default();
         for result in per_region {
+            // skylint: allow(no-panic-paths) — lane spans cover all region indexes.
             out.absorb(result.expect("every region fetched by its lane"));
         }
         out.simulated_latency = self.config.cost_model.critical_path_latency(&lane_totals);
@@ -553,16 +541,12 @@ mod tests {
     #[test]
     fn parallel_batch_charges_slowest_lane() {
         let t = table();
-        let regions: Vec<HyperRect> = [
-            [(0.0, 2.0), (0.0, 2.0)],
-            [(7.0, 9.0), (7.0, 9.0)],
-            [(3.0, 4.0), (5.0, 6.0)],
-        ]
-        .iter()
-        .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
-        .collect();
-        let singles: Vec<Duration> =
-            regions.iter().map(|r| t.fetch(r).simulated_latency).collect();
+        let regions: Vec<HyperRect> =
+            [[(0.0, 2.0), (0.0, 2.0)], [(7.0, 9.0), (7.0, 9.0)], [(3.0, 4.0), (5.0, 6.0)]]
+                .iter()
+                .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+                .collect();
+        let singles: Vec<Duration> = regions.iter().map(|r| t.fetch(r).simulated_latency).collect();
 
         // 3 lanes, 3 regions: each lane runs one query, so the batch
         // costs exactly the most expensive single query.
@@ -659,12 +643,8 @@ mod tests {
         ] {
             let mut a: Vec<Point> =
                 t.fetch_constrained(&c).rows.into_iter().map(|r| r.point).collect();
-            let mut b: Vec<Point> = rebuilt
-                .fetch_constrained(&c)
-                .rows
-                .into_iter()
-                .map(|r| r.point)
-                .collect();
+            let mut b: Vec<Point> =
+                rebuilt.fetch_constrained(&c).rows.into_iter().map(|r| r.point).collect();
             let key = |p: &Point| (p[0].to_bits(), p[1].to_bits());
             a.sort_by_key(key);
             b.sort_by_key(key);
@@ -675,11 +655,7 @@ mod tests {
     #[test]
     fn page_accounting() {
         let cfg = TableConfig { page_capacity: 7, ..Default::default() };
-        let t = Table::build(
-            (0..20).map(|i| Point::from(vec![i as f64])).collect(),
-            cfg,
-        )
-        .unwrap();
+        let t = Table::build((0..20).map(|i| Point::from(vec![i as f64])).collect(), cfg).unwrap();
         assert_eq!(t.page_of(0), 0);
         assert_eq!(t.page_of(6), 0);
         assert_eq!(t.page_of(7), 1);

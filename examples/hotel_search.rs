@@ -31,11 +31,8 @@ fn hotels(n: usize, seed: u64) -> Vec<Point> {
 fn show(skyline: &[Point]) -> String {
     let mut sky: Vec<&Point> = skyline.iter().collect();
     sky.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN-free"));
-    let head: Vec<String> = sky
-        .iter()
-        .take(10)
-        .map(|p| format!("({:.1}km, {:.0}€)", p[0], p[1]))
-        .collect();
+    let head: Vec<String> =
+        sky.iter().take(10).map(|p| format!("({:.1}km, {:.0}€)", p[0], p[1])).collect();
     if sky.len() > 10 {
         format!("{} … and {} more", head.join(" "), sky.len() - 10)
     } else {

@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --release --example live_updates`
 
-use skycache::core::{
-    CbcsConfig, DynamicCbcsExecutor, Executor, SharedCache, SharedCbcsExecutor,
-};
+use skycache::core::{CbcsConfig, DynamicCbcsExecutor, Executor, SharedCache, SharedCbcsExecutor};
 use skycache::datagen::{Distribution, SyntheticGen};
 use skycache::geom::{Constraints, Point};
 use skycache::storage::{Table, TableConfig};

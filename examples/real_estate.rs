@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example real_estate`
 
 use skycache::core::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode,
-    SearchStrategy,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy,
 };
 use skycache::datagen::{DimStats, IndependentWorkload, RealEstateGen};
 use skycache::storage::{Table, TableConfig};

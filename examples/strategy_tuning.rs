@@ -30,11 +30,8 @@ fn main() {
     );
     for strategy in strategies {
         let label = strategy.label();
-        let config = CbcsConfig {
-            mpr: MprMode::Approximate { k: 1 },
-            strategy,
-            ..Default::default()
-        };
+        let config =
+            CbcsConfig { mpr: MprMode::Approximate { k: 1 }, strategy, ..Default::default() };
         let mut engine = CbcsExecutor::new(&table, config);
         let (mut time, mut pts, mut rq, mut unstable, mut hits) = (0.0, 0u64, 0u64, 0u64, 0u64);
         for q in workload.queries() {

@@ -43,6 +43,10 @@
 //! # let _ = (r1, r2);
 //! ```
 
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+#![warn(rust_2018_idioms)]
+
 pub use skycache_algos as algos;
 pub use skycache_core as core;
 pub use skycache_datagen as datagen;

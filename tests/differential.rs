@@ -9,8 +9,7 @@
 //! skyline mismatch.
 
 use skycache::core::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode,
-    SearchStrategy,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy,
 };
 use skycache::datagen::{
     DimStats, Distribution, IndependentWorkload, InteractiveWorkload, SyntheticGen,
@@ -76,11 +75,8 @@ fn independent_queries(table: &Table, n: usize, seed: u64) -> Vec<Constraints> {
 
 #[test]
 fn cbcs_exact_mpr_matches_baseline_interactive_all_distributions() {
-    for dist in [
-        Distribution::Independent,
-        Distribution::Correlated,
-        Distribution::AntiCorrelated,
-    ] {
+    for dist in [Distribution::Independent, Distribution::Correlated, Distribution::AntiCorrelated]
+    {
         let table = table_for(dist, 3, 4_000, 11);
         let queries = interactive_queries(&table, 60, 21);
         let config = CbcsConfig { mpr: MprMode::Exact, ..Default::default() };
@@ -98,10 +94,7 @@ fn cbcs_ampr_matches_baseline_for_all_k() {
     let table = table_for(Distribution::Independent, 4, 4_000, 13);
     let queries = interactive_queries(&table, 50, 23);
     for k in [0, 1, 3, 6, 10] {
-        let config = CbcsConfig {
-            mpr: MprMode::Approximate { k },
-            ..Default::default()
-        };
+        let config = CbcsConfig { mpr: MprMode::Approximate { k }, ..Default::default() };
         assert_matches_baseline(
             &table,
             &queries,
@@ -125,17 +118,9 @@ fn cbcs_matches_baseline_under_every_strategy() {
         SearchStrategy::OptimumDistance,
     ] {
         let label = strategy.label();
-        let config = CbcsConfig {
-            mpr: MprMode::Approximate { k: 2 },
-            strategy,
-            ..Default::default()
-        };
-        assert_matches_baseline(
-            &table,
-            &queries,
-            CbcsExecutor::new(&table, config),
-            &label,
-        );
+        let config =
+            CbcsConfig { mpr: MprMode::Approximate { k: 2 }, strategy, ..Default::default() };
+        assert_matches_baseline(&table, &queries, CbcsExecutor::new(&table, config), &label);
     }
 }
 
@@ -168,15 +153,8 @@ fn bbs_matches_baseline_on_workload() {
 fn cbcs_with_bounded_cache_stays_correct() {
     let table = table_for(Distribution::Independent, 3, 2_000, 29);
     let queries = interactive_queries(&table, 60, 41);
-    for policy in [
-        skycache::core::ReplacementPolicy::Lru,
-        skycache::core::ReplacementPolicy::Lcu,
-    ] {
-        let config = CbcsConfig {
-            capacity: Some(4),
-            policy,
-            ..Default::default()
-        };
+    for policy in [skycache::core::ReplacementPolicy::Lru, skycache::core::ReplacementPolicy::Lcu] {
+        let config = CbcsConfig { capacity: Some(4), policy, ..Default::default() };
         let cbcs = CbcsExecutor::new(&table, config);
         assert_matches_baseline(&table, &queries, cbcs, &format!("{policy:?}-cap4"));
     }

@@ -78,10 +78,7 @@ fn multi_item_never_reads_more_points() {
             *total += cbcs.query(c).unwrap().stats.points_read;
         }
     }
-    assert!(
-        multi_total <= single_total,
-        "multi-item read more: {multi_total} vs {single_total}"
-    );
+    assert!(multi_total <= single_total, "multi-item read more: {multi_total} vs {single_total}");
 }
 
 // ---------------------------------------------------------------------------
@@ -115,13 +112,10 @@ fn dynamic_executor_matches_recomputation_under_churn() {
 
         // The cached answer must equal recomputing from the live data.
         let got = sorted(dynamic.query(c).unwrap().skyline);
-        let live: Vec<Point> =
-            dynamic.table().live_points().map(|(_, p)| p.clone()).collect();
-        let fresh = Table::build(
-            live,
-            TableConfig { cost_model: CostModel::free(), ..Default::default() },
-        )
-        .unwrap();
+        let live: Vec<Point> = dynamic.table().live_points().map(|(_, p)| p.clone()).collect();
+        let fresh =
+            Table::build(live, TableConfig { cost_model: CostModel::free(), ..Default::default() })
+                .unwrap();
         let want = sorted(BaselineExecutor::new(&fresh).query(c).unwrap().skyline);
         assert_eq!(got, want, "query {i} diverged after churn");
     }
@@ -170,13 +164,10 @@ fn delete_of_skyline_point_invalidates_only_affected_items() {
 
     // Re-querying region 1 is correct (recomputed, then re-cached).
     let got = sorted(dynamic.query(&c1).unwrap().skyline);
-    let live: Vec<Point> =
-        dynamic.table().live_points().map(|(_, p)| p.clone()).collect();
-    let fresh = Table::build(
-        live,
-        TableConfig { cost_model: CostModel::free(), ..Default::default() },
-    )
-    .unwrap();
+    let live: Vec<Point> = dynamic.table().live_points().map(|(_, p)| p.clone()).collect();
+    let fresh =
+        Table::build(live, TableConfig { cost_model: CostModel::free(), ..Default::default() })
+            .unwrap();
     let want = sorted(BaselineExecutor::new(&fresh).query(&c1).unwrap().skyline);
     assert_eq!(got, want);
 }

@@ -60,18 +60,13 @@ fn fetch_metrics(stats: &QueryStats) -> [u64; 5] {
 
 #[test]
 fn parallel_cbcs_matches_sequential_skylines_and_fetch_metrics() {
-    for dist in [
-        Distribution::Independent,
-        Distribution::Correlated,
-        Distribution::AntiCorrelated,
-    ] {
+    for dist in [Distribution::Independent, Distribution::Correlated, Distribution::AntiCorrelated]
+    {
         let table = table_for(dist, 3, 4_000, 47);
         let queries = interactive_queries(&table, 60, 53);
         let mut seq = CbcsExecutor::new(&table, CbcsConfig::default());
-        let mut par = CbcsExecutor::new(
-            &table,
-            CbcsConfig { exec: PARALLEL, ..Default::default() },
-        );
+        let mut par =
+            CbcsExecutor::new(&table, CbcsConfig { exec: PARALLEL, ..Default::default() });
         for (i, c) in queries.iter().enumerate() {
             let a = seq.query(c).unwrap();
             let b = par.query(c).unwrap();

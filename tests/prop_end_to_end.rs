@@ -14,15 +14,13 @@ fn coord() -> impl Strategy<Value = f64> {
 }
 
 fn constraints(dims: usize) -> impl Strategy<Value = Constraints> {
-    (
-        prop::collection::vec(coord(), dims),
-        prop::collection::vec(coord(), dims),
-    )
-        .prop_map(|(a, b)| {
+    (prop::collection::vec(coord(), dims), prop::collection::vec(coord(), dims)).prop_map(
+        |(a, b)| {
             let lo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x.min(*y)).collect();
             let hi: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x.max(*y)).collect();
             Constraints::new(lo, hi).expect("ordered")
-        })
+        },
+    )
 }
 
 fn dataset(dims: usize) -> impl Strategy<Value = Vec<Point>> {
@@ -31,8 +29,7 @@ fn dataset(dims: usize) -> impl Strategy<Value = Vec<Point>> {
 }
 
 fn reference(points: &[Point], c: &Constraints) -> Vec<Point> {
-    let constrained: Vec<Point> =
-        points.iter().filter(|p| c.satisfies(p)).cloned().collect();
+    let constrained: Vec<Point> = points.iter().filter(|p| c.satisfies(p)).cloned().collect();
     let mut sky = Sfs.compute(constrained).skyline;
     sky.sort_by_key(|p| p.coords().iter().map(|c| c.to_bits()).collect::<Vec<_>>());
     sky
@@ -44,10 +41,8 @@ fn sorted(mut v: Vec<Point>) -> Vec<Point> {
 }
 
 fn all_distinct(points: &[Point]) -> bool {
-    let mut keys: Vec<Vec<u64>> = points
-        .iter()
-        .map(|p| p.coords().iter().map(|c| c.to_bits()).collect())
-        .collect();
+    let mut keys: Vec<Vec<u64>> =
+        points.iter().map(|p| p.coords().iter().map(|c| c.to_bits()).collect()).collect();
     keys.sort();
     keys.windows(2).all(|w| w[0] != w[1])
 }
@@ -62,7 +57,11 @@ fn dedup(v: Vec<Point>) -> Vec<Point> {
 /// multiset equality for distinct data; with duplicates, a duplicate of a
 /// cached skyline point may be dropped by the MPR (see DESIGN.md,
 /// "Semantics notes"), so equality holds on coordinate *sets*.
-fn assert_skyline_eq(points: &[Point], got: Vec<Point>, want: Vec<Point>) -> Result<(), TestCaseError> {
+fn assert_skyline_eq(
+    points: &[Point],
+    got: Vec<Point>,
+    want: Vec<Point>,
+) -> Result<(), TestCaseError> {
     if all_distinct(points) {
         prop_assert_eq!(sorted(got), sorted(want));
     } else {

@@ -24,15 +24,13 @@ fn dataset() -> impl Strategy<Value = Vec<Point>> {
 }
 
 fn constraints() -> impl Strategy<Value = Constraints> {
-    (
-        prop::collection::vec(coord(), DIMS),
-        prop::collection::vec(coord(), DIMS),
-    )
-        .prop_map(|(a, b)| {
+    (prop::collection::vec(coord(), DIMS), prop::collection::vec(coord(), DIMS)).prop_map(
+        |(a, b)| {
             let lo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x.min(*y)).collect();
             let hi: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x.max(*y)).collect();
             Constraints::new(lo, hi).expect("ordered")
-        })
+        },
+    )
 }
 
 fn sky(points: &[Point], c: &Constraints) -> Vec<Point> {

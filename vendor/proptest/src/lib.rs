@@ -110,10 +110,7 @@ pub mod strategy {
                     return value;
                 }
             }
-            panic!(
-                "prop_filter {:?} rejected {MAX_FILTER_ATTEMPTS} values in a row",
-                self.whence
-            );
+            panic!("prop_filter {:?} rejected {MAX_FILTER_ATTEMPTS} values in a row", self.whence);
         }
     }
 

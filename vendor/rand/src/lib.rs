@@ -190,9 +190,8 @@ pub mod rngs {
 
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
-            let result = (self.s[0].wrapping_add(self.s[3]))
-                .rotate_left(23)
-                .wrapping_add(self.s[0]);
+            let result =
+                (self.s[0].wrapping_add(self.s[3])).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
@@ -266,8 +265,7 @@ mod tests {
     #[test]
     fn unit_floats_cover_the_interval() {
         let mut rng = StdRng::seed_from_u64(13);
-        let mean: f64 =
-            (0..20_000).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / 20_000.0;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 }
