@@ -78,13 +78,14 @@ impl SkylineAlgorithm for ParallelDc {
         let locals: Vec<SkylineOutput> = thread::scope(|s| {
             let handles: Vec<_> = points
                 .chunks(chunk_len)
-                .map(|chunk| s.spawn(move || Sfs.compute(chunk.to_vec())))
+                .map(|chunk| s.spawn(move || Sfs.compute(chunk.to_vec()))) // skylint: allow(hot-path-alloc) — per-worker staging copy, once per chunk
                 .collect();
             handles
                 .into_iter()
                 // join() only fails if a worker panicked; propagating is correct.
                 // skylint: allow(no-panic-paths) — worker panic propagation.
                 .map(|h| h.join().expect("local skyline worker panicked"))
+                // skylint: allow(hot-path-alloc) — gathers one output per worker
                 .collect()
         });
         let mut tests: u64 = locals.iter().map(|o| o.dominance_tests).sum();
@@ -95,7 +96,7 @@ impl SkylineAlgorithm for ParallelDc {
         let mut union = PointBlock::with_capacity(dims, union_len).expect("dims > 0");
         for local in &locals {
             for p in &local.skyline {
-                union.push(p);
+                union.push(p); // skylint: allow(hot-path-alloc) — fills the pre-sized union block
             }
         }
 
@@ -124,18 +125,20 @@ impl SkylineAlgorithm for ParallelDc {
                         (cand, stats.dominance_tests)
                     }))
                 })
+                // skylint: allow(hot-path-alloc) — one spawn handle per worker
                 .collect();
             handles
                 .into_iter()
                 // skylint: allow(no-panic-paths) — join() only fails on a worker panic.
                 .map(|h| h.join().expect("merge filter worker panicked"))
+                // skylint: allow(hot-path-alloc) — gathers one output per worker
                 .collect()
         });
 
-        let mut skyline = Vec::new();
+        let mut skyline = Vec::new(); // skylint: allow(hot-path-alloc) — final result assembly, after the per-point loops
         for (block, block_tests) in filtered {
             tests += block_tests;
-            skyline.extend(block.to_points());
+            skyline.extend(block.to_points()); // skylint: allow(hot-path-alloc) — materializes the owned skyline once
         }
         // Emit in SFS's canonical order (ascending coordinate sum) so a
         // caller caching the result plans the same follow-up regions

@@ -23,7 +23,7 @@ impl PointBlock {
         if dims == 0 {
             return Err(GeomError::ZeroDimensions);
         }
-        Ok(PointBlock { coords: Vec::new(), dims })
+        Ok(PointBlock { coords: Vec::new(), dims }) // skylint: allow(hot-path-alloc) — constructs the buffer itself
     }
 
     /// Creates an empty block with room for `capacity` points.
@@ -43,7 +43,7 @@ impl PointBlock {
         let dims = points.first().map_or(0, Point::dims);
         let mut block = PointBlock::with_capacity(dims, points.len())?;
         for p in points {
-            block.push(p);
+            block.push(p); // skylint: allow(hot-path-alloc) — fills the pre-sized buffer from with_capacity
         }
         Ok(block)
     }
@@ -119,6 +119,7 @@ impl PointBlock {
 
     /// Materializes the block as owned [`Point`]s.
     pub fn to_points(&self) -> Vec<Point> {
+        // skylint: allow(hot-path-alloc) — explicit SoA→AoS materialization boundary
         self.rows().map(|r| Point::new_unchecked(r.to_vec())).collect()
     }
 }

@@ -29,7 +29,7 @@ pub const EPS: f64 = 1e-12;
 /// relies on copied bounds comparing equal *exactly*.
 #[inline]
 pub fn exact_eq(a: f64, b: f64) -> bool {
-    // skylint: allow(determinism) — this helper IS the audited comparison site.
+    // Deliberately spelled raw: this helper IS the audited comparison site.
     a == b
 }
 

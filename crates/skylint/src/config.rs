@@ -132,6 +132,11 @@ impl Config {
     pub fn contains(&self, key: &str) -> bool {
         self.values.contains_key(key)
     }
+
+    /// All `section.key` names present, sorted (for strict validation).
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.values.keys()
+    }
 }
 
 /// Strips a trailing `# comment` that is not inside a quoted string.

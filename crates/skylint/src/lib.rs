@@ -14,9 +14,17 @@
 //!   cache, `// SAFETY:` on every unsafe block;
 //! * **api-hygiene** — lint headers and a documented public surface.
 //!
-//! The analysis is a hand-rolled lexer plus token-pattern rules — no
-//! `syn`, no network dependencies — consistent with this workspace's
-//! vendored-offline build (see `vendor/README.md`). Run it with:
+//! The analysis is a hand-rolled lexer, a lossless recursive-descent
+//! parser over the token stream, a per-file symbol/event extraction pass
+//! and a workspace call graph — no `syn`, no network dependencies —
+//! consistent with this workspace's vendored-offline build (see
+//! `vendor/README.md`). On top of the call graph run four dataflow rule
+//! families: **lock-order** (inter-procedural lock-acquisition graph,
+//! cycle detection, annotation verification), **panic-reachability**
+//! (transitive may-panic facts into public APIs), **hot-path-alloc**
+//! (allocation machinery reachable from designated kernels) and
+//! **dead-allow** (escape comments that no longer suppress anything).
+//! Run it with:
 //!
 //! ```text
 //! cargo run -p skylint -- check
@@ -25,19 +33,23 @@
 //!
 //! Policy knobs live in `skylint.toml` at the repository root; per-line
 //! escapes use `// skylint: allow(<rule>) — <justification>`. See
-//! DESIGN.md §9 for the rationale of every rule.
+//! DESIGN.md §9–§10 for the rationale of every rule.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 #![warn(rust_2018_idioms)]
 
+pub mod ast;
+pub mod callgraph;
 pub mod config;
 pub mod engine;
 pub mod lexer;
 pub mod model;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 
 pub use config::Config;
-pub use engine::{scan, scan_source, Policy, ScanOutcome};
+pub use engine::{scan, scan_source, Policy, ScanError, ScanOutcome};
 pub use report::Finding;

@@ -4,6 +4,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use skylint::engine::validate_config;
 use skylint::report::{render_bench, render_human, render_json};
 use skylint::rules::{explain, RULE_IDS};
 use skylint::{scan, Config, Policy};
@@ -98,6 +99,13 @@ fn check(args: &[String]) -> ExitCode {
     } else {
         Config::default()
     };
+    let config_errors = validate_config(&cfg);
+    if !config_errors.is_empty() {
+        for e in &config_errors {
+            eprintln!("skylint: {e}");
+        }
+        return ExitCode::from(2);
+    }
     let policy = Policy::from_config(&cfg);
 
     let t0 = Instant::now();
@@ -111,13 +119,7 @@ fn check(args: &[String]) -> ExitCode {
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     if let Some(path) = bench_out {
-        let record = render_bench(
-            outcome.files_scanned,
-            outcome.lines_scanned,
-            &RULE_IDS,
-            outcome.findings.len(),
-            wall_ms,
-        );
+        let record = render_bench(&outcome, &RULE_IDS, wall_ms);
         if let Err(e) = std::fs::write(&path, record) {
             eprintln!("skylint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
@@ -125,14 +127,16 @@ fn check(args: &[String]) -> ExitCode {
     }
 
     if json {
-        print!("{}", render_json(&outcome.findings));
+        print!("{}", render_json(&outcome, &RULE_IDS));
     } else if !outcome.findings.is_empty() {
         print!("{}", render_human(&outcome.findings));
     } else if !quiet {
         println!(
-            "skylint: clean — {} files, {} lines, {} rules, {:.1} ms",
+            "skylint: clean — {} files, {} lines, {} fns, {} call edges, {} rules, {:.1} ms",
             outcome.files_scanned,
             outcome.lines_scanned,
+            outcome.functions_analyzed,
+            outcome.call_edges,
             RULE_IDS.len(),
             wall_ms
         );

@@ -8,10 +8,15 @@
 //! 2. **Allow annotations** — `// skylint: allow(rule-id[, rule-id…]) — why`
 //!    comments suppress findings of those rules on the comment's own line
 //!    and on the line immediately below, mirroring `#[allow]` placement.
+//!    Only plain `//` comments participate; the syntax is validated and a
+//!    malformed annotation is a hard configuration error, not a silent
+//!    no-op. Every suppression is recorded so the `dead-allow` rule can
+//!    report annotations that no longer suppress anything.
 //! 3. **Function spans** — which tokens belong to which `fn` body, used by
 //!    the lock-order check to reason per function.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{lex, TokKind, Token};
 
@@ -26,11 +31,16 @@ pub struct SourceModel {
     /// `allow` annotations: line → rule ids suppressed on that line and
     /// the next.
     pub allows: BTreeMap<u32, Vec<String>>,
+    /// Malformed `skylint:` annotations: (line, problem description).
+    pub malformed_allows: Vec<(u32, String)>,
     /// Inclusive line ranges covered by `#[cfg(test)]` modules.
     pub test_line_ranges: Vec<(u32, u32)>,
     /// Token-index ranges `[start, end)` of function bodies, with the
     /// function name (innermost functions listed after their parents).
     pub fn_spans: Vec<FnSpan>,
+    /// `(annotation line, rule)` pairs that suppressed at least one
+    /// finding this scan — the complement feeds `dead-allow`.
+    pub hits: RefCell<BTreeSet<(u32, String)>>,
 }
 
 /// A function body's token range.
@@ -48,10 +58,19 @@ impl SourceModel {
     pub fn build(path: String, src: &str) -> SourceModel {
         let tokens = lex(src);
         let lines = src.lines().map(str::to_owned).collect();
-        let allows = collect_allows(&tokens);
+        let (allows, malformed_allows) = collect_allows(&tokens);
         let test_line_ranges = collect_test_regions(&tokens);
         let fn_spans = collect_fn_spans(&tokens);
-        SourceModel { path, lines, tokens, allows, test_line_ranges, fn_spans }
+        SourceModel {
+            path,
+            lines,
+            tokens,
+            allows,
+            malformed_allows,
+            test_line_ranges,
+            fn_spans,
+            hits: RefCell::new(BTreeSet::new()),
+        }
     }
 
     /// Whether `line` is inside a `#[cfg(test)]` module.
@@ -59,10 +78,21 @@ impl SourceModel {
         self.test_line_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
     }
 
-    /// Whether findings of `rule` are suppressed at `line`.
+    /// Whether findings of `rule` are suppressed at `line`. A positive
+    /// answer marks the annotation as live for `dead-allow`.
     pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
-        let hit = |l: u32| self.allows.get(&l).is_some_and(|rules| rules.iter().any(|r| r == rule));
-        hit(line) || (line > 1 && hit(line - 1))
+        let hit = |l: u32| {
+            let covers = self.allows.get(&l).is_some_and(|rules| rules.iter().any(|r| r == rule));
+            if covers {
+                self.hits.borrow_mut().insert((l, rule.to_owned()));
+            }
+            covers
+        };
+        // Evaluate both placements so a redundant double annotation does
+        // not leave one of them looking dead.
+        let same = hit(line);
+        let above = line > 1 && hit(line - 1);
+        same || above
     }
 
     /// The trimmed source line for a finding snippet.
@@ -78,27 +108,77 @@ impl SourceModel {
     pub fn comment_near(&self, line: u32, needle: &str) -> Option<&str> {
         // Line comments sit on one line; that is the only shape the
         // annotations use, so a per-line scan of comment tokens suffices.
-        self.tokens
-            .iter()
-            .filter(|t| t.is_comment())
-            .filter(|t| t.line == line || t.line + 1 == line)
-            .find(|t| t.text.contains(needle))
-            .map(|t| t.text.as_str())
+        // A same-line (trailing) comment wins over one on the line above:
+        // the line above may end in the previous statement's own trailing
+        // annotation, which must not bleed onto this site.
+        let on = |l: u32| {
+            self.tokens
+                .iter()
+                .filter(|t| t.is_comment() && t.line == l)
+                .find(|t| t.text.contains(needle))
+                .map(|t| t.text.as_str())
+        };
+        on(line).or_else(|| line.checked_sub(1).and_then(on))
     }
 }
 
 /// Extracts `skylint: allow(rule[, rule])` annotations from comments.
-fn collect_allows(tokens: &[Token]) -> BTreeMap<u32, Vec<String>> {
+///
+/// Only plain `//` line comments participate (`///` and `//!` doc text
+/// mentioning the syntax is prose, not an annotation), and only when the
+/// comment's content *starts with* `skylint:`. Anything after that prefix
+/// that is not a well-formed `allow(<kebab-ids>)` — optionally followed
+/// by a justification — is reported as malformed, which the engine turns
+/// into a hard configuration error.
+/// Allow map (line → suppressed rule ids) plus malformed annotations.
+type AllowIndex = (BTreeMap<u32, Vec<String>>, Vec<(u32, String)>);
+
+fn collect_allows(tokens: &[Token]) -> AllowIndex {
     let mut map: BTreeMap<u32, Vec<String>> = BTreeMap::new();
-    for t in tokens.iter().filter(|t| t.is_comment()) {
-        let Some(idx) = t.text.find("skylint: allow(") else { continue };
-        let rest = &t.text[idx + "skylint: allow(".len()..];
-        let Some(close) = rest.find(')') else { continue };
-        for rule in rest[..close].split(',') {
-            map.entry(t.line).or_default().push(rule.trim().to_owned());
+    let mut malformed: Vec<(u32, String)> = Vec::new();
+    for t in tokens.iter().filter(|t| t.kind == TokKind::LineComment) {
+        let body = t.text.strip_prefix("//").unwrap_or(&t.text);
+        if body.starts_with('/') || body.starts_with('!') {
+            continue; // doc comment — prose, never an annotation
+        }
+        let Some(rest) = body.trim_start().strip_prefix("skylint:") else { continue };
+        match parse_allow_body(rest.trim_start()) {
+            Ok(rules) => map.entry(t.line).or_default().extend(rules),
+            Err(msg) => malformed.push((t.line, msg)),
         }
     }
-    map
+    (map, malformed)
+}
+
+/// Parses the part after `skylint:` — must be `allow(<ids>)` plus an
+/// optional justification tail.
+fn parse_allow_body(body: &str) -> Result<Vec<String>, String> {
+    let Some(args) = body.strip_prefix("allow(") else {
+        return Err(format!(
+            "expected `allow(<rule-id>[, <rule-id>…])` after `skylint:`, found `{}`",
+            body.trim()
+        ));
+    };
+    let Some(close) = args.find(')') else {
+        return Err("unclosed `allow(` — missing `)`".to_owned());
+    };
+    let list = &args[..close];
+    if list.trim().is_empty() {
+        return Err("empty rule list in `allow()`".to_owned());
+    }
+    let mut rules = Vec::new();
+    for raw in list.split(',') {
+        let rule = raw.trim();
+        let kebab = !rule.is_empty()
+            && rule.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+            && !rule.starts_with('-')
+            && !rule.ends_with('-');
+        if !kebab {
+            return Err(format!("`{rule}` is not a kebab-case rule id"));
+        }
+        rules.push(rule.to_owned());
+    }
+    Ok(rules)
 }
 
 /// Finds `#[cfg(test)] … mod name { … }` line spans.
@@ -307,6 +387,38 @@ mod tests {
         assert!(m.is_allowed("no-panic-paths", 4));
         assert!(!m.is_allowed("determinism", 2));
         assert!(!m.is_allowed("determinism", 5));
+    }
+
+    #[test]
+    fn doc_comments_are_not_annotations() {
+        let src = "//! escapes use `// skylint: allow(<rule>) — why`\n/// skylint: allow(determinism)\nfn f() {}\n";
+        let m = SourceModel::build("x.rs".into(), src);
+        assert!(m.allows.is_empty());
+        assert!(m.malformed_allows.is_empty());
+    }
+
+    #[test]
+    fn malformed_annotations_are_reported() {
+        let src = "// skylint: allow no-panic-paths\nx();\n// skylint: allow()\ny();\n// skylint: allow(Bad_Case)\nz();\n// skylint: allow(open\n";
+        let m = SourceModel::build("x.rs".into(), src);
+        let lines: Vec<u32> = m.malformed_allows.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![1, 3, 5, 7]);
+        assert!(m.malformed_allows[0].1.contains("expected `allow("));
+        assert!(m.malformed_allows[1].1.contains("empty rule list"));
+        assert!(m.malformed_allows[2].1.contains("kebab-case"));
+        assert!(m.malformed_allows[3].1.contains("missing `)`"));
+        assert!(m.allows.is_empty());
+    }
+
+    #[test]
+    fn suppressions_record_hits_for_dead_allow() {
+        let src = "// skylint: allow(no-panic-paths) — ok\nfoo().unwrap();\n// skylint: allow(determinism) — stale\nbar();\n";
+        let m = SourceModel::build("x.rs".into(), src);
+        assert!(m.is_allowed("no-panic-paths", 2));
+        assert!(!m.is_allowed("determinism", 1));
+        let hits = m.hits.borrow();
+        assert!(hits.contains(&(1, "no-panic-paths".to_owned())));
+        assert!(!hits.iter().any(|(l, _)| *l == 3));
     }
 
     #[test]

@@ -1,0 +1,747 @@
+//! Lossless recursive-descent parser over the lexer's token stream.
+//!
+//! The parser recognises exactly the structure the semantic rules need —
+//! items, functions, blocks, `impl`/`trait`/`mod` nesting — and leaves
+//! everything else (expressions, types, attributes, comments) as loose
+//! tokens inside the enclosing node's span. Because every node is a
+//! token-index [`Span`] and children tile sub-ranges of their parent,
+//! [`reemit`] can reproduce the original token stream exactly; the
+//! round-trip selftest (`tests/roundtrip.rs`) pins that property against
+//! every `.rs` file in the workspace, so the AST can never silently drop
+//! code from analysis.
+//!
+//! Disambiguation notes (the spots where token-level Rust is tricky):
+//!
+//! * `fn` inside a block is a nested item only when followed by an
+//!   identifier — `as fn(&Scale) -> Vec<f64>` and `let f: fn(u32)` keep
+//!   `fn` as a loose type token;
+//! * `const` is a qualifier when followed by `fn`/`unsafe`/`async`/
+//!   `extern`, an item otherwise;
+//! * `impl` self types stop at `where`, and `for<'a>` higher-ranked
+//!   binders do not count as the trait/type separator;
+//! * `<<`/`>>` are single tokens and bump angle depth by two.
+
+use crate::ast::{Block, BlockChild, File, FnItem, Item, ItemKind, Span};
+use crate::lexer::{TokKind, Token};
+
+/// Parses a full token stream into a [`File`].
+pub fn parse(tokens: &[Token]) -> File {
+    let p = Parser { toks: tokens };
+    let items = p.items_in(0, tokens.len());
+    File { span: Span { lo: 0, hi: tokens.len() }, items }
+}
+
+/// Walks `file` and returns the token indexes in emission order. Lossless
+/// parsing means this is exactly `0..tokens.len()`; the round-trip tests
+/// assert that.
+pub fn reemit(file: &File) -> Vec<usize> {
+    let mut out = Vec::new();
+    emit_items(file.span, &file.items, &mut out);
+    out
+}
+
+fn emit_items(span: Span, items: &[Item], out: &mut Vec<usize>) {
+    let mut i = span.lo;
+    for item in items {
+        while i < item.span.lo {
+            out.push(i);
+            i += 1;
+        }
+        emit_item(item, out);
+        i = item.span.hi;
+    }
+    while i < span.hi {
+        out.push(i);
+        i += 1;
+    }
+}
+
+fn emit_item(item: &Item, out: &mut Vec<usize>) {
+    match &item.kind {
+        ItemKind::Fn(f) => match &f.body {
+            Some(body) => {
+                let mut i = item.span.lo;
+                while i < body.span.lo {
+                    out.push(i);
+                    i += 1;
+                }
+                emit_block(body, out);
+                i = body.span.hi;
+                while i < item.span.hi {
+                    out.push(i);
+                    i += 1;
+                }
+            }
+            None => emit_items(item.span, &[], out),
+        },
+        ItemKind::Mod { items, .. }
+        | ItemKind::Impl { items, .. }
+        | ItemKind::Trait { items, .. } => emit_items(item.span, items, out),
+        ItemKind::Other => emit_items(item.span, &[], out),
+    }
+}
+
+fn emit_block(block: &Block, out: &mut Vec<usize>) {
+    let mut i = block.span.lo;
+    for c in &block.children {
+        let (lo, hi) = match c {
+            BlockChild::Block(b) => (b.span.lo, b.span.hi),
+            BlockChild::Item(it) => (it.span.lo, it.span.hi),
+        };
+        while i < lo {
+            out.push(i);
+            i += 1;
+        }
+        match c {
+            BlockChild::Block(b) => emit_block(b, out),
+            BlockChild::Item(it) => emit_item(it, out),
+        }
+        i = hi;
+    }
+    while i < block.span.hi {
+        out.push(i);
+        i += 1;
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+}
+
+impl Parser<'_> {
+    /// First non-comment token index in `[i, hi)`.
+    fn code_from(&self, i: usize, hi: usize) -> Option<usize> {
+        (i..hi).find(|&j| !self.toks[j].is_comment())
+    }
+
+    /// Parses items until `hi`, leaving unrecognised tokens loose.
+    fn items_in(&self, lo: usize, hi: usize) -> Vec<Item> {
+        let mut items = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.is_comment() {
+                i += 1;
+                continue;
+            }
+            if t.is_op("#") {
+                i = self.skip_attr(i, hi);
+                continue;
+            }
+            match self.item_at(i, hi) {
+                Some(item) => {
+                    i = item.span.hi;
+                    items.push(item);
+                }
+                None => i += 1,
+            }
+        }
+        items
+    }
+
+    /// Tries to parse one item starting at non-comment token `start`.
+    fn item_at(&self, start: usize, hi: usize) -> Option<Item> {
+        let line = self.toks[start].line;
+        let mut i = start;
+        let mut is_pub = false;
+        if self.toks[i].is_ident("pub") {
+            let mut j = self.code_from(i + 1, hi)?;
+            if self.toks[j].is_op("(") {
+                // pub(crate) / pub(super) / pub(in path): restricted, not
+                // public API.
+                j = self.match_delim(j, hi, "(", ")") + 1;
+                j = self.code_from(j, hi)?;
+            } else {
+                is_pub = true;
+            }
+            i = j;
+        }
+        // Qualifier keywords before the item keyword.
+        loop {
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident {
+                return None;
+            }
+            match t.text.as_str() {
+                "unsafe" | "async" | "default" => i = self.code_from(i + 1, hi)?,
+                "const" => {
+                    let j = self.code_from(i + 1, hi)?;
+                    if matches!(self.toks[j].text.as_str(), "fn" | "unsafe" | "async" | "extern")
+                        && self.toks[j].kind == TokKind::Ident
+                    {
+                        i = j; // `const fn` qualifier
+                    } else {
+                        // `const NAME: T = …;` item.
+                        let end = self.skip_to_semi(i, hi);
+                        return Some(Item {
+                            span: Span { lo: start, hi: end },
+                            line,
+                            is_pub,
+                            kind: ItemKind::Other,
+                        });
+                    }
+                }
+                "extern" => {
+                    let j = self.code_from(i + 1, hi)?;
+                    if self.toks[j].kind == TokKind::Literal {
+                        let k = self.code_from(j + 1, hi)?;
+                        if self.toks[k].is_op("{") {
+                            // Foreign module `extern "C" { … }`.
+                            let close = self.match_delim(k, hi, "{", "}");
+                            return Some(Item {
+                                span: Span { lo: start, hi: close + 1 },
+                                line,
+                                is_pub,
+                                kind: ItemKind::Other,
+                            });
+                        }
+                        i = k; // `extern "C" fn`
+                    } else {
+                        // `extern crate name;`
+                        let end = self.skip_to_semi(i, hi);
+                        return Some(Item {
+                            span: Span { lo: start, hi: end },
+                            line,
+                            is_pub,
+                            kind: ItemKind::Other,
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+        let t = &self.toks[i];
+        match t.text.as_str() {
+            "fn" => self.fn_item(start, i, hi, is_pub),
+            "mod" => self.mod_item(start, i, hi, is_pub),
+            "impl" => self.impl_item(start, i, hi, is_pub),
+            "trait" => self.trait_item(start, i, hi, is_pub),
+            "struct" | "enum" | "union" => {
+                // `union` is contextual: only an item when followed by a name.
+                if t.text == "union" {
+                    let j = self.code_from(i + 1, hi)?;
+                    if self.toks[j].kind != TokKind::Ident {
+                        return None;
+                    }
+                }
+                let end = self.skip_type_item(i, hi);
+                Some(Item {
+                    span: Span { lo: start, hi: end },
+                    line,
+                    is_pub,
+                    kind: ItemKind::Other,
+                })
+            }
+            "use" | "type" | "static" => {
+                let end = self.skip_to_semi(i, hi);
+                Some(Item {
+                    span: Span { lo: start, hi: end },
+                    line,
+                    is_pub,
+                    kind: ItemKind::Other,
+                })
+            }
+            "macro_rules" => {
+                let end = self.skip_macro_invocation(i, hi);
+                Some(Item {
+                    span: Span { lo: start, hi: end },
+                    line,
+                    is_pub,
+                    kind: ItemKind::Other,
+                })
+            }
+            _ => {
+                // Item-position macro invocation: `name! { … }` / `name!(…);`.
+                let j = self.code_from(i + 1, hi)?;
+                if t.kind == TokKind::Ident && self.toks[j].is_op("!") {
+                    let end = self.skip_macro_invocation(i, hi);
+                    return Some(Item {
+                        span: Span { lo: start, hi: end },
+                        line,
+                        is_pub,
+                        kind: ItemKind::Other,
+                    });
+                }
+                None
+            }
+        }
+    }
+
+    fn fn_item(&self, start: usize, kw: usize, hi: usize, is_pub: bool) -> Option<Item> {
+        let line = self.toks[start].line;
+        let name_i = self.code_from(kw + 1, hi)?;
+        if self.toks[name_i].kind != TokKind::Ident {
+            return None; // `fn` in type position (`as fn(…)`) — loose token
+        }
+        let name = self.toks[name_i].text.clone();
+        let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+        let mut j = name_i + 1;
+        while j < hi {
+            let t = &self.toks[j];
+            if !t.is_comment() {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "<" if t.kind == TokKind::Op => angle += 1,
+                    ">" if t.kind == TokKind::Op => angle -= 1,
+                    "<<" if t.kind == TokKind::Op => angle += 2,
+                    ">>" if t.kind == TokKind::Op => angle -= 2,
+                    ";" if paren == 0 && bracket == 0 => {
+                        // Bodiless signature (trait method, foreign fn).
+                        let kind = ItemKind::Fn(FnItem { name, body: None });
+                        return Some(Item {
+                            span: Span { lo: start, hi: j + 1 },
+                            line,
+                            is_pub,
+                            kind,
+                        });
+                    }
+                    "{" if paren == 0 && bracket == 0 && angle <= 0 => {
+                        let body = self.block_at(j, hi);
+                        let end = body.span.hi;
+                        let kind = ItemKind::Fn(FnItem { name, body: Some(body) });
+                        return Some(Item {
+                            span: Span { lo: start, hi: end },
+                            line,
+                            is_pub,
+                            kind,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let kind = ItemKind::Fn(FnItem { name, body: None });
+        Some(Item { span: Span { lo: start, hi }, line, is_pub, kind })
+    }
+
+    fn mod_item(&self, start: usize, kw: usize, hi: usize, is_pub: bool) -> Option<Item> {
+        let line = self.toks[start].line;
+        let name_i = self.code_from(kw + 1, hi)?;
+        let name = self.toks[name_i].text.clone();
+        let next = self.code_from(name_i + 1, hi)?;
+        if self.toks[next].is_op("{") {
+            let close = self.match_delim(next, hi, "{", "}");
+            let items = self.items_in(next + 1, close);
+            let kind = ItemKind::Mod { name, items };
+            Some(Item { span: Span { lo: start, hi: close + 1 }, line, is_pub, kind })
+        } else {
+            // Outline `mod name;`.
+            let end = self.skip_to_semi(kw, hi);
+            Some(Item { span: Span { lo: start, hi: end }, line, is_pub, kind: ItemKind::Other })
+        }
+    }
+
+    fn impl_item(&self, start: usize, kw: usize, hi: usize, is_pub: bool) -> Option<Item> {
+        let line = self.toks[start].line;
+        let mut i = self.code_from(kw + 1, hi)?;
+        if self.toks[i].is_op("<") || self.toks[i].is_op("<<") {
+            i = self.skip_angles(i, hi);
+        }
+        // Collect top-level path segments of the header until `{`; the self
+        // type is the last segment collected — segments after `for` when a
+        // trait impl, before it otherwise. `where` ends collection.
+        let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+        let mut last_seg = String::new();
+        let mut collecting = true;
+        while i < hi {
+            let t = &self.toks[i];
+            if !t.is_comment() {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "<" if t.kind == TokKind::Op => angle += 1,
+                    ">" if t.kind == TokKind::Op => angle -= 1,
+                    "<<" if t.kind == TokKind::Op => angle += 2,
+                    ">>" if t.kind == TokKind::Op => angle -= 2,
+                    "{" if paren == 0 && bracket == 0 && angle <= 0 => {
+                        let close = self.match_delim(i, hi, "{", "}");
+                        let items = self.items_in(i + 1, close);
+                        let kind = ItemKind::Impl { self_ty: last_seg, items };
+                        return Some(Item {
+                            span: Span { lo: start, hi: close + 1 },
+                            line,
+                            is_pub,
+                            kind,
+                        });
+                    }
+                    "where" if t.kind == TokKind::Ident => collecting = false,
+                    "for" if t.kind == TokKind::Ident && angle == 0 && paren == 0 => {
+                        // `for<'a>` is a binder, not the trait/type separator.
+                        let next = self.code_from(i + 1, hi);
+                        let hrtb = next.is_some_and(|n| self.toks[n].is_op("<"));
+                        if !hrtb {
+                            last_seg.clear();
+                        }
+                    }
+                    _ => {
+                        if collecting
+                            && t.kind == TokKind::Ident
+                            && angle == 0
+                            && paren == 0
+                            && bracket == 0
+                            && !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "as")
+                        {
+                            last_seg = t.text.clone();
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn trait_item(&self, start: usize, kw: usize, hi: usize, is_pub: bool) -> Option<Item> {
+        let line = self.toks[start].line;
+        let name_i = self.code_from(kw + 1, hi)?;
+        let name = self.toks[name_i].text.clone();
+        let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+        let mut i = name_i + 1;
+        while i < hi {
+            let t = &self.toks[i];
+            if !t.is_comment() {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "<" if t.kind == TokKind::Op => angle += 1,
+                    ">" if t.kind == TokKind::Op => angle -= 1,
+                    "<<" if t.kind == TokKind::Op => angle += 2,
+                    ">>" if t.kind == TokKind::Op => angle -= 2,
+                    ";" if paren == 0 && bracket == 0 => {
+                        // Trait alias `trait A = B;` — no body.
+                        return Some(Item {
+                            span: Span { lo: start, hi: i + 1 },
+                            line,
+                            is_pub,
+                            kind: ItemKind::Other,
+                        });
+                    }
+                    "{" if paren == 0 && bracket == 0 && angle <= 0 => {
+                        let close = self.match_delim(i, hi, "{", "}");
+                        let items = self.items_in(i + 1, close);
+                        let kind = ItemKind::Trait { name, items };
+                        return Some(Item {
+                            span: Span { lo: start, hi: close + 1 },
+                            line,
+                            is_pub,
+                            kind,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// `{ … }` with nested blocks and nested `fn` items as children.
+    fn block_at(&self, open: usize, hi: usize) -> Block {
+        let mut children = Vec::new();
+        let mut i = open + 1;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.is_comment() {
+                i += 1;
+                continue;
+            }
+            if t.is_op("{") {
+                let b = self.block_at(i, hi);
+                i = b.span.hi;
+                children.push(BlockChild::Block(b));
+            } else if t.is_op("}") {
+                return Block { span: Span { lo: open, hi: i + 1 }, children };
+            } else if t.is_ident("fn")
+                && self.code_from(i + 1, hi).is_some_and(|j| self.toks[j].kind == TokKind::Ident)
+            {
+                match self.item_at(i, hi) {
+                    Some(item) => {
+                        i = item.span.hi;
+                        children.push(BlockChild::Item(item));
+                    }
+                    None => i += 1,
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Block { span: Span { lo: open, hi }, children }
+    }
+
+    /// `struct`/`enum`/`union`: span ends at `;` (unit/tuple struct) or at
+    /// the matching `}` of the body.
+    fn skip_type_item(&self, kw: usize, hi: usize) -> usize {
+        let (mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32);
+        let mut i = kw + 1;
+        while i < hi {
+            let t = &self.toks[i];
+            if !t.is_comment() {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "<" if t.kind == TokKind::Op => angle += 1,
+                    ">" if t.kind == TokKind::Op => angle -= 1,
+                    "<<" if t.kind == TokKind::Op => angle += 2,
+                    ">>" if t.kind == TokKind::Op => angle -= 2,
+                    ";" if paren == 0 && bracket == 0 => return i + 1,
+                    "{" if paren == 0 && bracket == 0 && angle <= 0 => {
+                        return self.match_delim(i, hi, "{", "}") + 1;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        hi
+    }
+
+    /// Scans to the `;` closing an expression-free item (`use`, `const`,
+    /// `static`, `type`, outline `mod`), brace/paren/bracket aware so
+    /// `use a::{b, c};` and struct-literal constants survive.
+    fn skip_to_semi(&self, from: usize, hi: usize) -> usize {
+        let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+        let mut i = from;
+        while i < hi {
+            let t = &self.toks[i];
+            if !t.is_comment() {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" => brace += 1,
+                    "}" => brace -= 1,
+                    ";" if paren == 0 && bracket == 0 && brace == 0 => return i + 1,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        hi
+    }
+
+    /// `name!(…)`, `name![…]` (plus trailing `;`) or `name! { … }`, and
+    /// `macro_rules! name { … }`.
+    fn skip_macro_invocation(&self, from: usize, hi: usize) -> usize {
+        let mut i = from;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.is_op("{") {
+                return self.match_delim(i, hi, "{", "}") + 1;
+            }
+            if t.is_op("(") || t.is_op("[") {
+                let (open, close) = if t.is_op("(") { ("(", ")") } else { ("[", "]") };
+                let end = self.match_delim(i, hi, open, close) + 1;
+                let semi = self.code_from(end, hi);
+                return match semi {
+                    Some(s) if self.toks[s].is_op(";") => s + 1,
+                    _ => end,
+                };
+            }
+            if t.is_op(";") {
+                return i + 1;
+            }
+            i += 1;
+        }
+        hi
+    }
+
+    /// Index of the token matching `open_text` at `open` (depth-counted);
+    /// `hi - 1` when unterminated.
+    fn match_delim(&self, open: usize, hi: usize, open_text: &str, close_text: &str) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.is_op(open_text) {
+                depth += 1;
+            } else if t.is_op(close_text) {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        hi.saturating_sub(1)
+    }
+
+    /// Skips a generic parameter list starting at `<`, returning the index
+    /// after the matching `>`.
+    fn skip_angles(&self, open: usize, hi: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Op {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    "<<" => depth += 2,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+                if depth <= 0 && (t.text == ">" || t.text == ">>") {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        hi
+    }
+
+    /// Skips `#[…]` / `#![…]`, returning the index after `]`.
+    fn skip_attr(&self, at: usize, hi: usize) -> usize {
+        let mut i = at + 1;
+        while i < hi && (self.toks[i].is_comment() || self.toks[i].is_op("!")) {
+            i += 1;
+        }
+        if i < hi && self.toks[i].is_op("[") {
+            self.match_delim(i, hi, "[", "]") + 1
+        } else {
+            at + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn roundtrip(src: &str) -> File {
+        let toks = lex(src);
+        let file = parse(&toks);
+        let order = reemit(&file);
+        let expect: Vec<usize> = (0..toks.len()).collect();
+        assert_eq!(order, expect, "re-emit must be the identity on:\n{src}");
+        file
+    }
+
+    fn fn_names(items: &[Item]) -> Vec<String> {
+        let mut out = Vec::new();
+        for it in items {
+            match &it.kind {
+                ItemKind::Fn(f) => out.push(f.name.clone()),
+                ItemKind::Mod { items, .. }
+                | ItemKind::Impl { items, .. }
+                | ItemKind::Trait { items, .. } => out.extend(fn_names(items)),
+                ItemKind::Other => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn items_functions_and_impls() {
+        let file = roundtrip(
+            "//! docs\n\
+             use std::fmt;\n\
+             pub struct S { pub x: u32 }\n\
+             impl S {\n    pub fn get(&self) -> u32 { self.x }\n}\n\
+             impl fmt::Display for S {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, \"{}\", self.x) }\n}\n\
+             pub fn free() {}\n",
+        );
+        assert_eq!(fn_names(&file.items), vec!["get", "fmt", "free"]);
+        let self_tys: Vec<&str> = file
+            .items
+            .iter()
+            .filter_map(|it| match &it.kind {
+                ItemKind::Impl { self_ty, .. } => Some(self_ty.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(self_tys, vec!["S", "S"]);
+    }
+
+    #[test]
+    fn nested_fns_are_items_fn_types_are_not() {
+        let file = roundtrip(
+            "fn outer() {\n\
+                 fn inner(x: u32) -> u32 { x }\n\
+                 let g = inner as fn(u32) -> u32;\n\
+                 let h: fn(u32) -> u32 = g;\n\
+                 inner(h(1));\n\
+             }\n",
+        );
+        assert_eq!(fn_names(&file.items), vec!["outer"]);
+        let ItemKind::Fn(f) = &file.items[0].kind else { panic!("not a fn") };
+        let body = f.body.as_ref().unwrap();
+        let nested: Vec<&str> = body
+            .children
+            .iter()
+            .filter_map(|c| match c {
+                BlockChild::Item(it) => match &it.kind {
+                    ItemKind::Fn(f) => Some(f.name.as_str()),
+                    _ => None,
+                },
+                BlockChild::Block(_) => None,
+            })
+            .collect();
+        assert_eq!(nested, vec!["inner"]);
+    }
+
+    #[test]
+    fn traits_mods_and_generics() {
+        let file = roundtrip(
+            "mod outer {\n\
+                 pub mod inner {\n\
+                     pub trait T: Clone {\n\
+                         fn sig(&self) -> usize;\n\
+                         fn dflt(&self) -> usize { self.sig() + 1 }\n\
+                     }\n\
+                 }\n\
+             }\n\
+             impl<K: Ord, V> Wrapper<K, V> {\n\
+                 fn generic(&self) -> Option<Vec<V>> { None }\n\
+             }\n",
+        );
+        assert_eq!(fn_names(&file.items), vec!["sig", "dflt", "generic"]);
+        let ItemKind::Mod { name, items } = &file.items[0].kind else { panic!("not a mod") };
+        assert_eq!(name, "outer");
+        let ItemKind::Mod { name: inner, .. } = &items[0].kind else { panic!("not a mod") };
+        assert_eq!(inner, "inner");
+    }
+
+    #[test]
+    fn impl_self_ty_with_trait_generics_and_where() {
+        let src = "impl<T> Index<usize> for Grid<T> where T: Copy { fn index(&self, _: usize) -> &T { &self.0 } }";
+        let file = roundtrip(src);
+        let ItemKind::Impl { self_ty, .. } = &file.items[0].kind else { panic!("not an impl") };
+        assert_eq!(self_ty, "Grid");
+    }
+
+    #[test]
+    fn const_static_use_macros_are_spanned_items() {
+        roundtrip(
+            "const LIMIT: usize = compute([1, 2].len());\n\
+             static TABLE: [u8; 2] = [0, 1];\n\
+             use a::{b, c};\n\
+             macro_rules! m { ($x:expr) => { $x + 1 }; }\n\
+             thread_local! { static TL: u32 = 0; }\n\
+             vec_like!(a, b);\n\
+             fn after() {}\n",
+        );
+    }
+
+    #[test]
+    fn fn_with_angle_heavy_signature() {
+        let file = roundtrip(
+            "fn shifty(x: Vec<Vec<u8>>) -> Result<Vec<u8>, Box<dyn std::error::Error>> {\n\
+                 let y = 1 << 2;\n\
+                 x.into_iter().next().ok_or_else(|| \"e\".into())\n\
+             }\n",
+        );
+        assert_eq!(fn_names(&file.items), vec!["shifty"]);
+    }
+}

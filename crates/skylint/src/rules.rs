@@ -1,8 +1,10 @@
-//! The four policy rule families.
+//! The policy rule families.
 //!
 //! Every rule reports findings as `(rule-id, line, message)` against a
 //! [`SourceModel`]; the engine handles allow-annotations, test-region
 //! exemptions and path scoping before a finding becomes user-visible.
+//!
+//! Per-file token rules:
 //!
 //! | id                    | guards                                           |
 //! |-----------------------|--------------------------------------------------|
@@ -11,16 +13,37 @@
 //! | `concurrency-hygiene` | thread/lock discipline of the parallel lanes     |
 //! | `api-hygiene`         | lint headers + documented public surface         |
 //!
+//! Whole-workspace dataflow rules (AST + call graph):
+//!
+//! | id                    | guards                                           |
+//! |-----------------------|--------------------------------------------------|
+//! | `lock-order`          | acyclic, annotation-consistent lock graph        |
+//! | `panic-reachability`  | no transitive panic behind a public API          |
+//! | `hot-path-alloc`      | allocation-free designated kernels               |
+//! | `dead-allow`          | every allow annotation still suppresses          |
+//!
 //! Run `skylint explain <rule>` for the full rationale of each rule.
 
+use std::collections::BTreeMap;
+
+use crate::callgraph::{lock_cycles, Workspace};
 use crate::engine::Policy;
 use crate::lexer::{TokKind, Token};
 use crate::model::SourceModel;
 use crate::report::Finding;
+use crate::symbols::{EventKind, LockKind};
 
 /// All rule ids, in reporting order.
-pub const RULE_IDS: [&str; 4] =
-    ["no-panic-paths", "determinism", "concurrency-hygiene", "api-hygiene"];
+pub const RULE_IDS: [&str; 8] = [
+    "no-panic-paths",
+    "determinism",
+    "concurrency-hygiene",
+    "api-hygiene",
+    "lock-order",
+    "panic-reachability",
+    "hot-path-alloc",
+    "dead-allow",
+];
 
 /// Long-form `explain` text for a rule id, if known.
 pub fn explain(rule: &str) -> Option<&'static str> {
@@ -114,6 +137,86 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              headers keep every crate compatible with `-D warnings`, and the\n\
              documented public surface is what makes the cache reusable as a\n\
              library (ROADMAP north star).",
+        ),
+        "lock-order" => Some(
+            "lock-order — the inferred lock-acquisition graph must be a DAG\n\
+             consistent with the `// lock-order:` annotations.\n\
+             \n\
+             For every function in the files under [rules.lock-order].files,\n\
+             skylint parses the AST, extracts each `.read()`/`.write()`/\n\
+             `.lock()` acquisition with the live range of its guard\n\
+             (let-bound guards live to end of block; chained temporaries to\n\
+             end of statement, matching Rust drop semantics), and builds the\n\
+             inter-procedural graph: lock A → lock B when B is acquired —\n\
+             directly or anywhere inside a callee — while a guard on A is\n\
+             live. Flagged:\n\
+               * read → write or write → anything re-entry on the *same*\n\
+                 lock (self-deadlock / upgrade; read → read shared guards\n\
+                 are permitted)\n\
+               * cycles among distinct locks (classic AB/BA deadlock)\n\
+               * acquisitions whose declared phases contradict the declared\n\
+                 order while one guard is held\n\
+               * annotations whose phase disagrees with the acquisition\n\
+                 kind (`read` on `.write()`, …)\n\
+             \n\
+             Rationale: PR 2 trusted the shared.rs annotations; this rule\n\
+             verifies them against the code, so the shared-cache protocol\n\
+             (search → compute-unlocked → publish) is checked, not declared.\n\
+             Call edges resolve by name (no type inference), which can only\n\
+             over-approximate the graph — a clean result is therefore sound.",
+        ),
+        "panic-reachability" => Some(
+            "panic-reachability — no public library API may transitively\n\
+             reach an unjustified panic.\n\
+             \n\
+             May-panic facts ([rules.panic-reachability].sources — unwrap,\n\
+             expect, panic-macro, optionally indexing and arithmetic) are\n\
+             collected per function and propagated over the workspace call\n\
+             graph to a fixpoint. A `pub fn` in a library crate whose callee\n\
+             chain reaches such a fact is flagged, with the full witness\n\
+             chain (api → helper → sink) in the message. Facts carrying a\n\
+             `skylint: allow(no-panic-paths)` or `allow(panic-reachability)`\n\
+             justification do not propagate. Direct (same-function) panics\n\
+             are left to no-panic-paths to avoid double-reporting.\n\
+             \n\
+             Rationale: a panic one call deep behind `SharedCbcsExecutor::\n\
+             query` still kills a worker lane mid-fetch; single-line token\n\
+             patterns cannot see it, the call graph can.\n\
+             \n\
+             Escape hatch: `// skylint: allow(panic-reachability) — <why>`\n\
+             on the public fn or on the panic site.",
+        ),
+        "hot-path-alloc" => Some(
+            "hot-path-alloc — designated kernels stay allocation-free.\n\
+             \n\
+             Roots are the kernels named in [rules.hot-path-alloc].kernels\n\
+             (`fn` or `Type::fn` designators). Every function reachable from\n\
+             a root over the call graph and defined under\n\
+             [rules.hot-path-alloc].scope-files is checked for allocation\n\
+             machinery: the calls in .calls (Vec::new, push, clone, to_vec,\n\
+             collect, …) and the macros in .macros (vec!, format!). Findings\n\
+             carry the call path from the kernel as a witness.\n\
+             \n\
+             Rationale: PR 1's SoA fast paths (geom::block dominance\n\
+             kernels, algos::parallel merge lanes, storage bulk fetch) win\n\
+             by staying allocation-free per point; one stray `clone()` in a\n\
+             helper re-introduces per-tuple heap traffic that the benches\n\
+             only catch after the regression lands. Deliberate staging\n\
+             buffers carry `// skylint: allow(hot-path-alloc) — <why>`.",
+        ),
+        "dead-allow" => Some(
+            "dead-allow — `// skylint: allow(…)` escapes must still earn\n\
+             their keep.\n\
+             \n\
+             Every suppression is recorded during the scan; after all other\n\
+             rules ran, any allow annotation (outside tests) that suppressed\n\
+             nothing is reported. Stale escapes are deleted, not kept as\n\
+             decoration — otherwise the next real finding on that line is\n\
+             silently swallowed.\n\
+             \n\
+             Note the annotation must also be well-formed and name known\n\
+             rules; malformed or unknown-rule annotations are hard errors\n\
+             (exit 2), not findings.",
         ),
         _ => None,
     }
@@ -305,8 +408,7 @@ fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             let float_side = |tok: Option<&Token>| -> bool {
                 tok.is_some_and(|n| {
                     n.kind == TokKind::Float
-                        || (n.kind == TokKind::Ident
-                            && ctx.policy.float_fields.contains(&n.text))
+                        || (n.kind == TokKind::Ident && ctx.policy.float_fields.contains(&n.text))
                 })
             };
             // Look left at the previous code token; look right skipping
@@ -618,4 +720,308 @@ fn prev_code(toks: &[Token], i: usize) -> Option<&Token> {
 /// Next non-comment token.
 fn next_code(toks: &[Token], i: usize) -> Option<&Token> {
     toks[i + 1..].iter().find(|t| !t.is_comment())
+}
+
+// ---------------------------------------------------------------------------
+// Whole-workspace dataflow rules
+// ---------------------------------------------------------------------------
+
+/// Runs the call-graph rules after every per-file rule has run.
+pub fn run_workspace(
+    ws: &Workspace,
+    models: &BTreeMap<&str, &SourceModel>,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    if !policy.lock_graph_files.is_empty() {
+        lock_order(ws, models, policy, out);
+    }
+    panic_reachability(ws, models, policy, out);
+    if !policy.alloc_kernels.is_empty() {
+        hot_path_alloc(ws, models, policy, out);
+    }
+}
+
+/// Emits one workspace finding unless an allow annotation covers it.
+fn push_ws(
+    models: &BTreeMap<&str, &SourceModel>,
+    out: &mut Vec<Finding>,
+    rule: &str,
+    file: &str,
+    line: u32,
+    message: String,
+) {
+    let mut snippet = String::new();
+    if let Some(m) = models.get(file) {
+        if m.is_allowed(rule, line) {
+            return;
+        }
+        snippet = m.snippet(line);
+    }
+    out.push(Finding { rule: rule.to_owned(), file: file.to_owned(), line, message, snippet });
+}
+
+fn lock_order(
+    ws: &Workspace,
+    models: &BTreeMap<&str, &SourceModel>,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "lock-order";
+    let edges = ws.lock_edges(&policy.lock_graph_files);
+    let phase_pos = |p: &Option<String>| -> Option<usize> {
+        p.as_ref().and_then(|p| policy.lock_phases.iter().position(|q| q == p))
+    };
+    for e in &edges {
+        let via = e.via.as_ref().map(|v| format!(" (inside callee `{v}`)")).unwrap_or_default();
+        if e.from.lock == e.to.lock {
+            // Same lock: shared → shared re-entry is fine; anything that
+            // involves an exclusive guard deadlocks or upgrades.
+            let bad = matches!(
+                (e.from.kind, e.to.kind),
+                (LockKind::Read, LockKind::Write) | (LockKind::Write, _)
+            );
+            if bad {
+                push_ws(
+                    models,
+                    out,
+                    RULE,
+                    &e.from.file,
+                    e.from.line,
+                    format!(
+                        "`{}` is {}-acquired{via} while fn `{}` already holds \
+                         it for {} — self-deadlock / guard upgrade",
+                        e.to.lock,
+                        e.to.kind.as_str(),
+                        e.holder,
+                        e.from.kind.as_str(),
+                    ),
+                );
+            }
+        } else if e.via.is_none() {
+            // Declared-phase contradictions are checked on intra-procedural
+            // edges only: those guard extents are precise, while via-callee
+            // edges inherit the name-resolution over-approximation and
+            // would flag phases of callees that cannot actually be reached.
+            let (Some(pf), Some(pt)) = (phase_pos(&e.from.phase), phase_pos(&e.to.phase)) else {
+                continue;
+            };
+            if pt < pf {
+                push_ws(
+                    models,
+                    out,
+                    RULE,
+                    &e.from.file,
+                    e.from.line,
+                    format!(
+                        "fn `{}` acquires `{}` (phase {:?}){via} while holding \
+                         `{}` (phase {:?}) — contradicts the declared order {}",
+                        e.holder,
+                        e.to.lock,
+                        policy.lock_phases[pt],
+                        e.from.lock,
+                        policy.lock_phases[pf],
+                        policy.lock_phases.join(" < "),
+                    ),
+                );
+            }
+        }
+    }
+    for cycle in lock_cycles(&edges) {
+        // Anchor the finding at the first edge of the cycle.
+        let anchor = edges
+            .iter()
+            .find(|e| e.from.lock == cycle[0])
+            .expect("cycle nodes come from the edge set");
+        push_ws(
+            models,
+            out,
+            RULE,
+            &anchor.from.file,
+            anchor.from.line,
+            format!(
+                "lock-acquisition cycle {} → {} — deadlock when the \
+                 functions interleave (first edge held in fn `{}`)",
+                cycle.join(" → "),
+                cycle[0],
+                anchor.holder,
+            ),
+        );
+    }
+    // Annotation/kind consistency on every in-scope acquisition.
+    let in_scope = |file: &str| {
+        policy.lock_graph_files.iter().any(|p| file == p || file.starts_with(&format!("{p}/")))
+    };
+    for f in ws.fns.iter().filter(|f| in_scope(&f.file)) {
+        for e in &f.events {
+            let EventKind::Acquire { lock, kind, phase: Some(phase), .. } = &e.kind else {
+                continue;
+            };
+            let consistent = match kind {
+                LockKind::Read => phase != "write",
+                LockKind::Write => phase != "read",
+            };
+            if !consistent {
+                push_ws(
+                    models,
+                    out,
+                    RULE,
+                    &f.file,
+                    e.line,
+                    format!(
+                        "`{}` acquisition of `{lock}` is annotated \
+                         `lock-order: {phase}` — annotation contradicts the \
+                         acquisition kind",
+                        kind.as_str(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn panic_reachability(
+    ws: &Workspace,
+    models: &BTreeMap<&str, &SourceModel>,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "panic-reachability";
+    let justified = |f: &crate::symbols::FnDef, line: u32| {
+        models
+            .get(f.file.as_str())
+            .is_some_and(|m| m.is_allowed("no-panic-paths", line) || m.is_allowed(RULE, line))
+    };
+    let info = ws.may_panic(&policy.panic_sources, &justified);
+    for (i, f) in ws.fns.iter().enumerate() {
+        if !f.is_pub {
+            continue;
+        }
+        let Some(pi) = &info[i] else { continue };
+        if pi.chain.is_empty() {
+            continue; // direct panic — no-panic-paths already reports the site
+        }
+        let chain: Vec<String> =
+            pi.chain.iter().map(|&c| format!("`{}`", ws.fns[c].qualified())).collect();
+        push_ws(
+            models,
+            out,
+            RULE,
+            &f.file,
+            f.line,
+            format!(
+                "pub fn `{}` can reach {} at {}:{} via {}",
+                f.qualified(),
+                pi.desc,
+                pi.file,
+                pi.line,
+                chain.join(" → "),
+            ),
+        );
+    }
+}
+
+fn hot_path_alloc(
+    ws: &Workspace,
+    models: &BTreeMap<&str, &SourceModel>,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "hot-path-alloc";
+    let roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| policy.alloc_kernels.iter().any(|k| f.matches_designator(k)))
+        .map(|(i, _)| i)
+        .collect();
+    let reach = ws.reachable_with_paths(&roots);
+    let in_scope = |file: &str| {
+        policy.alloc_scope_files.is_empty()
+            || policy
+                .alloc_scope_files
+                .iter()
+                .any(|p| file == p || file.starts_with(&format!("{p}/")))
+    };
+    for (&i, path) in &reach {
+        let f = &ws.fns[i];
+        if !in_scope(&f.file) {
+            continue;
+        }
+        let witness = || -> String {
+            path.iter().map(|&c| ws.fns[c].name.clone()).collect::<Vec<_>>().join(" → ")
+        };
+        for e in &f.events {
+            let what = match &e.kind {
+                EventKind::Method { .. } | EventKind::Bare
+                    if policy.alloc_calls.contains(&e.name) =>
+                {
+                    Some(format!(".{}()", e.name))
+                }
+                EventKind::Path { qual } => {
+                    let full = qual
+                        .last()
+                        .map(|q| format!("{q}::{}", e.name))
+                        .unwrap_or_else(|| e.name.clone());
+                    policy.alloc_calls.iter().any(|c| *c == full || *c == e.name).then_some(full)
+                }
+                EventKind::MacroUse if policy.alloc_macros.contains(&e.name) => {
+                    Some(format!("{}!", e.name))
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                push_ws(
+                    models,
+                    out,
+                    RULE,
+                    &f.file,
+                    e.line,
+                    format!(
+                        "{what} allocates on a kernel hot path (reached via \
+                         {}) — hoist the buffer or justify with an allow",
+                        witness(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Reports allow annotations that suppressed nothing, after every other
+/// rule has run. Test files and `#[cfg(test)]` regions are exempt — the
+/// library rules never fire there, so their annotations are documentation.
+pub fn dead_allow(
+    models: &[SourceModel],
+    by_path: &BTreeMap<&str, &SourceModel>,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "dead-allow";
+    for m in models {
+        if crate::engine::is_test_path(&m.path) {
+            continue;
+        }
+        let hits = m.hits.borrow().clone();
+        for (line, rules) in &m.allows {
+            if m.in_test_region(*line) {
+                continue;
+            }
+            for r in rules {
+                if r == RULE || hits.contains(&(*line, r.clone())) {
+                    continue;
+                }
+                push_ws(
+                    by_path,
+                    out,
+                    RULE,
+                    &m.path,
+                    *line,
+                    format!(
+                        "`skylint: allow({r})` suppresses nothing — delete the \
+                         stale escape so future findings are not swallowed"
+                    ),
+                );
+            }
+        }
+    }
 }

@@ -1,8 +1,12 @@
 //! End-to-end CLI tests: exit codes and output shapes of the `skylint`
-//! binary over the fixture trees.
+//! binary over the fixture trees. Every semantic rule family has a
+//! bad/clean tree pair here, and the two hard-error paths (malformed
+//! annotations, unknown config keys) are pinned to exit code 2.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
+
+use skylint::rules::RULE_IDS;
 
 fn fixture(rel: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rel)
@@ -12,12 +16,36 @@ fn skylint(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_skylint")).args(args).output().expect("run skylint")
 }
 
+/// Runs `check` over a fixture tree and returns (exit code, stdout, stderr).
+fn check_tree(tree: &str) -> (Option<i32>, String, String) {
+    let root = fixture(tree);
+    let out = skylint(&["check", "--root", root.to_str().expect("utf-8 path")]);
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// A bad tree must exit 1 and name `rule` in its findings.
+fn assert_bad(tree: &str, rule: &str) -> String {
+    let (code, stdout, stderr) = check_tree(tree);
+    assert_eq!(code, Some(1), "{tree}: stdout: {stdout}stderr: {stderr}");
+    assert!(stdout.contains(rule), "{tree}: expected a {rule} finding in:\n{stdout}");
+    stdout
+}
+
+/// A clean tree must exit 0 with no findings.
+fn assert_clean(tree: &str) {
+    let (code, stdout, stderr) = check_tree(tree);
+    assert_eq!(code, Some(0), "{tree}: stdout: {stdout}stderr: {stderr}");
+    assert!(stdout.contains("clean"), "{tree}: {stdout}");
+}
+
 #[test]
 fn check_exits_nonzero_on_the_bad_tree() {
-    let root = fixture("bad_tree");
-    let out = skylint(&["check", "--root", root.to_str().expect("utf-8 path")]);
-    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let stdout = String::from_utf8_lossy(&out.stdout);
+    let (code, stdout, stderr) = check_tree("bad_tree");
+    assert_eq!(code, Some(1), "stderr: {stderr}");
     assert!(stdout.contains("no-panic-paths"), "{stdout}");
     assert!(stdout.contains("api-hygiene"), "{stdout}");
     assert!(stdout.contains("src/lib.rs"), "{stdout}");
@@ -25,22 +53,109 @@ fn check_exits_nonzero_on_the_bad_tree() {
 
 #[test]
 fn check_exits_zero_on_the_clean_tree() {
-    let root = fixture("clean_tree");
-    let out = skylint(&["check", "--root", root.to_str().expect("utf-8 path")]);
-    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("clean"), "{stdout}");
+    assert_clean("clean_tree");
+}
+
+// ---------------------------------------------------------------------------
+// Semantic rule families: one bad/clean tree pair each
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_order_cycle_tree_is_flagged() {
+    let stdout = assert_bad("lock_cycle_bad", "lock-order");
+    assert!(stdout.contains("cycle"), "expected a lock-cycle finding in:\n{stdout}");
+    assert!(stdout.contains("read") && stdout.contains("write"), "{stdout}");
 }
 
 #[test]
-fn json_output_lists_findings() {
+fn lock_order_consistent_tree_is_clean() {
+    assert_clean("lock_cycle_clean");
+}
+
+#[test]
+fn transitive_panic_tree_is_flagged_at_the_public_api() {
+    let stdout = assert_bad("panic_transitive_bad", "panic-reachability");
+    // The finding lands on the public API and names the private chain.
+    assert!(stdout.contains("`api`"), "{stdout}");
+    assert!(stdout.contains("mid") && stdout.contains("deep"), "{stdout}");
+}
+
+#[test]
+fn total_call_chain_tree_is_clean() {
+    assert_clean("panic_transitive_clean");
+}
+
+#[test]
+fn hot_path_allocation_tree_is_flagged_with_a_witness() {
+    let stdout = assert_bad("hot_alloc_bad", "hot-path-alloc");
+    assert!(stdout.contains("kernel"), "{stdout}");
+    assert!(stdout.contains("stage"), "expected the witness path in:\n{stdout}");
+}
+
+#[test]
+fn in_place_kernel_tree_is_clean() {
+    assert_clean("hot_alloc_clean");
+}
+
+#[test]
+fn stale_allow_tree_is_flagged() {
+    let stdout = assert_bad("dead_allow_bad", "dead-allow");
+    assert!(stdout.contains("no-panic-paths"), "{stdout}");
+}
+
+#[test]
+fn exercised_allow_tree_is_clean() {
+    assert_clean("dead_allow_clean");
+}
+
+// ---------------------------------------------------------------------------
+// Hard errors: exit 2 before any findings are produced
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_annotation_is_a_hard_error() {
+    let (code, stdout, stderr) = check_tree("malformed_tree");
+    assert_eq!(code, Some(2), "stdout: {stdout}stderr: {stderr}");
+    assert!(stderr.contains("made-up-rule"), "{stderr}");
+    assert!(stdout.is_empty(), "no findings expected on a policy error: {stdout}");
+}
+
+#[test]
+fn unknown_config_section_is_a_hard_error() {
+    let (code, stdout, stderr) = check_tree("bad_config_tree");
+    assert_eq!(code, Some(2), "stdout: {stdout}stderr: {stderr}");
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+}
+
+// ---------------------------------------------------------------------------
+// Report formats
+// ---------------------------------------------------------------------------
+
+#[test]
+fn json_output_is_a_versioned_report_object() {
     let root = fixture("bad_tree");
     let out = skylint(&["check", "--json", "--root", root.to_str().expect("utf-8 path")]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"schema\": \"skylint-report/2\""), "{stdout}");
     assert!(stdout.contains("\"rule\""), "{stdout}");
     assert!(stdout.contains("\"line\""), "{stdout}");
+    assert!(stdout.contains("\"functions_analyzed\""), "{stdout}");
+}
+
+#[test]
+fn json_report_matches_the_golden_file() {
+    let root = fixture("bad_tree");
+    let out = skylint(&["check", "--json", "--root", root.to_str().expect("utf-8 path")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let golden = include_str!("golden/bad_tree.json");
+    assert_eq!(
+        stdout, golden,
+        "the --json report drifted from tests/golden/bad_tree.json; \
+         if the schema changed intentionally, bump REPORT_SCHEMA and \
+         regenerate the golden file"
+    );
 }
 
 #[test]
@@ -57,8 +172,10 @@ fn bench_out_writes_a_record() {
     ]);
     assert_eq!(out.status.code(), Some(0));
     let record = std::fs::read_to_string(&bench).expect("bench record written");
+    assert!(record.contains("\"skylint-bench/2\""), "{record}");
     assert!(record.contains("\"files_scanned\""), "{record}");
     assert!(record.contains("\"wall_ms\""), "{record}");
+    assert!(record.contains("\"findings_per_rule\""), "{record}");
 }
 
 #[test]
@@ -66,7 +183,7 @@ fn explain_and_rules_subcommands() {
     let rules = skylint(&["rules"]);
     assert_eq!(rules.status.code(), Some(0));
     let listed = String::from_utf8_lossy(&rules.stdout);
-    for rule in ["no-panic-paths", "determinism", "concurrency-hygiene", "api-hygiene"] {
+    for rule in RULE_IDS {
         assert!(listed.contains(rule), "{listed}");
         let explained = skylint(&["explain", rule]);
         assert_eq!(explained.status.code(), Some(0), "explain {rule}");

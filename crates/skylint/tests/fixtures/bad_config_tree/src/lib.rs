@@ -1,0 +1,7 @@
+//! Bad-config fixture: the source tree is clean; the defect lives in
+//! `skylint.toml`, which names an unknown rule section.
+
+/// Identity.
+pub fn id(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,9 @@
+//! Dead-allow bad fixture: the escape comment below suppresses nothing —
+//! saturating arithmetic cannot panic, so the allow is stale and
+//! `skylint check` must exit 1 with a `dead-allow` finding.
+
+/// Saturating increment; total for every input.
+pub fn add_one(x: u64) -> u64 {
+    // skylint: allow(no-panic-paths) — stale: nothing on this line panics.
+    x.saturating_add(1)
+}

@@ -1,0 +1,9 @@
+//! Dead-allow clean fixture: the escape comment suppresses a live
+//! `no-panic-paths` finding on the `.expect()` below, so it is counted
+//! as exercised and `skylint check` must exit 0.
+
+/// First element of a slice the caller guarantees is non-empty.
+pub fn head(xs: &[u64]) -> u64 {
+    // skylint: allow(no-panic-paths) — caller contract: non-empty input.
+    *xs.first().expect("non-empty input")
+}

@@ -1,0 +1,17 @@
+//! Hot-path-alloc bad fixture: the designated kernel delegates to a
+//! helper that builds a staging `Vec` — allocation machinery reachable
+//! from the kernel. `skylint check` must exit 1 with `hot-path-alloc`
+//! findings that name the `kernel → stage` witness path.
+
+/// The designated allocation-free kernel; the violation is one call down.
+pub fn kernel(xs: &[f64]) -> f64 {
+    stage(xs)
+}
+
+fn stage(xs: &[f64]) -> f64 {
+    let mut staging = Vec::new();
+    for &x in xs {
+        staging.push(x);
+    }
+    staging.iter().sum()
+}

@@ -1,0 +1,19 @@
+//! Hot-path-alloc clean fixture: the designated kernel folds in place,
+//! and the allocating staging helper exists but is not reachable from
+//! the kernel — reachability scoping, not file scoping, decides.
+//! `skylint check` must exit 0.
+
+/// The designated allocation-free kernel: a plain in-place fold.
+pub fn kernel(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Cold-path staging helper; allocates freely because [`kernel`] never
+/// calls it.
+pub fn assemble(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}

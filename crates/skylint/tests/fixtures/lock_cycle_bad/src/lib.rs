@@ -1,0 +1,48 @@
+//! Lock-order bad fixture: two locks acquired in opposite orders across
+//! functions (an AB/BA deadlock cycle) plus a same-lock read→write
+//! upgrade. `skylint check` must exit 1 with `lock-order` findings.
+
+/// Toy lock with a `parking_lot`-style guardless API; the analyzer keys
+/// on `.read()`/`.write()` receiver paths, not on real lock types.
+pub struct Lock(u64);
+
+impl Lock {
+    /// Shared acquisition.
+    pub fn read(&self) -> u64 {
+        self.0
+    }
+
+    /// Exclusive acquisition.
+    pub fn write(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Two locks with no consistent acquisition order.
+pub struct Pair {
+    a: Lock,
+    b: Lock,
+}
+
+impl Pair {
+    /// Acquires `a` then `b`.
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.write(); // lock-order: write
+        let gb = self.b.write(); // lock-order: write
+        ga + gb
+    }
+
+    /// Acquires `b` then `a` — the opposite order: a cycle with [`Pair::ab`].
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.write(); // lock-order: write
+        let ga = self.a.write(); // lock-order: write
+        gb + ga
+    }
+
+    /// Upgrades a held read guard to a write guard on the same lock.
+    pub fn upgrade(&self) -> u64 {
+        let r = self.a.read(); // lock-order: read
+        let w = self.a.write(); // lock-order: write
+        r + w
+    }
+}

@@ -1,0 +1,48 @@
+//! Lock-order clean fixture: every function acquires `a` strictly before
+//! `b`, reads never upgrade to writes while held, and short-lived guards
+//! are chained temporaries that drop at the end of their statement.
+
+/// Toy lock with a `parking_lot`-style guardless API.
+pub struct Lock(u64);
+
+impl Lock {
+    /// Shared acquisition.
+    pub fn read(&self) -> u64 {
+        self.0
+    }
+
+    /// Exclusive acquisition.
+    pub fn write(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Two locks with the documented order `a` before `b`.
+pub struct Pair {
+    a: Lock,
+    b: Lock,
+}
+
+impl Pair {
+    /// Reads both locks in the documented order.
+    pub fn sum(&self) -> u64 {
+        let ga = self.a.read(); // lock-order: read
+        let gb = self.b.read(); // lock-order: read
+        ga + gb
+    }
+
+    /// Writes both locks in the same documented order.
+    pub fn bump(&self) -> u64 {
+        let ga = self.a.write(); // lock-order: write
+        let gb = self.b.write(); // lock-order: write
+        ga + gb
+    }
+
+    /// A chained temporary guard: dropped before the next statement, so
+    /// the later `b`-then-`a`-shaped sequence holds nothing across it.
+    pub fn peek(&self) -> u64 {
+        let late = self.b.read().min(9); // lock-order: read
+        let early = self.a.read(); // lock-order: read
+        late + early
+    }
+}

@@ -1,0 +1,9 @@
+//! Malformed-annotation fixture: the allow below names a rule that does
+//! not exist, which is a policy hard error — `skylint check` must exit 2
+//! without producing findings.
+
+/// Identity; the annotation above the body is the defect.
+pub fn id(x: u64) -> u64 {
+    // skylint: allow(made-up-rule) — typo'd rule name.
+    x
+}

@@ -1,0 +1,63 @@
+//! Parser round-trip selftest: lex → parse → re-emit must reproduce every
+//! `.rs` file in the workspace token-for-token. This is the property that
+//! makes the AST trustworthy — a parse error that silently dropped a span
+//! would silently exempt that span from every semantic rule.
+
+use std::path::{Path, PathBuf};
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" {
+                continue;
+            }
+            collect(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn parser_reemits_every_workspace_file_losslessly() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    collect(&root, &mut files);
+    files.sort();
+    assert!(files.len() > 80, "suspiciously few .rs files found ({})", files.len());
+
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let tokens = skylint::lexer::lex(&src);
+        let file = skylint::parser::parse(&tokens);
+        let order = skylint::parser::reemit(&file);
+
+        let lost = order.len() != tokens.len()
+            || order.iter().enumerate().any(|(expect, &got)| got != expect);
+        if lost {
+            let first_bad = order
+                .iter()
+                .enumerate()
+                .find(|&(expect, &got)| got != expect)
+                .map(|(expect, _)| expect)
+                .unwrap_or(order.len().min(tokens.len()));
+            panic!(
+                "lossy parse of {}: {} tokens in, {} re-emitted, first divergence at \
+                 token {} (line {})",
+                path.display(),
+                tokens.len(),
+                order.len(),
+                first_bad,
+                tokens.get(first_bad).map(|t| t.line).unwrap_or(0),
+            );
+        }
+    }
+}

@@ -24,11 +24,27 @@ fn policy() -> Policy {
         lock_phases: vec!["read".into(), "write".into()],
         required_headers: vec!["#![warn(missing_docs)]".into()],
         doc_paths: vec!["lib/src".into()],
+        lock_graph_files: vec!["lib/src/shared.rs".into()],
+        panic_sources: vec!["unwrap".into(), "expect".into(), "panic-macro".into()],
+        alloc_kernels: vec!["kernel".into()],
+        alloc_scope_files: vec!["lib/src".into()],
+        alloc_calls: vec![
+            "Vec::new".into(),
+            "Box::new".into(),
+            "push".into(),
+            "clone".into(),
+            "to_vec".into(),
+            "to_owned".into(),
+            "to_string".into(),
+            "collect".into(),
+            "extend".into(),
+        ],
+        alloc_macros: vec!["vec".into(), "format".into()],
     }
 }
 
 fn findings(path: &str, src: &str) -> Vec<Finding> {
-    scan_source(path, src, &policy())
+    scan_source(path, src, &policy()).expect("fixture annotations are well-formed")
 }
 
 /// Asserts every finding carries `rule` and that there are `count` of them.

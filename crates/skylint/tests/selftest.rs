@@ -9,6 +9,12 @@ fn repository_is_skylint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let cfg_src = std::fs::read_to_string(root.join("skylint.toml")).expect("read skylint.toml");
     let cfg = skylint::Config::parse(&cfg_src).expect("parse skylint.toml");
+    let config_errors = skylint::engine::validate_config(&cfg);
+    assert!(
+        config_errors.is_empty(),
+        "skylint.toml failed strict validation:\n{}",
+        config_errors.join("\n")
+    );
     let policy = skylint::Policy::from_config(&cfg);
 
     let outcome = skylint::scan(&root, &policy).expect("scan repository");

