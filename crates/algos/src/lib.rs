@@ -51,7 +51,7 @@ mod parallel;
 pub use bbs::{bbs_constrained, BbsOutput, BbsStats};
 pub use cardinality::{expected_skyline_size, sample_skyline_fraction, Adaptive};
 pub use inmem::{Bnl, DivideConquer, Salsa, Sfs, SkylineAlgorithm, SkylineOutput};
-pub use parallel::ParallelDc;
+pub use parallel::{LaneReport, ParallelDc};
 
 #[cfg(test)]
 pub(crate) mod testutil {

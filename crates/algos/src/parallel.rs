@@ -20,6 +20,36 @@ use skycache_geom::{filter_block, Point, PointBlock};
 
 use crate::{DivideConquer, Sfs, SkylineAlgorithm, SkylineOutput};
 
+/// Scalar work-distribution facts of one [`ParallelDc`] run, returned by
+/// value so observability layers can record them *outside* the kernel —
+/// the kernel itself never calls a recorder (hot-path-alloc policy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneReport {
+    /// Workers actually used (0 when the sequential fallback ran).
+    pub workers: u64,
+    /// Input cardinality.
+    pub input_len: u64,
+    /// Size of the union of chunk-local skylines (the merge input).
+    pub union_len: u64,
+    /// Largest chunk-local skyline.
+    pub largest_local: u64,
+    /// Smallest chunk-local skyline.
+    pub smallest_local: u64,
+}
+
+impl LaneReport {
+    /// Load imbalance across workers: largest local skyline divided by
+    /// the mean local skyline size (1.0 = perfectly balanced; 1.0 also
+    /// for the degenerate cases of zero workers or an empty union).
+    pub fn imbalance(&self) -> f64 {
+        if self.workers == 0 || self.union_len == 0 {
+            return 1.0;
+        }
+        let mean = self.union_len as f64 / self.workers as f64;
+        self.largest_local as f64 / mean
+    }
+}
+
 /// Parallel divide & conquer: local skylines per chunk, then a parallel
 /// cross-filter merge.
 #[derive(Clone, Copy, Debug)]
@@ -67,9 +97,20 @@ impl SkylineAlgorithm for ParallelDc {
     }
 
     fn compute(&self, points: Vec<Point>) -> SkylineOutput {
+        self.compute_with_report(points).0
+    }
+}
+
+impl ParallelDc {
+    /// [`SkylineAlgorithm::compute`] plus the [`LaneReport`] describing
+    /// how the work was distributed (all scalars — recording them is the
+    /// caller's business, so the kernel stays recorder-free).
+    pub fn compute_with_report(&self, points: Vec<Point>) -> (SkylineOutput, LaneReport) {
         let threads = self.resolved_threads();
+        let input_len = points.len() as u64;
         if threads <= 1 || points.len() < self.sequential_threshold.max(2) {
-            return DivideConquer.compute(points);
+            let report = LaneReport { input_len, ..LaneReport::default() };
+            return (DivideConquer.compute(points), report);
         }
         let dims = points[0].dims();
 
@@ -89,6 +130,13 @@ impl SkylineAlgorithm for ParallelDc {
                 .collect()
         });
         let mut tests: u64 = locals.iter().map(|o| o.dominance_tests).sum();
+        let report = LaneReport {
+            workers: locals.len() as u64,
+            input_len,
+            union_len: locals.iter().map(|o| o.skyline.len() as u64).sum(),
+            largest_local: locals.iter().map(|o| o.skyline.len() as u64).max().unwrap_or(0),
+            smallest_local: locals.iter().map(|o| o.skyline.len() as u64).min().unwrap_or(0),
+        };
 
         // Union of local skylines, in chunk order, as one flat block.
         let union_len: usize = locals.iter().map(|o| o.skyline.len()).sum();
@@ -144,7 +192,7 @@ impl SkylineAlgorithm for ParallelDc {
         // caller caching the result plans the same follow-up regions
         // whether it computed sequentially or in parallel.
         skyline.sort_by(|a, b| a.coord_sum().total_cmp(&b.coord_sum()));
-        SkylineOutput { skyline, dominance_tests: tests }
+        (SkylineOutput { skyline, dominance_tests: tests }, report)
     }
 }
 
@@ -212,6 +260,24 @@ mod tests {
         let b = forced().compute(pts);
         assert_eq!(a.dominance_tests, b.dominance_tests);
         assert_eq!(sorted(a.skyline), sorted(b.skyline));
+    }
+
+    #[test]
+    fn lane_report_describes_the_run() {
+        let pts = pseudo_random_points(400, 3, 11);
+        let (out, report) = forced().compute_with_report(pts.clone());
+        assert_eq!(report.input_len, 400);
+        assert_eq!(report.workers, 4);
+        assert!(report.union_len >= out.skyline.len() as u64);
+        assert!(report.largest_local >= report.smallest_local);
+        assert!(report.imbalance() >= 1.0);
+
+        // The sequential fallback reports zero workers and imbalance 1.
+        let small = pseudo_random_points(4, 2, 1);
+        let (_, seq) = ParallelDc::new().compute_with_report(small);
+        assert_eq!(seq.workers, 0);
+        assert_eq!(seq.input_len, 4);
+        assert_eq!(seq.imbalance(), 1.0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use skycache_datagen::{Distribution, SyntheticGen};
 use skycache_geom::subtract::subtract_box;
 use skycache_geom::{Aabb, Constraints, HyperRect, Point};
 use skycache_rtree::{RStarTree, RTreeParams};
+use skycache_storage::FetchPlan;
 
 fn bench_skyline_algos(c: &mut Criterion) {
     let mut group = c.benchmark_group("skyline_algorithms");
@@ -64,10 +65,14 @@ fn bench_storage(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("storage");
     group.sample_size(20);
-    group.bench_function("range_query_4d", |b| b.iter(|| table.fetch_constrained(&constraints)));
+    group.bench_function("range_query_4d", |b| {
+        b.iter(|| table.fetch_plan(&FetchPlan::constrained(&constraints)))
+    });
     // Empty-query detection must be near-free.
     let empty = Constraints::from_pairs(&[(2.0, 3.0); 4]).unwrap();
-    group.bench_function("empty_query_detection", |b| b.iter(|| table.fetch_constrained(&empty)));
+    group.bench_function("empty_query_detection", |b| {
+        b.iter(|| table.fetch_plan(&FetchPlan::constrained(&empty)))
+    });
     group.finish();
 }
 

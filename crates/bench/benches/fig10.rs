@@ -9,13 +9,14 @@ use skycache_bench::synthetic_table;
 use skycache_core::{cases, MprMode};
 use skycache_datagen::Distribution;
 use skycache_geom::{Constraints, Point};
+use skycache_storage::FetchPlan;
 
 fn bench_fig10(c: &mut Criterion) {
     let table = synthetic_table(Distribution::Independent, 3, 100_000, 42);
     let old = Constraints::from_pairs(&[(0.2, 0.7); 3]).unwrap();
     let new = Constraints::from_pairs(&[(0.25, 0.7), (0.2, 0.7), (0.2, 0.7)]).unwrap();
     let cached: Vec<Point> = {
-        let fetched = table.fetch_constrained(&old);
+        let fetched = table.fetch_plan(&FetchPlan::constrained(&old));
         Sfs.compute(fetched.rows.into_iter().map(|r| r.point).collect()).skyline
     };
 
@@ -27,12 +28,16 @@ fn bench_fig10(c: &mut Criterion) {
     });
 
     let plan = cases::plan(&old, &cached, &new, MprMode::Approximate { k: 1 });
-    group.bench_function("fetching_mpr_regions", |b| b.iter(|| table.fetch_batch(&plan.regions)));
+    group.bench_function("fetching_mpr_regions", |b| {
+        b.iter(|| table.fetch_plan(&FetchPlan::new(plan.regions.clone())))
+    });
 
-    group.bench_function("fetching_baseline_region", |b| b.iter(|| table.fetch_constrained(&new)));
+    group.bench_function("fetching_baseline_region", |b| {
+        b.iter(|| table.fetch_plan(&FetchPlan::constrained(&new)))
+    });
 
     let baseline_input: Vec<Point> =
-        table.fetch_constrained(&new).rows.into_iter().map(|r| r.point).collect();
+        table.fetch_plan(&FetchPlan::constrained(&new)).rows.into_iter().map(|r| r.point).collect();
     group.bench_function("skyline_sfs_baseline_input", |b| {
         b.iter(|| Sfs.compute(baseline_input.clone()))
     });
@@ -41,7 +46,13 @@ fn bench_fig10(c: &mut Criterion) {
         .retained
         .iter()
         .cloned()
-        .chain(table.fetch_batch(&plan.regions).rows.into_iter().map(|r| r.point))
+        .chain(
+            table
+                .fetch_plan(&FetchPlan::new(plan.regions.clone()))
+                .rows
+                .into_iter()
+                .map(|r| r.point),
+        )
         .collect();
     group.bench_function("skyline_sfs_mpr_input", |b| b.iter(|| Sfs.compute(merged.clone())));
 

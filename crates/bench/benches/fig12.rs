@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use skycache_bench::{independent_queries, interactive_queries, real_estate_table, run_queries};
 use skycache_core::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, QueryRequest,
+    SearchStrategy,
 };
 
 fn bench_fig12(c: &mut Criterion) {
@@ -51,7 +52,7 @@ fn bench_fig12(c: &mut Criterion) {
                 };
                 let mut ex = CbcsExecutor::new(&table, config);
                 for c in &preload {
-                    ex.query(c).expect("preload succeeds");
+                    ex.execute(&QueryRequest::new(c.clone())).expect("preload succeeds");
                 }
                 run_queries(&mut ex, &queries)
             })

@@ -8,6 +8,7 @@ use skycache_bench::synthetic_table;
 use skycache_core::{missing_points_region, MprMode};
 use skycache_datagen::Distribution;
 use skycache_geom::Constraints;
+use skycache_storage::FetchPlan;
 
 fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_fetch_path");
@@ -19,27 +20,27 @@ fn bench_fig8(c: &mut Criterion) {
         let new = Constraints::from_pairs(&[(0.2, 0.8), (0.15, 0.7), (0.2, 0.7)]).unwrap();
         // Cached skyline for the old constraints, computed once.
         let cached: Vec<_> = {
-            let fetched = table.fetch_constrained(&old);
+            let fetched = table.fetch_plan(&FetchPlan::constrained(&old));
             use skycache_algos::{Sfs, SkylineAlgorithm};
             Sfs.compute(fetched.rows.into_iter().map(|r| r.point).collect()).skyline
         };
 
         group.bench_with_input(BenchmarkId::new("baseline_fetch", n), &new, |b, q| {
-            b.iter(|| table.fetch_constrained(q))
+            b.iter(|| table.fetch_plan(&FetchPlan::constrained(q)))
         });
 
         let exact = missing_points_region(&old, &cached, &new, MprMode::Exact);
         group.bench_with_input(
             BenchmarkId::new("mpr_fetch_batch", n),
             &exact.regions,
-            |b, regions| b.iter(|| table.fetch_batch(regions)),
+            |b, regions| b.iter(|| table.fetch_plan(&FetchPlan::new(regions.clone()))),
         );
 
         let approx = missing_points_region(&old, &cached, &new, MprMode::Approximate { k: 1 });
         group.bench_with_input(
             BenchmarkId::new("ampr_fetch_batch", n),
             &approx.regions,
-            |b, regions| b.iter(|| table.fetch_batch(regions)),
+            |b, regions| b.iter(|| table.fetch_plan(&FetchPlan::new(regions.clone()))),
         );
     }
     group.finish();

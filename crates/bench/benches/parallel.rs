@@ -8,9 +8,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use skycache_algos::{ParallelDc, Sfs, SkylineAlgorithm};
 use skycache_bench::{interactive_queries, synthetic_table};
-use skycache_core::{CbcsConfig, CbcsExecutor, ExecMode, Executor, MprMode};
+use skycache_core::{CbcsConfig, CbcsExecutor, ExecMode, Executor, MprMode, QueryRequest};
 use skycache_datagen::{Distribution, SyntheticGen};
 use skycache_geom::HyperRect;
+use skycache_storage::FetchPlan;
 
 fn bench_skyline_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_skyline");
@@ -49,10 +50,12 @@ fn bench_batch_fetch(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("parallel_fetch");
     group.sample_size(20);
-    group.bench_function("sequential_8_regions", |b| b.iter(|| table.fetch_batch(&regions)));
+    group.bench_function("sequential_8_regions", |b| {
+        b.iter(|| table.fetch_plan(&FetchPlan::new(regions.clone())))
+    });
     for lanes in [2usize, 4, 8] {
         group.bench_function(format!("parallel_8_regions_{lanes}_lanes"), |b| {
-            b.iter(|| table.fetch_batch_parallel(&regions, lanes))
+            b.iter(|| table.fetch_plan(&FetchPlan::new(regions.clone()).with_lanes(lanes)))
         });
     }
     group.finish();
@@ -73,7 +76,10 @@ fn bench_end_to_end(c: &mut Criterion) {
                 let config = CbcsConfig { mpr: MprMode::Exact, exec, ..Default::default() };
                 let mut ex = CbcsExecutor::new(&table, config);
                 for q in &queries {
-                    std::hint::black_box(ex.query(q).expect("benchmark query succeeds"));
+                    std::hint::black_box(
+                        ex.execute(&QueryRequest::new(q.clone()))
+                            .expect("benchmark query succeeds"),
+                    );
                 }
             })
         });

@@ -24,6 +24,7 @@ experiments:
   ablation-k             aMPR nearest-neighbor sweep
   ablation-multi         multi-item cache exploitation (Sec 6.3 extension)
   parallel               sequential vs parallel pipeline (writes BENCH_parallel.json)
+  obs                    per-phase latency + cache/fetch aggregates (writes BENCH_obs.json)
   all    everything above";
 
 fn main() -> ExitCode {
@@ -60,6 +61,7 @@ fn main() -> ExitCode {
         ("ablation-k", figures::ablation_k),
         ("ablation-multi", figures::ablation_multi),
         ("parallel", figures::parallel),
+        ("obs", figures::obs),
     ] {
         if want(name) {
             runner(&scale);

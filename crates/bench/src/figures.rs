@@ -7,7 +7,7 @@
 
 use skycache_core::{
     BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, Overlap,
-    ReplacementPolicy, SearchStrategy,
+    QueryRequest, ReplacementPolicy, SearchStrategy,
 };
 use skycache_datagen::Distribution;
 use skycache_geom::Constraints;
@@ -111,7 +111,7 @@ fn run_cbcs(
 ) -> Vec<Record> {
     let mut ex = CbcsExecutor::new(table, cbcs_config(mpr, strategy));
     for c in preload {
-        ex.query(c).expect("preload query succeeds");
+        ex.execute(&QueryRequest::new(c.clone())).expect("preload query succeeds");
     }
     run_queries(&mut ex, queries)
 }
@@ -598,7 +598,7 @@ pub fn ablation_multi(scale: &Scale) {
             };
             let mut ex = CbcsExecutor::new(&table, config);
             for c in &preload {
-                ex.query(c).expect("preload query succeeds");
+                ex.execute(&QueryRequest::new(c.clone())).expect("preload query succeeds");
             }
             let records = run_queries(&mut ex, &queries);
             let s = summarize(records.iter());
@@ -730,5 +730,109 @@ pub fn parallel(scale: &Scale) {
     match std::fs::write("BENCH_parallel.json", &json) {
         Ok(()) => println!("wrote BENCH_parallel.json"),
         Err(e) => eprintln!("could not write BENCH_parallel.json: {e}"),
+    }
+}
+
+/// `repro obs` — the observability pass: both paper workload generators
+/// run through CBCS with per-query recording on, and the merged
+/// [`skycache_obs::QueryReport`]s are aggregated into per-phase latency
+/// and cache/fetch counter series.
+///
+/// Besides the text tables, the aggregates are written to
+/// `BENCH_obs.json` (schema `skyobs-bench/1`); each workload entry
+/// embeds its merged report in the versioned `skyobs-report/1` format.
+pub fn obs(scale: &Scale) {
+    use skycache_obs::{names, Phase, QueryReport};
+
+    println!("\n#### Observability: per-phase latency and cache/fetch aggregates ####");
+
+    let dims = 4;
+    let n = scale.mid_n.min(100_000);
+    let table = synthetic_table(Distribution::Independent, dims, n, 42);
+
+    // A bounded cache so the eviction counters are exercised too.
+    let capacity = 32;
+
+    let run_recorded = |queries: &[Constraints]| -> (QueryReport, usize) {
+        let config = CbcsConfig { capacity: Some(capacity), ..Default::default() };
+        let mut ex = CbcsExecutor::new(&table, config);
+        let mut agg = QueryReport::default();
+        for c in queries {
+            let out = ex
+                .execute(&QueryRequest::new(c.clone()).recorded())
+                .expect("recorded benchmark query succeeds");
+            agg.merge(&out.report.expect("recorded request yields a report"));
+        }
+        (agg, queries.len())
+    };
+
+    let workloads: Vec<(&str, QueryReport, usize)> = {
+        let interactive = interactive_queries(&table, scale.interactive_queries, 17, None);
+        let independent = independent_queries(&table, scale.independent_queries, 19, None);
+        let (int_report, int_n) = run_recorded(&interactive);
+        let (ind_report, ind_n) = run_recorded(&independent);
+        vec![("interactive", int_report, int_n), ("independent", ind_report, ind_n)]
+    };
+
+    let mut entries = Vec::new();
+    for (name, report, queries) in &workloads {
+        let hits = report.counter(names::CACHE_HITS);
+        let misses = report.counter(names::CACHE_MISSES);
+        let hit_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+
+        print_header(
+            &format!(
+                "{name} workload (q = {queries}, n = {}, |D| = {dims}, capacity = {capacity})",
+                fmt_size(n)
+            ),
+            &["total".into(), "avg/query".into()],
+        );
+        for phase in Phase::ALL {
+            let total_s = report.phase_ns(phase) as f64 * 1e-9;
+            print_row(phase.label(), &[secs(total_s), ms(total_s / *queries as f64)]);
+        }
+        println!(
+            "hits {hits}  misses {misses}  hit-rate {:.0}%  evictions {}  points read {}  range queries {}",
+            hit_rate * 100.0,
+            report.counter(names::CACHE_EVICTIONS),
+            report.counter(names::FETCH_POINTS_READ),
+            report.counter(names::FETCH_RQ_EXECUTED),
+        );
+
+        // Embed the merged report in its own versioned format, indented
+        // to sit inside the workload object.
+        let embedded = report.to_json();
+        let embedded = embedded.trim_end().replace('\n', "\n      ");
+        entries.push(format!(
+            concat!(
+                "{{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"queries\": {},\n",
+                "      \"hit_rate\": {:.4},\n",
+                "      \"report\": {}\n",
+                "    }}"
+            ),
+            name, queries, hit_rate, embedded
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"skyobs-bench/1\",\n",
+            "  \"n\": {},\n",
+            "  \"dims\": {},\n",
+            "  \"cache_capacity\": {},\n",
+            "  \"workloads\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        n,
+        dims,
+        capacity,
+        entries.join(",\n    ")
+    );
+    match std::fs::write("BENCH_obs.json", &json) {
+        Ok(()) => println!("wrote BENCH_obs.json"),
+        Err(e) => eprintln!("could not write BENCH_obs.json: {e}"),
     }
 }

@@ -14,7 +14,7 @@ pub mod figures;
 
 use std::time::Duration;
 
-use skycache_core::{Executor, Overlap, QueryStats};
+use skycache_core::{Executor, Overlap, QueryRequest, QueryStats};
 use skycache_datagen::{
     DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen, SyntheticGen,
 };
@@ -85,7 +85,12 @@ impl Record {
 pub fn run_queries(ex: &mut dyn Executor, queries: &[Constraints]) -> Vec<Record> {
     queries
         .iter()
-        .map(|c| Record { stats: ex.query(c).expect("benchmark query succeeds").stats })
+        .map(|c| Record {
+            stats: ex
+                .execute(&QueryRequest::new(c.clone()))
+                .expect("benchmark query succeeds")
+                .stats,
+        })
         .collect()
 }
 

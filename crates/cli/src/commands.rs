@@ -4,7 +4,8 @@ use std::error::Error;
 use std::time::Instant;
 
 use skycache_core::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, QueryRequest,
+    SearchStrategy,
 };
 use skycache_datagen::{
     DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen, SyntheticGen,
@@ -86,13 +87,14 @@ pub fn query(args: &Args) -> CmdResult {
     args.finish()?;
 
     let t0 = Instant::now();
+    let req = QueryRequest::new(c.clone());
     let result = match method.as_str() {
-        "baseline" => BaselineExecutor::new(&table).query(&c)?,
+        "baseline" => BaselineExecutor::new(&table).execute(&req)?.into_result(),
         "bbs" => {
             println!("building BBS R-tree...");
-            BbsExecutor::new(&table).query(&c)?
+            BbsExecutor::new(&table).execute(&req)?.into_result()
         }
-        "cbcs" => CbcsExecutor::new(&table, CbcsConfig::default()).query(&c)?,
+        "cbcs" => CbcsExecutor::new(&table, CbcsConfig::default()).execute(&req)?.into_result(),
         other => return Err(format!("unknown method: {other}").into()),
     };
     let wall = t0.elapsed();
@@ -166,7 +168,7 @@ pub fn workload(args: &Args) -> CmdResult {
     let mut hits = 0usize;
     println!("{:<6} {:>10} {:>10} {:>8} {:>18}", "query", "|skyline|", "pts read", "rq", "case");
     for (i, c) in queries.iter().enumerate() {
-        let r = ex.query(c)?;
+        let r = ex.execute(&QueryRequest::new(c.clone()))?;
         total_pts += r.stats.points_read;
         total_time += r.stats.stages.total().as_secs_f64();
         if r.stats.cache_hit {
@@ -219,7 +221,7 @@ pub fn compare(args: &Args) -> CmdResult {
         let (mut time, mut pts, mut dom) = (0.0f64, 0u64, 0u64);
         let mut sizes = Vec::with_capacity(queries.len());
         for c in &queries {
-            let r = ex.query(c)?;
+            let r = ex.execute(&QueryRequest::new(c.clone()))?;
             time += r.stats.stages.total().as_secs_f64();
             pts += r.stats.points_read;
             dom += r.stats.dominance_tests;

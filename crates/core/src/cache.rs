@@ -50,6 +50,21 @@ pub enum ReplacementPolicy {
     Lcu,
 }
 
+/// Result of a [`Cache::lookup`]: the overlapping items plus the work
+/// done finding them, so the caller can account for lookup cost (the
+/// `cache.overlap_scans` metric) instead of guessing.
+#[derive(Debug)]
+pub struct LookupOutcome<'a> {
+    /// Items whose index box intersects the query region.
+    pub items: Vec<&'a CacheItem>,
+    /// Cached items individually tested for overlap (0 when the lookup
+    /// short-circuited).
+    pub scans: u64,
+    /// Whether the cache-wide bounding box proved the lookup empty
+    /// without consulting the R\*-tree at all.
+    pub short_circuited: bool,
+}
+
 /// The cache: items plus an R\*-tree over their index boxes.
 #[derive(Debug)]
 pub struct Cache {
@@ -60,6 +75,12 @@ pub struct Cache {
     capacity: Option<usize>,
     policy: ReplacementPolicy,
     dims: usize,
+    /// Union of every item's index box, maintained incrementally on
+    /// insert and refreshed exactly on removal/reindex — lets lookups
+    /// for regions outside everything cached skip the R\*-tree walk.
+    bound: Option<Aabb>,
+    /// Items evicted by the replacement policy since construction.
+    evictions: u64,
 }
 
 impl Cache {
@@ -83,6 +104,8 @@ impl Cache {
             capacity,
             policy,
             dims,
+            bound: None,
+            evictions: 0,
         }
     }
 
@@ -117,7 +140,12 @@ impl Cache {
         let id = self.next_id;
         self.next_id += 1;
         let mbr = Aabb::bounding(&skyline);
-        self.index.insert(Self::index_box(&constraints, &mbr), id);
+        let key = Self::index_box(&constraints, &mbr);
+        match &mut self.bound {
+            Some(b) => b.merge(&key),
+            None => self.bound = Some(key.clone()),
+        }
+        self.index.insert(key, id);
         self.items.insert(
             id,
             CacheItem {
@@ -165,7 +193,9 @@ impl Cache {
             })
             .map(|it| it.id);
         if let Some(id) = victim {
-            self.remove(id);
+            if self.remove(id).is_some() {
+                self.evictions += 1;
+            }
         }
     }
 
@@ -175,6 +205,7 @@ impl Cache {
         let key = Self::index_box(&item.constraints, &item.mbr);
         let removed = self.index.remove(&key, |&v| v == id);
         debug_assert!(removed.is_some(), "index out of sync with items");
+        self.bound = self.index.mbr();
         Some(item)
     }
 
@@ -186,11 +217,38 @@ impl Cache {
     /// All items whose index box intersects the query region `R_C′`
     /// (the paper's `R_C′ ∩ MBR ≠ ∅` lookup), in unspecified order.
     pub fn overlapping(&self, new: &Constraints) -> Vec<&CacheItem> {
+        self.lookup(new).items
+    }
+
+    /// [`Cache::overlapping`] with work accounting: the overlap search
+    /// first tests the query region against the cache-wide bounding box
+    /// — a query disjoint from everything cached is answered in `O(d)`
+    /// with zero per-item scans, skipping the R\*-tree walk entirely.
+    pub fn lookup(&self, new: &Constraints) -> LookupOutcome<'_> {
         assert_eq!(new.dims(), self.dims, "constraints dimensionality mismatch");
+        let disjoint = match &self.bound {
+            None => true,
+            Some(b) => !b.intersects(new.aabb()),
+        };
+        if disjoint {
+            return LookupOutcome { items: Vec::new(), scans: 0, short_circuited: true };
+        }
         let ids = self.index.search(new.aabb());
+        let scans = ids.len() as u64;
         let hits: Vec<&CacheItem> = ids.iter().filter_map(|id| self.items.get(id)).collect();
         debug_assert_eq!(hits.len(), ids.len(), "index out of sync with items");
-        hits
+        LookupOutcome { items: hits, scans, short_circuited: false }
+    }
+
+    /// Union of every cached item's index box (`None` when empty).
+    pub fn bound(&self) -> Option<&Aabb> {
+        self.bound.as_ref()
+    }
+
+    /// Items evicted by the replacement policy since construction
+    /// (explicit [`Cache::remove`] calls are not evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Records a use of the item (updates LRU/LCU counters). A miss on an
@@ -223,6 +281,7 @@ impl Cache {
         let removed = self.index.remove(&old_key, |&v| v == id);
         debug_assert!(removed.is_some(), "index out of sync with items");
         self.index.insert(new_key, id);
+        self.bound = self.index.mbr();
     }
 
     /// Dynamic-data maintenance (paper Section 6.2, "each cache item as a
@@ -422,6 +481,70 @@ mod tests {
         assert!(cache.get(keep).is_some());
         // Deleting a non-skyline point is free.
         assert_eq!(cache.on_delete(&p(&[9.0, 9.0])), 0);
+    }
+
+    #[test]
+    fn lookup_short_circuits_disjoint_queries() {
+        let mut cache = Cache::new(2);
+        // Empty cache: trivially short-circuited.
+        let out = cache.lookup(&c(&[(0.0, 1.0), (0.0, 1.0)]));
+        assert!(out.short_circuited);
+        assert_eq!(out.scans, 0);
+        assert!(out.items.is_empty());
+
+        cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.2, 0.8]), p(&[0.6, 0.3])]);
+        cache.insert(c(&[(2.0, 3.0), (2.0, 3.0)]), vec![p(&[2.5, 2.5])]);
+
+        // Disjoint from the union of index boxes: answered from the
+        // cache-wide bound, zero per-item scans.
+        let miss = cache.lookup(&c(&[(8.0, 9.0), (8.0, 9.0)]));
+        assert!(miss.short_circuited);
+        assert_eq!(miss.scans, 0);
+        assert!(miss.items.is_empty());
+
+        // Overlapping: the R*-tree walk scans candidates.
+        let hit = cache.lookup(&c(&[(0.5, 0.9), (0.1, 0.4)]));
+        assert!(!hit.short_circuited);
+        assert_eq!(hit.items.len(), 1);
+        assert!(hit.scans >= 1);
+        // overlapping() stays the thin façade over lookup().
+        assert_eq!(cache.overlapping(&c(&[(0.5, 0.9), (0.1, 0.4)])).len(), 1);
+    }
+
+    #[test]
+    fn bound_tracks_inserts_and_removals() {
+        let mut cache = Cache::new(1);
+        assert!(cache.bound().is_none());
+        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
+        let b = cache.insert(c(&[(5.0, 6.0)]), vec![p(&[5.5])]);
+        let both = cache.bound().unwrap().clone();
+        assert!(both.contains_point(&p(&[0.5])));
+        assert!(both.contains_point(&p(&[5.5])));
+
+        // Removal refreshes the bound exactly (no stale union).
+        cache.remove(b).unwrap();
+        let shrunk = cache.bound().unwrap().clone();
+        assert!(shrunk.contains_point(&p(&[0.5])));
+        assert!(!shrunk.contains_point(&p(&[5.5])));
+        assert!(cache.lookup(&c(&[(5.0, 6.0)])).short_circuited);
+
+        cache.remove(a).unwrap();
+        assert!(cache.bound().is_none());
+    }
+
+    #[test]
+    fn evictions_counter_counts_only_policy_evictions() {
+        let mut cache = Cache::with_capacity(1, Some(2), ReplacementPolicy::Lru);
+        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
+        cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(c(&[(2.0, 3.0)]), vec![p(&[2.5])]);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(a).is_none());
+        // Explicit removal is not an eviction.
+        let survivor = cache.iter().next().unwrap().id;
+        cache.remove(survivor).unwrap();
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]

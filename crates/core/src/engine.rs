@@ -8,6 +8,16 @@
 //! queries; *fetching* — latency to read points; *skyline* — the in-memory
 //! skyline computation).
 //!
+//! Queries enter through [`Executor::execute`] with a [`QueryRequest`] —
+//! constraints plus per-query execution-mode/algorithm overrides and an
+//! opt-in recording flag — and return a [`QueryOutcome`]: the skyline, the
+//! legacy [`QueryStats`] mirror, and (when recording) a
+//! [`skycache_obs::QueryReport`] with the six-phase span breakdown and the
+//! full metric registry. Instrumentation flows through the
+//! [`skycache_obs::Recorder`] interface; with recording off the pipeline
+//! only feeds the plain-struct [`QueryStats`], so the hot path allocates
+//! nothing for observability.
+//!
 //! Wall-clock figures combine measured CPU time with the deterministic
 //! simulated I/O latency of the table's [`skycache_storage::CostModel`]
 //! (see DESIGN.md: the substitution preserves the paper's cost structure
@@ -18,10 +28,13 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use skycache_algos::{bbs_constrained, BbsStats, ParallelDc, Sfs, SkylineAlgorithm, SkylineOutput};
+use skycache_algos::{
+    bbs_constrained, BbsStats, Bnl, DivideConquer, ParallelDc, Salsa, Sfs, SkylineAlgorithm,
+};
 use skycache_geom::{Aabb, Constraints, Point};
+use skycache_obs::{names, Phase, QueryRecorder, QueryReport, Recorder};
 use skycache_rtree::{RStarTree, RTreeParams};
-use skycache_storage::{FetchStats, Table};
+use skycache_storage::{FetchPlan, Table};
 
 use crate::cache::{Cache, ReplacementPolicy};
 use crate::cases::{plan_with_extra, QueryPlan};
@@ -35,11 +48,12 @@ use crate::{CoreError, Result};
 ///
 /// `Sequential` is the paper's single-threaded pipeline and the default.
 /// `Parallel` fetches a plan's regions over `lanes` concurrent I/O lanes
-/// ([`Table::fetch_batch_parallel`]) and switches the skyline stage to
-/// [`ParallelDc`] once the merged input reaches `dc_threshold` points.
-/// Both modes produce the same skyline *set* and identical fetch counters
-/// (`points_read`, `heap_fetches`, `range_queries_*`); only
-/// `dominance_tests` and the simulated latency may differ — see DESIGN.md.
+/// ([`Table::fetch_plan`] with a multi-lane [`FetchPlan`]) and switches the
+/// skyline stage to [`ParallelDc`] once the merged input reaches
+/// `dc_threshold` points. Both modes produce the same skyline *set* and
+/// identical fetch counters (`points_read`, `heap_fetches`,
+/// `range_queries_*`); only `dominance_tests` and the simulated latency
+/// may differ — see DESIGN.md.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecMode {
     /// Single-threaded fetching and skyline computation.
@@ -73,20 +87,176 @@ impl ExecMode {
     }
 }
 
+/// The in-memory skyline algorithm of a [`QueryRequest`] override.
+///
+/// Executors carry a configured default (SFS, as in the paper's
+/// evaluation); a request may swap it per query without rebuilding the
+/// executor or its cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AlgoChoice {
+    /// Sort-Filter-Skyline (the paper's evaluation default).
+    #[default]
+    Sfs,
+    /// Block-Nested-Loops.
+    Bnl,
+    /// Divide-and-conquer.
+    DivideConquer,
+    /// SaLSa (sort and limit skyline algorithm).
+    Salsa,
+}
+
+impl AlgoChoice {
+    /// The algorithm implementation behind this choice.
+    pub fn algorithm(self) -> &'static dyn SkylineAlgorithm {
+        match self {
+            AlgoChoice::Sfs => &Sfs,
+            AlgoChoice::Bnl => &Bnl,
+            AlgoChoice::DivideConquer => &DivideConquer,
+            AlgoChoice::Salsa => &Salsa,
+        }
+    }
+}
+
+/// One constrained-skyline query, as handed to [`Executor::execute`].
+///
+/// Built with [`QueryRequest::new`] plus the builder methods; the plain
+/// `new` form reproduces the executor's configured behavior exactly.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The query constraints `C`.
+    pub constraints: Constraints,
+    /// Per-query execution-mode override (`None` — use the executor's
+    /// configured mode).
+    pub exec: Option<ExecMode>,
+    /// Per-query skyline-algorithm override (`None` — use the executor's
+    /// configured algorithm). Ignored by [`BbsExecutor`], whose traversal
+    /// *is* its algorithm.
+    pub algo: Option<AlgoChoice>,
+    /// Capture a per-query [`QueryReport`] (spans, counters, gauges,
+    /// histograms). Off by default: the report costs allocations.
+    pub record: bool,
+}
+
+impl QueryRequest {
+    /// A request answering `Sky(S, C)` with the executor's configuration.
+    pub fn new(constraints: Constraints) -> Self {
+        QueryRequest { constraints, exec: None, algo: None, record: false }
+    }
+
+    /// Overrides the execution mode for this query only.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Overrides the in-memory skyline algorithm for this query only.
+    pub fn with_algo(mut self, algo: AlgoChoice) -> Self {
+        self.algo = Some(algo);
+        self
+    }
+
+    /// Turns on per-query recording ([`QueryOutcome::report`]).
+    pub fn recorded(mut self) -> Self {
+        self.record = true;
+        self
+    }
+}
+
+/// Everything one query produced.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The constrained skyline `Sky(S, C)`.
+    pub skyline: Vec<Point>,
+    /// Work and latency counters (always populated).
+    pub stats: QueryStats,
+    /// The detailed per-query report; `Some` iff the request set
+    /// [`QueryRequest::record`].
+    pub report: Option<QueryReport>,
+}
+
+impl QueryOutcome {
+    /// Drops the report and converts to the legacy [`QueryResult`].
+    pub fn into_result(self) -> QueryResult {
+        QueryResult { skyline: self.skyline, stats: self.stats }
+    }
+}
+
+/// Observation fan-out for one running query: the always-on
+/// [`QueryStats`] mirror plus an optional detailed [`QueryRecorder`].
+///
+/// The pipeline emits every event exactly once, through this; with
+/// recording off the recorder half is `None` and each event is one
+/// match-free struct update.
+pub(crate) struct Probe<'a> {
+    /// Legacy counters, kept exactly as populated by previous releases.
+    pub stats: &'a mut QueryStats,
+    /// Detailed capture, present only when the request asked to record.
+    pub rec: Option<&'a mut QueryRecorder>,
+}
+
+impl Recorder for Probe<'_> {
+    fn detailed(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    fn record_span(&mut self, phase: Phase, elapsed: Duration) {
+        self.stats.record_span(phase, elapsed);
+        if let Some(rec) = self.rec.as_mut() {
+            rec.record_span(phase, elapsed);
+        }
+    }
+
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        self.stats.add_counter(name, delta);
+        if let Some(rec) = self.rec.as_mut() {
+            rec.add_counter(name, delta);
+        }
+    }
+
+    fn set_gauge(&mut self, name: &'static str, value: f64) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.set_gauge(name, value);
+        }
+    }
+
+    fn observe_value(&mut self, name: &'static str, value: f64) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.observe_value(name, value);
+        }
+    }
+}
+
+impl<'a> Probe<'a> {
+    /// Builds the probe for one query from the request's recording flag.
+    pub fn new(stats: &'a mut QueryStats, rec: Option<&'a mut QueryRecorder>) -> Self {
+        Probe { stats, rec }
+    }
+}
+
 /// Runs the skyline stage under `exec`: the configured sequential
 /// algorithm, or [`ParallelDc`] when parallel mode is on and the input is
-/// large enough to amortize thread spawns.
+/// large enough to amortize thread spawns. Returns the skyline; dominance
+/// tests (and, when detailed, parallel-lane gauges) go to the probe.
 fn compute_skyline(
     algo: &dyn SkylineAlgorithm,
     exec: ExecMode,
     points: Vec<Point>,
-) -> SkylineOutput {
-    match exec {
+    probe: &mut Probe<'_>,
+) -> Vec<Point> {
+    let out = match exec {
         ExecMode::Parallel { lanes, dc_threshold } if lanes > 1 && points.len() >= dc_threshold => {
-            ParallelDc { threads: lanes, sequential_threshold: dc_threshold }.compute(points)
+            let (out, report) = ParallelDc { threads: lanes, sequential_threshold: dc_threshold }
+                .compute_with_report(points);
+            if probe.detailed() && report.workers > 0 {
+                probe.set_gauge(names::LANES_SKYLINE_WORKERS, report.workers as f64);
+                probe.set_gauge(names::LANES_SKYLINE_IMBALANCE, report.imbalance());
+            }
+            out
         }
         _ => algo.compute(points),
-    }
+    };
+    probe.add_counter(names::SKYLINE_DOMINANCE_TESTS, out.dominance_tests);
+    out.skyline
 }
 
 /// The Figure-10 stage breakdown of one query.
@@ -144,15 +314,41 @@ pub struct QueryStats {
     pub bbs: Option<BbsStats>,
 }
 
-impl QueryStats {
-    fn absorb_fetch(&mut self, fetch: &FetchStats) {
-        self.points_read += fetch.points_read;
-        self.heap_fetches += fetch.heap_fetches;
-        self.range_queries_issued += fetch.range_queries_issued;
-        self.range_queries_executed += fetch.range_queries_executed;
-        self.range_queries_empty += fetch.range_queries_empty;
+/// The legacy mirror: spans fold into the three Figure-10 stages and the
+/// canonical counters land in the struct fields previous releases exposed.
+/// Events without a corresponding field (index probes, histograms,
+/// gauges) are dropped here — the detailed recorder keeps them.
+impl Recorder for QueryStats {
+    fn record_span(&mut self, phase: Phase, elapsed: Duration) {
+        match phase {
+            Phase::CacheLookup | Phase::CaseAnalysis | Phase::MprCompute => {
+                self.stages.processing += elapsed;
+            }
+            Phase::Fetch => self.stages.fetching += elapsed,
+            Phase::Merge | Phase::Skyline => self.stages.skyline += elapsed,
+        }
     }
 
+    fn add_counter(&mut self, name: &'static str, delta: u64) {
+        match name {
+            names::FETCH_POINTS_READ => self.points_read += delta,
+            names::FETCH_HEAP_FETCHES => self.heap_fetches += delta,
+            names::FETCH_REGIONS => self.range_queries_issued += delta,
+            names::FETCH_RQ_EXECUTED => self.range_queries_executed += delta,
+            names::FETCH_RQ_EMPTY => self.range_queries_empty += delta,
+            names::SKYLINE_DOMINANCE_TESTS => self.dominance_tests += delta,
+            names::CACHE_RETAINED_POINTS => self.retained_points += delta,
+            names::CACHE_REMOVED_POINTS => self.removed_points += delta,
+            names::SKYLINE_RESULT_SIZE => self.result_size += delta,
+            names::CACHE_CANDIDATES => {
+                self.candidates += usize::try_from(delta).unwrap_or(usize::MAX);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl QueryStats {
     /// Whether the used cache item was stable w.r.t. the query (None when
     /// no cache item was used).
     pub fn stable(&self) -> Option<bool> {
@@ -174,8 +370,15 @@ pub trait Executor {
     /// Human-readable method name (used by benchmark output).
     fn name(&self) -> String;
 
-    /// Answers `Sky(S, C)`.
-    fn query(&mut self, c: &Constraints) -> Result<QueryResult>;
+    /// Answers the request: `Sky(S, C)` for its constraints, honoring its
+    /// overrides and recording flag.
+    fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome>;
+
+    /// Answers `Sky(S, C)` with the executor's configured defaults.
+    #[deprecated(note = "use Executor::execute with a QueryRequest")]
+    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
+        Ok(self.execute(&QueryRequest::new(c.clone()))?.into_result())
+    }
 }
 
 pub(crate) fn check_dims(table: &Table, c: &Constraints) -> Result<()> {
@@ -213,6 +416,7 @@ impl<'t> BaselineExecutor<'t> {
 
     /// Selects sequential or parallel execution of the skyline stage
     /// (Baseline issues a single range query, so fetching is unaffected).
+    #[deprecated(note = "use QueryRequest::with_exec for per-query execution modes")]
     pub fn with_exec_mode(mut self, exec: ExecMode) -> Self {
         self.exec = exec;
         self
@@ -224,23 +428,22 @@ impl Executor for BaselineExecutor<'_> {
         "Baseline".into()
     }
 
-    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
+    fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome> {
+        let c = &req.constraints;
         check_dims(self.table, c)?;
+        let exec = req.exec.unwrap_or(self.exec);
+        let algo: &dyn SkylineAlgorithm = match req.algo {
+            Some(choice) => choice.algorithm(),
+            None => self.algo.as_ref(),
+        };
+
         let mut stats = QueryStats::default();
+        let mut rec = if req.record { Some(QueryRecorder::new()) } else { None };
+        let mut probe = Probe::new(&mut stats, rec.as_mut());
+        let skyline = query_naive(self.table, algo, exec, c, &mut probe);
+        probe.add_counter(names::SKYLINE_RESULT_SIZE, skyline.len() as u64);
 
-        let t0 = Stopwatch::start();
-        let fetch = self.table.fetch_constrained(c);
-        stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
-        stats.absorb_fetch(&fetch.stats);
-
-        let t1 = Stopwatch::start();
-        let points: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
-        let out = compute_skyline(self.algo.as_ref(), self.exec, points);
-        stats.stages.skyline = t1.elapsed();
-        stats.dominance_tests = out.dominance_tests;
-        stats.result_size = out.skyline.len() as u64;
-
-        Ok(QueryResult { skyline: out.skyline, stats })
+        Ok(QueryOutcome { skyline, stats, report: rec.map(QueryRecorder::into_report) })
     }
 }
 
@@ -268,6 +471,11 @@ impl Default for BbsConfig {
 
 /// The I/O-optimal BBS method of Papadias et al. over an STR-bulk-loaded
 /// R\*-tree of the dataset.
+///
+/// BBS's branch-and-bound traversal *is* its algorithm, so
+/// [`QueryRequest::algo`] and [`QueryRequest::exec`] overrides are
+/// ignored; recording still works (fetch/skyline spans, dominance tests,
+/// points read).
 pub struct BbsExecutor<'t> {
     table: &'t Table,
     tree: RStarTree<u32>,
@@ -295,9 +503,12 @@ impl Executor for BbsExecutor<'_> {
         "BBS".into()
     }
 
-    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
+    fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome> {
+        let c = &req.constraints;
         check_dims(self.table, c)?;
         let mut stats = QueryStats::default();
+        let mut rec = if req.record { Some(QueryRecorder::new()) } else { None };
+        let mut probe = Probe::new(&mut stats, rec.as_mut());
 
         let t0 = Stopwatch::start();
         let out = bbs_constrained(&self.tree, c);
@@ -306,14 +517,24 @@ impl Executor for BbsExecutor<'_> {
         // BBS interleaves I/O and computation; attribute the simulated
         // node-access latency to fetching and the measured CPU time to the
         // skyline stage.
-        stats.stages.fetching = Duration::from_nanos(self.config.node_ns * out.stats.node_accesses);
-        stats.stages.skyline = wall;
-        stats.dominance_tests = out.stats.dominance_tests;
-        stats.points_read = out.stats.entries_popped - out.stats.node_accesses;
-        stats.result_size = out.skyline.len() as u64;
+        probe.record_span(
+            Phase::Fetch,
+            Duration::from_nanos(self.config.node_ns * out.stats.node_accesses),
+        );
+        probe.record_span(Phase::Skyline, wall);
+        probe.add_counter(names::SKYLINE_DOMINANCE_TESTS, out.stats.dominance_tests);
+        probe.add_counter(
+            names::FETCH_POINTS_READ,
+            out.stats.entries_popped - out.stats.node_accesses,
+        );
+        probe.add_counter(names::SKYLINE_RESULT_SIZE, out.skyline.len() as u64);
         stats.bbs = Some(out.stats);
 
-        Ok(QueryResult { skyline: out.skyline, stats })
+        Ok(QueryOutcome {
+            skyline: out.skyline,
+            stats,
+            report: rec.map(QueryRecorder::into_report),
+        })
     }
 }
 
@@ -414,8 +635,7 @@ impl Executor for CbcsExecutor<'_> {
         format!("CBCS[{}]", self.config.mpr.label())
     }
 
-    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
-        check_dims(self.table, c)?;
+    fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome> {
         execute_cbcs_query(
             self.table,
             &mut self.cache,
@@ -423,13 +643,18 @@ impl Executor for CbcsExecutor<'_> {
             self.algo.as_ref(),
             &mut self.rng,
             &self.data_bounds,
-            c,
+            req,
         )
     }
 }
 
 /// The CBCS query pipeline (paper Section 6), shared by the borrowing
 /// [`CbcsExecutor`] and the owning [`DynamicCbcsExecutor`].
+///
+/// Spans: cache-lookup (R\*-tree search + bounding-box short-circuit),
+/// case-analysis (strategy selection + extra-item harvest), mpr-compute
+/// (plan construction); the fetch/merge/skyline spans are recorded by
+/// [`query_naive`]/[`query_planned`].
 fn execute_cbcs_query(
     table: &Table,
     cache: &mut Cache,
@@ -437,16 +662,31 @@ fn execute_cbcs_query(
     algo: &dyn SkylineAlgorithm,
     rng: &mut StdRng,
     data_bounds: &Aabb,
-    c: &Constraints,
-) -> Result<QueryResult> {
+    req: &QueryRequest,
+) -> Result<QueryOutcome> {
+    let c = &req.constraints;
+    check_dims(table, c)?;
+    let exec = req.exec.unwrap_or(config.exec);
+    let algo: &dyn SkylineAlgorithm = match req.algo {
+        Some(choice) => choice.algorithm(),
+        None => algo,
+    };
+
     let mut stats = QueryStats::default();
+    let mut rec = if req.record { Some(QueryRecorder::new()) } else { None };
+    let mut probe = Probe::new(&mut stats, rec.as_mut());
 
     // Processing stage: cache lookup, strategy, classification, MPR.
-    let t0 = Stopwatch::start();
     let selection = {
-        let candidates = cache.overlapping(c);
-        stats.candidates = candidates.len();
-        config.strategy.select(&candidates, c, data_bounds, rng).map(|idx| {
+        let t0 = Stopwatch::start();
+        let lookup = cache.lookup(c);
+        let candidates = lookup.items;
+        probe.record_span(Phase::CacheLookup, t0.elapsed());
+        probe.add_counter(names::CACHE_CANDIDATES, candidates.len() as u64);
+        probe.add_counter(names::CACHE_OVERLAP_SCANS, lookup.scans);
+
+        let t1 = Stopwatch::start();
+        let picked = config.strategy.select(&candidates, c, data_bounds, rng).map(|idx| {
             let item = candidates[idx];
             // Section 6.3 extension: harvest extra pruning points
             // from the next-best items by constraint overlap.
@@ -466,26 +706,43 @@ fn execute_cbcs_query(
             } else {
                 Vec::new()
             };
-            (item.id, plan_with_extra(&item.constraints, &item.skyline, &extra, c, config.mpr))
+            (item, extra)
+        });
+        probe.record_span(Phase::CaseAnalysis, t1.elapsed());
+
+        picked.map(|(item, extra)| {
+            let t2 = Stopwatch::start();
+            let plan = plan_with_extra(&item.constraints, &item.skyline, &extra, c, config.mpr);
+            probe.record_span(Phase::MprCompute, t2.elapsed());
+            (item.id, plan)
         })
     };
-    stats.stages.processing = t0.elapsed();
 
     let skyline = match selection {
-        None => query_naive(table, algo, config.exec, c, &mut stats),
+        None => {
+            probe.add_counter(names::CACHE_MISSES, 1);
+            query_naive(table, algo, exec, c, &mut probe)
+        }
         Some((item_id, query_plan)) => {
-            stats.cache_hit = true;
+            probe.add_counter(names::CACHE_HITS, 1);
+            probe.stats.cache_hit = true;
             cache.touch(item_id);
-            query_planned(table, algo, config.exec, query_plan, &mut stats)
+            query_planned(table, algo, exec, query_plan, &mut probe)
         }
     };
-    stats.result_size = skyline.len() as u64;
+    probe.add_counter(names::SKYLINE_RESULT_SIZE, skyline.len() as u64);
 
     if config.cache_results {
+        let evictions_before = cache.evictions();
         cache.insert(c.clone(), skyline.clone());
+        probe.add_counter(names::CACHE_INSERTIONS, 1);
+        let evicted = cache.evictions() - evictions_before;
+        if evicted > 0 {
+            probe.add_counter(names::CACHE_EVICTIONS, evicted);
+        }
     }
 
-    Ok(QueryResult { skyline, stats })
+    Ok(QueryOutcome { skyline, stats, report: rec.map(QueryRecorder::into_report) })
 }
 
 /// The cache-miss path: one constraint range query plus a full skyline.
@@ -494,19 +751,21 @@ pub(crate) fn query_naive(
     algo: &dyn SkylineAlgorithm,
     exec: ExecMode,
     c: &Constraints,
-    stats: &mut QueryStats,
+    probe: &mut Probe<'_>,
 ) -> Vec<Point> {
     let t0 = Stopwatch::start();
-    let fetch = table.fetch_constrained(c);
-    stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
-    stats.absorb_fetch(&fetch.stats);
+    let fetch = table.fetch_plan(&FetchPlan::constrained(c));
+    probe.record_span(Phase::Fetch, t0.elapsed() + fetch.simulated_latency);
+    fetch.record_into(probe);
+    if probe.detailed() {
+        probe.add_counter(names::FETCH_PAGES_TOUCHED, table.pages_touched(&fetch.rows));
+    }
 
     let t1 = Stopwatch::start();
     let points: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
-    let out = compute_skyline(algo, exec, points);
-    stats.stages.skyline = t1.elapsed();
-    stats.dominance_tests = out.dominance_tests;
-    out.skyline
+    let skyline = compute_skyline(algo, exec, points, probe);
+    probe.record_span(Phase::Skyline, t1.elapsed());
+    skyline
 }
 
 /// The cache-hit path: fetch the plan's regions, merge, recompute.
@@ -519,35 +778,37 @@ pub(crate) fn query_planned(
     algo: &dyn SkylineAlgorithm,
     exec: ExecMode,
     plan: QueryPlan,
-    stats: &mut QueryStats,
+    probe: &mut Probe<'_>,
 ) -> Vec<Point> {
-    stats.case = Some(plan.overlap);
-    stats.retained_points = plan.retained.len() as u64;
-    stats.removed_points = plan.removed_points as u64;
+    probe.stats.case = Some(plan.overlap);
+    probe.add_counter(names::CACHE_RETAINED_POINTS, plan.retained.len() as u64);
+    probe.add_counter(names::CACHE_REMOVED_POINTS, plan.removed_points as u64);
+    probe.add_counter(names::MPR_REGIONS, plan.regions.len() as u64);
+    probe.add_counter(names::MPR_PRUNE_POINTS, plan.prune_points_used as u64);
+    probe.add_counter(names::MPR_INVALIDATED_PIECES, plan.invalidated_pieces as u64);
 
     let t0 = Stopwatch::start();
-    let fetch = match exec {
-        ExecMode::Parallel { lanes, .. } if lanes > 1 && plan.regions.len() > 1 => {
-            table.fetch_batch_parallel(&plan.regions, lanes)
-        }
-        _ => table.fetch_batch(&plan.regions),
-    };
-    stats.stages.fetching = t0.elapsed() + fetch.simulated_latency;
-    stats.absorb_fetch(&fetch.stats);
+    let fetch = table.fetch_plan(&FetchPlan::new(plan.regions).with_lanes(exec.lanes()));
+    probe.record_span(Phase::Fetch, t0.elapsed() + fetch.simulated_latency);
+    fetch.record_into(probe);
+    if probe.detailed() {
+        probe.add_counter(names::FETCH_PAGES_TOUCHED, table.pages_touched(&fetch.rows));
+    }
 
-    let t1 = Stopwatch::start();
-    let skyline = if plan.needs_skyline {
+    if plan.needs_skyline {
+        let t1 = Stopwatch::start();
         let fetched: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
         let merged = merge_dedup(plan.retained, fetched);
-        let out = compute_skyline(algo, exec, merged);
-        stats.dominance_tests = out.dominance_tests;
-        out.skyline
+        probe.record_span(Phase::Merge, t1.elapsed());
+
+        let t2 = Stopwatch::start();
+        let skyline = compute_skyline(algo, exec, merged, probe);
+        probe.record_span(Phase::Skyline, t2.elapsed());
+        skyline
     } else {
         // Exact hit or Case (b): the retained points are the answer.
         plan.retained
-    };
-    stats.stages.skyline = t1.elapsed();
-    skyline
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -623,8 +884,7 @@ impl Executor for DynamicCbcsExecutor {
         format!("DynamicCBCS[{}]", self.config.mpr.label())
     }
 
-    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
-        check_dims(&self.table, c)?;
+    fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome> {
         execute_cbcs_query(
             &self.table,
             &mut self.cache,
@@ -632,7 +892,7 @@ impl Executor for DynamicCbcsExecutor {
             self.algo.as_ref(),
             &mut self.rng,
             &self.data_bounds,
-            c,
+            req,
         )
     }
 }
@@ -686,11 +946,15 @@ mod tests {
         Constraints::from_pairs(pairs).unwrap()
     }
 
+    fn run(ex: &mut impl Executor, cc: &Constraints) -> QueryResult {
+        ex.execute(&QueryRequest::new(cc.clone())).unwrap().into_result()
+    }
+
     #[test]
     fn baseline_computes_constrained_skyline() {
         let table = grid_table();
         let mut ex = BaselineExecutor::new(&table);
-        let res = ex.query(&c(&[(0.5, 1.0), (0.5, 1.0)])).unwrap();
+        let res = run(&mut ex, &c(&[(0.5, 1.0), (0.5, 1.0)]));
         // The grid's constrained skyline is the single corner (0.5, 0.5).
         assert_eq!(res.skyline, vec![p(&[0.5, 0.5])]);
         assert!(res.stats.points_read > 0);
@@ -709,9 +973,9 @@ mod tests {
             c(&[(0.35, 1.4), (0.2, 0.8)]),
             c(&[(0.0, 1.9), (0.0, 1.9)]),
         ] {
-            let mut a = baseline.query(&cc).unwrap().skyline;
-            let mut b = bbs.query(&cc).unwrap().skyline;
-            let mut d = cbcs.query(&cc).unwrap().skyline;
+            let mut a = run(&mut baseline, &cc).skyline;
+            let mut b = run(&mut bbs, &cc).skyline;
+            let mut d = run(&mut cbcs, &cc).skyline;
             let key = |x: &Point| (x[0].to_bits(), x[1].to_bits());
             a.sort_by_key(key);
             b.sort_by_key(key);
@@ -726,13 +990,13 @@ mod tests {
         let table = grid_table();
         let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
         let c1 = c(&[(0.2, 1.0), (0.2, 1.0)]);
-        let r1 = cbcs.query(&c1).unwrap();
+        let r1 = run(&mut cbcs, &c1);
         assert!(!r1.stats.cache_hit);
         assert_eq!(cbcs.cache().len(), 1);
 
         // Case (c): widen the upper bound of dim 0.
         let c2 = c(&[(0.2, 1.2), (0.2, 1.0)]);
-        let r2 = cbcs.query(&c2).unwrap();
+        let r2 = run(&mut cbcs, &c2);
         assert!(r2.stats.cache_hit);
         assert_eq!(r2.stats.case, Some(Overlap::CaseC { dim: 0 }));
         assert!(r2.stats.points_read < r1.stats.points_read);
@@ -743,9 +1007,9 @@ mod tests {
         let table = grid_table();
         let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
         let c1 = c(&[(0.2, 1.0), (0.2, 1.0)]);
-        cbcs.query(&c1).unwrap();
+        run(&mut cbcs, &c1);
         let c2 = c(&[(0.2, 0.8), (0.2, 1.0)]);
-        let r2 = cbcs.query(&c2).unwrap();
+        let r2 = run(&mut cbcs, &c2);
         assert_eq!(r2.stats.case, Some(Overlap::CaseB { dim: 0 }));
         assert_eq!(r2.stats.points_read, 0);
         assert_eq!(r2.stats.range_queries_issued, 0);
@@ -757,8 +1021,8 @@ mod tests {
         let table = grid_table();
         let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
         let c1 = c(&[(0.2, 1.0), (0.2, 1.0)]);
-        let r1 = cbcs.query(&c1).unwrap();
-        let r2 = cbcs.query(&c1).unwrap();
+        let r1 = run(&mut cbcs, &c1);
+        let r2 = run(&mut cbcs, &c1);
         assert_eq!(r2.stats.case, Some(Overlap::Exact));
         assert_eq!(r2.stats.points_read, 0);
         assert_eq!(r2.skyline, r1.skyline);
@@ -776,8 +1040,8 @@ mod tests {
             c(&[(0.2, 1.5), (0.4, 1.5)]), // case (a)
         ];
         for cc in &chain {
-            let mut a = baseline.query(cc).unwrap().skyline;
-            let mut b = cbcs.query(cc).unwrap().skyline;
+            let mut a = run(&mut baseline, cc).skyline;
+            let mut b = run(&mut cbcs, cc).skyline;
             let key = |x: &Point| (x[0].to_bits(), x[1].to_bits());
             a.sort_by_key(key);
             b.sort_by_key(key);
@@ -792,8 +1056,8 @@ mod tests {
         let table = grid_table();
         let config = CbcsConfig { mpr: MprMode::Approximate { k: 0 }, ..CbcsConfig::default() };
         let mut cbcs = CbcsExecutor::new(&table, config);
-        cbcs.query(&c(&[(0.2, 1.0), (0.2, 1.0)])).unwrap();
-        let res = cbcs.query(&c(&[(0.1, 1.0), (0.2, 1.0)])).unwrap();
+        run(&mut cbcs, &c(&[(0.2, 1.0), (0.2, 1.0)]));
+        let res = run(&mut cbcs, &c(&[(0.1, 1.0), (0.2, 1.0)]));
         let mut sky = res.skyline.clone();
         sky.sort_by_key(|x| (x[0].to_bits(), x[1].to_bits()));
         sky.dedup();
@@ -806,7 +1070,7 @@ mod tests {
         let mut ex = BaselineExecutor::new(&table);
         let bad = Constraints::from_pairs(&[(0.0, 1.0)]).unwrap();
         assert!(matches!(
-            ex.query(&bad),
+            ex.execute(&QueryRequest::new(bad)),
             Err(CoreError::DimensionMismatch { expected: 2, actual: 1 })
         ));
     }
@@ -829,5 +1093,90 @@ mod tests {
             skyline: Duration::from_millis(3),
         };
         assert_eq!(t.total(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn deprecated_query_shim_matches_execute() {
+        let table = grid_table();
+        let cc = c(&[(0.3, 1.2), (0.2, 0.8)]);
+        let mut a = CbcsExecutor::new(&table, CbcsConfig::default());
+        let mut b = CbcsExecutor::new(&table, CbcsConfig::default());
+        #[allow(deprecated)]
+        let legacy = a.query(&cc).unwrap();
+        let modern = run(&mut b, &cc);
+        assert_eq!(legacy.skyline, modern.skyline);
+        assert_eq!(legacy.stats.points_read, modern.stats.points_read);
+    }
+
+    #[test]
+    fn request_without_recording_has_no_report() {
+        let table = grid_table();
+        let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
+        let out = cbcs.execute(&QueryRequest::new(c(&[(0.2, 1.0), (0.2, 1.0)]))).unwrap();
+        assert!(out.report.is_none());
+    }
+
+    #[test]
+    fn recorded_request_reports_spans_and_counters() {
+        let table = grid_table();
+        let mut cbcs = CbcsExecutor::new(&table, CbcsConfig::default());
+        let c1 = c(&[(0.2, 1.0), (0.2, 1.0)]);
+        let miss = cbcs.execute(&QueryRequest::new(c1.clone()).recorded()).unwrap().report.unwrap();
+        assert_eq!(miss.counter(names::CACHE_MISSES), 1);
+        assert_eq!(miss.counter(names::CACHE_HITS), 0);
+        assert_eq!(miss.counter(names::CACHE_INSERTIONS), 1);
+        assert!(miss.counter(names::FETCH_POINTS_READ) > 0);
+        assert!(miss.counter(names::FETCH_PAGES_TOUCHED) > 0);
+        assert!(miss.phase_ns(Phase::Skyline) > 0);
+
+        // Case (a) hit (lower bound widened): MPR regions must be
+        // fetched, and the cache counters appear.
+        let c2 = c(&[(0.1, 1.0), (0.2, 1.0)]);
+        let hit = cbcs.execute(&QueryRequest::new(c2).recorded()).unwrap().report.unwrap();
+        assert_eq!(hit.counter(names::CACHE_HITS), 1);
+        assert_eq!(hit.counter(names::CACHE_MISSES), 0);
+        assert!(hit.counter(names::CACHE_RETAINED_POINTS) > 0);
+        assert!(hit.counter(names::MPR_REGIONS) > 0);
+        // The report carries the same totals as the legacy stats mirror.
+        let out = cbcs.execute(&QueryRequest::new(c1).recorded()).unwrap();
+        let report = out.report.unwrap();
+        assert_eq!(report.counter(names::FETCH_POINTS_READ), out.stats.points_read);
+        assert_eq!(report.counter(names::SKYLINE_RESULT_SIZE), out.stats.result_size);
+    }
+
+    #[test]
+    fn request_overrides_exec_and_algo() {
+        let table = grid_table();
+        let cc = c(&[(0.0, 1.9), (0.0, 1.9)]);
+        let mut ex = BaselineExecutor::new(&table);
+        let base = run(&mut ex, &cc);
+        for req in [
+            QueryRequest::new(cc.clone()).with_algo(AlgoChoice::Bnl),
+            QueryRequest::new(cc.clone()).with_algo(AlgoChoice::DivideConquer),
+            QueryRequest::new(cc.clone()).with_algo(AlgoChoice::Salsa),
+            QueryRequest::new(cc.clone())
+                .with_exec(ExecMode::Parallel { lanes: 4, dc_threshold: 1 }),
+        ] {
+            let mut got = ex.execute(&req).unwrap().skyline;
+            let mut want = base.skyline.clone();
+            let key = |x: &Point| (x[0].to_bits(), x[1].to_bits());
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            assert_eq!(got, want, "override {req:?} diverged");
+        }
+    }
+
+    #[test]
+    fn recording_reports_evictions() {
+        let table = grid_table();
+        let config = CbcsConfig { capacity: Some(1), ..CbcsConfig::default() };
+        let mut cbcs = CbcsExecutor::new(&table, config);
+        run(&mut cbcs, &c(&[(0.2, 1.0), (0.2, 1.0)]));
+        // Disjoint constraints: a miss whose insert evicts the first item.
+        let out =
+            cbcs.execute(&QueryRequest::new(c(&[(1.2, 1.9), (1.2, 1.9)])).recorded()).unwrap();
+        let report = out.report.unwrap();
+        assert_eq!(report.counter(names::CACHE_EVICTIONS), 1);
+        assert_eq!(cbcs.cache().evictions(), 1);
     }
 }

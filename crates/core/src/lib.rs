@@ -28,7 +28,7 @@
 //!   thread-safe [`SharedCache`] for multi-user deployments.
 //!
 //! ```
-//! use skycache_core::{CbcsConfig, CbcsExecutor, Executor, MprMode};
+//! use skycache_core::{CbcsConfig, CbcsExecutor, Executor, MprMode, QueryRequest};
 //! use skycache_geom::{Constraints, Point};
 //! use skycache_storage::{Table, TableConfig};
 //!
@@ -41,14 +41,17 @@
 //! let mut cbcs = CbcsExecutor::new(&table, config);
 //!
 //! let c1 = Constraints::from_pairs(&[(5.0, 20.0), (5.0, 20.0)]).unwrap();
-//! let miss = cbcs.query(&c1).unwrap();
+//! let miss = cbcs.execute(&QueryRequest::new(c1)).unwrap();
 //! assert!(!miss.stats.cache_hit);
 //!
-//! // Widen one bound: answered from the cache via the MPR (case 3).
+//! // Widen one bound: answered from the cache via the MPR (case 3),
+//! // with a per-query report capturing the six-phase breakdown.
 //! let c2 = Constraints::from_pairs(&[(5.0, 22.0), (5.0, 20.0)]).unwrap();
-//! let hit = cbcs.query(&c2).unwrap();
+//! let hit = cbcs.execute(&QueryRequest::new(c2).recorded()).unwrap();
 //! assert!(hit.stats.cache_hit);
 //! assert!(hit.stats.points_read <= miss.stats.points_read);
+//! let report = hit.report.unwrap();
+//! assert_eq!(report.counter("cache.hits"), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -73,10 +76,10 @@ pub mod stability;
 /// Cache search strategies (Section 6.1).
 pub mod strategy;
 
-pub use cache::{Cache, CacheItem, ReplacementPolicy};
+pub use cache::{Cache, CacheItem, LookupOutcome, ReplacementPolicy};
 pub use engine::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, DynamicCbcsExecutor, ExecMode,
-    Executor, QueryResult, QueryStats, StageTimes,
+    AlgoChoice, BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, DynamicCbcsExecutor,
+    ExecMode, Executor, QueryOutcome, QueryRequest, QueryResult, QueryStats, StageTimes,
 };
 pub use error::CoreError;
 pub use mpr::{missing_points_region, missing_points_region_multi, MprMode, MprOutput};

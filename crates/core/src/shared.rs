@@ -21,14 +21,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use skycache_algos::{Sfs, SkylineAlgorithm};
-use skycache_geom::{Aabb, Constraints, Point};
+use skycache_geom::{Aabb, Point};
+use skycache_obs::{names, Phase, QueryRecorder, Recorder};
 use skycache_storage::Table;
 
 use crate::cache::Cache;
 use crate::cases::plan_with_extra;
 use crate::clock::Stopwatch;
 use crate::engine::{
-    check_dims, query_naive, query_planned, CbcsConfig, Executor, QueryResult, QueryStats,
+    check_dims, query_naive, query_planned, CbcsConfig, Executor, Probe, QueryOutcome,
+    QueryRequest, QueryStats,
 };
 use crate::Result;
 
@@ -111,17 +113,32 @@ impl Executor for SharedCbcsExecutor<'_> {
         format!("SharedCBCS[{}]", self.config.mpr.label())
     }
 
-    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
+    fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome> {
+        let c = &req.constraints;
         check_dims(self.table, c)?;
+        let exec = req.exec.unwrap_or(self.config.exec);
+        let algo: &dyn SkylineAlgorithm = match req.algo {
+            Some(choice) => choice.algorithm(),
+            None => self.algo.as_ref(),
+        };
+
         let mut stats = QueryStats::default();
+        let mut rec = if req.record { Some(QueryRecorder::new()) } else { None };
+        let mut probe = Probe::new(&mut stats, rec.as_mut());
 
         // Phase 1 (read lock): search + clone the selected item out.
-        let t0 = Stopwatch::start();
         let selection = {
             let cache = self.cache.inner.read(); // lock-order: read
-            let candidates = cache.overlapping(c);
-            stats.candidates = candidates.len();
-            self.config
+            let t0 = Stopwatch::start();
+            let lookup = cache.lookup(c);
+            let candidates = lookup.items;
+            probe.record_span(Phase::CacheLookup, t0.elapsed());
+            probe.add_counter(names::CACHE_CANDIDATES, candidates.len() as u64);
+            probe.add_counter(names::CACHE_OVERLAP_SCANS, lookup.scans);
+
+            let t1 = Stopwatch::start();
+            let picked = self
+                .config
                 .strategy
                 .select(&candidates, c, &self.data_bounds, &mut self.rng)
                 .and_then(|idx| candidates.get(idx))
@@ -142,39 +159,54 @@ impl Executor for SharedCbcsExecutor<'_> {
                         Vec::new()
                     };
                     (item.id, item.constraints.clone(), item.skyline.clone(), extra)
-                })
+                });
+            probe.record_span(Phase::CaseAnalysis, t1.elapsed());
+            picked
         };
 
         // Phase 2 (no lock): plan, fetch, merge, skyline.
         let skyline = match selection {
             None => {
-                stats.stages.processing = t0.elapsed();
-                query_naive(self.table, self.algo.as_ref(), self.config.exec, c, &mut stats)
+                probe.add_counter(names::CACHE_MISSES, 1);
+                query_naive(self.table, algo, exec, c, &mut probe)
             }
             Some((item_id, old_c, old_sky, extra)) => {
+                let t2 = Stopwatch::start();
                 let plan = plan_with_extra(&old_c, &old_sky, &extra, c, self.config.mpr);
-                stats.stages.processing = t0.elapsed();
-                stats.cache_hit = true;
+                probe.record_span(Phase::MprCompute, t2.elapsed());
+                probe.add_counter(names::CACHE_HITS, 1);
+                probe.stats.cache_hit = true;
                 self.cache.inner.write().touch(item_id); // lock-order: write
-                query_planned(self.table, self.algo.as_ref(), self.config.exec, plan, &mut stats)
+                query_planned(self.table, algo, exec, plan, &mut probe)
             }
         };
-        stats.result_size = skyline.len() as u64;
+        probe.add_counter(names::SKYLINE_RESULT_SIZE, skyline.len() as u64);
 
         // Phase 3 (write lock): publish the result.
         if self.config.cache_results {
-            self.cache.inner.write().insert(c.clone(), skyline.clone()); // lock-order: write
+            let mut cache = self.cache.inner.write(); // lock-order: write
+            let evictions_before = cache.evictions();
+            cache.insert(c.clone(), skyline.clone());
+            probe.add_counter(names::CACHE_INSERTIONS, 1);
+            let evicted = cache.evictions() - evictions_before;
+            if evicted > 0 {
+                probe.add_counter(names::CACHE_EVICTIONS, evicted);
+            }
         }
 
-        Ok(QueryResult { skyline, stats })
+        Ok(QueryOutcome { skyline, stats, report: rec.map(QueryRecorder::into_report) })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skycache_geom::Point;
+    use skycache_geom::{Constraints, Point};
     use skycache_storage::TableConfig;
+
+    fn run(ex: &mut impl Executor, c: &Constraints) -> crate::engine::QueryResult {
+        ex.execute(&QueryRequest::new(c.clone())).unwrap().into_result()
+    }
 
     fn table() -> Table {
         let points: Vec<Point> = (0..20)
@@ -193,10 +225,10 @@ mod tests {
         let mut bob = SharedCbcsExecutor::new(&t, shared.clone(), CbcsConfig::default());
 
         let c = Constraints::from_pairs(&[(0.2, 1.0), (0.2, 1.0)]).unwrap();
-        let r1 = alice.query(&c).unwrap();
+        let r1 = run(&mut alice, &c);
         assert!(!r1.stats.cache_hit);
 
-        let r2 = bob.query(&c).unwrap();
+        let r2 = run(&mut bob, &c);
         assert!(r2.stats.cache_hit, "bob must hit alice's cached result");
         assert_eq!(r2.skyline, r1.skyline);
         assert_eq!(shared.len(), 2); // both results cached
@@ -218,7 +250,7 @@ mod tests {
         {
             let mut ex = crate::engine::BaselineExecutor::new(&t);
             for c in &queries {
-                let mut sky = ex.query(c).unwrap().skyline;
+                let mut sky = run(&mut ex, c).skyline;
                 sky.sort_by_key(|p| (p[0].to_bits(), p[1].to_bits()));
                 reference.push(sky);
             }
@@ -235,7 +267,7 @@ mod tests {
                     let mut ex = SharedCbcsExecutor::new(t, shared, config);
                     for _round in 0..3 {
                         for (c, want) in queries.iter().zip(reference) {
-                            let mut got = ex.query(c).unwrap().skyline;
+                            let mut got = run(&mut ex, c).skyline;
                             got.sort_by_key(|p| (p[0].to_bits(), p[1].to_bits()));
                             assert_eq!(&got, want, "worker {worker}");
                         }

@@ -1,0 +1,81 @@
+//! Canonical metric names.
+//!
+//! One constant per metric, shared by producers (engine, cache, storage)
+//! and consumers (reports, the bench aggregator, tests), so a renamed
+//! metric is a compile error, not a silently empty dashboard column.
+//! The README's "Observability" section carries the same table in prose.
+
+// -- cache ------------------------------------------------------------------
+
+/// Queries answered (at least partly) from a cached item. Counter.
+pub const CACHE_HITS: &str = "cache.hits";
+/// Queries computed from scratch. Counter.
+pub const CACHE_MISSES: &str = "cache.misses";
+/// Items evicted by the replacement policy. Counter.
+pub const CACHE_EVICTIONS: &str = "cache.evictions";
+/// Results inserted into the cache. Counter.
+pub const CACHE_INSERTIONS: &str = "cache.insertions";
+/// Overlapping candidate items returned by cache lookups. Counter.
+pub const CACHE_CANDIDATES: &str = "cache.candidates";
+/// Cached items individually tested for overlap during lookups (0 when
+/// the cache-wide bounding box short-circuits the search). Counter.
+pub const CACHE_OVERLAP_SCANS: &str = "cache.overlap_scans";
+/// Cached skyline points retained into the new computation. Counter.
+pub const CACHE_RETAINED_POINTS: &str = "cache.retained_points";
+/// Cached skyline points invalidated by the new constraints. Counter.
+pub const CACHE_REMOVED_POINTS: &str = "cache.removed_points";
+
+// -- fetch ------------------------------------------------------------------
+
+/// Regions submitted to storage (one range query each). Counter.
+pub const FETCH_REGIONS: &str = "fetch.regions";
+/// Range queries that actually touched the heap. Counter.
+pub const FETCH_RQ_EXECUTED: &str = "fetch.range_queries_executed";
+/// Range queries discarded by index-only emptiness detection. Counter.
+pub const FETCH_RQ_EMPTY: &str = "fetch.range_queries_empty";
+/// Rows of the queried regions read from the heap. Counter.
+pub const FETCH_POINTS_READ: &str = "fetch.points_read";
+/// Heap tuples fetched by the chosen storage plans. Counter.
+pub const FETCH_HEAP_FETCHES: &str = "fetch.heap_fetches";
+/// Rows matching their region after post-filtering. Counter.
+pub const FETCH_ROWS_MATCHED: &str = "fetch.rows_matched";
+/// Per-dimension B-tree probes during planning. Counter.
+pub const FETCH_INDEX_PROBES: &str = "fetch.index_probes";
+/// Index entries scanned by the chosen plans. Counter.
+pub const FETCH_INDEX_ENTRIES: &str = "fetch.index_entries_scanned";
+/// Distinct heap pages touched by fetched rows (derived; only recorded
+/// when the recorder is [`detailed`](crate::Recorder::detailed)). Counter.
+pub const FETCH_PAGES_TOUCHED: &str = "fetch.pages_touched";
+/// Simulated I/O latency per fetch call, in nanoseconds. Histogram.
+pub const FETCH_LATENCY_NS: &str = "fetch.latency_ns";
+
+// -- mpr --------------------------------------------------------------------
+
+/// Regions in the executed (a)MPR plan. Counter.
+pub const MPR_REGIONS: &str = "mpr.regions";
+/// Cached skyline points used for pruning during MPR construction. Counter.
+pub const MPR_PRUNE_POINTS: &str = "mpr.prune_points";
+/// Cached-region pieces invalidated by inverted-logic preprocessing. Counter.
+pub const MPR_INVALIDATED_PIECES: &str = "mpr.invalidated_pieces";
+
+// -- skyline ----------------------------------------------------------------
+
+/// Pairwise dominance tests performed. Counter.
+pub const SKYLINE_DOMINANCE_TESTS: &str = "skyline.dominance_tests";
+/// Result cardinality. Counter.
+pub const SKYLINE_RESULT_SIZE: &str = "skyline.result_size";
+
+// -- lanes ------------------------------------------------------------------
+
+/// Concurrent fetch lanes used by the last multi-region fetch. Gauge.
+pub const LANES_FETCH: &str = "lanes.fetch";
+/// Fetch-lane imbalance: slowest lane's simulated latency divided by the
+/// mean lane latency (1.0 = perfectly balanced). Gauge.
+pub const LANES_FETCH_IMBALANCE: &str = "lanes.fetch_imbalance";
+/// Per-lane simulated fetch latency, in nanoseconds. Histogram.
+pub const LANES_FETCH_LATENCY_NS: &str = "lanes.fetch_latency_ns";
+/// Workers used by the parallel skyline kernel. Gauge.
+pub const LANES_SKYLINE_WORKERS: &str = "lanes.skyline_workers";
+/// Parallel-skyline imbalance: largest chunk-local skyline divided by
+/// the mean local skyline size (1.0 = perfectly balanced). Gauge.
+pub const LANES_SKYLINE_IMBALANCE: &str = "lanes.skyline_imbalance";

@@ -93,6 +93,10 @@ pub struct Policy {
     pub alloc_calls: Vec<String>,
     /// Macro names counted as allocation machinery (`vec`, `format`).
     pub alloc_macros: Vec<String>,
+    /// Recorder method names forbidden inside the kernels' reachable
+    /// call tree (hot-path-alloc): kernels return stats by value, the
+    /// engine publishes them. Empty disables the check.
+    pub recorder_idents: Vec<String>,
 }
 
 impl Policy {
@@ -156,12 +160,13 @@ impl Policy {
                 ],
             ),
             alloc_macros: list_or("rules.hot-path-alloc.macros", &["vec", "format"]),
+            recorder_idents: list_or("rules.hot-path-alloc.recorder-idents", &[]),
         }
     }
 }
 
 /// Every `section.key` the config may set. Anything else is a hard error.
-const KNOWN_KEYS: [&str; 19] = [
+const KNOWN_KEYS: [&str; 20] = [
     "paths.include",
     "paths.exclude",
     "crates.library",
@@ -181,6 +186,7 @@ const KNOWN_KEYS: [&str; 19] = [
     "rules.hot-path-alloc.scope-files",
     "rules.hot-path-alloc.calls",
     "rules.hot-path-alloc.macros",
+    "rules.hot-path-alloc.recorder-idents",
 ];
 
 /// Panic-fact kinds `[rules.panic-reachability].sources` may name.

@@ -194,8 +194,12 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              a root over the call graph and defined under\n\
              [rules.hot-path-alloc].scope-files is checked for allocation\n\
              machinery: the calls in .calls (Vec::new, push, clone, to_vec,\n\
-             collect, …) and the macros in .macros (vec!, format!). Findings\n\
-             carry the call path from the kernel as a witness.\n\
+             collect, …) and the macros in .macros (vec!, format!). The\n\
+             method names in .recorder-idents (record_span, add_counter, …)\n\
+             are flagged the same way: kernels return stats by value, the\n\
+             engine records them — a reachable Recorder call means\n\
+             observability leaked into a kernel. Findings carry the call\n\
+             path from the kernel as a witness.\n\
              \n\
              Rationale: PR 1's SoA fast paths (geom::block dominance\n\
              kernels, algos::parallel merge lanes, storage bulk fetch) win\n\
@@ -952,6 +956,28 @@ fn hot_path_alloc(
             path.iter().map(|&c| ws.fns[c].name.clone()).collect::<Vec<_>>().join(" → ")
         };
         for e in &f.events {
+            // Recorder calls are forbidden on kernel hot paths outright:
+            // kernels return their stats by value and the engine
+            // publishes them, so a reachable `record_span`/`add_counter`
+            // means observability leaked into a kernel.
+            if matches!(e.kind, EventKind::Method { .. } | EventKind::Bare)
+                && policy.recorder_idents.contains(&e.name)
+            {
+                push_ws(
+                    models,
+                    out,
+                    RULE,
+                    &f.file,
+                    e.line,
+                    format!(
+                        "Recorder call `.{}()` on a kernel hot path (reached via \
+                         {}) — kernels return stats by value; record in the engine",
+                        e.name,
+                        witness(),
+                    ),
+                );
+                continue;
+            }
             let what = match &e.kind {
                 EventKind::Method { .. } | EventKind::Bare
                     if policy.alloc_calls.contains(&e.name) =>

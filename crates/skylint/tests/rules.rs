@@ -40,6 +40,13 @@ fn policy() -> Policy {
             "extend".into(),
         ],
         alloc_macros: vec!["vec".into(), "format".into()],
+        recorder_idents: vec![
+            "record_span".into(),
+            "add_counter".into(),
+            "set_gauge".into(),
+            "observe_value".into(),
+            "record_into".into(),
+        ],
     }
 }
 
@@ -192,5 +199,50 @@ fn ordered_annotated_locks_are_clean() {
 fn test_paths_are_exempt_from_library_rules() {
     // The worst fixture, relocated under tests/: nothing fires.
     let found = findings("lib/tests/panics.rs", include_str!("fixtures/bad/panics.rs"));
+    assert_only(&found, "-", 0);
+}
+
+#[test]
+fn recorder_calls_reachable_from_kernels_are_flagged() {
+    // `kernel` → `helper` → `rec.record_span(...)`: observability leaked
+    // into the kernel's reachable call tree.
+    let src = r#"//! Fixture.
+/// Kernel.
+pub fn kernel(rec: &mut R, xs: &[f64]) -> f64 {
+    helper(rec, xs)
+}
+
+fn helper(rec: &mut R, xs: &[f64]) -> f64 {
+    rec.record_span(xs.len());
+    0.0
+}
+"#;
+    let found = findings("lib/src/kern.rs", src);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, "hot-path-alloc");
+    assert!(found[0].message.contains("record_span"), "{}", found[0].message);
+    assert!(found[0].message.contains("kernel"), "{}", found[0].message);
+}
+
+#[test]
+fn recorder_calls_outside_kernel_reach_are_clean() {
+    // The same Recorder call in a function the kernels never reach is
+    // the engine's job and must not fire.
+    let src = r#"//! Fixture.
+/// Kernel: allocation-free and recorder-free.
+pub fn kernel(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Engine-side publication — out of the kernels' call tree.
+pub fn publish(rec: &mut R, n: u64) {
+    rec.add_counter(n);
+}
+"#;
+    let found = findings("lib/src/kern.rs", src);
     assert_only(&found, "-", 0);
 }

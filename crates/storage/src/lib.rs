@@ -28,7 +28,7 @@
 //!
 //! ```
 //! use skycache_geom::{Constraints, Point};
-//! use skycache_storage::{Table, TableConfig};
+//! use skycache_storage::{FetchPlan, Table, TableConfig};
 //!
 //! let points: Vec<Point> = (0..100)
 //!     .map(|i| Point::from(vec![f64::from(i % 10), f64::from(i / 10)]))
@@ -36,7 +36,7 @@
 //! let table = Table::build(points, TableConfig::default()).unwrap();
 //!
 //! let c = Constraints::from_pairs(&[(2.0, 4.0), (3.0, 5.0)]).unwrap();
-//! let result = table.fetch_constrained(&c);
+//! let result = table.fetch_plan(&FetchPlan::constrained(&c));
 //! assert_eq!(result.rows.len(), 9);
 //! // Both per-dimension indexes were probed; a bitmap AND plan read only
 //! // the matching rows from the heap.
@@ -57,7 +57,7 @@ mod table;
 pub use cost::{CostModel, FetchStats};
 pub use error::StorageError;
 pub use index::ColumnIndex;
-pub use table::{FetchResult, Row, RowId, Table, TableConfig};
+pub use table::{FetchPlan, FetchResult, Row, RowId, Table, TableConfig};
 
 /// Convenience alias for storage results.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -203,7 +203,8 @@ mod tests {
             Constraints::from_pairs(&[(5.0, 9.0), (7.0, 12.0)]).unwrap(),
             Constraints::from_pairs(&[(99.0, 99.0), (99.0, 99.0)]).unwrap(),
         ] {
-            let (a, b) = (t.fetch_constrained(&c), loaded.fetch_constrained(&c));
+            let plan = crate::table::FetchPlan::constrained(&c);
+            let (a, b) = (t.fetch_plan(&plan), loaded.fetch_plan(&plan));
             // Row order among equal index keys is unspecified; compare sets.
             let mut ra = a.rows.clone();
             let mut rb = b.rows.clone();

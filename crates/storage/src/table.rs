@@ -1,6 +1,7 @@
 use std::time::Duration;
 
 use skycache_geom::{Constraints, HyperRect, Point};
+use skycache_obs::{names, Recorder};
 
 use crate::cost::{CostModel, FetchStats};
 use crate::error::StorageError;
@@ -34,7 +35,50 @@ impl Default for TableConfig {
     }
 }
 
-/// Result of executing one or more range queries.
+/// Declarative description of one storage access: which regions to
+/// range-query and how many concurrent I/O lanes to use.
+///
+/// This replaces the old quartet of `fetch` / `fetch_batch` /
+/// `fetch_batch_parallel` / `fetch_constrained` entry points: callers
+/// build a plan and hand it to [`Table::fetch_plan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FetchPlan {
+    /// Regions to fetch, one simulated range query each.
+    pub regions: Vec<HyperRect>,
+    /// Concurrent I/O lanes; clamped to `1..=regions.len()` at execution
+    /// time, so `1` (the default) is fully sequential.
+    pub lanes: usize,
+}
+
+impl FetchPlan {
+    /// A sequential plan over `regions`.
+    pub fn new(regions: Vec<HyperRect>) -> Self {
+        FetchPlan { regions, lanes: 1 }
+    }
+
+    /// A plan fetching a single region.
+    pub fn single(region: HyperRect) -> Self {
+        FetchPlan::new(vec![region])
+    }
+
+    /// The naive approach's constraint range query `RQ(C)`.
+    pub fn constrained(c: &Constraints) -> Self {
+        FetchPlan::single(c.region())
+    }
+
+    /// Sets the lane count (builder style).
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// The lane count [`Table::fetch_plan`] will actually use.
+    pub fn resolved_lanes(&self) -> usize {
+        self.lanes.clamp(1, self.regions.len().max(1))
+    }
+}
+
+/// Result of executing a [`FetchPlan`].
 #[derive(Clone, Debug, Default)]
 pub struct FetchResult {
     /// Rows satisfying the query region(s).
@@ -43,14 +87,52 @@ pub struct FetchResult {
     pub stats: FetchStats,
     /// Simulated latency under the table's [`CostModel`].
     pub simulated_latency: Duration,
+    /// Per-lane simulated latency totals when the plan ran on more than
+    /// one lane; empty for sequential plans. Left untouched by
+    /// [`FetchResult::absorb`] (lane accounting does not compose across
+    /// separate fetches).
+    pub lane_latencies: Vec<Duration>,
 }
 
 impl FetchResult {
-    /// Folds another fetch into this one.
+    /// Folds another fetch into this one (rows, counters and latency;
+    /// `lane_latencies` is deliberately not merged).
     pub fn absorb(&mut self, other: FetchResult) {
         self.rows.extend(other.rows); // skylint: allow(hot-path-alloc) — folds owned result rows, once per region
         self.stats.merge(&other.stats);
         self.simulated_latency += other.simulated_latency;
+    }
+
+    /// Publishes this result into a [`Recorder`] under the canonical
+    /// `fetch.*` / `lanes.*` metric names — the single place the storage
+    /// layer talks to observability, so call sites no longer hand-sum
+    /// [`FetchStats`] fields. Heap-page accounting is derived separately
+    /// (see [`Table::pages_touched`]) because it needs the table's page
+    /// geometry.
+    pub fn record_into(&self, rec: &mut dyn Recorder) {
+        rec.add_counter(names::FETCH_REGIONS, self.stats.range_queries_issued);
+        rec.add_counter(names::FETCH_RQ_EXECUTED, self.stats.range_queries_executed);
+        rec.add_counter(names::FETCH_RQ_EMPTY, self.stats.range_queries_empty);
+        rec.add_counter(names::FETCH_POINTS_READ, self.stats.points_read);
+        rec.add_counter(names::FETCH_HEAP_FETCHES, self.stats.heap_fetches);
+        rec.add_counter(names::FETCH_ROWS_MATCHED, self.stats.rows_matched);
+        rec.add_counter(names::FETCH_INDEX_PROBES, self.stats.index_probes);
+        rec.add_counter(names::FETCH_INDEX_ENTRIES, self.stats.index_entries_scanned);
+        rec.observe_value(names::FETCH_LATENCY_NS, self.simulated_latency.as_nanos() as f64);
+        if !self.lane_latencies.is_empty() {
+            let lanes = self.lane_latencies.len() as f64;
+            let mut sum = 0.0;
+            let mut slowest = 0.0f64;
+            for lane in &self.lane_latencies {
+                let ns = lane.as_nanos() as f64;
+                rec.observe_value(names::LANES_FETCH_LATENCY_NS, ns);
+                sum += ns;
+                slowest = slowest.max(ns);
+            }
+            rec.set_gauge(names::LANES_FETCH, lanes);
+            let imbalance = if sum > 0.0 { slowest / (sum / lanes) } else { 1.0 };
+            rec.set_gauge(names::LANES_FETCH_IMBALANCE, imbalance);
+        }
     }
 }
 
@@ -195,7 +277,9 @@ impl Table {
         for (dim, index) in self.indexes.iter_mut().enumerate() {
             index.insert(point[dim], row);
         }
+        // skylint: allow(hot-path-alloc) — Table::insert is the dynamic-data mutation path; the fetch kernels never reach it (the lint chain is a name collision with Registry::insert).
         self.points.push(point);
+        // skylint: allow(hot-path-alloc) — same: mutation path, not fetch-reachable.
         self.live.push(true);
         self.live_count += 1;
         Ok(row)
@@ -224,6 +308,30 @@ impl Table {
         row as usize / self.config.page_capacity
     }
 
+    /// Executes a [`FetchPlan`] — the table's single fetch entry point.
+    ///
+    /// Every region runs as one range query; rows and every
+    /// [`FetchStats`] counter are **identical** regardless of the lane
+    /// count, because results merge in region order and the counters
+    /// describe work done, which parallelism does not change. Only the
+    /// latency accounting differs: with one lane `simulated_latency` is
+    /// the sum over regions; with `n > 1` lanes the regions are dealt
+    /// round-robin onto `n` scoped threads, each lane's queries run
+    /// sequentially within the lane, the plan is charged the slowest
+    /// lane via [`CostModel::critical_path_latency`], and the per-lane
+    /// totals are exposed in [`FetchResult::lane_latencies`].
+    pub fn fetch_plan(&self, plan: &FetchPlan) -> FetchResult {
+        let lanes = plan.resolved_lanes();
+        if lanes <= 1 {
+            let mut out = FetchResult::default();
+            for region in &plan.regions {
+                out.absorb(self.fetch_region(region));
+            }
+            return out;
+        }
+        self.fetch_lanes(&plan.regions, lanes)
+    }
+
     /// Executes one range query over a (possibly half-open) region.
     ///
     /// Planning mirrors a DBMS with one B-tree per dimension:
@@ -238,7 +346,7 @@ impl Table {
     ///    indexes, fetch only the intersection — heap cost ≈ the matching
     ///    rows, plus cheap per-entry index work), using the standard
     ///    selectivity-product estimate.
-    pub fn fetch(&self, region: &HyperRect) -> FetchResult {
+    fn fetch_region(&self, region: &HyperRect) -> FetchResult {
         assert_eq!(region.dims(), self.dims, "query/table dimensionality mismatch");
         let mut stats = FetchStats { range_queries_issued: 1, ..Default::default() };
 
@@ -247,8 +355,7 @@ impl Table {
             // index work.
             stats.range_queries_empty = 1;
             let simulated_latency = self.config.cost_model.fetch_latency(&stats);
-            // skylint: allow(hot-path-alloc) — empty result, Vec::new does not allocate
-            return FetchResult { rows: Vec::new(), stats, simulated_latency };
+            return FetchResult { stats, simulated_latency, ..FetchResult::default() };
         }
 
         // Probe indexes.
@@ -272,8 +379,7 @@ impl Table {
         if empty {
             stats.range_queries_empty = 1;
             let simulated_latency = self.config.cost_model.fetch_latency(&stats);
-            // skylint: allow(hot-path-alloc) — empty result, Vec::new does not allocate
-            return FetchResult { rows: Vec::new(), stats, simulated_latency };
+            return FetchResult { stats, simulated_latency, ..FetchResult::default() };
         }
 
         stats.range_queries_executed = 1;
@@ -331,34 +437,12 @@ impl Table {
         stats.rows_matched = rows.len() as u64;
         stats.points_read = stats.rows_matched;
         let simulated_latency = self.config.cost_model.fetch_latency(&stats);
-        FetchResult { rows, stats, simulated_latency }
+        FetchResult { rows, stats, simulated_latency, ..FetchResult::default() }
     }
 
-    /// Executes a batch of disjoint range queries, merging rows and stats.
-    pub fn fetch_batch(&self, regions: &[HyperRect]) -> FetchResult {
-        let mut out = FetchResult::default();
-        for region in regions {
-            out.absorb(self.fetch(region));
-        }
-        out
-    }
-
-    /// Executes a batch of disjoint range queries over up to `lanes`
-    /// concurrent I/O streams (scoped threads, round-robin assignment).
-    ///
-    /// Rows and every [`FetchStats`] counter are **identical** to
-    /// [`Table::fetch_batch`] — results are merged in region order, and
-    /// the counters describe work done, which parallelism does not
-    /// change. Only `simulated_latency` differs: each lane's queries run
-    /// sequentially within the lane, lanes overlap, and the batch is
-    /// charged the slowest lane via
-    /// [`CostModel::critical_path_latency`].
-    pub fn fetch_batch_parallel(&self, regions: &[HyperRect], lanes: usize) -> FetchResult {
-        let lanes = lanes.clamp(1, regions.len().max(1));
-        if lanes <= 1 {
-            return self.fetch_batch(regions);
-        }
-
+    /// The multi-lane arm of [`Table::fetch_plan`]: regions dealt
+    /// round-robin onto `lanes` scoped threads, merged in region order.
+    fn fetch_lanes(&self, regions: &[HyperRect], lanes: usize) -> FetchResult {
         // skylint: allow(hot-path-alloc) — one staging slot per region / per lane
         let mut per_region: Vec<Option<FetchResult>> = vec![None; regions.len()];
         let mut lane_totals = vec![Duration::ZERO; lanes]; // skylint: allow(hot-path-alloc) — one slot per lane
@@ -369,7 +453,7 @@ impl Table {
                         let mut fetched = Vec::new(); // skylint: allow(hot-path-alloc) — per-lane result staging
                         let mut total = Duration::ZERO;
                         for (idx, region) in regions.iter().enumerate().skip(lane).step_by(lanes) {
-                            let result = self.fetch(region);
+                            let result = self.fetch_region(region);
                             total += result.simulated_latency;
                             fetched.push((idx, result)); // skylint: allow(hot-path-alloc) — one entry per region
                         }
@@ -394,12 +478,44 @@ impl Table {
             out.absorb(result.expect("every region fetched by its lane"));
         }
         out.simulated_latency = self.config.cost_model.critical_path_latency(&lane_totals);
+        out.lane_latencies = lane_totals;
         out
     }
 
+    /// Distinct heap pages touched by a set of fetched rows (the derived
+    /// `fetch.pages_touched` metric; needs the table's page geometry, so
+    /// it lives here rather than on [`FetchResult`]).
+    pub fn pages_touched(&self, rows: &[Row]) -> u64 {
+        let mut pages = std::collections::BTreeSet::new();
+        for row in rows {
+            pages.insert(self.page_of(row.id));
+        }
+        pages.len() as u64
+    }
+
+    /// Executes one range query over a (possibly half-open) region.
+    #[deprecated(note = "use Table::fetch_plan with FetchPlan::single")]
+    pub fn fetch(&self, region: &HyperRect) -> FetchResult {
+        self.fetch_plan(&FetchPlan::single(region.clone()))
+    }
+
+    /// Executes a batch of disjoint range queries, merging rows and stats.
+    #[deprecated(note = "use Table::fetch_plan with FetchPlan::new")]
+    pub fn fetch_batch(&self, regions: &[HyperRect]) -> FetchResult {
+        self.fetch_plan(&FetchPlan::new(regions.to_vec()))
+    }
+
+    /// Executes a batch of disjoint range queries over up to `lanes`
+    /// concurrent I/O streams.
+    #[deprecated(note = "use Table::fetch_plan with FetchPlan::with_lanes")]
+    pub fn fetch_batch_parallel(&self, regions: &[HyperRect], lanes: usize) -> FetchResult {
+        self.fetch_plan(&FetchPlan::new(regions.to_vec()).with_lanes(lanes))
+    }
+
     /// Executes the constraint range query `RQ(C)` of the naive approach.
+    #[deprecated(note = "use Table::fetch_plan with FetchPlan::constrained")]
     pub fn fetch_constrained(&self, c: &Constraints) -> FetchResult {
-        self.fetch(&c.region())
+        self.fetch_plan(&FetchPlan::constrained(c))
     }
 }
 
@@ -414,6 +530,14 @@ mod tests {
             .flat_map(|i| (0..10).map(move |j| Point::from(vec![i as f64, j as f64])))
             .collect();
         Table::build(points, TableConfig::default()).unwrap()
+    }
+
+    fn fetch_one(t: &Table, region: &HyperRect) -> FetchResult {
+        t.fetch_plan(&FetchPlan::single(region.clone()))
+    }
+
+    fn fetch_c(t: &Table, c: &Constraints) -> FetchResult {
+        t.fetch_plan(&FetchPlan::constrained(c))
     }
 
     #[test]
@@ -438,7 +562,7 @@ mod tests {
     fn fetch_constrained_matches_filter() {
         let t = table();
         let c = Constraints::from_pairs(&[(2.0, 4.0), (3.0, 5.0)]).unwrap();
-        let res = t.fetch_constrained(&c);
+        let res = fetch_c(&t, &c);
         assert_eq!(res.rows.len(), 9);
         assert!(res.rows.iter().all(|r| c.satisfies(&r.point)));
         assert_eq!(res.stats.rows_matched, 9);
@@ -458,7 +582,7 @@ mod tests {
         let t = table();
         // Dim 0 matches 10 keys, dim 1 matches 1 key → dim 1 chosen.
         let c = Constraints::from_pairs(&[(0.0, 9.0), (4.0, 4.0)]).unwrap();
-        let res = t.fetch_constrained(&c);
+        let res = fetch_c(&t, &c);
         assert_eq!(res.rows.len(), 10);
         // Dim 1 alone matches 10 rows; a bitmap AND with the unselective
         // dim 0 (all 100 rows) would cost more, so the planner stays with
@@ -472,7 +596,7 @@ mod tests {
     fn empty_detection_skips_heap() {
         let t = table();
         let c = Constraints::from_pairs(&[(20.0, 30.0), (0.0, 9.0)]).unwrap();
-        let res = t.fetch_constrained(&c);
+        let res = fetch_c(&t, &c);
         assert!(res.rows.is_empty());
         assert_eq!(res.stats.range_queries_empty, 1);
         assert_eq!(res.stats.range_queries_executed, 0);
@@ -486,7 +610,7 @@ mod tests {
             Interval::new(3.0, 3.0, true, false), // empty interval
             Interval::closed(0.0, 9.0),
         ]);
-        let res = t.fetch(&region);
+        let res = fetch_one(&t, &region);
         assert!(res.rows.is_empty());
         assert_eq!(res.stats.range_queries_empty, 1);
         assert_eq!(res.stats.index_probes, 0);
@@ -499,7 +623,7 @@ mod tests {
             Interval::new(2.0, 4.0, true, true), // only key 3
             Interval::closed(0.0, 9.0),
         ]);
-        let res = t.fetch(&region);
+        let res = fetch_one(&t, &region);
         assert_eq!(res.rows.len(), 10);
         assert!(res.rows.iter().all(|r| r.point[0] == 3.0));
     }
@@ -508,7 +632,7 @@ mod tests {
     fn unbounded_query_scans_heap() {
         let t = table();
         let c = Constraints::unbounded(2).unwrap();
-        let res = t.fetch_constrained(&c);
+        let res = fetch_c(&t, &c);
         assert_eq!(res.rows.len(), 100);
         assert_eq!(res.stats.points_read, 100);
         assert_eq!(res.stats.heap_fetches, 100);
@@ -519,7 +643,7 @@ mod tests {
         let t = table();
         let r1 = Constraints::from_pairs(&[(0.0, 1.0), (0.0, 1.0)]).unwrap().region();
         let r2 = Constraints::from_pairs(&[(8.0, 9.0), (8.0, 9.0)]).unwrap().region();
-        let res = t.fetch_batch(&[r1, r2]);
+        let res = t.fetch_plan(&FetchPlan::new(vec![r1, r2]));
         assert_eq!(res.rows.len(), 8);
         assert_eq!(res.stats.range_queries_issued, 2);
         assert_eq!(res.stats.range_queries_executed, 2);
@@ -539,9 +663,9 @@ mod tests {
         .iter()
         .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
         .collect();
-        let seq = t.fetch_batch(&regions);
+        let seq = t.fetch_plan(&FetchPlan::new(regions.clone()));
         for lanes in [1, 2, 3, 8] {
-            let par = t.fetch_batch_parallel(&regions, lanes);
+            let par = t.fetch_plan(&FetchPlan::new(regions.clone()).with_lanes(lanes));
             assert_eq!(par.rows, seq.rows, "{lanes} lanes: row mismatch");
             assert_eq!(par.stats, seq.stats, "{lanes} lanes: stats mismatch");
         }
@@ -555,37 +679,152 @@ mod tests {
                 .iter()
                 .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
                 .collect();
-        let singles: Vec<Duration> = regions.iter().map(|r| t.fetch(r).simulated_latency).collect();
+        let singles: Vec<Duration> =
+            regions.iter().map(|r| fetch_one(&t, r).simulated_latency).collect();
 
         // 3 lanes, 3 regions: each lane runs one query, so the batch
         // costs exactly the most expensive single query.
-        let par = t.fetch_batch_parallel(&regions, 3);
+        let par = t.fetch_plan(&FetchPlan::new(regions.clone()).with_lanes(3));
         assert_eq!(par.simulated_latency, singles.iter().copied().max().unwrap());
-        assert!(par.simulated_latency < t.fetch_batch(&regions).simulated_latency);
+        assert!(
+            par.simulated_latency
+                < t.fetch_plan(&FetchPlan::new(regions.clone())).simulated_latency
+        );
 
         // 2 lanes, round-robin: lane 0 gets regions 0 and 2, lane 1 gets
         // region 1.
-        let par2 = t.fetch_batch_parallel(&regions, 2);
+        let par2 = t.fetch_plan(&FetchPlan::new(regions.clone()).with_lanes(2));
         assert_eq!(par2.simulated_latency, (singles[0] + singles[2]).max(singles[1]));
 
         // 1 lane degenerates to the sequential sum.
-        let par1 = t.fetch_batch_parallel(&regions, 1);
-        assert_eq!(par1.simulated_latency, t.fetch_batch(&regions).simulated_latency);
+        let par1 = t.fetch_plan(&FetchPlan::new(regions.clone()).with_lanes(1));
+        assert_eq!(
+            par1.simulated_latency,
+            t.fetch_plan(&FetchPlan::new(regions.clone())).simulated_latency
+        );
+    }
+
+    #[test]
+    fn lane_latencies_expose_per_lane_totals() {
+        let t = table();
+        let regions: Vec<HyperRect> =
+            [[(0.0, 2.0), (0.0, 2.0)], [(7.0, 9.0), (7.0, 9.0)], [(3.0, 4.0), (5.0, 6.0)]]
+                .iter()
+                .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+                .collect();
+        let singles: Vec<Duration> =
+            regions.iter().map(|r| fetch_one(&t, r).simulated_latency).collect();
+
+        // Round-robin: 3 lanes ↔ one region each; 2 lanes ↔ {0, 2} and {1}.
+        let par3 = t.fetch_plan(&FetchPlan::new(regions.clone()).with_lanes(3));
+        assert_eq!(par3.lane_latencies, singles);
+        let par2 = t.fetch_plan(&FetchPlan::new(regions.clone()).with_lanes(2));
+        assert_eq!(par2.lane_latencies, vec![singles[0] + singles[2], singles[1]]);
+        // Sequential plans report no lanes, and absorb never merges them.
+        let seq = t.fetch_plan(&FetchPlan::new(regions.clone()));
+        assert!(seq.lane_latencies.is_empty());
+        let mut folded = par3.clone();
+        folded.absorb(seq);
+        assert_eq!(folded.lane_latencies, singles);
+    }
+
+    #[test]
+    fn record_into_publishes_canonical_metrics() {
+        let t = table();
+        let regions: Vec<HyperRect> = [
+            [(0.0, 2.0), (0.0, 2.0)],
+            [(7.0, 9.0), (7.0, 9.0)],
+            [(20.0, 30.0), (0.0, 9.0)], // empty
+        ]
+        .iter()
+        .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+        .collect();
+        let res = t.fetch_plan(&FetchPlan::new(regions).with_lanes(3));
+
+        let mut rec = skycache_obs::QueryRecorder::new();
+        res.record_into(&mut rec);
+        let report = rec.into_report();
+        assert_eq!(report.counter(names::FETCH_REGIONS), res.stats.range_queries_issued);
+        assert_eq!(report.counter(names::FETCH_RQ_EXECUTED), 2);
+        assert_eq!(report.counter(names::FETCH_RQ_EMPTY), 1);
+        assert_eq!(report.counter(names::FETCH_POINTS_READ), res.stats.points_read);
+        assert_eq!(report.counter(names::FETCH_HEAP_FETCHES), res.stats.heap_fetches);
+        assert_eq!(report.counter(names::FETCH_INDEX_PROBES), res.stats.index_probes);
+        assert_eq!(report.gauge(names::LANES_FETCH), Some(3.0));
+        assert!(report.gauge(names::LANES_FETCH_IMBALANCE).unwrap() >= 1.0);
+        let lanes_hist = report.registry().histogram(names::LANES_FETCH_LATENCY_NS).unwrap();
+        assert_eq!(lanes_hist.count(), 3);
+        let fetch_hist = report.registry().histogram(names::FETCH_LATENCY_NS).unwrap();
+        assert_eq!(fetch_hist.count(), 1);
+        assert_eq!(fetch_hist.sum(), res.simulated_latency.as_nanos() as f64);
+    }
+
+    #[test]
+    fn pages_touched_counts_distinct_pages() {
+        let cfg = TableConfig { page_capacity: 10, ..Default::default() };
+        let points: Vec<Point> = (0..10)
+            .flat_map(|i| (0..10).map(move |j| Point::from(vec![i as f64, j as f64])))
+            .collect();
+        let t = Table::build(points, cfg).unwrap();
+        // Rows 0..100 land on pages 0..10; one grid column i spans rows
+        // 10i..10i+10, i.e. exactly one page.
+        let c = Constraints::from_pairs(&[(3.0, 3.0), (0.0, 9.0)]).unwrap();
+        let res = fetch_c(&t, &c);
+        assert_eq!(t.pages_touched(&res.rows), 1);
+        let all = fetch_c(&t, &Constraints::unbounded(2).unwrap());
+        assert_eq!(t.pages_touched(&all.rows), 10);
+        assert_eq!(t.pages_touched(&[]), 0);
+    }
+
+    #[test]
+    fn fetch_plan_builders() {
+        let c = Constraints::from_pairs(&[(1.0, 2.0), (1.0, 2.0)]).unwrap();
+        let plan = FetchPlan::constrained(&c);
+        assert_eq!(plan.regions, vec![c.region()]);
+        assert_eq!(plan.lanes, 1);
+        assert_eq!(plan.resolved_lanes(), 1);
+        // Lanes clamp to the region count (and to 1 from below).
+        assert_eq!(FetchPlan::single(c.region()).with_lanes(16).resolved_lanes(), 1);
+        assert_eq!(FetchPlan::new(vec![]).with_lanes(4).resolved_lanes(), 1);
+        let two = FetchPlan::new(vec![c.region(), c.region()]).with_lanes(0);
+        assert_eq!(two.resolved_lanes(), 1);
+        assert_eq!(two.with_lanes(8).resolved_lanes(), 2);
+    }
+
+    /// The deprecated entry points must stay behaviourally identical to
+    /// the [`FetchPlan`] they delegate to until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_fetch_plan() {
+        let t = table();
+        let c = Constraints::from_pairs(&[(2.0, 4.0), (3.0, 5.0)]).unwrap();
+        let r = c.region();
+        assert_eq!(t.fetch(&r).stats, fetch_one(&t, &r).stats);
+        assert_eq!(t.fetch_constrained(&c).rows, fetch_c(&t, &c).rows);
+        let regions = vec![r.clone(), Constraints::unbounded(2).unwrap().region()];
+        assert_eq!(
+            t.fetch_batch(&regions).stats,
+            t.fetch_plan(&FetchPlan::new(regions.clone())).stats
+        );
+        let par = t.fetch_batch_parallel(&regions, 2);
+        let planned = t.fetch_plan(&FetchPlan::new(regions).with_lanes(2));
+        assert_eq!(par.stats, planned.stats);
+        assert_eq!(par.lane_latencies, planned.lane_latencies);
     }
 
     #[test]
     fn parallel_batch_handles_degenerate_inputs() {
         let t = table();
         // Empty region list.
-        let none = t.fetch_batch_parallel(&[], 4);
+        let none = t.fetch_plan(&FetchPlan::new(vec![]).with_lanes(4));
         assert!(none.rows.is_empty());
         assert_eq!(none.stats, FetchStats::default());
         // More lanes than regions is clamped.
         let r = Constraints::from_pairs(&[(1.0, 2.0), (1.0, 2.0)]).unwrap().region();
-        let one = t.fetch_batch_parallel(std::slice::from_ref(&r), 16);
-        assert_eq!(one.rows, t.fetch(&r).rows);
+        let one = t.fetch_plan(&FetchPlan::single(r.clone()).with_lanes(16));
+        assert_eq!(one.rows, fetch_one(&t, &r).rows);
         // Zero lanes behaves as one.
-        let zero = t.fetch_batch_parallel(std::slice::from_ref(&r), 0);
+        let zero = t.fetch_plan(&FetchPlan::single(r.clone()).with_lanes(0));
         assert_eq!(zero.stats, one.stats);
     }
 
@@ -593,7 +832,7 @@ mod tests {
     fn simulated_latency_uses_cost_model() {
         let t = table();
         let c = Constraints::from_pairs(&[(2.0, 4.0), (3.0, 5.0)]).unwrap();
-        let res = t.fetch_constrained(&c);
+        let res = fetch_c(&t, &c);
         let expect = t.config().cost_model.fetch_latency(&res.stats);
         assert_eq!(res.simulated_latency, expect);
         assert!(res.simulated_latency > Duration::ZERO);
@@ -606,7 +845,7 @@ mod tests {
         assert_eq!(t.len(), 101);
         assert!(t.is_live(row));
         let c = Constraints::from_pairs(&[(3.2, 3.8), (3.2, 3.8)]).unwrap();
-        let res = t.fetch_constrained(&c);
+        let res = fetch_c(&t, &c);
         assert_eq!(res.rows.len(), 1);
         assert_eq!(res.rows[0].id, row);
         // Dimensionality is validated.
@@ -625,9 +864,9 @@ mod tests {
 
         // Single-index and bitmap plans no longer see it.
         let c = Constraints::from_pairs(&[(4.0, 4.0), (4.0, 4.0)]).unwrap();
-        assert!(t.fetch_constrained(&c).rows.is_empty());
+        assert!(fetch_c(&t, &c).rows.is_empty());
         // Sequential scan path skips it too.
-        let all = t.fetch_constrained(&Constraints::unbounded(2).unwrap());
+        let all = fetch_c(&t, &Constraints::unbounded(2).unwrap());
         assert_eq!(all.rows.len(), 99);
         assert!(all.rows.iter().all(|r| r.id != 44));
         // live_points agrees.
@@ -650,10 +889,9 @@ mod tests {
             Constraints::from_pairs(&[(1.0, 3.0), (6.0, 8.0)]).unwrap(),
             Constraints::from_pairs(&[(2.5, 2.5), (7.5, 7.5)]).unwrap(),
         ] {
-            let mut a: Vec<Point> =
-                t.fetch_constrained(&c).rows.into_iter().map(|r| r.point).collect();
+            let mut a: Vec<Point> = fetch_c(&t, &c).rows.into_iter().map(|r| r.point).collect();
             let mut b: Vec<Point> =
-                rebuilt.fetch_constrained(&c).rows.into_iter().map(|r| r.point).collect();
+                fetch_c(&rebuilt, &c).rows.into_iter().map(|r| r.point).collect();
             let key = |p: &Point| (p[0].to_bits(), p[1].to_bits());
             a.sort_by_key(key);
             b.sort_by_key(key);

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use skycache_geom::{HyperRect, Interval, Point};
-use skycache_storage::{Table, TableConfig};
+use skycache_storage::{FetchPlan, Table, TableConfig};
 
 const DIMS: usize = 3;
 
@@ -46,7 +46,7 @@ proptest! {
     #[test]
     fn fetch_matches_bruteforce(points in dataset(), region in region()) {
         let table = Table::build(points.clone(), TableConfig::default()).unwrap();
-        let result = table.fetch(&region);
+        let result = table.fetch_plan(&FetchPlan::single(region.clone()));
 
         let mut got: Vec<u32> = result.rows.iter().map(|r| r.id).collect();
         got.sort_unstable();
@@ -80,7 +80,7 @@ proptest! {
     #[test]
     fn empty_detection_is_sound(points in dataset(), region in region()) {
         let table = Table::build(points.clone(), TableConfig::default()).unwrap();
-        let result = table.fetch(&region);
+        let result = table.fetch_plan(&FetchPlan::single(region.clone()));
         if result.stats.range_queries_empty == 1 {
             prop_assert!(
                 points.iter().all(|p| !region.contains_point(p)),
@@ -120,7 +120,7 @@ proptest! {
         }
         prop_assert_eq!(table.len(), model.len());
 
-        let mut got: Vec<u32> = table.fetch(&region).rows.iter().map(|r| r.id).collect();
+        let mut got: Vec<u32> = table.fetch_plan(&FetchPlan::single(region.clone())).rows.iter().map(|r| r.id).collect();
         got.sort_unstable();
         let mut want: Vec<u32> = model
             .iter()
@@ -158,8 +158,8 @@ proptest! {
         std::fs::remove_file(&path).ok();
 
         prop_assert_eq!(loaded.len(), table.len());
-        let mut a: Vec<u32> = table.fetch(&region).rows.iter().map(|r| r.id).collect();
-        let mut b: Vec<u32> = loaded.fetch(&region).rows.iter().map(|r| r.id).collect();
+        let mut a: Vec<u32> = table.fetch_plan(&FetchPlan::single(region.clone())).rows.iter().map(|r| r.id).collect();
+        let mut b: Vec<u32> = loaded.fetch_plan(&FetchPlan::single(region.clone())).rows.iter().map(|r| r.id).collect();
         a.sort_unstable();
         b.sort_unstable();
         prop_assert_eq!(a, b);

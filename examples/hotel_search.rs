@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use skycache::core::{CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy};
+use skycache::core::{CbcsConfig, CbcsExecutor, Executor, MprMode, QueryRequest, SearchStrategy};
 use skycache::geom::{Constraints, Point};
 use skycache::storage::{Table, TableConfig};
 
@@ -65,7 +65,7 @@ fn main() {
 
     for (label, pairs) in steps {
         let c = Constraints::from_pairs(&pairs).expect("valid constraints");
-        let r = engine.query(&c).expect("query succeeds");
+        let r = engine.execute(&QueryRequest::new(c.clone())).expect("query succeeds");
         println!("» {label}");
         println!(
             "  case={:<16} points read={:<6} range queries={:<3} skyline size={}",

@@ -10,7 +10,9 @@
 //!
 //! Run with: `cargo run --release --example live_updates`
 
-use skycache::core::{CbcsConfig, DynamicCbcsExecutor, Executor, SharedCache, SharedCbcsExecutor};
+use skycache::core::{
+    CbcsConfig, DynamicCbcsExecutor, Executor, QueryRequest, SharedCache, SharedCbcsExecutor,
+};
 use skycache::datagen::{Distribution, SyntheticGen};
 use skycache::geom::{Constraints, Point};
 use skycache::storage::{Table, TableConfig};
@@ -23,14 +25,14 @@ fn main() {
     let mut engine = DynamicCbcsExecutor::new(table, CbcsConfig::default());
 
     let c = Constraints::from_pairs(&[(0.2, 0.7), (0.2, 0.7)]).expect("valid");
-    let r1 = engine.query(&c).expect("query succeeds");
+    let r1 = engine.execute(&QueryRequest::new(c.clone())).expect("query succeeds");
     println!("initial skyline: {} points (cache miss)", r1.skyline.len());
 
     // A hot new listing lands at the cached region's best corner — it
     // dominates everything there and must take over the cached skyline.
     let hot = Point::from(vec![0.2, 0.2]);
     engine.insert(hot.clone()).expect("insert succeeds");
-    let r2 = engine.query(&c).expect("query succeeds");
+    let r2 = engine.execute(&QueryRequest::new(c.clone())).expect("query succeeds");
     println!(
         "after insert:    {} points (cache hit: {}, includes new listing: {})",
         r2.skyline.len(),
@@ -47,7 +49,7 @@ fn main() {
         .map(|(row, _)| row)
         .expect("just inserted");
     engine.delete(row).expect("delete succeeds");
-    let r3 = engine.query(&c).expect("query succeeds");
+    let r3 = engine.execute(&QueryRequest::new(c.clone())).expect("query succeeds");
     println!(
         "after delete:    {} points (gone again: {})\n",
         r3.skyline.len(),
@@ -68,7 +70,7 @@ fn main() {
     );
 
     let c = Constraints::from_pairs(&[(0.1, 0.6); 3]).expect("valid");
-    let ra = alice.query(&c).expect("query succeeds");
+    let ra = alice.execute(&QueryRequest::new(c.clone())).expect("query succeeds");
     println!(
         "alice: {:>6} points read ({})",
         ra.stats.points_read,
@@ -77,7 +79,7 @@ fn main() {
 
     // Bob refines Alice's query and benefits from her cached result.
     let c2 = Constraints::from_pairs(&[(0.1, 0.65), (0.1, 0.6), (0.1, 0.6)]).expect("valid");
-    let rb = bob.query(&c2).expect("query succeeds");
+    let rb = bob.execute(&QueryRequest::new(c2.clone())).expect("query succeeds");
     println!(
         "bob:   {:>6} points read ({}, case {})",
         rb.stats.points_read,

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use skycache::core::{BaselineExecutor, CbcsConfig, CbcsExecutor, Executor};
+use skycache::core::{BaselineExecutor, CbcsConfig, CbcsExecutor, Executor, QueryRequest};
 use skycache::datagen::{Distribution, SyntheticGen};
 use skycache::geom::Constraints;
 use skycache::storage::{Table, TableConfig};
@@ -33,8 +33,8 @@ fn main() {
     );
     for (i, pairs) in session.iter().enumerate() {
         let c = Constraints::from_pairs(pairs).expect("valid constraints");
-        let r = cbcs.query(&c).expect("query succeeds");
-        let b = baseline.query(&c).expect("query succeeds");
+        let r = cbcs.execute(&QueryRequest::new(c.clone())).expect("query succeeds");
+        let b = baseline.execute(&QueryRequest::new(c.clone())).expect("query succeeds");
         assert_eq!(r.skyline.len(), b.skyline.len(), "executors must agree");
         println!(
             "{:<4} {:>9} {:>14} {:>14} {:>10} {:>13.2?}",

@@ -5,7 +5,8 @@
 //! Run with: `cargo run --release --example real_estate`
 
 use skycache::core::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, QueryRequest,
+    SearchStrategy,
 };
 use skycache::datagen::{DimStats, IndependentWorkload, RealEstateGen};
 use skycache::storage::{Table, TableConfig};
@@ -28,7 +29,7 @@ fn main() {
     let mut cbcs = CbcsExecutor::new(&table, config);
     println!("preloading cache with {} queries...", preload.len());
     for q in preload.queries() {
-        cbcs.query(&q.constraints).expect("preload query succeeds");
+        cbcs.execute(&QueryRequest::new(q.constraints.clone())).expect("preload query succeeds");
     }
 
     // Fresh users arrive.
@@ -43,9 +44,10 @@ fn main() {
         "user", "|skyline|", "CBCS", "Baseline", "BBS", "hit"
     );
     for (i, q) in incoming.queries().iter().enumerate() {
-        let r_c = cbcs.query(&q.constraints).expect("query succeeds");
-        let r_b = baseline.query(&q.constraints).expect("query succeeds");
-        let r_s = bbs.query(&q.constraints).expect("query succeeds");
+        let r_c = cbcs.execute(&QueryRequest::new(q.constraints.clone())).expect("query succeeds");
+        let r_b =
+            baseline.execute(&QueryRequest::new(q.constraints.clone())).expect("query succeeds");
+        let r_s = bbs.execute(&QueryRequest::new(q.constraints.clone())).expect("query succeeds");
         assert_eq!(r_c.skyline.len(), r_b.skyline.len(), "executors must agree");
         assert_eq!(r_s.skyline.len(), r_b.skyline.len(), "executors must agree");
         let t = [

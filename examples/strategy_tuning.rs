@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example strategy_tuning`
 
-use skycache::core::{CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy};
+use skycache::core::{CbcsConfig, CbcsExecutor, Executor, MprMode, QueryRequest, SearchStrategy};
 use skycache::datagen::{DimStats, Distribution, InteractiveWorkload, SyntheticGen};
 use skycache::storage::{Table, TableConfig};
 
@@ -35,7 +35,8 @@ fn main() {
         let mut engine = CbcsExecutor::new(&table, config);
         let (mut time, mut pts, mut rq, mut unstable, mut hits) = (0.0, 0u64, 0u64, 0u64, 0u64);
         for q in workload.queries() {
-            let r = engine.query(&q.constraints).expect("query succeeds");
+            let r =
+                engine.execute(&QueryRequest::new(q.constraints.clone())).expect("query succeeds");
             time += r.stats.stages.total().as_secs_f64();
             pts += r.stats.points_read;
             rq += r.stats.range_queries_issued;

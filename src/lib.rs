@@ -12,6 +12,8 @@
 //!   cost model (the "PostgreSQL + B-trees" substrate of the paper);
 //! * [`rtree`] — an R\*-tree (the "libspatialindex" substrate);
 //! * [`algos`] — skyline algorithms: BNL, SFS, divide & conquer, BBS;
+//! * [`obs`] — the observability layer: phase spans, the metric registry,
+//!   and the versioned per-query [`obs::QueryReport`];
 //! * [`core`] — the paper's contribution: stability theory, the four
 //!   incremental cases, the (approximate) Missing Points Region, the cache
 //!   with its search strategies, and the CBCS engine — plus the
@@ -21,7 +23,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use skycache::core::{CbcsConfig, CbcsExecutor, Executor};
+//! use skycache::core::{CbcsConfig, CbcsExecutor, Executor, QueryRequest};
 //! use skycache::datagen::{Distribution, SyntheticGen};
 //! use skycache::geom::Constraints;
 //! use skycache::storage::Table;
@@ -34,11 +36,11 @@
 //!
 //! // First query: cache miss, computed from scratch and cached.
 //! let c1 = Constraints::from_pairs(&[(0.1, 0.6), (0.1, 0.6), (0.1, 0.6)]).unwrap();
-//! let r1 = cbcs.query(&c1).unwrap();
+//! let r1 = cbcs.execute(&QueryRequest::new(c1)).unwrap();
 //!
 //! // Refined query: answered from the cache via the MPR.
 //! let c2 = Constraints::from_pairs(&[(0.1, 0.65), (0.1, 0.6), (0.1, 0.6)]).unwrap();
-//! let r2 = cbcs.query(&c2).unwrap();
+//! let r2 = cbcs.execute(&QueryRequest::new(c2)).unwrap();
 //! assert!(r2.stats.points_read <= r1.stats.points_read);
 //! # let _ = (r1, r2);
 //! ```
@@ -51,5 +53,6 @@ pub use skycache_algos as algos;
 pub use skycache_core as core;
 pub use skycache_datagen as datagen;
 pub use skycache_geom as geom;
+pub use skycache_obs as obs;
 pub use skycache_rtree as rtree;
 pub use skycache_storage as storage;

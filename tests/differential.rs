@@ -9,7 +9,8 @@
 //! skyline mismatch.
 
 use skycache::core::{
-    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, SearchStrategy,
+    BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, Executor, MprMode, QueryRequest,
+    SearchStrategy,
 };
 use skycache::datagen::{
     DimStats, Distribution, IndependentWorkload, InteractiveWorkload, SyntheticGen,
@@ -40,8 +41,8 @@ fn assert_matches_baseline(
 ) {
     let mut baseline = BaselineExecutor::new(table);
     for (i, c) in queries.iter().enumerate() {
-        let want = sorted(baseline.query(c).unwrap().skyline);
-        let got = sorted(cbcs.query(c).unwrap().skyline);
+        let want = sorted(baseline.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
+        let got = sorted(cbcs.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
         assert_eq!(
             got.len(),
             want.len(),
@@ -143,8 +144,8 @@ fn bbs_matches_baseline_on_workload() {
     let mut baseline = BaselineExecutor::new(&table);
     let mut bbs = BbsExecutor::new(&table);
     for (i, c) in queries.iter().enumerate() {
-        let want = sorted(baseline.query(c).unwrap().skyline);
-        let got = sorted(bbs.query(c).unwrap().skyline);
+        let want = sorted(baseline.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
+        let got = sorted(bbs.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
         assert_eq!(got, want, "BBS query {i} mismatch");
     }
 }
@@ -176,8 +177,8 @@ fn cbcs_handles_degenerate_and_empty_regions() {
         Constraints::from_pairs(&[(1.5, 2.5), (1.5, 2.5)]).unwrap(),
     ];
     for (i, c) in queries.iter().enumerate() {
-        let want = sorted(baseline.query(c).unwrap().skyline);
-        let got = sorted(cbcs.query(c).unwrap().skyline);
+        let want = sorted(baseline.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
+        let got = sorted(cbcs.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
         assert_eq!(got, want, "query {i} mismatch");
     }
 }
@@ -196,8 +197,8 @@ fn cbcs_reads_fewer_points_than_baseline_on_refinement_chains() {
     let mut base_read = 0u64;
     let mut cbcs_read = 0u64;
     for c in &queries {
-        base_read += baseline.query(c).unwrap().stats.points_read;
-        cbcs_read += cbcs.query(c).unwrap().stats.points_read;
+        base_read += baseline.execute(&QueryRequest::new(c.clone())).unwrap().stats.points_read;
+        cbcs_read += cbcs.execute(&QueryRequest::new(c.clone())).unwrap().stats.points_read;
     }
     assert!(
         cbcs_read * 2 < base_read,

@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 
 use skycache::core::{
     BaselineExecutor, CbcsConfig, CbcsExecutor, DynamicCbcsExecutor, Executor, MprMode,
-    SearchStrategy,
+    QueryRequest, SearchStrategy,
 };
 use skycache::datagen::{DimStats, Distribution, InteractiveWorkload, SyntheticGen};
 use skycache::geom::{Constraints, Point};
@@ -51,8 +51,8 @@ fn multi_item_stays_correct() {
         };
         let mut cbcs = CbcsExecutor::new(&table, config);
         for (i, c) in queries.iter().enumerate() {
-            let want = sorted(baseline.query(c).unwrap().skyline);
-            let got = sorted(cbcs.query(c).unwrap().skyline);
+            let want = sorted(baseline.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
+            let got = sorted(cbcs.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
             assert_eq!(got, want, "extra_items={extra}, query {i}");
         }
     }
@@ -75,7 +75,7 @@ fn multi_item_never_reads_more_points() {
         };
         let mut cbcs = CbcsExecutor::new(&table, config);
         for c in &queries {
-            *total += cbcs.query(c).unwrap().stats.points_read;
+            *total += cbcs.execute(&QueryRequest::new(c.clone())).unwrap().stats.points_read;
         }
     }
     assert!(multi_total <= single_total, "multi-item read more: {multi_total} vs {single_total}");
@@ -111,12 +111,14 @@ fn dynamic_executor_matches_recomputation_under_churn() {
         }
 
         // The cached answer must equal recomputing from the live data.
-        let got = sorted(dynamic.query(c).unwrap().skyline);
+        let got = sorted(dynamic.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
         let live: Vec<Point> = dynamic.table().live_points().map(|(_, p)| p.clone()).collect();
         let fresh =
             Table::build(live, TableConfig { cost_model: CostModel::free(), ..Default::default() })
                 .unwrap();
-        let want = sorted(BaselineExecutor::new(&fresh).query(c).unwrap().skyline);
+        let want = sorted(
+            BaselineExecutor::new(&fresh).execute(&QueryRequest::new(c.clone())).unwrap().skyline,
+        );
         assert_eq!(got, want, "query {i} diverged after churn");
     }
 }
@@ -126,11 +128,11 @@ fn insert_into_cached_region_updates_answers() {
     let table = table_3d(1_000, 19);
     let mut dynamic = DynamicCbcsExecutor::new(table, CbcsConfig::default());
     let c = Constraints::from_pairs(&[(0.2, 0.8); 3]).unwrap();
-    let before = dynamic.query(&c).unwrap().skyline;
+    let before = dynamic.execute(&QueryRequest::new(c.clone())).unwrap().skyline;
 
     // A point dominating the whole region becomes the sole skyline point.
     dynamic.insert(Point::from(vec![0.2, 0.2, 0.2])).unwrap();
-    let after = dynamic.query(&c).unwrap();
+    let after = dynamic.execute(&QueryRequest::new(c.clone())).unwrap();
     assert_eq!(after.skyline, vec![Point::from(vec![0.2, 0.2, 0.2])]);
     // And it was answered from the (maintained) cache, not recomputed.
     assert!(after.stats.cache_hit);
@@ -145,8 +147,8 @@ fn delete_of_skyline_point_invalidates_only_affected_items() {
     // Two disjoint cached regions.
     let c1 = Constraints::from_pairs(&[(0.0, 0.45); 3]).unwrap();
     let c2 = Constraints::from_pairs(&[(0.55, 1.0); 3]).unwrap();
-    let r1 = dynamic.query(&c1).unwrap().skyline;
-    dynamic.query(&c2).unwrap();
+    let r1 = dynamic.execute(&QueryRequest::new(c1.clone())).unwrap().skyline;
+    dynamic.execute(&QueryRequest::new(c2.clone())).unwrap();
     assert_eq!(dynamic.cache().len(), 2);
 
     // Delete a skyline point of region 1.
@@ -163,11 +165,13 @@ fn delete_of_skyline_point_invalidates_only_affected_items() {
     assert_eq!(dynamic.cache().len(), 1);
 
     // Re-querying region 1 is correct (recomputed, then re-cached).
-    let got = sorted(dynamic.query(&c1).unwrap().skyline);
+    let got = sorted(dynamic.execute(&QueryRequest::new(c1.clone())).unwrap().skyline);
     let live: Vec<Point> = dynamic.table().live_points().map(|(_, p)| p.clone()).collect();
     let fresh =
         Table::build(live, TableConfig { cost_model: CostModel::free(), ..Default::default() })
             .unwrap();
-    let want = sorted(BaselineExecutor::new(&fresh).query(&c1).unwrap().skyline);
+    let want = sorted(
+        BaselineExecutor::new(&fresh).execute(&QueryRequest::new(c1.clone())).unwrap().skyline,
+    );
     assert_eq!(got, want);
 }

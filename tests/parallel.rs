@@ -10,8 +10,8 @@
 use std::thread;
 
 use skycache::core::{
-    BaselineExecutor, CbcsConfig, CbcsExecutor, ExecMode, Executor, MprMode, QueryStats,
-    SharedCache, SharedCbcsExecutor,
+    BaselineExecutor, CbcsConfig, CbcsExecutor, ExecMode, Executor, MprMode, QueryRequest,
+    QueryStats, SharedCache, SharedCbcsExecutor,
 };
 use skycache::datagen::{DimStats, Distribution, InteractiveWorkload, SyntheticGen};
 use skycache::geom::{Constraints, Point};
@@ -68,8 +68,8 @@ fn parallel_cbcs_matches_sequential_skylines_and_fetch_metrics() {
         let mut par =
             CbcsExecutor::new(&table, CbcsConfig { exec: PARALLEL, ..Default::default() });
         for (i, c) in queries.iter().enumerate() {
-            let a = seq.query(c).unwrap();
-            let b = par.query(c).unwrap();
+            let a = seq.execute(&QueryRequest::new(c.clone())).unwrap();
+            let b = par.execute(&QueryRequest::new(c.clone())).unwrap();
             assert_eq!(
                 sorted(a.skyline),
                 sorted(b.skyline),
@@ -97,8 +97,8 @@ fn parallel_exact_mpr_matches_sequential() {
     let mut seq = CbcsExecutor::new(&table, seq_cfg);
     let mut par = CbcsExecutor::new(&table, par_cfg);
     for (i, c) in queries.iter().enumerate() {
-        let a = seq.query(c).unwrap();
-        let b = par.query(c).unwrap();
+        let a = seq.execute(&QueryRequest::new(c.clone())).unwrap();
+        let b = par.execute(&QueryRequest::new(c.clone())).unwrap();
         assert_eq!(sorted(a.skyline), sorted(b.skyline), "query {i} skyline mismatch");
         assert_eq!(
             fetch_metrics(&a.stats),
@@ -113,10 +113,10 @@ fn parallel_baseline_matches_sequential() {
     let table = table_for(Distribution::AntiCorrelated, 3, 5_000, 67);
     let queries = interactive_queries(&table, 25, 71);
     let mut seq = BaselineExecutor::new(&table);
-    let mut par = BaselineExecutor::new(&table).with_exec_mode(PARALLEL);
+    let mut par = BaselineExecutor::new(&table);
     for (i, c) in queries.iter().enumerate() {
-        let a = seq.query(c).unwrap();
-        let b = par.query(c).unwrap();
+        let a = seq.execute(&QueryRequest::new(c.clone())).unwrap();
+        let b = par.execute(&QueryRequest::new(c.clone()).with_exec(PARALLEL)).unwrap();
         assert_eq!(sorted(a.skyline), sorted(b.skyline), "query {i} skyline mismatch");
         assert_eq!(
             fetch_metrics(&a.stats),
@@ -135,7 +135,10 @@ fn shared_cache_parallel_executors_stay_correct_under_concurrency() {
     let queries = interactive_queries(&table, 30, 79);
     let reference: Vec<Vec<Point>> = {
         let mut baseline = BaselineExecutor::new(&table);
-        queries.iter().map(|c| sorted(baseline.query(c).unwrap().skyline)).collect()
+        queries
+            .iter()
+            .map(|c| sorted(baseline.execute(&QueryRequest::new(c.clone())).unwrap().skyline))
+            .collect()
     };
 
     let config = CbcsConfig { exec: PARALLEL, ..Default::default() };
@@ -151,7 +154,8 @@ fn shared_cache_parallel_executors_stay_correct_under_concurrency() {
                 let mut ex = SharedCbcsExecutor::new(t, shared, config);
                 for _round in 0..2 {
                     for (c, want) in queries.iter().zip(reference) {
-                        let got = sorted(ex.query(c).unwrap().skyline);
+                        let got =
+                            sorted(ex.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
                         assert_eq!(&got, want, "worker {worker} diverged on {c:?}");
                     }
                 }

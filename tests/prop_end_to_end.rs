@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 
 use skycache::algos::{Sfs, SkylineAlgorithm};
-use skycache::core::{missing_points_region, CbcsConfig, CbcsExecutor, Executor, MprMode};
+use skycache::core::{
+    missing_points_region, CbcsConfig, CbcsExecutor, Executor, MprMode, QueryRequest,
+};
 use skycache::geom::{Constraints, Point};
 use skycache::storage::{CostModel, Table, TableConfig};
 
@@ -91,10 +93,10 @@ proptest! {
         let mode = if exact { MprMode::Exact } else { MprMode::Approximate { k } };
         let mut cbcs = CbcsExecutor::new(&table, CbcsConfig { mpr: mode, ..Default::default() });
 
-        let r_old = cbcs.query(&c_old).unwrap();
+        let r_old = cbcs.execute(&QueryRequest::new(c_old.clone())).unwrap();
         assert_skyline_eq(&points, r_old.skyline, reference(&points, &c_old))?;
 
-        let r_new = cbcs.query(&c_new).unwrap();
+        let r_new = cbcs.execute(&QueryRequest::new(c_new.clone())).unwrap();
         assert_skyline_eq(&points, r_new.skyline, reference(&points, &c_new))?;
     }
 
