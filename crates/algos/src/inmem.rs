@@ -17,6 +17,23 @@ pub struct SkylineOutput {
     pub dominance_tests: u64,
 }
 
+/// Reusable buffer for the block-native skyline entry points
+/// ([`SkylineAlgorithm::compute_block`]): one `(score, row)` slot per
+/// input row, kept across queries so steady-state computation does not
+/// allocate.
+#[derive(Clone, Debug, Default)]
+pub struct SkylineScratch {
+    /// `(monotone score, row index)` pairs, sorted before filtering.
+    pub(crate) order: Vec<(f64, u32)>,
+}
+
+impl SkylineScratch {
+    /// An empty scratch; buffers grow to their high-water marks in use.
+    pub fn new() -> Self {
+        SkylineScratch::default()
+    }
+}
+
 /// A pluggable in-memory skyline routine.
 ///
 /// CBCS's benefit is orthogonal to this choice (paper, Section 7): the
@@ -27,6 +44,24 @@ pub trait SkylineAlgorithm: Send + Sync {
 
     /// Computes the skyline of `points` (minimization in all dimensions).
     fn compute(&self, points: Vec<Point>) -> SkylineOutput;
+
+    /// Block-native variant: computes the skyline of the row-major
+    /// coordinate block `rows` (`dims` columns per row) into `out`,
+    /// returning `Some(dominance_tests)` — or `None` when the
+    /// implementation has no block path, in which case the caller
+    /// materializes [`Point`]s and falls back to
+    /// [`SkylineAlgorithm::compute`]. Implementations must fill `out` in
+    /// exactly the order `compute` would return, so the two paths are
+    /// interchangeable row for row.
+    fn compute_block(
+        &self,
+        _rows: &[f64],
+        _dims: usize,
+        _scratch: &mut SkylineScratch,
+        _out: &mut PointBlock,
+    ) -> Option<u64> {
+        None
+    }
 }
 
 /// Block-Nested-Loops (Börzsönyi et al., ICDE 2001), unbounded-window
@@ -71,26 +106,41 @@ impl SkylineAlgorithm for Bnl {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Sfs;
 
-impl SkylineAlgorithm for Sfs {
-    fn name(&self) -> &'static str {
-        "SFS"
-    }
-
-    fn compute(&self, mut points: Vec<Point>) -> SkylineOutput {
+impl Sfs {
+    /// Block-native SFS: sorts row indices by coordinate sum and filters
+    /// each row, in score order, against the growing skyline block.
+    /// Allocation-free once `scratch` and `out` have warmed up.
+    ///
+    /// The index sort is *stable*, so rows with equal sums keep their
+    /// input order — exactly what the `Vec<Point>` sort in
+    /// [`SkylineAlgorithm::compute`] does — and the two entry points emit
+    /// identical output orders and dominance-test counts.
+    pub fn compute_block_into(
+        &self,
+        rows: &[f64],
+        dims: usize,
+        scratch: &mut SkylineScratch,
+        out: &mut PointBlock,
+    ) -> u64 {
+        debug_assert!(dims > 0 && rows.len().is_multiple_of(dims));
+        debug_assert_eq!(out.dims(), dims);
+        out.clear();
         // The entropy score is monotone w.r.t. dominance for the
         // non-negative data of the benchmarks; the coordinate sum is
         // monotone in general. Use the sum: s ≺ t ⇒ sum(s) < sum(t),
         // so after sorting ascending no point dominates a predecessor.
-        points.sort_by(|a, b| a.coord_sum().total_cmp(&b.coord_sum()));
-        let Ok(input) = PointBlock::from_points(&points) else {
-            return SkylineOutput { skyline: Vec::new(), dominance_tests: 0 };
-        };
-        // skylint: allow(no-panic-paths) — input.dims() >= 1 by PointBlock construction.
-        let mut skyline = PointBlock::new(input.dims()).expect("dims > 0");
+        let n = rows.len() / dims;
+        scratch.order.clear();
+        for i in 0..n {
+            let sum: f64 = rows[i * dims..(i + 1) * dims].iter().sum();
+            scratch.order.push((sum, i as u32));
+        }
+        scratch.order.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut tests = 0u64;
-        for row in input.rows() {
+        for &(_, i) in &scratch.order {
+            let row = &rows[i as usize * dims..(i as usize + 1) * dims];
             let mut dominated = false;
-            for s in skyline.rows() {
+            for s in out.rows() {
                 tests += 1;
                 if dominates_raw(s, row) {
                     dominated = true;
@@ -98,10 +148,38 @@ impl SkylineAlgorithm for Sfs {
                 }
             }
             if !dominated {
-                skyline.push_row(row);
+                out.push_row(row);
             }
         }
+        tests
+    }
+}
+
+impl SkylineAlgorithm for Sfs {
+    fn name(&self) -> &'static str {
+        "SFS"
+    }
+
+    fn compute(&self, points: Vec<Point>) -> SkylineOutput {
+        let Ok(input) = PointBlock::from_points(&points) else {
+            return SkylineOutput { skyline: Vec::new(), dominance_tests: 0 };
+        };
+        let mut scratch = SkylineScratch::new();
+        // skylint: allow(no-panic-paths) — input.dims() >= 1 by PointBlock construction.
+        let mut skyline = PointBlock::new(input.dims()).expect("dims > 0");
+        let tests =
+            self.compute_block_into(input.as_flat(), input.dims(), &mut scratch, &mut skyline);
         SkylineOutput { skyline: skyline.to_points(), dominance_tests: tests }
+    }
+
+    fn compute_block(
+        &self,
+        rows: &[f64],
+        dims: usize,
+        scratch: &mut SkylineScratch,
+        out: &mut PointBlock,
+    ) -> Option<u64> {
+        Some(self.compute_block_into(rows, dims, scratch, out))
     }
 }
 
@@ -281,6 +359,33 @@ mod tests {
             let sky = algo.compute(pts.clone()).skyline;
             assert_eq!(sky.len(), 50, "{}", algo.name());
         }
+    }
+
+    /// The block-native SFS entry point must be indistinguishable from
+    /// the `Vec<Point>` one: same rows, same order, same test count.
+    #[test]
+    fn sfs_block_path_matches_compute_exactly() {
+        let pts = pseudo_random_points(300, 3, 21);
+        let want = Sfs.compute(pts.clone());
+        let input = PointBlock::from_points(&pts).unwrap();
+        let mut scratch = SkylineScratch::new();
+        let mut out = PointBlock::new(3).unwrap();
+        let tests = Sfs
+            .compute_block(input.as_flat(), 3, &mut scratch, &mut out)
+            .expect("SFS has a block path");
+        assert_eq!(tests, want.dominance_tests);
+        assert_eq!(out.to_points(), want.skyline, "same rows in the same order");
+
+        // Reusing the scratch and output block stays correct.
+        let pts2 = pseudo_random_points(150, 3, 22);
+        let want2 = Sfs.compute(pts2.clone());
+        let input2 = PointBlock::from_points(&pts2).unwrap();
+        let tests2 = Sfs.compute_block(input2.as_flat(), 3, &mut scratch, &mut out).unwrap();
+        assert_eq!(tests2, want2.dominance_tests);
+        assert_eq!(out.to_points(), want2.skyline);
+
+        // Algorithms without a block path opt out with None.
+        assert!(Bnl.compute_block(input.as_flat(), 3, &mut scratch, &mut out).is_none());
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod parallel;
 
 pub use bbs::{bbs_constrained, BbsOutput, BbsStats};
 pub use cardinality::{expected_skyline_size, sample_skyline_fraction, Adaptive};
-pub use inmem::{Bnl, DivideConquer, Salsa, Sfs, SkylineAlgorithm, SkylineOutput};
+pub use inmem::{Bnl, DivideConquer, Salsa, Sfs, SkylineAlgorithm, SkylineOutput, SkylineScratch};
 pub use parallel::{LaneReport, ParallelDc};
 
 #[cfg(test)]

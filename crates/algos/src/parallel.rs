@@ -18,7 +18,7 @@ use std::thread;
 
 use skycache_geom::{filter_block, Point, PointBlock};
 
-use crate::{DivideConquer, Sfs, SkylineAlgorithm, SkylineOutput};
+use crate::{DivideConquer, Sfs, SkylineAlgorithm, SkylineOutput, SkylineScratch};
 
 /// Scalar work-distribution facts of one [`ParallelDc`] run, returned by
 /// value so observability layers can record them *outside* the kernel —
@@ -113,13 +113,71 @@ impl ParallelDc {
             return (DivideConquer.compute(points), report);
         }
         let dims = points[0].dims();
+        let Ok(input) = PointBlock::from_points(&points) else {
+            let report = LaneReport { input_len, ..LaneReport::default() };
+            // skylint: allow(hot-path-alloc) — empty-result construction, not per point
+            return (SkylineOutput { skyline: Vec::new(), dominance_tests: 0 }, report);
+        };
+        let mut scratch = SkylineScratch::new();
+        // skylint: allow(no-panic-paths) — dims >= 1: taken from a non-empty input point.
+        let mut out = PointBlock::new(dims).expect("dims > 0");
+        let (tests, report) = self.compute_rows(input.as_flat(), dims, &mut scratch, &mut out);
+        // skylint: allow(hot-path-alloc) — materializes the owned skyline once, after the kernel
+        (SkylineOutput { skyline: out.to_points(), dominance_tests: tests }, report)
+    }
+
+    /// Block-native core: computes the skyline of the row-major
+    /// coordinate block `rows` (`dims` columns per row) into `out`,
+    /// emitting rows in SFS's canonical order (ascending coordinate sum,
+    /// stable) so a caller caching the result plans the same follow-up
+    /// regions whether it computed sequentially or in parallel. Returns
+    /// the dominance-test count and the [`LaneReport`].
+    ///
+    /// Inputs below [`ParallelDc::sequential_threshold`] (or a resolved
+    /// single thread) run block-native SFS sequentially instead of
+    /// spawning workers.
+    pub fn compute_rows(
+        &self,
+        rows: &[f64],
+        dims: usize,
+        scratch: &mut SkylineScratch,
+        out: &mut PointBlock,
+    ) -> (u64, LaneReport) {
+        debug_assert!(dims > 0 && rows.len().is_multiple_of(dims));
+        debug_assert_eq!(out.dims(), dims);
+        let n = rows.len() / dims;
+        let input_len = n as u64;
+        let threads = self.resolved_threads();
+        if threads <= 1 || n < self.sequential_threshold.max(2) {
+            let tests = Sfs.compute_block_into(rows, dims, scratch, out);
+            return (tests, LaneReport { input_len, ..LaneReport::default() });
+        }
+        out.clear();
 
         // Phase 1: local skyline per contiguous chunk, one worker each.
-        let chunk_len = points.len().div_ceil(threads);
-        let locals: Vec<SkylineOutput> = thread::scope(|s| {
-            let handles: Vec<_> = points
-                .chunks(chunk_len)
-                .map(|chunk| s.spawn(move || Sfs.compute(chunk.to_vec()))) // skylint: allow(hot-path-alloc) — per-worker staging copy, once per chunk
+        let chunk_len = n.div_ceil(threads);
+        let locals: Vec<(PointBlock, u64)> = thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .filter_map(|t| {
+                    let lo = t * chunk_len;
+                    if lo >= n {
+                        return None;
+                    }
+                    let hi = ((t + 1) * chunk_len).min(n);
+                    Some(s.spawn(move || {
+                        let mut local_scratch = SkylineScratch::new();
+                        // skylint: allow(no-panic-paths) — dims >= 1 by the debug contract above.
+                        let mut local = PointBlock::with_capacity(dims, hi - lo).expect("dims > 0");
+                        let tests = Sfs.compute_block_into(
+                            &rows[lo * dims..hi * dims],
+                            dims,
+                            &mut local_scratch,
+                            &mut local,
+                        );
+                        (local, tests)
+                    }))
+                })
+                // skylint: allow(hot-path-alloc) — one spawn handle per worker
                 .collect();
             handles
                 .into_iter()
@@ -129,22 +187,22 @@ impl ParallelDc {
                 // skylint: allow(hot-path-alloc) — gathers one output per worker
                 .collect()
         });
-        let mut tests: u64 = locals.iter().map(|o| o.dominance_tests).sum();
+        let mut tests: u64 = locals.iter().map(|&(_, t)| t).sum();
         let report = LaneReport {
             workers: locals.len() as u64,
             input_len,
-            union_len: locals.iter().map(|o| o.skyline.len() as u64).sum(),
-            largest_local: locals.iter().map(|o| o.skyline.len() as u64).max().unwrap_or(0),
-            smallest_local: locals.iter().map(|o| o.skyline.len() as u64).min().unwrap_or(0),
+            union_len: locals.iter().map(|(b, _)| b.len() as u64).sum(),
+            largest_local: locals.iter().map(|(b, _)| b.len() as u64).max().unwrap_or(0),
+            smallest_local: locals.iter().map(|(b, _)| b.len() as u64).min().unwrap_or(0),
         };
 
         // Union of local skylines, in chunk order, as one flat block.
-        let union_len: usize = locals.iter().map(|o| o.skyline.len()).sum();
-        // skylint: allow(no-panic-paths) — dims >= 1: taken from a non-empty input point.
+        let union_len: usize = locals.iter().map(|(b, _)| b.len()).sum();
+        // skylint: allow(no-panic-paths) — dims >= 1 as above.
         let mut union = PointBlock::with_capacity(dims, union_len).expect("dims > 0");
-        for local in &locals {
-            for p in &local.skyline {
-                union.push(p); // skylint: allow(hot-path-alloc) — fills the pre-sized union block
+        for (local, _) in &locals {
+            for row in local.rows() {
+                union.push_row(row);
             }
         }
 
@@ -152,17 +210,17 @@ impl ParallelDc {
         // strictly dominates it — self-comparison and duplicates are
         // harmless because strict dominance is irreflexive. Each worker
         // filters its span of candidates against the whole (shared) union.
-        let n = union.len();
-        let span = n.div_ceil(threads).max(1);
+        let m = union.len();
+        let span = m.div_ceil(threads).max(1);
         let union_ref = &union;
         let filtered: Vec<(PointBlock, u64)> = thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .filter_map(|t| {
                     let lo = t * span;
-                    if lo >= n {
+                    if lo >= m {
                         return None;
                     }
-                    let hi = ((t + 1) * span).min(n);
+                    let hi = ((t + 1) * span).min(m);
                     Some(s.spawn(move || {
                         // skylint: allow(no-panic-paths) — dims >= 1 as above.
                         let mut cand = PointBlock::with_capacity(dims, hi - lo).expect("dims > 0");
@@ -183,16 +241,27 @@ impl ParallelDc {
                 .collect()
         });
 
-        let mut skyline = Vec::new(); // skylint: allow(hot-path-alloc) — final result assembly, after the per-point loops
-        for (block, block_tests) in filtered {
+        // Reuse the union block as the unsorted result staging area, then
+        // emit into `out` via a stable index sort on the coordinate sum —
+        // identical order to sorting materialized points, without the
+        // per-point allocations.
+        union.clear();
+        for (block, block_tests) in &filtered {
             tests += block_tests;
-            skyline.extend(block.to_points()); // skylint: allow(hot-path-alloc) — materializes the owned skyline once
+            for row in block.rows() {
+                union.push_row(row);
+            }
         }
-        // Emit in SFS's canonical order (ascending coordinate sum) so a
-        // caller caching the result plans the same follow-up regions
-        // whether it computed sequentially or in parallel.
-        skyline.sort_by(|a, b| a.coord_sum().total_cmp(&b.coord_sum()));
-        (SkylineOutput { skyline, dominance_tests: tests }, report)
+        scratch.order.clear();
+        for (i, row) in union.rows().enumerate() {
+            let sum: f64 = row.iter().sum();
+            scratch.order.push((sum, i as u32)); // skylint: allow(hot-path-alloc) — amortized index-sort buffer
+        }
+        scratch.order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(_, i) in &scratch.order {
+            out.push_row(union.row(i as usize));
+        }
+        (tests, report)
     }
 }
 
@@ -278,6 +347,30 @@ mod tests {
         assert_eq!(seq.workers, 0);
         assert_eq!(seq.input_len, 4);
         assert_eq!(seq.imbalance(), 1.0);
+    }
+
+    /// The block-native entry point must match the `Vec<Point>` one row
+    /// for row, including the lane report and test count.
+    #[test]
+    fn compute_rows_matches_compute_with_report() {
+        let pts = pseudo_random_points(600, 3, 23);
+        let (want, want_report) = forced().compute_with_report(pts.clone());
+        let input = PointBlock::from_points(&pts).unwrap();
+        let mut scratch = SkylineScratch::new();
+        let mut out = PointBlock::new(3).unwrap();
+        let (tests, report) = forced().compute_rows(input.as_flat(), 3, &mut scratch, &mut out);
+        assert_eq!(tests, want.dominance_tests);
+        assert_eq!(report, want_report);
+        assert_eq!(out.to_points(), want.skyline, "same rows in the same order");
+
+        // Below the threshold the block path runs sequential SFS.
+        let small = pseudo_random_points(6, 2, 2);
+        let small_block = PointBlock::from_points(&small).unwrap();
+        let mut out2 = PointBlock::new(2).unwrap();
+        let (_, seq_report) =
+            forced().compute_rows(small_block.as_flat(), 2, &mut scratch, &mut out2);
+        assert_eq!(seq_report.workers, 0);
+        assert_eq!(sorted(out2.to_points()), sorted(naive_skyline(&small)));
     }
 
     #[test]

@@ -8,16 +8,17 @@ use skycache_algos::{Sfs, SkylineAlgorithm};
 use skycache_bench::synthetic_table;
 use skycache_core::{cases, MprMode};
 use skycache_datagen::Distribution;
-use skycache_geom::{Constraints, Point};
+use skycache_geom::{Constraints, Point, PointBlock};
 use skycache_storage::FetchPlan;
 
 fn bench_fig10(c: &mut Criterion) {
     let table = synthetic_table(Distribution::Independent, 3, 100_000, 42);
     let old = Constraints::from_pairs(&[(0.2, 0.7); 3]).unwrap();
     let new = Constraints::from_pairs(&[(0.25, 0.7), (0.2, 0.7), (0.2, 0.7)]).unwrap();
-    let cached: Vec<Point> = {
+    let cached: PointBlock = {
         let fetched = table.fetch_plan(&FetchPlan::constrained(&old));
-        Sfs.compute(fetched.rows.into_iter().map(|r| r.point).collect()).skyline
+        let sky = Sfs.compute(fetched.rows.into_iter().map(|r| r.point).collect()).skyline;
+        PointBlock::from_points(&sky).unwrap()
     };
 
     let mut group = c.benchmark_group("fig10_stages");
@@ -44,8 +45,8 @@ fn bench_fig10(c: &mut Criterion) {
 
     let merged: Vec<Point> = plan
         .retained
-        .iter()
-        .cloned()
+        .to_points()
+        .into_iter()
         .chain(
             table
                 .fetch_plan(&FetchPlan::new(plan.regions.clone()))

@@ -36,7 +36,7 @@ fn bench_selection(c: &mut Criterion) {
         ])
         .unwrap();
         let sky = vec![Point::from(vec![lo[0] + 0.05, lo[1] + 0.05, lo[2] + 0.05])];
-        cache.insert(cc, sky);
+        cache.insert(cc, &sky);
     }
     let query = Constraints::from_pairs(&[(0.2, 0.6); 3]).unwrap();
     let bounds = Aabb::new(vec![0.0; 3], vec![1.0; 3]).unwrap();

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skycache_bench::synthetic_table;
 use skycache_core::{missing_points_region, MprMode};
 use skycache_datagen::Distribution;
-use skycache_geom::Constraints;
+use skycache_geom::{Constraints, PointBlock};
 use skycache_storage::FetchPlan;
 
 fn bench_fig8(c: &mut Criterion) {
@@ -19,10 +19,11 @@ fn bench_fig8(c: &mut Criterion) {
         let old = Constraints::from_pairs(&[(0.2, 0.7); 3]).unwrap();
         let new = Constraints::from_pairs(&[(0.2, 0.8), (0.15, 0.7), (0.2, 0.7)]).unwrap();
         // Cached skyline for the old constraints, computed once.
-        let cached: Vec<_> = {
+        let cached: PointBlock = {
             let fetched = table.fetch_plan(&FetchPlan::constrained(&old));
             use skycache_algos::{Sfs, SkylineAlgorithm};
-            Sfs.compute(fetched.rows.into_iter().map(|r| r.point).collect()).skyline
+            let sky = Sfs.compute(fetched.rows.into_iter().map(|r| r.point).collect()).skyline;
+            PointBlock::from_points(&sky).unwrap()
         };
 
         group.bench_with_input(BenchmarkId::new("baseline_fetch", n), &new, |b, q| {

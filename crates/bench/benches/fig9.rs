@@ -8,15 +8,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skycache_algos::{Sfs, SkylineAlgorithm};
 use skycache_core::{missing_points_region, MprMode};
 use skycache_datagen::{Distribution, SyntheticGen};
-use skycache_geom::{Constraints, Point};
+use skycache_geom::{Constraints, PointBlock};
 
-fn setup(d: usize) -> (Constraints, Vec<Point>, Constraints) {
+fn setup(d: usize) -> (Constraints, PointBlock, Constraints) {
     let points = SyntheticGen::new(Distribution::Independent, d, 42).generate(5_000);
     let old = Constraints::from_pairs(&vec![(0.2, 0.7); d]).unwrap();
     let mut pairs = vec![(0.2, 0.7); d];
     pairs[0] = (0.25, 0.8); // lower raised + upper raised: unstable general case
     let new = Constraints::from_pairs(&pairs).unwrap();
-    let cached = Sfs.compute(points.into_iter().filter(|p| old.satisfies(p)).collect()).skyline;
+    let sky = Sfs.compute(points.into_iter().filter(|p| old.satisfies(p)).collect()).skyline;
+    let cached = PointBlock::from_points(&sky).unwrap();
     (old, cached, new)
 }
 

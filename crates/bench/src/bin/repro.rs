@@ -25,6 +25,7 @@ experiments:
   ablation-multi         multi-item cache exploitation (Sec 6.3 extension)
   parallel               sequential vs parallel pipeline (writes BENCH_parallel.json)
   obs                    per-phase latency + cache/fetch aggregates (writes BENCH_obs.json)
+  perf                   block path vs legacy: qps, allocs/query, coalescing (writes BENCH_perf.json)
   all    everything above";
 
 fn main() -> ExitCode {
@@ -62,6 +63,7 @@ fn main() -> ExitCode {
         ("ablation-multi", figures::ablation_multi),
         ("parallel", figures::parallel),
         ("obs", figures::obs),
+        ("perf", figures::perf),
     ] {
         if want(name) {
             runner(&scale);

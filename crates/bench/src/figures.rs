@@ -836,3 +836,151 @@ pub fn obs(scale: &Scale) {
         Err(e) => eprintln!("could not write BENCH_obs.json: {e}"),
     }
 }
+
+/// `repro perf` — the block-path performance experiment (this
+/// repository's zero-copy extension, not a paper figure): both paper
+/// workload generators run through CBCS twice under the exact MPR — once
+/// on the legacy per-point pipeline (`block_path: false`), once on the
+/// block-oriented zero-copy hot path — measuring throughput,
+/// heap-allocation events per query (via this crate's counting global
+/// allocator), and the coalescing planner's range-query savings.
+///
+/// Each measurement is one full pass over a fresh workload against a
+/// fresh executor: interactive chains reach their case-(c)/(d) steady
+/// state within a few queries, while a repeated identical pass would
+/// degenerate to pure exact hits and measure the cache instead of the
+/// fetch/merge/skyline hot path. Results are written to
+/// `BENCH_perf.json` (schema `skyperf-bench/1`).
+pub fn perf(scale: &Scale) {
+    use std::time::Instant;
+
+    use skycache_obs::names;
+
+    use crate::allocations;
+
+    println!("\n#### Block path: throughput, allocations/query, coalescing ####");
+
+    let dims = 4;
+    let n = scale.mid_n.min(100_000);
+    let table = synthetic_table(Distribution::Independent, dims, n, 42);
+
+    struct Measured {
+        qps: f64,
+        allocs_per_query: f64,
+        points_read: u64,
+        rq_issued: u64,
+        rq_executed: u64,
+        regions_coalesced: u64,
+    }
+
+    // Measured at the paper's default operating point (aMPR with k = 1,
+    // the `CbcsConfig` default): the steady-state cached workload the
+    // engine actually runs.
+    let run_one = |queries: &[Constraints], block_path: bool| -> Measured {
+        let config = CbcsConfig { block_path, ..Default::default() };
+        let mut ex = CbcsExecutor::new(&table, config);
+        let a0 = allocations();
+        let t0 = Instant::now();
+        let records = run_queries(&mut ex, queries);
+        let wall = t0.elapsed().as_secs_f64();
+        let allocs = allocations() - a0;
+        let mut m = Measured {
+            qps: queries.len() as f64 / wall.max(1e-9),
+            allocs_per_query: allocs as f64 / queries.len() as f64,
+            points_read: 0,
+            rq_issued: 0,
+            rq_executed: 0,
+            regions_coalesced: 0,
+        };
+        for r in &records {
+            m.points_read += r.stats.points_read;
+            m.rq_issued += r.stats.range_queries_issued;
+            m.rq_executed += r.stats.range_queries_executed;
+            m.regions_coalesced += r.stats.regions_coalesced;
+        }
+        m
+    };
+
+    let workloads: Vec<(&str, Vec<Constraints>)> = vec![
+        ("interactive", interactive_queries(&table, scale.interactive_queries, 17, None)),
+        ("independent", independent_queries(&table, scale.independent_queries, 19, None)),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, queries) in &workloads {
+        let legacy = run_one(queries, false);
+        let block = run_one(queries, true);
+        let alloc_reduction = legacy.allocs_per_query / block.allocs_per_query.max(1e-9);
+
+        print_header(
+            &format!("{name} workload (q = {}, n = {}, |D| = {dims})", queries.len(), fmt_size(n)),
+            &["qps".into(), "allocs/q".into(), "rq exec".into(), "coalesced".into()],
+        );
+        for (label, m) in [("legacy", &legacy), ("block", &block)] {
+            print_row(
+                label,
+                &[
+                    format!("{:.0}", m.qps),
+                    format!("{:.1}", m.allocs_per_query),
+                    m.rq_executed.to_string(),
+                    m.regions_coalesced.to_string(),
+                ],
+            );
+        }
+        println!("allocation reduction: {alloc_reduction:.1}x");
+
+        let fmt_measured = |m: &Measured| {
+            format!(
+                concat!(
+                    "{{\"qps\": {:.1}, \"{}\": {:.2}, \"points_read\": {}, ",
+                    "\"rq_issued\": {}, \"rq_executed\": {}, \"{}\": {}}}"
+                ),
+                m.qps,
+                names::ALLOC_PER_QUERY,
+                m.allocs_per_query,
+                m.points_read,
+                m.rq_issued,
+                m.rq_executed,
+                names::FETCH_REGIONS_COALESCED,
+                m.regions_coalesced,
+            )
+        };
+        entries.push(format!(
+            concat!(
+                "{{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"queries\": {},\n",
+                "      \"legacy\": {},\n",
+                "      \"block\": {},\n",
+                "      \"alloc_reduction\": {:.2},\n",
+                "      \"rq_saved_by_coalescing\": {}\n",
+                "    }}"
+            ),
+            name,
+            queries.len(),
+            fmt_measured(&legacy),
+            fmt_measured(&block),
+            alloc_reduction,
+            legacy.rq_executed.saturating_sub(block.rq_executed),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"skyperf-bench/1\",\n",
+            "  \"n\": {},\n",
+            "  \"dims\": {},\n",
+            "  \"mpr\": \"aMPR(k=1)\",\n",
+            "  \"workloads\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        n,
+        dims,
+        entries.join(",\n    ")
+    );
+    match std::fs::write("BENCH_perf.json", &json) {
+        Ok(()) => println!("wrote BENCH_perf.json"),
+        Err(e) => eprintln!("could not write BENCH_perf.json: {e}"),
+    }
+}

@@ -1,0 +1,104 @@
+//! Allocation-count regression tests for the block-oriented hot path.
+//!
+//! This crate installs a counting global allocator (see
+//! `skycache_bench::allocations`), so allocation events here are exact
+//! and deterministic: the workloads are seeded and the engine is
+//! single-threaded. Two properties are pinned:
+//!
+//! 1. allocs/query on the cached steady-state workload (the same
+//!    measurement `repro perf` records in BENCH_perf.json, at test
+//!    scale) stays under a fixed ceiling, and the block path keeps its
+//!    ≥ 5× advantage over the legacy `Vec<Point>` path — reintroducing
+//!    a per-point clone anywhere in the fetch → merge → skyline
+//!    pipeline costs one alloc per point per stage and blows both
+//!    bounds immediately;
+//! 2. exact-hit replays (no fetch, no merge) stay under a fixed
+//!    ceiling in *both* paths, pinning the residual per-query cost of
+//!    answering straight from the cache — result materialization at
+//!    the API boundary plus the re-insert of the answer.
+//!
+//! The ceilings are deliberately loose (~2× observed) so unrelated
+//! changes don't trip them, while per-point regressions — hundreds of
+//! extra allocations per query at this scale — still fail loudly.
+
+use skycache_bench::{allocations, interactive_queries, run_queries, synthetic_table};
+use skycache_core::{CbcsConfig, CbcsExecutor};
+use skycache_datagen::Distribution;
+use skycache_geom::Constraints;
+use skycache_storage::Table;
+
+const DIMS: usize = 4;
+const N: usize = 100_000;
+const QUERIES: usize = 100;
+
+fn table() -> Table {
+    synthetic_table(Distribution::Independent, DIMS, N, 42)
+}
+
+/// Allocs/query over one cold-start run of the workload — the cache
+/// warms within the first few queries, so this is dominated by the
+/// cached steady state, exactly like `repro perf`.
+fn workload_allocs_per_query(table: &Table, queries: &[Constraints], block_path: bool) -> f64 {
+    let config = CbcsConfig { block_path, ..Default::default() };
+    let mut ex = CbcsExecutor::new(table, config);
+    let a0 = allocations();
+    let records = run_queries(&mut ex, queries);
+    let allocs = allocations() - a0;
+    let hits = records.iter().filter(|r| r.stats.cache_hit).count();
+    assert!(hits * 2 > queries.len(), "workload must be cache-dominated, got {hits} hits");
+    allocs as f64 / queries.len() as f64
+}
+
+/// Allocs/query when re-running a workload the cache has already
+/// answered: every query is an exact hit.
+fn replay_allocs_per_query(table: &Table, queries: &[Constraints], block_path: bool) -> f64 {
+    let config = CbcsConfig { block_path, ..Default::default() };
+    let mut ex = CbcsExecutor::new(table, config);
+    run_queries(&mut ex, queries); // warmup: populate cache + scratch
+    let a0 = allocations();
+    let records = run_queries(&mut ex, queries);
+    let allocs = allocations() - a0;
+    assert!(records.iter().all(|r| r.stats.cache_hit), "replay must be all cache hits");
+    allocs as f64 / queries.len() as f64
+}
+
+#[test]
+fn steady_state_cached_path_allocs_stay_under_ceiling() {
+    let table = table();
+    let queries = interactive_queries(&table, QUERIES, 17, None);
+
+    let block = workload_allocs_per_query(&table, &queries, true);
+    assert!(
+        block <= BLOCK_CEILING,
+        "cached block path regressed to {block:.1} allocs/query (ceiling {BLOCK_CEILING})"
+    );
+
+    let legacy = workload_allocs_per_query(&table, &queries, false);
+    let reduction = legacy / block.max(1e-9);
+    assert!(
+        reduction >= 5.0,
+        "block path lost its allocation advantage: legacy {legacy:.1} vs block {block:.1} \
+         per query ({reduction:.1}x, need >= 5x)"
+    );
+}
+
+#[test]
+fn exact_hit_replay_allocs_stay_under_ceiling() {
+    let table = table();
+    let queries = interactive_queries(&table, QUERIES, 17, None);
+    for block_path in [true, false] {
+        let replay = replay_allocs_per_query(&table, &queries, block_path);
+        assert!(
+            replay <= REPLAY_CEILING,
+            "exact-hit replay (block_path = {block_path}) regressed to {replay:.1} \
+             allocs/query (ceiling {REPLAY_CEILING})"
+        );
+    }
+}
+
+/// ~2× the observed steady-state block-path cost (~339 allocs/query).
+const BLOCK_CEILING: f64 = 650.0;
+/// ~2× the observed exact-hit replay cost (~881 allocs/query — exact
+/// hits re-materialize the full result, so this scales with result
+/// size, not points read).
+const REPLAY_CEILING: f64 = 1800.0;

@@ -18,7 +18,8 @@
 // reindexing feed back into query planning.
 use std::collections::BTreeMap;
 
-use skycache_geom::{dominates, Aabb, Constraints, Point};
+use skycache_geom::dominance::dominates_raw;
+use skycache_geom::{Aabb, Constraints, Point, PointBlock};
 use skycache_rtree::RStarTree;
 
 /// A cached constrained-skyline result.
@@ -28,8 +29,10 @@ pub struct CacheItem {
     pub id: u64,
     /// The constraints `C` the skyline was computed under.
     pub constraints: Constraints,
-    /// The cached result `Sky(S, C)`.
-    pub skyline: Vec<Point>,
+    /// The cached result `Sky(S, C)` in columnar form: steady-state
+    /// planning copies coordinate rows out of this block instead of
+    /// cloning one heap-boxed `Point` per cached result point.
+    pub skyline: PointBlock,
     /// Minimum bounding rectangle of the skyline (`None` when empty).
     pub mbr: Option<Aabb>,
     /// Logical insertion time.
@@ -70,6 +73,12 @@ pub struct LookupOutcome<'a> {
 pub struct Cache {
     items: BTreeMap<u64, CacheItem>,
     index: RStarTree<u64>,
+    /// Second R\*-tree, over the items' *constraint* regions (closed
+    /// covers of possibly-open boxes). Dynamic-data maintenance probes it
+    /// with the inserted point instead of scanning every item; candidates
+    /// are re-filtered with the exact [`Constraints::satisfies`] test, so
+    /// open boundaries stay correct.
+    constraint_index: RStarTree<u64>,
     clock: u64,
     next_id: u64,
     capacity: Option<usize>,
@@ -81,6 +90,9 @@ pub struct Cache {
     bound: Option<Aabb>,
     /// Items evicted by the replacement policy since construction.
     evictions: u64,
+    /// Items individually examined by dynamic-data maintenance
+    /// ([`Cache::on_insert`]) — the `cache.maintenance_scans` metric.
+    maintenance_scans: u64,
 }
 
 impl Cache {
@@ -99,6 +111,7 @@ impl Cache {
         Cache {
             items: BTreeMap::new(),
             index: RStarTree::new(dims),
+            constraint_index: RStarTree::new(dims),
             clock: 0,
             next_id: 0,
             capacity,
@@ -106,6 +119,7 @@ impl Cache {
             dims,
             bound: None,
             evictions: 0,
+            maintenance_scans: 0,
         }
     }
 
@@ -134,24 +148,31 @@ impl Cache {
     ///
     /// # Panics
     /// Panics on dimensionality mismatch.
-    pub fn insert(&mut self, constraints: Constraints, skyline: Vec<Point>) -> u64 {
+    pub fn insert(&mut self, constraints: Constraints, skyline: &[Point]) -> u64 {
         assert_eq!(constraints.dims(), self.dims, "constraints dimensionality mismatch");
         self.clock += 1;
         let id = self.next_id;
         self.next_id += 1;
-        let mbr = Aabb::bounding(&skyline);
+        let mbr = Aabb::bounding(skyline);
+        let mut block = PointBlock::with_capacity(self.dims, skyline.len())
+            // skylint: allow(no-panic-paths) — dims > 0 asserted at construction.
+            .expect("cache dimensionality is nonzero");
+        for point in skyline {
+            block.push(point);
+        }
         let key = Self::index_box(&constraints, &mbr);
         match &mut self.bound {
             Some(b) => b.merge(&key),
             None => self.bound = Some(key.clone()),
         }
         self.index.insert(key, id);
+        self.constraint_index.insert(constraints.aabb().clone(), id);
         self.items.insert(
             id,
             CacheItem {
                 id,
                 constraints,
-                skyline,
+                skyline: block,
                 mbr,
                 inserted_at: self.clock,
                 last_used: self.clock,
@@ -205,6 +226,8 @@ impl Cache {
         let key = Self::index_box(&item.constraints, &item.mbr);
         let removed = self.index.remove(&key, |&v| v == id);
         debug_assert!(removed.is_some(), "index out of sync with items");
+        let removed = self.constraint_index.remove(item.constraints.aabb(), |&v| v == id);
+        debug_assert!(removed.is_some(), "constraint index out of sync with items");
         self.bound = self.index.mbr();
         Some(item)
     }
@@ -251,6 +274,14 @@ impl Cache {
         self.evictions
     }
 
+    /// Items individually examined by dynamic-data maintenance since
+    /// construction — the `cache.maintenance_scans` metric. With the
+    /// constraint R\*-tree this grows with the number of items whose
+    /// regions actually contain the inserted points, not with cache size.
+    pub fn maintenance_scans(&self) -> u64 {
+        self.maintenance_scans
+    }
+
     /// Records a use of the item (updates LRU/LCU counters). A miss on an
     /// unknown id leaves the logical clock untouched, so recency ordering
     /// only advances on real cache events.
@@ -272,7 +303,7 @@ impl Cache {
     fn reindex(&mut self, id: u64) {
         let Some(item) = self.items.get_mut(&id) else { return };
         let old_key = Self::index_box(&item.constraints, &item.mbr);
-        let new_mbr = Aabb::bounding(&item.skyline);
+        let new_mbr = Aabb::bounding_rows(item.skyline.rows());
         if new_mbr == item.mbr {
             return;
         }
@@ -290,21 +321,25 @@ impl Cache {
     /// constraints it satisfies. Returns the number of items updated.
     pub fn on_insert(&mut self, p: &Point) -> usize {
         assert_eq!(p.dims(), self.dims, "point dimensionality mismatch");
-        let affected: Vec<u64> = self
-            .items
-            .values()
-            .filter(|item| item.constraints.satisfies(p))
-            .map(|item| item.id)
-            .collect();
+        // Probe the constraint R*-tree with the point instead of scanning
+        // every item: only items whose constraint region (closed cover)
+        // contains p are examined. The exact `satisfies` re-filter keeps
+        // open-boundary semantics; ids are sorted so updates run in the
+        // same ascending-id order as the old full scan.
+        let mut affected: Vec<u64> =
+            self.constraint_index.search(&Aabb::from_point(p)).into_iter().copied().collect();
+        self.maintenance_scans += affected.len() as u64;
+        affected.sort_unstable();
+        affected.retain(|id| self.items.get(id).is_some_and(|item| item.constraints.satisfies(p)));
         let mut updated = 0;
         for id in affected {
             let Some(item) = self.items.get_mut(&id) else { continue };
-            if item.skyline.iter().any(|s| dominates(s, p)) {
+            if item.skyline.rows().any(|s| dominates_raw(s, p.coords())) {
                 continue; // dominated: the cached skyline is unchanged
             }
             // p enters the skyline; points it dominates leave.
-            item.skyline.retain(|s| !dominates(p, s));
-            item.skyline.push(p.clone());
+            item.skyline.retain_rows(|s| !dominates_raw(p.coords(), s));
+            item.skyline.push(p);
             self.reindex(id);
             updated += 1;
         }
@@ -322,7 +357,7 @@ impl Cache {
         let affected: Vec<u64> = self
             .items
             .values()
-            .filter(|item| item.skyline.iter().any(|s| s == p))
+            .filter(|item| item.skyline.rows().any(|s| s == p.coords()))
             .map(|item| item.id)
             .collect();
         let dropped = affected.len();
@@ -348,7 +383,7 @@ mod tests {
     #[test]
     fn insert_and_lookup_by_mbr() {
         let mut cache = Cache::new(2);
-        let id = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.2, 0.8]), p(&[0.6, 0.3])]);
+        let id = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), &[p(&[0.2, 0.8]), p(&[0.6, 0.3])]);
         assert_eq!(cache.len(), 1);
         // Query overlapping the skyline MBR [0.2,0.6]x[0.3,0.8].
         let hits = cache.overlapping(&c(&[(0.5, 0.9), (0.1, 0.4)]));
@@ -362,7 +397,7 @@ mod tests {
     #[test]
     fn empty_skyline_indexed_by_constraints() {
         let mut cache = Cache::new(2);
-        let id = cache.insert(c(&[(0.4, 0.6), (0.4, 0.6)]), vec![]);
+        let id = cache.insert(c(&[(0.4, 0.6), (0.4, 0.6)]), &[]);
         let hits = cache.overlapping(&c(&[(0.5, 0.9), (0.5, 0.9)]));
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].id, id);
@@ -372,10 +407,10 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut cache = Cache::with_capacity(1, Some(2), ReplacementPolicy::Lru);
-        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
-        let b = cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0)]), &[p(&[0.5])]);
+        let b = cache.insert(c(&[(1.0, 2.0)]), &[p(&[1.5])]);
         cache.touch(a); // a is now more recent than b
-        let _c = cache.insert(c(&[(2.0, 3.0)]), vec![p(&[2.5])]);
+        let _c = cache.insert(c(&[(2.0, 3.0)]), &[p(&[2.5])]);
         assert_eq!(cache.len(), 2);
         assert!(cache.get(a).is_some(), "recently used item kept");
         assert!(cache.get(b).is_none(), "LRU item evicted");
@@ -384,12 +419,12 @@ mod tests {
     #[test]
     fn lcu_eviction() {
         let mut cache = Cache::with_capacity(1, Some(2), ReplacementPolicy::Lcu);
-        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
-        let b = cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0)]), &[p(&[0.5])]);
+        let b = cache.insert(c(&[(1.0, 2.0)]), &[p(&[1.5])]);
         cache.touch(b);
         cache.touch(b);
         cache.touch(a);
-        let _c = cache.insert(c(&[(2.0, 3.0)]), vec![p(&[2.5])]);
+        let _c = cache.insert(c(&[(2.0, 3.0)]), &[p(&[2.5])]);
         assert!(cache.get(b).is_some(), "commonly used item kept");
         assert!(cache.get(a).is_none(), "LCU item evicted");
     }
@@ -397,8 +432,8 @@ mod tests {
     #[test]
     fn newest_item_is_protected_from_eviction() {
         let mut cache = Cache::with_capacity(1, Some(1), ReplacementPolicy::Lru);
-        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
-        let b = cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0)]), &[p(&[0.5])]);
+        let b = cache.insert(c(&[(1.0, 2.0)]), &[p(&[1.5])]);
         assert_eq!(cache.len(), 1);
         assert!(cache.get(a).is_none());
         assert!(cache.get(b).is_some());
@@ -407,8 +442,8 @@ mod tests {
     #[test]
     fn remove_keeps_index_consistent() {
         let mut cache = Cache::new(2);
-        let a = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.5, 0.5])]);
-        let b = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.5, 0.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), &[p(&[0.5, 0.5])]);
+        let b = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), &[p(&[0.5, 0.5])]);
         assert_eq!(cache.len(), 2);
         let removed = cache.remove(a).unwrap();
         assert_eq!(removed.id, a);
@@ -431,7 +466,7 @@ mod tests {
                 vec![v + 0.5, f64::INFINITY, f64::INFINITY],
             )
             .unwrap();
-            cache.insert(cc, vec![]);
+            cache.insert(cc, &[]);
         }
         assert_eq!(cache.len(), 200);
         let probe = Constraints::new(
@@ -446,14 +481,14 @@ mod tests {
     #[test]
     fn on_insert_updates_affected_items() {
         let mut cache = Cache::new(2);
-        let a = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.5, 0.5])]);
-        let b = cache.insert(c(&[(2.0, 3.0), (2.0, 3.0)]), vec![p(&[2.5, 2.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), &[p(&[0.5, 0.5])]);
+        let b = cache.insert(c(&[(2.0, 3.0), (2.0, 3.0)]), &[p(&[2.5, 2.5])]);
 
         // New point inside item a's constraints, dominating its skyline.
         let updated = cache.on_insert(&p(&[0.2, 0.2]));
         assert_eq!(updated, 1);
-        assert_eq!(cache.get(a).unwrap().skyline, vec![p(&[0.2, 0.2])]);
-        assert_eq!(cache.get(b).unwrap().skyline, vec![p(&[2.5, 2.5])]);
+        assert_eq!(cache.get(a).unwrap().skyline.to_points(), vec![p(&[0.2, 0.2])]);
+        assert_eq!(cache.get(b).unwrap().skyline.to_points(), vec![p(&[2.5, 2.5])]);
         // The MBR index moved with the skyline.
         let hits = cache.overlapping(&c(&[(0.1, 0.3), (0.1, 0.3)]));
         assert!(hits.iter().any(|it| it.id == a));
@@ -468,11 +503,35 @@ mod tests {
     }
 
     #[test]
+    fn maintenance_scans_count_only_candidate_items() {
+        let mut cache = Cache::new(2);
+        // Ten items far from the insertion point, one containing it.
+        for i in 0..10 {
+            let lo = 10.0 + f64::from(i);
+            cache.insert(c(&[(lo, lo + 0.5), (lo, lo + 0.5)]), &[p(&[lo, lo])]);
+        }
+        let near = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), &[p(&[0.8, 0.8])]);
+        assert_eq!(cache.maintenance_scans(), 0);
+
+        let updated = cache.on_insert(&p(&[0.5, 0.5]));
+        assert_eq!(updated, 1);
+        assert_eq!(cache.get(near).unwrap().skyline.to_points(), vec![p(&[0.5, 0.5])]);
+        // The constraint index pruned the ten distant items: only the
+        // containing item was individually examined.
+        assert_eq!(cache.maintenance_scans(), 1);
+
+        // Removal keeps the constraint index in sync.
+        cache.remove(near).unwrap();
+        assert_eq!(cache.on_insert(&p(&[0.5, 0.5])), 0);
+        assert_eq!(cache.maintenance_scans(), 1);
+    }
+
+    #[test]
     fn on_delete_drops_items_holding_the_point() {
         let mut cache = Cache::new(2);
-        let a = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.5, 0.5])]);
-        let b = cache.insert(c(&[(0.0, 2.0), (0.0, 2.0)]), vec![p(&[0.5, 0.5]), p(&[1.5, 0.2])]);
-        let keep = cache.insert(c(&[(2.0, 3.0), (2.0, 3.0)]), vec![p(&[2.5, 2.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), &[p(&[0.5, 0.5])]);
+        let b = cache.insert(c(&[(0.0, 2.0), (0.0, 2.0)]), &[p(&[0.5, 0.5]), p(&[1.5, 0.2])]);
+        let keep = cache.insert(c(&[(2.0, 3.0), (2.0, 3.0)]), &[p(&[2.5, 2.5])]);
 
         let dropped = cache.on_delete(&p(&[0.5, 0.5]));
         assert_eq!(dropped, 2);
@@ -492,8 +551,8 @@ mod tests {
         assert_eq!(out.scans, 0);
         assert!(out.items.is_empty());
 
-        cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), vec![p(&[0.2, 0.8]), p(&[0.6, 0.3])]);
-        cache.insert(c(&[(2.0, 3.0), (2.0, 3.0)]), vec![p(&[2.5, 2.5])]);
+        cache.insert(c(&[(0.0, 1.0), (0.0, 1.0)]), &[p(&[0.2, 0.8]), p(&[0.6, 0.3])]);
+        cache.insert(c(&[(2.0, 3.0), (2.0, 3.0)]), &[p(&[2.5, 2.5])]);
 
         // Disjoint from the union of index boxes: answered from the
         // cache-wide bound, zero per-item scans.
@@ -515,8 +574,8 @@ mod tests {
     fn bound_tracks_inserts_and_removals() {
         let mut cache = Cache::new(1);
         assert!(cache.bound().is_none());
-        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
-        let b = cache.insert(c(&[(5.0, 6.0)]), vec![p(&[5.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0)]), &[p(&[0.5])]);
+        let b = cache.insert(c(&[(5.0, 6.0)]), &[p(&[5.5])]);
         let both = cache.bound().unwrap().clone();
         assert!(both.contains_point(&p(&[0.5])));
         assert!(both.contains_point(&p(&[5.5])));
@@ -535,10 +594,10 @@ mod tests {
     #[test]
     fn evictions_counter_counts_only_policy_evictions() {
         let mut cache = Cache::with_capacity(1, Some(2), ReplacementPolicy::Lru);
-        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
-        cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0)]), &[p(&[0.5])]);
+        cache.insert(c(&[(1.0, 2.0)]), &[p(&[1.5])]);
         assert_eq!(cache.evictions(), 0);
-        cache.insert(c(&[(2.0, 3.0)]), vec![p(&[2.5])]);
+        cache.insert(c(&[(2.0, 3.0)]), &[p(&[2.5])]);
         assert_eq!(cache.evictions(), 1);
         assert!(cache.get(a).is_none());
         // Explicit removal is not an eviction.
@@ -550,7 +609,7 @@ mod tests {
     #[test]
     fn touch_updates_counters() {
         let mut cache = Cache::new(1);
-        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0)]), &[p(&[0.5])]);
         let before = cache.get(a).unwrap().last_used;
         cache.touch(a);
         let item = cache.get(a).unwrap();
@@ -568,7 +627,7 @@ mod tests {
         let mut seen_max = 0u64;
         let mut ids = Vec::new();
         for i in 0..5 {
-            let id = cache.insert(c(&[(f64::from(i), f64::from(i) + 1.0)]), vec![]);
+            let id = cache.insert(c(&[(f64::from(i), f64::from(i) + 1.0)]), &[]);
             let stamp = cache.get(id).unwrap().inserted_at;
             assert!(stamp > seen_max, "insert stamp {stamp} not past {seen_max}");
             seen_max = stamp;
@@ -590,9 +649,9 @@ mod tests {
         // Regression: touch() used to bump the clock before checking
         // presence, so misses inflated later items' recency timestamps.
         let mut cache = Cache::new(1);
-        let a = cache.insert(c(&[(0.0, 1.0)]), vec![p(&[0.5])]);
+        let a = cache.insert(c(&[(0.0, 1.0)]), &[p(&[0.5])]);
         cache.touch(a + 1000); // no such item
-        let b = cache.insert(c(&[(1.0, 2.0)]), vec![p(&[1.5])]);
+        let b = cache.insert(c(&[(1.0, 2.0)]), &[p(&[1.5])]);
         assert_eq!(cache.get(a).unwrap().inserted_at, 1);
         assert_eq!(cache.get(b).unwrap().inserted_at, 2);
         assert_eq!(cache.get(a).unwrap().use_count, 0);

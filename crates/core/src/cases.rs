@@ -20,7 +20,7 @@
 //! license skipping work entirely (exact hits and Case (b)); all other
 //! classes share the MPR machinery.
 
-use skycache_geom::{Constraints, HyperRect, Point};
+use skycache_geom::{Constraints, HyperRect, Point, PointBlock};
 
 use crate::mpr::{missing_points_region_multi, MprMode};
 use crate::stability::{classify, Overlap};
@@ -32,8 +32,9 @@ pub struct QueryPlan {
     pub overlap: Overlap,
     /// Disjoint range queries to fetch from storage.
     pub regions: Vec<HyperRect>,
-    /// Cached skyline points that remain candidates under `C′`.
-    pub retained: Vec<Point>,
+    /// Cached skyline points that remain candidates under `C′`, as a
+    /// columnar block shared with the merge kernels.
+    pub retained: PointBlock,
     /// Whether a skyline recomputation over `retained ∪ fetched` is
     /// required (false for exact hits and Case (b), per Theorem 3).
     pub needs_skyline: bool,
@@ -49,7 +50,7 @@ pub struct QueryPlan {
 /// `(old, cached_skyline)`.
 pub fn plan(
     old: &Constraints,
-    cached_skyline: &[Point],
+    cached_skyline: &PointBlock,
     new: &Constraints,
     mode: MprMode,
 ) -> QueryPlan {
@@ -63,7 +64,7 @@ pub fn plan(
 /// their results are already fully determined by the primary item.
 pub fn plan_with_extra(
     old: &Constraints,
-    cached_skyline: &[Point],
+    cached_skyline: &PointBlock,
     extra_points: &[Point],
     new: &Constraints,
     mode: MprMode,
@@ -73,22 +74,32 @@ pub fn plan_with_extra(
         Overlap::Exact => QueryPlan {
             overlap,
             regions: Vec::new(),
-            retained: cached_skyline.to_vec(),
+            retained: cached_skyline.clone(),
             needs_skyline: false,
             removed_points: 0,
             prune_points_used: 0,
             invalidated_pieces: 0,
         },
         Overlap::CaseB { .. } => {
-            // Theorem 3: Sky(S, C′) = Sky(S, C) ∩ S_C′.
-            let (retained, removed): (Vec<_>, Vec<_>) =
-                cached_skyline.iter().cloned().partition(|p| new.satisfies(p));
+            // Theorem 3: Sky(S, C′) = Sky(S, C) ∩ S_C′. Copy surviving
+            // rows into a fresh block; no per-point clones.
+            let mut retained = PointBlock::new(new.dims())
+                // skylint: allow(no-panic-paths) — Constraints reject zero dimensions.
+                .expect("constraints are at least one-dimensional");
+            let mut removed = 0usize;
+            for row in cached_skyline.rows() {
+                if new.satisfies_coords(row) {
+                    retained.push_row(row);
+                } else {
+                    removed += 1;
+                }
+            }
             QueryPlan {
                 overlap,
                 regions: Vec::new(),
                 retained,
                 needs_skyline: false,
-                removed_points: removed.len(),
+                removed_points: removed,
                 prune_points_used: 0,
                 invalidated_pieces: 0,
             }
@@ -126,15 +137,19 @@ mod tests {
         Point::from(coords.to_vec())
     }
 
+    fn block(points: &[Point]) -> PointBlock {
+        PointBlock::from_points(points).unwrap()
+    }
+
     #[test]
     fn exact_plan_is_free() {
         let cc = c(&[(0.0, 1.0), (0.0, 1.0)]);
         let sky = vec![p(&[0.1, 0.9]), p(&[0.5, 0.2])];
-        let plan = plan(&cc, &sky, &cc.clone(), MprMode::Exact);
+        let plan = plan(&cc, &block(&sky), &cc.clone(), MprMode::Exact);
         assert_eq!(plan.overlap, Overlap::Exact);
         assert!(plan.regions.is_empty());
         assert!(!plan.needs_skyline);
-        assert_eq!(plan.retained, sky);
+        assert_eq!(plan.retained.to_points(), sky);
     }
 
     #[test]
@@ -142,11 +157,11 @@ mod tests {
         let old = c(&[(0.0, 1.0), (0.0, 1.0)]);
         let new = c(&[(0.0, 1.0), (0.0, 0.5)]);
         let sky = vec![p(&[0.1, 0.9]), p(&[0.5, 0.2])];
-        let plan = plan(&old, &sky, &new, MprMode::Exact);
+        let plan = plan(&old, &block(&sky), &new, MprMode::Exact);
         assert_eq!(plan.overlap, Overlap::CaseB { dim: 1 });
         assert!(plan.regions.is_empty());
         assert!(!plan.needs_skyline);
-        assert_eq!(plan.retained, vec![p(&[0.5, 0.2])]);
+        assert_eq!(plan.retained.to_points(), vec![p(&[0.5, 0.2])]);
         assert_eq!(plan.removed_points, 1);
         assert_eq!(case_b_solution(&sky, &new), vec![p(&[0.5, 0.2])]);
     }
@@ -156,7 +171,7 @@ mod tests {
         let old = c(&[(0.5, 1.0), (0.0, 1.0)]);
         let new = c(&[(0.0, 1.0), (0.0, 1.0)]);
         let sky = vec![p(&[0.6, 0.2])];
-        let plan = plan(&old, &sky, &new, MprMode::Exact);
+        let plan = plan(&old, &block(&sky), &new, MprMode::Exact);
         assert_eq!(plan.overlap, Overlap::CaseA { dim: 0 });
         assert!(plan.needs_skyline);
         assert_eq!(plan.regions.len(), 1);
@@ -169,7 +184,7 @@ mod tests {
         let old = c(&[(0.0, 2.0), (0.0, 2.0)]);
         let new = c(&[(1.0, 2.0), (0.0, 2.0)]);
         let sky = vec![p(&[0.5, 0.5])];
-        let plan = plan(&old, &sky, &new, MprMode::Exact);
+        let plan = plan(&old, &block(&sky), &new, MprMode::Exact);
         assert_eq!(plan.overlap, Overlap::CaseD { dim: 0 });
         assert!(plan.needs_skyline);
         assert_eq!(plan.removed_points, 1);

@@ -30,11 +30,12 @@ use rand::SeedableRng;
 
 use skycache_algos::{
     bbs_constrained, BbsStats, Bnl, DivideConquer, ParallelDc, Salsa, Sfs, SkylineAlgorithm,
+    SkylineScratch,
 };
-use skycache_geom::{Aabb, Constraints, Point};
+use skycache_geom::{Aabb, Constraints, Point, PointBlock};
 use skycache_obs::{names, Phase, QueryRecorder, QueryReport, Recorder};
 use skycache_rtree::{RStarTree, RTreeParams};
-use skycache_storage::{FetchPlan, Table};
+use skycache_storage::{FetchBuf, FetchPlan, FetchScratch, Table};
 
 use crate::cache::{Cache, ReplacementPolicy};
 use crate::cases::{plan_with_extra, QueryPlan};
@@ -233,6 +234,150 @@ impl<'a> Probe<'a> {
     }
 }
 
+/// Reusable per-executor buffers for the block-oriented query hot path.
+///
+/// One instance lives inside each executor. After a few queries the
+/// buffers reach their high-water marks and steady-state queries run
+/// (near-)allocation-free: fetched rows land in the columnar
+/// [`FetchScratch`], merge and skyline operate on [`PointBlock`]s, and
+/// owned [`Point`]s are materialized exactly once — for the returned
+/// skyline, at the public-API boundary.
+#[derive(Default)]
+pub(crate) struct QueryScratch {
+    /// Storage-side fetch buffers (row ids + columnar coordinates).
+    fetch: FetchScratch,
+    /// Skyline-kernel ordering buffer.
+    sky: SkylineScratch,
+    /// Merge output: retained ∪ fetched rows, deduplicated.
+    merged: Option<PointBlock>,
+    /// Skyline output block.
+    sky_out: Option<PointBlock>,
+    /// Indices of retained points sorted by coordinate bit pattern.
+    merge_order: Vec<u32>,
+    /// Per retained point: fetched duplicate copies still to drop.
+    dup_budget: Vec<u32>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow to their high-water marks in use.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+}
+
+/// Hands out a cleared [`PointBlock`] of the right dimensionality from a
+/// lazily initialized scratch slot, reusing its capacity across queries.
+fn reuse_block(slot: &mut Option<PointBlock>, dims: usize) -> &mut PointBlock {
+    if !matches!(slot, Some(b) if b.dims() == dims) {
+        // skylint: allow(no-panic-paths) — Table construction enforces dims > 0.
+        *slot = Some(PointBlock::new(dims).expect("tables are at least one-dimensional"));
+    }
+    // skylint: allow(no-panic-paths) — the slot was just filled above.
+    let block = slot.as_mut().expect("slot initialized above");
+    block.clear();
+    block
+}
+
+/// Total order on coordinate rows by bit pattern — the same identity
+/// notion as [`merge_dedup`]'s `to_bits` keys (`-0.0 ≠ 0.0`, NaN
+/// payloads distinct). Only grouping matters; the order itself is
+/// arbitrary but consistent.
+fn cmp_bits(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    a.iter().map(|v| v.to_bits()).cmp(b.iter().map(|v| v.to_bits()))
+}
+
+/// Block-native [`merge_dedup`]: fills `merged` with the retained points
+/// followed by the fetched rows that survive deduplication, dropping one
+/// fetched copy per identical retained point. `order` and `budget` are
+/// reusable index buffers; output order and drop semantics match the Vec
+/// path row for row.
+fn merge_rows(
+    retained: &PointBlock,
+    fetched: &FetchBuf,
+    merged: &mut PointBlock,
+    order: &mut Vec<u32>,
+    budget: &mut Vec<u32>,
+) {
+    for row in retained.rows() {
+        merged.push_row(row);
+    }
+    if retained.is_empty() {
+        for i in 0..fetched.len() {
+            merged.push_row(fetched.row(i));
+        }
+        return;
+    }
+    order.clear();
+    order.extend(0..retained.len() as u32);
+    order.sort_unstable_by(|&a, &b| {
+        cmp_bits(retained.row(a as usize), retained.row(b as usize)).then(a.cmp(&b))
+    });
+    budget.clear();
+    budget.resize(retained.len(), 1);
+    for i in 0..fetched.len() {
+        let row = fetched.row(i);
+        let lo = order.partition_point(|&idx| cmp_bits(retained.row(idx as usize), row).is_lt());
+        let mut taken = false;
+        for &idx in &order[lo..] {
+            if cmp_bits(retained.row(idx as usize), row).is_ne() {
+                break;
+            }
+            if budget[idx as usize] > 0 {
+                budget[idx as usize] -= 1;
+                taken = true;
+                break;
+            }
+        }
+        if !taken {
+            merged.push_row(row);
+        }
+    }
+}
+
+/// Block-native skyline stage: runs on flat rows in place, materializing
+/// owned points only for the returned skyline. Algorithms without a
+/// block kernel ([`SkylineAlgorithm::compute_block`] returning `None`)
+/// fall back to the Vec path. Dispatch, counters and output order are
+/// identical to [`compute_skyline`].
+fn compute_skyline_rows(
+    algo: &dyn SkylineAlgorithm,
+    exec: ExecMode,
+    rows: &[f64],
+    dims: usize,
+    sky: &mut SkylineScratch,
+    out: &mut PointBlock,
+    probe: &mut Probe<'_>,
+) -> Vec<Point> {
+    let n = rows.len() / dims;
+    if let ExecMode::Parallel { lanes, dc_threshold } = exec {
+        if lanes > 1 && n >= dc_threshold {
+            let (tests, report) = ParallelDc { threads: lanes, sequential_threshold: dc_threshold }
+                .compute_rows(rows, dims, sky, out);
+            if probe.detailed() && report.workers > 0 {
+                probe.set_gauge(names::LANES_SKYLINE_WORKERS, report.workers as f64);
+                probe.set_gauge(names::LANES_SKYLINE_IMBALANCE, report.imbalance());
+            }
+            probe.add_counter(names::SKYLINE_DOMINANCE_TESTS, tests);
+            return out.to_points();
+        }
+    }
+    match algo.compute_block(rows, dims, sky, out) {
+        Some(tests) => {
+            probe.add_counter(names::SKYLINE_DOMINANCE_TESTS, tests);
+            out.to_points()
+        }
+        None => {
+            // No block kernel (BNL, D&C, SaLSa): materialize and run the
+            // Vec-based algorithm.
+            let points: Vec<Point> =
+                rows.chunks_exact(dims).map(|r| Point::new_unchecked(r.to_vec())).collect();
+            let computed = algo.compute(points);
+            probe.add_counter(names::SKYLINE_DOMINANCE_TESTS, computed.dominance_tests);
+            computed.skyline
+        }
+    }
+}
+
 /// Runs the skyline stage under `exec`: the configured sequential
 /// algorithm, or [`ParallelDc`] when parallel mode is on and the input is
 /// large enough to amortize thread spawns. Returns the skyline; dominance
@@ -294,6 +439,9 @@ pub struct QueryStats {
     pub range_queries_executed: u64,
     /// Range queries discarded by index-only emptiness detection.
     pub range_queries_empty: u64,
+    /// Candidate range queries absorbed into a neighbor by the coalescing
+    /// fetch planner (block path only; 0 without coalescing).
+    pub regions_coalesced: u64,
     /// Pairwise dominance tests performed.
     pub dominance_tests: u64,
     /// Stage time breakdown.
@@ -336,6 +484,7 @@ impl Recorder for QueryStats {
             names::FETCH_REGIONS => self.range_queries_issued += delta,
             names::FETCH_RQ_EXECUTED => self.range_queries_executed += delta,
             names::FETCH_RQ_EMPTY => self.range_queries_empty += delta,
+            names::FETCH_REGIONS_COALESCED => self.regions_coalesced += delta,
             names::SKYLINE_DOMINANCE_TESTS => self.dominance_tests += delta,
             names::CACHE_RETAINED_POINTS => self.retained_points += delta,
             names::CACHE_REMOVED_POINTS => self.removed_points += delta,
@@ -399,12 +548,18 @@ pub struct BaselineExecutor<'t> {
     table: &'t Table,
     algo: Box<dyn SkylineAlgorithm>,
     exec: ExecMode,
+    scratch: QueryScratch,
 }
 
 impl<'t> BaselineExecutor<'t> {
     /// Creates a Baseline executor using SFS.
     pub fn new(table: &'t Table) -> Self {
-        BaselineExecutor { table, algo: Box::new(Sfs), exec: ExecMode::default() }
+        BaselineExecutor {
+            table,
+            algo: Box::new(Sfs),
+            exec: ExecMode::default(),
+            scratch: QueryScratch::new(),
+        }
     }
 
     /// Replaces the skyline component (the paper argues CBCS's benefit is
@@ -440,7 +595,7 @@ impl Executor for BaselineExecutor<'_> {
         let mut stats = QueryStats::default();
         let mut rec = if req.record { Some(QueryRecorder::new()) } else { None };
         let mut probe = Probe::new(&mut stats, rec.as_mut());
-        let skyline = query_naive(self.table, algo, exec, c, &mut probe);
+        let skyline = query_naive(self.table, algo, exec, c, &mut self.scratch, &mut probe);
         probe.add_counter(names::SKYLINE_RESULT_SIZE, skyline.len() as u64);
 
         Ok(QueryOutcome { skyline, stats, report: rec.map(QueryRecorder::into_report) })
@@ -564,6 +719,13 @@ pub struct CbcsConfig {
     pub extra_items: usize,
     /// Sequential or parallel execution of the fetch and skyline stages.
     pub exec: ExecMode,
+    /// Run the block-oriented zero-copy hot path: fetches fill reusable
+    /// columnar scratch buffers, the fetch planner coalesces overlapping
+    /// index ranges, and merge/skyline run on [`PointBlock`]s. `false`
+    /// selects the legacy per-point materializing pipeline (same results
+    /// and counters, minus coalescing savings) — kept for benchmarking
+    /// the block path against its baseline.
+    pub block_path: bool,
 }
 
 impl Default for CbcsConfig {
@@ -577,6 +739,7 @@ impl Default for CbcsConfig {
             cache_results: true,
             extra_items: 0,
             exec: ExecMode::Sequential,
+            block_path: true,
         }
     }
 }
@@ -594,6 +757,7 @@ pub struct CbcsExecutor<'t> {
     algo: Box<dyn SkylineAlgorithm>,
     rng: StdRng,
     data_bounds: Aabb,
+    scratch: QueryScratch,
 }
 
 impl<'t> CbcsExecutor<'t> {
@@ -604,7 +768,15 @@ impl<'t> CbcsExecutor<'t> {
             // skylint: allow(no-panic-paths) — Table::build rejects empty point sets.
             .expect("tables are non-empty");
         let rng = StdRng::seed_from_u64(config.seed);
-        CbcsExecutor { table, cache, config, algo: Box::new(Sfs), rng, data_bounds }
+        CbcsExecutor {
+            table,
+            cache,
+            config,
+            algo: Box::new(Sfs),
+            rng,
+            data_bounds,
+            scratch: QueryScratch::new(),
+        }
     }
 
     /// Replaces the in-memory skyline component.
@@ -643,6 +815,7 @@ impl Executor for CbcsExecutor<'_> {
             self.algo.as_ref(),
             &mut self.rng,
             &self.data_bounds,
+            &mut self.scratch,
             req,
         )
     }
@@ -655,6 +828,7 @@ impl Executor for CbcsExecutor<'_> {
 /// case-analysis (strategy selection + extra-item harvest), mpr-compute
 /// (plan construction); the fetch/merge/skyline spans are recorded by
 /// [`query_naive`]/[`query_planned`].
+#[allow(clippy::too_many_arguments)]
 fn execute_cbcs_query(
     table: &Table,
     cache: &mut Cache,
@@ -662,6 +836,7 @@ fn execute_cbcs_query(
     algo: &dyn SkylineAlgorithm,
     rng: &mut StdRng,
     data_bounds: &Aabb,
+    scratch: &mut QueryScratch,
     req: &QueryRequest,
 ) -> Result<QueryOutcome> {
     let c = &req.constraints;
@@ -701,7 +876,7 @@ fn execute_cbcs_query(
                 others
                     .into_iter()
                     .take(config.extra_items)
-                    .flat_map(|it| it.skyline.iter().cloned())
+                    .flat_map(|it| it.skyline.to_points())
                     .collect()
             } else {
                 Vec::new()
@@ -721,20 +896,28 @@ fn execute_cbcs_query(
     let skyline = match selection {
         None => {
             probe.add_counter(names::CACHE_MISSES, 1);
-            query_naive(table, algo, exec, c, &mut probe)
+            if config.block_path {
+                query_naive(table, algo, exec, c, scratch, &mut probe)
+            } else {
+                query_naive_legacy(table, algo, exec, c, &mut probe)
+            }
         }
         Some((item_id, query_plan)) => {
             probe.add_counter(names::CACHE_HITS, 1);
             probe.stats.cache_hit = true;
             cache.touch(item_id);
-            query_planned(table, algo, exec, query_plan, &mut probe)
+            if config.block_path {
+                query_planned(table, algo, exec, query_plan, scratch, &mut probe)
+            } else {
+                query_planned_legacy(table, algo, exec, query_plan, &mut probe)
+            }
         }
     };
     probe.add_counter(names::SKYLINE_RESULT_SIZE, skyline.len() as u64);
 
     if config.cache_results {
         let evictions_before = cache.evictions();
-        cache.insert(c.clone(), skyline.clone());
+        cache.insert(c.clone(), &skyline);
         probe.add_counter(names::CACHE_INSERTIONS, 1);
         let evicted = cache.evictions() - evictions_before;
         if evicted > 0 {
@@ -745,8 +928,40 @@ fn execute_cbcs_query(
     Ok(QueryOutcome { skyline, stats, report: rec.map(QueryRecorder::into_report) })
 }
 
-/// The cache-miss path: one constraint range query plus a full skyline.
+/// The cache-miss path on the block-oriented hot path: one constraint
+/// range query into the reusable fetch scratch, then the skyline kernel
+/// directly over the columnar rows. Results and counters are identical
+/// to [`query_naive_legacy`]; only allocation behavior differs.
 pub(crate) fn query_naive(
+    table: &Table,
+    algo: &dyn SkylineAlgorithm,
+    exec: ExecMode,
+    c: &Constraints,
+    scratch: &mut QueryScratch,
+    probe: &mut Probe<'_>,
+) -> Vec<Point> {
+    let t0 = Stopwatch::start();
+    let outcome = table.fetch_plan_into(&FetchPlan::constrained(c), &mut scratch.fetch);
+    probe.record_span(Phase::Fetch, t0.elapsed() + outcome.simulated_latency);
+    outcome.record_into(probe);
+    if probe.detailed() {
+        probe.add_counter(
+            names::FETCH_PAGES_TOUCHED,
+            table.pages_touched_ids(scratch.fetch.rows().ids()),
+        );
+    }
+
+    let t1 = Stopwatch::start();
+    let dims = table.dims();
+    let QueryScratch { fetch, sky, sky_out, .. } = scratch;
+    let out = reuse_block(sky_out, dims);
+    let skyline = compute_skyline_rows(algo, exec, fetch.rows().coords(), dims, sky, out, probe);
+    probe.record_span(Phase::Skyline, t1.elapsed());
+    skyline
+}
+
+/// The cache-miss path: one constraint range query plus a full skyline.
+pub(crate) fn query_naive_legacy(
     table: &Table,
     algo: &dyn SkylineAlgorithm,
     exec: ExecMode,
@@ -768,12 +983,65 @@ pub(crate) fn query_naive(
     skyline
 }
 
+/// The cache-hit path on the block-oriented hot path: fetch the plan's
+/// regions with a *coalescing* plan (overlapping or abutting index
+/// ranges merge into one range query; rows are deduplicated across
+/// regions), block-merge with the retained points, and run the skyline
+/// kernel over the merged block. The skyline and all non-coalescing
+/// counters match [`query_planned_legacy`]; `fetch.regions_coalesced`
+/// additionally reports the planner's savings.
+pub(crate) fn query_planned(
+    table: &Table,
+    algo: &dyn SkylineAlgorithm,
+    exec: ExecMode,
+    plan: QueryPlan,
+    scratch: &mut QueryScratch,
+    probe: &mut Probe<'_>,
+) -> Vec<Point> {
+    probe.stats.case = Some(plan.overlap);
+    probe.add_counter(names::CACHE_RETAINED_POINTS, plan.retained.len() as u64);
+    probe.add_counter(names::CACHE_REMOVED_POINTS, plan.removed_points as u64);
+    probe.add_counter(names::MPR_REGIONS, plan.regions.len() as u64);
+    probe.add_counter(names::MPR_PRUNE_POINTS, plan.prune_points_used as u64);
+    probe.add_counter(names::MPR_INVALIDATED_PIECES, plan.invalidated_pieces as u64);
+
+    let t0 = Stopwatch::start();
+    let fetch_plan = FetchPlan::new(plan.regions).with_lanes(exec.lanes()).coalesced();
+    let outcome = table.fetch_plan_into(&fetch_plan, &mut scratch.fetch);
+    probe.record_span(Phase::Fetch, t0.elapsed() + outcome.simulated_latency);
+    outcome.record_into(probe);
+    if probe.detailed() {
+        probe.add_counter(
+            names::FETCH_PAGES_TOUCHED,
+            table.pages_touched_ids(scratch.fetch.rows().ids()),
+        );
+    }
+
+    if plan.needs_skyline {
+        let dims = table.dims();
+        let t1 = Stopwatch::start();
+        let QueryScratch { fetch, sky, merged, sky_out, merge_order, dup_budget } = scratch;
+        let merged = reuse_block(merged, dims);
+        merge_rows(&plan.retained, fetch.rows(), merged, merge_order, dup_budget);
+        probe.record_span(Phase::Merge, t1.elapsed());
+
+        let t2 = Stopwatch::start();
+        let out = reuse_block(sky_out, dims);
+        let skyline = compute_skyline_rows(algo, exec, merged.as_flat(), dims, sky, out, probe);
+        probe.record_span(Phase::Skyline, t2.elapsed());
+        skyline
+    } else {
+        // Exact hit or Case (b): the retained points are the answer.
+        plan.retained.to_points()
+    }
+}
+
 /// The cache-hit path: fetch the plan's regions, merge, recompute.
 ///
 /// In parallel mode the MPR/aMPR regions are fetched over `exec.lanes()`
 /// concurrent lanes; rows and fetch counters are identical to the
 /// sequential path, and the simulated latency is the slowest lane.
-pub(crate) fn query_planned(
+pub(crate) fn query_planned_legacy(
     table: &Table,
     algo: &dyn SkylineAlgorithm,
     exec: ExecMode,
@@ -798,7 +1066,7 @@ pub(crate) fn query_planned(
     if plan.needs_skyline {
         let t1 = Stopwatch::start();
         let fetched: Vec<Point> = fetch.rows.into_iter().map(|r| r.point).collect();
-        let merged = merge_dedup(plan.retained, fetched);
+        let merged = merge_dedup(plan.retained.to_points(), fetched);
         probe.record_span(Phase::Merge, t1.elapsed());
 
         let t2 = Stopwatch::start();
@@ -807,7 +1075,7 @@ pub(crate) fn query_planned(
         skyline
     } else {
         // Exact hit or Case (b): the retained points are the answer.
-        plan.retained
+        plan.retained.to_points()
     }
 }
 
@@ -832,6 +1100,7 @@ pub struct DynamicCbcsExecutor {
     algo: Box<dyn SkylineAlgorithm>,
     rng: StdRng,
     data_bounds: Aabb,
+    scratch: QueryScratch,
 }
 
 impl DynamicCbcsExecutor {
@@ -842,7 +1111,15 @@ impl DynamicCbcsExecutor {
             // skylint: allow(no-panic-paths) — Table::build rejects empty point sets.
             .expect("tables are non-empty");
         let rng = StdRng::seed_from_u64(config.seed);
-        DynamicCbcsExecutor { table, cache, config, algo: Box::new(Sfs), rng, data_bounds }
+        DynamicCbcsExecutor {
+            table,
+            cache,
+            config,
+            algo: Box::new(Sfs),
+            rng,
+            data_bounds,
+            scratch: QueryScratch::new(),
+        }
     }
 
     /// Replaces the in-memory skyline component.
@@ -892,6 +1169,7 @@ impl Executor for DynamicCbcsExecutor {
             self.algo.as_ref(),
             &mut self.rng,
             &self.data_bounds,
+            &mut self.scratch,
             req,
         )
     }
@@ -1073,6 +1351,79 @@ mod tests {
             ex.execute(&QueryRequest::new(bad)),
             Err(CoreError::DimensionMismatch { expected: 2, actual: 1 })
         ));
+    }
+
+    #[test]
+    fn block_and_legacy_paths_agree_on_chains() {
+        // The block path must be a pure performance change: same skyline
+        // set, same non-coalescing counters, same case classification.
+        let table = grid_table();
+        let mut block = CbcsExecutor::new(&table, CbcsConfig::default());
+        let legacy_cfg = CbcsConfig { block_path: false, ..CbcsConfig::default() };
+        let mut legacy = CbcsExecutor::new(&table, legacy_cfg);
+        let chain = [
+            c(&[(0.0, 1.5), (0.0, 1.5)]),
+            c(&[(0.3, 1.5), (0.0, 1.5)]), // case (d)
+            c(&[(0.3, 1.5), (0.4, 1.5)]), // case (d)
+            c(&[(0.2, 1.5), (0.4, 1.5)]), // case (a)
+            c(&[(0.1, 1.2), (0.3, 1.4)]),
+            c(&[(0.1, 1.2), (0.3, 1.4)]), // exact hit
+        ];
+        for cc in &chain {
+            let b = run(&mut block, cc);
+            let l = run(&mut legacy, cc);
+            let key = |x: &Point| (x[0].to_bits(), x[1].to_bits());
+            let mut bs = b.skyline.clone();
+            let mut ls = l.skyline.clone();
+            bs.sort_by_key(key);
+            ls.sort_by_key(key);
+            assert_eq!(bs, ls, "skyline diverged on {cc:?}");
+            assert_eq!(b.stats.points_read, l.stats.points_read, "points_read on {cc:?}");
+            assert_eq!(b.stats.case, l.stats.case, "case on {cc:?}");
+            assert_eq!(b.stats.result_size, l.stats.result_size);
+            assert_eq!(b.stats.retained_points, l.stats.retained_points);
+            assert_eq!(b.stats.cache_hit, l.stats.cache_hit);
+            // Coalescing can only save range queries, never add them.
+            assert!(b.stats.range_queries_executed <= l.stats.range_queries_executed);
+            assert_eq!(l.stats.regions_coalesced, 0, "legacy path never coalesces");
+        }
+    }
+
+    #[test]
+    fn merge_rows_matches_merge_dedup() {
+        // Rows fetched into the columnar scratch, merged block-natively,
+        // must equal the Vec-based merge point for point — including the
+        // duplicate-budget semantics with repeated retained points.
+        let table = grid_table();
+        let mut fetch_scratch = skycache_storage::FetchScratch::new();
+        let cc = c(&[(0.2, 0.5), (0.2, 0.5)]);
+        table.fetch_plan_into(&FetchPlan::constrained(&cc), &mut fetch_scratch);
+        let buf = fetch_scratch.rows();
+        let fetched: Vec<Point> = (0..buf.len()).map(|i| p(buf.row(i))).collect();
+
+        for retained in [
+            vec![],
+            vec![p(&[0.3, 0.4]), p(&[9.0, 9.0])],
+            vec![p(&[0.3, 0.4]), p(&[0.3, 0.4]), p(&[0.2, 0.2])],
+        ] {
+            let want = merge_dedup(retained.clone(), fetched.clone());
+            let mut merged = PointBlock::new(2).unwrap();
+            let mut order = Vec::new();
+            let mut budget = Vec::new();
+            let mut retained_block = PointBlock::new(2).unwrap();
+            for rp in &retained {
+                retained_block.push(rp);
+            }
+            merge_rows(&retained_block, buf, &mut merged, &mut order, &mut budget);
+            assert_eq!(merged.to_points(), want, "retained = {retained:?}");
+        }
+    }
+
+    #[test]
+    fn regions_coalesced_maps_into_stats() {
+        let mut stats = QueryStats::default();
+        stats.add_counter(names::FETCH_REGIONS_COALESCED, 3);
+        assert_eq!(stats.regions_coalesced, 3);
     }
 
     #[test]

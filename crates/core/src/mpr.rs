@@ -26,9 +26,9 @@
 //! superset that trades extra points read for drastically fewer range
 //! queries (Section 5.3).
 
-use skycache_geom::dominance::dominance_box;
+use skycache_geom::dominance::dominance_box_coords;
 use skycache_geom::subtract::{disjoint_union, subtract_box, subtract_box_from_all};
-use skycache_geom::{Constraints, HyperRect, Point};
+use skycache_geom::{Constraints, HyperRect, Point, PointBlock};
 
 /// Exact or approximate MPR computation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,8 +60,9 @@ pub struct MprOutput {
     /// Pairwise-disjoint range queries covering the (approximate) MPR.
     pub regions: Vec<HyperRect>,
     /// Cached skyline points that still satisfy `C′` (the merge input of
-    /// Theorem 6), in cache order.
-    pub retained: Vec<Point>,
+    /// Theorem 6), in cache order — a columnar block, so planning copies
+    /// coordinates instead of cloning one `Point` per retained row.
+    pub retained: PointBlock,
     /// Number of cached skyline points invalidated by `C′`.
     pub removed_points: usize,
     /// Number of retained points actually used for dominance pruning.
@@ -79,7 +80,7 @@ pub struct MprOutput {
 /// Panics if dimensionalities differ.
 pub fn missing_points_region(
     old: &Constraints,
-    cached_skyline: &[Point],
+    cached_skyline: &PointBlock,
     new: &Constraints,
     mode: MprMode,
 ) -> MprOutput {
@@ -105,7 +106,7 @@ pub fn missing_points_region(
 /// Panics if dimensionalities differ.
 pub fn missing_points_region_multi(
     old: &Constraints,
-    cached_skyline: &[Point],
+    cached_skyline: &PointBlock,
     extra_points: &[Point],
     new: &Constraints,
     mode: MprMode,
@@ -120,9 +121,21 @@ pub fn missing_points_region_multi(
         None => vec![new_region],
     };
 
-    // Partition the cached skyline by the new constraints.
-    let (mut retained, removed): (Vec<&Point>, Vec<&Point>) =
-        cached_skyline.iter().partition(|p| new.satisfies(p));
+    // Partition the cached skyline by the new constraints. Retained rows
+    // are copied into a columnar block (two buffer allocations per plan,
+    // not one `Point` clone per row); removed rows stay as indices into
+    // the cached block.
+    let mut retained = PointBlock::new(new.dims())
+        // skylint: allow(no-panic-paths) — Constraints reject zero dimensions.
+        .expect("constraints are at least one-dimensional");
+    let mut removed: Vec<usize> = Vec::new();
+    for (i, row) in cached_skyline.rows().enumerate() {
+        if new.satisfies_coords(row) {
+            retained.push_row(row);
+        } else {
+            removed.push(i);
+        }
+    }
 
     // Adopt extra pruning points from other cache items (deduplicated
     // against the primary item's retained points by coordinates).
@@ -130,14 +143,14 @@ pub fn missing_points_region_multi(
         // BTreeSet for the determinism policy (membership-only here, but
         // keeping hash collections out of planning paths is the point).
         let mut seen: std::collections::BTreeSet<Vec<u64>> =
-            retained.iter().map(|p| p.coords().iter().map(|c| c.to_bits()).collect()).collect();
+            retained.rows().map(|r| r.iter().map(|c| c.to_bits()).collect()).collect();
         for p in extra_points {
             if !new.satisfies(p) {
                 continue;
             }
             let key: Vec<u64> = p.coords().iter().map(|c| c.to_bits()).collect();
             if seen.insert(key) {
-                retained.push(p);
+                retained.push_row(p.coords());
             }
         }
     }
@@ -156,7 +169,7 @@ pub fn missing_points_region_multi(
     // reads for fewer queries on the pruning side.
     let invalid_boxes: Vec<_> = removed
         .iter()
-        .filter_map(|t| dominance_box(t, old))
+        .filter_map(|&t| dominance_box_coords(cached_skyline.row(t), old))
         .filter_map(|dr| dr.intersection(new.aabb()))
         .collect();
     let invalidated = match mode {
@@ -181,9 +194,8 @@ pub fn missing_points_region_multi(
     // stops after k of them.
     let mut order: Vec<usize> = (0..retained.len()).collect();
     let corner = new.lo();
-    let dist = |p: &Point| -> f64 {
-        p.coords()
-            .iter()
+    let dist = |row: &[f64]| -> f64 {
+        row.iter()
             .zip(corner)
             .map(|(a, b)| {
                 // Unconstrained dimensions (−∞ corner) contribute nothing.
@@ -195,7 +207,7 @@ pub fn missing_points_region_multi(
             })
             .sum()
     };
-    order.sort_by(|&a, &b| dist(retained[a]).total_cmp(&dist(retained[b])).then(a.cmp(&b)));
+    order.sort_by(|&a, &b| dist(retained.row(a)).total_cmp(&dist(retained.row(b))).then(a.cmp(&b)));
     let limit = match mode {
         MprMode::Exact => order.len(),
         MprMode::Approximate { k } => k.min(order.len()),
@@ -206,7 +218,7 @@ pub fn missing_points_region_multi(
         if regions.is_empty() {
             break;
         }
-        let Some(dr) = dominance_box(retained[idx], new) else {
+        let Some(dr) = dominance_box_coords(retained.row(idx), new) else {
             continue;
         };
         regions = subtract_box_from_all(regions, &dr);
@@ -229,7 +241,7 @@ pub fn missing_points_region_multi(
 
     MprOutput {
         regions,
-        retained: retained.into_iter().cloned().collect(),
+        retained,
         removed_points: removed.len(),
         prune_points_used,
         invalidated_pieces,
@@ -249,6 +261,10 @@ mod tests {
         Point::from(coords.to_vec())
     }
 
+    fn block(points: &[Point]) -> PointBlock {
+        PointBlock::from_points(points).unwrap()
+    }
+
     fn covers(regions: &[HyperRect], point: &Point) -> usize {
         regions.iter().filter(|r| r.contains_point(point)).count()
     }
@@ -257,9 +273,9 @@ mod tests {
     fn exact_match_yields_empty_mpr() {
         let cc = c(&[(0.0, 1.0), (0.0, 1.0)]);
         let sky = vec![p(&[0.2, 0.3])];
-        let out = missing_points_region(&cc, &sky, &cc.clone(), MprMode::Exact);
+        let out = missing_points_region(&cc, &block(&sky), &cc.clone(), MprMode::Exact);
         assert!(out.regions.is_empty());
-        assert_eq!(out.retained, sky);
+        assert_eq!(out.retained.to_points(), sky);
         assert_eq!(out.removed_points, 0);
     }
 
@@ -267,7 +283,7 @@ mod tests {
     fn disjoint_constraints_fetch_everything() {
         let old = c(&[(0.0, 1.0), (0.0, 1.0)]);
         let new = c(&[(2.0, 3.0), (2.0, 3.0)]);
-        let out = missing_points_region(&old, &[p(&[0.5, 0.5])], &new, MprMode::Exact);
+        let out = missing_points_region(&old, &block(&[p(&[0.5, 0.5])]), &new, MprMode::Exact);
         assert_eq!(out.regions.len(), 1);
         assert_eq!(out.regions[0], new.region());
         assert!(out.retained.is_empty());
@@ -282,14 +298,14 @@ mod tests {
         let old = c(&[(1.0, 2.0), (1.0, 2.0)]);
         let new = c(&[(0.5, 2.0), (1.0, 2.0)]);
         let sky = vec![p(&[1.2, 1.1])];
-        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        let out = missing_points_region(&old, &block(&sky), &new, MprMode::Exact);
         // One slab; cached dominance regions cannot intersect ΔC.
         assert_eq!(out.regions.len(), 1);
         let slab = &out.regions[0];
         assert!(slab.contains_point(&p(&[0.7, 1.5])));
         assert!(!slab.contains_point(&p(&[1.0, 1.5]))); // boundary goes to overlap
         assert!(!slab.contains_point(&p(&[1.2, 1.1])));
-        assert_eq!(out.retained, sky);
+        assert_eq!(out.retained.to_points(), sky);
     }
 
     #[test]
@@ -297,11 +313,11 @@ mod tests {
         let old = c(&[(1.0, 2.0), (1.0, 2.0)]);
         let new = c(&[(1.0, 1.6), (1.0, 2.0)]);
         let sky = vec![p(&[1.2, 1.1]), p(&[1.8, 1.05])];
-        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        let out = missing_points_region(&old, &block(&sky), &new, MprMode::Exact);
         assert!(out.regions.is_empty(), "{:?}", out.regions);
         // The out-of-range skyline point is removed, and its dominance
         // region cannot intersect the shrunk query region.
-        assert_eq!(out.retained, vec![p(&[1.2, 1.1])]);
+        assert_eq!(out.retained.to_points(), vec![p(&[1.2, 1.1])]);
         assert_eq!(out.removed_points, 1);
         assert_eq!(out.invalidated_pieces, 0);
     }
@@ -313,7 +329,7 @@ mod tests {
         let old = c(&[(0.0, 1.0), (0.0, 1.0)]);
         let new = c(&[(0.0, 2.0), (0.0, 1.0)]);
         let sky = vec![p(&[0.5, 0.2])];
-        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        let out = missing_points_region(&old, &block(&sky), &new, MprMode::Exact);
         assert!(pairwise_disjoint(&out.regions));
         // Points in ΔC below y=0.2 must be fetched…
         assert_eq!(covers(&out.regions, &p(&[1.5, 0.1])), 1);
@@ -333,9 +349,9 @@ mod tests {
         let old = c(&[(0.0, 2.0), (0.0, 2.0)]);
         let new = c(&[(1.0, 2.0), (0.0, 2.0)]);
         let sky = vec![p(&[0.5, 0.5]), p(&[1.5, 0.1])];
-        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        let out = missing_points_region(&old, &block(&sky), &new, MprMode::Exact);
         assert_eq!(out.removed_points, 1); // (0.5, 0.5) is out
-        assert_eq!(out.retained, vec![p(&[1.5, 0.1])]);
+        assert_eq!(out.retained.to_points(), vec![p(&[1.5, 0.1])]);
         assert!(out.invalidated_pieces > 0);
         assert!(pairwise_disjoint(&out.regions));
         // Invalidated: points previously dominated by (0.5,0.5) with x >= 1.
@@ -353,7 +369,7 @@ mod tests {
         let new = c(&[(1.0, 2.0), (0.0, 2.0)]);
         // The cached skyline point still satisfies C′.
         let sky = vec![p(&[1.5, 0.5])];
-        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        let out = missing_points_region(&old, &block(&sky), &new, MprMode::Exact);
         assert_eq!(out.removed_points, 0);
         assert_eq!(out.invalidated_pieces, 0);
         // Everything in R_C′ is either old-and-valid or dominated.
@@ -370,8 +386,8 @@ mod tests {
             p(&[0.8, 0.1, 0.6]),
             p(&[0.2, 0.6, 0.1]),
         ];
-        let exact = missing_points_region(&old, &sky, &new, MprMode::Exact);
-        let approx = missing_points_region(&old, &sky, &new, MprMode::Approximate { k: 1 });
+        let exact = missing_points_region(&old, &block(&sky), &new, MprMode::Exact);
+        let approx = missing_points_region(&old, &block(&sky), &new, MprMode::Approximate { k: 1 });
         assert!(approx.regions.len() <= exact.regions.len());
         assert_eq!(approx.prune_points_used, 1);
         // Superset: every probe covered by exact is covered by approx.
@@ -390,7 +406,7 @@ mod tests {
         let old = c(&[(0.2, 0.8), (0.2, 0.8), (0.2, 0.8)]);
         let new = c(&[(0.1, 0.9), (0.2, 0.8), (0.3, 0.9)]);
         let sky = vec![p(&[0.3, 0.3, 0.4]), p(&[0.5, 0.25, 0.5]), p(&[0.25, 0.6, 0.35])];
-        let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+        let out = missing_points_region(&old, &block(&sky), &new, MprMode::Exact);
         assert!(pairwise_disjoint(&out.regions));
     }
 
@@ -415,7 +431,7 @@ mod tests {
                 MprMode::Approximate { k: 1 },
                 MprMode::Approximate { k: 8 },
             ] {
-                let out = missing_points_region(&old, &sky, new, mode);
+                let out = missing_points_region(&old, &block(&sky), new, mode);
                 assert!(
                     pairwise_disjoint(&out.regions),
                     "overlapping regions for {new:?} under {mode:?}"
@@ -441,7 +457,7 @@ mod tests {
                     )
                 })
                 .collect();
-            let out = missing_points_region(&old, &sky, &new, MprMode::Exact);
+            let out = missing_points_region(&old, &block(&sky), &new, MprMode::Exact);
             counts.push(out.regions.len());
         }
         assert!(
@@ -456,7 +472,7 @@ mod tests {
         let old = c(&[(0.0, 1.0), (0.0, 1.0)]);
         let new = c(&[(0.0, 1.5), (0.0, 1.0)]);
         let sky = vec![p(&[0.1, 0.1])];
-        let out = missing_points_region(&old, &sky, &new, MprMode::Approximate { k: 0 });
+        let out = missing_points_region(&old, &block(&sky), &new, MprMode::Approximate { k: 0 });
         assert_eq!(out.prune_points_used, 0);
         // ΔC is fetched whole.
         assert_eq!(covers(&out.regions, &p(&[1.2, 0.9])), 1);

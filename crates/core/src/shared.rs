@@ -29,8 +29,8 @@ use crate::cache::Cache;
 use crate::cases::plan_with_extra;
 use crate::clock::Stopwatch;
 use crate::engine::{
-    check_dims, query_naive, query_planned, CbcsConfig, Executor, Probe, QueryOutcome,
-    QueryRequest, QueryStats,
+    check_dims, query_naive, query_naive_legacy, query_planned, query_planned_legacy, CbcsConfig,
+    Executor, Probe, QueryOutcome, QueryRequest, QueryScratch, QueryStats,
 };
 use crate::Result;
 
@@ -76,6 +76,7 @@ pub struct SharedCbcsExecutor<'t> {
     algo: Box<dyn SkylineAlgorithm>,
     rng: StdRng,
     data_bounds: Aabb,
+    scratch: QueryScratch,
 }
 
 impl<'t> SharedCbcsExecutor<'t> {
@@ -93,7 +94,15 @@ impl<'t> SharedCbcsExecutor<'t> {
             // skylint: allow(no-panic-paths) — Table::build rejects empty point sets.
             .expect("tables are non-empty");
         let rng = StdRng::seed_from_u64(config.seed);
-        SharedCbcsExecutor { table, cache, config, algo: Box::new(Sfs), rng, data_bounds }
+        SharedCbcsExecutor {
+            table,
+            cache,
+            config,
+            algo: Box::new(Sfs),
+            rng,
+            data_bounds,
+            scratch: QueryScratch::new(),
+        }
     }
 
     /// Replaces the in-memory skyline component.
@@ -153,7 +162,7 @@ impl Executor for SharedCbcsExecutor<'_> {
                         others
                             .into_iter()
                             .take(self.config.extra_items)
-                            .flat_map(|it| it.skyline.iter().cloned())
+                            .flat_map(|it| it.skyline.to_points())
                             .collect()
                     } else {
                         Vec::new()
@@ -164,11 +173,18 @@ impl Executor for SharedCbcsExecutor<'_> {
             picked
         };
 
-        // Phase 2 (no lock): plan, fetch, merge, skyline.
+        // Phase 2 (no lock): plan, fetch, merge, skyline. The executor's
+        // own scratch buffers carry the block path — they are private to
+        // this session, so the shared cache stays the only contended
+        // state.
         let skyline = match selection {
             None => {
                 probe.add_counter(names::CACHE_MISSES, 1);
-                query_naive(self.table, algo, exec, c, &mut probe)
+                if self.config.block_path {
+                    query_naive(self.table, algo, exec, c, &mut self.scratch, &mut probe)
+                } else {
+                    query_naive_legacy(self.table, algo, exec, c, &mut probe)
+                }
             }
             Some((item_id, old_c, old_sky, extra)) => {
                 let t2 = Stopwatch::start();
@@ -177,7 +193,11 @@ impl Executor for SharedCbcsExecutor<'_> {
                 probe.add_counter(names::CACHE_HITS, 1);
                 probe.stats.cache_hit = true;
                 self.cache.inner.write().touch(item_id); // lock-order: write
-                query_planned(self.table, algo, exec, plan, &mut probe)
+                if self.config.block_path {
+                    query_planned(self.table, algo, exec, plan, &mut self.scratch, &mut probe)
+                } else {
+                    query_planned_legacy(self.table, algo, exec, plan, &mut probe)
+                }
             }
         };
         probe.add_counter(names::SKYLINE_RESULT_SIZE, skyline.len() as u64);
@@ -186,7 +206,7 @@ impl Executor for SharedCbcsExecutor<'_> {
         if self.config.cache_results {
             let mut cache = self.cache.inner.write(); // lock-order: write
             let evictions_before = cache.evictions();
-            cache.insert(c.clone(), skyline.clone());
+            cache.insert(c.clone(), &skyline);
             probe.add_counter(names::CACHE_INSERTIONS, 1);
             let evicted = cache.evictions() - evictions_before;
             if evicted > 0 {

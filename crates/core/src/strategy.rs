@@ -225,6 +225,7 @@ mod tests {
             (pairs[1].0 + pairs[1].1) / 2.0,
         ])];
         let mbr = Aabb::bounding(&skyline);
+        let skyline = skycache_geom::PointBlock::from_points(&skyline).unwrap();
         CacheItem { id, constraints, skyline, mbr, inserted_at: id, last_used: id, use_count: 0 }
     }
 

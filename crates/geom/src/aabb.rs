@@ -66,6 +66,26 @@ impl Aabb {
         Some(Aabb { lo: lo.into(), hi: hi.into() })
     }
 
+    /// Smallest box containing every coordinate row of a non-empty
+    /// iterator — the zero-copy twin of [`Aabb::bounding`] for rows
+    /// coming out of a [`crate::PointBlock`].
+    pub fn bounding_rows<'a>(mut rows: impl Iterator<Item = &'a [f64]>) -> Option<Self> {
+        let first = rows.next()?;
+        let mut lo = first.to_vec();
+        let mut hi = first.to_vec();
+        for row in rows {
+            for (i, &c) in row.iter().enumerate() {
+                if c < lo[i] {
+                    lo[i] = c;
+                }
+                if c > hi[i] {
+                    hi[i] = c;
+                }
+            }
+        }
+        Some(Aabb { lo: lo.into(), hi: hi.into() })
+    }
+
     /// Number of dimensions.
     #[inline]
     pub fn dims(&self) -> usize {
@@ -86,8 +106,15 @@ impl Aabb {
 
     /// Membership test for a point (closed on all faces).
     pub fn contains_point(&self, p: &Point) -> bool {
-        debug_assert_eq!(self.dims(), p.dims());
-        self.lo.iter().zip(self.hi.iter()).zip(p.coords()).all(|((l, h), c)| l <= c && c <= h)
+        self.contains_coords(p.coords())
+    }
+
+    /// Bare-row membership: the zero-copy twin of
+    /// [`Aabb::contains_point`] for coordinate slices coming out of a
+    /// [`crate::PointBlock`].
+    pub fn contains_coords(&self, row: &[f64]) -> bool {
+        debug_assert_eq!(self.dims(), row.len());
+        self.lo.iter().zip(self.hi.iter()).zip(row).all(|((l, h), c)| l <= c && c <= h)
     }
 
     /// Whether `other` lies entirely inside `self`.

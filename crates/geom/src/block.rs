@@ -117,6 +117,23 @@ impl PointBlock {
         self.coords.clear();
     }
 
+    /// Keeps only the rows for which `pred` returns `true`, preserving
+    /// order. In-place compaction: no allocation, O(len · dims).
+    pub fn retain_rows(&mut self, mut pred: impl FnMut(&[f64]) -> bool) {
+        let dims = self.dims;
+        let mut write = 0;
+        for read in 0..self.len() {
+            let keep = pred(&self.coords[read * dims..(read + 1) * dims]);
+            if keep {
+                if write != read {
+                    self.coords.copy_within(read * dims..(read + 1) * dims, write * dims);
+                }
+                write += 1;
+            }
+        }
+        self.coords.truncate(write * dims);
+    }
+
     /// Materializes the block as owned [`Point`]s.
     pub fn to_points(&self) -> Vec<Point> {
         // skylint: allow(hot-path-alloc) — explicit SoA→AoS materialization boundary

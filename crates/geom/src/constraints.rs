@@ -76,6 +76,14 @@ impl Constraints {
         self.bounds.contains_point(s)
     }
 
+    /// Bare-row membership: the zero-copy twin of
+    /// [`Constraints::satisfies`] for coordinate slices coming out of a
+    /// [`crate::PointBlock`].
+    #[inline]
+    pub fn satisfies_coords(&self, row: &[f64]) -> bool {
+        self.bounds.contains_coords(row)
+    }
+
     /// Whether the two constraint regions overlap (`R_C ∩ R_C′ ≠ ∅`).
     pub fn overlaps(&self, other: &Constraints) -> bool {
         self.bounds.intersects(&other.bounds)

@@ -100,13 +100,20 @@ pub fn compare(s: &Point, t: &Point) -> DomRelation {
 /// workspace keep `s` available from the cache, so the over-approximation
 /// never loses information (see DESIGN.md, "Semantics notes").
 pub fn dominance_box(s: &Point, c: &Constraints) -> Option<Aabb> {
-    debug_assert_eq!(s.dims(), c.dims());
-    if s.coords().iter().zip(c.hi()).any(|(a, b)| a > b) {
+    dominance_box_coords(s.coords(), c)
+}
+
+/// Bare-row variant of [`dominance_box`] for coordinate slices coming
+/// out of a [`crate::PointBlock`] — same semantics, no owned `Point`
+/// required.
+pub fn dominance_box_coords(s: &[f64], c: &Constraints) -> Option<Aabb> {
+    debug_assert_eq!(s.len(), c.dims());
+    if s.iter().zip(c.hi()).any(|(a, b)| a > b) {
         return None;
     }
     // Clamp the lower corner to the constraint region so the box is the
     // portion of DR(s) inside R_C even when s itself lies below C̲.
-    let lo: Vec<f64> = s.coords().iter().zip(c.lo()).map(|(a, b)| a.max(*b)).collect();
+    let lo: Vec<f64> = s.iter().zip(c.lo()).map(|(a, b)| a.max(*b)).collect();
     Some(Aabb::new_unchecked(lo, c.hi().to_vec()))
 }
 

@@ -72,6 +72,14 @@ impl HyperRect {
         self.dims.iter().zip(p.coords()).all(|(iv, &c)| iv.contains(c))
     }
 
+    /// Bare-row membership: the zero-copy twin of
+    /// [`HyperRect::contains_point`] for coordinate slices coming from a
+    /// [`crate::PointBlock`] or a columnar fetch buffer.
+    pub fn contains_coords(&self, row: &[f64]) -> bool {
+        debug_assert_eq!(self.dims(), row.len());
+        self.dims.iter().zip(row).all(|(iv, &c)| iv.contains(c))
+    }
+
     /// Whether two rectangles share at least one point.
     pub fn intersects(&self, other: &HyperRect) -> bool {
         debug_assert_eq!(self.dims(), other.dims());

@@ -24,6 +24,9 @@ pub const CACHE_OVERLAP_SCANS: &str = "cache.overlap_scans";
 pub const CACHE_RETAINED_POINTS: &str = "cache.retained_points";
 /// Cached skyline points invalidated by the new constraints. Counter.
 pub const CACHE_REMOVED_POINTS: &str = "cache.removed_points";
+/// Cached items examined by dynamic-data maintenance (constraint-box
+/// index candidates tested on insert). Counter.
+pub const CACHE_MAINTENANCE_SCANS: &str = "cache.maintenance_scans";
 
 // -- fetch ------------------------------------------------------------------
 
@@ -46,6 +49,10 @@ pub const FETCH_INDEX_ENTRIES: &str = "fetch.index_entries_scanned";
 /// Distinct heap pages touched by fetched rows (derived; only recorded
 /// when the recorder is [`detailed`](crate::Recorder::detailed)). Counter.
 pub const FETCH_PAGES_TOUCHED: &str = "fetch.pages_touched";
+/// Range queries saved by the coalescing fetch planner (non-empty
+/// candidate regions minus merged range queries executed for them; only
+/// recorded when non-zero). Counter.
+pub const FETCH_REGIONS_COALESCED: &str = "fetch.regions_coalesced";
 /// Simulated I/O latency per fetch call, in nanoseconds. Histogram.
 pub const FETCH_LATENCY_NS: &str = "fetch.latency_ns";
 
@@ -79,3 +86,10 @@ pub const LANES_SKYLINE_WORKERS: &str = "lanes.skyline_workers";
 /// Parallel-skyline imbalance: largest chunk-local skyline divided by
 /// the mean local skyline size (1.0 = perfectly balanced). Gauge.
 pub const LANES_SKYLINE_IMBALANCE: &str = "lanes.skyline_imbalance";
+
+// -- alloc ------------------------------------------------------------------
+
+/// Heap allocations per query on the steady-state path, as measured by
+/// the bench harness's counting allocator (reported by `repro perf`, not
+/// by the engine itself). Gauge.
+pub const ALLOC_PER_QUERY: &str = "alloc.per_query";

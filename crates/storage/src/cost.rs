@@ -112,6 +112,10 @@ pub struct FetchStats {
     pub index_probes: u64,
     /// Index entries scanned by bitmap index scans.
     pub index_entries_scanned: u64,
+    /// Range queries *saved* by the coalescing fetch planner: non-empty
+    /// candidate regions minus the merged range queries actually executed
+    /// for them. Zero for non-coalescing plans.
+    pub regions_coalesced: u64,
 }
 
 impl FetchStats {
@@ -140,6 +144,7 @@ impl AddAssign for FetchStats {
         self.rows_matched += rhs.rows_matched;
         self.index_probes += rhs.index_probes;
         self.index_entries_scanned += rhs.index_entries_scanned;
+        self.regions_coalesced += rhs.regions_coalesced;
     }
 }
 
@@ -159,6 +164,7 @@ mod tests {
             rows_matched: 40,
             index_probes: 9,
             index_entries_scanned: 500,
+            regions_coalesced: 0,
         };
         let ns = m.fetch_latency(&stats).as_nanos() as u64;
         assert_eq!(

@@ -38,22 +38,43 @@ impl ColumnIndex {
     }
 
     /// Half-open position range `[start, end)` of keys inside `iv`.
-    fn locate(&self, iv: &Interval) -> (usize, usize) {
+    ///
+    /// Keys are sorted by `total_cmp`, so the binary-search predicates must
+    /// compare in the same order — mixing numeric `<`/`<=` with a
+    /// total-order sort can land a boundary in the middle of a
+    /// `-0.0`/`0.0` run. To keep *numeric* range semantics (the interval
+    /// bound `0.0` must admit `-0.0` keys and vice versa), each finite
+    /// bound is first normalized to the zero of the appropriate sign.
+    pub(crate) fn locate(&self, iv: &Interval) -> (usize, usize) {
         let start = if iv.lo() == f64::NEG_INFINITY {
             0
         } else if iv.lo_open() {
-            self.keys.partition_point(|&k| k <= iv.lo())
+            // Exclude everything numerically equal to `lo`: for a zero
+            // bound that means both zero signs, so compare against `0.0`.
+            let lo = norm_up(iv.lo());
+            self.keys.partition_point(|&k| k.total_cmp(&lo).is_le())
         } else {
-            self.keys.partition_point(|&k| k < iv.lo())
+            // Include everything numerically equal to `lo`: compare
+            // against `-0.0` so `-0.0` keys survive a `0.0` bound.
+            let lo = norm_down(iv.lo());
+            self.keys.partition_point(|&k| k.total_cmp(&lo).is_lt())
         };
         let end = if iv.hi() == f64::INFINITY {
             self.keys.len()
         } else if iv.hi_open() {
-            self.keys.partition_point(|&k| k < iv.hi())
+            let hi = norm_down(iv.hi());
+            self.keys.partition_point(|&k| k.total_cmp(&hi).is_lt())
         } else {
-            self.keys.partition_point(|&k| k <= iv.hi())
+            let hi = norm_up(iv.hi());
+            self.keys.partition_point(|&k| k.total_cmp(&hi).is_le())
         };
         (start, end.max(start))
+    }
+
+    /// Row ids at sorted-key positions `[start, end)`.
+    #[inline]
+    pub(crate) fn rows_at(&self, start: usize, end: usize) -> &[RowId] {
+        &self.rows[start..end]
     }
 
     /// Number of rows whose key lies in `iv`.
@@ -78,23 +99,30 @@ impl ColumnIndex {
     /// moderate update rates of the dynamic-data extension).
     pub fn insert(&mut self, key: f64, row: RowId) {
         debug_assert!(!key.is_nan());
-        let pos = self.keys.partition_point(|&k| k < key);
+        // total_cmp, not `<`: a numeric predicate would file `0.0` before
+        // an existing `-0.0` and silently break the total sort order that
+        // `build` established (and that `locate` relies on).
+        let pos = self.keys.partition_point(|&k| k.total_cmp(&key).is_lt());
         self.keys.insert(pos, key);
         self.rows.insert(pos, row);
     }
 
-    /// Appends an entry known to be `>=` every existing key (bulk
-    /// reconstruction fast path).
+    /// Appends an entry known to be `>=` (in total order) every existing
+    /// key (bulk reconstruction fast path).
     pub(crate) fn push_sorted(&mut self, key: f64, row: RowId) {
-        debug_assert!(self.keys.last().is_none_or(|&k| k <= key));
+        debug_assert!(self.keys.last().is_none_or(|&k| k.total_cmp(&key).is_le()));
         self.keys.push(key);
         self.rows.push(row);
     }
 
     /// Removes the entry for `(key, row)`. Returns whether it existed.
     pub fn remove(&mut self, key: f64, row: RowId) -> bool {
-        let start = self.keys.partition_point(|&k| k < key);
-        let end = self.keys.partition_point(|&k| k <= key);
+        // The run of numerically equal keys can mix `-0.0` and `0.0`;
+        // normalize the bounds so the scan covers the whole run.
+        let lo = norm_down(key);
+        let hi = norm_up(key);
+        let start = self.keys.partition_point(|&k| k.total_cmp(&lo).is_lt());
+        let end = self.keys.partition_point(|&k| k.total_cmp(&hi).is_le());
         for i in start..end {
             if self.rows[i] == row {
                 self.keys.remove(i);
@@ -103,6 +131,26 @@ impl ColumnIndex {
             }
         }
         false
+    }
+}
+
+/// `±0.0` → `-0.0`, the `total_cmp`-smaller zero; other values unchanged.
+#[inline]
+fn norm_down(v: f64) -> f64 {
+    if v == 0.0 {
+        -0.0
+    } else {
+        v
+    }
+}
+
+/// `±0.0` → `0.0`, the `total_cmp`-larger zero; other values unchanged.
+#[inline]
+fn norm_up(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
     }
 }
 
@@ -179,6 +227,47 @@ mod tests {
         assert!(!i.remove(3.0, 99));
         assert!(!i.remove(77.0, 2));
         assert_eq!(i.len(), 4);
+    }
+
+    #[test]
+    fn signed_zeros_keep_numeric_range_semantics() {
+        // total_cmp sorts -0.0 before 0.0; numerically they are equal, so
+        // every range bound of either zero sign must treat the whole run
+        // of zeros as one key value.
+        let pts: Vec<Point> =
+            [-0.0, 2.0, 0.0, -1.0].iter().map(|&v| Point::from(vec![v, 0.0])).collect();
+        let i = ColumnIndex::build(&pts, 0);
+        assert_eq!(i.count_in(&Interval::closed(0.0, 0.0)), 2);
+        assert_eq!(i.count_in(&Interval::closed(-0.0, 0.0)), 2);
+        assert_eq!(i.count_in(&Interval::closed(-1.0, -0.0)), 3);
+        // Open bounds exclude both zero signs...
+        assert_eq!(i.count_in(&Interval::new(0.0, 2.0, true, false)), 1);
+        assert_eq!(i.count_in(&Interval::new(-1.0, -0.0, false, true)), 1);
+        // ...and never split the zero run down the middle.
+        assert_eq!(i.count_in(&Interval::new(-0.0, f64::INFINITY, true, false)), 1);
+        let mut rows = i.rows_in(&Interval::closed(0.0, 0.0)).to_vec();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 2]);
+    }
+
+    #[test]
+    fn insert_mixed_zero_signs_keeps_total_order() {
+        let mut i = ColumnIndex::build(&[], 0);
+        // A numeric `<` insert predicate would place 0.0 *before* an
+        // existing -0.0, breaking the total_cmp sort order.
+        i.insert(-0.0, 1);
+        i.insert(0.0, 2);
+        i.insert(-0.0, 3);
+        i.insert(-1.0, 4);
+        assert_eq!(i.count_in(&Interval::closed(-1.0, 0.0)), 4);
+        let mut zeros = i.rows_in(&Interval::closed(0.0, 0.0)).to_vec();
+        zeros.sort_unstable();
+        assert_eq!(zeros, vec![1, 2, 3]);
+        // remove() must find a row anywhere in the mixed-sign zero run.
+        assert!(i.remove(0.0, 1));
+        assert!(i.remove(-0.0, 2));
+        assert_eq!(i.count_in(&Interval::closed(0.0, 0.0)), 1);
+        assert_eq!(i.rows_in(&Interval::closed(-0.0, -0.0)), &[3]);
     }
 
     #[test]

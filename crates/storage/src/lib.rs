@@ -52,12 +52,14 @@ mod cost;
 mod error;
 mod index;
 mod persist;
+mod scratch;
 mod table;
 
 pub use cost::{CostModel, FetchStats};
 pub use error::StorageError;
 pub use index::ColumnIndex;
-pub use table::{FetchPlan, FetchResult, Row, RowId, Table, TableConfig};
+pub use scratch::{FetchBuf, FetchScratch};
+pub use table::{FetchOutcome, FetchPlan, FetchResult, Row, RowId, Table, TableConfig};
 
 /// Convenience alias for storage results.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,568 @@
+//! Reusable fetch workspaces: the allocation-free side of
+//! [`Table::fetch_plan_into`](crate::Table::fetch_plan_into).
+//!
+//! Every growable buffer the block-oriented fetch path needs lives here,
+//! owned by a [`FetchScratch`] that callers keep across queries (via the
+//! engine's per-executor `QueryScratch`). After warmup the buffers have
+//! reached their high-water marks and a fetch performs no heap
+//! allocation at all.
+//!
+//! Ownership rules (see DESIGN.md §12): the *table* never stores scratch
+//! state — it borrows a `FetchScratch` per call; the *scratch* never
+//! holds table references — it is plain reusable memory; and the fetched
+//! rows stay inside [`FetchBuf`] as borrowed views until a caller
+//! explicitly materializes `Point`s at the public-API boundary.
+//!
+//! This file is deliberately **not** a `skylint` `scope-file`: the fetch
+//! kernel in `table.rs` is lint-checked and calls only the amortized
+//! mutators below (`append`, `note_*`, `mark`, …) whose names are not in
+//! the lint's allocation list — growth happens here, once, not per row
+//! on the hot path.
+
+use std::time::Duration;
+
+use crate::cost::{CostModel, FetchStats};
+use crate::table::RowId;
+
+/// Columnar fetch output: row ids plus a row-major coordinate block,
+/// reused across queries (the zero-copy replacement for `Vec<Row>`).
+#[derive(Clone, Debug, Default)]
+pub struct FetchBuf {
+    ids: Vec<RowId>,
+    coords: Vec<f64>,
+    dims: usize,
+}
+
+impl FetchBuf {
+    /// An empty buffer; dimensionality is set by the first fetch.
+    pub fn new() -> Self {
+        FetchBuf::default()
+    }
+
+    /// Clears contents and (re)binds the dimensionality.
+    pub(crate) fn reset(&mut self, dims: usize) {
+        self.ids.clear();
+        self.coords.clear();
+        self.dims = dims;
+    }
+
+    /// Number of buffered rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the buffer holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Dimensionality of the buffered rows.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Row ids, parallel to [`FetchBuf::coords`].
+    pub fn ids(&self) -> &[RowId] {
+        &self.ids
+    }
+
+    /// All coordinates as one flat row-major block.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// The coordinates of buffered row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Appends one row. Amortized O(1); allocation only on growth.
+    #[inline]
+    pub(crate) fn append(&mut self, id: RowId, row: &[f64]) {
+        debug_assert_eq!(row.len(), self.dims);
+        self.ids.push(id);
+        self.coords.extend_from_slice(row);
+    }
+
+    /// Appends row `i` of another buffer.
+    #[inline]
+    pub(crate) fn append_from(&mut self, other: &FetchBuf, i: usize) {
+        debug_assert_eq!(other.dims, self.dims);
+        self.ids.push(other.ids[i]);
+        self.coords.extend_from_slice(other.row(i));
+    }
+}
+
+/// How a region left the planning phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) enum RegionState {
+    /// Geometrically empty; rejected before any index work.
+    #[default]
+    Degenerate,
+    /// An index probe proved the region matches nothing.
+    Empty,
+    /// No dimension is bounded: answered by a full heap scan.
+    FullScan,
+    /// Has a chosen index dimension and a non-empty position range.
+    Ready,
+}
+
+/// Planning-phase record for one region of a plan.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct RegionProbe {
+    /// Range into [`FetchScratch::probed`] holding this region's probes.
+    pub probed_start: u32,
+    pub probed_end: u32,
+    pub state: RegionState,
+    /// Chosen (most selective) index dimension, when `Ready`.
+    pub chosen_dim: u32,
+    /// Position range `[pos_lo, pos_hi)` in the chosen dimension's index.
+    pub pos_lo: u32,
+    pub pos_hi: u32,
+}
+
+/// One probed dimension of a region: its index position range.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ProbedDim {
+    pub dim: u32,
+    pub pos_lo: u32,
+    pub pos_hi: u32,
+}
+
+impl ProbedDim {
+    #[inline]
+    pub(crate) fn count(&self) -> usize {
+        (self.pos_hi - self.pos_lo) as usize
+    }
+}
+
+/// Execution shape of a unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) enum UnitKind {
+    /// A degenerate region: accounting only.
+    #[default]
+    Degenerate,
+    /// Proved empty by index probes: accounting only.
+    ProbedEmpty,
+    /// One fully unbounded region: sequential heap scan.
+    Scan,
+    /// One ready region: the classic single-region plan (bitmap or
+    /// single-index scan).
+    Single,
+    /// Several ready regions sharing one merged index range: one range
+    /// query scanning the union slice, candidates tested against every
+    /// member region.
+    Merged,
+}
+
+/// One executable unit of a fetch plan: a group of regions answered by a
+/// single (possibly merged) range query.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FetchUnit {
+    /// Range into [`FetchScratch::order`] listing member region indices.
+    pub members_start: u32,
+    pub members_end: u32,
+    /// Chosen index dimension shared by all members (when indexed).
+    pub dim: u32,
+    /// Merged position range `[pos_lo, pos_hi)` in that dimension.
+    pub pos_lo: u32,
+    pub pos_hi: u32,
+    pub kind: UnitKind,
+    /// Plan-time latency estimate, used to order coalesced execution.
+    pub est_ns: u64,
+    /// Position of this unit in the execution order.
+    pub exec_pos: u32,
+}
+
+/// Per-heap-slot dedup marks with epoch-based O(1) reset.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SeenSet {
+    marks: Vec<u32>,
+    epoch: u32,
+}
+
+impl SeenSet {
+    /// Starts a fresh dedup pass over a heap of `slots` rows.
+    pub(crate) fn begin_pass(&mut self, slots: usize) {
+        if self.marks.len() < slots {
+            self.marks.resize(slots, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: old marks could alias; hard-reset once every
+            // u32::MAX passes.
+            self.marks.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks a row as emitted; returns `true` on first sighting.
+    #[inline]
+    pub(crate) fn mark(&mut self, row: RowId) -> bool {
+        let slot = &mut self.marks[row as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+/// One lane's private staging state during multi-lane execution.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LaneWorkspace {
+    /// Rows fetched by this lane, in this lane's execution order.
+    pub buf: FetchBuf,
+    /// `(unit, start, end)` spans into `buf`, one per executed unit.
+    pub segs: Vec<LaneSegment>,
+    /// Sum of this lane's unit stats.
+    pub stats: FetchStats,
+    /// Sequential latency total of this lane.
+    pub total: Duration,
+}
+
+/// Span of one unit's rows inside a lane buffer.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct LaneSegment {
+    pub unit: u32,
+    pub start: u32,
+    pub end: u32,
+}
+
+impl LaneWorkspace {
+    fn reset(&mut self, dims: usize) {
+        self.buf.reset(dims);
+        self.segs.clear();
+        self.stats = FetchStats::default();
+        self.total = Duration::ZERO;
+    }
+
+    /// Records the span of rows a unit appended to this lane's buffer.
+    #[inline]
+    pub(crate) fn seg_mark(&mut self, unit: u32, start: u32, end: u32) {
+        self.segs.push(LaneSegment { unit, start, end });
+    }
+}
+
+/// Shared read-only view of the planning state, handed to execution
+/// lanes (all slices, so it is `Copy + Send + Sync`).
+#[derive(Clone, Copy)]
+pub(crate) struct ExecView<'a> {
+    pub probed: &'a [ProbedDim],
+    pub regions: &'a [RegionProbe],
+    pub region_stats: &'a [FetchStats],
+    pub order: &'a [u32],
+    pub units: &'a [FetchUnit],
+    pub exec_order: &'a [u32],
+}
+
+impl ExecView<'_> {
+    /// The probed dimensions of region `r`.
+    #[inline]
+    pub(crate) fn probed_of(&self, r: u32) -> &[ProbedDim] {
+        let pr = &self.regions[r as usize];
+        &self.probed[pr.probed_start as usize..pr.probed_end as usize]
+    }
+
+    /// The member region indices of `unit`.
+    #[inline]
+    pub(crate) fn members_of(&self, unit: &FetchUnit) -> &[u32] {
+        &self.order[unit.members_start as usize..unit.members_end as usize]
+    }
+}
+
+/// The complete per-caller workspace of the block-oriented fetch path.
+///
+/// Hold one per executor and pass it to every
+/// [`Table::fetch_plan_into`](crate::Table::fetch_plan_into) call; the
+/// fetched rows are then readable through [`FetchScratch::rows`] until
+/// the next fetch reuses the buffers.
+#[derive(Clone, Debug, Default)]
+pub struct FetchScratch {
+    /// Final merged output rows.
+    out: FetchBuf,
+    /// Flat probe records, region-delimited via `RegionProbe`.
+    probed: Vec<ProbedDim>,
+    /// One planning record per plan region.
+    regions: Vec<RegionProbe>,
+    /// Planning-phase stats (issued/empty/probes) per region.
+    region_stats: Vec<FetchStats>,
+    /// Region indices, grouped into units (`FetchUnit` spans).
+    order: Vec<u32>,
+    /// Executable units.
+    units: Vec<FetchUnit>,
+    /// Unit indices in execution order.
+    exec_order: Vec<u32>,
+    /// Per-lane staging buffers.
+    lanes: Vec<LaneWorkspace>,
+    /// Cross-unit row dedup marks (coalesced plans only).
+    seen: SeenSet,
+    dims: usize,
+}
+
+impl FetchScratch {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        FetchScratch::default()
+    }
+
+    /// The rows of the most recent fetch, as a borrowed columnar view.
+    pub fn rows(&self) -> &FetchBuf {
+        &self.out
+    }
+
+    /// Clears all per-fetch state and binds the table dimensionality.
+    pub(crate) fn begin(&mut self, dims: usize) {
+        self.out.reset(dims);
+        self.probed.clear();
+        self.regions.clear();
+        self.region_stats.clear();
+        self.order.clear();
+        self.units.clear();
+        self.exec_order.clear();
+        self.dims = dims;
+    }
+
+    /// Current length of the probe log (used to delimit a region's run).
+    #[inline]
+    pub(crate) fn probe_mark(&self) -> u32 {
+        self.probed.len() as u32
+    }
+
+    /// Logs one probed dimension of the region being planned.
+    #[inline]
+    pub(crate) fn note_probe(&mut self, dim: u32, pos_lo: u32, pos_hi: u32) {
+        self.probed.push(ProbedDim { dim, pos_lo, pos_hi });
+    }
+
+    /// The probes logged since `mark` (the region being planned).
+    #[inline]
+    pub(crate) fn probes_since(&self, mark: u32) -> &[ProbedDim] {
+        &self.probed[mark as usize..]
+    }
+
+    /// Finishes planning one region.
+    #[inline]
+    pub(crate) fn note_region(&mut self, probe: RegionProbe, stats: FetchStats) {
+        self.regions.push(probe);
+        self.region_stats.push(stats);
+    }
+
+    /// Number of executable units built for the current plan.
+    #[inline]
+    pub(crate) fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Groups the planned regions into executable units and fixes the
+    /// execution order. Returns the number of range queries saved by
+    /// coalescing (ready candidates minus ready units; `0` when
+    /// `coalesce` is off).
+    ///
+    /// Non-coalescing plans get exactly one unit per region, executed in
+    /// region order — the legacy per-region semantics. Coalescing plans
+    /// group ready regions by chosen dimension, merge position ranges
+    /// that overlap or abut into one range query each, and execute units
+    /// cheapest-estimate-first (deterministic tie-break: first member
+    /// region index).
+    pub(crate) fn build_units(
+        &mut self,
+        coalesce: bool,
+        model: &CostModel,
+        slot_count: usize,
+    ) -> u64 {
+        self.units.clear();
+        self.exec_order.clear();
+        self.order.clear();
+        let n = self.regions.len();
+        self.order.extend(0..n as u32);
+
+        let saved = if coalesce {
+            // Group ready regions: sort by (dim, pos_lo, pos_hi, idx) after
+            // the non-ready ones (kept in region order), then merge
+            // consecutive overlapping/abutting position ranges.
+            let regions = &self.regions;
+            self.order.sort_unstable_by_key(|&i| {
+                let pr = &regions[i as usize];
+                match pr.state {
+                    RegionState::Ready => (1u8, pr.chosen_dim, pr.pos_lo, pr.pos_hi, i),
+                    _ => (0u8, 0, 0, 0, i),
+                }
+            });
+            let mut ready_candidates = 0u64;
+            let mut ready_units = 0u64;
+            let mut k = 0usize;
+            while k < self.order.len() {
+                let i = self.order[k] as usize;
+                let pr = self.regions[i];
+                match pr.state {
+                    RegionState::Degenerate | RegionState::Empty | RegionState::FullScan => {
+                        let kind = match pr.state {
+                            RegionState::Degenerate => UnitKind::Degenerate,
+                            RegionState::Empty => UnitKind::ProbedEmpty,
+                            _ => UnitKind::Scan,
+                        };
+                        self.units.push(FetchUnit {
+                            members_start: k as u32,
+                            members_end: k as u32 + 1,
+                            dim: pr.chosen_dim,
+                            pos_lo: pr.pos_lo,
+                            pos_hi: pr.pos_hi,
+                            kind,
+                            est_ns: 0,
+                            exec_pos: 0,
+                        });
+                        k += 1;
+                    }
+                    RegionState::Ready => {
+                        let start = k;
+                        let dim = pr.chosen_dim;
+                        let pos_lo = pr.pos_lo;
+                        let mut pos_hi = pr.pos_hi;
+                        k += 1;
+                        while k < self.order.len() {
+                            let q = self.regions[self.order[k] as usize];
+                            if q.state != RegionState::Ready
+                                || q.chosen_dim != dim
+                                || q.pos_lo > pos_hi
+                            {
+                                break;
+                            }
+                            pos_hi = pos_hi.max(q.pos_hi);
+                            k += 1;
+                        }
+                        let members = (k - start) as u64;
+                        ready_candidates += members;
+                        ready_units += 1;
+                        self.units.push(FetchUnit {
+                            members_start: start as u32,
+                            members_end: k as u32,
+                            dim,
+                            pos_lo,
+                            pos_hi,
+                            kind: if members == 1 { UnitKind::Single } else { UnitKind::Merged },
+                            est_ns: 0,
+                            exec_pos: 0,
+                        });
+                    }
+                }
+            }
+            ready_candidates - ready_units
+        } else {
+            for (i, pr) in self.regions.iter().enumerate() {
+                let kind = match pr.state {
+                    RegionState::Degenerate => UnitKind::Degenerate,
+                    RegionState::Empty => UnitKind::ProbedEmpty,
+                    RegionState::FullScan => UnitKind::Scan,
+                    RegionState::Ready => UnitKind::Single,
+                };
+                self.units.push(FetchUnit {
+                    members_start: i as u32,
+                    members_end: i as u32 + 1,
+                    dim: pr.chosen_dim,
+                    pos_lo: pr.pos_lo,
+                    pos_hi: pr.pos_hi,
+                    kind,
+                    est_ns: 0,
+                    exec_pos: 0,
+                });
+            }
+            0
+        };
+
+        // Plan-time latency estimates (for ordering only; accounting uses
+        // actual post-execution stats).
+        for unit in &mut self.units {
+            let mut est = FetchStats::default();
+            for &r in &self.order[unit.members_start as usize..unit.members_end as usize] {
+                est += self.region_stats[r as usize];
+            }
+            match unit.kind {
+                UnitKind::Degenerate | UnitKind::ProbedEmpty => {}
+                UnitKind::Scan => {
+                    est.range_queries_executed = 1;
+                    est.heap_fetches = slot_count as u64;
+                }
+                UnitKind::Single | UnitKind::Merged => {
+                    let span = (unit.pos_hi - unit.pos_lo) as u64;
+                    est.range_queries_executed = 1;
+                    est.heap_fetches = span;
+                    est.index_entries_scanned = span;
+                }
+            }
+            unit.est_ns = model.fetch_latency(&est).as_nanos() as u64;
+        }
+
+        self.exec_order.extend(0..self.units.len() as u32);
+        if coalesce {
+            let units = &self.units;
+            let order = &self.order;
+            self.exec_order.sort_unstable_by_key(|&u| {
+                let unit = &units[u as usize];
+                (unit.est_ns, order[unit.members_start as usize])
+            });
+        }
+        for (p, &u) in self.exec_order.iter().enumerate() {
+            self.units[u as usize].exec_pos = p as u32;
+        }
+        saved
+    }
+
+    /// Splits the workspace into a shared planning view plus `lanes`
+    /// reset lane workspaces for execution.
+    pub(crate) fn view_and_lanes(&mut self, lanes: usize) -> (ExecView<'_>, &mut [LaneWorkspace]) {
+        if self.lanes.len() < lanes {
+            self.lanes.resize_with(lanes, LaneWorkspace::default);
+        }
+        let dims = self.dims;
+        for ws in &mut self.lanes[..lanes] {
+            ws.reset(dims);
+        }
+        let FetchScratch {
+            probed, regions, region_stats, order, units, exec_order, lanes: lw, ..
+        } = self;
+        (ExecView { probed, regions, region_stats, order, units, exec_order }, &mut lw[..lanes])
+    }
+
+    /// Splits the workspace for the merge phase: planning view, output
+    /// buffer, the executed lane workspaces, and the dedup set.
+    pub(crate) fn merge_parts(
+        &mut self,
+        lanes: usize,
+    ) -> (ExecView<'_>, &mut FetchBuf, &[LaneWorkspace], &mut SeenSet) {
+        let FetchScratch {
+            out,
+            probed,
+            regions,
+            region_stats,
+            order,
+            units,
+            exec_order,
+            lanes: lw,
+            seen,
+            ..
+        } = self;
+        (
+            ExecView { probed, regions, region_stats, order, units, exec_order },
+            out,
+            &lw[..lanes],
+            seen,
+        )
+    }
+
+    /// The per-lane latency totals of the last execution, as an owned
+    /// list (one entry per active lane).
+    pub(crate) fn lane_latency_list(&self, lanes: usize) -> Vec<Duration> {
+        self.lanes[..lanes].iter().map(|ws| ws.total).collect()
+    }
+
+    /// Sequential latency total of one lane from the last execution
+    /// (allocation-free alternative to [`FetchScratch::lane_latency_list`]
+    /// for single-lane plans).
+    #[inline]
+    pub(crate) fn lane_total(&self, lane: usize) -> Duration {
+        self.lanes[lane].total
+    }
+}

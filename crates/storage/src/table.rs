@@ -6,6 +6,10 @@ use skycache_obs::{names, Recorder};
 use crate::cost::{CostModel, FetchStats};
 use crate::error::StorageError;
 use crate::index::ColumnIndex;
+use crate::scratch::{
+    ExecView, FetchBuf, FetchScratch, FetchUnit, LaneWorkspace, ProbedDim, RegionProbe,
+    RegionState, UnitKind,
+};
 use crate::Result;
 
 /// Identifier of a stored row.
@@ -43,17 +47,22 @@ impl Default for TableConfig {
 /// build a plan and hand it to [`Table::fetch_plan`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct FetchPlan {
-    /// Regions to fetch, one simulated range query each.
+    /// Regions to fetch, one issued range query each.
     pub regions: Vec<HyperRect>,
-    /// Concurrent I/O lanes; clamped to `1..=regions.len()` at execution
-    /// time, so `1` (the default) is fully sequential.
+    /// Concurrent I/O lanes; clamped to the number of executable units
+    /// at execution time, so `1` (the default) is fully sequential.
     pub lanes: usize,
+    /// Whether the planner may coalesce regions whose chosen-dimension
+    /// index ranges overlap or abut into single range queries, and dedup
+    /// row ids across regions. Off by default (exact per-region
+    /// semantics, duplicates across overlapping regions preserved).
+    pub coalesce: bool,
 }
 
 impl FetchPlan {
     /// A sequential plan over `regions`.
     pub fn new(regions: Vec<HyperRect>) -> Self {
-        FetchPlan { regions, lanes: 1 }
+        FetchPlan { regions, lanes: 1, coalesce: false }
     }
 
     /// A plan fetching a single region.
@@ -72,7 +81,19 @@ impl FetchPlan {
         self
     }
 
-    /// The lane count [`Table::fetch_plan`] will actually use.
+    /// Enables planner coalescing (builder style): each heap row is
+    /// fetched at most once even when it lies in several candidate
+    /// ranges, and overlapping/abutting index ranges merge into one
+    /// range query. The saving is reported in
+    /// [`FetchStats::regions_coalesced`].
+    pub fn coalesced(mut self) -> Self {
+        self.coalesce = true;
+        self
+    }
+
+    /// The lane count [`Table::fetch_plan`] will actually use, before
+    /// coalescing (a coalescing plan may execute on fewer lanes when
+    /// regions merge into fewer units).
     pub fn resolved_lanes(&self) -> usize {
         self.lanes.clamp(1, self.regions.len().max(1))
     }
@@ -98,7 +119,7 @@ impl FetchResult {
     /// Folds another fetch into this one (rows, counters and latency;
     /// `lane_latencies` is deliberately not merged).
     pub fn absorb(&mut self, other: FetchResult) {
-        self.rows.extend(other.rows); // skylint: allow(hot-path-alloc) — folds owned result rows, once per region
+        self.rows.extend(other.rows);
         self.stats.merge(&other.stats);
         self.simulated_latency += other.simulated_latency;
     }
@@ -110,29 +131,66 @@ impl FetchResult {
     /// (see [`Table::pages_touched`]) because it needs the table's page
     /// geometry.
     pub fn record_into(&self, rec: &mut dyn Recorder) {
-        rec.add_counter(names::FETCH_REGIONS, self.stats.range_queries_issued);
-        rec.add_counter(names::FETCH_RQ_EXECUTED, self.stats.range_queries_executed);
-        rec.add_counter(names::FETCH_RQ_EMPTY, self.stats.range_queries_empty);
-        rec.add_counter(names::FETCH_POINTS_READ, self.stats.points_read);
-        rec.add_counter(names::FETCH_HEAP_FETCHES, self.stats.heap_fetches);
-        rec.add_counter(names::FETCH_ROWS_MATCHED, self.stats.rows_matched);
-        rec.add_counter(names::FETCH_INDEX_PROBES, self.stats.index_probes);
-        rec.add_counter(names::FETCH_INDEX_ENTRIES, self.stats.index_entries_scanned);
-        rec.observe_value(names::FETCH_LATENCY_NS, self.simulated_latency.as_nanos() as f64);
-        if !self.lane_latencies.is_empty() {
-            let lanes = self.lane_latencies.len() as f64;
-            let mut sum = 0.0;
-            let mut slowest = 0.0f64;
-            for lane in &self.lane_latencies {
-                let ns = lane.as_nanos() as f64;
-                rec.observe_value(names::LANES_FETCH_LATENCY_NS, ns);
-                sum += ns;
-                slowest = slowest.max(ns);
-            }
-            rec.set_gauge(names::LANES_FETCH, lanes);
-            let imbalance = if sum > 0.0 { slowest / (sum / lanes) } else { 1.0 };
-            rec.set_gauge(names::LANES_FETCH_IMBALANCE, imbalance);
+        record_fetch(&self.stats, self.simulated_latency, &self.lane_latencies, rec);
+    }
+}
+
+/// Result of [`Table::fetch_plan_into`]: accounting only. The fetched
+/// rows stay inside the caller's [`FetchScratch`] as a borrowed columnar
+/// view ([`FetchScratch::rows`]) — `Point`s are materialized only when a
+/// caller crosses the public-API boundary (see [`Table::fetch_with`]).
+#[derive(Clone, Debug, Default)]
+pub struct FetchOutcome {
+    /// I/O counters for the fetch (deduped work for coalescing plans).
+    pub stats: FetchStats,
+    /// Simulated latency under the table's [`CostModel`].
+    pub simulated_latency: Duration,
+    /// Per-lane simulated latency totals when the plan executed on more
+    /// than one lane; empty for sequential plans.
+    pub lane_latencies: Vec<Duration>,
+}
+
+impl FetchOutcome {
+    /// Publishes this outcome into a [`Recorder`]; see
+    /// [`FetchResult::record_into`].
+    pub fn record_into(&self, rec: &mut dyn Recorder) {
+        record_fetch(&self.stats, self.simulated_latency, &self.lane_latencies, rec);
+    }
+}
+
+/// Shared `fetch.*` / `lanes.*` publication for [`FetchResult`] and
+/// [`FetchOutcome`].
+fn record_fetch(
+    stats: &FetchStats,
+    simulated_latency: Duration,
+    lane_latencies: &[Duration],
+    rec: &mut dyn Recorder,
+) {
+    rec.add_counter(names::FETCH_REGIONS, stats.range_queries_issued);
+    rec.add_counter(names::FETCH_RQ_EXECUTED, stats.range_queries_executed);
+    rec.add_counter(names::FETCH_RQ_EMPTY, stats.range_queries_empty);
+    rec.add_counter(names::FETCH_POINTS_READ, stats.points_read);
+    rec.add_counter(names::FETCH_HEAP_FETCHES, stats.heap_fetches);
+    rec.add_counter(names::FETCH_ROWS_MATCHED, stats.rows_matched);
+    rec.add_counter(names::FETCH_INDEX_PROBES, stats.index_probes);
+    rec.add_counter(names::FETCH_INDEX_ENTRIES, stats.index_entries_scanned);
+    if stats.regions_coalesced > 0 {
+        rec.add_counter(names::FETCH_REGIONS_COALESCED, stats.regions_coalesced);
+    }
+    rec.observe_value(names::FETCH_LATENCY_NS, simulated_latency.as_nanos() as f64);
+    if !lane_latencies.is_empty() {
+        let lanes = lane_latencies.len() as f64;
+        let mut sum = 0.0;
+        let mut slowest = 0.0f64;
+        for lane in lane_latencies {
+            let ns = lane.as_nanos() as f64;
+            rec.observe_value(names::LANES_FETCH_LATENCY_NS, ns);
+            sum += ns;
+            slowest = slowest.max(ns);
         }
+        rec.set_gauge(names::LANES_FETCH, lanes);
+        let imbalance = if sum > 0.0 { slowest / (sum / lanes) } else { 1.0 };
+        rec.set_gauge(names::LANES_FETCH_IMBALANCE, imbalance);
     }
 }
 
@@ -277,9 +335,7 @@ impl Table {
         for (dim, index) in self.indexes.iter_mut().enumerate() {
             index.insert(point[dim], row);
         }
-        // skylint: allow(hot-path-alloc) — Table::insert is the dynamic-data mutation path; the fetch kernels never reach it (the lint chain is a name collision with Registry::insert).
         self.points.push(point);
-        // skylint: allow(hot-path-alloc) — same: mutation path, not fetch-reachable.
         self.live.push(true);
         self.live_count += 1;
         Ok(row)
@@ -308,59 +364,154 @@ impl Table {
         row as usize / self.config.page_capacity
     }
 
-    /// Executes a [`FetchPlan`] — the table's single fetch entry point.
-    ///
-    /// Every region runs as one range query; rows and every
-    /// [`FetchStats`] counter are **identical** regardless of the lane
-    /// count, because results merge in region order and the counters
-    /// describe work done, which parallelism does not change. Only the
-    /// latency accounting differs: with one lane `simulated_latency` is
-    /// the sum over regions; with `n > 1` lanes the regions are dealt
-    /// round-robin onto `n` scoped threads, each lane's queries run
-    /// sequentially within the lane, the plan is charged the slowest
-    /// lane via [`CostModel::critical_path_latency`], and the per-lane
-    /// totals are exposed in [`FetchResult::lane_latencies`].
+    /// Executes a [`FetchPlan`] with owned-row materialization — the
+    /// compatibility entry point. Equivalent to [`Table::fetch_with`]
+    /// over a throwaway scratch; hot callers should hold a
+    /// [`FetchScratch`] and use [`Table::fetch_plan_into`] instead.
     pub fn fetch_plan(&self, plan: &FetchPlan) -> FetchResult {
-        let lanes = plan.resolved_lanes();
-        if lanes <= 1 {
-            let mut out = FetchResult::default();
-            for region in &plan.regions {
-                out.absorb(self.fetch_region(region));
-            }
-            return out;
-        }
-        self.fetch_lanes(&plan.regions, lanes)
+        let mut scratch = FetchScratch::new();
+        self.fetch_with(plan, &mut scratch)
     }
 
-    /// Executes one range query over a (possibly half-open) region.
+    /// Executes a [`FetchPlan`] via a reusable scratch, materializing
+    /// owned [`Row`]s from the block buffer at the end. This is the
+    /// public-API boundary where `Point` allocation is allowed; the
+    /// fetch itself runs allocation-free through
+    /// [`Table::fetch_plan_into`].
+    pub fn fetch_with(&self, plan: &FetchPlan, scratch: &mut FetchScratch) -> FetchResult {
+        let outcome = self.fetch_plan_into(plan, scratch);
+        let buf = scratch.rows();
+        let rows: Vec<Row> = buf
+            .ids()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| Row { id, point: Point::new_unchecked(buf.row(i).to_vec()) })
+            .collect();
+        FetchResult {
+            rows,
+            stats: outcome.stats,
+            simulated_latency: outcome.simulated_latency,
+            lane_latencies: outcome.lane_latencies,
+        }
+    }
+
+    /// Executes a [`FetchPlan`] into a caller-provided [`FetchScratch`]
+    /// — the table's zero-copy fetch kernel. The fetched rows are left
+    /// in `scratch` ([`FetchScratch::rows`]) as a columnar block view;
+    /// no `Point` is cloned and, after the scratch buffers have warmed
+    /// up, no allocation happens at all.
     ///
-    /// Planning mirrors a DBMS with one B-tree per dimension:
+    /// Execution model:
     ///
-    /// 1. probe every finitely-bounded dimension's index; if any
-    ///    projection is empty, answer from the index alone ("the B-trees
-    ///    detect the empty queries", paper Section 7.3.2);
-    /// 2. otherwise choose between a **single-index scan** (fetch the most
-    ///    selective dimension's candidates from the heap, post-filter the
-    ///    rest — heap cost: that dimension's candidate count) and a
-    ///    **bitmap AND scan** (intersect the per-dimension row sets in the
-    ///    indexes, fetch only the intersection — heap cost ≈ the matching
-    ///    rows, plus cheap per-entry index work), using the standard
-    ///    selectivity-product estimate.
-    fn fetch_region(&self, region: &HyperRect) -> FetchResult {
+    /// 1. **Plan**: every region is probed against the per-dimension
+    ///    indexes (empty and degenerate regions are answered from the
+    ///    index alone — "the B-trees detect the empty queries", paper
+    ///    Section 7.3.2) and annotated with its most selective
+    ///    dimension's index position range.
+    /// 2. **Coalesce** (when [`FetchPlan::coalesce`] is set): regions
+    ///    whose chosen-dimension position ranges overlap or abut merge
+    ///    into one range query each; units execute
+    ///    cheapest-estimate-first and each heap row is emitted at most
+    ///    once across the whole plan. Without coalescing, one unit per
+    ///    region executes in region order with exact per-region
+    ///    semantics (duplicates across overlapping regions preserved).
+    /// 3. **Execute**: units are dealt round-robin onto
+    ///    `min(plan.lanes, units)` lanes (scoped threads when more than
+    ///    one — small plans never spawn idle threads). Rows and every
+    ///    [`FetchStats`] counter are **identical** regardless of the
+    ///    lane count: lane buffers merge in unit order, counters
+    ///    describe work done, which parallelism does not change. With
+    ///    one lane `simulated_latency` is the sum over units; with `n`
+    ///    lanes the plan is charged the slowest lane via
+    ///    [`CostModel::critical_path_latency`] and per-lane totals are
+    ///    exposed in [`FetchOutcome::lane_latencies`].
+    ///
+    /// Accounting contract: `range_queries_issued` counts plan regions,
+    /// `range_queries_executed` counts range queries actually run after
+    /// coalescing, their difference for non-empty regions is
+    /// `regions_coalesced`, and `points_read` / `rows_matched` count the
+    /// **deduped** emitted rows.
+    pub fn fetch_plan_into(&self, plan: &FetchPlan, scratch: &mut FetchScratch) -> FetchOutcome {
+        let mut outcome = FetchOutcome::default();
+        scratch.begin(self.dims);
+
+        // Phase 1: plan every region (index probes only).
+        for region in &plan.regions {
+            self.plan_region(region, scratch);
+        }
+
+        // Phase 2: group regions into executable units.
+        let saved = scratch.build_units(plan.coalesce, &self.config.cost_model, self.points.len());
+
+        // Phase 3: execute the units over the lanes.
+        let lanes = plan.lanes.clamp(1, scratch.unit_count().max(1));
+        let (view, lane_ws) = scratch.view_and_lanes(lanes);
+        if let [ws] = lane_ws {
+            self.run_lane(&plan.regions, view, 0, 1, ws);
+        } else {
+            std::thread::scope(|s| {
+                for (lane, ws) in lane_ws.iter_mut().enumerate() {
+                    s.spawn(move || self.run_lane(&plan.regions, view, lane, lanes, ws));
+                }
+            });
+        }
+
+        // Phase 4: merge lane buffers in unit order, dedup across units
+        // when coalescing. A unit at execution position p ran as the
+        // (p / lanes)-th segment of lane (p % lanes).
+        let (view, out, lane_done, seen) = scratch.merge_parts(lanes);
+        if plan.coalesce {
+            seen.begin_pass(self.points.len());
+        }
+        for (u, unit) in view.units.iter().enumerate() {
+            let exec_pos = unit.exec_pos as usize;
+            let ws = &lane_done[exec_pos % lanes];
+            let seg = ws.segs[exec_pos / lanes];
+            debug_assert_eq!(seg.unit as usize, u);
+            for i in seg.start as usize..seg.end as usize {
+                if plan.coalesce && !seen.mark(ws.buf.ids()[i]) {
+                    continue;
+                }
+                out.append_from(&ws.buf, i);
+            }
+        }
+        for ws in lane_done {
+            outcome.stats += ws.stats;
+        }
+        outcome.stats.rows_matched = out.len() as u64;
+        outcome.stats.points_read = outcome.stats.rows_matched;
+        outcome.stats.regions_coalesced = saved;
+
+        if lanes > 1 {
+            let lane_latencies = scratch.lane_latency_list(lanes);
+            outcome.simulated_latency =
+                self.config.cost_model.critical_path_latency(&lane_latencies);
+            outcome.lane_latencies = lane_latencies;
+        } else {
+            outcome.simulated_latency = scratch.lane_total(0);
+        }
+        outcome
+    }
+
+    /// Plans one region: index probes, emptiness detection and chosen
+    /// (most selective) dimension. Mirrors a DBMS with one B-tree per
+    /// dimension; no heap access happens here.
+    fn plan_region(&self, region: &HyperRect, scratch: &mut FetchScratch) {
         assert_eq!(region.dims(), self.dims, "query/table dimensionality mismatch");
         let mut stats = FetchStats { range_queries_issued: 1, ..Default::default() };
+        let mark = scratch.probe_mark();
 
         if region.is_empty() {
             // Degenerate regions are rejected during planning, before any
             // index work.
             stats.range_queries_empty = 1;
-            let simulated_latency = self.config.cost_model.fetch_latency(&stats);
-            return FetchResult { stats, simulated_latency, ..FetchResult::default() };
+            scratch.note_region(
+                RegionProbe { probed_start: mark, probed_end: mark, ..Default::default() },
+                stats,
+            );
+            return;
         }
 
-        // Probe indexes.
-        // skylint: allow(hot-path-alloc) — one slot per constrained dimension (≤ dims)
-        let mut probed: Vec<(usize, usize)> = Vec::new(); // (dim, count)
         let mut empty = false;
         for (dim, iv) in region.intervals().iter().enumerate() {
             let unbounded = iv.lo() == f64::NEG_INFINITY && iv.hi() == f64::INFINITY;
@@ -368,40 +519,122 @@ impl Table {
                 continue; // no predicate on this dimension
             }
             stats.index_probes += 1;
-            let count = self.indexes[dim].count_in(iv);
-            if count == 0 {
+            let (lo, hi) = self.indexes[dim].locate(iv);
+            if lo == hi {
                 empty = true;
                 break;
             }
-            probed.push((dim, count)); // skylint: allow(hot-path-alloc) — bounded by dims
+            scratch.note_probe(dim as u32, lo as u32, hi as u32);
         }
 
         if empty {
             stats.range_queries_empty = 1;
-            let simulated_latency = self.config.cost_model.fetch_latency(&stats);
-            return FetchResult { stats, simulated_latency, ..FetchResult::default() };
+            scratch.note_region(
+                RegionProbe {
+                    probed_start: mark,
+                    probed_end: scratch.probe_mark(),
+                    state: RegionState::Empty,
+                    ..Default::default()
+                },
+                stats,
+            );
+            return;
         }
 
-        stats.range_queries_executed = 1;
-        let rows: Vec<Row> = match probed.iter().min_by_key(|&&(_, c)| c).copied() {
-            None => {
-                // Fully unbounded query: sequential scan of the heap
-                // (dead slots are still paged in, hence still charged).
-                stats.heap_fetches = self.points.len() as u64;
-                self.points
-                    .iter()
-                    .enumerate()
-                    .filter(|&(row, _)| self.live[row])
-                    // skylint: allow(hot-path-alloc) — FetchResult's owned-row contract
-                    .map(|(row, point)| Row { id: row as RowId, point: point.clone() })
-                    // skylint: allow(hot-path-alloc) — sequential-scan result assembly
-                    .collect()
+        let probe = match scratch.probes_since(mark).iter().min_by_key(|p| p.count()) {
+            // Fully unbounded region: answered by a sequential heap scan.
+            None => RegionProbe {
+                probed_start: mark,
+                probed_end: mark,
+                state: RegionState::FullScan,
+                ..Default::default()
+            },
+            Some(best) => RegionProbe {
+                probed_start: mark,
+                probed_end: scratch.probe_mark(),
+                state: RegionState::Ready,
+                chosen_dim: best.dim,
+                pos_lo: best.pos_lo,
+                pos_hi: best.pos_hi,
+            },
+        };
+        scratch.note_region(probe, stats);
+    }
+
+    /// Executes the units dealt to one lane (execution positions
+    /// `lane, lane + lanes, …`), staging rows and accounting in the
+    /// lane's private workspace.
+    fn run_lane(
+        &self,
+        regions: &[HyperRect],
+        view: ExecView<'_>,
+        lane: usize,
+        lanes: usize,
+        ws: &mut LaneWorkspace,
+    ) {
+        let mut pos = lane;
+        while pos < view.exec_order.len() {
+            let u = view.exec_order[pos];
+            let unit = view.units[u as usize];
+            let start = ws.buf.len() as u32;
+            let stats = self.run_unit(regions, view, &unit, &mut ws.buf);
+            ws.seg_mark(u, start, ws.buf.len() as u32);
+            ws.total += self.config.cost_model.fetch_latency(&stats);
+            ws.stats += stats;
+            pos += lanes;
+        }
+    }
+
+    /// Executes one unit, appending matching rows to `buf` and returning
+    /// the unit's stats (planning stats of its member regions plus the
+    /// heap work; `points_read` / `rows_matched` are set globally at
+    /// merge time from the deduped emitted rows).
+    ///
+    /// Indexed single-region units choose between a **single-index
+    /// scan** (fetch the chosen dimension's candidates from the heap,
+    /// post-filter the rest — heap cost: the candidate count) and a
+    /// **bitmap AND scan** (intersect the per-dimension row sets in the
+    /// indexes, fetch only the intersection — heap cost ≈ the matching
+    /// rows plus cheap per-entry index work), using the standard
+    /// selectivity-product estimate. Merged units run one range query
+    /// over the union slice and test each candidate against every member
+    /// region (MPR regions are pairwise disjoint, so at most one
+    /// matches).
+    fn run_unit(
+        &self,
+        regions: &[HyperRect],
+        view: ExecView<'_>,
+        unit: &FetchUnit,
+        buf: &mut FetchBuf,
+    ) -> FetchStats {
+        let members = view.members_of(unit);
+        let mut stats = FetchStats::default();
+        for &r in members {
+            stats += view.region_stats[r as usize];
+        }
+        match unit.kind {
+            UnitKind::Degenerate | UnitKind::ProbedEmpty => stats,
+            UnitKind::Scan => {
+                // Sequential scan of the heap (dead slots are still paged
+                // in, hence still charged).
+                stats.range_queries_executed += 1;
+                stats.heap_fetches += self.points.len() as u64;
+                for (row, point) in self.points.iter().enumerate() {
+                    if self.live[row] {
+                        buf.append(row as RowId, point.coords());
+                    }
+                }
+                stats
             }
-            Some((best_dim, best_count)) => {
+            UnitKind::Single => {
+                let r = members[0];
+                let region = &regions[r as usize];
+                let probed = view.probed_of(r);
+                let best_count = (unit.pos_hi - unit.pos_lo) as usize;
                 // Plan choice: single-index heap cost vs bitmap estimate.
                 let n = self.points.len() as f64;
-                let est_match: f64 = probed.iter().fold(n, |acc, &(_, c)| acc * (c as f64 / n));
-                let entries: usize = probed.iter().map(|&(_, c)| c).sum();
+                let est_match: f64 = probed.iter().fold(n, |acc, p| acc * (p.count() as f64 / n));
+                let entries: usize = probed.iter().map(ProbedDim::count).sum();
                 let ratio = self.config.cost_model.entry_to_point_ratio();
                 let bitmap_cost = est_match + ratio * entries as f64;
                 let use_bitmap = probed.len() > 1 && bitmap_cost < best_count as f64;
@@ -409,77 +642,67 @@ impl Table {
                 // Either way the candidates of the most selective
                 // dimension are scanned and filtered; the plans differ in
                 // what touches the *heap*, i.e. in the accounting.
-                let rows: Vec<Row> = self.indexes[best_dim]
-                    .rows_in(region.interval(best_dim))
-                    .iter()
-                    .filter_map(|&row| {
-                        let point = &self.points[row as usize];
-                        // skylint: allow(hot-path-alloc) — FetchResult's owned-row contract
-                        region.contains_point(point).then(|| Row { id: row, point: point.clone() })
-                    })
-                    // skylint: allow(hot-path-alloc) — candidate rows of the chosen plan
-                    .collect();
+                stats.range_queries_executed += 1;
+                let before = buf.len();
+                for &row in self.indexes[unit.dim as usize]
+                    .rows_at(unit.pos_lo as usize, unit.pos_hi as usize)
+                {
+                    let coords = self.points[row as usize].coords();
+                    if region.contains_coords(coords) {
+                        buf.append(row, coords);
+                    }
+                }
                 if use_bitmap {
                     // Bitmap AND: every constrained index range is scanned
                     // (cheap, index-only); only intersecting rows hit the
                     // heap.
-                    stats.index_entries_scanned = entries as u64;
-                    stats.heap_fetches = rows.len() as u64;
+                    stats.index_entries_scanned += entries as u64;
+                    stats.heap_fetches += (buf.len() - before) as u64;
                 } else {
                     // Single-index scan: every candidate tuple of the most
                     // selective dimension is fetched and post-filtered.
-                    stats.index_entries_scanned = best_count as u64;
-                    stats.heap_fetches = best_count as u64;
+                    stats.index_entries_scanned += best_count as u64;
+                    stats.heap_fetches += best_count as u64;
                 }
-                rows
+                stats
             }
-        };
-        stats.rows_matched = rows.len() as u64;
-        stats.points_read = stats.rows_matched;
-        let simulated_latency = self.config.cost_model.fetch_latency(&stats);
-        FetchResult { rows, stats, simulated_latency, ..FetchResult::default() }
-    }
-
-    /// The multi-lane arm of [`Table::fetch_plan`]: regions dealt
-    /// round-robin onto `lanes` scoped threads, merged in region order.
-    fn fetch_lanes(&self, regions: &[HyperRect], lanes: usize) -> FetchResult {
-        // skylint: allow(hot-path-alloc) — one staging slot per region / per lane
-        let mut per_region: Vec<Option<FetchResult>> = vec![None; regions.len()];
-        let mut lane_totals = vec![Duration::ZERO; lanes]; // skylint: allow(hot-path-alloc) — one slot per lane
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..lanes)
-                .map(|lane| {
-                    s.spawn(move || {
-                        let mut fetched = Vec::new(); // skylint: allow(hot-path-alloc) — per-lane result staging
-                        let mut total = Duration::ZERO;
-                        for (idx, region) in regions.iter().enumerate().skip(lane).step_by(lanes) {
-                            let result = self.fetch_region(region);
-                            total += result.simulated_latency;
-                            fetched.push((idx, result)); // skylint: allow(hot-path-alloc) — one entry per region
-                        }
-                        (fetched, total)
-                    })
-                })
-                // skylint: allow(hot-path-alloc) — one spawn handle per lane
-                .collect();
-            for (lane, handle) in handles.into_iter().enumerate() {
-                // skylint: allow(no-panic-paths) — join() only fails on a lane panic.
-                let (fetched, total) = handle.join().expect("fetch lane panicked");
-                lane_totals[lane] = total;
-                for (idx, result) in fetched {
-                    per_region[idx] = Some(result);
+            UnitKind::Merged => {
+                // One range query over the merged index slice; each
+                // candidate is fetched once and tested against the member
+                // regions. Members arrive sorted by `pos_lo` and the slice
+                // is walked in position order, so a sliding activation
+                // window `[first, last)` keeps the per-candidate test to
+                // the members whose probed range can still cover the
+                // current position instead of all of them.
+                let span = (unit.pos_hi - unit.pos_lo) as u64;
+                stats.range_queries_executed += 1;
+                stats.heap_fetches += span;
+                stats.index_entries_scanned += span;
+                let rows = self.indexes[unit.dim as usize]
+                    .rows_at(unit.pos_lo as usize, unit.pos_hi as usize);
+                let (mut first, mut last) = (0usize, 0usize);
+                for (offset, &row) in rows.iter().enumerate() {
+                    let pos = unit.pos_lo + offset as u32;
+                    while last < members.len() && view.regions[members[last] as usize].pos_lo <= pos
+                    {
+                        last += 1;
+                    }
+                    while first < last && view.regions[members[first] as usize].pos_hi <= pos {
+                        first += 1;
+                    }
+                    let coords = self.points[row as usize].coords();
+                    // MPR regions are pairwise disjoint: at most one member
+                    // matches, so `any` short-circuits on the first hit.
+                    if members[first..last].iter().any(|&r| {
+                        pos < view.regions[r as usize].pos_hi
+                            && regions[r as usize].contains_coords(coords)
+                    }) {
+                        buf.append(row, coords);
+                    }
                 }
+                stats
             }
-        });
-
-        let mut out = FetchResult::default();
-        for result in per_region {
-            // skylint: allow(no-panic-paths) — lane spans cover all region indexes.
-            out.absorb(result.expect("every region fetched by its lane"));
         }
-        out.simulated_latency = self.config.cost_model.critical_path_latency(&lane_totals);
-        out.lane_latencies = lane_totals;
-        out
     }
 
     /// Distinct heap pages touched by a set of fetched rows (the derived
@@ -489,6 +712,16 @@ impl Table {
         let mut pages = std::collections::BTreeSet::new();
         for row in rows {
             pages.insert(self.page_of(row.id));
+        }
+        pages.len() as u64
+    }
+
+    /// [`Table::pages_touched`] over bare row ids (the block-path variant,
+    /// fed from [`FetchBuf::ids`]).
+    pub fn pages_touched_ids(&self, ids: &[RowId]) -> u64 {
+        let mut pages = std::collections::BTreeSet::new();
+        for &id in ids {
+            pages.insert(self.page_of(id));
         }
         pages.len() as u64
     }
@@ -897,6 +1130,144 @@ mod tests {
             b.sort_by_key(key);
             assert_eq!(a, b, "constraints {c:?}");
         }
+    }
+
+    /// Three regions whose dim-0 index ranges overlap pairwise must merge
+    /// into one range query under coalescing, with the duplicate rows of
+    /// the overlaps emitted exactly once.
+    #[test]
+    fn coalescing_merges_overlapping_index_ranges() {
+        let t = table();
+        // Dim-0 candidate position ranges: 0..30, 20..50, 30..60 (each
+        // grid column holds 10 rows). Dim 1 is unbounded so dim 0 is the
+        // chosen dimension for all three.
+        let regions: Vec<HyperRect> =
+            [[(0.0, 2.0), (0.0, 9.0)], [(2.0, 4.0), (0.0, 9.0)], [(3.0, 5.0), (0.0, 9.0)]]
+                .iter()
+                .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+                .collect();
+
+        let naive = t.fetch_plan(&FetchPlan::new(regions.clone()));
+        // Columns 2 and 3,4,5 are double-counted by the overlaps.
+        assert_eq!(naive.rows.len(), 90);
+        assert_eq!(naive.stats.range_queries_executed, 3);
+        assert_eq!(naive.stats.regions_coalesced, 0);
+
+        let co = t.fetch_plan(&FetchPlan::new(regions).coalesced());
+        assert_eq!(co.rows.len(), 60, "each of columns 0..=5 exactly once");
+        assert_eq!(co.stats.range_queries_issued, 3);
+        assert_eq!(co.stats.range_queries_executed, 1, "one merged range query");
+        assert_eq!(co.stats.regions_coalesced, 2);
+        assert_eq!(co.stats.heap_fetches, 60, "merged slice scanned once");
+        assert_eq!(co.stats.points_read, 60);
+
+        // Same deduped row set as the naive plan.
+        let mut naive_ids: Vec<RowId> = naive.rows.iter().map(|r| r.id).collect();
+        naive_ids.sort_unstable();
+        naive_ids.dedup();
+        let mut co_ids: Vec<RowId> = co.rows.iter().map(|r| r.id).collect();
+        co_ids.sort_unstable();
+        assert_eq!(co_ids, naive_ids);
+    }
+
+    /// Abutting (non-overlapping) index ranges coalesce too; disjoint
+    /// ranges with a gap stay separate range queries.
+    #[test]
+    fn coalescing_handles_abutting_and_disjoint_ranges() {
+        let t = table();
+        let abutting: Vec<HyperRect> = [[(0.0, 1.0), (0.0, 9.0)], [(2.0, 3.0), (0.0, 9.0)]]
+            .iter()
+            .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+            .collect();
+        let res = t.fetch_plan(&FetchPlan::new(abutting).coalesced());
+        // Positions 0..20 and 20..40 abut → one merged query.
+        assert_eq!(res.stats.range_queries_executed, 1);
+        assert_eq!(res.stats.regions_coalesced, 1);
+        assert_eq!(res.rows.len(), 40);
+
+        let disjoint: Vec<HyperRect> = [[(0.0, 1.0), (0.0, 9.0)], [(5.0, 6.0), (0.0, 9.0)]]
+            .iter()
+            .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+            .collect();
+        let res = t.fetch_plan(&FetchPlan::new(disjoint).coalesced());
+        // Positions 0..20 and 50..70 leave a gap → two queries, no saving.
+        assert_eq!(res.stats.range_queries_executed, 2);
+        assert_eq!(res.stats.regions_coalesced, 0);
+        assert_eq!(res.rows.len(), 40);
+    }
+
+    /// A coalesced plan executes on at most as many lanes as it has
+    /// units: merging three regions into one unit makes the fetch
+    /// sequential no matter how many lanes the plan requested.
+    #[test]
+    fn lanes_clamp_to_executable_units() {
+        let t = table();
+        let merged: Vec<HyperRect> =
+            [[(0.0, 2.0), (0.0, 9.0)], [(2.0, 4.0), (0.0, 9.0)], [(3.0, 5.0), (0.0, 9.0)]]
+                .iter()
+                .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+                .collect();
+        let res = t.fetch_plan(&FetchPlan::new(merged).coalesced().with_lanes(3));
+        assert!(res.lane_latencies.is_empty(), "single merged unit runs sequentially");
+        assert!(res.simulated_latency > Duration::ZERO);
+
+        let two_units: Vec<HyperRect> = [[(0.0, 1.0), (0.0, 9.0)], [(5.0, 6.0), (0.0, 9.0)]]
+            .iter()
+            .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+            .collect();
+        let res = t.fetch_plan(&FetchPlan::new(two_units).coalesced().with_lanes(8));
+        assert_eq!(res.lane_latencies.len(), 2, "lanes clamp to the two units");
+        assert!(res.lane_latencies.iter().all(|&d| d > Duration::ZERO));
+    }
+
+    /// Coalesced plans are lane-invariant: rows (order included) and all
+    /// counters match the sequential execution for any lane count.
+    #[test]
+    fn coalesced_plan_matches_across_lane_counts() {
+        let t = table();
+        let regions: Vec<HyperRect> = [
+            [(0.0, 2.0), (0.0, 9.0)],
+            [(2.0, 4.0), (0.0, 9.0)],   // overlaps the first
+            [(20.0, 30.0), (0.0, 9.0)], // empty
+            [(7.0, 9.0), (0.0, 9.0)],
+            [(3.0, 4.0), (5.0, 6.0)], // bitmap-eligible, overlaps second
+        ]
+        .iter()
+        .map(|pairs| Constraints::from_pairs(pairs).unwrap().region())
+        .collect();
+        let seq = t.fetch_plan(&FetchPlan::new(regions.clone()).coalesced());
+        assert!(seq.stats.regions_coalesced > 0, "plan must actually coalesce");
+        for lanes in [2, 3, 8] {
+            let par = t.fetch_plan(&FetchPlan::new(regions.clone()).coalesced().with_lanes(lanes));
+            assert_eq!(par.rows, seq.rows, "{lanes} lanes: row mismatch");
+            assert_eq!(par.stats, seq.stats, "{lanes} lanes: stats mismatch");
+        }
+    }
+
+    /// The zero-copy entry point leaves the rows in the caller's scratch;
+    /// materializing them via fetch_with yields the same result.
+    #[test]
+    fn fetch_plan_into_matches_fetch_with() {
+        let t = table();
+        let plan = FetchPlan::new(vec![
+            Constraints::from_pairs(&[(2.0, 4.0), (3.0, 5.0)]).unwrap().region(),
+            Constraints::from_pairs(&[(0.0, 1.0), (0.0, 1.0)]).unwrap().region(),
+        ]);
+        let mut scratch = FetchScratch::new();
+        let outcome = t.fetch_plan_into(&plan, &mut scratch);
+        let expect = t.fetch_plan(&plan);
+        assert_eq!(outcome.stats, expect.stats);
+        assert_eq!(outcome.simulated_latency, expect.simulated_latency);
+        let buf = scratch.rows();
+        assert_eq!(buf.len(), expect.rows.len());
+        for (i, row) in expect.rows.iter().enumerate() {
+            assert_eq!(buf.ids()[i], row.id);
+            assert_eq!(buf.row(i), row.point.coords());
+        }
+        // The scratch is reusable: a second fetch overwrites the first.
+        let single = FetchPlan::single(Constraints::unbounded(2).unwrap().region());
+        t.fetch_plan_into(&single, &mut scratch);
+        assert_eq!(scratch.rows().len(), 100);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use skycache::algos::{Sfs, SkylineAlgorithm};
 use skycache::core::{
     missing_points_region, CbcsConfig, CbcsExecutor, Executor, MprMode, QueryRequest,
 };
-use skycache::geom::{Constraints, Point};
+use skycache::geom::{Constraints, Point, PointBlock};
 use skycache::storage::{CostModel, Table, TableConfig};
 
 fn coord() -> impl Strategy<Value = f64> {
@@ -35,6 +35,16 @@ fn reference(points: &[Point], c: &Constraints) -> Vec<Point> {
     let mut sky = Sfs.compute(constrained).skyline;
     sky.sort_by_key(|p| p.coords().iter().map(|c| c.to_bits()).collect::<Vec<_>>());
     sky
+}
+
+/// Builds a fixed-dimensionality block from points that may be empty
+/// (unlike `PointBlock::from_points`, which cannot infer dims then).
+fn block(points: &[Point], dims: usize) -> PointBlock {
+    let mut b = PointBlock::new(dims).unwrap();
+    for p in points {
+        b.push(p);
+    }
+    b
 }
 
 fn sorted(mut v: Vec<Point>) -> Vec<Point> {
@@ -113,7 +123,7 @@ proptest! {
                 points.iter().filter(|p| c_old.satisfies(p)).cloned().collect();
             Sfs.compute(constrained).skyline
         };
-        let out = missing_points_region(&c_old, &cached_sky, &c_new, MprMode::Exact);
+        let out = missing_points_region(&c_old, &block(&cached_sky, 2), &c_new, MprMode::Exact);
 
         // Regions are pairwise disjoint...
         prop_assert!(skycache::geom::subtract::pairwise_disjoint(&out.regions));
@@ -128,7 +138,7 @@ proptest! {
         // an unpruned region only in approximate mode; in exact mode its
         // dominance box removes it, so plain concatenation suffices here
         // minus the points already retained).
-        let mut merged = out.retained.clone();
+        let mut merged = out.retained.to_points();
         for p in &points {
             if out.regions.iter().any(|r| r.contains_point(p)) {
                 merged.push(p.clone());
@@ -153,13 +163,13 @@ proptest! {
                 points.iter().filter(|p| c_old.satisfies(p)).cloned().collect();
             Sfs.compute(constrained).skyline
         };
-        let out = missing_points_region(&c_old, &cached_sky, &c_new, MprMode::Exact);
+        let out = missing_points_region(&c_old, &block(&cached_sky, 2), &c_new, MprMode::Exact);
         let probe = Point::from(probe);
         let in_mpr = out.regions.iter().any(|r| r.contains_point(&probe));
         if in_mpr {
-            for u in &out.retained {
+            for u in out.retained.rows() {
                 prop_assert!(
-                    !skycache::geom::dominates(u, &probe),
+                    !skycache::geom::dominance::dominates_raw(u, probe.coords()),
                     "MPR contains space dominated by retained {u:?}"
                 );
             }
