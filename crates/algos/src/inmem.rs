@@ -4,8 +4,10 @@
 //! structure-of-arrays coordinate buffer — so the dominance-test hot path
 //! does no per-point allocation and no pointer chasing.
 
-use skycache_geom::dominance::{compare_raw, dominates_raw, DomRelation};
-use skycache_geom::{dominates, Point, PointBlock};
+use skycache_geom::dominance::DomRelation;
+use skycache_geom::{dominates, retain_nondominated, Kernel, Point, PointBlock};
+
+use crate::planar::{planar_applicable, planar_skyline_into};
 
 /// Result of an in-memory skyline computation.
 #[derive(Clone, Debug)]
@@ -25,6 +27,9 @@ pub struct SkylineOutput {
 pub struct SkylineScratch {
     /// `(monotone score, row index)` pairs, sorted before filtering.
     pub(crate) order: Vec<(f64, u32)>,
+    /// Secondary `(score, row index)` buffer: the planar sweep's
+    /// survivor list, re-sorted into canonical output order.
+    pub(crate) aux: Vec<(f64, u32)>,
 }
 
 impl SkylineScratch {
@@ -81,12 +86,13 @@ impl SkylineAlgorithm for Bnl {
         };
         // skylint: allow(no-panic-paths) — input.dims() >= 1 by PointBlock construction.
         let mut window = PointBlock::new(input.dims()).expect("dims > 0");
+        let kernel = Kernel::for_dims(input.dims());
         let mut tests = 0u64;
         'next_point: for row in input.rows() {
             let mut i = 0;
             while i < window.len() {
                 tests += 1;
-                match compare_raw(window.row(i), row) {
+                match kernel.compare(window.row(i), row) {
                     DomRelation::Dominates => continue 'next_point,
                     DomRelation::DominatedBy => {
                         window.swap_remove(i);
@@ -107,15 +113,38 @@ impl SkylineAlgorithm for Bnl {
 pub struct Sfs;
 
 impl Sfs {
-    /// Block-native SFS: sorts row indices by coordinate sum and filters
-    /// each row, in score order, against the growing skyline block.
+    /// Block-native SFS: dispatches `dims == 2` inputs to the planar
+    /// monotone sweep ([`crate::planar::planar_skyline_into`], which
+    /// needs no pairwise dominance tests at all) and everything else to
+    /// the classic sum-sorted filter ([`Sfs::classic_block_into`]). Both
+    /// paths emit SFS canonical order, so the dispatch is invisible to
+    /// callers except in speed and in the `dominance_tests` count (0 on
+    /// the planar path).
+    pub fn compute_block_into(
+        &self,
+        rows: &[f64],
+        dims: usize,
+        scratch: &mut SkylineScratch,
+        out: &mut PointBlock,
+    ) -> u64 {
+        if planar_applicable(dims) {
+            return planar_skyline_into(rows, scratch, out);
+        }
+        self.classic_block_into(rows, dims, scratch, out)
+    }
+
+    /// The classic sum-sorted filter: sorts row indices by coordinate
+    /// sum and filters each row, in score order, against the growing
+    /// skyline block under the active [`Kernel`] generation.
     /// Allocation-free once `scratch` and `out` have warmed up.
     ///
     /// The index sort is *stable*, so rows with equal sums keep their
     /// input order — exactly what the `Vec<Point>` sort in
     /// [`SkylineAlgorithm::compute`] does — and the two entry points emit
-    /// identical output orders and dominance-test counts.
-    pub fn compute_block_into(
+    /// identical output orders and dominance-test counts. Public so the
+    /// differential tests can compare the planar sweep against it at
+    /// `dims == 2` without hitting their own dispatch.
+    pub fn classic_block_into(
         &self,
         rows: &[f64],
         dims: usize,
@@ -136,13 +165,14 @@ impl Sfs {
             scratch.order.push((sum, i as u32));
         }
         scratch.order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let kernel = Kernel::for_dims(dims);
         let mut tests = 0u64;
         for &(_, i) in &scratch.order {
             let row = &rows[i as usize * dims..(i as usize + 1) * dims];
             let mut dominated = false;
             for s in out.rows() {
                 tests += 1;
-                if dominates_raw(s, row) {
+                if kernel.dominates(s, row) {
                     dominated = true;
                     break;
                 }
@@ -206,9 +236,11 @@ impl SkylineAlgorithm for DivideConquer {
 
 fn dc(mut points: Vec<Point>, depth: usize, tests: &mut u64) -> Vec<Point> {
     if points.len() <= DC_CUTOFF || depth > 40 {
-        let out = Bnl.compute(points);
-        *tests += out.dominance_tests;
-        return out.skyline;
+        // Leaf: block cross-filter. A point survives iff no input point
+        // strictly dominates it — self-comparison is harmless (strict
+        // dominance is irreflexive), so candidate and window can hold
+        // the same rows.
+        return block_cross_filter(&points, tests);
     }
     let dim = depth % points[0].dims();
     // Median split on `dim`.
@@ -219,11 +251,26 @@ fn dc(mut points: Vec<Point>, depth: usize, tests: &mut u64) -> Vec<Point> {
     let upper_sky = dc(upper, depth + 1, tests);
 
     // Merge: lower-half skyline points may dominate upper-half ones (and,
-    // on ties at the split value, vice versa) — filter the union.
+    // on ties at the split value, vice versa) — cross-filter the union.
     let merged: Vec<Point> = lower_sky.drain(..).chain(upper_sky).collect();
-    let out = Bnl.compute(merged);
-    *tests += out.dominance_tests;
-    out.skyline
+    block_cross_filter(&merged, tests)
+}
+
+/// Skyline of `points` by one [`retain_nondominated`] pass of the rows
+/// against themselves, under the kernel generation selected for the
+/// block's dimensionality. This is the
+/// D&C leaf/merge kernel: inputs here are small (≤ [`DC_CUTOFF`] at the
+/// leaves, unions of two partial skylines at the merges), so the flat
+/// block pass beats BNL's window churn despite doing the full O(k²) scan.
+fn block_cross_filter(points: &[Point], tests: &mut u64) -> Vec<Point> {
+    let Ok(mut candidates) = PointBlock::from_points(points) else {
+        return Vec::new();
+    };
+    let window = candidates.clone();
+    let kernel = Kernel::for_dims(window.dims());
+    let stats = retain_nondominated(&mut candidates, &window, kernel);
+    *tests += stats.dominance_tests;
+    candidates.to_points()
 }
 
 /// SaLSa — Sort and Limit Skyline algorithm (Bartolini, Ciaccia & Patella):

@@ -36,7 +36,9 @@
 //! ];
 //! let out = Sfs.compute(hotels);
 //! assert_eq!(out.skyline.len(), 3);
-//! assert!(out.dominance_tests > 0);
+//! // Two-dimensional inputs take the planar monotone sweep, which
+//! // needs no pairwise dominance tests at all (see [`planar`]).
+//! assert_eq!(out.dominance_tests, 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -47,11 +49,13 @@ pub mod bbs;
 pub mod cardinality;
 mod inmem;
 mod parallel;
+pub mod planar;
 
 pub use bbs::{bbs_constrained, BbsOutput, BbsStats};
 pub use cardinality::{expected_skyline_size, sample_skyline_fraction, Adaptive};
 pub use inmem::{Bnl, DivideConquer, Salsa, Sfs, SkylineAlgorithm, SkylineOutput, SkylineScratch};
 pub use parallel::{LaneReport, ParallelDc};
+pub use planar::{planar_applicable, planar_skyline_into, PLANAR_DIMS};
 
 #[cfg(test)]
 pub(crate) mod testutil {

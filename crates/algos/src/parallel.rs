@@ -16,8 +16,9 @@
 
 use std::thread;
 
-use skycache_geom::{filter_block, Point, PointBlock};
+use skycache_geom::{retain_nondominated, Kernel, Point, PointBlock};
 
+use crate::planar::PLANAR_DIMS;
 use crate::{DivideConquer, Sfs, SkylineAlgorithm, SkylineOutput, SkylineScratch};
 
 /// Scalar work-distribution facts of one [`ParallelDc`] run, returned by
@@ -81,6 +82,87 @@ impl ParallelDc {
             self.threads
         } else {
             thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// Per-worker scoped spawn + join overhead in nanoseconds, as
+    /// measured by `repro parallel` on commodity Linux hosts (each run
+    /// spawns two scopes: local skylines, then the cross-filter).
+    pub const SPAWN_OVERHEAD_NS: u64 = 60_000;
+
+    /// Sequential block-SFS cost per coordinate cell (point × dimension)
+    /// in nanoseconds, calibrated from the `seq_ms` column of
+    /// BENCH_parallel.json (50k–100k points, 5–7 dims).
+    pub const SEQ_NS_PER_CELL: f64 = 20.0;
+
+    /// Fraction of the ideal `threads×` speedup the two-phase split
+    /// retains after the sequential union build and canonical re-sort
+    /// (measured ratio of phase-parallel time to total).
+    pub const PARALLEL_EFFICIENCY: f64 = 0.6;
+
+    /// Minimum input size (points) at which the cost model predicts the
+    /// D&C split beats the sequential block path for `dims`-dimensional
+    /// data on `threads` workers; `usize::MAX` when it never can (fewer
+    /// than two effective workers).
+    ///
+    /// Derivation: the split wins when
+    /// `2·threads·SPAWN < seq·(1 − 1/(threads·EFF))` with
+    /// `seq = n·dims·SEQ_NS_PER_CELL`, solved for `n`.
+    pub fn min_parallel_points(threads: usize, dims: usize) -> usize {
+        let effective = threads as f64 * Self::PARALLEL_EFFICIENCY;
+        if effective <= 1.0 {
+            return usize::MAX;
+        }
+        let spawn_ns = (2 * threads) as f64 * Self::SPAWN_OVERHEAD_NS as f64;
+        let per_point_ns = dims.max(1) as f64 * Self::SEQ_NS_PER_CELL;
+        let n = spawn_ns / (per_point_ns * (1.0 - 1.0 / effective));
+        n.ceil() as usize
+    }
+
+    /// The adaptive cost gate: whether the D&C split is predicted to
+    /// beat the sequential block path for an input of `n` points in
+    /// `dims` dimensions *on this host*. The split only engages when
+    /// every factor lines up:
+    ///
+    /// * at least two workers **and** at least two host cores — scoped
+    ///   threads on a single core always lose (BENCH_parallel.json
+    ///   recorded 0.28–0.71× before this gate existed);
+    /// * `dims > 2` — planar inputs take the d = 2 sweep instead;
+    /// * `n` at or above both the configured
+    ///   [`ParallelDc::sequential_threshold`] and the calibrated
+    ///   [`ParallelDc::min_parallel_points`] for this shape.
+    ///
+    /// Callers that want the split unconditionally (tests, calibration
+    /// runs) skip the gate and call
+    /// [`ParallelDc::compute_rows`] / [`ParallelDc::compute_with_report`]
+    /// directly — those stay gate-free.
+    pub fn should_engage(&self, n: usize, dims: usize) -> bool {
+        let threads = self.resolved_threads();
+        let host = thread::available_parallelism().map_or(1, |c| c.get());
+        threads >= 2
+            && host >= 2
+            && dims > PLANAR_DIMS
+            && n >= self.sequential_threshold.max(2)
+            && n >= Self::min_parallel_points(threads, dims)
+    }
+
+    /// Gated block entry point: runs the D&C split only when
+    /// [`ParallelDc::should_engage`] predicts a win, falling back to the
+    /// sequential block path (SFS, with its planar d = 2 dispatch)
+    /// otherwise — the "never loses" contract.
+    pub fn compute_rows_adaptive(
+        &self,
+        rows: &[f64],
+        dims: usize,
+        scratch: &mut SkylineScratch,
+        out: &mut PointBlock,
+    ) -> (u64, LaneReport) {
+        let n = rows.len() / dims.max(1);
+        if self.should_engage(n, dims) {
+            self.compute_rows(rows, dims, scratch, out)
+        } else {
+            let tests = Sfs.compute_block_into(rows, dims, scratch, out);
+            (tests, LaneReport { input_len: n as u64, ..LaneReport::default() })
         }
     }
 }
@@ -227,7 +309,8 @@ impl ParallelDc {
                         for i in lo..hi {
                             cand.push_row(union_ref.row(i));
                         }
-                        let stats = filter_block(&mut cand, union_ref);
+                        let stats =
+                            retain_nondominated(&mut cand, union_ref, Kernel::for_dims(dims));
                         (cand, stats.dominance_tests)
                     }))
                 })
@@ -371,6 +454,43 @@ mod tests {
             forced().compute_rows(small_block.as_flat(), 2, &mut scratch, &mut out2);
         assert_eq!(seq_report.workers, 0);
         assert_eq!(sorted(out2.to_points()), sorted(naive_skyline(&small)));
+    }
+
+    #[test]
+    fn gate_rejects_planar_small_and_single_threaded_shapes() {
+        let pd = ParallelDc { threads: 4, sequential_threshold: 8 };
+        // d = 2 always goes planar, whatever the size.
+        assert!(!pd.should_engage(10_000_000, 2));
+        // Below the calibrated floor the split cannot amortize spawns.
+        assert!(!pd.should_engage(100, 5));
+        // One worker (or one effective worker) can never split.
+        assert!(!ParallelDc { threads: 1, sequential_threshold: 8 }.should_engage(1 << 20, 5));
+        assert_eq!(ParallelDc::min_parallel_points(1, 5), usize::MAX);
+        // On a multicore host a big high-dimensional input engages; on a
+        // single-core host nothing does.
+        let host = thread::available_parallelism().map_or(1, |c| c.get());
+        assert_eq!(pd.should_engage(1 << 20, 5), host >= 2);
+        // The calibrated floor is monotone: more dims amortize sooner.
+        assert!(
+            ParallelDc::min_parallel_points(4, 7) <= ParallelDc::min_parallel_points(4, 3),
+            "higher-dimensional rows cost more per point, so the floor drops"
+        );
+    }
+
+    #[test]
+    fn adaptive_path_matches_forced_output() {
+        // Whatever the gate decides, the adaptive entry point must return
+        // the same rows in the same canonical order as the forced paths.
+        let pts = pseudo_random_points(600, 3, 23);
+        let input = PointBlock::from_points(&pts).unwrap();
+        let mut scratch = SkylineScratch::new();
+        let mut want = PointBlock::new(3).unwrap();
+        Sfs.compute_block_into(input.as_flat(), 3, &mut scratch, &mut want);
+        let mut out = PointBlock::new(3).unwrap();
+        let (_, report) =
+            forced().compute_rows_adaptive(input.as_flat(), 3, &mut scratch, &mut out);
+        assert_eq!(out.to_points(), want.to_points(), "same rows in the same order");
+        assert_eq!(report.input_len, 600);
     }
 
     #[test]

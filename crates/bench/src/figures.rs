@@ -643,11 +643,22 @@ pub fn parallel(scale: &Scale) {
     lane_set.sort_unstable();
     lane_set.dedup();
 
-    // Part 1: the skyline stage alone — SFS vs ParallelDc on the raw
-    // point sets (independent distribution, as in most paper figures).
+    // Part 1: the skyline stage alone — SFS vs the *adaptive* ParallelDc
+    // on the raw point sets (independent distribution, as in most paper
+    // figures). Configurations the cost gate rejects report the
+    // sequential fallback they actually run (`gated: true`, speedup 1.0):
+    // after the adaptive gate, no configuration can lose to sequential.
     print_header(
         "Skyline stage",
-        &["n".into(), "|D|".into(), "lanes".into(), "seq".into(), "par".into(), "speedup".into()],
+        &[
+            "n".into(),
+            "|D|".into(),
+            "lanes".into(),
+            "seq".into(),
+            "par".into(),
+            "speedup".into(),
+            "gated".into(),
+        ],
     );
     let mut skyline_rows = Vec::new();
     for &(n, dims) in &scale.parallel_cases {
@@ -655,7 +666,12 @@ pub fn parallel(scale: &Scale) {
         let seq_s = best_secs(2, || Sfs.compute(points.clone()));
         for &lanes in &lane_set {
             let algo = ParallelDc { threads: lanes, sequential_threshold: 4096 };
-            let par_s = best_secs(2, || algo.compute(points.clone()));
+            let gated = !algo.should_engage(n, dims);
+            // A gated configuration runs the sequential block path, so
+            // both sides of its ratio are the same measurement by
+            // construction — report it that way instead of re-timing the
+            // identical code and calling the noise a speedup.
+            let par_s = if gated { seq_s } else { best_secs(2, || algo.compute(points.clone())) };
             let speedup = seq_s / par_s;
             print_row(
                 "",
@@ -666,19 +682,26 @@ pub fn parallel(scale: &Scale) {
                     ms(seq_s),
                     ms(par_s),
                     format!("{speedup:.2}x"),
+                    if gated { "yes".into() } else { "no".into() },
                 ],
             );
+            let floor = ParallelDc::min_parallel_points(lanes, dims);
+            let floor_json =
+                if floor == usize::MAX { "null".to_string() } else { floor.to_string() };
             skyline_rows.push(format!(
                 concat!(
                     "{{\"n\": {}, \"dims\": {}, \"lanes\": {}, ",
-                    "\"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.3}}}"
+                    "\"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.3}, ",
+                    "\"gated\": {}, \"min_parallel_points\": {}}}"
                 ),
                 n,
                 dims,
                 lanes,
                 seq_s * 1e3,
                 par_s * 1e3,
-                speedup
+                speedup,
+                gated,
+                floor_json
             ));
         }
     }
@@ -713,12 +736,18 @@ pub fn parallel(scale: &Scale) {
         concat!(
             "{{\n",
             "  \"host_parallelism\": {},\n",
+            "  \"gate\": {{\"spawn_overhead_ns\": {}, \"seq_ns_per_cell\": {:.1}, ",
+            "\"parallel_efficiency\": {:.2}, \"planar_dims\": {}}},\n",
             "  \"skyline\": [\n    {}\n  ],\n",
             "  \"pipeline\": {{\"n\": {}, \"dims\": {}, \"lanes\": {}, ",
             "\"seq_avg_ms\": {:.3}, \"par_avg_ms\": {:.3}, \"speedup\": {:.3}}}\n",
             "}}\n"
         ),
         host,
+        ParallelDc::SPAWN_OVERHEAD_NS,
+        ParallelDc::SEQ_NS_PER_CELL,
+        ParallelDc::PARALLEL_EFFICIENCY,
+        skycache_algos::PLANAR_DIMS,
         skyline_rows.join(",\n    "),
         n,
         dims,
@@ -850,15 +879,87 @@ pub fn obs(scale: &Scale) {
 /// state within a few queries, while a repeated identical pass would
 /// degenerate to pure exact hits and measure the cache instead of the
 /// fetch/merge/skyline hot path. Results are written to
-/// `BENCH_perf.json` (schema `skyperf-bench/1`).
+/// `BENCH_perf.json` (schema `skyperf-bench/2`), including a d ≥ 5
+/// dominance-kernel microbench and per-kernel-generation end-to-end
+/// throughput (the [`Kernel`] generation is flipped in-process around
+/// the block-path runs, then restored to the environment default).
 pub fn perf(scale: &Scale) {
     use std::time::Instant;
 
+    use skycache_geom::{retain_nondominated, Kernel, PointBlock};
     use skycache_obs::names;
 
     use crate::allocations;
 
     println!("\n#### Block path: throughput, allocations/query, coalescing ####");
+
+    // Dominance-kernel microbench: block-vs-block filtering at d >= 5,
+    // where the wide lane-blocked generation amortizes best. The window
+    // is the skyline of an independent sample (exactly what a D&C merge
+    // filters against); the candidate block is raw random data. Both
+    // generations perform identical dominance tests (same row-granular
+    // early exit), so the throughput ratio is a pure kernel comparison.
+    let micro_dims = 6;
+    let micro_cands = 4096;
+    let micro = {
+        use skycache_algos::{Sfs, SkylineAlgorithm};
+        use skycache_datagen::SyntheticGen;
+
+        let cand_pts =
+            SyntheticGen::new(Distribution::Independent, micro_dims, 97).generate(micro_cands);
+        let window_pts =
+            SyntheticGen::new(Distribution::Independent, micro_dims, 89).generate(micro_cands);
+        let window = PointBlock::from_points(&Sfs.compute(window_pts).skyline)
+            .expect("skyline of a nonempty sample is nonempty");
+        let candidates = PointBlock::from_points(&cand_pts).expect("generated data is uniform");
+        let run = |kernel: Kernel| -> (f64, u64) {
+            let mut best = f64::INFINITY;
+            let mut tests = 0;
+            for _ in 0..5 {
+                let mut scratch = candidates.clone();
+                let t0 = Instant::now();
+                let stats =
+                    std::hint::black_box(retain_nondominated(&mut scratch, &window, kernel));
+                best = best.min(t0.elapsed().as_secs_f64());
+                tests = stats.dominance_tests;
+            }
+            (best, tests)
+        };
+        let (scalar_s, tests) = run(Kernel::Scalar);
+        let (wide_s, wide_tests) = run(Kernel::Wide);
+        assert_eq!(tests, wide_tests, "generations must count identically");
+        let speedup = scalar_s / wide_s;
+        print_header(
+            &format!(
+                "Dominance kernel (retain_nondominated, |D| = {micro_dims}, \
+                 {micro_cands} candidates x {} window rows)",
+                window.len()
+            ),
+            &["scalar Mt/s".into(), "wide Mt/s".into(), "speedup".into()],
+        );
+        print_row(
+            "",
+            &[
+                format!("{:.1}", tests as f64 / scalar_s / 1e6),
+                format!("{:.1}", tests as f64 / wide_s / 1e6),
+                format!("{speedup:.2}x"),
+            ],
+        );
+        format!(
+            concat!(
+                "{{\"dims\": {}, \"candidates\": {}, \"window_rows\": {}, ",
+                "\"dominance_tests\": {}, \"scalar_mtests_per_s\": {:.2}, ",
+                "\"wide_mtests_per_s\": {:.2}, \"wide_speedup\": {:.3}}}"
+            ),
+            micro_dims,
+            micro_cands,
+            window.len(),
+            tests,
+            tests as f64 / scalar_s / 1e6,
+            tests as f64 / wide_s / 1e6,
+            speedup
+        )
+    };
 
     let dims = 4;
     let n = scale.mid_n.min(100_000);
@@ -875,30 +976,39 @@ pub fn perf(scale: &Scale) {
 
     // Measured at the paper's default operating point (aMPR with k = 1,
     // the `CbcsConfig` default): the steady-state cached workload the
-    // engine actually runs.
+    // engine actually runs. Best-of-3 on wall clock — each rep replays the
+    // whole workload against a fresh executor, so reps are independent and
+    // the minimum filters out scheduler noise on shared hosts.
     let run_one = |queries: &[Constraints], block_path: bool| -> Measured {
-        let config = CbcsConfig { block_path, ..Default::default() };
-        let mut ex = CbcsExecutor::new(&table, config);
-        let a0 = allocations();
-        let t0 = Instant::now();
-        let records = run_queries(&mut ex, queries);
-        let wall = t0.elapsed().as_secs_f64();
-        let allocs = allocations() - a0;
-        let mut m = Measured {
-            qps: queries.len() as f64 / wall.max(1e-9),
-            allocs_per_query: allocs as f64 / queries.len() as f64,
-            points_read: 0,
-            rq_issued: 0,
-            rq_executed: 0,
-            regions_coalesced: 0,
-        };
-        for r in &records {
-            m.points_read += r.stats.points_read;
-            m.rq_issued += r.stats.range_queries_issued;
-            m.rq_executed += r.stats.range_queries_executed;
-            m.regions_coalesced += r.stats.regions_coalesced;
+        const REPS: usize = 3;
+        let mut best: Option<Measured> = None;
+        for _ in 0..REPS {
+            let config = CbcsConfig { block_path, ..Default::default() };
+            let mut ex = CbcsExecutor::new(&table, config);
+            let a0 = allocations();
+            let t0 = Instant::now();
+            let records = run_queries(&mut ex, queries);
+            let wall = t0.elapsed().as_secs_f64();
+            let allocs = allocations() - a0;
+            let mut m = Measured {
+                qps: queries.len() as f64 / wall.max(1e-9),
+                allocs_per_query: allocs as f64 / queries.len() as f64,
+                points_read: 0,
+                rq_issued: 0,
+                rq_executed: 0,
+                regions_coalesced: 0,
+            };
+            for r in &records {
+                m.points_read += r.stats.points_read;
+                m.rq_issued += r.stats.range_queries_issued;
+                m.rq_executed += r.stats.range_queries_executed;
+                m.regions_coalesced += r.stats.regions_coalesced;
+            }
+            if best.as_ref().is_none_or(|b| m.qps > b.qps) {
+                best = Some(m);
+            }
         }
-        m
+        best.expect("REPS > 0")
     };
 
     let workloads: Vec<(&str, Vec<Constraints>)> = vec![
@@ -909,6 +1019,15 @@ pub fn perf(scale: &Scale) {
     let mut entries = Vec::new();
     for (name, queries) in &workloads {
         let legacy = run_one(queries, false);
+        // Per-kernel-generation end-to-end throughput: pin each generation
+        // in-process around a block-path run so one `repro perf` invocation
+        // covers both, then restore the pin-or-adaptive default for the
+        // headline `block` measurement (what a stock deployment runs).
+        Kernel::set_active(Kernel::Scalar);
+        let block_scalar = run_one(queries, true);
+        Kernel::set_active(Kernel::Wide);
+        let block_wide = run_one(queries, true);
+        Kernel::reset_to_env();
         let block = run_one(queries, true);
         let alloc_reduction = legacy.allocs_per_query / block.allocs_per_query.max(1e-9);
 
@@ -916,7 +1035,12 @@ pub fn perf(scale: &Scale) {
             &format!("{name} workload (q = {}, n = {}, |D| = {dims})", queries.len(), fmt_size(n)),
             &["qps".into(), "allocs/q".into(), "rq exec".into(), "coalesced".into()],
         );
-        for (label, m) in [("legacy", &legacy), ("block", &block)] {
+        for (label, m) in [
+            ("legacy", &legacy),
+            ("block/scalar", &block_scalar),
+            ("block/wide", &block_wide),
+            ("block/auto", &block),
+        ] {
             print_row(
                 label,
                 &[
@@ -952,6 +1076,7 @@ pub fn perf(scale: &Scale) {
                 "      \"queries\": {},\n",
                 "      \"legacy\": {},\n",
                 "      \"block\": {},\n",
+                "      \"kernels\": {{\"scalar_qps\": {:.1}, \"wide_qps\": {:.1}}},\n",
                 "      \"alloc_reduction\": {:.2},\n",
                 "      \"rq_saved_by_coalescing\": {}\n",
                 "    }}"
@@ -960,6 +1085,8 @@ pub fn perf(scale: &Scale) {
             queries.len(),
             fmt_measured(&legacy),
             fmt_measured(&block),
+            block_scalar.qps,
+            block_wide.qps,
             alloc_reduction,
             legacy.rq_executed.saturating_sub(block.rq_executed),
         ));
@@ -968,15 +1095,17 @@ pub fn perf(scale: &Scale) {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"skyperf-bench/1\",\n",
+            "  \"schema\": \"skyperf-bench/2\",\n",
             "  \"n\": {},\n",
             "  \"dims\": {},\n",
             "  \"mpr\": \"aMPR(k=1)\",\n",
+            "  \"kernel_microbench\": {},\n",
             "  \"workloads\": [\n    {}\n  ]\n",
             "}}\n"
         ),
         n,
         dims,
+        micro,
         entries.join(",\n    ")
     );
     match std::fs::write("BENCH_perf.json", &json) {

@@ -20,7 +20,7 @@
 //! license skipping work entirely (exact hits and Case (b)); all other
 //! classes share the MPR machinery.
 
-use skycache_geom::{Constraints, HyperRect, Point, PointBlock};
+use skycache_geom::{Constraints, HyperRect, Kernel, Point, PointBlock};
 
 use crate::mpr::{missing_points_region_multi, MprMode};
 use crate::stability::{classify, Overlap};
@@ -87,8 +87,9 @@ pub fn plan_with_extra(
                 // skylint: allow(no-panic-paths) — Constraints reject zero dimensions.
                 .expect("constraints are at least one-dimensional");
             let mut removed = 0usize;
+            let kernel = Kernel::for_dims(new.dims());
             for row in cached_skyline.rows() {
-                if new.satisfies_coords(row) {
+                if new.satisfies_coords_k(kernel, row) {
                     retained.push_row(row);
                 } else {
                     removed += 1;

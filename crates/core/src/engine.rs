@@ -49,12 +49,17 @@ use crate::{CoreError, Result};
 ///
 /// `Sequential` is the paper's single-threaded pipeline and the default.
 /// `Parallel` fetches a plan's regions over `lanes` concurrent I/O lanes
-/// ([`Table::fetch_plan`] with a multi-lane [`FetchPlan`]) and switches the
-/// skyline stage to [`ParallelDc`] once the merged input reaches
-/// `dc_threshold` points. Both modes produce the same skyline *set* and
-/// identical fetch counters (`points_read`, `heap_fetches`,
-/// `range_queries_*`); only `dominance_tests` and the simulated latency
-/// may differ — see DESIGN.md.
+/// ([`Table::fetch_plan`] with a multi-lane [`FetchPlan`]) and *offers*
+/// the skyline stage to [`ParallelDc`] once the merged input reaches
+/// `dc_threshold` points — the split only actually engages when the
+/// adaptive cost gate ([`ParallelDc::should_engage`]) predicts a win for
+/// the input shape on this host (enough cores, `dims > 2`, input above
+/// the calibrated floor); otherwise the sequential block path runs, so
+/// parallel mode never loses to sequential. `dims == 2` inputs always
+/// take the planar sweep (see [`skyline_route`]). Both modes produce the
+/// same skyline *set* and identical fetch counters (`points_read`,
+/// `heap_fetches`, `range_queries_*`); only `dominance_tests` and the
+/// simulated latency may differ — see DESIGN.md.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecMode {
     /// Single-threaded fetching and skyline computation.
@@ -334,6 +339,41 @@ fn merge_rows(
     }
 }
 
+/// Which kernel the skyline stage will run for a given execution mode
+/// and input shape — the dispatch decision of [`compute_skyline_rows`]
+/// factored out pure so tests can assert it directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkylineRoute {
+    /// `dims == 2`: the planar monotone sweep (no pairwise dominance
+    /// tests), via the block-capable algorithm's own dispatch.
+    Planar,
+    /// The [`ParallelDc`] split: the adaptive cost gate predicts a win.
+    Parallel {
+        /// Resolved worker count the split will use.
+        threads: usize,
+    },
+    /// The configured algorithm's sequential (block) path.
+    Sequential,
+}
+
+/// Routes the skyline stage: planar for d = 2 always (a sorted sweep
+/// beats any dominance-testing kernel, parallel included), the
+/// [`ParallelDc`] split when parallel mode is on *and* the adaptive cost
+/// gate predicts a win for `(n, dims)` on this host, the sequential
+/// block path otherwise.
+pub fn skyline_route(exec: ExecMode, n: usize, dims: usize) -> SkylineRoute {
+    if skycache_algos::planar_applicable(dims) {
+        return SkylineRoute::Planar;
+    }
+    if let ExecMode::Parallel { lanes, dc_threshold } = exec {
+        let pd = ParallelDc { threads: lanes, sequential_threshold: dc_threshold };
+        if pd.should_engage(n, dims) {
+            return SkylineRoute::Parallel { threads: pd.resolved_threads() };
+        }
+    }
+    SkylineRoute::Sequential
+}
+
 /// Block-native skyline stage: runs on flat rows in place, materializing
 /// owned points only for the returned skyline. Algorithms without a
 /// block kernel ([`SkylineAlgorithm::compute_block`] returning `None`)
@@ -349,17 +389,17 @@ fn compute_skyline_rows(
     probe: &mut Probe<'_>,
 ) -> Vec<Point> {
     let n = rows.len() / dims;
-    if let ExecMode::Parallel { lanes, dc_threshold } = exec {
-        if lanes > 1 && n >= dc_threshold {
-            let (tests, report) = ParallelDc { threads: lanes, sequential_threshold: dc_threshold }
-                .compute_rows(rows, dims, sky, out);
-            if probe.detailed() && report.workers > 0 {
-                probe.set_gauge(names::LANES_SKYLINE_WORKERS, report.workers as f64);
-                probe.set_gauge(names::LANES_SKYLINE_IMBALANCE, report.imbalance());
-            }
-            probe.add_counter(names::SKYLINE_DOMINANCE_TESTS, tests);
-            return out.to_points();
+    if let (SkylineRoute::Parallel { .. }, ExecMode::Parallel { lanes, dc_threshold }) =
+        (skyline_route(exec, n, dims), exec)
+    {
+        let (tests, report) = ParallelDc { threads: lanes, sequential_threshold: dc_threshold }
+            .compute_rows(rows, dims, sky, out);
+        if probe.detailed() && report.workers > 0 {
+            probe.set_gauge(names::LANES_SKYLINE_WORKERS, report.workers as f64);
+            probe.set_gauge(names::LANES_SKYLINE_IMBALANCE, report.imbalance());
         }
+        probe.add_counter(names::SKYLINE_DOMINANCE_TESTS, tests);
+        return out.to_points();
     }
     match algo.compute_block(rows, dims, sky, out) {
         Some(tests) => {
@@ -388,8 +428,12 @@ fn compute_skyline(
     points: Vec<Point>,
     probe: &mut Probe<'_>,
 ) -> Vec<Point> {
+    let dims = points.first().map_or(0, Point::dims);
+    let route = skyline_route(exec, points.len(), dims);
     let out = match exec {
-        ExecMode::Parallel { lanes, dc_threshold } if lanes > 1 && points.len() >= dc_threshold => {
+        ExecMode::Parallel { lanes, dc_threshold }
+            if matches!(route, SkylineRoute::Parallel { .. }) =>
+        {
             let (out, report) = ParallelDc { threads: lanes, sequential_threshold: dc_threshold }
                 .compute_with_report(points);
             if probe.detailed() && report.workers > 0 {
@@ -1237,6 +1281,38 @@ mod tests {
         assert_eq!(res.skyline, vec![p(&[0.5, 0.5])]);
         assert!(res.stats.points_read > 0);
         assert_eq!(res.stats.range_queries_issued, 1);
+    }
+
+    #[test]
+    fn skyline_route_planar_wins_at_two_dims() {
+        // d = 2 always takes the planar sweep, even under parallel exec
+        // with thresholds that would otherwise engage the split.
+        let par = ExecMode::Parallel { lanes: 8, dc_threshold: 1 };
+        assert_eq!(skyline_route(par, 1 << 20, 2), SkylineRoute::Planar);
+        assert_eq!(skyline_route(ExecMode::Sequential, 10, 2), SkylineRoute::Planar);
+    }
+
+    #[test]
+    fn skyline_route_gates_the_parallel_split() {
+        // Sequential mode never routes to the split.
+        assert_eq!(skyline_route(ExecMode::Sequential, 1 << 20, 5), SkylineRoute::Sequential);
+        // Tiny inputs fall back to the sequential block path even in
+        // parallel mode: the spawn overhead can't amortize.
+        let par = ExecMode::Parallel { lanes: 4, dc_threshold: 16 };
+        assert_eq!(skyline_route(par, 100, 5), SkylineRoute::Sequential);
+        // A single lane has nothing to split across.
+        let one = ExecMode::Parallel { lanes: 1, dc_threshold: 16 };
+        assert_eq!(skyline_route(one, 1 << 20, 5), SkylineRoute::Sequential);
+        // Large high-dimensional inputs engage exactly when the host can
+        // actually run lanes concurrently — the same decision the gate
+        // makes, asserted here against the route.
+        let engaged = skyline_route(par, 1 << 20, 5);
+        let pd = ParallelDc { threads: 4, sequential_threshold: 16 };
+        if pd.should_engage(1 << 20, 5) {
+            assert_eq!(engaged, SkylineRoute::Parallel { threads: pd.resolved_threads() });
+        } else {
+            assert_eq!(engaged, SkylineRoute::Sequential);
+        }
     }
 
     #[test]

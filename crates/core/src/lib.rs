@@ -78,8 +78,9 @@ pub mod strategy;
 
 pub use cache::{Cache, CacheItem, LookupOutcome, ReplacementPolicy};
 pub use engine::{
-    AlgoChoice, BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor, DynamicCbcsExecutor,
-    ExecMode, Executor, QueryOutcome, QueryRequest, QueryResult, QueryStats, StageTimes,
+    skyline_route, AlgoChoice, BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor,
+    DynamicCbcsExecutor, ExecMode, Executor, QueryOutcome, QueryRequest, QueryResult, QueryStats,
+    SkylineRoute, StageTimes,
 };
 pub use error::CoreError;
 pub use mpr::{missing_points_region, missing_points_region_multi, MprMode, MprOutput};

@@ -117,6 +117,15 @@ impl Aabb {
         self.lo.iter().zip(self.hi.iter()).zip(row).all(|((l, h), c)| l <= c && c <= h)
     }
 
+    /// Kernel-dispatched twin of [`Aabb::contains_coords`]:
+    /// membership-test loops hoist [`crate::Kernel::for_dims`] once and
+    /// pass it here per row.
+    #[inline]
+    pub fn contains_coords_k(&self, kernel: crate::Kernel, row: &[f64]) -> bool {
+        debug_assert_eq!(self.dims(), row.len());
+        kernel.contains(&self.lo, &self.hi, row)
+    }
+
     /// Whether `other` lies entirely inside `self`.
     pub fn contains_box(&self, other: &Aabb) -> bool {
         debug_assert_eq!(self.dims(), other.dims());

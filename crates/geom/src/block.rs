@@ -7,8 +7,7 @@
 //! path performs no per-point allocation and walks memory linearly —
 //! unlike `Vec<Point>`, where every comparison chases a separate `Box`.
 
-use crate::dominance::dominates_raw;
-use crate::{GeomError, Point, Result};
+use crate::{GeomError, Kernel, Point, Result};
 
 /// A dense block of equal-dimensionality points (structure-of-arrays).
 #[derive(Clone, Debug, PartialEq)]
@@ -165,12 +164,34 @@ pub struct BlockFilter {
 
 /// Removes from `candidates` every row strictly dominated by some row of
 /// `window`, compacting survivors in place (stable order, no per-point
-/// allocation).
+/// allocation), under the scalar kernel generation.
+///
+/// Thin wrapper over [`retain_nondominated`] kept for callers that pin
+/// the scalar generation (and for its exact early-exit
+/// `dominance_tests` accounting, which both generations share).
+pub fn filter_block(candidates: &mut PointBlock, window: &PointBlock) -> BlockFilter {
+    retain_nondominated(candidates, window, Kernel::Scalar)
+}
+
+/// Block-vs-block dominance filter: removes from `candidates` every row
+/// strictly dominated by some row of `window` in one pass, compacting
+/// survivors in place (stable order, no per-point allocation), with the
+/// row-level dominance test dispatched to the chosen [`Kernel`]
+/// generation.
+///
+/// Both generations perform the same per-candidate window scan with the
+/// same early exit on the first dominating window row, so `dominance_tests`
+/// and the survivor set are generation-independent — only the cost of each
+/// row-pair test changes.
 ///
 /// `window` and `candidates` may be the same data copied into two blocks,
 /// but aliasing one block for both roles is impossible by construction
 /// (`&mut` vs `&`), which is what makes the in-place compaction sound.
-pub fn filter_block(candidates: &mut PointBlock, window: &PointBlock) -> BlockFilter {
+pub fn retain_nondominated(
+    candidates: &mut PointBlock,
+    window: &PointBlock,
+    kernel: Kernel,
+) -> BlockFilter {
     debug_assert_eq!(candidates.dims(), window.dims());
     let dims = candidates.dims;
     let mut stats = BlockFilter::default();
@@ -180,7 +201,7 @@ pub fn filter_block(candidates: &mut PointBlock, window: &PointBlock) -> BlockFi
         let mut dominated = false;
         for w in window.rows() {
             stats.dominance_tests += 1;
-            if dominates_raw(w, row) {
+            if kernel.dominates(w, row) {
                 dominated = true;
                 break;
             }
@@ -262,6 +283,19 @@ mod tests {
         // Row 1: 2 tests (no hit); row 2: 2 tests; rows 0 and 3: early
         // exit after 1 and 2 tests respectively.
         assert_eq!(stats.dominance_tests, 1 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn retain_nondominated_generations_agree() {
+        let window = block(&[&[1.0, 1.0, 5.0], &[0.0, 3.0, 0.5]]);
+        let rows: &[&[f64]] =
+            &[&[2.0, 2.0, 6.0], &[0.5, 1.5, 0.25], &[1.0, 1.0, 5.0], &[0.0, 4.0, 0.75]];
+        let mut scalar = block(rows);
+        let mut wide = block(rows);
+        let a = retain_nondominated(&mut scalar, &window, Kernel::Scalar);
+        let b = retain_nondominated(&mut wide, &window, Kernel::Wide);
+        assert_eq!(scalar, wide);
+        assert_eq!(a, b, "same tests and removals under both generations");
     }
 
     #[test]

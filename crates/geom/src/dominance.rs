@@ -7,7 +7,7 @@
 //! `[s, ∞)` minus `s` itself; constrained to `C` it becomes
 //! `DR(s, C) = [s, C̄] \ {s}` for `s` satisfying `C`.
 
-use crate::{Aabb, Constraints, Point};
+use crate::{Aabb, Constraints, Kernel, Point};
 
 /// The outcome of comparing two points under Pareto dominance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +122,15 @@ pub fn dominated_by_any(t: &Point, candidates: &[Point]) -> bool {
     candidates.iter().any(|s| dominates(s, t))
 }
 
+/// Rows-based twin of [`dominated_by_any`]: scans a [`crate::PointBlock`]'s
+/// rows directly, so callers holding SoA storage need not materialize
+/// `Point`s, with the row test dispatched to the chosen kernel
+/// generation.
+#[inline]
+pub fn dominated_by_any_rows(t: &[f64], candidates: &crate::PointBlock, kernel: Kernel) -> bool {
+    candidates.rows().any(|s| kernel.dominates(s, t))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +181,19 @@ mod tests {
         let cands = vec![p(&[5.0, 5.0]), p(&[1.0, 1.0])];
         assert!(dominated_by_any(&p(&[2.0, 2.0]), &cands));
         assert!(!dominated_by_any(&p(&[0.5, 0.5]), &cands));
+    }
+
+    #[test]
+    fn dominated_by_any_rows_matches_point_form() {
+        let cands = vec![p(&[5.0, 5.0]), p(&[1.0, 1.0])];
+        let block = crate::PointBlock::from_points(&cands).unwrap();
+        for t in [p(&[2.0, 2.0]), p(&[0.5, 0.5]), p(&[1.0, 1.0])] {
+            let want = dominated_by_any(&t, &cands);
+            for k in [Kernel::Scalar, Kernel::Wide] {
+                assert_eq!(dominated_by_any_rows(t.coords(), &block, k), want, "{t:?} {k:?}");
+            }
+        }
+        let empty = crate::PointBlock::new(2).unwrap();
+        assert!(!dominated_by_any_rows(&[0.0, 0.0], &empty, Kernel::Wide));
     }
 }

@@ -34,17 +34,20 @@ mod error;
 /// Explicit float-comparison helpers (exact vs. tolerance semantics).
 pub mod float;
 mod interval;
+/// Kernel generations (scalar vs. wide) for the dominance inner loops.
+pub mod kernel;
 mod point;
 mod rect;
 /// Box subtraction and disjoint decomposition (the MPR kernel).
 pub mod subtract;
 
 pub use aabb::Aabb;
-pub use block::{filter_block, BlockFilter, PointBlock};
+pub use block::{filter_block, retain_nondominated, BlockFilter, PointBlock};
 pub use constraints::Constraints;
-pub use dominance::{dominates, dominates_weak, DomRelation};
+pub use dominance::{dominated_by_any_rows, dominates, dominates_weak, DomRelation};
 pub use error::GeomError;
 pub use interval::Interval;
+pub use kernel::Kernel;
 pub use point::Point;
 pub use rect::HyperRect;
 

@@ -80,6 +80,28 @@ impl HyperRect {
         self.dims.iter().zip(row).all(|(iv, &c)| iv.contains(c))
     }
 
+    /// Kernel-dispatched twin of [`HyperRect::contains_coords`]. The wide
+    /// generation evaluates every dimension with a branch-free boolean
+    /// accumulate (openness folded into the comparison selection, which is
+    /// loop-invariant per interval) instead of early-exiting, so fetch
+    /// membership scans stay autovectorizer-friendly.
+    #[inline]
+    pub fn contains_coords_k(&self, kernel: crate::Kernel, row: &[f64]) -> bool {
+        debug_assert_eq!(self.dims(), row.len());
+        match kernel {
+            crate::Kernel::Scalar => self.contains_coords(row),
+            crate::Kernel::Wide => {
+                let mut ok = true;
+                for (iv, &c) in self.dims.iter().zip(row) {
+                    let above_lo = if iv.lo_open() { c > iv.lo() } else { c >= iv.lo() };
+                    let below_hi = if iv.hi_open() { c < iv.hi() } else { c <= iv.hi() };
+                    ok &= above_lo & below_hi;
+                }
+                ok
+            }
+        }
+    }
+
     /// Whether two rectangles share at least one point.
     pub fn intersects(&self, other: &HyperRect) -> bool {
         debug_assert_eq!(self.dims(), other.dims());

@@ -6,9 +6,11 @@
 //! order. These invariants are checked on random geometry here.
 
 use proptest::prelude::*;
-use skycache_geom::dominance::{compare, dominated_by_any, dominates, DomRelation};
+use skycache_geom::dominance::{
+    compare, dominated_by_any, dominated_by_any_rows, dominates, DomRelation,
+};
 use skycache_geom::subtract::{disjoint_union, pairwise_disjoint, subtract_box};
-use skycache_geom::{Aabb, HyperRect, Point};
+use skycache_geom::{Aabb, HyperRect, Kernel, Point, PointBlock};
 
 const DIMS: usize = 3;
 
@@ -117,10 +119,17 @@ proptest! {
         prop_assert!(d <= p.dist_sq(&corner) + 1e-12);
     }
 
-    /// dominated_by_any agrees with a naive scan.
+    /// dominated_by_any and its rows-based twin agree with a naive scan
+    /// under both kernel generations.
     #[test]
     fn dominated_by_any_matches_scan(t in point(), cands in prop::collection::vec(point(), 0..8)) {
         let naive = cands.iter().any(|s| dominates(s, &t));
         prop_assert_eq!(dominated_by_any(&t, &cands), naive);
+        let mut block = PointBlock::new(DIMS).expect("nonzero dims");
+        for s in &cands {
+            block.push_row(s.coords());
+        }
+        prop_assert_eq!(dominated_by_any_rows(t.coords(), &block, Kernel::Scalar), naive);
+        prop_assert_eq!(dominated_by_any_rows(t.coords(), &block, Kernel::Wide), naive);
     }
 }
