@@ -9,7 +9,9 @@
 //! while the selected item's contents are cloned out; planning, fetching
 //! and the skyline computation — the expensive parts — run without any
 //! lock; a short *write* lock then records the use and inserts the new
-//! result. A cached item may be evicted between the read and write phases;
+//! result. Telemetry (spans/counters) is collected into locals under a
+//! guard and published only after it drops — skylint's `guard-hold-span`
+//! rule enforces that no guard is live across a recorder call. A cached item may be evicted between the read and write phases;
 //! that is benign (the executor works on its own clone, and `touch` on a
 //! gone item is a no-op), so queries never block each other for longer
 //! than the cache search itself.
@@ -136,14 +138,16 @@ impl Executor for SharedCbcsExecutor<'_> {
         let mut probe = Probe::new(&mut stats, rec.as_mut());
 
         // Phase 1 (read lock): search + clone the selected item out.
-        let selection = {
+        // Timings and counters are collected into locals under the guard
+        // and published once it drops — recorder calls are designated
+        // expensive (guard-hold-span), so nothing observes telemetry
+        // latency while holding the shared lock.
+        let (selection, lookup_elapsed, analysis_elapsed, n_candidates, overlap_scans) = {
             let cache = self.cache.inner.read(); // lock-order: read
             let t0 = Stopwatch::start();
             let lookup = cache.lookup(c);
             let candidates = lookup.items;
-            probe.record_span(Phase::CacheLookup, t0.elapsed());
-            probe.add_counter(names::CACHE_CANDIDATES, candidates.len() as u64);
-            probe.add_counter(names::CACHE_OVERLAP_SCANS, lookup.scans);
+            let lookup_elapsed = t0.elapsed();
 
             let t1 = Stopwatch::start();
             let picked = self
@@ -169,9 +173,12 @@ impl Executor for SharedCbcsExecutor<'_> {
                     };
                     (item.id, item.constraints.clone(), item.skyline.clone(), extra)
                 });
-            probe.record_span(Phase::CaseAnalysis, t1.elapsed());
-            picked
+            (picked, lookup_elapsed, t1.elapsed(), candidates.len() as u64, lookup.scans)
         };
+        probe.record_span(Phase::CacheLookup, lookup_elapsed);
+        probe.record_span(Phase::CaseAnalysis, analysis_elapsed);
+        probe.add_counter(names::CACHE_CANDIDATES, n_candidates);
+        probe.add_counter(names::CACHE_OVERLAP_SCANS, overlap_scans);
 
         // Phase 2 (no lock): plan, fetch, merge, skyline. The executor's
         // own scratch buffers carry the block path — they are private to
@@ -202,13 +209,17 @@ impl Executor for SharedCbcsExecutor<'_> {
         };
         probe.add_counter(names::SKYLINE_RESULT_SIZE, skyline.len() as u64);
 
-        // Phase 3 (write lock): publish the result.
+        // Phase 3 (write lock): publish the result. Same discipline as
+        // Phase 1: the guard covers only the insert; counters go out
+        // after it drops.
         if self.config.cache_results {
-            let mut cache = self.cache.inner.write(); // lock-order: write
-            let evictions_before = cache.evictions();
-            cache.insert(c.clone(), &skyline);
+            let evicted = {
+                let mut cache = self.cache.inner.write(); // lock-order: write
+                let evictions_before = cache.evictions();
+                cache.insert(c.clone(), &skyline);
+                cache.evictions() - evictions_before
+            };
             probe.add_counter(names::CACHE_INSERTIONS, 1);
-            let evicted = cache.evictions() - evictions_before;
             if evicted > 0 {
                 probe.add_counter(names::CACHE_EVICTIONS, evicted);
             }

@@ -33,6 +33,7 @@
 //! with [`Kernel::reset_to_env`].
 
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 use crate::dominance::{compare_raw, dominance_box_coords, dominates_raw, DomRelation};
 use crate::{Aabb, Constraints};
@@ -83,10 +84,25 @@ impl Kernel {
         }
     }
 
+    /// Reads and parses the `SKYCACHE_KERNEL` pin, exactly once per
+    /// process. The sole ambient-environment read in the library (the
+    /// designated `env-read-confinement` site in `skylint.toml`):
+    /// caching the first answer means a mid-run mutation of the
+    /// variable can never flip kernel generations between two loops of
+    /// the same process.
+    fn env_pin() -> Option<Kernel> {
+        static PIN: OnceLock<Option<Kernel>> = OnceLock::new();
+        *PIN.get_or_init(|| {
+            std::env::var("SKYCACHE_KERNEL").ok().and_then(|v| Kernel::from_name(&v))
+        })
+    }
+
     /// The generation pinned by the `SKYCACHE_KERNEL` environment
     /// variable, or `None` when unset or unrecognized (auto selection).
+    /// The variable is read once on first use and the answer is cached
+    /// for the life of the process.
     pub fn from_env() -> Option<Kernel> {
-        std::env::var("SKYCACHE_KERNEL").ok().and_then(|v| Kernel::from_name(&v))
+        Kernel::env_pin()
     }
 
     /// The generation the hot loops should run for `dims`-dimensional

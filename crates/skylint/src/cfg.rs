@@ -1,0 +1,724 @@
+//! Per-function control-flow graphs and the forward dataflow engine.
+//!
+//! PR 2–3 reasoned about guard lifetimes with a *linear* token-extent
+//! heuristic (`symbols::guard_extent`): a let-bound guard lives to the end
+//! of its enclosing block, a chained temporary to the end of its
+//! statement. That is exact for straight-line code but blind to control
+//! flow — it cannot see that `drop(guard)` on one branch kills the guard
+//! there, that an early `return` carries the guard out of the function, or
+//! that a loop back-edge keeps a fact alive across iterations. This
+//! module adds the structure those analyses need:
+//!
+//! 1. [`Cfg::build`] constructs a control-flow graph over the lossless
+//!    AST's token spans: `if`/`else if`/`else` chains branch and re-join,
+//!    `loop`/`while`/`for` bodies get a back edge plus an exit edge,
+//!    `match` blocks fan out one alternative per braced arm (non-braced
+//!    arms, patterns and guards are merged into one extra alternative),
+//!    `return`/`break`/`continue` divert the edge and cut fall-through at
+//!    their statement's `;`, and `?` adds an early-return edge while
+//!    keeping fall-through. Plain blocks, closures and struct literals are
+//!    inlined sequentially — a closure created while a guard is held is
+//!    conservatively assumed to run there.
+//! 2. [`Liveness::compute`] is a small forward **may**-analysis engine:
+//!    facts are gen'd and killed at token positions, node transfer applies
+//!    those events in token order, and the in-sets are iterated to a
+//!    fixpoint over the graph (loop back-edges included). The merge is
+//!    set-union, so a fact live on *any* path into a node is live at the
+//!    node — the sound direction for everything built on top.
+//! 3. [`Liveness::live_at`] answers point queries: which facts are live
+//!    just before executing a given token. The guard-hold-span rule feeds
+//!    it one fact per lock acquisition (gen at the acquisition, kill at
+//!    the `drop`/statement/block boundary) and asks it at every call site.
+//!
+//! Known approximations, all on the over-reporting side for may-analyses:
+//! labeled `break`/`continue` target the innermost loop; `while` / `for`
+//! conditions are evaluated once before the head rather than per
+//! iteration; a `match` merges its non-braced arms into one node.
+
+use crate::ast::{Block, BlockChild};
+use crate::lexer::Token;
+
+/// One CFG node: a set of disjoint token ranges executed straight-line,
+/// plus its edges. Ranges are half-open `[lo, hi)` token-index intervals
+/// in source order; join/head nodes may own no tokens at all.
+#[derive(Clone, Debug, Default)]
+pub struct Node {
+    /// Token ranges belonging to this node, in execution order.
+    pub ranges: Vec<(usize, usize)>,
+    /// Successor node ids.
+    pub succs: Vec<usize>,
+    /// Predecessor node ids (computed once construction finishes).
+    pub preds: Vec<usize>,
+}
+
+/// A per-function control-flow graph over token indexes.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// All nodes; `entry` and `exit` are always present.
+    pub nodes: Vec<Node>,
+    /// Function entry node (owns the body's first tokens).
+    pub entry: usize,
+    /// Single synthetic exit: normal fall-off, `return` and `?` all lead
+    /// here.
+    pub exit: usize,
+}
+
+/// Where a diverting token sends control.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Divert {
+    Return,
+    Break,
+    Continue,
+}
+
+struct Builder<'t> {
+    toks: &'t [Token],
+    nodes: Vec<Node>,
+    exit: usize,
+    /// Innermost-last stack of `(continue_target, break_target)`.
+    loops: Vec<(usize, usize)>,
+}
+
+impl Cfg {
+    /// Builds the CFG of one function body.
+    pub fn build(toks: &[Token], body: &Block) -> Cfg {
+        let mut b = Builder {
+            toks,
+            nodes: vec![Node::default(), Node::default()],
+            exit: 1,
+            loops: Vec::new(),
+        };
+        let last = b.block(body, 0);
+        b.edge(last, 1);
+        let mut cfg = Cfg { nodes: b.nodes, entry: 0, exit: 1 };
+        for i in 0..cfg.nodes.len() {
+            for s in cfg.nodes[i].succs.clone() {
+                if !cfg.nodes[s].preds.contains(&i) {
+                    cfg.nodes[s].preds.push(i);
+                }
+            }
+        }
+        cfg
+    }
+
+    /// An empty CFG (entry → exit) for bodiless signatures.
+    pub fn empty() -> Cfg {
+        let entry = Node { ranges: Vec::new(), succs: vec![1], preds: Vec::new() };
+        let exit = Node { ranges: Vec::new(), succs: Vec::new(), preds: vec![0] };
+        Cfg { nodes: vec![entry, exit], entry: 0, exit: 1 }
+    }
+
+    /// The node whose ranges contain token index `tok`, if any.
+    pub fn node_at(&self, tok: usize) -> Option<usize> {
+        self.nodes.iter().position(|n| n.ranges.iter().any(|&(lo, hi)| lo <= tok && tok < hi))
+    }
+}
+
+impl Builder<'_> {
+    fn new_node(&mut self) -> usize {
+        self.nodes.push(Node::default());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.nodes[from].succs.contains(&to) {
+            self.nodes[from].succs.push(to);
+        }
+    }
+
+    fn new_succ(&mut self, from: usize) -> usize {
+        let n = self.new_node();
+        self.edge(from, n);
+        n
+    }
+
+    fn add_range(&mut self, node: usize, lo: usize, hi: usize) {
+        let hi = hi.min(self.toks.len());
+        if lo < hi {
+            self.nodes[node].ranges.push((lo, hi));
+        }
+    }
+
+    fn divert_edge(&mut self, from: usize, d: Divert) {
+        let to = match d {
+            Divert::Return => self.exit,
+            // `break`/`continue` outside a loop cannot occur in valid
+            // Rust; route to exit so the graph stays connected anyway.
+            Divert::Break => self.loops.last().map_or(self.exit, |&(_, brk)| brk),
+            Divert::Continue => self.loops.last().map_or(self.exit, |&(cont, _)| cont),
+        };
+        self.edge(from, to);
+    }
+
+    /// Lays a block's children into the graph starting at `cur`, returning
+    /// the node control falls out of. The block's closing brace is part of
+    /// the final range, so facts killed "at end of block" have a token to
+    /// die at.
+    fn block(&mut self, block: &Block, mut cur: usize) -> usize {
+        let mut pos = block.span.lo + 1;
+        let children = &block.children;
+        let mut i = 0;
+        while i < children.len() {
+            let (lo, hi) = match &children[i] {
+                BlockChild::Block(b) => (b.span.lo, b.span.hi),
+                BlockChild::Item(it) => (it.span.lo, it.span.hi),
+            };
+            let seg_lo = pos;
+            cur = self.loose(pos, lo, cur);
+            match &children[i] {
+                // Nested items (fns defined in the body) have their own
+                // CFGs; their tokens do not execute here.
+                BlockChild::Item(_) => {
+                    pos = hi;
+                    i += 1;
+                }
+                BlockChild::Block(cb) => match keyword_before(self.toks, seg_lo, lo) {
+                    Some("if") => {
+                        let (ni, npos, join) = self.if_chain(children, i, cur);
+                        i = ni;
+                        pos = npos;
+                        cur = join;
+                    }
+                    Some("match") => {
+                        cur = self.match_block(cb, cur);
+                        pos = hi;
+                        i += 1;
+                    }
+                    Some("loop") | Some("while") | Some("for") => {
+                        cur = self.loop_block(cb, cur);
+                        pos = hi;
+                        i += 1;
+                    }
+                    _ => {
+                        cur = self.block(cb, cur);
+                        pos = hi;
+                        i += 1;
+                    }
+                },
+            }
+        }
+        self.loose(pos, block.span.hi, cur)
+    }
+
+    /// Emits a run of loose (non-block) tokens into `cur`, splitting the
+    /// node when a `return`/`break`/`continue` statement ends (hard
+    /// divert: no fall-through) and adding early-exit edges for `?` and
+    /// for diverts in tail-expression position (soft: fall-through kept).
+    fn loose(&mut self, lo: usize, hi: usize, mut cur: usize) -> usize {
+        let hi = hi.min(self.toks.len());
+        let mut seg = lo;
+        let mut depth = 0i32;
+        let mut pending: Option<Divert> = None;
+        for i in lo..hi {
+            let t = &self.toks[i];
+            if t.is_comment() {
+                continue;
+            }
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "?" => self.divert_edge(cur, Divert::Return),
+                "return" => pending = Some(Divert::Return),
+                "break" => pending = Some(Divert::Break),
+                "continue" => pending = Some(Divert::Continue),
+                ";" if depth <= 0 => {
+                    if let Some(d) = pending.take() {
+                        self.add_range(cur, seg, i + 1);
+                        self.divert_edge(cur, d);
+                        cur = self.new_node();
+                        seg = i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.add_range(cur, seg, hi);
+        if let Some(d) = pending {
+            // Divert in tail position (`=> return e,`, `break` before a
+            // `}`): add the edge but keep fall-through, so sibling paths
+            // sharing this node are not severed.
+            self.divert_edge(cur, d);
+        }
+        cur
+    }
+
+    /// `if`/`else if`/`else` chain starting at the then-block
+    /// `children[i]`, whose condition tokens already sit in `cond`.
+    /// Returns `(next child index, next token position, join node)`.
+    fn if_chain(
+        &mut self,
+        children: &[BlockChild],
+        i: usize,
+        cond: usize,
+    ) -> (usize, usize, usize) {
+        let BlockChild::Block(then_b) = &children[i] else {
+            return (i + 1, child_hi(&children[i]), cond);
+        };
+        let join = self.new_node();
+        let then_entry = self.new_succ(cond);
+        let then_exit = self.block(then_b, then_entry);
+        self.edge(then_exit, join);
+        let then_hi = then_b.span.hi;
+
+        // An `else` keyword directly after the then-block chains on.
+        let next_lo = children.get(i + 1).map(child_lo).unwrap_or(usize::MAX);
+        let is_else = next_code_in(self.toks, then_hi, next_lo.min(self.toks.len()))
+            .is_some_and(|j| self.toks[j].is_ident("else"));
+        if is_else {
+            if let Some(BlockChild::Block(next_b)) = children.get(i + 1) {
+                let else_node = self.new_succ(cond);
+                let else_cur = self.loose(then_hi, next_b.span.lo, else_node);
+                let else_if = next_code_in(self.toks, then_hi, next_b.span.lo)
+                    .and_then(|j| next_code_in(self.toks, j + 1, next_b.span.lo))
+                    .is_some_and(|j| self.toks[j].is_ident("if"));
+                if else_if {
+                    let (ni, npos, inner_join) = self.if_chain(children, i + 1, else_cur);
+                    self.edge(inner_join, join);
+                    return (ni, npos, join);
+                }
+                let else_exit = self.block(next_b, else_cur);
+                self.edge(else_exit, join);
+                return (i + 2, next_b.span.hi, join);
+            }
+        }
+        self.edge(cond, join);
+        (i + 1, then_hi, join)
+    }
+
+    /// A `match` body: each braced arm is one alternative; patterns,
+    /// guards and non-braced arms merge into one extra alternative node.
+    fn match_block(&mut self, mb: &Block, cur: usize) -> usize {
+        let join = self.new_node();
+        let misc = self.new_succ(cur);
+        let mut misc_cur = misc;
+        let mut pos = mb.span.lo + 1;
+        for child in &mb.children {
+            let (lo, hi) = (child_lo(child), child_hi(child));
+            misc_cur = self.loose(pos, lo, misc_cur);
+            if let BlockChild::Block(b) = child {
+                let entry = self.new_succ(cur);
+                let exit = self.block(b, entry);
+                self.edge(exit, join);
+            }
+            pos = hi;
+        }
+        misc_cur = self.loose(pos, mb.span.hi, misc_cur);
+        self.edge(misc_cur, join);
+        join
+    }
+
+    /// A `loop`/`while`/`for` body: empty head node with a back edge from
+    /// the body's exit and an escape edge to the node after the loop.
+    fn loop_block(&mut self, b: &Block, cur: usize) -> usize {
+        let head = self.new_succ(cur);
+        let after = self.new_node();
+        self.loops.push((head, after));
+        let body_entry = self.new_succ(head);
+        let body_exit = self.block(b, body_entry);
+        self.edge(body_exit, head);
+        self.loops.pop();
+        self.edge(head, after);
+        after
+    }
+}
+
+fn child_lo(c: &BlockChild) -> usize {
+    match c {
+        BlockChild::Block(b) => b.span.lo,
+        BlockChild::Item(it) => it.span.lo,
+    }
+}
+
+fn child_hi(c: &BlockChild) -> usize {
+    match c {
+        BlockChild::Block(b) => b.span.hi,
+        BlockChild::Item(it) => it.span.hi,
+    }
+}
+
+/// First non-comment token index in `[lo, hi)`.
+fn next_code_in(toks: &[Token], lo: usize, hi: usize) -> Option<usize> {
+    (lo..hi.min(toks.len())).find(|&j| !toks[j].is_comment())
+}
+
+/// The control keyword governing a block that opens at `block_lo`, found
+/// by scanning the loose range `[seg_lo, block_lo)` backwards: the
+/// nearest of `if`/`match`/`loop`/`while`/`for` before the brace, not
+/// separated from it by a `;`. Balanced `(…)`/`[…]` groups are skipped
+/// whole so parenthesized conditions don't hide their keyword.
+fn keyword_before(toks: &[Token], seg_lo: usize, block_lo: usize) -> Option<&str> {
+    let mut i = block_lo;
+    while i > seg_lo {
+        i -= 1;
+        let t = &toks[i];
+        if t.is_comment() {
+            continue;
+        }
+        if t.is_op(")") || t.is_op("]") {
+            let open = if t.is_op(")") { "(" } else { "[" };
+            let close = t.text.as_str();
+            let mut depth = 1i32;
+            while i > seg_lo && depth > 0 {
+                i -= 1;
+                if toks[i].is_op(close) {
+                    depth += 1;
+                } else if toks[i].is_op(open) {
+                    depth -= 1;
+                }
+            }
+            continue;
+        }
+        if t.is_op(";") {
+            return None;
+        }
+        if matches!(t.text.as_str(), "if" | "match" | "loop" | "while" | "for") {
+            return Some(match t.text.as_str() {
+                "if" => "if",
+                "match" => "match",
+                "loop" => "loop",
+                "while" => "while",
+                _ => "for",
+            });
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Forward may-dataflow
+// ---------------------------------------------------------------------------
+
+/// One dataflow fact: generated at `gen_tok`, killed at any of
+/// `kill_toks`. For guard liveness: gen at the acquisition's method
+/// token, kill at the guard's drop points (explicit `drop(g)` sites, the
+/// statement `;` for temporaries, the block's closing `}` for let-bound
+/// guards).
+#[derive(Clone, Debug)]
+pub struct FactDef {
+    /// Token index generating the fact (the fact is live *after* it).
+    pub gen_tok: usize,
+    /// Token indexes killing the fact (dead *at* each of them).
+    pub kill_toks: Vec<usize>,
+}
+
+/// Fixpoint solution of a forward may-analysis: per-node fact bitmask at
+/// node entry. At most 64 facts are tracked (far above any real
+/// function's acquisition count); excess facts are ignored.
+pub struct Liveness {
+    input: Vec<u64>,
+    facts: Vec<FactDef>,
+}
+
+impl Liveness {
+    /// Runs gen/kill propagation over `cfg` to a fixpoint.
+    pub fn compute(cfg: &Cfg, facts: &[FactDef]) -> Liveness {
+        let facts: Vec<FactDef> = facts.iter().take(64).cloned().collect();
+        let mut input = vec![0u64; cfg.nodes.len()];
+        let mut output = vec![0u64; cfg.nodes.len()];
+        loop {
+            let mut changed = false;
+            for (i, node) in cfg.nodes.iter().enumerate() {
+                let mut in_bits = 0u64;
+                for &p in &node.preds {
+                    in_bits |= output[p];
+                }
+                let out_bits = transfer(node, in_bits, &facts, usize::MAX);
+                if in_bits != input[i] || out_bits != output[i] {
+                    input[i] = in_bits;
+                    output[i] = out_bits;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Liveness { input, facts }
+    }
+
+    /// Fact indexes live just before executing token `tok`. Tokens
+    /// outside every node (unreachable or structural) report no facts.
+    pub fn live_at(&self, cfg: &Cfg, tok: usize) -> Vec<usize> {
+        let Some(n) = cfg.node_at(tok) else { return Vec::new() };
+        let bits = transfer(&cfg.nodes[n], self.input[n], &self.facts, tok);
+        (0..self.facts.len()).filter(|&f| bits & (1u64 << f) != 0).collect()
+    }
+}
+
+/// Applies a node's gen/kill events in token order to `bits`, stopping
+/// before token `until` (exclusive).
+fn transfer(node: &Node, mut bits: u64, facts: &[FactDef], until: usize) -> u64 {
+    for &(lo, hi) in &node.ranges {
+        for tok in lo..hi.min(until) {
+            for (f, fact) in facts.iter().enumerate() {
+                if fact.gen_tok == tok {
+                    bits |= 1u64 << f;
+                } else if fact.kill_toks.contains(&tok) {
+                    bits &= !(1u64 << f);
+                }
+            }
+        }
+        if hi > until {
+            break;
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceModel;
+    use crate::parser::parse;
+    use crate::symbols::{extract_fns, EventKind, FnDef};
+
+    fn defs(src: &str) -> (SourceModel, Vec<FnDef>) {
+        let model = SourceModel::build("lib/src/x.rs".into(), src);
+        let file = parse(&model.tokens);
+        let fns = extract_fns(&model, &file);
+        (model, fns)
+    }
+
+    fn cfg_of<'a>(fns: &'a [FnDef], name: &str) -> &'a Cfg {
+        &fns.iter().find(|f| f.name == name).unwrap_or_else(|| panic!("no fn {name}")).cfg
+    }
+
+    /// Token index of the first occurrence of `text` in the model.
+    fn tok(model: &SourceModel, text: &str) -> usize {
+        model
+            .tokens
+            .iter()
+            .position(|t| t.text == text)
+            .unwrap_or_else(|| panic!("no token {text:?}"))
+    }
+
+    #[test]
+    fn straight_line_is_one_path() {
+        let (_, fns) = defs("fn f() { let a = 1; let b = a + 1; }\n");
+        let cfg = cfg_of(&fns, "f");
+        // entry flows (possibly through trivial nodes) to exit.
+        assert!(cfg.nodes[cfg.entry].succs.contains(&cfg.exit));
+        // every body token is owned by exactly one node.
+        for i in 0..cfg.nodes.len() {
+            for &(lo, hi) in &cfg.nodes[i].ranges {
+                for t in lo..hi {
+                    assert_eq!(cfg.node_at(t), Some(i), "token {t} multiply owned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn if_else_branches_and_rejoins() {
+        let (model, fns) = defs(
+            "fn f(c: bool) -> u32 {\n\
+                 let mut x = 0;\n\
+                 if c { x = then_side(); } else { x = else_side(); }\n\
+                 after(x)\n\
+             }\n\
+             fn then_side() -> u32 { 1 }\n\
+             fn else_side() -> u32 { 2 }\n\
+             fn after(x: u32) -> u32 { x }\n",
+        );
+        let cfg = cfg_of(&fns, "f");
+        let cond = cfg.node_at(tok(&model, "if")).expect("cond token");
+        let then_n = cfg.node_at(tok(&model, "then_side")).expect("then");
+        let else_n = cfg.node_at(tok(&model, "else_side")).expect("else");
+        let after_n = cfg.node_at(tok(&model, "after")).expect("after");
+        assert_ne!(then_n, else_n);
+        // The branch reaches both sides (possibly through entry nodes).
+        let reaches = |from: usize, to: usize| -> bool {
+            let mut seen = vec![false; cfg.nodes.len()];
+            let mut stack = vec![from];
+            while let Some(n) = stack.pop() {
+                if n == to {
+                    return true;
+                }
+                if !std::mem::replace(&mut seen[n], true) {
+                    stack.extend(cfg.nodes[n].succs.iter().copied());
+                }
+            }
+            false
+        };
+        assert!(reaches(cond, then_n));
+        assert!(reaches(cond, else_n));
+        assert!(reaches(then_n, after_n));
+        assert!(reaches(else_n, after_n));
+        // The two arms are exclusive: neither reaches the other.
+        assert!(!reaches(then_n, else_n));
+        assert!(!reaches(else_n, then_n));
+    }
+
+    #[test]
+    fn loops_have_back_edges() {
+        let (model, fns) = defs(
+            "fn f(xs: &[u32]) -> u32 {\n\
+                 let mut acc = 0;\n\
+                 for x in xs { acc += body(*x); }\n\
+                 acc\n\
+             }\n\
+             fn body(x: u32) -> u32 { x }\n",
+        );
+        let cfg = cfg_of(&fns, "f");
+        let body_n = cfg.node_at(tok(&model, "body")).expect("loop body");
+        // Some cycle passes through the body node.
+        let mut seen = vec![false; cfg.nodes.len()];
+        let mut stack = vec![body_n];
+        let mut cycles = false;
+        while let Some(n) = stack.pop() {
+            for &s in &cfg.nodes[n].succs {
+                if s == body_n {
+                    cycles = true;
+                }
+                if !std::mem::replace(&mut seen[s], true) {
+                    stack.push(s);
+                }
+            }
+        }
+        assert!(cycles, "loop body must sit on a cycle");
+    }
+
+    #[test]
+    fn early_return_cuts_fall_through() {
+        let (model, fns) = defs(
+            "fn f(c: bool) -> u32 {\n\
+                 if c {\n\
+                     return early();\n\
+                 }\n\
+                 late()\n\
+             }\n\
+             fn early() -> u32 { 1 }\n\
+             fn late() -> u32 { 2 }\n",
+        );
+        let cfg = cfg_of(&fns, "f");
+        let ret_n = cfg.node_at(tok(&model, "early")).expect("return node");
+        let late_n = cfg.node_at(tok(&model, "late")).expect("late node");
+        assert!(cfg.nodes[ret_n].succs.contains(&cfg.exit), "return edges to exit");
+        // The return node must not fall through to the code after the if.
+        let mut seen = vec![false; cfg.nodes.len()];
+        let mut stack: Vec<usize> = cfg.nodes[ret_n].succs.clone();
+        while let Some(n) = stack.pop() {
+            assert_ne!(n, late_n, "return must not reach the tail");
+            if !std::mem::replace(&mut seen[n], true) {
+                stack.extend(cfg.nodes[n].succs.iter().copied());
+            }
+        }
+    }
+
+    #[test]
+    fn question_mark_keeps_fall_through_and_adds_exit_edge() {
+        let (model, fns) = defs(
+            "fn f() -> Result<u32, E> {\n\
+                 let v = fallible()?;\n\
+                 Ok(tail(v))\n\
+             }\n\
+             fn fallible() -> Result<u32, E> { Ok(1) }\n\
+             fn tail(v: u32) -> u32 { v }\n",
+        );
+        let cfg = cfg_of(&fns, "f");
+        let q = cfg.node_at(tok(&model, "fallible")).expect("fallible node");
+        assert!(cfg.nodes[q].succs.contains(&cfg.exit), "? adds an exit edge");
+        // Fall-through to the tail still exists.
+        assert!(cfg.node_at(tok(&model, "tail")).is_some());
+    }
+
+    #[test]
+    fn match_arms_are_alternatives() {
+        let (model, fns) = defs(
+            "fn f(x: Option<u32>) -> u32 {\n\
+                 match x {\n\
+                     Some(v) => { left(v) }\n\
+                     None => { right() }\n\
+                 }\n\
+             }\n\
+             fn left(v: u32) -> u32 { v }\n\
+             fn right() -> u32 { 0 }\n",
+        );
+        let cfg = cfg_of(&fns, "f");
+        let l = cfg.node_at(tok(&model, "left")).expect("left arm");
+        let r = cfg.node_at(tok(&model, "right")).expect("right arm");
+        assert_ne!(l, r, "braced arms are distinct alternatives");
+    }
+
+    #[test]
+    fn liveness_respects_branch_kills() {
+        // A guard killed by drop() on one branch only: live after the
+        // join (may-analysis), dead only between drop and the join.
+        let (model, fns) = defs(
+            "fn f(c: bool) {\n\
+                 let g = self_lock();\n\
+                 if c {\n\
+                     drop(g);\n\
+                     mid();\n\
+                 }\n\
+                 tail();\n\
+             }\n\
+             fn self_lock() -> u32 { 1 }\n\
+             fn mid() {}\n\
+             fn tail() {}\n",
+        );
+        let cfg = cfg_of(&fns, "f");
+        let gen_tok = tok(&model, "self_lock");
+        let drop_tok = tok(&model, "drop");
+        let facts = [FactDef { gen_tok, kill_toks: vec![drop_tok] }];
+        let live = Liveness::compute(cfg, &facts);
+        assert!(!live.live_at(cfg, tok(&model, "drop")).is_empty(), "live entering drop");
+        assert!(live.live_at(cfg, tok(&model, "mid")).is_empty(), "dead after drop");
+        assert!(
+            !live.live_at(cfg, tok(&model, "tail")).is_empty(),
+            "live at join (untaken branch)"
+        );
+    }
+
+    /// Differential check against the linear guard-extent heuristic in
+    /// `symbols.rs`: on straight-line code the CFG liveness and the
+    /// `held_until` extents must agree token-for-token.
+    #[test]
+    fn liveness_matches_linear_extents_on_straight_line_code() {
+        let (model, fns) = defs(
+            "impl Shared {\n\
+                 fn protocol(&self) -> usize {\n\
+                     let n = {\n\
+                         let g = self.inner.read(); // lock-order: read\n\
+                         g.len()\n\
+                     };\n\
+                     let m = self.clock.write().touch(n); // lock-order: write\n\
+                     n + m\n\
+                 }\n\
+             }\n",
+        );
+        let f = fns.iter().find(|f| f.name == "protocol").expect("protocol fn");
+        let acquires: Vec<(usize, usize)> = f
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Acquire { held_until, .. } => Some((e.tok, *held_until)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acquires.len(), 2, "{:?}", f.events);
+        let facts: Vec<FactDef> = acquires
+            .iter()
+            .map(|&(gen_tok, held)| FactDef { gen_tok, kill_toks: vec![held] })
+            .collect();
+        let live = Liveness::compute(&f.cfg, &facts);
+        let (body_lo, body_hi) = f.body_span.expect("body");
+        for t in body_lo..body_hi {
+            if f.cfg.node_at(t).is_none() {
+                continue; // structural token (opening brace)
+            }
+            let got = live.live_at(&f.cfg, t);
+            for (i, &(gen_tok, held)) in acquires.iter().enumerate() {
+                // `held_until` is inclusive: the guard is live *through*
+                // that token, dying immediately after it.
+                let want = gen_tok < t && t <= held;
+                assert_eq!(
+                    got.contains(&i),
+                    want,
+                    "guard {i} at token {t} ({:?}): linear extent ({gen_tok}, {held})",
+                    model.tokens[t].text
+                );
+            }
+        }
+    }
+}

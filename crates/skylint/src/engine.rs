@@ -97,6 +97,36 @@ pub struct Policy {
     /// call tree (hot-path-alloc): kernels return stats by value, the
     /// engine publishes them. Empty disables the check.
     pub recorder_idents: Vec<String>,
+    /// Files/dirs whose functions are checked by guard-hold-span.
+    /// Empty disables the rule.
+    pub guard_span_files: Vec<String>,
+    /// Designators (`fn` or `Type::fn`) of expensive operations a live
+    /// lock guard must not span; callees reaching one transitively over
+    /// the call graph count too. Empty disables guard-hold-span.
+    pub expensive_calls: Vec<String>,
+    /// Designators never treated as expensive, cutting transitive
+    /// propagation through them: the publish steps a guard *exists* to
+    /// cover (and known victims of name-only call resolution).
+    pub expensive_exempt: Vec<String>,
+    /// Type-name prefixes treated as synchronized when they appear in a
+    /// captured binding's declaration (capture-race): `Atomic` covers
+    /// AtomicUsize/AtomicU8/…, `Mutex` covers Mutex<T>.
+    pub sync_types: Vec<String>,
+    /// Function designators allowed to read the process environment
+    /// (env-read-confinement): the once-style init/pin functions.
+    pub env_allowed_fns: Vec<String>,
+    /// Files/dirs additionally allowed to read the process environment.
+    pub env_allowed_files: Vec<String>,
+    /// Files/dirs checked by range-taint. Empty disables the rule.
+    pub taint_files: Vec<String>,
+    /// Call names whose results are tainted (range-taint sources:
+    /// byte/endpoint decoders and parsers).
+    pub taint_sources: Vec<String>,
+    /// Call names that must not receive tainted values (range scans and
+    /// allocation-size sinks).
+    pub taint_sinks: Vec<String>,
+    /// Call names that bless a tainted argument (range-taint validators).
+    pub taint_validators: Vec<String>,
 }
 
 impl Policy {
@@ -161,12 +191,39 @@ impl Policy {
             ),
             alloc_macros: list_or("rules.hot-path-alloc.macros", &["vec", "format"]),
             recorder_idents: list_or("rules.hot-path-alloc.recorder-idents", &[]),
+            guard_span_files: list_or("rules.guard-hold-span.files", &[]),
+            expensive_calls: list_or("rules.guard-hold-span.expensive", &[]),
+            expensive_exempt: list_or("rules.guard-hold-span.exempt", &[]),
+            sync_types: list_or(
+                "rules.capture-race.sync-types",
+                &["Mutex", "RwLock", "Atomic", "mpsc", "channel", "Condvar", "Barrier", "Once"],
+            ),
+            env_allowed_fns: list_or("rules.env-read-confinement.allowed-fns", &[]),
+            env_allowed_files: list_or("rules.env-read-confinement.allowed-files", &[]),
+            taint_files: list_or("rules.range-taint.files", &[]),
+            taint_sources: list_or(
+                "rules.range-taint.sources",
+                &[
+                    "get_u16_le",
+                    "get_u32_le",
+                    "get_u64_le",
+                    "get_f64_le",
+                    "from_le_bytes",
+                    "from_be_bytes",
+                    "parse",
+                ],
+            ),
+            taint_sinks: list_or(
+                "rules.range-taint.sinks",
+                &["locate", "with_capacity", "reserve"],
+            ),
+            taint_validators: list_or("rules.range-taint.validators", &[]),
         }
     }
 }
 
 /// Every `section.key` the config may set. Anything else is a hard error.
-const KNOWN_KEYS: [&str; 20] = [
+const KNOWN_KEYS: [&str; 30] = [
     "paths.include",
     "paths.exclude",
     "crates.library",
@@ -187,6 +244,16 @@ const KNOWN_KEYS: [&str; 20] = [
     "rules.hot-path-alloc.calls",
     "rules.hot-path-alloc.macros",
     "rules.hot-path-alloc.recorder-idents",
+    "rules.guard-hold-span.files",
+    "rules.guard-hold-span.expensive",
+    "rules.guard-hold-span.exempt",
+    "rules.capture-race.sync-types",
+    "rules.env-read-confinement.allowed-fns",
+    "rules.env-read-confinement.allowed-files",
+    "rules.range-taint.files",
+    "rules.range-taint.sources",
+    "rules.range-taint.sinks",
+    "rules.range-taint.validators",
 ];
 
 /// Panic-fact kinds `[rules.panic-reachability].sources` may name.

@@ -18,12 +18,20 @@
 //! parser over the token stream, a per-file symbol/event extraction pass
 //! and a workspace call graph — no `syn`, no network dependencies —
 //! consistent with this workspace's vendored-offline build (see
-//! `vendor/README.md`). On top of the call graph run four dataflow rule
-//! families: **lock-order** (inter-procedural lock-acquisition graph,
-//! cycle detection, annotation verification), **panic-reachability**
-//! (transitive may-panic facts into public APIs), **hot-path-alloc**
-//! (allocation machinery reachable from designated kernels) and
-//! **dead-allow** (escape comments that no longer suppress anything).
+//! `vendor/README.md`). On top of the call graph run the whole-program
+//! rule families: **lock-order** (inter-procedural lock-acquisition
+//! graph, cycle detection, annotation verification),
+//! **panic-reachability** (transitive may-panic facts into public
+//! APIs), **hot-path-alloc** (allocation machinery reachable from
+//! designated kernels) and **dead-allow** (escape comments that no
+//! longer suppress anything; `check --fix-dead-allows` repairs them).
+//! A per-function control-flow graph and forward gen/kill liveness
+//! engine ([`cfg`]) power four more: **guard-hold-span** (lock guards
+//! live across transitively expensive calls), **capture-race**
+//! (spawned closures mutating unsynchronized captured locals read
+//! after the spawn), **env-read-confinement** (ambient environment
+//! reads outside the sanctioned pin functions) and **range-taint**
+//! (decoded sizes reaching allocation sinks unvalidated).
 //! Run it with:
 //!
 //! ```text
@@ -33,7 +41,7 @@
 //!
 //! Policy knobs live in `skylint.toml` at the repository root; per-line
 //! escapes use `// skylint: allow(<rule>) — <justification>`. See
-//! DESIGN.md §9–§10 for the rationale of every rule.
+//! DESIGN.md §9–§10 and §14 for the rationale of every rule.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -41,6 +49,7 @@
 
 pub mod ast;
 pub mod callgraph;
+pub mod cfg;
 pub mod config;
 pub mod engine;
 pub mod lexer;

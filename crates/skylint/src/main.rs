@@ -1,5 +1,7 @@
 //! `skylint` CLI: `check`, `explain <rule>`, `rules`.
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -14,10 +16,17 @@ skylint — static analysis for the skycache workspace
 
 USAGE:
     skylint check [--root PATH] [--config PATH] [--json] [--bench-out PATH] [--quiet]
+                  [--fix-dead-allows [--dry-run]]
     skylint explain <rule>
     skylint rules
 
-Exit codes: 0 clean · 1 violations found · 2 usage or I/O error.";
+`--fix-dead-allows` rewrites source files to drop `skylint: allow(…)`
+annotations the dead-allow rule reports as suppressing nothing; with
+`--dry-run` it prints the edits as a -/+ diff and writes nothing.
+
+Exit codes: 0 clean · 1 violations found · 2 usage or I/O error.
+With --fix-dead-allows (no --dry-run), repaired dead-allow findings do
+not count as violations; anything else still exits 1.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +67,8 @@ fn check(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut quiet = false;
     let mut bench_out: Option<PathBuf> = None;
+    let mut fix_dead = false;
+    let mut dry_run = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -76,8 +87,13 @@ fn check(args: &[String]) -> ExitCode {
             },
             "--json" => json = true,
             "--quiet" => quiet = true,
+            "--fix-dead-allows" => fix_dead = true,
+            "--dry-run" => dry_run = true,
             other => return usage_err(&format!("unknown argument {other:?}")),
         }
+    }
+    if dry_run && !fix_dead {
+        return usage_err("--dry-run only makes sense with --fix-dead-allows");
     }
 
     // Default config: <root>/skylint.toml when present.
@@ -109,7 +125,7 @@ fn check(args: &[String]) -> ExitCode {
     let policy = Policy::from_config(&cfg);
 
     let t0 = Instant::now();
-    let outcome = match scan(&root, &policy) {
+    let mut outcome = match scan(&root, &policy) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("skylint: scan failed: {e}");
@@ -117,6 +133,28 @@ fn check(args: &[String]) -> ExitCode {
         }
     };
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    if fix_dead {
+        match fix_dead_allows(&root, &outcome.findings, dry_run) {
+            Ok(fixed) if dry_run => {
+                // Preview only: findings (dead-allow included) still count.
+                if fixed == 0 && !quiet {
+                    println!("skylint: no stale allows to fix");
+                }
+            }
+            Ok(fixed) => {
+                if !quiet && fixed > 0 {
+                    println!("skylint: removed {fixed} stale allow annotation(s)");
+                }
+                // The repaired findings are resolved; report the rest.
+                outcome.findings.retain(|f| f.rule != "dead-allow");
+            }
+            Err(e) => {
+                eprintln!("skylint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if let Some(path) = bench_out {
         let record = render_bench(&outcome, &RULE_IDS, wall_ms);
@@ -152,4 +190,90 @@ fn check(args: &[String]) -> ExitCode {
 fn usage_err(msg: &str) -> ExitCode {
     eprintln!("skylint: {msg}\n\n{USAGE}");
     ExitCode::from(2)
+}
+
+/// Applies (or previews, with `dry_run`) the dead-allow auto-fix: every
+/// `dead-allow` finding names an annotation line whose listed rule
+/// suppresses nothing; drop that rule from the annotation, and drop the
+/// whole comment (or comment-only line) when no live rule remains.
+/// Returns the number of stale rule entries removed.
+fn fix_dead_allows(
+    root: &std::path::Path,
+    findings: &[skylint::report::Finding],
+    dry_run: bool,
+) -> Result<usize, String> {
+    // file → line → stale rules on that line.
+    let mut by_file: BTreeMap<&str, BTreeMap<u32, Vec<String>>> = BTreeMap::new();
+    for f in findings.iter().filter(|f| f.rule == "dead-allow") {
+        let rule = f
+            .message
+            .split_once("allow(")
+            .and_then(|(_, rest)| rest.split_once(')'))
+            .map(|(r, _)| r.trim().to_owned())
+            .ok_or_else(|| format!("unparsable dead-allow message: {}", f.message))?;
+        by_file.entry(&f.file).or_default().entry(f.line).or_default().push(rule);
+    }
+
+    let mut removed = 0;
+    for (file, lines) in &by_file {
+        let path = root.join(file);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let had_trailing_newline = src.ends_with('\n');
+        let mut out: Vec<String> = Vec::new();
+        let mut diff = String::new();
+        for (idx, line) in src.lines().enumerate() {
+            let lineno = (idx + 1) as u32;
+            let Some(dead) = lines.get(&lineno) else {
+                out.push(line.to_owned());
+                continue;
+            };
+            removed += dead.len();
+            match strip_allow_rules(line, dead) {
+                Some(new_line) => {
+                    let _ = writeln!(diff, "{file}:{lineno}\n- {line}\n+ {new_line}");
+                    out.push(new_line);
+                }
+                None => {
+                    let _ = writeln!(diff, "{file}:{lineno}\n- {line}");
+                }
+            }
+        }
+        if dry_run {
+            print!("{diff}");
+        } else {
+            let mut new_src = out.join("\n");
+            if had_trailing_newline {
+                new_src.push('\n');
+            }
+            std::fs::write(&path, new_src)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+    }
+    Ok(removed)
+}
+
+/// Rewrites one source line, dropping `dead` rules from its
+/// `// skylint: allow(…)` annotation. `None` means the whole line goes
+/// (the annotation died and nothing but the comment lived there).
+fn strip_allow_rules(line: &str, dead: &[String]) -> Option<String> {
+    let marker = "// skylint: allow(";
+    let start = line.find(marker)?;
+    let open = start + marker.len();
+    let close = open + line[open..].find(')')?;
+    let kept: Vec<&str> = line[open..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|r| !r.is_empty() && !dead.iter().any(|d| d == r))
+        .collect();
+    if kept.is_empty() {
+        let prefix = &line[..start];
+        if prefix.trim().is_empty() {
+            None
+        } else {
+            Some(prefix.trim_end().to_owned())
+        }
+    } else {
+        Some(format!("{}{marker}{}{}", &line[..start], kept.join(", "), &line[close..]))
+    }
 }

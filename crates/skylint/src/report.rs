@@ -1,9 +1,12 @@
 //! Finding types and output formatting (human, JSON, bench record).
 //!
 //! The machine-readable report is versioned: the top-level object carries
-//! `"schema": "skylint-report/2"` and consumers must check it. Schema
-//! history — `/1` was a bare findings array (PR 2); `/2` wraps it in an
-//! object with scan-scale counters. The golden-file test under
+//! `"schema": "skylint-report/3"` and consumers must check it. Schema
+//! history — `/1` was a bare findings array (PR 2); `/2` wrapped it in an
+//! object with scan-scale counters (PR 3); `/3` extends the rule universe
+//! with the CFG-dataflow families (guard-hold-span, capture-race,
+//! env-read-confinement, range-taint), which changes the `rules` list and
+//! the per-rule count map in the bench record. The golden-file test under
 //! `tests/golden/` pins the exact bytes.
 
 use std::fmt::Write as _;
@@ -11,7 +14,7 @@ use std::fmt::Write as _;
 use crate::engine::ScanOutcome;
 
 /// Version tag of the `--json` report format.
-pub const REPORT_SCHEMA: &str = "skylint-report/2";
+pub const REPORT_SCHEMA: &str = "skylint-report/3";
 
 /// One policy violation.
 #[derive(Clone, Debug)]
@@ -87,7 +90,7 @@ pub fn render_bench(outcome: &ScanOutcome, rules: &[&str], wall_ms: f64) -> Stri
         .collect::<Vec<_>>()
         .join(",\n");
     format!(
-        "{{\n  \"tool\": \"skylint\",\n  \"schema\": \"skylint-bench/2\",\n  \
+        "{{\n  \"tool\": \"skylint\",\n  \"schema\": \"skylint-bench/3\",\n  \
          \"files_scanned\": {},\n  \"lines_scanned\": {},\n  \
          \"functions_analyzed\": {},\n  \"call_edges\": {},\n  \
          \"rules_run\": [{rule_list}],\n  \"findings_per_rule\": {{\n{per_rule}\n  }},\n  \
@@ -153,7 +156,7 @@ mod tests {
             call_edges: 2,
         };
         let s = render_json(&outcome, &["determinism"]);
-        assert!(s.starts_with("{\n  \"schema\": \"skylint-report/2\","));
+        assert!(s.starts_with("{\n  \"schema\": \"skylint-report/3\","));
         assert!(s.contains("a \\\"quoted\\\" msg"));
         assert!(s.contains("\"functions_analyzed\": 3"));
         assert!(s.trim_end().ends_with('}'));
@@ -171,6 +174,6 @@ mod tests {
         let s = render_bench(&outcome, &["determinism", "lock-order"], 1.5);
         assert!(s.contains("\"determinism\": 2"));
         assert!(s.contains("\"lock-order\": 0"));
-        assert!(s.contains("\"schema\": \"skylint-bench/2\""));
+        assert!(s.contains("\"schema\": \"skylint-bench/3\""));
     }
 }

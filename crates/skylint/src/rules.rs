@@ -22,19 +22,29 @@
 //! | `hot-path-alloc`      | allocation-free designated kernels               |
 //! | `dead-allow`          | every allow annotation still suppresses          |
 //!
+//! CFG + guard-liveness dataflow rules (v3, see `cfg.rs`):
+//!
+//! | id                     | guards                                          |
+//! |------------------------|-------------------------------------------------|
+//! | `guard-hold-span`      | no lock guard live across expensive calls       |
+//! | `capture-race`         | no unsynchronized mutable captures in spawns    |
+//! | `env-read-confinement` | `std::env` reads only in designated pin fns     |
+//! | `range-taint`          | decoded sizes/endpoints validated before sinks  |
+//!
 //! Run `skylint explain <rule>` for the full rationale of each rule.
 
 use std::collections::BTreeMap;
 
 use crate::callgraph::{lock_cycles, Workspace};
+use crate::cfg::{FactDef, Liveness};
 use crate::engine::Policy;
 use crate::lexer::{TokKind, Token};
 use crate::model::SourceModel;
 use crate::report::Finding;
-use crate::symbols::{EventKind, LockKind};
+use crate::symbols::{match_paren, next_code_idx, statement_end, EventKind, LockKind};
 
 /// All rule ids, in reporting order.
-pub const RULE_IDS: [&str; 8] = [
+pub const RULE_IDS: [&str; 12] = [
     "no-panic-paths",
     "determinism",
     "concurrency-hygiene",
@@ -42,6 +52,10 @@ pub const RULE_IDS: [&str; 8] = [
     "lock-order",
     "panic-reachability",
     "hot-path-alloc",
+    "guard-hold-span",
+    "capture-race",
+    "env-read-confinement",
+    "range-taint",
     "dead-allow",
 ];
 
@@ -207,6 +221,108 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              helper re-introduces per-tuple heap traffic that the benches\n\
              only catch after the regression lands. Deliberate staging\n\
              buffers carry `// skylint: allow(hot-path-alloc) — <why>`.",
+        ),
+        "guard-hold-span" => Some(
+            "guard-hold-span — no lock guard may be live across a call into\n\
+             the designated expensive set.\n\
+             \n\
+             For every function in the files under [rules.guard-hold-span]\n\
+             .files, skylint builds the per-function control-flow graph\n\
+             (if/else, loops, match arms, early return/`?`) and runs a\n\
+             forward guard-liveness dataflow: each `.read()`/`.write()`/\n\
+             `.lock()` acquisition generates a fact that dies at the guard's\n\
+             drop point (explicit `drop(g)`, end of statement for chained\n\
+             temporaries, end of block for let-bound guards — Rust drop\n\
+             semantics). A call executed while any guard fact is live is\n\
+             flagged when its callee is *expensive*: it matches a designator\n\
+             in [rules.guard-hold-span].expensive (`fn` or `Type::fn`), or\n\
+             transitively calls one over the workspace call graph. Findings\n\
+             carry the witness chain to the expensive sink.\n\
+             \n\
+             Rationale: the shared multi-user cache only scales if lookups\n\
+             never serialize behind long computations (ROADMAP item 1).\n\
+             Holding the cache RwLock across MPR planning, fetching, skyline\n\
+             compute or Recorder I/O turns every concurrent query into a\n\
+             convoy. The sanctioned protocol is: search and *copy out* under\n\
+             a short read guard, compute unlocked, re-acquire write only to\n\
+             publish. Name-only call resolution over-approximates, so a\n\
+             clean result is sound.\n\
+             \n\
+             Escape hatch: `// skylint: allow(guard-hold-span) — <why>` on\n\
+             the call line, for calls that are cheap despite their name.",
+        ),
+        "capture-race" => Some(
+            "capture-race — closures handed to `spawn` must not mutate\n\
+             state that is also read outside the closure without a\n\
+             synchronization type.\n\
+             \n\
+             At every `spawn(…)` call site in library code skylint inspects\n\
+             the closure argument's body for writes to captured bindings:\n\
+             `x = …`, compound assignment (`x += …`), or taking `&mut x`.\n\
+             A write is flagged when the binding is declared with `let`\n\
+             *outside* the closure, its declaration does not involve one of\n\
+             the types in [rules.capture-race].sync-types (Mutex, RwLock,\n\
+             Atomic*, mpsc, …), and the binding is read again after the\n\
+             closure body — the classic pattern where scoped-thread results\n\
+             race instead of being returned through join handles or\n\
+             channels.\n\
+             \n\
+             Rationale: rustc rejects most capture races, but `thread::scope`\n\
+             plus interior mutability (Cell/RefCell in a single-threaded\n\
+             type, raw pointers in unsafe blocks) and per-iteration re-borrow\n\
+             patterns can compile and still be logically racy or become racy\n\
+             on refactor. The parallel lanes return values through join\n\
+             handles; this rule keeps that discipline mechanical.\n\
+             \n\
+             Escape hatch: `// skylint: allow(capture-race) — <why>` on the\n\
+             mutation line.",
+        ),
+        "env-read-confinement" => Some(
+            "env-read-confinement — process-environment reads are confined\n\
+             to designated init/pin functions.\n\
+             \n\
+             Any `std::env::*` call (var, vars, temp_dir, …) or `env!`/\n\
+             `option_env!` macro in a library, non-test function is flagged\n\
+             unless the enclosing function matches a designator in\n\
+             [rules.env-read-confinement].allowed-fns or the file is listed\n\
+             in .allowed-files. Tool crates (cli, bench, skylint) are not\n\
+             library crates and may read the environment freely.\n\
+             \n\
+             Rationale: ambient environment reads are hidden inputs — they\n\
+             fork behaviour between runs (determinism) and between the\n\
+             serving threads of one process (a worker re-reading\n\
+             SKYCACHE_KERNEL mid-flight could select a different dominance\n\
+             kernel than the one the cached plan was built with). The\n\
+             sanctioned pattern is one once-style pin function that reads\n\
+             the variable a single time and caches the decision; everything\n\
+             else takes configuration explicitly.\n\
+             \n\
+             Escape hatch: `// skylint: allow(env-read-confinement) — <why>`.",
+        ),
+        "range-taint" => Some(
+            "range-taint — decoded or parsed values must pass a validator\n\
+             before reaching range scans or allocation sizes.\n\
+             \n\
+             Within the files under [rules.range-taint].files, a `let`\n\
+             binding whose initializer calls a source in .sources\n\
+             (get_u64_le, from_le_bytes, parse, …) is tainted; taint\n\
+             propagates through later `let` bindings that mention a tainted\n\
+             variable. A call to a validator in .validators with the\n\
+             tainted variable as argument kills the taint (guard-liveness\n\
+             dataflow over the CFG, so a validation on one branch clears\n\
+             only that branch). A sink in .sinks (ColumnIndex::locate,\n\
+             Vec::with_capacity, reserve, …) receiving a still-tainted\n\
+             variable is a finding. A binding validated at birth\n\
+             (`let n = checked_len(buf.get_u64_le(), max)?;`) is never\n\
+             tainted.\n\
+             \n\
+             Rationale: the future query server feeds client-supplied\n\
+             constraint endpoints into ColumnIndex::locate scans, and the\n\
+             persist loader turns file bytes into allocation sizes — an\n\
+             unvalidated 8-byte length is a remote OOM. Input hardening\n\
+             must be checkable, not reviewed.\n\
+             \n\
+             Escape hatch: `// skylint: allow(range-taint) — <why bounded>`.",
         ),
         "dead-allow" => Some(
             "dead-allow — `// skylint: allow(…)` escapes must still earn\n\
@@ -744,6 +860,14 @@ pub fn run_workspace(
     if !policy.alloc_kernels.is_empty() {
         hot_path_alloc(ws, models, policy, out);
     }
+    if !policy.guard_span_files.is_empty() && !policy.expensive_calls.is_empty() {
+        guard_hold_span(ws, models, policy, out);
+    }
+    capture_race(ws, models, policy, out);
+    env_read_confinement(ws, models, policy, out);
+    if !policy.taint_files.is_empty() {
+        range_taint(ws, models, policy, out);
+    }
 }
 
 /// Emits one workspace finding unless an allow annotation covers it.
@@ -1007,6 +1131,521 @@ fn hot_path_alloc(
                         "{what} allocates on a kernel hot path (reached via \
                          {}) — hoist the buffer or justify with an allow",
                         witness(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// guard-hold-span (CFG + guard-liveness dataflow)
+// ---------------------------------------------------------------------------
+
+/// Whether `file` is equal to or under any of the path prefixes.
+fn file_in(file: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| file == p || file.starts_with(&format!("{p}/")))
+}
+
+/// Token index of the `;`/`{`/`}` delimiter preceding the statement that
+/// contains `at` (naive backward scan matching `symbols::statement_is_let`).
+fn stmt_start(toks: &[Token], at: usize) -> usize {
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        let t = &toks[i];
+        if t.is_comment() {
+            continue;
+        }
+        if t.is_op(";") || t.is_op("{") || t.is_op("}") {
+            break;
+        }
+    }
+    i
+}
+
+/// The `let` binding name of the statement containing token `at`, if the
+/// statement is a simple `let [mut] name = …;`.
+fn let_binding_of(toks: &[Token], at: usize) -> Option<String> {
+    let i = stmt_start(toks, at);
+    let mut j = next_code_idx(toks, i)?;
+    if !toks[j].is_ident("let") {
+        return None;
+    }
+    j = next_code_idx(toks, j)?;
+    if toks[j].is_ident("mut") {
+        j = next_code_idx(toks, j)?;
+    }
+    (toks[j].kind == TokKind::Ident).then(|| toks[j].text.clone())
+}
+
+/// Whether the call whose name token is `call` has `ident` among its
+/// argument tokens (shallow scan of the parenthesized argument list).
+fn call_args_mention(toks: &[Token], call: usize, ident: &str) -> bool {
+    let Some(open) = (call..toks.len().min(call + 6)).find(|&j| toks[j].is_op("(")) else {
+        return false;
+    };
+    let close = match_paren(toks, open, toks.len().saturating_sub(1));
+    toks[open + 1..close].iter().any(|t| t.is_ident(ident))
+}
+
+fn guard_hold_span(
+    ws: &Workspace,
+    models: &BTreeMap<&str, &SourceModel>,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "guard-hold-span";
+    // Transitively-expensive set over the call graph, with witness chains:
+    // a function is expensive if it matches a designator or calls an
+    // expensive function (same fixpoint shape as may-panic propagation).
+    // Exempt designators are never marked, cutting propagation through
+    // them — the publish steps a guard exists to cover stay cheap even
+    // when name-only resolution wires them to an expensive namesake.
+    let exempt: Vec<bool> = ws
+        .fns
+        .iter()
+        .map(|f| policy.expensive_exempt.iter().any(|d| f.matches_designator(d)))
+        .collect();
+    let mut expensive: Vec<Option<Vec<usize>>> = ws
+        .fns
+        .iter()
+        .zip(&exempt)
+        .map(|(f, &ex)| {
+            (!ex && policy.expensive_calls.iter().any(|d| f.matches_designator(d))).then(Vec::new)
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..ws.fns.len() {
+            if expensive[i].is_some() || exempt[i] {
+                continue;
+            }
+            if let Some(&c) = ws.callees[i].iter().find(|&&c| expensive[c].is_some()) {
+                let mut chain = vec![c];
+                chain.extend(expensive[c].as_deref().unwrap_or_default().iter().copied());
+                expensive[i] = Some(chain);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Bare designator name parts, for calls that resolve to nothing
+    // (trait objects, std) but are expensive by name.
+    let name_parts: Vec<&str> = policy
+        .expensive_calls
+        .iter()
+        .map(|d| d.split_once("::").map_or(d.as_str(), |(_, n)| n))
+        .collect();
+
+    for (i, f) in ws.fns.iter().enumerate() {
+        if !file_in(&f.file, &policy.guard_span_files) {
+            continue;
+        }
+        let Some(model) = models.get(f.file.as_str()) else { continue };
+        let toks = &model.tokens;
+        // One liveness fact per acquisition: gen at the acquisition's
+        // method token, kill at `held_until` (statement `;` / block `}`)
+        // and at every `drop(binding)` site.
+        let acqs: Vec<(&str, LockKind, usize, usize)> = f
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Acquire { lock, kind, held_until, .. } => {
+                    Some((lock.as_str(), *kind, e.tok, *held_until))
+                }
+                _ => None,
+            })
+            .collect();
+        if acqs.is_empty() {
+            continue;
+        }
+        let facts: Vec<FactDef> = acqs
+            .iter()
+            .map(|&(_, _, tok, held)| {
+                let mut kills = vec![held];
+                if let Some(binding) = let_binding_of(toks, tok) {
+                    kills.extend(f.events.iter().filter_map(|e| {
+                        (matches!(e.kind, EventKind::Bare)
+                            && e.name == "drop"
+                            && call_args_mention(toks, e.tok, &binding))
+                        .then_some(e.tok)
+                    }));
+                }
+                FactDef { gen_tok: tok, kill_toks: kills }
+            })
+            .collect();
+        let live = Liveness::compute(&f.cfg, &facts);
+
+        for e in &f.events {
+            if !matches!(
+                e.kind,
+                EventKind::Method { .. } | EventKind::Bare | EventKind::Path { .. }
+            ) || e.name == "drop"
+            {
+                continue;
+            }
+            let held = live.live_at(&f.cfg, e.tok);
+            if held.is_empty() {
+                continue;
+            }
+            // Expensive directly by name, or via a resolved callee chain.
+            let witness = if name_parts.contains(&e.name.as_str()) {
+                Some(format!("`{}`", e.name))
+            } else {
+                ws.resolve(i, e).into_iter().find_map(|c| {
+                    expensive[c].as_ref().map(|chain| {
+                        let mut names = vec![format!("`{}`", ws.fns[c].qualified())];
+                        names.extend(chain.iter().map(|&n| format!("`{}`", ws.fns[n].qualified())));
+                        names.join(" → ")
+                    })
+                })
+            };
+            let Some(witness) = witness else { continue };
+            for &fi in &held {
+                let (lock, kind, _, _) = acqs[fi];
+                push_ws(
+                    models,
+                    out,
+                    RULE,
+                    &f.file,
+                    e.line,
+                    format!(
+                        "fn `{}` holds the {} guard on `{lock}` across expensive \
+                         call `{}` (→ {witness}) — copy what you need under the \
+                         guard, drop it, then compute",
+                        f.qualified(),
+                        kind.as_str(),
+                        e.name,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// capture-race
+// ---------------------------------------------------------------------------
+
+fn capture_race(
+    ws: &Workspace,
+    models: &BTreeMap<&str, &SourceModel>,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "capture-race";
+    for f in &ws.fns {
+        let Some(model) = models.get(f.file.as_str()) else { continue };
+        let Some((body_lo, body_hi)) = f.body_span else { continue };
+        let toks = &model.tokens;
+        for e in &f.events {
+            let is_spawn = matches!(
+                e.kind,
+                EventKind::Method { .. } | EventKind::Bare | EventKind::Path { .. }
+            ) && e.name == "spawn";
+            if !is_spawn {
+                continue;
+            }
+            let Some(open) = (e.tok..toks.len().min(e.tok + 6)).find(|&j| toks[j].is_op("("))
+            else {
+                continue;
+            };
+            let close = match_paren(toks, open, body_hi.saturating_sub(1));
+            // Outermost block inside the argument list = the closure body.
+            let Some(&(blo, bhi)) = f.block_spans.iter().find(|&&(lo, _)| open < lo && lo < close)
+            else {
+                continue;
+            };
+            for (name, line) in mutated_captures(toks, blo, bhi) {
+                // Declared with `let` before the closure, in this body?
+                let Some(decl) = let_decl_before(toks, body_lo, blo, &name) else { continue };
+                // Synchronized declarations are fine.
+                let decl_end = statement_end(toks, decl, body_hi.saturating_sub(1));
+                let synced = toks[decl..=decl_end.min(toks.len() - 1)].iter().any(|t| {
+                    t.kind == TokKind::Ident
+                        && policy.sync_types.iter().any(|s| t.text.starts_with(s.as_str()))
+                });
+                if synced {
+                    continue;
+                }
+                // Read again after the closure body?
+                let read_after = (bhi..body_hi.min(toks.len())).any(|j| toks[j].is_ident(&name));
+                if !read_after {
+                    continue;
+                }
+                push_ws(
+                    models,
+                    out,
+                    RULE,
+                    &f.file,
+                    line,
+                    format!(
+                        "closure passed to `spawn` in fn `{}` mutates captured \
+                         `{name}`, which is read again outside the closure with \
+                         no synchronization type — return the value through the \
+                         join handle or wrap it in a Mutex/Atomic",
+                        f.qualified(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Identifiers written inside `[blo, bhi)`: assignment targets (`x = …`,
+/// `x += …`, taking the head of a dotted chain) and `&mut x` borrows.
+/// Returns `(name, line)` pairs, deduplicated per name.
+fn mutated_captures(toks: &[Token], blo: usize, bhi: usize) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = Vec::new();
+    let mut push = |name: &str, line: u32| {
+        if !out.iter().any(|(n, _)| n == name) {
+            out.push((name.to_owned(), line));
+        }
+    };
+    for j in blo + 1..bhi.min(toks.len()).saturating_sub(1) {
+        let t = &toks[j];
+        if t.is_comment() {
+            continue;
+        }
+        // `&mut x`
+        if t.is_op("&")
+            && toks.get(j + 1).is_some_and(|n| n.is_ident("mut"))
+            && toks.get(j + 2).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            push(&toks[j + 2].text, toks[j + 2].line);
+        }
+        // Assignment: ident (possibly `head.field`) followed by = / += / …
+        if t.kind == TokKind::Op
+            && matches!(t.text.as_str(), "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "|=" | "&=")
+        {
+            // Walk the dotted chain left of the operator to its head.
+            let mut k = j;
+            let mut head: Option<usize> = None;
+            while k > blo {
+                k -= 1;
+                let p = &toks[k];
+                if p.is_comment() {
+                    continue;
+                }
+                if p.kind == TokKind::Ident && !is_keyword(&p.text) {
+                    head = Some(k);
+                    // keep walking through `.`-chains
+                    match toks[..k].iter().rposition(|q| !q.is_comment()) {
+                        Some(q) if toks[q].is_op(".") && q > blo => k = q,
+                        _ => break,
+                    }
+                } else {
+                    break;
+                }
+            }
+            if let Some(h) = head {
+                // `let x = …` declares a closure-local — not a capture.
+                let is_decl = toks[..h]
+                    .iter()
+                    .rposition(|q| !q.is_comment())
+                    .is_some_and(|q| toks[q].is_ident("let") || toks[q].is_ident("mut"));
+                if !is_decl {
+                    push(&toks[h].text, toks[h].line);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Token index of a `let [mut] name` declaration between `lo` and `hi`.
+fn let_decl_before(toks: &[Token], lo: usize, hi: usize, name: &str) -> Option<usize> {
+    for j in lo..hi.min(toks.len()) {
+        if !toks[j].is_ident("let") {
+            continue;
+        }
+        let mut k = next_code_idx(toks, j)?;
+        if toks[k].is_ident("mut") {
+            k = next_code_idx(toks, k)?;
+        }
+        if toks[k].is_ident(name) {
+            return Some(j);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// env-read-confinement
+// ---------------------------------------------------------------------------
+
+fn env_read_confinement(
+    ws: &Workspace,
+    models: &BTreeMap<&str, &SourceModel>,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "env-read-confinement";
+    for f in &ws.fns {
+        if file_in(&f.file, &policy.env_allowed_files)
+            || policy.env_allowed_fns.iter().any(|d| f.matches_designator(d))
+        {
+            continue;
+        }
+        for e in &f.events {
+            let hit = match &e.kind {
+                EventKind::Path { qual } => qual.last().is_some_and(|q| q == "env"),
+                EventKind::MacroUse => e.name == "env" || e.name == "option_env",
+                _ => false,
+            };
+            if !hit {
+                continue;
+            }
+            let allowed = if policy.env_allowed_fns.is_empty() {
+                "none declared".to_owned()
+            } else {
+                policy.env_allowed_fns.join(", ")
+            };
+            push_ws(
+                models,
+                out,
+                RULE,
+                &f.file,
+                e.line,
+                format!(
+                    "`env::{}` read in fn `{}` — ambient environment access is \
+                     confined to the designated pin functions ({allowed}); take \
+                     the value as explicit configuration instead",
+                    e.name,
+                    f.qualified(),
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// range-taint
+// ---------------------------------------------------------------------------
+
+/// One tainted variable: introduced at `gen_tok`, carrying the name of
+/// the source call that produced it (for the witness message).
+struct Taint {
+    var: String,
+    gen_tok: usize,
+    origin: String,
+}
+
+fn range_taint(
+    ws: &Workspace,
+    models: &BTreeMap<&str, &SourceModel>,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "range-taint";
+    let is_call = |e: &crate::symbols::Event| {
+        matches!(e.kind, EventKind::Method { .. } | EventKind::Bare | EventKind::Path { .. })
+    };
+    for f in &ws.fns {
+        if !file_in(&f.file, &policy.taint_files) {
+            continue;
+        }
+        let Some(model) = models.get(f.file.as_str()) else { continue };
+        let Some((body_lo, body_hi)) = f.body_span else { continue };
+        let toks = &model.tokens;
+        let body_close = body_hi.saturating_sub(1);
+
+        // Validator call sites, each with the set of identifiers it blesses.
+        let validators: Vec<&crate::symbols::Event> = f
+            .events
+            .iter()
+            .filter(|e| is_call(e) && policy.taint_validators.contains(&e.name))
+            .collect();
+        let stmt_has_validator =
+            |lo: usize, hi: usize| validators.iter().any(|v| lo <= v.tok && v.tok < hi);
+
+        // Seed taints: `let v = … source(…) …;` with no validator in the
+        // statement. Then propagate through later `let w = … v …;`.
+        let mut taints: Vec<Taint> = Vec::new();
+        for e in f.events.iter().filter(|e| is_call(e) && policy.taint_sources.contains(&e.name)) {
+            let Some(var) = let_binding_of(toks, e.tok) else { continue };
+            let end = statement_end(toks, e.tok, body_close);
+            if stmt_has_validator(stmt_start(toks, e.tok), end) {
+                continue;
+            }
+            if !taints.iter().any(|t| t.var == var) {
+                taints.push(Taint { var, gen_tok: e.tok, origin: e.name.clone() });
+            }
+        }
+        loop {
+            let mut changed = false;
+            for j in body_lo..body_hi.min(toks.len()) {
+                if !toks[j].is_ident("let") {
+                    continue;
+                }
+                let Some(var) = let_binding_of(toks, j + 1) else { continue };
+                if taints.iter().any(|t| t.var == var) {
+                    continue;
+                }
+                let end = statement_end(toks, j, body_close);
+                if stmt_has_validator(j, end) {
+                    continue;
+                }
+                let rhs_taint = taints.iter().position(|t| {
+                    toks[j..=end.min(toks.len() - 1)].iter().any(|tk| tk.is_ident(&t.var))
+                });
+                if let Some(ti) = rhs_taint {
+                    let origin = taints[ti].origin.clone();
+                    let gen_tok = toks[j..=end.min(toks.len() - 1)]
+                        .iter()
+                        .position(|tk| tk.is_ident(&taints[ti].var))
+                        .map(|off| j + off)
+                        .unwrap_or(j);
+                    taints.push(Taint { var, gen_tok, origin });
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if taints.is_empty() {
+            continue;
+        }
+
+        // Liveness over the CFG: a validator call blessing the variable
+        // kills its taint on that path.
+        let facts: Vec<FactDef> = taints
+            .iter()
+            .map(|t| FactDef {
+                gen_tok: t.gen_tok,
+                kill_toks: validators
+                    .iter()
+                    .filter(|v| call_args_mention(toks, v.tok, &t.var))
+                    .map(|v| v.tok)
+                    .collect(),
+            })
+            .collect();
+        let live = Liveness::compute(&f.cfg, &facts);
+
+        for e in f.events.iter().filter(|e| is_call(e) && policy.taint_sinks.contains(&e.name)) {
+            for &fi in &live.live_at(&f.cfg, e.tok) {
+                let t = &taints[fi];
+                if !call_args_mention(toks, e.tok, &t.var) {
+                    continue;
+                }
+                push_ws(
+                    models,
+                    out,
+                    RULE,
+                    &f.file,
+                    e.line,
+                    format!(
+                        "`{}` in fn `{}` receives `{}`, tainted by `{}`, without \
+                         passing a validator — clamp or validate decoded \
+                         sizes/endpoints before range scans and allocations",
+                        e.name,
+                        f.qualified(),
+                        t.var,
+                        t.origin,
                     ),
                 );
             }

@@ -18,6 +18,7 @@
 //!   its statement.
 
 use crate::ast::{Block, BlockChild, File, Item, ItemKind};
+use crate::cfg::Cfg;
 use crate::lexer::{TokKind, Token};
 use crate::model::SourceModel;
 
@@ -109,6 +110,13 @@ pub struct FnDef {
     pub line: u32,
     /// Body events in source order (empty for bodiless signatures).
     pub events: Vec<Event>,
+    /// Body token span `(lo, hi)`, half-open over the whole `{…}` block.
+    pub body_span: Option<(usize, usize)>,
+    /// Control-flow graph of the body (trivial entry→exit when bodiless).
+    pub cfg: Cfg,
+    /// Token spans of every nested block inside the body (scopes, match
+    /// bodies, closures) in source order — nested `fn` items excluded.
+    pub block_spans: Vec<(usize, usize)>,
 }
 
 impl FnDef {
@@ -136,9 +144,18 @@ pub fn extract_fns(model: &SourceModel, file: &File) -> Vec<FnDef> {
     let mut out = Vec::new();
     file.walk_items(&mut |item: &Item, mods: &[String], owner: &str| {
         let ItemKind::Fn(f) = &item.kind else { return };
-        let events = match &f.body {
-            Some(body) => extract_events(model, body),
-            None => Vec::new(),
+        let (events, body_span, cfg, block_spans) = match &f.body {
+            Some(body) => {
+                let mut spans = Vec::new();
+                collect_block_spans(body, &mut spans);
+                (
+                    extract_events(model, body),
+                    Some((body.span.lo, body.span.hi)),
+                    Cfg::build(&model.tokens, body),
+                    spans,
+                )
+            }
+            None => (Vec::new(), None, Cfg::empty(), Vec::new()),
         };
         out.push(FnDef {
             file: model.path.clone(),
@@ -149,9 +166,23 @@ pub fn extract_fns(model: &SourceModel, file: &File) -> Vec<FnDef> {
             in_test: model.in_test_region(item.line),
             line: item.line,
             events,
+            body_span,
+            cfg,
+            block_spans,
         });
     });
     out
+}
+
+/// Records the spans of all blocks nested inside `body` (not `body`
+/// itself), skipping nested `fn` items whose blocks belong to them.
+fn collect_block_spans(body: &Block, out: &mut Vec<(usize, usize)>) {
+    for child in &body.children {
+        if let BlockChild::Block(b) = child {
+            out.push((b.span.lo, b.span.hi));
+            collect_block_spans(b, out);
+        }
+    }
 }
 
 /// Keywords that can precede `(` or `[` without being a call/index.
@@ -442,7 +473,7 @@ fn statement_is_let(toks: &[Token], at: usize) -> bool {
 /// relative depth zero, or wherever a delimiter closes past the starting
 /// depth (expression argument inside a macro/call), capped at the block's
 /// closing brace.
-fn statement_end(toks: &[Token], from: usize, block_close: usize) -> usize {
+pub(crate) fn statement_end(toks: &[Token], from: usize, block_close: usize) -> usize {
     let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
     let mut i = from + 1;
     while i <= block_close && i < toks.len() {
@@ -474,7 +505,7 @@ fn lock_phase_annotation(model: &SourceModel, line: u32) -> Option<String> {
 }
 
 /// Index of the `)` matching the `(` at `open`, capped at `limit`.
-fn match_paren(toks: &[Token], open: usize, limit: usize) -> usize {
+pub(crate) fn match_paren(toks: &[Token], open: usize, limit: usize) -> usize {
     let mut depth = 0i32;
     let mut i = open;
     while i <= limit && i < toks.len() {

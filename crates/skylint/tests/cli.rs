@@ -108,6 +108,123 @@ fn exercised_allow_tree_is_clean() {
     assert_clean("dead_allow_clean");
 }
 
+#[test]
+fn guard_span_tree_is_flagged_with_witness_chains() {
+    let stdout = assert_bad("guard_span_bad", "guard-hold-span");
+    // Direct expensive call under a read guard…
+    assert!(stdout.contains("read guard"), "{stdout}");
+    assert!(stdout.contains("`expensive_fetch`"), "{stdout}");
+    // …and a transitive one under a write guard, with the chain named.
+    assert!(stdout.contains("write guard"), "{stdout}");
+    assert!(stdout.contains("`refresh` → `expensive_fetch`"), "{stdout}");
+}
+
+#[test]
+fn copy_drop_compute_tree_is_clean() {
+    assert_clean("guard_span_clean");
+}
+
+#[test]
+fn capture_race_tree_is_flagged() {
+    let stdout = assert_bad("capture_race_bad", "capture-race");
+    assert!(stdout.contains("`count`"), "{stdout}");
+    assert!(stdout.contains("spawn"), "{stdout}");
+}
+
+#[test]
+fn synchronized_capture_tree_is_clean() {
+    assert_clean("capture_race_clean");
+}
+
+#[test]
+fn scattered_env_read_tree_is_flagged() {
+    let stdout = assert_bad("env_read_bad", "env-read-confinement");
+    // Both the path form and the macro form are findings; the pin
+    // function itself is exempt.
+    assert!(stdout.contains("`env::var`"), "{stdout}");
+    assert!(stdout.contains("`env::option_env`"), "{stdout}");
+    assert!(stdout.contains("pinned_mode"), "{stdout}");
+    assert!(!stdout.contains("fn `pinned_mode`"), "{stdout}");
+}
+
+#[test]
+fn pinned_env_read_tree_is_clean() {
+    assert_clean("env_read_clean");
+}
+
+#[test]
+fn unvalidated_decoded_length_tree_is_flagged() {
+    let stdout = assert_bad("range_taint_bad", "range-taint");
+    // The direct flow and the propagated one, each naming its origin.
+    assert!(stdout.contains("receives `n`"), "{stdout}");
+    assert!(stdout.contains("receives `padded`"), "{stdout}");
+    assert!(stdout.contains("tainted by `get_u32_le`"), "{stdout}");
+}
+
+#[test]
+fn validated_decoded_length_tree_is_clean() {
+    assert_clean("range_taint_clean");
+}
+
+// ---------------------------------------------------------------------------
+// --fix-dead-allows: dry-run previews, the real thing rewrites
+// ---------------------------------------------------------------------------
+
+/// Copies a fixture tree into the target tmpdir so the fixer can write.
+fn scratch_copy(tree: &str, dest_name: &str) -> PathBuf {
+    let src = fixture(tree);
+    let dest = Path::new(env!("CARGO_TARGET_TMPDIR")).join(dest_name);
+    std::fs::remove_dir_all(&dest).ok();
+    std::fs::create_dir_all(dest.join("src")).expect("mkdir");
+    for rel in ["skylint.toml", "src/lib.rs"] {
+        std::fs::copy(src.join(rel), dest.join(rel)).expect("copy fixture file");
+    }
+    dest
+}
+
+#[test]
+fn fix_dead_allows_dry_run_prints_a_diff_and_writes_nothing() {
+    let tree = scratch_copy("dead_allow_bad", "fix_dry_run");
+    let before = std::fs::read_to_string(tree.join("src/lib.rs")).expect("read");
+    let out = skylint(&[
+        "check",
+        "--root",
+        tree.to_str().expect("utf-8 path"),
+        "--fix-dead-allows",
+        "--dry-run",
+    ]);
+    // Dry-run keeps check semantics: the dead-allow still counts.
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("- "), "expected a -/+ diff in:\n{stdout}");
+    assert!(stdout.contains("skylint: allow(no-panic-paths)"), "{stdout}");
+    let after = std::fs::read_to_string(tree.join("src/lib.rs")).expect("read");
+    assert_eq!(before, after, "--dry-run must not modify the tree");
+}
+
+#[test]
+fn fix_dead_allows_rewrites_the_tree_to_clean() {
+    let tree = scratch_copy("dead_allow_bad", "fix_apply");
+    let root = tree.to_str().expect("utf-8 path");
+    let out = skylint(&["check", "--root", root, "--fix-dead-allows"]);
+    // Repaired dead-allows no longer count as violations.
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("removed 1 stale allow"), "{stdout}");
+    let after = std::fs::read_to_string(tree.join("src/lib.rs")).expect("read");
+    assert!(!after.contains("skylint: allow"), "annotation must be gone:\n{after}");
+    // The rewritten tree now checks clean end to end.
+    let recheck = skylint(&["check", "--root", root]);
+    assert_eq!(recheck.status.code(), Some(0));
+}
+
+#[test]
+fn dry_run_without_fix_flag_is_a_usage_error() {
+    let root = fixture("clean_tree");
+    let out = skylint(&["check", "--root", root.to_str().expect("utf-8 path"), "--dry-run"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
 // ---------------------------------------------------------------------------
 // Hard errors: exit 2 before any findings are produced
 // ---------------------------------------------------------------------------
@@ -138,7 +255,7 @@ fn json_output_is_a_versioned_report_object() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.trim_start().starts_with('{'), "{stdout}");
-    assert!(stdout.contains("\"schema\": \"skylint-report/2\""), "{stdout}");
+    assert!(stdout.contains("\"schema\": \"skylint-report/3\""), "{stdout}");
     assert!(stdout.contains("\"rule\""), "{stdout}");
     assert!(stdout.contains("\"line\""), "{stdout}");
     assert!(stdout.contains("\"functions_analyzed\""), "{stdout}");
@@ -172,7 +289,7 @@ fn bench_out_writes_a_record() {
     ]);
     assert_eq!(out.status.code(), Some(0));
     let record = std::fs::read_to_string(&bench).expect("bench record written");
-    assert!(record.contains("\"skylint-bench/2\""), "{record}");
+    assert!(record.contains("\"skylint-bench/3\""), "{record}");
     assert!(record.contains("\"files_scanned\""), "{record}");
     assert!(record.contains("\"wall_ms\""), "{record}");
     assert!(record.contains("\"findings_per_rule\""), "{record}");

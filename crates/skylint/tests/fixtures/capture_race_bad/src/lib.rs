@@ -1,0 +1,20 @@
+//! Capture-race bad fixture: a closure handed to `spawn` mutates a
+//! plainly-captured binding the spawner reads again afterwards — the
+//! classic lost-update shape. `skylint check` must exit 1 with a
+//! `capture-race` finding.
+
+/// Stand-in spawn with the API shape the analyzer keys on.
+pub fn spawn<F: FnOnce()>(f: F) {
+    f();
+}
+
+/// BAD: `count` is captured, mutated inside the spawned closure, and
+/// read again after the spawn with no synchronization type anywhere in
+/// its declaration.
+pub fn tally() -> u64 {
+    let mut count = 0u64;
+    spawn(|| {
+        count += 1;
+    });
+    count
+}

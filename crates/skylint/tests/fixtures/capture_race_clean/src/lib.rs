@@ -1,0 +1,44 @@
+//! Capture-race clean fixture: spawn closures either mutate bindings
+//! declared with a synchronization type or touch nothing the spawner
+//! reads afterwards. `skylint check` must exit 0.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stand-in spawn with the API shape the analyzer keys on.
+pub fn spawn<F: FnOnce()>(f: F) {
+    f();
+}
+
+/// Adds one through a mutable borrow.
+pub fn bump(c: &mut AtomicU64) {
+    *c.get_mut() += 1;
+}
+
+/// Clean: the captured accumulator's declaration names an Atomic —
+/// cross-thread mutation is sanctioned by the type.
+pub fn tally_synced() -> u64 {
+    let mut count = AtomicU64::new(0);
+    spawn(|| {
+        bump(&mut count);
+    });
+    count.load(Ordering::Relaxed)
+}
+
+/// Clean: the closure mutates its own local; nothing escapes to the
+/// spawner.
+pub fn local_only() {
+    spawn(|| {
+        let mut acc = 0u64;
+        acc += 1;
+        let _ = acc;
+    });
+}
+
+/// Clean: the captured binding is mutated but never read again after
+/// the closure body.
+pub fn fire_and_forget() {
+    let mut scratch = 0u64;
+    spawn(move || {
+        scratch += 1;
+    });
+}

@@ -1,0 +1,18 @@
+//! Env-read-confinement bad fixture: ambient environment reads outside
+//! the designated pin function, in both path and macro form.
+//! `skylint check` must exit 1 with `env-read-confinement` findings.
+
+/// The designated pin — the one legal ambient read (see skylint.toml).
+pub fn pinned_mode() -> Option<String> {
+    std::env::var("FIXTURE_MODE").ok()
+}
+
+/// BAD: a scattered `env::var` read outside the pin function.
+pub fn scattered() -> String {
+    std::env::var("FIXTURE_MODE").unwrap_or_default()
+}
+
+/// BAD: the macro form reads ambient state too.
+pub fn compiled_in() -> Option<&'static str> {
+    option_env!("FIXTURE_MODE")
+}

@@ -1,0 +1,52 @@
+//! Guard-hold-span bad fixture: lock guards stay live across the
+//! designated-expensive call, both directly and through a callee.
+//! `skylint check` must exit 1 with `guard-hold-span` findings.
+
+/// Toy lock with a `parking_lot`-style guardless API; the analyzer keys
+/// on `.read()`/`.write()` receiver paths, not on real lock types.
+pub struct Lock(u64);
+
+impl Lock {
+    /// Shared acquisition.
+    pub fn read(&self) -> u64 {
+        self.0
+    }
+
+    /// Exclusive acquisition.
+    pub fn write(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The designated-expensive operation (see skylint.toml).
+pub fn expensive_fetch() -> u64 {
+    42
+}
+
+/// Reaches the expensive operation through one call — transitively
+/// expensive over the call graph.
+pub fn refresh() -> u64 {
+    expensive_fetch()
+}
+
+/// Shared state guarded by `lock`.
+pub struct Store {
+    lock: Lock,
+}
+
+impl Store {
+    /// BAD: the read guard is live across a direct expensive call.
+    pub fn fetch_under_guard(&self) -> u64 {
+        let g = self.lock.read(); // lock-order: read
+        let v = expensive_fetch();
+        g + v
+    }
+
+    /// BAD: the write guard is live across a transitively expensive
+    /// call — the witness chain runs through `refresh`.
+    pub fn refresh_under_guard(&self) -> u64 {
+        let g = self.lock.write(); // lock-order: write
+        let v = refresh();
+        g + v
+    }
+}

@@ -1,0 +1,54 @@
+//! Guard-hold-span clean fixture: shared state is copied out under the
+//! guard and the guard dies — by block end or by explicit `drop` —
+//! before the expensive work runs. `skylint check` must exit 0.
+
+/// Toy lock with a `parking_lot`-style guardless API.
+pub struct Lock(u64);
+
+impl Lock {
+    /// Shared acquisition.
+    pub fn read(&self) -> u64 {
+        self.0
+    }
+
+    /// Exclusive acquisition.
+    pub fn write(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The designated-expensive operation (see skylint.toml).
+pub fn expensive_fetch() -> u64 {
+    42
+}
+
+/// Reaches the expensive operation through one call.
+pub fn refresh() -> u64 {
+    expensive_fetch()
+}
+
+/// Shared state guarded by `lock`.
+pub struct Store {
+    lock: Lock,
+}
+
+impl Store {
+    /// Copy under the guard; the block ends the guard before the
+    /// expensive call runs.
+    pub fn snapshot_then_fetch(&self) -> u64 {
+        let copied = {
+            let g = self.lock.read(); // lock-order: read
+            g
+        };
+        copied + expensive_fetch()
+    }
+
+    /// Explicit `drop` kills the guard on this path before the
+    /// transitively expensive call.
+    pub fn drop_then_refresh(&self) -> u64 {
+        let g = self.lock.write(); // lock-order: write
+        let copied = g;
+        drop(g);
+        copied + refresh()
+    }
+}

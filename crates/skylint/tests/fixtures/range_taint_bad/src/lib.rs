@@ -1,0 +1,28 @@
+//! Range-taint bad fixture: decoded lengths flow into allocation sizes
+//! without passing the designated validator, both directly and through
+//! a derived binding. `skylint check` must exit 1 with `range-taint`
+//! findings.
+
+/// Byte-cursor stand-in with the decoder shape the analyzer keys on.
+pub struct Cursor(u32);
+
+impl Cursor {
+    /// Decodes an untrusted little-endian length.
+    pub fn get_u32_le(&mut self) -> u32 {
+        self.0
+    }
+}
+
+/// BAD: the decoded `n` reaches `Vec::with_capacity` unvalidated.
+pub fn load(cur: &mut Cursor) -> Vec<u8> {
+    let n = cur.get_u32_le() as usize;
+    Vec::with_capacity(n)
+}
+
+/// BAD: taint propagates through the derived `padded` binding into the
+/// allocation.
+pub fn load_padded(cur: &mut Cursor) -> Vec<u8> {
+    let n = cur.get_u32_le() as usize;
+    let padded = n + 8;
+    Vec::with_capacity(padded)
+}

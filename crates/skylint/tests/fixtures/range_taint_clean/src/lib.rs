@@ -1,0 +1,33 @@
+//! Range-taint clean fixture: every decoded length passes the
+//! designated validator before it reaches an allocation sink — at
+//! birth or later along the path. `skylint check` must exit 0.
+
+/// Byte-cursor stand-in with the decoder shape the analyzer keys on.
+pub struct Cursor(u32);
+
+impl Cursor {
+    /// Decodes an untrusted little-endian length.
+    pub fn get_u32_le(&mut self) -> u32 {
+        self.0
+    }
+}
+
+/// Clamps a decoded length to the format's hard cap.
+pub fn clamped(n: usize) -> usize {
+    n.min(1 << 16)
+}
+
+/// Clean: validated at birth — the decode statement itself passes the
+/// validator, so the binding is never tainted.
+pub fn load(cur: &mut Cursor) -> Vec<u8> {
+    let n = clamped(cur.get_u32_le() as usize);
+    Vec::with_capacity(n)
+}
+
+/// Clean: validated en route — `raw` is tainted, but the taint dies at
+/// the `clamped` call before the allocation.
+pub fn load_late(cur: &mut Cursor) -> Vec<u8> {
+    let raw = cur.get_u32_le() as usize;
+    let n = clamped(raw);
+    Vec::with_capacity(n)
+}

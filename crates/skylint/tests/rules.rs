@@ -47,6 +47,16 @@ fn policy() -> Policy {
             "observe_value".into(),
             "record_into".into(),
         ],
+        guard_span_files: vec!["lib/src".into()],
+        expensive_calls: vec!["expensive_fetch".into()],
+        expensive_exempt: vec![],
+        sync_types: vec!["Mutex".into(), "RwLock".into(), "Atomic".into(), "mpsc".into()],
+        env_allowed_fns: vec!["pinned_mode".into()],
+        env_allowed_files: vec![],
+        taint_files: vec!["lib/src".into()],
+        taint_sources: vec!["get_u32_le".into(), "parse".into()],
+        taint_sinks: vec!["with_capacity".into(), "locate".into()],
+        taint_validators: vec!["clamped".into()],
     }
 }
 
@@ -244,5 +254,162 @@ pub fn publish(rec: &mut R, n: u64) {
 }
 "#;
     let found = findings("lib/src/kern.rs", src);
+    assert_only(&found, "-", 0);
+}
+
+// ---------------------------------------------------------------------------
+// guard-hold-span
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expensive_call_under_live_guard_is_flagged_with_witness() {
+    let src = r#"//! Fixture.
+/// Designated expensive call.
+pub fn expensive_fetch() -> u64 {
+    42
+}
+
+/// Indirection the fixpoint must see through.
+pub fn refresh() -> u64 {
+    expensive_fetch()
+}
+
+/// BAD: the read guard on `lock` is live across the transitive call.
+pub fn fetch_under_guard(lock: &L) -> u64 {
+    let g = lock.read();
+    let v = refresh();
+    drop(g);
+    v
+}
+"#;
+    let found = findings("lib/src/store.rs", src);
+    assert_only(&found, "guard-hold-span", 1);
+    assert!(found[0].message.contains("read guard"), "{}", found[0].message);
+    assert!(found[0].message.contains("`refresh` → `expensive_fetch`"), "{}", found[0].message);
+}
+
+#[test]
+fn expensive_call_after_guard_drop_is_clean() {
+    let src = r#"//! Fixture.
+/// Designated expensive call.
+pub fn expensive_fetch() -> u64 {
+    42
+}
+
+/// Clean: the guard dies at `drop` before the expensive call.
+pub fn drop_then_fetch(lock: &L) -> u64 {
+    let g = lock.read();
+    drop(g);
+    expensive_fetch()
+}
+"#;
+    let found = findings("lib/src/store.rs", src);
+    assert_only(&found, "-", 0);
+}
+
+// ---------------------------------------------------------------------------
+// capture-race
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mutated_capture_read_after_spawn_is_flagged() {
+    let src = r#"//! Fixture.
+/// Spawn stand-in with the callable shape the analyzer keys on.
+pub fn spawn<F: FnOnce()>(f: F) {
+    f();
+}
+
+/// BAD: `count` is mutated inside the spawned closure and read after.
+pub fn tally() -> u64 {
+    let mut count = 0u64;
+    spawn(|| {
+        count += 1;
+    });
+    count
+}
+"#;
+    let found = findings("lib/src/par.rs", src);
+    assert_only(&found, "capture-race", 1);
+    assert!(found[0].message.contains("count"), "{}", found[0].message);
+}
+
+#[test]
+fn synchronized_capture_is_clean() {
+    let src = r#"//! Fixture.
+/// Spawn stand-in with the callable shape the analyzer keys on.
+pub fn spawn<F: FnOnce()>(f: F) {
+    f();
+}
+
+/// Clean: the captured accumulator is a declared sync type.
+pub fn tally_synced() -> u64 {
+    let count = AtomicU64::new(0);
+    spawn(|| {
+        count += 1;
+    });
+    count
+}
+"#;
+    let found = findings("lib/src/par.rs", src);
+    assert_only(&found, "-", 0);
+}
+
+// ---------------------------------------------------------------------------
+// env-read-confinement
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scattered_env_read_is_flagged() {
+    let src = r#"//! Fixture.
+/// BAD: ambient environment read outside the sanctioned accessor.
+pub fn scattered() -> Option<String> {
+    std::env::var("MODE").ok()
+}
+"#;
+    let found = findings("lib/src/config.rs", src);
+    assert_only(&found, "env-read-confinement", 1);
+    assert!(found[0].message.contains("scattered"), "{}", found[0].message);
+}
+
+#[test]
+fn env_read_inside_the_allowed_fn_is_clean() {
+    let src = r#"//! Fixture.
+/// The one sanctioned ambient read.
+pub fn pinned_mode() -> Option<String> {
+    std::env::var("MODE").ok()
+}
+"#;
+    let found = findings("lib/src/config.rs", src);
+    assert_only(&found, "-", 0);
+}
+
+// ---------------------------------------------------------------------------
+// range-taint
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unvalidated_decoded_length_reaching_a_sink_is_flagged() {
+    let src = r#"//! Fixture.
+/// BAD: the decoded `n` reaches the allocation sink unvalidated.
+pub fn load(cur: &mut Cursor) -> Vec<u8> {
+    let n = cur.get_u32_le() as usize;
+    Vec::with_capacity(n)
+}
+"#;
+    let found = findings("lib/src/decode.rs", src);
+    assert_only(&found, "range-taint", 1);
+    assert!(found[0].message.contains("get_u32_le"), "{}", found[0].message);
+}
+
+#[test]
+fn length_validated_at_birth_is_clean() {
+    let src = r#"//! Fixture.
+/// Clean: the decode statement itself passes the validator.
+pub fn load(cur: &mut Cursor) -> Vec<u8> {
+    let n = clamped(cur.get_u32_le() as usize);
+    Vec::with_capacity(n)
+}
+"#;
+    let found = findings("lib/src/decode.rs", src);
     assert_only(&found, "-", 0);
 }

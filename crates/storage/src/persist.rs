@@ -22,7 +22,7 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -35,6 +35,57 @@ use crate::Result;
 
 const MAGIC: &[u8; 4] = b"SKYC";
 const VERSION: u32 = 1;
+
+/// Validates a decoded item count against the bytes that must back it:
+/// `n` items of `item_bytes` each have to fit in what remains of `buf`,
+/// so a corrupted header can never drive an allocation larger than the
+/// file that carries it. This is the designated `range-taint` validator
+/// for this module — decoded counts pass through here before reaching
+/// `Vec::with_capacity`.
+fn checked_len(n: u64, item_bytes: usize, buf: &Bytes, what: &str) -> Result<usize> {
+    let n = usize::try_from(n).map_err(|_| StorageError::Corrupt(format!("{what} overflow")))?;
+    match n.checked_mul(item_bytes) {
+        Some(total) if total <= buf.remaining() => Ok(n),
+        _ => Err(StorageError::Corrupt(format!("{what} exceeds payload"))),
+    }
+}
+
+/// Explicit on-disk location for table snapshots.
+///
+/// Persistence never consults ambient process state: callers choose the
+/// directory (CLI flag, experiment config, test tmpdir) and everything
+/// downstream takes it from this value. This is the configuration
+/// counterpart of skylint's `env-read-confinement` rule — the library
+/// has no `std::env` read to confine because the directory arrives as
+/// an argument.
+#[derive(Clone, Debug)]
+pub struct SnapshotDir {
+    dir: PathBuf,
+}
+
+impl SnapshotDir {
+    /// A snapshot store rooted at an explicitly chosen directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SnapshotDir { dir: dir.into() }
+    }
+
+    /// The file path the named snapshot lives at (`<dir>/<name>.skyc`).
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.skyc"))
+    }
+
+    /// Saves `table` under `name`, returning the written path.
+    pub fn save(&self, table: &Table, name: &str) -> Result<PathBuf> {
+        let path = self.path(name);
+        table.save(&path)?;
+        Ok(path)
+    }
+
+    /// Loads the snapshot previously saved under `name`.
+    pub fn load(&self, name: &str) -> Result<Table> {
+        Table::load(self.path(name))
+    }
+}
 
 /// FNV-1a, the classic non-cryptographic integrity hash.
 fn fnv1a(data: &[u8]) -> u64 {
@@ -134,8 +185,7 @@ impl Table {
             probe_ns: buf.get_u64_le(),
             index_entry_ns: buf.get_u64_le(),
         };
-        let n = usize::try_from(buf.get_u64_le())
-            .map_err(|_| StorageError::Corrupt("slot count overflow".into()))?;
+        let n = checked_len(buf.get_u64_le(), dims * 8, &buf, "slot count")?;
 
         let bitmap_len = n.div_ceil(8);
         need(&buf, bitmap_len, "live bitmap")?;
@@ -165,10 +215,15 @@ mod tests {
     use super::*;
     use skycache_geom::Constraints;
 
+    /// The one ambient read in this module, at the very edge: tests
+    /// resolve the system tmpdir once and route it through the explicit
+    /// [`SnapshotDir`] config like any other caller would.
+    fn store() -> SnapshotDir {
+        SnapshotDir::new(std::env::temp_dir())
+    }
+
     fn temp(name: &str) -> std::path::PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("skycache-test-{}-{name}", std::process::id()));
-        p
+        store().path(&format!("skycache-test-{}-{name}", std::process::id()))
     }
 
     fn sample_table() -> Table {
@@ -189,7 +244,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let t = sample_table();
-        let path = temp("roundtrip.skyc");
+        let path = temp("roundtrip");
         t.save(&path).unwrap();
         let loaded = Table::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -216,9 +271,43 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_dir_round_trips_by_name() {
+        let t = sample_table();
+        let dir = store();
+        let name = format!("skycache-test-{}-named", std::process::id());
+        let written = dir.save(&t, &name).unwrap();
+        assert_eq!(written, dir.path(&name));
+        let loaded = dir.load(&name).unwrap();
+        std::fs::remove_file(&written).ok();
+        assert_eq!(loaded.len(), t.len());
+        assert_eq!(loaded.dims(), t.dims());
+    }
+
+    #[test]
+    fn oversized_slot_count_is_rejected_before_allocating() {
+        // Hand-build a header whose slot count claims more points than
+        // the file can possibly carry; load must fail in the validator,
+        // not inside an attempted huge allocation.
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&VERSION.to_le_bytes());
+        data.extend_from_slice(&2u32.to_le_bytes()); // dims
+        data.extend_from_slice(&64u64.to_le_bytes()); // page_capacity
+        data.extend_from_slice(&[0u8; 32]); // cost model
+        data.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd slot count
+        let checksum = super::fnv1a(&data);
+        data.extend_from_slice(&checksum.to_le_bytes());
+        let path = temp("oversize");
+        std::fs::write(&path, &data).unwrap();
+        let err = Table::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
     fn corruption_is_detected() {
         let t = sample_table();
-        let path = temp("corrupt.skyc");
+        let path = temp("corrupt");
         t.save(&path).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
@@ -232,7 +321,7 @@ mod tests {
     #[test]
     fn truncation_is_detected() {
         let t = sample_table();
-        let path = temp("trunc.skyc");
+        let path = temp("trunc");
         t.save(&path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
@@ -243,7 +332,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let path = temp("magic.skyc");
+        let path = temp("magic");
         let mut data = b"NOPE".to_vec();
         data.extend_from_slice(&[0u8; 64]);
         let checksum = super::fnv1a(&data);
