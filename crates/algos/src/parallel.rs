@@ -14,7 +14,9 @@
 //! differs from the sequential algorithms' counts — partitioning changes
 //! which comparisons happen, not what the skyline is.
 
-use std::thread;
+// Shim threads: identical to `std::thread` in production, schedulable
+// under a `skycheck::Explorer` model run (see DESIGN.md §15).
+use skycheck::sync::thread;
 
 use skycache_geom::{retain_nondominated, Kernel, Point, PointBlock};
 

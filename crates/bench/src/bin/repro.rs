@@ -26,6 +26,7 @@ experiments:
   parallel               sequential vs parallel pipeline (writes BENCH_parallel.json)
   obs                    per-phase latency + cache/fetch aggregates (writes BENCH_obs.json)
   perf                   block path vs legacy: qps, allocs/query, coalescing (writes BENCH_perf.json)
+  check                  skycheck model-check stats for the shared-cache protocol (writes BENCH_check.json)
   all    everything above";
 
 fn main() -> ExitCode {
@@ -64,6 +65,7 @@ fn main() -> ExitCode {
         ("parallel", figures::parallel),
         ("obs", figures::obs),
         ("perf", figures::perf),
+        ("check", skycache_bench::check::check),
     ] {
         if want(name) {
             runner(&scale);

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod check;
 pub mod figures;
 
 use std::alloc::{GlobalAlloc, Layout, System};

@@ -16,11 +16,12 @@
 //! gone item is a no-op), so queries never block each other for longer
 //! than the cache search itself.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+// Shim sync primitives: identical to `std`/`parking_lot` in production,
+// schedulable under a `skycheck::Explorer` model run (see DESIGN.md §15).
+use skycheck::sync::{Arc, RwLock};
 
 use skycache_algos::{Sfs, SkylineAlgorithm};
 use skycache_geom::{Aabb, Point};
@@ -87,11 +88,10 @@ impl<'t> SharedCbcsExecutor<'t> {
     /// # Panics
     /// Panics if the cache and table dimensionalities differ.
     pub fn new(table: &'t Table, cache: SharedCache, config: CbcsConfig) -> Self {
-        assert_eq!(
-            cache.inner.read().dims(), // lock-order: read
-            table.dims(),
-            "cache/table dimensionality mismatch"
-        );
+        // Hoisted out of the assert so the read guard provably drops before
+        // the panic formatting machinery runs.
+        let cache_dims = cache.inner.read().dims(); // lock-order: read
+        assert_eq!(cache_dims, table.dims(), "cache/table dimensionality mismatch");
         let data_bounds = Aabb::bounding(table.all_points())
             // skylint: allow(no-panic-paths) — Table::build rejects empty point sets.
             .expect("tables are non-empty");

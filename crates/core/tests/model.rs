@@ -1,0 +1,261 @@
+//! skycheck model-checked harnesses for the shared-cache protocol.
+//!
+//! Each test explores *every* interleaving (at preemption bound 2) of a
+//! small concurrent scenario written against the `skycheck::sync` shims the
+//! library itself uses. The three load-bearing invariants of
+//! `core::shared`'s read → compute → write protocol are pinned here:
+//!
+//! (a) concurrent `touch`/`insert` never violate LRU-clock monotonicity;
+//! (b) eviction between an executor's read and write phases never loses
+//!     the inserted result or double-counts a hit;
+//! (c) the lock-order annotations in `shared.rs` admit no AB/BA schedule —
+//!     two full concurrent `execute()` calls cannot deadlock.
+//!
+//! Plus the satellite pins: the `geom::Kernel` `ACTIVE` publish/observe
+//! pair, `SharedCache::with_read` re-entrancy, and a deliberately seeded
+//! touch-without-write-lock bug that must yield a byte-reproducible
+//! failing trace.
+//!
+//! Statics (the kernel pin) keep their real value across runs, so every
+//! harness that reaches kernel dispatch normalizes it first — run-to-run
+//! determinism is what makes trace replay byte-stable.
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+use skycache_core::engine::{CbcsConfig, Executor, QueryRequest};
+use skycache_core::{Cache, ReplacementPolicy, SharedCache, SharedCbcsExecutor};
+use skycache_geom::{Constraints, Kernel, Point};
+use skycache_storage::{Table, TableConfig};
+use skycheck::sync::{thread, Arc, RwLock};
+use skycheck::{Explorer, FailureKind};
+
+/// Model runs interleave threads around process-wide statics (the kernel
+/// pin); running two explorations concurrently would let one run's stores
+/// leak into another's schedule. Serialize the harnesses.
+fn serial() -> StdMutexGuard<'static, ()> {
+    static GATE: StdMutex<()> = StdMutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn table() -> Table {
+    let points: Vec<Point> = (0..3)
+        .flat_map(|i| {
+            (0..3).map(move |j| Point::from(vec![f64::from(i) / 2.0, f64::from(j) / 2.0]))
+        })
+        .collect();
+    Table::build(points, TableConfig::default()).unwrap()
+}
+
+fn sorted(mut sky: Vec<Point>) -> Vec<Point> {
+    sky.sort_by_key(|p| (p[0].to_bits(), p[1].to_bits()));
+    sky
+}
+
+fn run_query(table: &Table, shared: SharedCache, seed: u64, c: &Constraints) -> (Vec<Point>, bool) {
+    let config = CbcsConfig { seed, ..Default::default() };
+    let mut ex = SharedCbcsExecutor::new(table, shared, config);
+    let r = ex.execute(&QueryRequest::new(c.clone())).unwrap().into_result();
+    (sorted(r.skyline), r.stats.cache_hit)
+}
+
+/// The sequential answer, for comparison inside the model runs.
+fn reference(table: &Table, c: &Constraints) -> Vec<Point> {
+    Kernel::set_active(Kernel::Scalar);
+    let shared = SharedCache::new(2, &CbcsConfig::default());
+    let out = run_query(table, shared, 0, c).0;
+    Kernel::reset_to_env();
+    out
+}
+
+/// Invariant (a): concurrent `touch` and `insert` through the shim RwLock
+/// never violate LRU-clock monotonicity. `Cache` asserts the invariant
+/// internally after every mutation (debug builds), so any violating
+/// schedule panics inside the model run and surfaces as a failure.
+#[test]
+fn harness_a_concurrent_touch_insert_keeps_clock_monotone() {
+    let _gate = serial();
+    let c0 = Constraints::from_pairs(&[(0.0, 0.4), (0.0, 1.0)]).unwrap();
+    let c1 = Constraints::from_pairs(&[(0.6, 1.0), (0.0, 1.0)]).unwrap();
+    let pts = vec![Point::from(vec![0.1, 0.1])];
+
+    let outcome = Explorer::new().with_preemption_bound(2).explore(|| {
+        let cache = Arc::new(RwLock::new(Cache::with_capacity(2, None, ReplacementPolicy::Lru)));
+        let id = cache.write().insert(c0.clone(), &pts);
+        let cache2 = cache.clone();
+        let h = thread::spawn(move || cache2.write().touch(id));
+        cache.write().insert(c1.clone(), &pts);
+        h.join().expect("toucher");
+
+        let g = cache.read();
+        let touched = g.get(id).expect("untouched items are never evicted");
+        assert_eq!(touched.use_count, 1, "exactly one touch must be recorded");
+        assert!(touched.last_used > touched.inserted_at, "touch must advance recency");
+        // Clock events (2 inserts + 1 touch) are serialized by the write
+        // lock: every stamp is unique, no stamp is ever re-issued.
+        let mut stamps: Vec<u64> = g.iter().map(|it| it.last_used).collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 2, "recency stamps must stay distinct");
+    });
+    outcome.assert_ok();
+    assert!(outcome.exhausted, "schedule space must be exhausted: {:?}", outcome.stats);
+}
+
+/// Invariant (b): with a capacity-1 cache, two concurrent executors with
+/// disjoint queries race insert-vs-evict between each other's read and
+/// write phases. In every schedule both must return the correct skyline,
+/// exactly one eviction happens, and neither counts a spurious hit.
+#[test]
+fn harness_b_eviction_between_phases_never_loses_or_double_counts() {
+    let _gate = serial();
+    let t = table();
+    let ca = Constraints::from_pairs(&[(0.0, 0.4), (0.0, 1.0)]).unwrap();
+    let cb = Constraints::from_pairs(&[(0.6, 1.0), (0.0, 1.0)]).unwrap();
+    let ref_a = reference(&t, &ca);
+    let ref_b = reference(&t, &cb);
+
+    let config = CbcsConfig { capacity: Some(1), ..Default::default() };
+    let outcome = Explorer::new().with_preemption_bound(2).explore(|| {
+        Kernel::set_active(Kernel::Scalar);
+        let shared = SharedCache::new(2, &config);
+        let (got_a, got_b) = thread::scope(|s| {
+            let shared_a = shared.clone();
+            let shared_b = shared.clone();
+            let (t_ref, ca_ref, cb_ref) = (&t, &ca, &cb);
+            let ha = s.spawn(move || run_query(t_ref, shared_a, 1, ca_ref));
+            let hb = s.spawn(move || run_query(t_ref, shared_b, 2, cb_ref));
+            (ha.join().expect("user a"), hb.join().expect("user b"))
+        });
+        assert_eq!(got_a.0, ref_a, "user a's result must survive the race");
+        assert_eq!(got_b.0, ref_b, "user b's result must survive the race");
+        assert!(!got_a.1 && !got_b.1, "disjoint queries must never count a hit");
+        assert_eq!(shared.len(), 1, "capacity-1 cache holds exactly one result");
+        shared.with_read(|c| {
+            assert_eq!(c.evictions(), 1, "exactly one insert is evicted, never both");
+        });
+    });
+    outcome.assert_ok();
+    assert!(outcome.exhausted, "schedule space must be exhausted: {:?}", outcome.stats);
+}
+
+/// Invariant (c): the `// lock-order: read`/`write` protocol in
+/// `shared.rs` holds at most one cache lock at a time, so two full
+/// concurrent `execute()` calls admit no AB/BA schedule — exhaustive
+/// exploration finds no deadlock, and hit accounting stays consistent.
+#[test]
+fn harness_c_concurrent_execute_admits_no_deadlock() {
+    let _gate = serial();
+    let t = table();
+    let c = Constraints::from_pairs(&[(0.0, 0.9), (0.0, 0.9)]).unwrap();
+    let want = reference(&t, &c);
+
+    let outcome = Explorer::new().with_preemption_bound(2).explore(|| {
+        Kernel::set_active(Kernel::Scalar);
+        let shared = SharedCache::new(2, &CbcsConfig::default());
+        let (got_a, got_b) = thread::scope(|s| {
+            let shared_a = shared.clone();
+            let shared_b = shared.clone();
+            let (t_ref, c_ref) = (&t, &c);
+            let ha = s.spawn(move || run_query(t_ref, shared_a, 1, c_ref));
+            let hb = s.spawn(move || run_query(t_ref, shared_b, 2, c_ref));
+            (ha.join().expect("user a"), hb.join().expect("user b"))
+        });
+        assert_eq!(got_a.0, want);
+        assert_eq!(got_b.0, want);
+        let hits = usize::from(got_a.1) + usize::from(got_b.1);
+        assert!(hits <= 1, "an empty cache admits at most one hit");
+        // Every execute() publishes: 2 items; a hit also touches its item.
+        assert_eq!(shared.len(), 2);
+        shared.with_read(|cache| {
+            let touches: u64 = cache.iter().map(|it| it.use_count).sum();
+            assert_eq!(touches as usize, hits, "hits and touches must agree");
+        });
+    });
+    outcome.assert_ok();
+    assert!(outcome.exhausted, "schedule space must be exhausted: {:?}", outcome.stats);
+}
+
+/// Satellite: `SharedCache::with_read` re-entrancy. The shim RwLock grants
+/// shared acquisition whenever no writer holds the lock — recursively from
+/// the same thread included — so a nested `with_read` is safe even with a
+/// concurrent writer waiting.
+#[test]
+fn with_read_reentrancy_is_safe_under_the_shim_rwlock() {
+    let _gate = serial();
+    let outcome = Explorer::new().with_preemption_bound(2).explore(|| {
+        let shared = SharedCache::new(2, &CbcsConfig::default());
+        let observer = shared.clone();
+        let h = thread::spawn(move || observer.len());
+        let (outer_len, inner_len) = shared.with_read(|outer| {
+            // Nested read acquisition of the same lock, while `h` may be
+            // interleaved anywhere: must never deadlock.
+            let inner_len = shared.with_read(|inner| inner.len());
+            (outer.len(), inner_len)
+        });
+        assert_eq!(outer_len, inner_len);
+        assert_eq!(h.join().expect("observer"), 0);
+    });
+    outcome.assert_ok();
+    assert!(outcome.exhausted, "schedule space must be exhausted: {:?}", outcome.stats);
+}
+
+/// Satellite: the `geom::Kernel` `ACTIVE` pin. A generation pinned before
+/// spawning must be observed by the worker in every schedule — the
+/// release store / acquire load pair made model-checkable by the shim.
+#[test]
+fn kernel_active_pin_is_visible_to_spawned_workers() {
+    let _gate = serial();
+    let outcome = Explorer::new().with_preemption_bound(2).explore(|| {
+        Kernel::set_active(Kernel::Wide);
+        let h = thread::spawn(|| Kernel::for_dims(2));
+        let seen = h.join().expect("worker");
+        assert_eq!(
+            seen,
+            Kernel::Wide,
+            "a pin published before spawn must be visible to the worker"
+        );
+        Kernel::reset_to_env();
+    });
+    outcome.assert_ok();
+    assert!(outcome.exhausted, "schedule space must be exhausted: {:?}", outcome.stats);
+}
+
+/// Seeded bug: perform `touch`'s clock bump the *wrong* way — read the
+/// clock under a read lock, drop it, then write the incremented value
+/// under a separate write lock (i.e. skip the touch write-lock critical
+/// section). skycheck must find the lost update and hand back a
+/// byte-reproducible, replayable schedule trace.
+#[test]
+fn seeded_bug_touch_without_write_lock_yields_reproducible_trace() {
+    let _gate = serial();
+    let harness = || {
+        let clock = Arc::new(RwLock::new(0u64));
+        let clock2 = clock.clone();
+        let buggy_touch = |clk: &RwLock<u64>| {
+            let seen = *clk.read(); // BUG: decide under the read lock…
+            *clk.write() = seen + 1; // …publish under a later write lock.
+        };
+        let h = thread::spawn(move || {
+            let seen = *clock2.read();
+            *clock2.write() = seen + 1;
+        });
+        buggy_touch(&clock);
+        h.join().expect("toucher");
+        assert_eq!(*clock.read(), 2, "lost clock update");
+    };
+
+    let first = Explorer::new().with_preemption_bound(2).explore(harness);
+    let failure = first.failure.expect("the lost update must be found");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("lost clock update"), "{}", failure.message);
+
+    // Byte-reproducible: a fresh exploration finds the identical trace…
+    let second = Explorer::new().with_preemption_bound(2).explore(harness);
+    assert_eq!(second.failure.expect("same bug").trace, failure.trace);
+
+    // …and replaying the printed trace reproduces the failure directly.
+    let replayed = Explorer::new().replay(&failure.trace, harness);
+    let rf = replayed.failure.expect("replay must reproduce the failure");
+    assert_eq!(rf.trace, failure.trace);
+    assert_eq!(rf.message, failure.message);
+}

@@ -32,8 +32,11 @@
 //! benchmarks pin in-process through [`Kernel::set_active`] and restore
 //! with [`Kernel::reset_to_env`].
 
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
+
+// Shim atomic: identical to `std::sync::atomic` in production,
+// schedulable under a `skycheck::Explorer` model run (see DESIGN.md §15).
+use skycheck::sync::{AtomicU8, Ordering};
 
 use crate::dominance::{compare_raw, dominance_box_coords, dominates_raw, DomRelation};
 use crate::{Aabb, Constraints};
@@ -109,11 +112,13 @@ impl Kernel {
     /// rows: the process-wide pin (environment or [`Kernel::set_active`])
     /// when one is set, otherwise wide at [`WIDE_MIN_DIMS`] and up and
     /// scalar below. The environment is resolved on first use; one
-    /// relaxed atomic load afterwards, so callers hoist the result once
-    /// per loop rather than per row.
+    /// acquire atomic load afterwards (pairing with the release stores in
+    /// [`Kernel::set_active`] / [`Kernel::reset_to_env`], so a worker
+    /// spawned after a pin is guaranteed to observe it), and callers
+    /// hoist the result once per loop rather than per row.
     #[inline]
     pub fn for_dims(dims: usize) -> Kernel {
-        match ACTIVE.load(Ordering::Relaxed) {
+        match ACTIVE.load(Ordering::Acquire) {
             1 => Kernel::Scalar,
             2 => Kernel::Wide,
             3 => Kernel::auto(dims),
@@ -142,7 +147,9 @@ impl Kernel {
             Kernel::Scalar => 1,
             Kernel::Wide => 2,
         };
-        ACTIVE.store(v, Ordering::Relaxed);
+        // Release: pairs with the acquire load in `for_dims` so threads
+        // spawned after the pin observe it.
+        ACTIVE.store(v, Ordering::Release);
     }
 
     /// Restores the selection state to the environment: pinned when
@@ -153,7 +160,8 @@ impl Kernel {
             Some(Kernel::Wide) => 2,
             None => 3,
         };
-        ACTIVE.store(v, Ordering::Relaxed);
+        // Release: pairs with the acquire load in `for_dims`.
+        ACTIVE.store(v, Ordering::Release);
     }
 
     /// Kernel-dispatched strict Pareto dominance `s ≺ t`.

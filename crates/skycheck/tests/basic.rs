@@ -1,0 +1,173 @@
+//! Scheduler self-tests: the explorer must find classic bugs and certify
+//! classic non-bugs, deterministically.
+
+use skycheck::sync::{thread, Arc, AtomicU64, Mutex, Ordering, RwLock};
+use skycheck::{Explorer, FailureKind};
+
+#[test]
+fn mutex_counter_is_sound() {
+    let outcome = Explorer::new().explore(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let m2 = m.clone();
+        let h = thread::spawn(move || *m2.lock() += 1);
+        *m.lock() += 1;
+        h.join().expect("worker");
+        assert_eq!(*m.lock(), 2);
+    });
+    outcome.assert_ok();
+    assert!(outcome.exhausted, "small space must be exhausted");
+    assert!(outcome.stats.schedules >= 2, "must explore both orders");
+}
+
+#[test]
+fn atomic_read_modify_write_race_is_found() {
+    // Unsynchronised load/store pairs lose updates under some schedule.
+    let outcome = Explorer::new().explore(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = a.clone();
+        let h = thread::spawn(move || {
+            let v = a2.load(Ordering::SeqCst);
+            a2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = a.load(Ordering::SeqCst);
+        a.store(v + 1, Ordering::SeqCst);
+        h.join().expect("worker");
+        assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let failure = outcome.failure.expect("explorer must find the lost update");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("lost update"), "{}", failure.message);
+}
+
+#[test]
+fn ab_ba_deadlock_is_found() {
+    let outcome = Explorer::new().explore(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let h = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        h.join().expect("worker");
+    });
+    let failure = outcome.failure.expect("explorer must find the AB/BA deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}
+
+#[test]
+fn read_write_upgrade_deadlocks_and_nested_reads_do_not() {
+    // Nested reads are fine under the shim's recursive-read semantics…
+    let outcome = Explorer::new().explore(|| {
+        let l = Arc::new(RwLock::new(7u32));
+        let g1 = l.read();
+        let g2 = l.read();
+        assert_eq!(*g1 + *g2, 14);
+    });
+    outcome.assert_ok();
+    assert!(outcome.exhausted);
+
+    // …but a read→write upgrade on the same thread is a deadlock.
+    let outcome = Explorer::new().explore(|| {
+        let l = Arc::new(RwLock::new(7u32));
+        let _g = l.read();
+        let _w = l.write();
+    });
+    let failure = outcome.failure.expect("upgrade must deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}
+
+#[test]
+fn failure_traces_are_byte_reproducible_and_replayable() {
+    let harness = || {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = a.clone();
+        let h = thread::spawn(move || {
+            let v = a2.load(Ordering::SeqCst);
+            a2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = a.load(Ordering::SeqCst);
+        a.store(v + 1, Ordering::SeqCst);
+        h.join().expect("worker");
+        assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let first = Explorer::new().explore(harness).failure.expect("bug");
+    let second = Explorer::new().explore(harness).failure.expect("bug");
+    assert_eq!(first.trace, second.trace, "exploration must be deterministic");
+
+    let replayed = Explorer::new().replay(&first.trace, harness);
+    let rf = replayed.failure.expect("replay must reproduce the failure");
+    assert_eq!(rf.trace, first.trace);
+    assert_eq!(rf.message, first.message);
+}
+
+#[test]
+fn scoped_threads_and_preemption_bound_zero() {
+    // Under preemption bound 0 only cooperative switches happen; the
+    // schedule count collapses but the harness still completes.
+    let outcome = Explorer::new().with_preemption_bound(0).explore(|| {
+        let total = Arc::new(Mutex::new(0u64));
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let total = total.clone();
+                    s.spawn(move || *total.lock() += i)
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker");
+            }
+        });
+        assert_eq!(*total.lock(), 3);
+    });
+    outcome.assert_ok();
+    assert!(outcome.exhausted);
+}
+
+#[test]
+fn sleep_sets_prune_commuting_interleavings() {
+    let outcome = Explorer::new().explore(|| {
+        // Two threads touching two different mutexes commute entirely:
+        // DPOR should prune a chunk of the naive interleaving space.
+        let a = Arc::new(Mutex::new(0u64));
+        let b = Arc::new(Mutex::new(0u64));
+        let a2 = a.clone();
+        let h = thread::spawn(move || *a2.lock() += 1);
+        *b.lock() += 1;
+        h.join().expect("worker");
+        assert_eq!(*a.lock() + *b.lock(), 2);
+    });
+    outcome.assert_ok();
+    assert!(outcome.exhausted);
+    assert!(
+        outcome.stats.pruned_sleep > 0,
+        "expected sleep-set pruning, stats: {:?}",
+        outcome.stats
+    );
+}
+
+#[test]
+fn passthrough_mode_works_outside_explorer() {
+    let m = Mutex::new(1u32);
+    *m.lock() += 1;
+    assert_eq!(*m.lock(), 2);
+    let l = RwLock::new(3u32);
+    assert_eq!(*l.read(), 3);
+    *l.write() += 1;
+    assert_eq!(*l.read(), 4);
+    let a = AtomicU64::new(0);
+    a.store(9, Ordering::Release);
+    assert_eq!(a.load(Ordering::Acquire), 9);
+    let h = thread::spawn(|| 21u32);
+    assert_eq!(h.join().expect("thread"), 21);
+    let sum: u32 = thread::scope(|s| {
+        let h1 = s.spawn(|| 1u32);
+        let h2 = s.spawn(|| 2u32);
+        h1.join().expect("t1") + h2.join().expect("t2")
+    });
+    assert_eq!(sum, 3);
+}

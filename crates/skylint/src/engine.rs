@@ -127,6 +127,12 @@ pub struct Policy {
     pub taint_sinks: Vec<String>,
     /// Call names that bless a tainted argument (range-taint validators).
     pub taint_validators: Vec<String>,
+    /// Files/dirs whose sync primitives must come from the
+    /// `skycheck::sync` shims (sync-confinement). Empty disables the rule.
+    pub sync_confine_files: Vec<String>,
+    /// Files/dirs scanned for static atomics and their access sites
+    /// (atomic-ordering). Empty disables the rule.
+    pub atomic_files: Vec<String>,
 }
 
 impl Policy {
@@ -218,12 +224,14 @@ impl Policy {
                 &["locate", "with_capacity", "reserve"],
             ),
             taint_validators: list_or("rules.range-taint.validators", &[]),
+            sync_confine_files: list_or("rules.sync-confinement.files", &[]),
+            atomic_files: list_or("rules.atomic-ordering.files", &[]),
         }
     }
 }
 
 /// Every `section.key` the config may set. Anything else is a hard error.
-const KNOWN_KEYS: [&str; 30] = [
+const KNOWN_KEYS: [&str; 32] = [
     "paths.include",
     "paths.exclude",
     "crates.library",
@@ -254,6 +262,8 @@ const KNOWN_KEYS: [&str; 30] = [
     "rules.range-taint.sources",
     "rules.range-taint.sinks",
     "rules.range-taint.validators",
+    "rules.sync-confinement.files",
+    "rules.atomic-ordering.files",
 ];
 
 /// Panic-fact kinds `[rules.panic-reachability].sources` may name.

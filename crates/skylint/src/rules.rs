@@ -12,6 +12,7 @@
 //! | `determinism`         | byte-reproducible results across plans/modes     |
 //! | `concurrency-hygiene` | thread/lock discipline of the parallel lanes     |
 //! | `api-hygiene`         | lint headers + documented public surface         |
+//! | `sync-confinement`    | raw sync primitives stay behind skycheck shims   |
 //!
 //! Whole-workspace dataflow rules (AST + call graph):
 //!
@@ -20,6 +21,7 @@
 //! | `lock-order`          | acyclic, annotation-consistent lock graph        |
 //! | `panic-reachability`  | no transitive panic behind a public API          |
 //! | `hot-path-alloc`      | allocation-free designated kernels               |
+//! | `atomic-ordering`     | no Relaxed on cross-thread statics (w/ witness)  |
 //! | `dead-allow`          | every allow annotation still suppresses          |
 //!
 //! CFG + guard-liveness dataflow rules (v3, see `cfg.rs`):
@@ -44,11 +46,12 @@ use crate::report::Finding;
 use crate::symbols::{match_paren, next_code_idx, statement_end, EventKind, LockKind};
 
 /// All rule ids, in reporting order.
-pub const RULE_IDS: [&str; 12] = [
+pub const RULE_IDS: [&str; 14] = [
     "no-panic-paths",
     "determinism",
     "concurrency-hygiene",
     "api-hygiene",
+    "sync-confinement",
     "lock-order",
     "panic-reachability",
     "hot-path-alloc",
@@ -56,6 +59,7 @@ pub const RULE_IDS: [&str; 12] = [
     "capture-race",
     "env-read-confinement",
     "range-taint",
+    "atomic-ordering",
     "dead-allow",
 ];
 
@@ -324,6 +328,56 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              \n\
              Escape hatch: `// skylint: allow(range-taint) — <why bounded>`.",
         ),
+        "sync-confinement" => Some(
+            "sync-confinement — concurrency primitives in the shared-cache\n\
+             protocol code must come from the `skycheck::sync` shims.\n\
+             \n\
+             Within the files listed under [rules.sync-confinement].files\n\
+             (library code, outside #[cfg(test)] modules), any mention of:\n\
+               * `parking_lot` (imports or paths)\n\
+               * `std::sync::{Mutex, RwLock, Condvar, Barrier, Once, mpsc,\n\
+                 atomic}` paths\n\
+               * `std::thread` paths, except\n\
+                 `std::thread::available_parallelism`\n\
+             is a finding. `std::sync::Arc`, `OnceLock` and the shim\n\
+             re-exports are fine.\n\
+             \n\
+             Rationale: skycheck's deterministic model checker can only\n\
+             explore interleavings of operations it can see. The shims in\n\
+             `skycheck::sync` compile to the real `std` primitives in\n\
+             production and become schedule points under an Explorer run;\n\
+             a raw `std::sync::RwLock` or `std::thread::spawn` in protocol\n\
+             code is invisible to the checker, so the model-checked\n\
+             invariants silently stop covering it.\n\
+             \n\
+             Escape hatch: `// skylint: allow(sync-confinement) — <why the\n\
+             primitive is out of model scope>`.",
+        ),
+        "atomic-ordering" => Some(
+            "atomic-ordering — no `Ordering::Relaxed` on statics shared\n\
+             across threads.\n\
+             \n\
+             Within the files listed under [rules.atomic-ordering].files,\n\
+             a `static X: Atomic…` that has both load and store/RMW sites,\n\
+             at least one of which is reachable (over the call graph) from\n\
+             a function in a spawn-allowed file\n\
+             ([rules.concurrency-hygiene].spawn-allowed — the thread\n\
+             lanes), is cross-thread. Every access to such a static that\n\
+             passes `Ordering::Relaxed` is a finding, with a witness call\n\
+             path from the thread lane to the access.\n\
+             \n\
+             Rationale: Relaxed guarantees atomicity but no ordering — a\n\
+             worker spawned after `set_active` stored a kernel choice with\n\
+             Relaxed may still observe the old value and select a\n\
+             different dominance kernel than the one the cached plan was\n\
+             built with. Cross-thread publication must be\n\
+             Release (store) / Acquire (load) or SeqCst; Relaxed is only\n\
+             acceptable for single-thread or counter-only statics, which\n\
+             this rule's reachability test excludes.\n\
+             \n\
+             Escape hatch: `// skylint: allow(atomic-ordering) — <why\n\
+             ordering is irrelevant here>`.",
+        ),
         "dead-allow" => Some(
             "dead-allow — `// skylint: allow(…)` escapes must still earn\n\
              their keep.\n\
@@ -370,6 +424,7 @@ pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     determinism(ctx, out);
     concurrency_hygiene(ctx, out);
     api_hygiene(ctx, out);
+    sync_confinement(ctx, out);
 }
 
 fn push(ctx: &FileCtx<'_>, out: &mut Vec<Finding>, rule: &str, line: u32, message: String) {
@@ -843,6 +898,97 @@ fn next_code(toks: &[Token], i: usize) -> Option<&Token> {
 }
 
 // ---------------------------------------------------------------------------
+// sync-confinement
+// ---------------------------------------------------------------------------
+
+/// `std::sync::*` items banned from sync-confined files. `Arc` and
+/// `OnceLock` are absent on purpose: they carry no schedule point the
+/// model checker needs to intercept.
+const CONFINED_SYNC_ITEMS: [&str; 7] =
+    ["Mutex", "RwLock", "Condvar", "Barrier", "Once", "mpsc", "atomic"];
+
+fn sync_confinement(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "sync-confinement";
+    if ctx.policy.sync_confine_files.is_empty() || !ctx.path_in(&ctx.policy.sync_confine_files) {
+        return;
+    }
+    let toks = &ctx.model.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_comment() || t.kind != TokKind::Ident || !ctx.lib_code_at(t.line) {
+            continue;
+        }
+        // Any `parking_lot` mention: the import line is the chokepoint —
+        // after `use parking_lot::RwLock;` the bare uses are lexically
+        // indistinguishable from the shim, so the import carries the flag.
+        if t.text == "parking_lot" {
+            push(
+                ctx,
+                out,
+                RULE,
+                t.line,
+                "`parking_lot` primitive in a sync-confined file — import the \
+                 `skycheck::sync` shim instead, so model runs can schedule it"
+                    .to_owned(),
+            );
+            continue;
+        }
+        if t.text != "std" {
+            continue;
+        }
+        let Some(seg1) = path_segment_after(toks, i) else { continue };
+        match toks[seg1].text.as_str() {
+            "sync" => {
+                let Some(seg2) = path_segment_after(toks, seg1) else { continue };
+                let item = toks[seg2].text.as_str();
+                if CONFINED_SYNC_ITEMS.contains(&item) {
+                    push(
+                        ctx,
+                        out,
+                        RULE,
+                        t.line,
+                        format!(
+                            "`std::sync::{item}` in a sync-confined file — use the \
+                             `skycheck::sync` shim so model runs can schedule it"
+                        ),
+                    );
+                }
+            }
+            "thread" => {
+                // `available_parallelism` is a pure capability probe with
+                // no schedule point; everything else (spawn/scope/park/…)
+                // must go through the shimmed `skycheck::sync::thread`.
+                let exempt = path_segment_after(toks, seg1)
+                    .is_some_and(|j| toks[j].text == "available_parallelism");
+                if !exempt {
+                    push(
+                        ctx,
+                        out,
+                        RULE,
+                        t.line,
+                        "`std::thread` in a sync-confined file — use \
+                         `skycheck::sync::thread` so spawns and joins are \
+                         schedule points under the model checker"
+                            .to_owned(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Token index of the path segment following `i`, if the next code token
+/// is `::` and the one after it an identifier.
+fn path_segment_after(toks: &[Token], i: usize) -> Option<usize> {
+    let j = next_code_idx(toks, i)?;
+    if !toks[j].is_op("::") {
+        return None;
+    }
+    let k = next_code_idx(toks, j)?;
+    (toks[k].kind == TokKind::Ident).then_some(k)
+}
+
+// ---------------------------------------------------------------------------
 // Whole-workspace dataflow rules
 // ---------------------------------------------------------------------------
 
@@ -867,6 +1013,9 @@ pub fn run_workspace(
     env_read_confinement(ws, models, policy, out);
     if !policy.taint_files.is_empty() {
         range_taint(ws, models, policy, out);
+    }
+    if !policy.atomic_files.is_empty() {
+        atomic_ordering(ws, models, policy, out);
     }
 }
 
@@ -1134,6 +1283,178 @@ fn hot_path_alloc(
                     ),
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// atomic-ordering
+// ---------------------------------------------------------------------------
+
+/// Atomic method names that observe a value.
+const ATOMIC_READS: [&str; 1] = ["load"];
+
+/// Atomic method names that publish a value (stores and RMWs).
+const ATOMIC_WRITES: [&str; 10] = [
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// One access to a static atomic, as harvested from the call graph.
+struct AtomicAccess {
+    file: String,
+    line: u32,
+    fn_idx: usize,
+    fn_name: String,
+    is_write: bool,
+    relaxed: bool,
+}
+
+/// Names of `static … : Atomic…` declarations in `model`.
+fn static_atomics(model: &SourceModel) -> Vec<String> {
+    let toks = &model.tokens;
+    let mut names = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_comment() || !t.is_ident("static") {
+            continue;
+        }
+        let Some(mut j) = next_code_idx(toks, i) else { continue };
+        if toks[j].is_ident("mut") {
+            match next_code_idx(toks, j) {
+                Some(k) => j = k,
+                None => continue,
+            }
+        }
+        if toks[j].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(colon) = next_code_idx(toks, j) else { continue };
+        if !toks[colon].is_op(":") {
+            continue;
+        }
+        // The type may be bare (`AtomicU8`) or path-qualified
+        // (`atomic::AtomicU8`): scan the annotation up to `=`/`;`.
+        let mut k = colon;
+        let mut is_atomic = false;
+        while let Some(n) = next_code_idx(toks, k) {
+            if toks[n].is_op("=") || toks[n].is_op(";") {
+                break;
+            }
+            if toks[n].kind == TokKind::Ident && toks[n].text.starts_with("Atomic") {
+                is_atomic = true;
+                break;
+            }
+            k = n;
+        }
+        if is_atomic {
+            names.push(toks[j].text.clone());
+        }
+    }
+    names
+}
+
+fn atomic_ordering(
+    ws: &Workspace,
+    models: &BTreeMap<&str, &SourceModel>,
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) {
+    const RULE: &str = "atomic-ordering";
+    // 1. Static atomics declared in the scoped files.
+    let mut statics: Vec<String> = Vec::new();
+    for (file, model) in models {
+        if file_in(file, &policy.atomic_files) {
+            statics.extend(static_atomics(model));
+        }
+    }
+    if statics.is_empty() {
+        return;
+    }
+    // 2. Every load/store/RMW whose receiver is one of those statics.
+    let mut accesses: BTreeMap<String, Vec<AtomicAccess>> = BTreeMap::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        if !file_in(&f.file, &policy.atomic_files) {
+            continue;
+        }
+        let Some(model) = models.get(f.file.as_str()) else { continue };
+        for e in &f.events {
+            let EventKind::Method { recv, .. } = &e.kind else { continue };
+            let Some(target) = recv.last().filter(|r| statics.contains(r)) else { continue };
+            let is_write = ATOMIC_WRITES.contains(&e.name.as_str());
+            if !is_write && !ATOMIC_READS.contains(&e.name.as_str()) {
+                continue;
+            }
+            accesses.entry(target.clone()).or_default().push(AtomicAccess {
+                file: f.file.clone(),
+                line: e.line,
+                fn_idx: i,
+                fn_name: f.name.clone(),
+                is_write,
+                relaxed: call_args_mention(&model.tokens, e.tok, "Relaxed"),
+            });
+        }
+    }
+    // 3. Thread lanes: everything reachable from the spawn-allowed files.
+    let roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| file_in(&f.file, &policy.spawn_allowed))
+        .map(|(i, _)| i)
+        .collect();
+    let reach = ws.reachable_with_paths(&roots);
+    // 4. A static with both sides present, at least one on a thread path,
+    //    must not be accessed with Relaxed anywhere.
+    for (st, accs) in &accesses {
+        if !accs.iter().any(|a| a.is_write) || !accs.iter().any(|a| !a.is_write) {
+            continue;
+        }
+        let Some(threaded) = accs.iter().find(|a| reach.contains_key(&a.fn_idx)) else {
+            continue;
+        };
+        let witness: String = reach[&threaded.fn_idx]
+            .iter()
+            .map(|&c| ws.fns[c].name.clone())
+            .collect::<Vec<_>>()
+            .join(" → ");
+        for acc in accs.iter().filter(|a| a.relaxed) {
+            let (side, want, pair) = if acc.is_write {
+                ("store", "Release", "Acquire")
+            } else {
+                ("load", "Acquire", "Release")
+            };
+            let opp = accs.iter().find(|a| a.is_write != acc.is_write);
+            let opp_at = opp
+                .map(|o| {
+                    format!(
+                        ", {} in `{}` at {}:{}",
+                        if o.is_write { "written" } else { "read" },
+                        o.fn_name,
+                        o.file,
+                        o.line
+                    )
+                })
+                .unwrap_or_default();
+            push_ws(
+                models,
+                out,
+                RULE,
+                &acc.file,
+                acc.line,
+                format!(
+                    "`Ordering::Relaxed` {side} on static `{st}`, which crosses a \
+                     spawn boundary (thread witness: {witness}{opp_at}) — use \
+                     `Ordering::{want}` pairing with `{pair}` on the other side"
+                ),
+            );
         }
     }
 }

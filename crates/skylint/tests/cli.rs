@@ -166,6 +166,45 @@ fn validated_decoded_length_tree_is_clean() {
     assert_clean("range_taint_clean");
 }
 
+#[test]
+fn raw_sync_primitive_tree_is_flagged() {
+    let stdout = assert_bad("sync_confine_bad", "sync-confinement");
+    // All three forms: parking_lot, std::sync and std::thread.
+    assert!(stdout.contains("parking_lot"), "{stdout}");
+    assert!(stdout.contains("std::sync::Mutex"), "{stdout}");
+    assert!(stdout.contains("skycheck::sync::thread"), "{stdout}");
+    // The Arc import and the capability probe stay unflagged.
+    assert!(!stdout.contains("available_parallelism"), "{stdout}");
+    assert!(!stdout.contains("Arc"), "{stdout}");
+}
+
+#[test]
+fn shimmed_sync_tree_is_clean() {
+    assert_clean("sync_confine_clean");
+}
+
+#[test]
+fn relaxed_cross_thread_static_tree_is_flagged() {
+    let stdout = assert_bad("atomic_ordering_bad", "atomic-ordering");
+    // Both sides are findings, each carrying the thread witness path.
+    assert!(stdout.contains("`ACTIVE`"), "{stdout}");
+    assert!(stdout.contains("worker_lane → current"), "{stdout}");
+    assert!(stdout.contains("Ordering::Release"), "{stdout}");
+    assert!(stdout.contains("Ordering::Acquire"), "{stdout}");
+}
+
+#[test]
+fn release_acquire_static_tree_is_clean() {
+    // Release/Acquire on the pin; Relaxed only on the lane-local tally.
+    assert_clean("atomic_ordering_clean");
+}
+
+#[test]
+fn recursive_shared_reads_tree_is_clean() {
+    // Shared → shared re-entry on one lock is safe under the shim RwLock.
+    assert_clean("recursive_read_clean");
+}
+
 // ---------------------------------------------------------------------------
 // --fix-dead-allows: dry-run previews, the real thing rewrites
 // ---------------------------------------------------------------------------

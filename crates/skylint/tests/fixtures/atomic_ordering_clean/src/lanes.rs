@@ -1,0 +1,9 @@
+//! The thread lane (spawn-allowed): reaches `current` but never the
+//! lane-local counter.
+
+use crate::current;
+
+/// Reads the pin from the worker side of the spawn boundary.
+pub fn worker_lane() -> u8 {
+    current()
+}

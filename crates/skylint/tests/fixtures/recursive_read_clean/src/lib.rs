@@ -1,0 +1,43 @@
+//! Recursive-read clean fixture: nested shared acquisitions of one lock,
+//! both directly and through a `with_read`-style helper. Shared → shared
+//! re-entry never deadlocks under the shim RwLock (the model grants a
+//! recursive read whenever no writer holds the lock), so `skylint check`
+//! must exit 0 — only read → write upgrades are findings.
+
+use skycheck::sync::RwLock;
+
+/// Shared state behind one reader-writer lock.
+pub struct Shared {
+    inner: RwLock<Vec<u64>>,
+}
+
+impl Shared {
+    /// Runs a closure with read access to the inner state.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Vec<u64>) -> R) -> R {
+        f(&self.inner.read()) // lock-order: read
+    }
+
+    /// Number of entries (takes a read lock).
+    pub fn len(&self) -> usize {
+        self.inner.read().len() // lock-order: read
+    }
+
+    /// Whether the state is empty (takes a read lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Directly nested shared acquisitions of the same lock: safe.
+    pub fn nested_counts(&self) -> (usize, usize) {
+        let outer = self.inner.read(); // lock-order: read
+        let again = self.inner.read(); // lock-order: read
+        (outer.len(), again.len())
+    }
+
+    /// Re-entrant read through the helper while a guard is live.
+    pub fn sum_and_len(&self) -> (u64, usize) {
+        let guard = self.inner.read(); // lock-order: read
+        let total = guard.iter().sum();
+        (total, self.len())
+    }
+}

@@ -1,0 +1,31 @@
+//! Sync-confinement bad fixture: raw primitives in a confined file, in
+//! parking_lot, `std::sync` and `std::thread` form. `skylint check` must
+//! exit 1 with `sync-confinement` findings, while the `Arc` import and
+//! the `available_parallelism` probe stay clean.
+
+/// Allowed: `Arc` carries no schedule point the model checker needs.
+pub use std::sync::Arc;
+
+/// BAD: a parking_lot import — invisible to the model checker.
+use parking_lot::RwLock;
+
+/// BAD: a raw std mutex in protocol code.
+use std::sync::Mutex;
+
+/// Holds both raw primitives so the imports are exercised.
+pub struct Protocol {
+    /// Raw reader-writer lock.
+    pub state: RwLock<u64>,
+    /// Raw mutex.
+    pub side: Mutex<u64>,
+}
+
+/// Allowed: a pure capability probe, no schedule point.
+pub fn lanes() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// BAD: an unshimmed thread operation.
+pub fn pause() {
+    std::thread::yield_now();
+}

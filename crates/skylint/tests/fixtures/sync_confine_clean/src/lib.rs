@@ -1,0 +1,44 @@
+//! Sync-confinement clean fixture: every primitive comes from the
+//! `skycheck::sync` shims; the only std mentions are the sanctioned
+//! `Arc`, `OnceLock` and `available_parallelism`. `skylint check` must
+//! exit 0.
+
+/// Shimmed primitives: schedulable under a model run.
+use skycheck::sync::{thread, Mutex, RwLock};
+
+/// Allowed std items: no schedule points to intercept.
+use std::sync::{Arc, OnceLock};
+
+/// Shared state behind shimmed locks.
+pub struct Protocol {
+    /// Shimmed reader-writer lock.
+    pub state: Arc<RwLock<u64>>,
+    /// Shimmed mutex.
+    pub side: Mutex<u64>,
+    /// One-time init cell (allowed).
+    pub init: OnceLock<u64>,
+}
+
+/// Allowed: a pure capability probe, no schedule point.
+pub fn lanes() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Shimmed spawn: a schedule point under the model checker.
+pub fn fan_out(n: u64) -> u64 {
+    thread::scope(|s| {
+        let h = s.spawn(move || n + 1);
+        h.join().map_or(0, |v| v)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt: raw std threads are fine here.
+    #[test]
+    fn raw_threads_allowed_in_tests() {
+        std::thread::scope(|s| {
+            s.spawn(|| ());
+        });
+    }
+}
