@@ -27,6 +27,7 @@ experiments:
   obs                    per-phase latency + cache/fetch aggregates (writes BENCH_obs.json)
   perf                   block path vs legacy: qps, allocs/query, coalescing (writes BENCH_perf.json)
   check                  skycheck model-check stats for the shared-cache protocol (writes BENCH_check.json)
+  serve                  TCP server under concurrent load: qps/p99, coalescing, read scaling (writes BENCH_serve.json)
   all    everything above";
 
 fn main() -> ExitCode {
@@ -66,6 +67,7 @@ fn main() -> ExitCode {
         ("obs", figures::obs),
         ("perf", figures::perf),
         ("check", skycache_bench::check::check),
+        ("serve", skycache_bench::serve::serve_bench),
     ] {
         if want(name) {
             runner(&scale);

@@ -2,9 +2,11 @@
 //! protocol under the skycheck model checker (DESIGN.md §15).
 //!
 //! Runs the three load-bearing invariants of `core::shared`'s
-//! read → compute → write protocol plus the kernel-pin publication
-//! harness, each explored to exhaustion at preemption bound 2, and
-//! writes the per-harness exploration statistics to `BENCH_check.json`
+//! read → compute → write protocol, the two service-layer protocols
+//! (singleflight coalescing and epoch publication, DESIGN.md §16) and
+//! the kernel-pin publication harness, each explored to exhaustion at
+//! preemption bound 2, and writes the per-harness exploration
+//! statistics to `BENCH_check.json`
 //! (schema `skycheck-bench/1`) so CI can track schedule counts, pruning
 //! effectiveness and wall time across commits.
 //!
@@ -13,8 +15,8 @@
 //! slips past the tests (e.g. a pruning bug exploding the schedule
 //! count) still shows up in the benchmark record.
 
-use skycache_core::engine::{CbcsConfig, Executor, QueryRequest};
-use skycache_core::{Cache, ReplacementPolicy, SharedCache, SharedCbcsExecutor};
+use skycache_core::engine::{CbcsConfig, QueryRequest};
+use skycache_core::{Cache, ReplacementPolicy, Service, ServiceConfig, Session};
 use skycache_geom::{Constraints, Kernel, Point};
 use skycache_storage::{Table, TableConfig};
 use skycheck::sync::{thread, Arc, RwLock};
@@ -37,10 +39,14 @@ fn table() -> Table {
     Table::build(points, TableConfig::default()).expect("grid table")
 }
 
-fn run_query(table: &Table, shared: SharedCache, seed: u64, c: &Constraints) -> (Vec<Point>, bool) {
-    let config = CbcsConfig { seed, ..Default::default() };
-    let mut ex = SharedCbcsExecutor::new(table, shared, config);
-    let r = ex.execute(&QueryRequest::new(c.clone())).expect("query").into_result();
+/// Service config pinning the raw shared-cache protocol (the service
+/// fast paths get their own harnesses below).
+fn raw_config(cbcs: CbcsConfig) -> ServiceConfig {
+    ServiceConfig { cbcs, coalesce: false, negative_cache: false, ..ServiceConfig::default() }
+}
+
+fn run_query(session: &mut Session<'_>, c: &Constraints) -> (Vec<Point>, bool) {
+    let r = session.execute(&QueryRequest::new(c.clone())).expect("query").into_result();
     (r.skyline, r.stats.cache_hit)
 }
 
@@ -72,18 +78,18 @@ fn eviction_race() -> Outcome {
     let config = CbcsConfig { capacity: Some(1), ..Default::default() };
     Explorer::new().with_preemption_bound(PREEMPTION_BOUND).explore(move || {
         Kernel::set_active(Kernel::Scalar);
-        let shared = SharedCache::new(2, &config);
+        let service = Service::open(&t, raw_config(config.clone()));
+        let mut sa = service.session();
+        let mut sb = service.session();
         let (got_a, got_b) = thread::scope(|s| {
-            let shared_a = shared.clone();
-            let shared_b = shared.clone();
-            let (t_ref, ca_ref, cb_ref) = (&t, &ca, &cb);
-            let ha = s.spawn(move || run_query(t_ref, shared_a, 1, ca_ref));
-            let hb = s.spawn(move || run_query(t_ref, shared_b, 2, cb_ref));
+            let (ca_ref, cb_ref) = (&ca, &cb);
+            let ha = s.spawn(move || run_query(&mut sa, ca_ref));
+            let hb = s.spawn(move || run_query(&mut sb, cb_ref));
             (ha.join().expect("user a"), hb.join().expect("user b"))
         });
         assert!(!got_a.1 && !got_b.1, "disjoint queries must never count a hit");
-        assert_eq!(shared.len(), 1);
-        shared.with_read(|c| assert_eq!(c.evictions(), 1));
+        assert_eq!(service.cache().len(), 1);
+        service.cache().with_read(|c| assert_eq!(c.evictions(), 1));
     })
 }
 
@@ -94,18 +100,70 @@ fn no_deadlock() -> Outcome {
     let c = Constraints::from_pairs(&[(0.0, 0.9), (0.0, 0.9)]).expect("constraints");
     Explorer::new().with_preemption_bound(PREEMPTION_BOUND).explore(move || {
         Kernel::set_active(Kernel::Scalar);
-        let shared = SharedCache::new(2, &CbcsConfig::default());
+        let service = Service::open(&t, raw_config(CbcsConfig::default()));
+        let mut sa = service.session();
+        let mut sb = service.session();
         let (got_a, got_b) = thread::scope(|s| {
-            let shared_a = shared.clone();
-            let shared_b = shared.clone();
-            let (t_ref, c_ref) = (&t, &c);
-            let ha = s.spawn(move || run_query(t_ref, shared_a, 1, c_ref));
-            let hb = s.spawn(move || run_query(t_ref, shared_b, 2, c_ref));
+            let c_ref = &c;
+            let ha = s.spawn(move || run_query(&mut sa, c_ref));
+            let hb = s.spawn(move || run_query(&mut sb, c_ref));
             (ha.join().expect("user a"), hb.join().expect("user b"))
         });
         let hits = usize::from(got_a.1) + usize::from(got_b.1);
         assert!(hits <= 1, "an empty cache admits at most one hit");
-        assert_eq!(shared.len(), 2);
+        assert_eq!(service.cache().len(), 2);
+    })
+}
+
+/// Service invariant (d): two identical concurrent queries through the
+/// singleflight table — every join saves exactly one computation and the
+/// joiner observes the leader's outcome (deep version: `model_serve.rs`).
+fn singleflight() -> Outcome {
+    let t = table();
+    let c = Constraints::from_pairs(&[(0.0, 0.9), (0.0, 0.9)]).expect("constraints");
+    Explorer::new().with_preemption_bound(PREEMPTION_BOUND).explore(move || {
+        Kernel::set_active(Kernel::Scalar);
+        let config = ServiceConfig { negative_cache: false, ..ServiceConfig::default() };
+        let service = Service::open(&t, config);
+        let mut sa = service.session();
+        let mut sb = service.session();
+        let (got_a, got_b) = thread::scope(|s| {
+            let c_ref = &c;
+            let ha = s.spawn(move || run_query(&mut sa, c_ref));
+            let hb = s.spawn(move || run_query(&mut sb, c_ref));
+            (ha.join().expect("user a"), hb.join().expect("user b"))
+        });
+        assert_eq!(got_a.0, got_b.0, "a joiner must observe the winner's outcome");
+        let m = service.metrics();
+        assert_eq!(m.computes, 2 - m.coalesced, "every join saves exactly one compute");
+        assert_eq!(service.cache().len() as u64, m.computes);
+    })
+}
+
+/// Service invariant (e): epoch publication — a reader interleaved with
+/// an inserting writer sees a monotone epoch and only complete
+/// snapshots, with publish ordered before the epoch bump.
+fn epoch_publish() -> Outcome {
+    let t = table();
+    let c = Constraints::from_pairs(&[(0.0, 0.9), (0.0, 0.9)]).expect("constraints");
+    Explorer::new().with_preemption_bound(PREEMPTION_BOUND).explore(move || {
+        Kernel::set_active(Kernel::Scalar);
+        let config = ServiceConfig { negative_cache: false, ..ServiceConfig::default() };
+        let service = Service::open(&t, config);
+        let mut writer = service.session();
+        let cache = service.cache().clone();
+        let reader = thread::spawn(move || {
+            let e1 = cache.epoch();
+            let snap = cache.snapshot();
+            let e2 = cache.epoch();
+            assert!(e2 >= e1, "epoch must be monotone");
+            assert!(snap.len() <= 1, "torn snapshot");
+            assert!(snap.len() as u64 >= e1, "epoch bumped before snapshot published");
+        });
+        let r = writer.execute(&QueryRequest::new(c.clone())).expect("writer query");
+        assert!(!r.skyline.is_empty());
+        reader.join().expect("reader");
+        assert_eq!(service.cache().epoch(), 1);
     })
 }
 
@@ -137,10 +195,12 @@ pub fn check(_scale: &Scale) {
         "harness", "schedules", "pruned-sleep", "pruned-preempt", "depth", "wall-ms"
     );
 
-    let harnesses: [Harness; 4] = [
+    let harnesses: [Harness; 6] = [
         ("clock-monotone", clock_monotone),
         ("eviction-race", eviction_race),
         ("no-deadlock", no_deadlock),
+        ("singleflight", singleflight),
+        ("epoch-publish", epoch_publish),
         ("kernel-pin", kernel_pin),
     ];
     let mut rows = Vec::new();

@@ -12,6 +12,7 @@
 
 pub mod check;
 pub mod figures;
+pub mod serve;
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,355 @@
+//! `repro serve` — concurrent-load benchmark of the TCP query server
+//! (DESIGN.md §16), written to `BENCH_serve.json` (schema
+//! `skyserve-bench/1`).
+//!
+//! Three phases against a real loopback server:
+//!
+//! 1. **Load matrix** — qps and latency percentiles per client count,
+//!    with singleflight coalescing on and off, over the seeded
+//!    interactive workload (clients stride the same query list, so
+//!    identical queries genuinely collide in flight).
+//! 2. **Coalesce burst** — barrier-synchronized clients fire the *same
+//!    fresh expensive query* each round; the run asserts at least one
+//!    join happened, so the dedup counter in the artifact is never
+//!    vacuous.
+//! 3. **Read scaling** — the cache is warmed with the full workload,
+//!    then hit-only throughput is measured per client count; snapshot
+//!    reads should scale instead of serializing on the cache lock.
+//!
+//! Everything data-shaped is seeded; only wall-clock numbers vary.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use skycache_core::{CbcsConfig, ServiceConfig};
+use skycache_datagen::Distribution;
+use skycache_geom::{Constraints, Point};
+use skycache_serve::{serve, ServerHandle};
+use skycache_storage::{Table, TableConfig};
+
+use crate::figures::Scale;
+use crate::{fmt_size, interactive_queries, print_header, print_row};
+
+/// Data/workload seed for every phase (workload generation is seeded on
+/// top of it, so the whole run is reproducible modulo wall clock).
+const SEED: u64 = 101;
+
+/// Client counts for the load matrix and read-scaling phases.
+const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Barrier-synchronized clients in the coalesce burst.
+const BURST_CLIENTS: usize = 4;
+
+/// Rounds in the coalesce burst (one fresh query per round).
+const BURST_ROUNDS: usize = 32;
+
+/// One TCP client speaking the line protocol.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to bench server");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { reader, writer: stream }
+    }
+
+    fn roundtrip(&mut self, request: &str) -> String {
+        writeln!(self.writer, "{request}").expect("send request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        let reply = line.trim_end().to_owned();
+        assert!(reply.starts_with("OK "), "server error for {request:?}: {reply:?}");
+        reply
+    }
+}
+
+/// Serializes a query request line: `Q lo hi lo hi ...`.
+fn query_line(c: &Constraints) -> String {
+    let mut line = String::from("Q");
+    for dim in 0..c.dims() {
+        line.push_str(&format!(" {} {}", c.lo()[dim], c.hi()[dim]));
+    }
+    line
+}
+
+/// Server-side counters scraped from a `STATS` reply.
+#[derive(Clone, Copy, Debug, Default)]
+struct Stats {
+    coalesced: u64,
+    negative_hits: u64,
+    negative_inserts: u64,
+    computes: u64,
+}
+
+fn fetch_stats(addr: SocketAddr) -> Stats {
+    let mut client = Client::connect(addr);
+    let reply = client.roundtrip("STATS");
+    client.roundtrip("QUIT");
+    let field = |name: &str| -> u64 {
+        reply
+            .split(' ')
+            .find_map(|t| t.strip_prefix(&format!("{name}=")))
+            .unwrap_or_else(|| panic!("missing {name} in {reply:?}"))
+            .parse()
+            .expect("numeric stats field")
+    };
+    Stats {
+        coalesced: field("coalesced"),
+        negative_hits: field("negative_hits"),
+        negative_inserts: field("negative_inserts"),
+        computes: field("computes"),
+    }
+}
+
+fn start_server(points: &[Point], coalesce: bool) -> ServerHandle {
+    let table =
+        Table::build(points.to_vec(), TableConfig::default()).expect("bench table is valid");
+    let config = ServiceConfig { coalesce, ..ServiceConfig::default() };
+    serve(table, config, "127.0.0.1:0").expect("bind loopback server")
+}
+
+/// Runs `clients` threads striding `queries`; returns (qps, p50µs, p99µs).
+fn drive(addr: SocketAddr, clients: usize, queries: &[String], rounds: usize) -> (f64, u64, u64) {
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|worker| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut lat = Vec::with_capacity(rounds * queries.len() / clients + 1);
+                    for _ in 0..rounds {
+                        // All clients walk the same list (offset by their
+                        // index), so identical queries overlap in flight.
+                        for line in queries.iter().cycle().skip(worker).take(queries.len()) {
+                            let t = Instant::now();
+                            client.roundtrip(line);
+                            lat.push(t.elapsed().as_micros() as u64);
+                        }
+                    }
+                    client.roundtrip("QUIT");
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("bench client")).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let pct = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+    ((latencies.len() as f64 / wall).max(0.0), pct(50), pct(99))
+}
+
+/// One load-matrix row as both a table line and a JSON object.
+struct Run {
+    clients: usize,
+    coalesce: bool,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    stats: Stats,
+}
+
+impl Run {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"clients\": {}, \"coalesce\": {}, \"qps\": {:.1}, ",
+                "\"p50_us\": {}, \"p99_us\": {}, \"coalesced\": {}, ",
+                "\"negative_hits\": {}, \"negative_inserts\": {}, \"computes\": {}}}"
+            ),
+            self.clients,
+            self.coalesce,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.stats.coalesced,
+            self.stats.negative_hits,
+            self.stats.negative_inserts,
+            self.stats.computes,
+        )
+    }
+}
+
+/// `repro serve` entry point.
+///
+/// # Panics
+/// Panics if the server misbehaves or the coalesce burst never joins a
+/// flight (which would make the dedup numbers in the artifact vacuous).
+pub fn serve_bench(scale: &Scale) {
+    let n = scale.mid_n / 4;
+    let dims = 3;
+    let gen = skycache_datagen::SyntheticGen::new(Distribution::Independent, dims, SEED);
+    let points = gen.generate(n);
+    let table = Table::build(points.clone(), TableConfig::default()).expect("bench table");
+    let queries: Vec<String> = interactive_queries(&table, scale.interactive_queries, SEED, None)
+        .iter()
+        .map(query_line)
+        .collect();
+    drop(table);
+
+    // ---- Phase 1: load matrix --------------------------------------
+    print_header(
+        &format!("serve: loopback load, {} points, {} queries", fmt_size(n), queries.len()),
+        &["clients", "coalesce", "qps", "p50", "p99", "joined", "neg-hits"].map(String::from),
+    );
+    let mut runs = Vec::new();
+    for coalesce in [true, false] {
+        for clients in CLIENTS {
+            let server = start_server(&points, coalesce);
+            let addr = server.addr();
+            let (qps, p50_us, p99_us) = drive(addr, clients, &queries, 2);
+            let stats = fetch_stats(addr);
+            server.shutdown().expect("clean shutdown");
+            print_row(
+                "",
+                &[
+                    clients.to_string(),
+                    coalesce.to_string(),
+                    format!("{qps:.0}"),
+                    format!("{p50_us}us"),
+                    format!("{p99_us}us"),
+                    stats.coalesced.to_string(),
+                    stats.negative_hits.to_string(),
+                ],
+            );
+            runs.push(Run { clients, coalesce, qps, p50_us, p99_us, stats });
+        }
+    }
+
+    // ---- Phase 2: coalesce burst -----------------------------------
+    // Each round: a fresh, expensive (wide-region) query fired by all
+    // clients at a barrier. Anti-correlated data maximizes the skyline
+    // work, and result caching is off so every round recomputes from
+    // scratch instead of refining the previous round's cached item —
+    // the leader's compute window stays wide enough to span the other
+    // arrivals even on a loaded host, and the assertion below keeps the
+    // artifact honest.
+    let burst_points =
+        skycache_datagen::SyntheticGen::new(Distribution::AntiCorrelated, dims, SEED).generate(n);
+    let burst_table =
+        Table::build(burst_points, TableConfig::default()).expect("bench table is valid");
+    let burst_cbcs = CbcsConfig { cache_results: false, ..CbcsConfig::default() };
+    let burst_config = ServiceConfig::with_cbcs(burst_cbcs);
+    let server = serve(burst_table, burst_config, "127.0.0.1:0").expect("bind loopback server");
+    let addr = server.addr();
+    let barrier = Barrier::new(BURST_CLIENTS);
+    std::thread::scope(|s| {
+        let barrier = &barrier;
+        for _ in 0..BURST_CLIENTS {
+            s.spawn(move || {
+                let mut client = Client::connect(addr);
+                for round in 0..BURST_ROUNDS {
+                    let hi = 0.90 + round as f64 * 0.001;
+                    let line = format!("Q 0 {hi} 0 {hi} 0 {hi}");
+                    barrier.wait();
+                    client.roundtrip(&line);
+                }
+                client.roundtrip("QUIT");
+            });
+        }
+    });
+    let burst = fetch_stats(addr);
+    server.shutdown().expect("clean shutdown");
+    println!(
+        "\nserve: coalesce burst — {} clients x {} rounds: {} joined, {} computed",
+        BURST_CLIENTS, BURST_ROUNDS, burst.coalesced, burst.computes
+    );
+    assert!(
+        burst.coalesced > 0,
+        "no burst query ever joined a flight — singleflight dedup is not engaging"
+    );
+
+    // ---- Phase 3: read scaling over a warm cache -------------------
+    let server = start_server(&points, true);
+    let addr = server.addr();
+    {
+        let mut warm = Client::connect(addr);
+        for line in &queries {
+            warm.roundtrip(line);
+        }
+        warm.roundtrip("QUIT");
+    }
+    let mut scaling = Vec::new();
+    println!("\nserve: warm-cache read scaling");
+    for clients in CLIENTS {
+        let (qps, _, p99_us) = drive(addr, clients, &queries, 2);
+        println!("  {clients} client(s): {qps:.0} qps (p99 {p99_us}us)");
+        scaling.push(format!("    {{\"clients\": {clients}, \"qps\": {qps:.1}}}"));
+    }
+    server.shutdown().expect("clean shutdown");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"skyserve-bench/1\",\n",
+            "  \"points\": {},\n",
+            "  \"dims\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"cores\": {},\n",
+            "  \"runs\": [\n{}\n  ],\n",
+            "  \"burst\": {{\"clients\": {}, \"rounds\": {}, \"coalesced\": {}, ",
+            "\"computes\": {}}},\n",
+            "  \"read_scaling\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        n,
+        dims,
+        SEED,
+        queries.len(),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        runs.iter().map(Run::json).collect::<Vec<_>>().join(",\n"),
+        BURST_CLIENTS,
+        BURST_ROUNDS,
+        burst.coalesced,
+        burst.computes,
+        scaling.join(",\n"),
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_lines_serialize_bounds_in_order() {
+        let c = Constraints::from_pairs(&[(0.25, 0.75), (0.0, 1.0)]).unwrap();
+        assert_eq!(query_line(&c), "Q 0.25 0.75 0 1");
+    }
+
+    #[test]
+    fn run_rows_emit_the_schema_fields() {
+        let run = Run {
+            clients: 4,
+            coalesce: true,
+            qps: 1234.5,
+            p50_us: 80,
+            p99_us: 900,
+            stats: Stats { coalesced: 3, negative_hits: 2, negative_inserts: 1, computes: 7 },
+        };
+        let json = run.json();
+        for field in [
+            "\"clients\": 4",
+            "\"coalesce\": true",
+            "\"qps\": 1234.5",
+            "\"p50_us\": 80",
+            "\"p99_us\": 900",
+            "\"coalesced\": 3",
+            "\"negative_hits\": 2",
+            "\"negative_inserts\": 1",
+            "\"computes\": 7",
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+    }
+}

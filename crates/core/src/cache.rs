@@ -69,7 +69,12 @@ pub struct LookupOutcome<'a> {
 }
 
 /// The cache: items plus an R\*-tree over their index boxes.
-#[derive(Debug)]
+///
+/// `Clone` is deliberate: the multi-tenant [`crate::SharedCache`]
+/// publishes immutable epoch snapshots by cloning the write-side master
+/// — every owned field here is a value type, so a clone is a fully
+/// independent, internally consistent cache state.
+#[derive(Clone, Debug)]
 pub struct Cache {
     items: BTreeMap<u64, CacheItem>,
     index: RStarTree<u64>,

@@ -566,12 +566,6 @@ pub trait Executor {
     /// Answers the request: `Sky(S, C)` for its constraints, honoring its
     /// overrides and recording flag.
     fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome>;
-
-    /// Answers `Sky(S, C)` with the executor's configured defaults.
-    #[deprecated(note = "use Executor::execute with a QueryRequest")]
-    fn query(&mut self, c: &Constraints) -> Result<QueryResult> {
-        Ok(self.execute(&QueryRequest::new(c.clone()))?.into_result())
-    }
 }
 
 pub(crate) fn check_dims(table: &Table, c: &Constraints) -> Result<()> {
@@ -610,14 +604,6 @@ impl<'t> BaselineExecutor<'t> {
     /// independent of this choice; so is Baseline's cost profile).
     pub fn with_algorithm(mut self, algo: Box<dyn SkylineAlgorithm>) -> Self {
         self.algo = algo;
-        self
-    }
-
-    /// Selects sequential or parallel execution of the skyline stage
-    /// (Baseline issues a single range query, so fetching is unaffected).
-    #[deprecated(note = "use QueryRequest::with_exec for per-query execution modes")]
-    pub fn with_exec_mode(mut self, exec: ExecMode) -> Self {
-        self.exec = exec;
         self
     }
 }
@@ -1520,19 +1506,6 @@ mod tests {
             skyline: Duration::from_millis(3),
         };
         assert_eq!(t.total(), Duration::from_millis(6));
-    }
-
-    #[test]
-    fn deprecated_query_shim_matches_execute() {
-        let table = grid_table();
-        let cc = c(&[(0.3, 1.2), (0.2, 0.8)]);
-        let mut a = CbcsExecutor::new(&table, CbcsConfig::default());
-        let mut b = CbcsExecutor::new(&table, CbcsConfig::default());
-        #[allow(deprecated)]
-        let legacy = a.query(&cc).unwrap();
-        let modern = run(&mut b, &cc);
-        assert_eq!(legacy.skyline, modern.skyline);
-        assert_eq!(legacy.stats.points_read, modern.stats.points_read);
     }
 
     #[test]

@@ -69,6 +69,8 @@ pub mod engine;
 mod error;
 /// The (approximate) Missing Points Region (Section 5).
 pub mod mpr;
+/// The multi-tenant query service: sessions, singleflight, negative cache.
+pub mod service;
 /// Thread-safe shared cache for multi-user deployments.
 pub mod shared;
 /// Stability theory (Definition 4, Theorem 1) and case classification.
@@ -84,6 +86,7 @@ pub use engine::{
 };
 pub use error::CoreError;
 pub use mpr::{missing_points_region, missing_points_region_multi, MprMode, MprOutput};
+pub use service::{Service, ServiceConfig, ServiceMetrics, Session};
 pub use shared::{SharedCache, SharedCbcsExecutor};
 pub use stability::{classify, is_stable, Overlap};
 pub use strategy::SearchStrategy;

@@ -1,0 +1,612 @@
+//! The multi-tenant query service: [`Service`], [`Session`] and the
+//! production-cache machinery around the shared CBCS executor.
+//!
+//! The paper evaluates the cache one query at a time; a deployed service
+//! runs many sessions against one cache. This module is the concurrent
+//! entry point for that shape — ad-hoc `SharedCbcsExecutor` wiring is
+//! crate-private, so every multi-user deployment flows through here and
+//! picks up three protections the raw executor does not have:
+//!
+//! 1. **Snapshot reads** — lookups run against the epoch-published
+//!    `Arc<Cache>` snapshot (see [`crate::shared`]), so concurrent
+//!    sessions never serialize on the cache write lock.
+//! 2. **Singleflight coalescing** — identical in-flight queries (same
+//!    canonicalized constraints and per-query overrides) compute once;
+//!    the joiners block on the leader's flight slot and share its
+//!    [`QueryOutcome`]. Keyed by [`flight_key`]'s canonical encoding so
+//!    `-0.0`/`0.0` bound spellings coalesce.
+//! 3. **Negative caching** — constraint regions the per-dimension
+//!    indexes prove empty ([`Table::probe_region_empty`]) are remembered
+//!    with a deterministic (seeded-jitter) TTL in logical ticks, and
+//!    answered with the empty skyline without planning, locking a
+//!    flight, or touching the heap.
+//!
+//! All synchronization uses the `skycheck::sync` shims, so the whole
+//! protocol is model-checkable (`crates/core/tests/model_serve.rs`
+//! explores the singleflight and epoch-publication invariants
+//! exhaustively at preemption bound 2).
+//!
+//! Lock order is `flights → slot → (master → snap)`: the flight table
+//! lock is only ever held to look up/insert/remove a flight (the leader
+//! acquires its fresh slot while still holding the table lock, so a
+//! joiner can never observe a registered flight whose slot is free);
+//! the slot is held across the leader's compute by design — that is the
+//! coalescing point — and the cache locks live below it inside
+//! [`SharedCbcsExecutor::execute`].
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// Shim sync primitives: identical to `std` in production, schedulable
+// under a `skycheck::Explorer` model run (see DESIGN.md §15–16).
+use skycheck::sync::{Arc, AtomicU64, Mutex, Ordering};
+
+use skycache_geom::Constraints;
+use skycache_obs::{names, QueryRecorder, Recorder};
+use skycache_storage::Table;
+
+use crate::engine::{
+    check_dims, AlgoChoice, CbcsConfig, ExecMode, Executor, QueryOutcome, QueryRequest, QueryStats,
+};
+use crate::shared::{SharedCache, SharedCbcsExecutor};
+use crate::Result;
+
+/// Bound on remembered provably-empty regions; expired entries are
+/// purged lazily once the table grows past it.
+const NEGATIVE_CAPACITY: usize = 1024;
+
+/// Service-level configuration: the per-session CBCS configuration plus
+/// the production-cache knobs layered on top.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Configuration handed to every session's CBCS executor.
+    pub cbcs: CbcsConfig,
+    /// Coalesce identical in-flight queries through the singleflight
+    /// table (on by default).
+    pub coalesce: bool,
+    /// Remember provably-empty constraint regions and answer them
+    /// without computing (on by default).
+    pub negative_cache: bool,
+    /// Base lifetime of a negative entry, in logical ticks (one tick per
+    /// query the service executes).
+    pub negative_ttl: u64,
+    /// Upper bound on the deterministic per-entry TTL jitter, drawn from
+    /// a `cbcs.seed`-seeded generator so expiries de-synchronize without
+    /// wall-clock randomness.
+    pub negative_jitter: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cbcs: CbcsConfig::default(),
+            coalesce: true,
+            negative_cache: true,
+            negative_ttl: 256,
+            negative_jitter: 32,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config with everything default except the CBCS layer.
+    pub fn with_cbcs(cbcs: CbcsConfig) -> Self {
+        ServiceConfig { cbcs, ..ServiceConfig::default() }
+    }
+}
+
+/// Point-in-time counters of the service-layer fast paths.
+///
+/// `coalesced + negative_hits + computes` equals the number of executed
+/// queries (every query either joins a flight, hits the negative cache,
+/// or computes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Queries that joined another session's in-flight computation.
+    pub coalesced: u64,
+    /// Queries answered from the negative cache.
+    pub negative_hits: u64,
+    /// Regions classified provably empty and remembered.
+    pub negative_inserts: u64,
+    /// Skyline computations actually executed (misses + leaders).
+    pub computes: u64,
+    /// Logical ticks elapsed (one per query executed while the negative
+    /// cache is enabled — the TTL time base).
+    pub ticks: u64,
+}
+
+impl ServiceMetrics {
+    /// Publishes the counters through a [`Recorder`] under the canonical
+    /// `serve.*` metric names.
+    pub fn record_into(&self, rec: &mut dyn Recorder) {
+        rec.add_counter(names::SERVE_COALESCED, self.coalesced);
+        rec.add_counter(names::SERVE_NEGATIVE_HITS, self.negative_hits);
+        rec.add_counter(names::SERVE_NEGATIVE_INSERTS, self.negative_inserts);
+        rec.add_counter(names::SERVE_COMPUTES, self.computes);
+    }
+}
+
+/// One in-flight computation: the leader holds `slot` while computing
+/// and stores the outcome before releasing it; joiners block on `slot`
+/// and read the stored outcome. `None` after release means the leader
+/// failed — joiners fall back to computing themselves.
+struct Flight {
+    slot: Mutex<Option<QueryOutcome>>,
+}
+
+/// Negative cache: canonical constraint key → expiry tick.
+struct NegativeCache {
+    entries: BTreeMap<Vec<u64>, u64>,
+    /// Deterministic jitter source (seeded from the service config).
+    rng: StdRng,
+}
+
+/// State shared by the service handle and every session.
+struct ServiceShared {
+    cache: SharedCache,
+    /// Singleflight table: canonical request key → in-flight computation.
+    flights: Mutex<BTreeMap<Vec<u64>, Arc<Flight>>>,
+    negative: Mutex<NegativeCache>,
+    /// Logical clock: one tick per executed query, the time base for
+    /// negative-entry TTLs (no wall clock — deterministic under test).
+    ticks: AtomicU64,
+    sessions: AtomicU64,
+    coalesced: AtomicU64,
+    negative_hits: AtomicU64,
+    negative_inserts: AtomicU64,
+    computes: AtomicU64,
+}
+
+/// The multi-tenant query service over one table and one shared cache.
+///
+/// Cheap to share by reference; spawn one [`Session`] per client/thread:
+///
+/// ```
+/// use skycache_core::service::{Service, ServiceConfig};
+/// use skycache_core::QueryRequest;
+/// use skycache_geom::{Constraints, Point};
+/// use skycache_storage::{Table, TableConfig};
+///
+/// let points: Vec<Point> =
+///     (0..100).map(|i| Point::from(vec![f64::from(i % 7), f64::from(i % 11)])).collect();
+/// let table = Table::build(points, TableConfig::default()).unwrap();
+/// let service = Service::open(&table, ServiceConfig::default());
+///
+/// let mut session = service.session();
+/// let c = Constraints::from_pairs(&[(1.0, 6.0), (1.0, 9.0)]).unwrap();
+/// let outcome = session.execute(&QueryRequest::new(c)).unwrap();
+/// assert!(!outcome.skyline.is_empty());
+/// ```
+pub struct Service<'t> {
+    table: &'t Table,
+    config: ServiceConfig,
+    shared: Arc<ServiceShared>,
+}
+
+impl<'t> Service<'t> {
+    /// Opens a service over `table` with a fresh shared cache.
+    pub fn open(table: &'t Table, config: ServiceConfig) -> Self {
+        let cache = SharedCache::new(table.dims(), &config.cbcs);
+        let shared = Arc::new(ServiceShared {
+            cache,
+            flights: Mutex::new(BTreeMap::new()),
+            negative: Mutex::new(NegativeCache {
+                entries: BTreeMap::new(),
+                rng: StdRng::seed_from_u64(config.cbcs.seed ^ 0x5EED_CAFE),
+            }),
+            ticks: AtomicU64::new(0),
+            sessions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            negative_hits: AtomicU64::new(0),
+            negative_inserts: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+        });
+        Service { table, config, shared }
+    }
+
+    /// Creates a session: the per-client query handle.
+    ///
+    /// Sessions are `Send` and own their executor scratch; each gets a
+    /// distinct deterministic seed derived from the configured one, so
+    /// randomized search strategies de-correlate across sessions while
+    /// staying reproducible.
+    pub fn session(&self) -> Session<'t> {
+        let idx = self.shared.sessions.fetch_add(1, Ordering::Relaxed);
+        let mut cbcs = self.config.cbcs.clone();
+        cbcs.seed = cbcs.seed.wrapping_add(idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let executor = SharedCbcsExecutor::new(self.table, self.shared.cache.clone(), cbcs);
+        Session {
+            table: self.table,
+            config: self.config.clone(),
+            shared: self.shared.clone(),
+            executor,
+        }
+    }
+
+    /// The table this service answers queries over.
+    pub fn table(&self) -> &'t Table {
+        self.table
+    }
+
+    /// Handle to the shared cache (snapshot reads, authoritative stats).
+    pub fn cache(&self) -> &SharedCache {
+        &self.shared.cache
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Snapshot of the service-layer counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            negative_hits: self.shared.negative_hits.load(Ordering::Relaxed),
+            negative_inserts: self.shared.negative_inserts.load(Ordering::Relaxed),
+            computes: self.shared.computes.load(Ordering::Relaxed),
+            ticks: self.shared.ticks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A per-client query handle over a [`Service`].
+///
+/// Owns its CBCS executor (scratch buffers, strategy RNG) so queries
+/// from distinct sessions share only the service state. Obtained from
+/// [`Service::session`]; also usable anywhere an [`Executor`] is.
+pub struct Session<'t> {
+    table: &'t Table,
+    config: ServiceConfig,
+    shared: Arc<ServiceShared>,
+    executor: SharedCbcsExecutor<'t>,
+}
+
+impl Session<'_> {
+    /// Answers one query through the service fast paths: negative cache,
+    /// then singleflight, then the shared-cache CBCS executor.
+    pub fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome> {
+        check_dims(self.table, &req.constraints)?;
+
+        if self.config.negative_cache {
+            // The logical TTL clock only runs while the negative cache
+            // is on — it is the sole consumer, and skipping the atomic
+            // otherwise keeps model-checked schedules small.
+            let now = self.shared.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(outcome) = self.negative_lookup(req, now) {
+                return Ok(outcome);
+            }
+            if self.table.probe_region_empty(&req.constraints.region()) {
+                return Ok(self.negative_insert(req, now));
+            }
+        }
+
+        // Recorded requests bypass coalescing: a joiner would otherwise
+        // receive the leader's report (or none), and reports are
+        // per-request property.
+        if self.config.coalesce && !req.record {
+            return self.execute_coalesced(req);
+        }
+        self.shared.computes.fetch_add(1, Ordering::Relaxed);
+        self.executor.execute(req)
+    }
+
+    /// Singleflight path: lead a new flight or join an existing one.
+    fn execute_coalesced(&mut self, req: &QueryRequest) -> Result<QueryOutcome> {
+        let key = flight_key(&req.constraints, req.exec, req.algo);
+        // skylint: allow(lock-order) — the `execute` called below is the field's concrete `SharedCbcsExecutor::execute` (flights-free); the bare-name match back to `Session::execute` is not a real call, and the table guard is dropped before any compute.
+        let mut flights = self.shared.flights.lock();
+        if let Some(flight) = flights.get(&key) {
+            // Join: block on the leader's slot, then share its outcome.
+            let flight = flight.clone();
+            drop(flights);
+            self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            let joined = flight.slot.lock().clone();
+            return match joined {
+                Some(outcome) => Ok(outcome),
+                // The leader failed; compute independently.
+                None => {
+                    self.shared.computes.fetch_add(1, Ordering::Relaxed);
+                    self.executor.execute(req)
+                }
+            };
+        }
+        // Lead: register the flight and take its slot *before* releasing
+        // the table lock, so every later arrival joins instead of racing
+        // to a second compute. The slot guard intentionally spans the
+        // computation — that is the coalescing point; joiners block here
+        // instead of redoing the work.
+        let flight = Arc::new(Flight { slot: Mutex::new(None) });
+        flights.insert(key.clone(), flight.clone());
+        // skylint: allow(lock-order) — the compute under this slot guard is `SharedCbcsExecutor::execute`, which never touches the flights table; the slot→flights cycle only exists through the bare-name match to `Session::execute`, and the real flights re-lock at the end of this fn happens after the slot guard is dropped.
+        let mut slot = flight.slot.lock();
+        drop(flights);
+        self.shared.computes.fetch_add(1, Ordering::Relaxed);
+        // skylint: allow(guard-hold-span) — the flight slot guard exists to span this compute: it is private to this flight (never contended by unrelated queries), and joiners blocking on it is the designed coalescing behavior.
+        let computed = self.executor.execute(req);
+        if let Ok(outcome) = &computed {
+            *slot = Some(outcome.clone());
+        }
+        drop(slot);
+        self.shared.flights.lock().remove(&key);
+        computed
+    }
+
+    /// Consults the negative cache; `Some` is a hit (the empty skyline).
+    fn negative_lookup(&mut self, req: &QueryRequest, now: u64) -> Option<QueryOutcome> {
+        let key = constraint_key(&req.constraints);
+        let hit = {
+            let mut neg = self.shared.negative.lock();
+            match neg.entries.get(&key) {
+                Some(&expires) if expires >= now => true,
+                Some(_) => {
+                    neg.entries.remove(&key);
+                    false
+                }
+                None => false,
+            }
+        };
+        if !hit {
+            return None;
+        }
+        self.shared.negative_hits.fetch_add(1, Ordering::Relaxed);
+        Some(empty_outcome(req, true))
+    }
+
+    /// Records a probed-empty region and returns the empty skyline.
+    fn negative_insert(&mut self, req: &QueryRequest, now: u64) -> QueryOutcome {
+        let key = constraint_key(&req.constraints);
+        {
+            let mut neg = self.shared.negative.lock();
+            if neg.entries.len() >= NEGATIVE_CAPACITY {
+                neg.entries.retain(|_, &mut expires| expires >= now);
+            }
+            let jitter = if self.config.negative_jitter == 0 {
+                0
+            } else {
+                neg.rng.gen_range(0..=self.config.negative_jitter)
+            };
+            let expires = now.saturating_add(self.config.negative_ttl).saturating_add(jitter);
+            neg.entries.insert(key, expires);
+        }
+        self.shared.negative_inserts.fetch_add(1, Ordering::Relaxed);
+        empty_outcome(req, false)
+    }
+}
+
+impl Executor for Session<'_> {
+    fn name(&self) -> String {
+        format!("Service[{}]", self.config.cbcs.mpr.label())
+    }
+
+    fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome> {
+        Session::execute(self, req)
+    }
+}
+
+/// The outcome of a query proven empty without computing: the empty
+/// skyline, one issued-and-empty range query in the stats, and — when
+/// the request records — a report carrying the serve-side counter.
+fn empty_outcome(req: &QueryRequest, from_negative_cache: bool) -> QueryOutcome {
+    let stats =
+        QueryStats { range_queries_issued: 1, range_queries_empty: 1, ..QueryStats::default() };
+    let report = req.record.then(|| {
+        let mut rec = QueryRecorder::new();
+        if from_negative_cache {
+            rec.add_counter(names::SERVE_NEGATIVE_HITS, 1);
+        } else {
+            rec.add_counter(names::SERVE_NEGATIVE_INSERTS, 1);
+        }
+        rec.into_report()
+    });
+    QueryOutcome { skyline: Vec::new(), stats, report }
+}
+
+/// Canonical bit-encoding of constraint bounds: `-0.0` folds onto `0.0`
+/// so semantically identical regions key identically.
+fn canonical_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+/// Canonical key of a constraint region (geometry only) — the negative
+/// cache key: emptiness depends on the region, not on how the query
+/// would execute.
+fn constraint_key(c: &Constraints) -> Vec<u64> {
+    let mut key = Vec::with_capacity(2 * c.dims());
+    for dim in 0..c.dims() {
+        key.push(canonical_bits(c.lo()[dim]));
+        key.push(canonical_bits(c.hi()[dim]));
+    }
+    key
+}
+
+/// Canonical key of a full request — the singleflight key: two queries
+/// may only share an outcome if the constraints *and* the per-query
+/// overrides (execution mode, algorithm) agree.
+fn flight_key(c: &Constraints, exec: Option<ExecMode>, algo: Option<AlgoChoice>) -> Vec<u64> {
+    let mut key = constraint_key(c);
+    match exec {
+        None => key.push(u64::MAX),
+        Some(ExecMode::Sequential) => key.push(0),
+        Some(ExecMode::Parallel { lanes, dc_threshold }) => {
+            key.push(1);
+            key.push(lanes as u64);
+            key.push(dc_threshold as u64);
+        }
+    }
+    key.push(match algo {
+        None => u64::MAX,
+        Some(AlgoChoice::Sfs) => 0,
+        Some(AlgoChoice::Bnl) => 1,
+        Some(AlgoChoice::DivideConquer) => 2,
+        Some(AlgoChoice::Salsa) => 3,
+    });
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycache_geom::Point;
+    use skycache_storage::TableConfig;
+
+    fn table() -> Table {
+        let points: Vec<Point> = (0..20)
+            .flat_map(|i| {
+                (0..20).map(move |j| Point::from(vec![f64::from(i) / 10.0, f64::from(j) / 10.0]))
+            })
+            .collect();
+        Table::build(points, TableConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn sessions_share_the_cache() {
+        let t = table();
+        let service = Service::open(&t, ServiceConfig::default());
+        let mut alice = service.session();
+        let mut bob = service.session();
+        let c = Constraints::from_pairs(&[(0.2, 1.0), (0.2, 1.0)]).unwrap();
+        let r1 = alice.execute(&QueryRequest::new(c.clone())).unwrap();
+        assert!(!r1.stats.cache_hit);
+        let r2 = bob.execute(&QueryRequest::new(c)).unwrap();
+        assert!(r2.stats.cache_hit, "bob must hit alice's cached result");
+        assert_eq!(r2.skyline, r1.skyline);
+    }
+
+    #[test]
+    fn provably_empty_region_is_negatively_cached() {
+        let t = table();
+        let service = Service::open(&t, ServiceConfig::default());
+        let mut s = service.session();
+        // Between grid coordinates: the per-dimension index proves no
+        // row can fall in (0.11, 0.19).
+        let c = Constraints::from_pairs(&[(0.11, 0.19), (0.11, 0.19)]).unwrap();
+        let r1 = s.execute(&QueryRequest::new(c.clone())).unwrap();
+        assert!(r1.skyline.is_empty());
+        assert_eq!(r1.stats.range_queries_empty, 1);
+        let r2 = s.execute(&QueryRequest::new(c).recorded()).unwrap();
+        assert!(r2.skyline.is_empty());
+        let report = r2.report.expect("recorded");
+        assert_eq!(report.counter(names::SERVE_NEGATIVE_HITS), 1);
+        let m = service.metrics();
+        assert_eq!(m.negative_inserts, 1);
+        assert_eq!(m.negative_hits, 1);
+        assert_eq!(m.computes, 0, "no skyline computation for a provably-empty region");
+        // Nothing was cached positively and nothing published.
+        assert!(service.cache().is_empty());
+        assert_eq!(service.cache().epoch(), 0);
+    }
+
+    #[test]
+    fn negative_entries_expire_after_ttl() {
+        let t = table();
+        let config =
+            ServiceConfig { negative_ttl: 2, negative_jitter: 0, ..ServiceConfig::default() };
+        let service = Service::open(&t, config);
+        let mut s = service.session();
+        let empty = Constraints::from_pairs(&[(0.11, 0.19), (0.11, 0.19)]).unwrap();
+        let busy = Constraints::from_pairs(&[(0.2, 1.0), (0.2, 1.0)]).unwrap();
+        s.execute(&QueryRequest::new(empty.clone())).unwrap(); // insert at tick 1, expires 3
+        s.execute(&QueryRequest::new(empty.clone())).unwrap(); // tick 2: hit
+        s.execute(&QueryRequest::new(busy.clone())).unwrap(); // tick 3
+        s.execute(&QueryRequest::new(busy)).unwrap(); // tick 4
+        s.execute(&QueryRequest::new(empty)).unwrap(); // tick 5: expired → re-probed
+        let m = service.metrics();
+        assert_eq!(m.negative_hits, 1);
+        assert_eq!(m.negative_inserts, 2, "expired entry must be re-probed and re-inserted");
+    }
+
+    #[test]
+    fn negative_ttl_jitter_is_deterministic() {
+        let t = table();
+        let run = || {
+            let service = Service::open(&t, ServiceConfig::default());
+            let mut s = service.session();
+            for i in 0..8 {
+                let lo = 0.101 + f64::from(i) * 0.001;
+                let c = Constraints::from_pairs(&[(lo, 0.109), (0.11, 0.19)]).unwrap();
+                // Drive the ticks far enough that some entries expire.
+                for _ in 0..40 {
+                    s.execute(&QueryRequest::new(c.clone())).unwrap();
+                }
+            }
+            service.metrics()
+        };
+        assert_eq!(run(), run(), "seeded jitter must reproduce exactly");
+    }
+
+    #[test]
+    fn identical_concurrent_queries_coalesce() {
+        let t = table();
+        let service = Service::open(&t, ServiceConfig::default());
+        let c = Constraints::from_pairs(&[(0.2, 1.3), (0.2, 1.3)]).unwrap();
+        let outcomes: Vec<QueryOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let mut s = service.session();
+                    let c = c.clone();
+                    scope.spawn(move || s.execute(&QueryRequest::new(c)).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let first = &outcomes[0].skyline;
+        for o in &outcomes {
+            assert_eq!(&o.skyline, first, "joined outcomes must agree with the leader");
+        }
+        let m = service.metrics();
+        assert_eq!(m.coalesced + m.computes, 8);
+        assert!(m.computes >= 1);
+    }
+
+    #[test]
+    fn coalescing_off_never_joins() {
+        let t = table();
+        let config = ServiceConfig { coalesce: false, ..ServiceConfig::default() };
+        let service = Service::open(&t, config);
+        let c = Constraints::from_pairs(&[(0.2, 1.3), (0.2, 1.3)]).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let mut s = service.session();
+                let c = c.clone();
+                scope.spawn(move || s.execute(&QueryRequest::new(c)).unwrap());
+            }
+        });
+        let m = service.metrics();
+        assert_eq!(m.coalesced, 0);
+        assert_eq!(m.computes, 4);
+    }
+
+    #[test]
+    fn flight_keys_canonicalize_and_discriminate() {
+        let a = Constraints::from_pairs(&[(-0.0, 1.0), (0.0, 2.0)]).unwrap();
+        let b = Constraints::from_pairs(&[(0.0, 1.0), (-0.0, 2.0)]).unwrap();
+        assert_eq!(flight_key(&a, None, None), flight_key(&b, None, None));
+        assert_ne!(
+            flight_key(&a, None, Some(AlgoChoice::Bnl)),
+            flight_key(&a, None, Some(AlgoChoice::Salsa)),
+        );
+        assert_ne!(
+            flight_key(&a, Some(ExecMode::Sequential), None),
+            flight_key(&a, Some(ExecMode::Parallel { lanes: 2, dc_threshold: 64 }), None),
+        );
+        assert_ne!(flight_key(&a, None, None), flight_key(&a, Some(ExecMode::Sequential), None));
+    }
+
+    #[test]
+    fn session_is_an_executor() {
+        let t = table();
+        let service = Service::open(&t, ServiceConfig::default());
+        let mut s = service.session();
+        let ex: &mut dyn Executor = &mut s;
+        assert!(ex.name().starts_with("Service["));
+        let c = Constraints::from_pairs(&[(0.2, 1.0), (0.2, 1.0)]).unwrap();
+        assert!(!ex.execute(&QueryRequest::new(c)).unwrap().skyline.is_empty());
+    }
+}

@@ -2,29 +2,56 @@
 //!
 //! The paper's second workload models "independent queries in a
 //! multi-user system" — many users benefiting from one cache. This module
-//! provides that deployment shape: a [`SharedCache`] (an
-//! `Arc<RwLock<Cache>>`) and a [`SharedCbcsExecutor`] per user/session.
+//! provides that deployment shape: a [`SharedCache`] shared by one
+//! [`SharedCbcsExecutor`] per user/session (constructed through
+//! [`crate::service::Service::session`]).
 //!
-//! Locking protocol: the cache is *read*-locked only while searching and
-//! while the selected item's contents are cloned out; planning, fetching
-//! and the skyline computation — the expensive parts — run without any
-//! lock; a short *write* lock then records the use and inserts the new
-//! result. Telemetry (spans/counters) is collected into locals under a
-//! guard and published only after it drops — skylint's `guard-hold-span`
-//! rule enforces that no guard is live across a recorder call. A cached item may be evicted between the read and write phases;
-//! that is benign (the executor works on its own clone, and `touch` on a
-//! gone item is a no-op), so queries never block each other for longer
-//! than the cache search itself.
+//! # Epoch/snapshot protocol
+//!
+//! The cache state is held twice:
+//!
+//! * a **master** copy behind a `RwLock` — the authoritative write side
+//!   every mutation (`touch`, `insert`) goes through;
+//! * a **published snapshot** — an `Arc<Cache>` behind an `RwLock`,
+//!   replaced wholesale by `insert` (clone-and-publish), never mutated
+//!   in place.
+//!
+//! Readers call [`SharedCache::snapshot`], which clones the `Arc` under
+//! a momentary read lock and releases it before any lookup work begins:
+//! the expensive cache search, case analysis, planning, fetching and the
+//! skyline computation all run against the immutable snapshot with *no*
+//! lock held, so concurrent lookups never serialize on the write side and
+//! an in-flight insert never blocks them. A monotone epoch counter is
+//! bumped with every publication so observers can tell snapshots apart
+//! without comparing contents; because the snapshot is swapped as a whole
+//! `Arc`, a reader sees either the pre-insert or the post-insert cache,
+//! never a torn intermediate (model-checked in
+//! `crates/core/tests/model_serve.rs`).
+//!
+//! `touch` (LRU bookkeeping on a hit) deliberately mutates only the
+//! master: replacement decisions made under the master lock always see
+//! it, and skipping republication keeps the hit path O(1) instead of
+//! O(cache size). Snapshots therefore carry slightly stale recency
+//! metadata — never stale results.
+//!
+//! Lock order is `master → snap`, only ever in that direction (the
+//! publication happens nested under the master guard so two racing
+//! inserts cannot publish out of order). Telemetry (spans/counters) is
+//! collected into locals and published after guards drop — skylint's
+//! `guard-hold-span` rule enforces that no guard is live across a
+//! recorder call. A cached item may be evicted between the snapshot read
+//! and the write phase; that is benign (the executor works on its own
+//! clone, and `touch` on a gone item is a no-op).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 // Shim sync primitives: identical to `std`/`parking_lot` in production,
 // schedulable under a `skycheck::Explorer` model run (see DESIGN.md §15).
-use skycheck::sync::{Arc, RwLock};
+use skycheck::sync::{Arc, AtomicU64, Ordering, RwLock};
 
 use skycache_algos::{Sfs, SkylineAlgorithm};
-use skycache_geom::{Aabb, Point};
+use skycache_geom::{Aabb, Constraints, Point};
 use skycache_obs::{names, Phase, QueryRecorder, Recorder};
 use skycache_storage::Table;
 
@@ -37,41 +64,114 @@ use crate::engine::{
 };
 use crate::Result;
 
-/// A cache shared between executors (and threads).
+/// Write side plus published snapshot; see the module docs for the
+/// protocol. Private so no caller can reach a raw lock or its guard —
+/// all access flows through the sealed [`SharedCache`] methods.
+struct SharedCacheInner {
+    /// Authoritative cache state; every mutation happens here first.
+    /// A `RwLock` so metadata reads (`len`, `with_read`) stay shared and
+    /// re-entrant; the query path never read-locks it — it reads `snap`.
+    master: RwLock<Cache>,
+    /// Immutable snapshot readers clone; replaced wholesale on insert.
+    snap: RwLock<Arc<Cache>>,
+    /// Publication counter; bumped once per snapshot swap.
+    epoch: AtomicU64,
+}
+
+/// A cache shared between executors (and threads), sealed behind an
+/// epoch/snapshot read protocol.
+///
+/// Cloning the handle is cheap and shares the same underlying cache.
 #[derive(Clone)]
 pub struct SharedCache {
-    inner: Arc<RwLock<Cache>>,
+    inner: Arc<SharedCacheInner>,
 }
 
 impl SharedCache {
     /// Creates a shared cache with the capacity/policy of `config`.
     pub fn new(dims: usize, config: &CbcsConfig) -> Self {
+        let master = Cache::with_capacity(dims, config.capacity, config.policy);
+        let snap = Arc::new(master.clone());
         SharedCache {
-            inner: Arc::new(RwLock::new(Cache::with_capacity(
-                dims,
-                config.capacity,
-                config.policy,
-            ))),
+            inner: Arc::new(SharedCacheInner {
+                master: RwLock::new(master),
+                snap: RwLock::new(snap),
+                epoch: AtomicU64::new(0),
+            }),
         }
     }
 
-    /// Number of cached items (takes a read lock).
+    /// The currently published snapshot.
+    ///
+    /// The internal read lock is held only for the `Arc` clone — the
+    /// returned cache is immutable and can be searched for as long as
+    /// the caller likes without blocking writers.
+    pub fn snapshot(&self) -> Arc<Cache> {
+        self.inner.snap.read().clone() // lock-order: read
+    }
+
+    /// The publication epoch: how many snapshots have been published.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of cached items (authoritative, reads the master).
     pub fn len(&self) -> usize {
-        self.inner.read().len() // lock-order: read
+        self.inner.master.read().len() // lock-order: read
     }
 
-    /// Whether the cache is empty (takes a read lock).
+    /// Whether the cache is empty (authoritative, reads the master).
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty() // lock-order: read
+        self.inner.master.read().is_empty() // lock-order: read
     }
 
-    /// Runs a closure with read access to the underlying cache.
+    /// Dimensionality of the cached constraint space.
+    pub fn dims(&self) -> usize {
+        self.inner.master.read().dims() // lock-order: read
+    }
+
+    /// Runs a closure with read access to the authoritative cache state.
+    ///
+    /// This sees master-side bookkeeping (`use_count`, evictions) that
+    /// published snapshots deliberately omit. The closure must stay
+    /// cheap: it runs under the master read lock (shared and re-entrant,
+    /// so nested `with_read` is safe).
     pub fn with_read<R>(&self, f: impl FnOnce(&Cache) -> R) -> R {
-        f(&self.inner.read()) // lock-order: read
+        f(&self.inner.master.read()) // lock-order: read
+    }
+
+    /// Records a cache hit on the master (LRU bookkeeping only — no
+    /// republication, see the module docs). A no-op if the item has
+    /// been evicted meanwhile.
+    pub(crate) fn touch(&self, id: u64) {
+        // skylint: allow(lock-order) — the callee is `Cache::touch` on the guard's own target (lock-free); the name-match to this very method is not a nested acquisition.
+        self.inner.master.write().touch(id); // lock-order: write
+    }
+
+    /// Inserts a result into the master, publishes a fresh snapshot and
+    /// bumps the epoch. Returns how many items the insert evicted.
+    pub(crate) fn insert_and_publish(&self, constraints: Constraints, skyline: &[Point]) -> u64 {
+        // skylint: allow(lock-order) — `master.insert` is `Cache::insert` on the guard's own target (lock-free); the bare-name matches to Table/RStarTree/ColumnIndex inserts never run under this guard.
+        let mut master = self.inner.master.write(); // lock-order: write
+        let evictions_before = master.evictions();
+        master.insert(constraints, skyline);
+        let evicted = master.evictions() - evictions_before;
+        // Publish nested under the master guard: racing inserts publish
+        // in master order, so a newer snapshot is never overwritten by
+        // an older one.
+        let published = Arc::new(master.clone());
+        *self.inner.snap.write() = published; // lock-order: write
+        self.inner.epoch.fetch_add(1, Ordering::Release);
+        evicted
     }
 }
 
 /// A per-user CBCS executor over a [`SharedCache`].
+///
+/// Constructed through [`crate::service::Service::session`]; the raw
+/// constructor is crate-private so every concurrent deployment goes
+/// through the service layer (singleflight, negative cache, snapshot
+/// reads) rather than wiring executors ad hoc.
 pub struct SharedCbcsExecutor<'t> {
     table: &'t Table,
     cache: SharedCache,
@@ -87,10 +187,10 @@ impl<'t> SharedCbcsExecutor<'t> {
     ///
     /// # Panics
     /// Panics if the cache and table dimensionalities differ.
-    pub fn new(table: &'t Table, cache: SharedCache, config: CbcsConfig) -> Self {
-        // Hoisted out of the assert so the read guard provably drops before
+    pub(crate) fn new(table: &'t Table, cache: SharedCache, config: CbcsConfig) -> Self {
+        // Hoisted out of the assert so the lock provably drops before
         // the panic formatting machinery runs.
-        let cache_dims = cache.inner.read().dims(); // lock-order: read
+        let cache_dims = cache.dims();
         assert_eq!(cache_dims, table.dims(), "cache/table dimensionality mismatch");
         let data_bounds = Aabb::bounding(table.all_points())
             // skylint: allow(no-panic-paths) — Table::build rejects empty point sets.
@@ -137,13 +237,12 @@ impl Executor for SharedCbcsExecutor<'_> {
         let mut rec = if req.record { Some(QueryRecorder::new()) } else { None };
         let mut probe = Probe::new(&mut stats, rec.as_mut());
 
-        // Phase 1 (read lock): search + clone the selected item out.
-        // Timings and counters are collected into locals under the guard
-        // and published once it drops — recorder calls are designated
-        // expensive (guard-hold-span), so nothing observes telemetry
-        // latency while holding the shared lock.
+        // Phase 1 (lock-free): search the published snapshot and clone
+        // the selected item out. The snapshot is an immutable `Arc`
+        // clone, so no lock is held across the search — concurrent
+        // lookups never serialize on the cache write side.
         let (selection, lookup_elapsed, analysis_elapsed, n_candidates, overlap_scans) = {
-            let cache = self.cache.inner.read(); // lock-order: read
+            let cache = self.cache.snapshot();
             let t0 = Stopwatch::start();
             let lookup = cache.lookup(c);
             let candidates = lookup.items;
@@ -199,7 +298,7 @@ impl Executor for SharedCbcsExecutor<'_> {
                 probe.record_span(Phase::MprCompute, t2.elapsed());
                 probe.add_counter(names::CACHE_HITS, 1);
                 probe.stats.cache_hit = true;
-                self.cache.inner.write().touch(item_id); // lock-order: write
+                self.cache.touch(item_id);
                 if self.config.block_path {
                     query_planned(self.table, algo, exec, plan, &mut self.scratch, &mut probe)
                 } else {
@@ -209,16 +308,11 @@ impl Executor for SharedCbcsExecutor<'_> {
         };
         probe.add_counter(names::SKYLINE_RESULT_SIZE, skyline.len() as u64);
 
-        // Phase 3 (write lock): publish the result. Same discipline as
-        // Phase 1: the guard covers only the insert; counters go out
-        // after it drops.
+        // Phase 3 (write): record the result on the master and publish a
+        // fresh snapshot. The guards live inside `insert_and_publish`;
+        // counters go out after it returns.
         if self.config.cache_results {
-            let evicted = {
-                let mut cache = self.cache.inner.write(); // lock-order: write
-                let evictions_before = cache.evictions();
-                cache.insert(c.clone(), &skyline);
-                cache.evictions() - evictions_before
-            };
+            let evicted = self.cache.insert_and_publish(c.clone(), &skyline);
             probe.add_counter(names::CACHE_INSERTIONS, 1);
             if evicted > 0 {
                 probe.add_counter(names::CACHE_EVICTIONS, evicted);
@@ -263,6 +357,43 @@ mod tests {
         assert!(r2.stats.cache_hit, "bob must hit alice's cached result");
         assert_eq!(r2.skyline, r1.skyline);
         assert_eq!(shared.len(), 2); // both results cached
+    }
+
+    #[test]
+    fn epoch_advances_once_per_insert_and_snapshots_are_stable() {
+        let t = table();
+        let shared = SharedCache::new(2, &CbcsConfig::default());
+        assert_eq!(shared.epoch(), 0);
+        let before = shared.snapshot();
+        assert!(before.is_empty());
+
+        let mut ex = SharedCbcsExecutor::new(&t, shared.clone(), CbcsConfig::default());
+        let c = Constraints::from_pairs(&[(0.2, 1.0), (0.2, 1.0)]).unwrap();
+        run(&mut ex, &c);
+
+        // One execute on a miss = one insert = one publication.
+        assert_eq!(shared.epoch(), 1);
+        assert_eq!(shared.snapshot().len(), 1);
+        // The pre-insert snapshot is immutable: still empty.
+        assert!(before.is_empty());
+    }
+
+    #[test]
+    fn touch_does_not_republish() {
+        let t = table();
+        let shared = SharedCache::new(2, &CbcsConfig::default());
+        let mut ex = SharedCbcsExecutor::new(&t, shared.clone(), CbcsConfig::default());
+        let c = Constraints::from_pairs(&[(0.2, 1.0), (0.2, 1.0)]).unwrap();
+        run(&mut ex, &c); // miss + insert → epoch 1
+        let config = CbcsConfig { cache_results: false, ..CbcsConfig::default() };
+        let mut ro = SharedCbcsExecutor::new(&t, shared.clone(), config);
+        let r = run(&mut ro, &c); // hit (touch), result not cached
+        assert!(r.stats.cache_hit);
+        assert_eq!(shared.epoch(), 1, "a hit must not publish a snapshot");
+        // But the master saw the LRU bookkeeping.
+        shared.with_read(|cache| {
+            assert_eq!(cache.iter().map(|it| it.use_count).sum::<u64>(), 1);
+        });
     }
 
     #[test]

@@ -22,8 +22,8 @@
 
 use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
 
-use skycache_core::engine::{CbcsConfig, Executor, QueryRequest};
-use skycache_core::{Cache, ReplacementPolicy, SharedCache, SharedCbcsExecutor};
+use skycache_core::engine::{CbcsConfig, QueryRequest};
+use skycache_core::{Cache, ReplacementPolicy, Service, ServiceConfig, SharedCache};
 use skycache_geom::{Constraints, Kernel, Point};
 use skycache_storage::{Table, TableConfig};
 use skycheck::sync::{thread, Arc, RwLock};
@@ -51,18 +51,24 @@ fn sorted(mut sky: Vec<Point>) -> Vec<Point> {
     sky
 }
 
-fn run_query(table: &Table, shared: SharedCache, seed: u64, c: &Constraints) -> (Vec<Point>, bool) {
-    let config = CbcsConfig { seed, ..Default::default() };
-    let mut ex = SharedCbcsExecutor::new(table, shared, config);
-    let r = ex.execute(&QueryRequest::new(c.clone())).unwrap().into_result();
+/// Service config pinning the raw shared-cache protocol: the service
+/// fast paths (singleflight, negative cache) are explored by their own
+/// harnesses in `model_serve.rs`; these harnesses want every session to
+/// reach `execute`'s read → compute → write protocol itself.
+fn raw_config(cbcs: CbcsConfig) -> ServiceConfig {
+    ServiceConfig { cbcs, coalesce: false, negative_cache: false, ..ServiceConfig::default() }
+}
+
+fn run_query(session: &mut skycache_core::Session<'_>, c: &Constraints) -> (Vec<Point>, bool) {
+    let r = session.execute(&QueryRequest::new(c.clone())).unwrap().into_result();
     (sorted(r.skyline), r.stats.cache_hit)
 }
 
 /// The sequential answer, for comparison inside the model runs.
 fn reference(table: &Table, c: &Constraints) -> Vec<Point> {
     Kernel::set_active(Kernel::Scalar);
-    let shared = SharedCache::new(2, &CbcsConfig::default());
-    let out = run_query(table, shared, 0, c).0;
+    let service = Service::open(table, raw_config(CbcsConfig::default()));
+    let out = run_query(&mut service.session(), c).0;
     Kernel::reset_to_env();
     out
 }
@@ -117,20 +123,20 @@ fn harness_b_eviction_between_phases_never_loses_or_double_counts() {
     let config = CbcsConfig { capacity: Some(1), ..Default::default() };
     let outcome = Explorer::new().with_preemption_bound(2).explore(|| {
         Kernel::set_active(Kernel::Scalar);
-        let shared = SharedCache::new(2, &config);
+        let service = Service::open(&t, raw_config(config.clone()));
+        let mut sa = service.session();
+        let mut sb = service.session();
         let (got_a, got_b) = thread::scope(|s| {
-            let shared_a = shared.clone();
-            let shared_b = shared.clone();
-            let (t_ref, ca_ref, cb_ref) = (&t, &ca, &cb);
-            let ha = s.spawn(move || run_query(t_ref, shared_a, 1, ca_ref));
-            let hb = s.spawn(move || run_query(t_ref, shared_b, 2, cb_ref));
+            let (ca_ref, cb_ref) = (&ca, &cb);
+            let ha = s.spawn(move || run_query(&mut sa, ca_ref));
+            let hb = s.spawn(move || run_query(&mut sb, cb_ref));
             (ha.join().expect("user a"), hb.join().expect("user b"))
         });
         assert_eq!(got_a.0, ref_a, "user a's result must survive the race");
         assert_eq!(got_b.0, ref_b, "user b's result must survive the race");
         assert!(!got_a.1 && !got_b.1, "disjoint queries must never count a hit");
-        assert_eq!(shared.len(), 1, "capacity-1 cache holds exactly one result");
-        shared.with_read(|c| {
+        assert_eq!(service.cache().len(), 1, "capacity-1 cache holds exactly one result");
+        service.cache().with_read(|c| {
             assert_eq!(c.evictions(), 1, "exactly one insert is evicted, never both");
         });
     });
@@ -151,13 +157,13 @@ fn harness_c_concurrent_execute_admits_no_deadlock() {
 
     let outcome = Explorer::new().with_preemption_bound(2).explore(|| {
         Kernel::set_active(Kernel::Scalar);
-        let shared = SharedCache::new(2, &CbcsConfig::default());
+        let service = Service::open(&t, raw_config(CbcsConfig::default()));
+        let mut sa = service.session();
+        let mut sb = service.session();
         let (got_a, got_b) = thread::scope(|s| {
-            let shared_a = shared.clone();
-            let shared_b = shared.clone();
-            let (t_ref, c_ref) = (&t, &c);
-            let ha = s.spawn(move || run_query(t_ref, shared_a, 1, c_ref));
-            let hb = s.spawn(move || run_query(t_ref, shared_b, 2, c_ref));
+            let c_ref = &c;
+            let ha = s.spawn(move || run_query(&mut sa, c_ref));
+            let hb = s.spawn(move || run_query(&mut sb, c_ref));
             (ha.join().expect("user a"), hb.join().expect("user b"))
         });
         assert_eq!(got_a.0, want);
@@ -165,8 +171,8 @@ fn harness_c_concurrent_execute_admits_no_deadlock() {
         let hits = usize::from(got_a.1) + usize::from(got_b.1);
         assert!(hits <= 1, "an empty cache admits at most one hit");
         // Every execute() publishes: 2 items; a hit also touches its item.
-        assert_eq!(shared.len(), 2);
-        shared.with_read(|cache| {
+        assert_eq!(service.cache().len(), 2);
+        service.cache().with_read(|cache| {
             let touches: u64 = cache.iter().map(|it| it.use_count).sum();
             assert_eq!(touches as usize, hits, "hits and touches must agree");
         });

@@ -87,6 +87,21 @@ pub const LANES_SKYLINE_WORKERS: &str = "lanes.skyline_workers";
 /// the mean local skyline size (1.0 = perfectly balanced). Gauge.
 pub const LANES_SKYLINE_IMBALANCE: &str = "lanes.skyline_imbalance";
 
+// -- serve ------------------------------------------------------------------
+
+/// Queries answered by joining another session's in-flight computation
+/// (singleflight coalescing in the service layer). Counter.
+pub const SERVE_COALESCED: &str = "serve.coalesced";
+/// Queries answered from the negative cache of provably-empty constraint
+/// regions, without touching index or heap. Counter.
+pub const SERVE_NEGATIVE_HITS: &str = "serve.negative_hits";
+/// Constraint regions classified provably empty by the index-only probe
+/// and recorded in the negative cache. Counter.
+pub const SERVE_NEGATIVE_INSERTS: &str = "serve.negative_inserts";
+/// Skyline computations actually executed by the service (misses plus
+/// singleflight leaders). Counter.
+pub const SERVE_COMPUTES: &str = "serve.computes";
+
 // -- alloc ------------------------------------------------------------------
 
 /// Heap allocations per query on the steady-state path, as measured by

@@ -8,7 +8,7 @@ pub(crate) struct LeafEntry<T> {
 }
 
 /// A child pointer stored at inner levels.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct ChildEntry<T> {
     pub mbr: Aabb,
     pub child: Box<Node<T>>,
@@ -16,7 +16,7 @@ pub(crate) struct ChildEntry<T> {
 
 /// A tree node. All leaves sit at the same depth; `level` is 0 for leaves
 /// and grows towards the root.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum Node<T> {
     Leaf(Vec<LeafEntry<T>>),
     Inner { level: usize, children: Vec<ChildEntry<T>> },

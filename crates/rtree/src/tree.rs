@@ -89,7 +89,7 @@ impl TreeStats {
 }
 
 /// An R\*-tree mapping bounding boxes to values.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RStarTree<T> {
     pub(crate) root: Box<Node<T>>,
     params: RTreeParams,

@@ -1,0 +1,212 @@
+//! The skyserve line protocol (DESIGN.md §16.4).
+//!
+//! Requests are one line each, ASCII tokens separated by whitespace:
+//!
+//! ```text
+//! Q <lo> <hi> [<lo> <hi> ...] [record]   constrained skyline query
+//! STATS                                  service-layer counters
+//! PING                                   liveness check
+//! QUIT                                   close the connection
+//! ```
+//!
+//! A bound of `*` means unbounded on that side. Every request gets
+//! exactly one reply line: `OK ...` on success, `ERR <message>` on
+//! failure. Query replies are
+//! `OK <n> <hit|miss> <x,y,..> <x,y,..> ...` with the skyline points in
+//! canonical (bitwise-lexicographic) order, so identical queries —
+//! including a coalesced joiner and its leader — always serialize to the
+//! same bytes.
+
+use std::fmt::Write as _;
+
+use skycache_core::{QueryOutcome, ServiceMetrics};
+use skycache_geom::Constraints;
+
+/// Reply to `PING`.
+pub const PONG: &str = "OK pong";
+/// Reply to `QUIT`, sent just before the server closes the connection.
+pub const BYE: &str = "OK bye";
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// A constrained skyline query over the service's table.
+    Query {
+        /// The query constraints, one `(lo, hi)` pair per dimension.
+        constraints: Constraints,
+        /// Whether to record per-query observability (bypasses
+        /// coalescing: reports are per-request property).
+        record: bool,
+    },
+    /// Service counters: coalesced/negative/compute totals, cache size
+    /// and epoch.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Close the connection after an `OK bye`.
+    Quit,
+}
+
+/// Parses one request line (already stripped of its newline).
+///
+/// # Errors
+/// Returns a human-readable message suitable for an `ERR` reply.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_ascii_whitespace();
+    let verb = tokens.next().ok_or_else(|| "empty request".to_owned())?;
+    match verb {
+        "Q" => {
+            let mut rest: Vec<&str> = tokens.collect();
+            let record = rest.last() == Some(&"record");
+            if record {
+                rest.pop();
+            }
+            if rest.is_empty() || !rest.len().is_multiple_of(2) {
+                return Err(
+                    "Q needs one lo/hi pair per dimension: Q lo hi [lo hi ...] [record]".to_owned()
+                );
+            }
+            let mut pairs = Vec::with_capacity(rest.len() / 2);
+            for pair in rest.chunks(2) {
+                pairs.push((
+                    parse_bound(pair[0], f64::NEG_INFINITY)?,
+                    parse_bound(pair[1], f64::INFINITY)?,
+                ));
+            }
+            let constraints = Constraints::from_pairs(&pairs).map_err(|e| e.to_string())?;
+            Ok(Request::Query { constraints, record })
+        }
+        "STATS" => end_of_line(tokens, Request::Stats),
+        "PING" => end_of_line(tokens, Request::Ping),
+        "QUIT" => end_of_line(tokens, Request::Quit),
+        other => Err(format!("unknown verb {other:?} (expected Q, STATS, PING or QUIT)")),
+    }
+}
+
+fn end_of_line<'a>(
+    mut rest: impl Iterator<Item = &'a str>,
+    req: Request,
+) -> Result<Request, String> {
+    match rest.next() {
+        None => Ok(req),
+        Some(extra) => Err(format!("unexpected trailing token {extra:?}")),
+    }
+}
+
+fn parse_bound(token: &str, unbounded: f64) -> Result<f64, String> {
+    if token == "*" {
+        return Ok(unbounded);
+    }
+    token.parse::<f64>().map_err(|_| format!("bad bound {token:?} (expected a number or *)"))
+}
+
+/// Formats a query outcome: `OK <n> <hit|miss> <point> ...`, points as
+/// comma-joined coordinates in canonical bitwise order.
+pub fn query_reply(outcome: &QueryOutcome) -> String {
+    let mut sky: Vec<&[f64]> = outcome.skyline.iter().map(|p| p.coords()).collect();
+    sky.sort_by(|a, b| {
+        let key = |c: &[f64]| c.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        key(a).cmp(&key(b))
+    });
+    let mut line =
+        format!("OK {} {}", sky.len(), if outcome.stats.cache_hit { "hit" } else { "miss" });
+    for coords in sky {
+        line.push(' ');
+        for (i, c) in coords.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            // f64 Display round-trips, so the client can parse exactly.
+            let _ = write!(line, "{c}");
+        }
+    }
+    line
+}
+
+/// Formats the `STATS` reply from the service counters plus the shared
+/// cache's authoritative size and epoch.
+pub fn stats_reply(m: &ServiceMetrics, cache_len: usize, epoch: u64) -> String {
+    format!(
+        "OK coalesced={} negative_hits={} negative_inserts={} computes={} ticks={} \
+         cache_len={cache_len} epoch={epoch}",
+        m.coalesced, m.negative_hits, m.negative_inserts, m.computes, m.ticks,
+    )
+}
+
+/// Formats an error reply; the message is flattened to one line.
+pub fn err_reply(msg: &str) -> String {
+    format!("ERR {}", msg.replace(['\r', '\n'], " "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycache_core::QueryStats;
+    use skycache_geom::Point;
+
+    fn query(line: &str) -> Constraints {
+        match parse_request(line).unwrap() {
+            Request::Query { constraints, .. } => constraints,
+            other => panic!("expected a query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_queries_with_bounds_and_record() {
+        let c = query("Q 0.1 0.5 2 3");
+        assert_eq!(c.lo(), &[0.1, 2.0]);
+        assert_eq!(c.hi(), &[0.5, 3.0]);
+        assert_eq!(
+            parse_request("Q 0 1 record").unwrap(),
+            Request::Query {
+                constraints: Constraints::from_pairs(&[(0.0, 1.0)]).unwrap(),
+                record: true
+            }
+        );
+        let unbounded = query("Q * 5 1 *");
+        assert_eq!(unbounded.lo(), &[f64::NEG_INFINITY, 1.0]);
+        assert_eq!(unbounded.hi(), &[5.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn parses_control_verbs() {
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("  PING  ").unwrap(), Request::Ping);
+        assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("Q").is_err());
+        assert!(parse_request("Q 1").is_err(), "odd bound count");
+        assert!(parse_request("Q 1 x").is_err(), "non-numeric bound");
+        assert!(parse_request("Q 5 1").is_err(), "inverted interval");
+        assert!(parse_request("HELLO").is_err());
+        assert!(parse_request("PING extra").is_err());
+    }
+
+    #[test]
+    fn query_reply_is_canonical() {
+        let outcome = QueryOutcome {
+            skyline: vec![Point::from(vec![2.0, 1.0]), Point::from(vec![1.0, 2.0])],
+            stats: QueryStats { cache_hit: true, ..QueryStats::default() },
+            report: None,
+        };
+        assert_eq!(query_reply(&outcome), "OK 2 hit 1,2 2,1");
+        let empty = QueryOutcome { skyline: vec![], stats: QueryStats::default(), report: None };
+        assert_eq!(query_reply(&empty), "OK 0 miss");
+    }
+
+    #[test]
+    fn stats_and_error_replies() {
+        let m =
+            ServiceMetrics { coalesced: 3, negative_hits: 1, computes: 7, ..Default::default() };
+        assert_eq!(
+            stats_reply(&m, 5, 7),
+            "OK coalesced=3 negative_hits=1 negative_inserts=0 computes=7 ticks=0 \
+             cache_len=5 epoch=7"
+        );
+        assert_eq!(err_reply("bad\nthing"), "ERR bad thing");
+    }
+}

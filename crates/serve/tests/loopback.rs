@@ -1,0 +1,144 @@
+//! End-to-end loopback tests: a real server on an ephemeral port, real
+//! TCP clients speaking the line protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use skycache_core::ServiceConfig;
+use skycache_geom::Point;
+use skycache_serve::serve;
+use skycache_storage::{Table, TableConfig};
+
+fn grid_table() -> Table {
+    let points: Vec<Point> = (0..20)
+        .flat_map(|i| {
+            (0..20).map(move |j| Point::from(vec![f64::from(i) / 10.0, f64::from(j) / 10.0]))
+        })
+        .collect();
+    Table::build(points, TableConfig::default()).unwrap()
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to loopback server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { reader, writer: stream }
+    }
+
+    fn roundtrip(&mut self, request: &str) -> String {
+        writeln!(self.writer, "{request}").expect("send request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        assert!(line.ends_with('\n'), "reply must be a complete line: {line:?}");
+        line.trim_end().to_owned()
+    }
+}
+
+#[test]
+fn queries_stats_and_control_verbs_over_tcp() {
+    let handle = serve(grid_table(), ServiceConfig::default(), "127.0.0.1:0").unwrap();
+    let mut alice = Client::connect(handle.addr());
+    let mut bob = Client::connect(handle.addr());
+
+    assert_eq!(alice.roundtrip("PING"), "OK pong");
+
+    // Alice misses, Bob hits her cached result — and both serialize the
+    // skyline to identical bytes (canonical wire order).
+    let alice_reply = alice.roundtrip("Q 0.2 1.0 0.2 1.0");
+    assert!(alice_reply.starts_with("OK 1 miss "), "got {alice_reply:?}");
+    let bob_reply = bob.roundtrip("Q 0.2 1.0 0.2 1.0");
+    assert!(bob_reply.starts_with("OK 1 hit "), "got {bob_reply:?}");
+    assert_eq!(
+        alice_reply.split(' ').skip(3).collect::<Vec<_>>(),
+        bob_reply.split(' ').skip(3).collect::<Vec<_>>()
+    );
+
+    // A provably-empty region: answered `OK 0` without computing.
+    assert_eq!(alice.roundtrip("Q 0.11 0.19 0.11 0.19"), "OK 0 miss");
+
+    let stats = alice.roundtrip("STATS");
+    assert!(stats.starts_with("OK coalesced="), "got {stats:?}");
+    assert!(stats.contains("negative_inserts=1"), "got {stats:?}");
+    // Alice's miss and Bob's hit both re-cache (the engine refreshes the
+    // cached item), so two epochs were published.
+    assert!(stats.contains("cache_len=2"), "got {stats:?}");
+    assert!(stats.contains("epoch=2"), "got {stats:?}");
+
+    // Malformed input gets an ERR, and the connection keeps working.
+    assert!(alice.roundtrip("Q 1 x").starts_with("ERR "));
+    assert!(alice.roundtrip("NOPE").starts_with("ERR "));
+    assert_eq!(alice.roundtrip("PING"), "OK pong");
+
+    assert_eq!(alice.roundtrip("QUIT"), "OK bye");
+    assert_eq!(bob.roundtrip("QUIT"), "OK bye");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn unbounded_and_recorded_queries() {
+    let handle = serve(grid_table(), ServiceConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    // Fully unbounded: the global skyline of the grid is its origin.
+    assert_eq!(client.roundtrip("Q * * * *"), "OK 1 miss 0,0");
+    // A recorded query bypasses coalescing but still answers normally.
+    assert_eq!(client.roundtrip("Q * * * * record"), "OK 1 hit 0,0");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_drains_idle_connections() {
+    let handle = serve(grid_table(), ServiceConfig::default(), "127.0.0.1:0").unwrap();
+    // An idle client that never sends anything must not wedge shutdown.
+    let _idle = TcpStream::connect(handle.addr()).unwrap();
+    let mut active = Client::connect(handle.addr());
+    assert_eq!(active.roundtrip("PING"), "OK pong");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_clients_agree_and_coalesce_under_load() {
+    let handle = serve(grid_table(), ServiceConfig::default(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    let replies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    let reply = c.roundtrip("Q 0.3 1.4 0.3 1.4");
+                    c.roundtrip("QUIT");
+                    reply
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for reply in &replies {
+        assert!(reply.starts_with("OK 1 "), "got {reply:?}");
+        // Canonical order ⇒ all clients read byte-identical skylines.
+        assert_eq!(
+            reply.split(' ').skip(3).collect::<Vec<_>>(),
+            replies[0].split(' ').skip(3).collect::<Vec<_>>()
+        );
+    }
+    let mut c = Client::connect(addr);
+    let stats = c.roundtrip("STATS");
+    // Every query either coalesced, computed, or hit the shared cache —
+    // the counters must cover all 8 without double counting.
+    let field = |name: &str| -> u64 {
+        stats
+            .split(' ')
+            .find_map(|t| t.strip_prefix(&format!("{name}=")))
+            .unwrap_or_else(|| panic!("missing {name} in {stats:?}"))
+            .parse()
+            .unwrap()
+    };
+    assert!(field("computes") >= 1);
+    assert!(field("coalesced") + field("computes") == 8, "got {stats:?}");
+    handle.shutdown().unwrap();
+}

@@ -342,6 +342,15 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              is a finding. `std::sync::Arc`, `OnceLock` and the shim\n\
              re-exports are fine.\n\
              \n\
+             Additionally, a `pub fn` whose signature returns a lock\n\
+             guard (`MutexGuard`, `RwLockReadGuard`, `RwLockWriteGuard`)\n\
+             is a finding: a guard that escapes the file unseals the\n\
+             lock protocol — callers can hold it across arbitrary code,\n\
+             invisible to the lock-order and guard-hold-span analyses.\n\
+             Expose `with_…(f: impl FnOnce(&T) -> R)` closure APIs, or\n\
+             publish immutable snapshots, instead. Private helpers may\n\
+             still pass guards around within the file.\n\
+             \n\
              Rationale: skycheck's deterministic model checker can only\n\
              explore interleavings of operations it can see. The shims in\n\
              `skycheck::sync` compile to the real `std` primitives in\n\
@@ -912,6 +921,7 @@ fn sync_confinement(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     if ctx.policy.sync_confine_files.is_empty() || !ctx.path_in(&ctx.policy.sync_confine_files) {
         return;
     }
+    guard_escape(ctx, out);
     let toks = &ctx.model.tokens;
     for (i, t) in toks.iter().enumerate() {
         if t.is_comment() || t.kind != TokKind::Ident || !ctx.lib_code_at(t.line) {
@@ -975,6 +985,104 @@ fn sync_confinement(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             _ => {}
         }
     }
+}
+
+/// Lock-guard types that must not cross a sync-confined file's public
+/// API boundary.
+const ESCAPING_GUARD_TYPES: [&str; 3] = ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+/// Guard-escape arm of sync-confinement: a `pub fn` whose signature
+/// mentions a lock guard after a return arrow hands callers a live
+/// guard, so lock scopes stop being confined to the file that owns the
+/// lock — the `with_…` closure APIs exist precisely to prevent that.
+/// Private helpers may still pass guards around within the file.
+fn guard_escape(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const RULE: &str = "sync-confinement";
+    let toks = &ctx.model.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "fn" || !ctx.lib_code_at(t.line) {
+            continue;
+        }
+        if !visibility_is_pub(toks, i) {
+            continue;
+        }
+        let name = next_code(toks, i).map_or_else(String::new, |n| n.text.clone());
+        // Scan the signature up to the body/semicolon; a guard type
+        // after any `->` is a return position (a closure parameter that
+        // *produces* a guard escapes it just the same).
+        let mut seen_arrow = false;
+        for tok in &toks[i + 1..] {
+            if tok.is_comment() {
+                continue;
+            }
+            if tok.is_op("{") || tok.is_op(";") {
+                break;
+            }
+            if tok.is_op("->") {
+                seen_arrow = true;
+            } else if seen_arrow
+                && tok.kind == TokKind::Ident
+                && ESCAPING_GUARD_TYPES.contains(&tok.text.as_str())
+            {
+                push(
+                    ctx,
+                    out,
+                    RULE,
+                    t.line,
+                    format!(
+                        "`pub fn {name}` returns a lock guard (`{}`) from a sync-confined \
+                         file — guards must not escape the file that owns the lock; expose \
+                         a `with_…(f: impl FnOnce(&T) -> R)` closure API instead",
+                        tok.text
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Whether the `fn` at `i` is `pub` (including restricted forms like
+/// `pub(crate)`), looking back over the qualifier keywords (`const`,
+/// `unsafe`, `async`, `extern "…"`).
+fn visibility_is_pub(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    loop {
+        let Some(p) = prev_code_idx(toks, j) else { return false };
+        if toks[p].is_op(")") {
+            // A visibility restriction like `pub(crate)`: walk back to
+            // its opening paren, then look for the `pub` before it.
+            let mut depth = 0usize;
+            let mut k = p;
+            loop {
+                if toks[k].is_op(")") {
+                    depth += 1;
+                } else if toks[k].is_op("(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return false;
+                }
+                k -= 1;
+            }
+            j = k;
+            continue;
+        }
+        match (toks[p].kind, toks[p].text.as_str()) {
+            (TokKind::Ident, "const" | "unsafe" | "async" | "extern") => j = p,
+            (TokKind::Literal, _) => j = p, // extern ABI string
+            (TokKind::Ident, "pub") => return true,
+            _ => return false,
+        }
+    }
+}
+
+/// Previous non-comment token's index.
+fn prev_code_idx(toks: &[Token], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| !toks[j].is_comment())
 }
 
 /// Token index of the path segment following `i`, if the next code token

@@ -184,6 +184,27 @@ fn shimmed_sync_tree_is_clean() {
 }
 
 #[test]
+fn escaping_lock_guard_tree_is_flagged() {
+    let stdout = assert_bad("sync_confine_guard_bad", "sync-confinement");
+    // All three escaping signatures, including the pub(crate) one and
+    // the multi-line one, each naming the guard type.
+    assert!(stdout.contains("`pub fn read_handle`"), "{stdout}");
+    assert!(stdout.contains("`pub fn write_handle`"), "{stdout}");
+    assert!(stdout.contains("`pub fn side_handle`"), "{stdout}");
+    assert!(stdout.contains("RwLockReadGuard"), "{stdout}");
+    assert!(stdout.contains("RwLockWriteGuard"), "{stdout}");
+    assert!(stdout.contains("MutexGuard"), "{stdout}");
+    // The closure API, the private helper and the value read stay clean.
+    assert!(!stdout.contains("with_read"), "{stdout}");
+    assert!(!stdout.contains("`pub fn value`"), "{stdout}");
+}
+
+#[test]
+fn sealed_guard_tree_is_clean() {
+    assert_clean("sync_confine_guard_clean");
+}
+
+#[test]
 fn relaxed_cross_thread_static_tree_is_flagged() {
     let stdout = assert_bad("atomic_ordering_bad", "atomic-ordering");
     // Both sides are findings, each carrying the thread witness path.

@@ -1,0 +1,47 @@
+//! Guard-escape bad fixture: shimmed primitives (so the raw-primitive
+//! arm stays quiet), but lock guards leak through the public API.
+//! `skylint check` must exit 1 with `sync-confinement` findings on the
+//! three escaping signatures, while the closure API and the private
+//! helper stay clean.
+
+use skycheck::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Shared protocol state behind shimmed locks.
+pub struct Shared {
+    state: RwLock<u64>,
+    side: Mutex<u64>,
+}
+
+impl Shared {
+    /// BAD: the read guard escapes to callers.
+    pub fn read_handle(&self) -> RwLockReadGuard<'_, u64> {
+        self.state.read()
+    }
+
+    /// BAD: the write guard escapes, `pub(crate)` counts too.
+    pub(crate) fn write_handle(&self) -> RwLockWriteGuard<'_, u64> {
+        self.state.write()
+    }
+
+    /// BAD: a mutex guard escaping through a multi-line signature.
+    pub fn side_handle(
+        &self,
+    ) -> MutexGuard<'_, u64> {
+        self.side.lock()
+    }
+
+    /// Allowed: closure confinement — the guard never leaves this fn.
+    pub fn with_read<R>(&self, f: impl FnOnce(&u64) -> R) -> R {
+        f(&self.state.read())
+    }
+
+    /// Allowed: private helpers may pass guards around within the file.
+    fn reader(&self) -> RwLockReadGuard<'_, u64> {
+        self.state.read()
+    }
+
+    /// Allowed: uses the private helper, returns a value, not a guard.
+    pub fn value(&self) -> u64 {
+        *self.reader()
+    }
+}

@@ -1,0 +1,46 @@
+//! Guard-escape clean fixture: the same lock-protected state as the bad
+//! tree, sealed the way `core::shared` seals `SharedCache` — closure
+//! APIs and cheap value reads only; no public signature ever names a
+//! guard. `skylint check` must exit 0.
+
+use skycheck::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
+
+/// Shared protocol state behind shimmed locks.
+pub struct Shared {
+    state: RwLock<u64>,
+    side: Mutex<u64>,
+}
+
+impl Shared {
+    /// Closure confinement: the read guard lives and dies in here.
+    pub fn with_read<R>(&self, f: impl FnOnce(&u64) -> R) -> R {
+        f(&self.state.read())
+    }
+
+    /// Mutation through a closure, same confinement.
+    pub fn with_side<R>(&self, f: impl FnOnce(&mut u64) -> R) -> R {
+        f(&mut self.side.lock())
+    }
+
+    /// Value reads copy out; no guard crosses the boundary.
+    pub fn value(&self) -> u64 {
+        *self.reader()
+    }
+
+    /// Private helpers may pass guards around within the file.
+    fn reader(&self) -> RwLockReadGuard<'_, u64> {
+        self.state.read()
+    }
+
+    /// Private, and a mutex guard — still file-internal, still fine.
+    fn side_guard(&self) -> MutexGuard<'_, u64> {
+        self.side.lock()
+    }
+
+    /// Exercises the private mutex helper.
+    pub fn bump(&self) -> u64 {
+        let mut g = self.side_guard();
+        *g += 1;
+        *g
+    }
+}

@@ -295,6 +295,33 @@ impl Table {
         &self.config
     }
 
+    /// Index-only emptiness probe: `true` iff the per-dimension indexes
+    /// prove the region holds no rows, without any heap access.
+    ///
+    /// This is the planning-time emptiness detection of
+    /// [`Table::fetch_plan`] exposed as a standalone predicate so callers
+    /// (the service layer's negative cache) can classify a constraint
+    /// region as provably empty before committing to a full query.
+    /// Conservative: a `false` answer means "not provably empty", not
+    /// "non-empty" — a region can pass every single-dimension probe and
+    /// still match no row.
+    pub fn probe_region_empty(&self, region: &HyperRect) -> bool {
+        assert_eq!(region.dims(), self.dims, "query/table dimensionality mismatch");
+        if region.is_empty() {
+            return true;
+        }
+        for (dim, iv) in region.intervals().iter().enumerate() {
+            if iv.lo() == f64::NEG_INFINITY && iv.hi() == f64::INFINITY {
+                continue; // no predicate on this dimension
+            }
+            let (lo, hi) = self.indexes[dim].locate(iv);
+            if lo == hi {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Direct access to a stored point (no I/O accounting; for index
     /// construction and tests).
     pub fn point(&self, row: RowId) -> &Point {

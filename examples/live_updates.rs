@@ -5,13 +5,13 @@
 //! deleting listings maintains cached skylines incrementally ("each cache
 //! item as a separate dataset with a continuous skyline query").
 //!
-//! Part 2: several user sessions share one [`SharedCache`] — the second
+//! Part 2: several user sessions share one [`Service`] — the second
 //! user's query hits the first user's cached result.
 //!
 //! Run with: `cargo run --release --example live_updates`
 
 use skycache::core::{
-    CbcsConfig, DynamicCbcsExecutor, Executor, QueryRequest, SharedCache, SharedCbcsExecutor,
+    CbcsConfig, DynamicCbcsExecutor, Executor, QueryRequest, Service, ServiceConfig,
 };
 use skycache::datagen::{Distribution, SyntheticGen};
 use skycache::geom::{Constraints, Point};
@@ -60,14 +60,10 @@ fn main() {
     println!("== multi-user shared cache ==");
     let points = SyntheticGen::new(Distribution::Independent, 3, 13).generate(100_000);
     let table = Table::build(points, TableConfig::default()).expect("valid data");
-    let shared = SharedCache::new(3, &CbcsConfig::default());
+    let service = Service::open(&table, ServiceConfig::default());
 
-    let mut alice = SharedCbcsExecutor::new(&table, shared.clone(), CbcsConfig::default());
-    let mut bob = SharedCbcsExecutor::new(
-        &table,
-        shared.clone(),
-        CbcsConfig { seed: 2, ..Default::default() },
-    );
+    let mut alice = service.session();
+    let mut bob = service.session();
 
     let c = Constraints::from_pairs(&[(0.1, 0.6); 3]).expect("valid");
     let ra = alice.execute(&QueryRequest::new(c.clone())).expect("query succeeds");
@@ -86,6 +82,6 @@ fn main() {
         if rb.stats.cache_hit { "hit" } else { "miss" },
         rb.stats.case.map_or("-", |c| c.label()),
     );
-    println!("shared cache now holds {} items", shared.len());
+    println!("shared cache now holds {} items", service.cache().len());
     assert!(rb.stats.points_read < ra.stats.points_read / 4);
 }

@@ -11,7 +11,7 @@ use std::thread;
 
 use skycache::core::{
     BaselineExecutor, CbcsConfig, CbcsExecutor, ExecMode, Executor, MprMode, QueryRequest,
-    QueryStats, SharedCache, SharedCbcsExecutor,
+    QueryStats, Service, ServiceConfig,
 };
 use skycache::datagen::{DimStats, Distribution, InteractiveWorkload, SyntheticGen};
 use skycache::geom::{Constraints, Point};
@@ -142,25 +142,22 @@ fn shared_cache_parallel_executors_stay_correct_under_concurrency() {
     };
 
     let config = CbcsConfig { exec: PARALLEL, ..Default::default() };
-    let shared = SharedCache::new(table.dims(), &config);
+    let service = Service::open(&table, ServiceConfig::with_cbcs(config));
     thread::scope(|s| {
         for worker in 0..4u64 {
-            let t = &table;
             let queries = &queries;
             let reference = &reference;
-            let shared = shared.clone();
-            let config = CbcsConfig { seed: worker, exec: PARALLEL, ..Default::default() };
+            let mut session = service.session();
             s.spawn(move || {
-                let mut ex = SharedCbcsExecutor::new(t, shared, config);
                 for _round in 0..2 {
                     for (c, want) in queries.iter().zip(reference) {
                         let got =
-                            sorted(ex.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
+                            sorted(session.execute(&QueryRequest::new(c.clone())).unwrap().skyline);
                         assert_eq!(&got, want, "worker {worker} diverged on {c:?}");
                     }
                 }
             });
         }
     });
-    assert!(!shared.is_empty());
+    assert!(!service.cache().is_empty());
 }
