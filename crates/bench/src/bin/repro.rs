@@ -26,6 +26,7 @@ experiments:
   parallel               sequential vs parallel pipeline (writes BENCH_parallel.json)
   obs                    per-phase latency + cache/fetch aggregates (writes BENCH_obs.json)
   perf                   block path vs legacy: qps, allocs/query, coalescing (writes BENCH_perf.json)
+  policy                 replacement policies x compositional hits, incl. Zipf workload (writes BENCH_policy.json)
   check                  skycheck model-check stats for the shared-cache protocol (writes BENCH_check.json)
   serve                  TCP server under concurrent load: qps/p99, coalescing, read scaling (writes BENCH_serve.json)
   all    everything above";
@@ -66,6 +67,7 @@ fn main() -> ExitCode {
         ("parallel", figures::parallel),
         ("obs", figures::obs),
         ("perf", figures::perf),
+        ("policy", figures::policy),
         ("check", skycache_bench::check::check),
         ("serve", skycache_bench::serve::serve_bench),
     ] {

@@ -57,7 +57,7 @@ fn clock_monotone() -> Outcome {
     let pts = vec![Point::from(vec![0.1, 0.1])];
     Explorer::new().with_preemption_bound(PREEMPTION_BOUND).explore(move || {
         let cache = Arc::new(RwLock::new(Cache::with_capacity(2, None, ReplacementPolicy::Lru)));
-        let id = cache.write().insert(c0.clone(), &pts);
+        let id = cache.write().insert(c0.clone(), &pts).expect("Lru admits below capacity");
         let cache2 = cache.clone();
         let h = thread::spawn(move || cache2.write().touch(id));
         cache.write().insert(c1.clone(), &pts);

@@ -1113,3 +1113,165 @@ pub fn perf(scale: &Scale) {
         Err(e) => eprintln!("could not write BENCH_perf.json: {e}"),
     }
 }
+
+/// `repro policy` — the cache-policy study (DESIGN.md §17): every
+/// replacement policy (LRU, LCU, TinyLFU, cost-aware) crossed with
+/// compositional multi-item hits on/off, over the two paper workloads
+/// plus a Zipf-skewed multi-user workload whose base-query pool exceeds
+/// the cache capacity.
+///
+/// Two properties this experiment demonstrates (asserted by CI against
+/// `BENCH_policy.json`, schema `skypolicy-bench/1`):
+///
+/// 1. composition on reduces total points read versus composition off on
+///    at least one paper workload at equal capacity and policy;
+/// 2. a frequency/cost-aware policy (TinyLFU or cost-aware) beats both
+///    LRU and LCU on the *free-hit* rate (exact or case-(b) hits that
+///    answer from cache with zero fetch) under Zipf skew at equal
+///    capacity.
+///
+/// `hit_rate` in the JSON is that free-hit fraction; `overlap_hit_rate`
+/// is the any-overlap fraction (near 1.0 once the cache warms — every
+/// policy keeps *some* overlapping item, so it does not discriminate).
+pub fn policy(scale: &Scale) {
+    use std::time::Instant;
+
+    use crate::zipf_queries;
+
+    println!("\n#### Cache policy: replacement x compositional hits ####");
+
+    let dims = 4;
+    let n = scale.mid_n.min(100_000);
+    let table = synthetic_table(Distribution::Independent, dims, n, 42);
+    let capacity = 32;
+    let zipf_pool = 96;
+    let zipf_exponent = 1.1;
+    let zipf_rotate = 0;
+
+    let workloads: Vec<(&str, Vec<Constraints>)> = vec![
+        ("interactive", interactive_queries(&table, scale.interactive_queries.max(200), 17, None)),
+        ("independent", independent_queries(&table, scale.independent_queries.max(200), 19, None)),
+        ("zipf", zipf_queries(&table, 400, 23, zipf_pool, zipf_exponent, zipf_rotate)),
+    ];
+
+    let policies = [
+        ("lru", ReplacementPolicy::Lru),
+        ("lcu", ReplacementPolicy::Lcu),
+        ("tinylfu", ReplacementPolicy::TinyLfu),
+        ("costaware", ReplacementPolicy::CostAware),
+    ];
+
+    let mut cells = Vec::new();
+    for (wname, queries) in &workloads {
+        print_header(
+            &format!(
+                "{wname} (q = {}, n = {}, |D| = {dims}, capacity = {capacity})",
+                queries.len(),
+                fmt_size(n)
+            ),
+            &[
+                "free hits".into(),
+                "overlap".into(),
+                "composed".into(),
+                "pts read".into(),
+                "qps".into(),
+            ],
+        );
+        for (pname, policy) in policies {
+            for compose in [false, true] {
+                let config =
+                    CbcsConfig { capacity: Some(capacity), policy, compose, ..Default::default() };
+                let mut ex = CbcsExecutor::new(&table, config);
+                let start = Instant::now();
+                let records = run_queries(&mut ex, queries);
+                let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+                let free_hits = records
+                    .iter()
+                    .filter(|r| {
+                        matches!(r.stats.case, Some(Overlap::Exact | Overlap::CaseB { .. }))
+                    })
+                    .count();
+                let overlap_hits = records.iter().filter(|r| r.stats.cache_hit).count();
+                let composed_hits = records.iter().filter(|r| r.stats.composed_items >= 2).count();
+                let cover_sum: f64 = records
+                    .iter()
+                    .filter(|r| r.stats.composed_items >= 2)
+                    .map(|r| r.stats.cover_fraction)
+                    .sum();
+                let avg_cover =
+                    if composed_hits > 0 { cover_sum / composed_hits as f64 } else { 0.0 };
+                let points_read: u64 = records.iter().map(|r| r.stats.points_read).sum();
+                let rejects: u64 = records.iter().map(|r| r.stats.admission_rejects).sum();
+                let q = records.len() as f64;
+                let hit_rate = free_hits as f64 / q;
+                let overlap_rate = overlap_hits as f64 / q;
+                let qps = q / wall;
+
+                print_row(
+                    &format!("{pname}{}", if compose { " +compose" } else { "" }),
+                    &[
+                        format!("{:.0}%", hit_rate * 100.0),
+                        format!("{:.0}%", overlap_rate * 100.0),
+                        composed_hits.to_string(),
+                        count(points_read as f64 / q),
+                        count(qps),
+                    ],
+                );
+
+                cells.push(format!(
+                    concat!(
+                        "{{\n",
+                        "      \"workload\": \"{}\",\n",
+                        "      \"policy\": \"{}\",\n",
+                        "      \"compose\": {},\n",
+                        "      \"queries\": {},\n",
+                        "      \"hit_rate\": {:.4},\n",
+                        "      \"overlap_hit_rate\": {:.4},\n",
+                        "      \"composed_hits\": {},\n",
+                        "      \"avg_cover_fraction\": {:.4},\n",
+                        "      \"points_read\": {},\n",
+                        "      \"admission_rejects\": {},\n",
+                        "      \"qps\": {:.1}\n",
+                        "    }}"
+                    ),
+                    wname,
+                    pname,
+                    compose,
+                    records.len(),
+                    hit_rate,
+                    overlap_rate,
+                    composed_hits,
+                    avg_cover,
+                    points_read,
+                    rejects,
+                    qps
+                ));
+            }
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"skypolicy-bench/1\",\n",
+            "  \"n\": {},\n",
+            "  \"dims\": {},\n",
+            "  \"cache_capacity\": {},\n",
+            "  \"zipf\": {{ \"pool\": {}, \"exponent\": {:.2}, \"rotate_every\": {} }},\n",
+            "  \"cells\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        n,
+        dims,
+        capacity,
+        zipf_pool,
+        zipf_exponent,
+        zipf_rotate,
+        cells.join(",\n    ")
+    );
+    match std::fs::write("BENCH_policy.json", &json) {
+        Ok(()) => println!("wrote BENCH_policy.json"),
+        Err(e) => eprintln!("could not write BENCH_policy.json: {e}"),
+    }
+}

@@ -21,6 +21,7 @@ use std::time::Duration;
 use skycache_core::{Executor, Overlap, QueryRequest, QueryStats};
 use skycache_datagen::{
     DimStats, Distribution, IndependentWorkload, InteractiveWorkload, RealEstateGen, SyntheticGen,
+    ZipfWorkload,
 };
 use skycache_geom::Constraints;
 use skycache_storage::{Table, TableConfig};
@@ -111,6 +112,26 @@ pub fn independent_queries(
     if let Some(k) = constrained_dims {
         generator = generator.constrained_dims(k);
     }
+    generator.generate(total, seed).queries().iter().map(|q| q.constraints.clone()).collect()
+}
+
+/// Zipf-skewed multi-user queries (DESIGN.md §17): a fixed pool of base
+/// queries re-issued with popularity ∝ 1/rank^`exponent`, plus occasional
+/// one-step refinement drift. `rotate_every > 0` shifts the hot set by a
+/// quarter of the pool every that many queries (trending traffic).
+/// Discriminates frequency-aware replacement policies from recency-based
+/// ones at `capacity < pool`.
+pub fn zipf_queries(
+    table: &Table,
+    total: usize,
+    seed: u64,
+    pool: usize,
+    exponent: f64,
+    rotate_every: usize,
+) -> Vec<Constraints> {
+    let stats = DimStats::compute(table.all_points());
+    let generator =
+        ZipfWorkload::new(stats).pool(pool).exponent(exponent).rotate_every(rotate_every);
     generator.generate(total, seed).queries().iter().map(|q| q.constraints.clone()).collect()
 }
 

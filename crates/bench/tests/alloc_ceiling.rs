@@ -15,14 +15,15 @@
 //! 2. exact-hit replays (no fetch, no merge) stay under a fixed
 //!    ceiling in *both* paths, pinning the residual per-query cost of
 //!    answering straight from the cache — result materialization at
-//!    the API boundary plus the re-insert of the answer.
+//!    the API boundary plus the admission-sketch demand note (exact
+//!    hits never re-insert their item; see `Cache::note_demand`).
 //!
 //! The ceilings are deliberately loose (~2× observed) so unrelated
 //! changes don't trip them, while per-point regressions — hundreds of
 //! extra allocations per query at this scale — still fail loudly.
 
 use skycache_bench::{allocations, interactive_queries, run_queries, synthetic_table};
-use skycache_core::{CbcsConfig, CbcsExecutor};
+use skycache_core::{Cache, CbcsConfig, CbcsExecutor};
 use skycache_datagen::Distribution;
 use skycache_geom::Constraints;
 use skycache_storage::Table;
@@ -96,9 +97,52 @@ fn exact_hit_replay_allocs_stay_under_ceiling() {
     }
 }
 
+/// The lookup itself — `Cache::lookup_into` with a reused scratch ids
+/// vector — must be allocation-free in steady state: the cache-wide
+/// bound check, the R*-tree walk, and the cover-order sort all run
+/// without touching the allocator once the scratch vector has grown to
+/// its working capacity. A single stray `Vec`/`format!` in that path
+/// costs ≥ 1 alloc per lookup and trips the near-zero ceiling at once.
+#[test]
+fn warm_cache_lookup_is_allocation_free() {
+    let table = table();
+    let queries = interactive_queries(&table, QUERIES, 17, None);
+    let sample: Vec<_> = table.all_points().iter().take(8).cloned().collect();
+
+    let mut cache = Cache::new(DIMS);
+    for c in queries.iter().take(32) {
+        cache.insert(c.clone(), &sample);
+    }
+
+    let mut ids: Vec<u64> = Vec::new();
+    for c in &queries {
+        cache.lookup_into(c, &mut ids); // warm: grow scratch to capacity
+    }
+
+    let rounds = 10;
+    let a0 = allocations();
+    let mut found = 0usize;
+    for _ in 0..rounds {
+        for c in &queries {
+            cache.lookup_into(c, &mut ids);
+            found += ids.len();
+        }
+    }
+    let allocs = allocations() - a0;
+    let per_lookup = allocs as f64 / (rounds * queries.len()) as f64;
+    assert!(found > 0, "lookups must actually surface candidates");
+    assert!(
+        per_lookup <= LOOKUP_CEILING,
+        "warm lookup regressed to {per_lookup:.2} allocs/lookup (ceiling {LOOKUP_CEILING})"
+    );
+}
+
 /// ~2× the observed steady-state block-path cost (~339 allocs/query).
 const BLOCK_CEILING: f64 = 650.0;
 /// ~2× the observed exact-hit replay cost (~881 allocs/query — exact
 /// hits re-materialize the full result, so this scales with result
 /// size, not points read).
 const REPLAY_CEILING: f64 = 1800.0;
+/// Warm lookups are allocation-free; anything above rounding noise
+/// (a fraction of an alloc per lookup amortized over the run) fails.
+const LOOKUP_CEILING: f64 = 0.5;

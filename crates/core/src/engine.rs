@@ -37,11 +37,11 @@ use skycache_obs::{names, Phase, QueryRecorder, QueryReport, Recorder};
 use skycache_rtree::{RStarTree, RTreeParams};
 use skycache_storage::{FetchBuf, FetchPlan, FetchScratch, Table};
 
-use crate::cache::{Cache, ReplacementPolicy};
-use crate::cases::{plan_with_extra, QueryPlan};
+use crate::cache::{Cache, ItemCost, ReplacementPolicy};
+use crate::cases::{plan_composed, plan_with_extra, ComposedPlan, QueryPlan};
 use crate::clock::Stopwatch;
 use crate::mpr::MprMode;
-use crate::stability::Overlap;
+use crate::stability::{classify, Overlap};
 use crate::strategy::SearchStrategy;
 use crate::{CoreError, Result};
 
@@ -261,6 +261,10 @@ pub(crate) struct QueryScratch {
     merge_order: Vec<u32>,
     /// Per retained point: fetched duplicate copies still to drop.
     dup_budget: Vec<u32>,
+    /// Cache-lookup scratch: cover-ordered candidate item ids, reused
+    /// across queries so the lookup path allocates nothing in steady
+    /// state (mirrors [`FetchScratch`] on the storage side).
+    pub(crate) lookup_ids: Vec<u64>,
 }
 
 impl QueryScratch {
@@ -502,6 +506,19 @@ pub struct QueryStats {
     pub removed_points: u64,
     /// Result cardinality.
     pub result_size: u64,
+    /// Simulated storage fetch latency (nanoseconds) charged by the cost
+    /// model — deterministic, unlike the wall-clock stage times, so it
+    /// can feed cost-aware cache replacement reproducibly.
+    pub fetch_sim_ns: u64,
+    /// Cached items composed into the answer (0 on misses; 1 on
+    /// single-item hits; ≥ 2 on compositional hits).
+    pub composed_items: usize,
+    /// Fraction of the query region covered by cached items on a
+    /// compositional hit (0.0 otherwise).
+    pub cover_fraction: f64,
+    /// Results turned away by the TinyLFU admission gate while this
+    /// query's result was being cached.
+    pub admission_rejects: u64,
     /// BBS-specific counters (BBS executor only).
     pub bbs: Option<BbsStats>,
 }
@@ -536,6 +553,7 @@ impl Recorder for QueryStats {
             names::CACHE_CANDIDATES => {
                 self.candidates += usize::try_from(delta).unwrap_or(usize::MAX);
             }
+            names::CACHE_ADMISSION_REJECTS => self.admission_rejects += delta,
             _ => {}
         }
     }
@@ -747,6 +765,14 @@ pub struct CbcsConfig {
     /// items (by descending constraint overlap). `0` — the paper's
     /// single-item CBCS — is the default.
     pub extra_items: usize,
+    /// Compositional multi-item hits (DESIGN.md §17.3): when the primary
+    /// item is neither an exact hit nor Case (b), compose up to
+    /// [`CbcsConfig::compose_items`] cover-ordered cached items into one
+    /// remainder plan and fetch only the jointly uncovered space. `false`
+    /// — the paper's single-item answering — is the default.
+    pub compose: bool,
+    /// Maximum cached items composed per query (primary included).
+    pub compose_items: usize,
     /// Sequential or parallel execution of the fetch and skyline stages.
     pub exec: ExecMode,
     /// Run the block-oriented zero-copy hot path: fetches fill reusable
@@ -768,6 +794,8 @@ impl Default for CbcsConfig {
             seed: 0xC0FFEE,
             cache_results: true,
             extra_items: 0,
+            compose: false,
+            compose_items: 4,
             exec: ExecMode::Sequential,
             block_path: true,
         }
@@ -882,44 +910,102 @@ fn execute_cbcs_query(
     let mut probe = Probe::new(&mut stats, rec.as_mut());
 
     // Processing stage: cache lookup, strategy, classification, MPR.
-    let selection = {
+    // The lookup fills the reused id scratch (cover-ordered); candidate
+    // items are resolved lazily through the cache, so no per-query
+    // `Vec<&CacheItem>` is built.
+    let selection: Option<Selection> = {
         let t0 = Stopwatch::start();
-        let lookup = cache.lookup(c);
-        let candidates = lookup.items;
+        let lookup = cache.lookup_into(c, &mut scratch.lookup_ids);
+        let ids: &[u64] = &scratch.lookup_ids;
+        let items: &Cache = cache;
         probe.record_span(Phase::CacheLookup, t0.elapsed());
-        probe.add_counter(names::CACHE_CANDIDATES, candidates.len() as u64);
+        probe.add_counter(names::CACHE_CANDIDATES, ids.len() as u64);
         probe.add_counter(names::CACHE_OVERLAP_SCANS, lookup.scans);
 
         let t1 = Stopwatch::start();
-        let picked = config.strategy.select(&candidates, c, data_bounds, rng).map(|idx| {
-            let item = candidates[idx];
+        let picked = config
+            .strategy
+            .select_indexed(
+                ids.len(),
+                // skylint: allow(no-panic-paths) — `lookup_into` only emits ids present in the items map, and the cache is not mutated between lookup and resolution.
+                |i| items.get(ids[i]).expect("lookup ids are live"),
+                c,
+                data_bounds,
+                rng,
+            )
+            // skylint: allow(no-panic-paths) — `lookup_into` only emits ids present in the items map, and the cache is not mutated between lookup and resolution.
+            .map(|idx| items.get(ids[idx]).expect("lookup ids are live"));
+        probe.record_span(Phase::CaseAnalysis, t1.elapsed());
+
+        picked.map(|primary| {
+            // Compositional answering (DESIGN.md §17.3): when enabled and
+            // the primary has no free-solution fast path, try composing
+            // the cover-ordered candidates into one remainder plan.
+            // `plan_composed` reports `None` when fewer than two items
+            // contribute — then the single-item path below runs, so the
+            // pinned single-item geometry is untouched.
+            if config.compose
+                && config.compose_items >= 2
+                && ids.len() >= 2
+                && !matches!(
+                    classify(&primary.constraints, c),
+                    Overlap::Exact | Overlap::CaseB { .. }
+                )
+            {
+                let mut parts: Vec<(&Constraints, &PointBlock)> =
+                    Vec::with_capacity(config.compose_items);
+                let mut part_ids: Vec<u64> = Vec::with_capacity(config.compose_items);
+                parts.push((&primary.constraints, &primary.skyline));
+                part_ids.push(primary.id);
+                for &id in ids {
+                    if parts.len() >= config.compose_items {
+                        break;
+                    }
+                    if id == primary.id {
+                        continue;
+                    }
+                    // skylint: allow(no-panic-paths) — `lookup_into` only emits ids present in the items map, and the cache is not mutated between lookup and resolution.
+                    let item = items.get(id).expect("lookup ids are live");
+                    parts.push((&item.constraints, &item.skyline));
+                    part_ids.push(id);
+                }
+                let t2 = Stopwatch::start();
+                let composed = plan_composed(&parts, c, config.mpr, data_bounds);
+                probe.record_span(Phase::MprCompute, t2.elapsed());
+                if let Some(composed) = composed {
+                    // Every candidate overlaps the query, so contributors
+                    // are exactly the first `items_used` parts in order.
+                    part_ids.truncate(composed.items_used);
+                    return Selection::Composed(part_ids, composed);
+                }
+            }
+
             // Section 6.3 extension: harvest extra pruning points
             // from the next-best items by constraint overlap.
             let extra: Vec<Point> = if config.extra_items > 0 {
-                let mut others: Vec<&&crate::cache::CacheItem> =
-                    candidates.iter().filter(|it| it.id != item.id).collect();
-                others.sort_by(|a, b| {
+                let mut others: Vec<u64> =
+                    ids.iter().copied().filter(|&id| id != primary.id).collect();
+                others.sort_by(|&a, &b| {
                     // total_cmp: overlap volumes of partially
                     // unbounded regions may be inf or NaN (0·inf).
-                    c.overlap_volume(&b.constraints).total_cmp(&c.overlap_volume(&a.constraints))
+                    let va = items.get(a).map_or(0.0, |it| c.overlap_volume(&it.constraints));
+                    let vb = items.get(b).map_or(0.0, |it| c.overlap_volume(&it.constraints));
+                    vb.total_cmp(&va)
                 });
                 others
                     .into_iter()
                     .take(config.extra_items)
+                    .filter_map(|id| items.get(id))
                     .flat_map(|it| it.skyline.to_points())
                     .collect()
             } else {
                 Vec::new()
             };
-            (item, extra)
-        });
-        probe.record_span(Phase::CaseAnalysis, t1.elapsed());
-
-        picked.map(|(item, extra)| {
             let t2 = Stopwatch::start();
-            let plan = plan_with_extra(&item.constraints, &item.skyline, &extra, c, config.mpr);
+            let plan =
+                plan_with_extra(&primary.constraints, &primary.skyline, &extra, c, config.mpr);
             probe.record_span(Phase::MprCompute, t2.elapsed());
-            (item.id, plan)
+            Selection::Single(primary.id, plan)
         })
     };
 
@@ -932,9 +1018,10 @@ fn execute_cbcs_query(
                 query_naive_legacy(table, algo, exec, c, &mut probe)
             }
         }
-        Some((item_id, query_plan)) => {
+        Some(Selection::Single(item_id, query_plan)) => {
             probe.add_counter(names::CACHE_HITS, 1);
             probe.stats.cache_hit = true;
+            probe.stats.composed_items = 1;
             cache.touch(item_id);
             if config.block_path {
                 query_planned(table, algo, exec, query_plan, scratch, &mut probe)
@@ -942,20 +1029,65 @@ fn execute_cbcs_query(
                 query_planned_legacy(table, algo, exec, query_plan, &mut probe)
             }
         }
+        Some(Selection::Composed(part_ids, composed)) => {
+            probe.add_counter(names::CACHE_HITS, 1);
+            probe.add_counter(names::CACHE_COMPOSED_HITS, 1);
+            probe.stats.cache_hit = true;
+            probe.stats.composed_items = composed.items_used;
+            probe.stats.cover_fraction = composed.cover_fraction;
+            probe.set_gauge(names::CACHE_COVER_FRACTION, composed.cover_fraction);
+            for &id in &part_ids {
+                cache.touch(id);
+            }
+            if config.block_path {
+                query_planned(table, algo, exec, composed.plan, scratch, &mut probe)
+            } else {
+                query_planned_legacy(table, algo, exec, composed.plan, &mut probe)
+            }
+        }
     };
     probe.add_counter(names::SKYLINE_RESULT_SIZE, skyline.len() as u64);
 
     if config.cache_results {
-        let evictions_before = cache.evictions();
-        cache.insert(c.clone(), &skyline);
-        probe.add_counter(names::CACHE_INSERTIONS, 1);
-        let evicted = cache.evictions() - evictions_before;
-        if evicted > 0 {
-            probe.add_counter(names::CACHE_EVICTIONS, evicted);
+        if matches!(probe.stats.case, Some(Overlap::Exact)) {
+            // The result is already cached under these very constraints;
+            // re-inserting would duplicate the item and evict an
+            // innocent victim on every repeat. Keep the key's popularity
+            // visible to the admission sketch instead.
+            cache.note_demand(c);
+        } else {
+            let evictions_before = cache.evictions();
+            let rejects_before = cache.admission_rejects();
+            let cost = ItemCost {
+                points_read: probe.stats.points_read,
+                fetch_ns: probe.stats.fetch_sim_ns,
+            };
+            if cache.insert_with_cost(c.clone(), &skyline, cost).is_some() {
+                probe.add_counter(names::CACHE_INSERTIONS, 1);
+            }
+            let evicted = cache.evictions() - evictions_before;
+            if evicted > 0 {
+                probe.add_counter(names::CACHE_EVICTIONS, evicted);
+            }
+            let rejected = cache.admission_rejects() - rejects_before;
+            if rejected > 0 {
+                probe.add_counter(names::CACHE_ADMISSION_REJECTS, rejected);
+            }
         }
     }
 
     Ok(QueryOutcome { skyline, stats, report: rec.map(QueryRecorder::into_report) })
+}
+
+/// What the processing stage decided for one query: answer from a single
+/// cached item (with optional harvested pruning points folded into its
+/// plan) or compose several cached items' trusted space.
+enum Selection {
+    /// Primary item id plus its single-item plan.
+    Single(u64, QueryPlan),
+    /// Contributing item ids (cover-ordered, primary first) plus the
+    /// composed remainder plan.
+    Composed(Vec<u64>, ComposedPlan),
 }
 
 /// The cache-miss path on the block-oriented hot path: one constraint
@@ -972,6 +1104,7 @@ pub(crate) fn query_naive(
 ) -> Vec<Point> {
     let t0 = Stopwatch::start();
     let outcome = table.fetch_plan_into(&FetchPlan::constrained(c), &mut scratch.fetch);
+    probe.stats.fetch_sim_ns += outcome.simulated_latency.as_nanos() as u64;
     probe.record_span(Phase::Fetch, t0.elapsed() + outcome.simulated_latency);
     outcome.record_into(probe);
     if probe.detailed() {
@@ -1000,6 +1133,7 @@ pub(crate) fn query_naive_legacy(
 ) -> Vec<Point> {
     let t0 = Stopwatch::start();
     let fetch = table.fetch_plan(&FetchPlan::constrained(c));
+    probe.stats.fetch_sim_ns += fetch.simulated_latency.as_nanos() as u64;
     probe.record_span(Phase::Fetch, t0.elapsed() + fetch.simulated_latency);
     fetch.record_into(probe);
     if probe.detailed() {
@@ -1036,8 +1170,9 @@ pub(crate) fn query_planned(
     probe.add_counter(names::MPR_INVALIDATED_PIECES, plan.invalidated_pieces as u64);
 
     let t0 = Stopwatch::start();
-    let fetch_plan = FetchPlan::new(plan.regions).with_lanes(exec.lanes()).coalesced();
+    let fetch_plan = FetchPlan::remainder(plan.regions).with_lanes(exec.lanes());
     let outcome = table.fetch_plan_into(&fetch_plan, &mut scratch.fetch);
+    probe.stats.fetch_sim_ns += outcome.simulated_latency.as_nanos() as u64;
     probe.record_span(Phase::Fetch, t0.elapsed() + outcome.simulated_latency);
     outcome.record_into(probe);
     if probe.detailed() {
@@ -1050,7 +1185,7 @@ pub(crate) fn query_planned(
     if plan.needs_skyline {
         let dims = table.dims();
         let t1 = Stopwatch::start();
-        let QueryScratch { fetch, sky, merged, sky_out, merge_order, dup_budget } = scratch;
+        let QueryScratch { fetch, sky, merged, sky_out, merge_order, dup_budget, .. } = scratch;
         let merged = reuse_block(merged, dims);
         merge_rows(&plan.retained, fetch.rows(), merged, merge_order, dup_budget);
         probe.record_span(Phase::Merge, t1.elapsed());
@@ -1087,6 +1222,7 @@ pub(crate) fn query_planned_legacy(
 
     let t0 = Stopwatch::start();
     let fetch = table.fetch_plan(&FetchPlan::new(plan.regions).with_lanes(exec.lanes()));
+    probe.stats.fetch_sim_ns += fetch.simulated_latency.as_nanos() as u64;
     probe.record_span(Phase::Fetch, t0.elapsed() + fetch.simulated_latency);
     fetch.record_into(probe);
     if probe.detailed() {
@@ -1366,6 +1502,42 @@ mod tests {
         assert_eq!(r2.stats.case, Some(Overlap::Exact));
         assert_eq!(r2.stats.points_read, 0);
         assert_eq!(r2.skyline, r1.skyline);
+    }
+
+    #[test]
+    fn cbcs_composes_two_cached_items_and_matches_single_item_path() {
+        // Two primed halves jointly cover the third query's region; with
+        // composition on, both contribute and the merged skyline equals
+        // the single-item (compose-off) answer on the same sequence.
+        // (The spanning box keeps both cached skyline corners — (0,0)
+        // and (0.9,0) — inside it, so the MBR index surfaces both items
+        // as candidates.)
+        let left = c(&[(0.0, 0.9), (0.0, 1.9)]);
+        let right = c(&[(0.9, 1.9), (0.0, 1.9)]);
+        let spanning = c(&[(0.0, 1.5), (0.0, 1.9)]);
+
+        let table = grid_table();
+        let mut plain = CbcsExecutor::new(&table, CbcsConfig::default());
+        let mut composed =
+            CbcsExecutor::new(&table, CbcsConfig { compose: true, ..CbcsConfig::default() });
+        for ex in [&mut plain, &mut composed] {
+            run(ex, &left);
+            run(ex, &right);
+        }
+
+        let a = run(&mut plain, &spanning);
+        let b = run(&mut composed, &spanning);
+        assert_eq!(a.stats.composed_items, 1, "compose off must stay single-item");
+        assert!(b.stats.composed_items >= 2, "got {} items", b.stats.composed_items);
+        assert!(b.stats.cover_fraction > 0.9, "got cover {}", b.stats.cover_fraction);
+        let key = |x: &Point| (x[0].to_bits(), x[1].to_bits());
+        let mut sa = a.skyline;
+        let mut sb = b.skyline;
+        sa.sort_by_key(key);
+        sb.sort_by_key(key);
+        assert_eq!(sa, sb, "composed answer diverged from single-item answer");
+        // The composed cover leaves a smaller remainder to fetch.
+        assert!(b.stats.points_read <= a.stats.points_read);
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub mod stability;
 /// Cache search strategies (Section 6.1).
 pub mod strategy;
 
-pub use cache::{Cache, CacheItem, LookupOutcome, ReplacementPolicy};
+pub use cache::{
+    Cache, CacheItem, FrequencySketch, ItemCost, LookupOutcome, LookupStats, ReplacementPolicy,
+};
+pub use cases::{plan_composed, ComposedPlan};
 pub use engine::{
     skyline_route, AlgoChoice, BaselineExecutor, BbsExecutor, CbcsConfig, CbcsExecutor,
     DynamicCbcsExecutor, ExecMode, Executor, QueryOutcome, QueryRequest, QueryResult, QueryStats,

@@ -189,10 +189,30 @@ pub fn missing_points_region_multi(
     let invalidated_pieces = invalidated.len();
     regions.extend(invalidated);
 
-    // Step 3: subtract retained dominance regions DR(u, C′)
-    // (Algorithm 1 lines 13–26). Pruning points are applied nearest-to-C̲′
-    // first — the near points prune the most (Section 5.3) — and the aMPR
-    // stops after k of them.
+    let (regions, prune_points_used) = prune_regions(regions, &retained, new, mode);
+
+    MprOutput {
+        regions,
+        retained,
+        removed_points: removed.len(),
+        prune_points_used,
+        invalidated_pieces,
+    }
+}
+
+/// Step 3 of the MPR construction, shared with the compositional
+/// planner ([`crate::cases::plan_composed`]): subtract retained
+/// dominance regions `DR(u, C′)` from the unknown regions (Algorithm 1
+/// lines 13–26). Pruning points are applied nearest-to-`C̲′` first — the
+/// near points prune the most (Section 5.3) — and the aMPR stops after
+/// `k` of them. Returns the pruned regions (degenerate leftovers
+/// dropped) and the number of pruning points actually applied.
+pub(crate) fn prune_regions(
+    mut regions: Vec<HyperRect>,
+    retained: &PointBlock,
+    new: &Constraints,
+    mode: MprMode,
+) -> (Vec<HyperRect>, usize) {
     let mut order: Vec<usize> = (0..retained.len()).collect();
     let corner = new.lo();
     let dist = |row: &[f64]| -> f64 {
@@ -240,13 +260,7 @@ pub fn missing_points_region_multi(
         "MPR emitted overlapping range queries"
     );
 
-    MprOutput {
-        regions,
-        retained,
-        removed_points: removed.len(),
-        prune_points_used,
-        invalidated_pieces,
-    }
+    (regions, prune_points_used)
 }
 
 #[cfg(test)]

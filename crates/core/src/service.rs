@@ -240,6 +240,13 @@ impl<'t> Service<'t> {
         &self.config
     }
 
+    /// Insert attempts the cache's admission gate has rejected so far
+    /// (authoritative, reads the master; always 0 unless the configured
+    /// replacement policy is [`crate::ReplacementPolicy::TinyLfu`]).
+    pub fn admission_rejects(&self) -> u64 {
+        self.shared.cache.with_read(crate::cache::Cache::admission_rejects)
+    }
+
     /// Snapshot of the service-layer counters.
     pub fn metrics(&self) -> ServiceMetrics {
         ServiceMetrics {

@@ -51,17 +51,18 @@ use rand::SeedableRng;
 use skycheck::sync::{Arc, AtomicU64, Ordering, RwLock};
 
 use skycache_algos::{Sfs, SkylineAlgorithm};
-use skycache_geom::{Aabb, Constraints, Point};
+use skycache_geom::{Aabb, Constraints, Point, PointBlock};
 use skycache_obs::{names, Phase, QueryRecorder, Recorder};
 use skycache_storage::Table;
 
-use crate::cache::Cache;
-use crate::cases::plan_with_extra;
+use crate::cache::{Cache, ItemCost};
+use crate::cases::{plan_composed, plan_with_extra};
 use crate::clock::Stopwatch;
 use crate::engine::{
     check_dims, query_naive, query_naive_legacy, query_planned, query_planned_legacy, CbcsConfig,
     Executor, Probe, QueryOutcome, QueryRequest, QueryScratch, QueryStats,
 };
+use crate::stability::{classify, Overlap};
 use crate::Result;
 
 /// Write side plus published snapshot; see the module docs for the
@@ -148,22 +149,50 @@ impl SharedCache {
         self.inner.master.write().touch(id); // lock-order: write
     }
 
+    /// Records an exact-hit demand in the master's admission sketch
+    /// (sketch bookkeeping only — the item store is unchanged, so like
+    /// [`SharedCache::touch`] this does not republish).
+    pub(crate) fn note_demand(&self, constraints: &Constraints) {
+        // skylint: allow(lock-order) — the callee is `Cache::note_demand` on the guard's own target (lock-free); the name-match to this very method is not a nested acquisition.
+        self.inner.master.write().note_demand(constraints); // lock-order: write
+    }
+
     /// Inserts a result into the master, publishes a fresh snapshot and
-    /// bumps the epoch. Returns how many items the insert evicted.
-    pub(crate) fn insert_and_publish(&self, constraints: Constraints, skyline: &[Point]) -> u64 {
-        // skylint: allow(lock-order) — `master.insert` is `Cache::insert` on the guard's own target (lock-free); the bare-name matches to Table/RStarTree/ColumnIndex inserts never run under this guard.
+    /// bumps the epoch. Reports whether the admission gate admitted the
+    /// item and how many items the insert evicted/rejected.
+    pub(crate) fn insert_and_publish(
+        &self,
+        constraints: Constraints,
+        skyline: &[Point],
+        cost: ItemCost,
+    ) -> PublishOutcome {
+        // skylint: allow(lock-order) — `master.insert_with_cost` is a `Cache` method on the guard's own target (lock-free); the bare-name matches to Table/RStarTree/ColumnIndex inserts never run under this guard.
         let mut master = self.inner.master.write(); // lock-order: write
         let evictions_before = master.evictions();
-        master.insert(constraints, skyline);
+        let rejects_before = master.admission_rejects();
+        let admitted = master.insert_with_cost(constraints, skyline, cost).is_some();
         let evicted = master.evictions() - evictions_before;
+        let rejected = master.admission_rejects() - rejects_before;
         // Publish nested under the master guard: racing inserts publish
         // in master order, so a newer snapshot is never overwritten by
-        // an older one.
+        // an older one. A rejected insert still publishes — the TinyLFU
+        // sketch occupancy changed and the epoch must cover it.
         let published = Arc::new(master.clone());
         *self.inner.snap.write() = published; // lock-order: write
         self.inner.epoch.fetch_add(1, Ordering::Release);
-        evicted
+        PublishOutcome { admitted, evicted, rejected }
     }
+}
+
+/// What [`SharedCache::insert_and_publish`] did, reported after the
+/// guards drop so telemetry never runs under a lock.
+pub(crate) struct PublishOutcome {
+    /// Whether the item passed the admission gate and was stored.
+    pub admitted: bool,
+    /// Items the insert evicted.
+    pub evicted: u64,
+    /// Insert attempts the admission gate rejected (0 or 1 here).
+    pub rejected: u64,
 }
 
 /// A per-user CBCS executor over a [`SharedCache`].
@@ -238,41 +267,81 @@ impl Executor for SharedCbcsExecutor<'_> {
         let mut probe = Probe::new(&mut stats, rec.as_mut());
 
         // Phase 1 (lock-free): search the published snapshot and clone
-        // the selected item out. The snapshot is an immutable `Arc`
+        // the selected item(s) out. The snapshot is an immutable `Arc`
         // clone, so no lock is held across the search — concurrent
         // lookups never serialize on the cache write side.
         let (selection, lookup_elapsed, analysis_elapsed, n_candidates, overlap_scans) = {
             let cache = self.cache.snapshot();
             let t0 = Stopwatch::start();
-            let lookup = cache.lookup(c);
-            let candidates = lookup.items;
+            let lookup = cache.lookup_into(c, &mut self.scratch.lookup_ids);
+            let ids: &[u64] = &self.scratch.lookup_ids;
             let lookup_elapsed = t0.elapsed();
 
             let t1 = Stopwatch::start();
             let picked = self
                 .config
                 .strategy
-                .select(&candidates, c, &self.data_bounds, &mut self.rng)
-                .and_then(|idx| candidates.get(idx))
-                .map(|&item| {
+                .select_indexed(
+                    ids.len(),
+                    // skylint: allow(no-panic-paths) — `lookup_into` only emits ids present in the items map, and the cache is not mutated between lookup and resolution.
+                    |i| cache.get(ids[i]).expect("lookup ids are live"),
+                    c,
+                    &self.data_bounds,
+                    &mut self.rng,
+                )
+                .map(|idx| {
+                    // skylint: allow(no-panic-paths) — `lookup_into` only emits ids present in the items map, and the cache is not mutated between lookup and resolution.
+                    let primary = cache.get(ids[idx]).expect("lookup ids are live");
                     let extra: Vec<Point> = if self.config.extra_items > 0 {
-                        let mut others: Vec<_> =
-                            candidates.iter().filter(|it| it.id != item.id).collect();
-                        others.sort_by(|a, b| {
-                            c.overlap_volume(&b.constraints)
-                                .total_cmp(&c.overlap_volume(&a.constraints))
+                        let mut others: Vec<u64> =
+                            ids.iter().copied().filter(|&id| id != primary.id).collect();
+                        others.sort_by(|&a, &b| {
+                            let va =
+                                cache.get(a).map_or(0.0, |it| c.overlap_volume(&it.constraints));
+                            let vb =
+                                cache.get(b).map_or(0.0, |it| c.overlap_volume(&it.constraints));
+                            vb.total_cmp(&va)
                         });
                         others
                             .into_iter()
                             .take(self.config.extra_items)
+                            .filter_map(|id| cache.get(id))
                             .flat_map(|it| it.skyline.to_points())
                             .collect()
                     } else {
                         Vec::new()
                     };
-                    (item.id, item.constraints.clone(), item.skyline.clone(), extra)
+                    // Compositional answering (DESIGN.md §17.3): clone the
+                    // cover-ordered contributors out of the snapshot so the
+                    // expensive composition itself runs in phase 2 with no
+                    // snapshot pinned. The single-item fallback reuses
+                    // `parts[0]`, so a failed composition costs nothing
+                    // beyond these clones.
+                    let compose = self.config.compose
+                        && self.config.compose_items >= 2
+                        && ids.len() >= 2
+                        && !matches!(
+                            classify(&primary.constraints, c),
+                            Overlap::Exact | Overlap::CaseB { .. }
+                        );
+                    let mut parts: Vec<(u64, Constraints, PointBlock)> = Vec::new();
+                    parts.push((primary.id, primary.constraints.clone(), primary.skyline.clone()));
+                    if compose {
+                        for &id in ids {
+                            if parts.len() >= self.config.compose_items {
+                                break;
+                            }
+                            if id == primary.id {
+                                continue;
+                            }
+                            // skylint: allow(no-panic-paths) — `lookup_into` only emits ids present in the items map, and the cache is not mutated between lookup and resolution.
+                            let item = cache.get(id).expect("lookup ids are live");
+                            parts.push((item.id, item.constraints.clone(), item.skyline.clone()));
+                        }
+                    }
+                    (parts, extra)
                 });
-            (picked, lookup_elapsed, t1.elapsed(), candidates.len() as u64, lookup.scans)
+            (picked, lookup_elapsed, t1.elapsed(), ids.len() as u64, lookup.scans)
         };
         probe.record_span(Phase::CacheLookup, lookup_elapsed);
         probe.record_span(Phase::CaseAnalysis, analysis_elapsed);
@@ -292,13 +361,42 @@ impl Executor for SharedCbcsExecutor<'_> {
                     query_naive_legacy(self.table, algo, exec, c, &mut probe)
                 }
             }
-            Some((item_id, old_c, old_sky, extra)) => {
-                let t2 = Stopwatch::start();
-                let plan = plan_with_extra(&old_c, &old_sky, &extra, c, self.config.mpr);
-                probe.record_span(Phase::MprCompute, t2.elapsed());
+            Some((parts, extra)) => {
                 probe.add_counter(names::CACHE_HITS, 1);
                 probe.stats.cache_hit = true;
-                self.cache.touch(item_id);
+
+                let t2 = Stopwatch::start();
+                let composed = if parts.len() >= 2 {
+                    let refs: Vec<(&Constraints, &PointBlock)> =
+                        parts.iter().map(|(_, pc, sky)| (pc, sky)).collect();
+                    plan_composed(&refs, c, self.config.mpr, &self.data_bounds)
+                } else {
+                    None
+                };
+                let plan = match composed {
+                    Some(cp) => {
+                        probe.stats.composed_items = cp.items_used;
+                        probe.stats.cover_fraction = cp.cover_fraction;
+                        probe.add_counter(names::CACHE_COMPOSED_HITS, 1);
+                        probe.set_gauge(names::CACHE_COVER_FRACTION, cp.cover_fraction);
+                        // Contributors are the first `items_used` parts
+                        // (cover order, primary first).
+                        for (id, _, _) in parts.iter().take(cp.items_used) {
+                            self.cache.touch(*id);
+                        }
+                        cp.plan
+                    }
+                    None => {
+                        let (primary_id, old_c, old_sky) =
+                            // skylint: allow(no-panic-paths) — the selection is built with the primary as its first part, so the vector is never empty here.
+                            parts.first().expect("selection carries the primary item");
+                        probe.stats.composed_items = 1;
+                        self.cache.touch(*primary_id);
+                        plan_with_extra(old_c, old_sky, &extra, c, self.config.mpr)
+                    }
+                };
+                probe.record_span(Phase::MprCompute, t2.elapsed());
+
                 if self.config.block_path {
                     query_planned(self.table, algo, exec, plan, &mut self.scratch, &mut probe)
                 } else {
@@ -312,10 +410,26 @@ impl Executor for SharedCbcsExecutor<'_> {
         // fresh snapshot. The guards live inside `insert_and_publish`;
         // counters go out after it returns.
         if self.config.cache_results {
-            let evicted = self.cache.insert_and_publish(c.clone(), &skyline);
-            probe.add_counter(names::CACHE_INSERTIONS, 1);
-            if evicted > 0 {
-                probe.add_counter(names::CACHE_EVICTIONS, evicted);
+            if matches!(probe.stats.case, Some(Overlap::Exact)) {
+                // Already cached under these very constraints:
+                // re-inserting would duplicate the item and evict an
+                // innocent victim. Record the demand for admission only.
+                self.cache.note_demand(c);
+            } else {
+                let cost = ItemCost {
+                    points_read: probe.stats.points_read,
+                    fetch_ns: probe.stats.fetch_sim_ns,
+                };
+                let outcome = self.cache.insert_and_publish(c.clone(), &skyline, cost);
+                if outcome.admitted {
+                    probe.add_counter(names::CACHE_INSERTIONS, 1);
+                }
+                if outcome.evicted > 0 {
+                    probe.add_counter(names::CACHE_EVICTIONS, outcome.evicted);
+                }
+                if outcome.rejected > 0 {
+                    probe.add_counter(names::CACHE_ADMISSION_REJECTS, outcome.rejected);
+                }
             }
         }
 
@@ -356,7 +470,9 @@ mod tests {
         let r2 = run(&mut bob, &c);
         assert!(r2.stats.cache_hit, "bob must hit alice's cached result");
         assert_eq!(r2.skyline, r1.skyline);
-        assert_eq!(shared.len(), 2); // both results cached
+        // Bob's exact hit does not re-insert: the result is already
+        // cached under the identical constraints.
+        assert_eq!(shared.len(), 1);
     }
 
     #[test]

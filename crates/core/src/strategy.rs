@@ -87,33 +87,49 @@ impl SearchStrategy {
         data_bounds: &Aabb,
         rng: &mut R,
     ) -> Option<usize> {
-        if candidates.is_empty() {
+        self.select_indexed(candidates.len(), |i| candidates[i], new, data_bounds, rng)
+    }
+
+    /// [`SearchStrategy::select`] over an indexed accessor instead of a
+    /// materialized slice of references — the scratch-based engine path
+    /// resolves candidate ids lazily through the cache without building
+    /// a per-query `Vec<&CacheItem>`. Semantics are identical: ties keep
+    /// the first (best-covering) candidate.
+    pub fn select_indexed<'a, R: Rng>(
+        &self,
+        n: usize,
+        get: impl Fn(usize) -> &'a CacheItem,
+        new: &Constraints,
+        data_bounds: &Aabb,
+        rng: &mut R,
+    ) -> Option<usize> {
+        if n == 0 {
             return None;
         }
-        if candidates.len() == 1 {
+        if n == 1 {
             return Some(0);
         }
         let best = match self {
-            SearchStrategy::Random => rng.gen_range(0..candidates.len()),
+            SearchStrategy::Random => rng.gen_range(0..n),
             SearchStrategy::MaxOverlap => {
-                argmax_by(candidates, |it| clamped_overlap(it, new, data_bounds))
+                argmax_by(n, &get, |it| clamped_overlap(it, new, data_bounds))
             }
             SearchStrategy::MaxOverlapSP => {
-                argmax_by(candidates, |it| {
+                argmax_by(n, &get, |it| {
                     let stable = is_stable(&it.constraints, new);
                     // Stability dominates; overlap breaks ties.
                     (u8::from(stable), clamped_overlap(it, new, data_bounds))
                 })
             }
-            SearchStrategy::Prioritized1D => argmax_by(candidates, |it| {
+            SearchStrategy::Prioritized1D => argmax_by(n, &get, |it| {
                 let rank = case_rank(classify(&it.constraints, new));
                 (std::cmp::Reverse(rank), clamped_overlap(it, new, data_bounds))
             }),
-            SearchStrategy::PrioritizedND { weights } => argmax_by(candidates, |it| {
+            SearchStrategy::PrioritizedND { weights } => argmax_by(n, &get, |it| {
                 let penalty = nd_penalty(&it.constraints, new, weights);
                 (std::cmp::Reverse(FiniteF64(penalty)), clamped_overlap(it, new, data_bounds))
             }),
-            SearchStrategy::OptimumDistance => argmax_by(candidates, |it| {
+            SearchStrategy::OptimumDistance => argmax_by(n, &get, |it| {
                 std::cmp::Reverse(FiniteF64(corner_distance(it, new, data_bounds)))
             }),
         };
@@ -140,11 +156,15 @@ impl PartialOrd for FiniteF64 {
     }
 }
 
-fn argmax_by<K: Ord>(candidates: &[&CacheItem], mut key: impl FnMut(&CacheItem) -> K) -> usize {
+fn argmax_by<'a, K: Ord>(
+    n: usize,
+    get: impl Fn(usize) -> &'a CacheItem,
+    mut key: impl FnMut(&CacheItem) -> K,
+) -> usize {
     let mut best = 0;
-    let mut best_key = key(candidates[0]);
-    for (i, it) in candidates.iter().enumerate().skip(1) {
-        let k = key(it);
+    let mut best_key = key(get(0));
+    for i in 1..n {
+        let k = key(get(i));
         if k > best_key {
             best_key = k;
             best = i;
@@ -226,7 +246,17 @@ mod tests {
         ])];
         let mbr = Aabb::bounding(&skyline);
         let skyline = skycache_geom::PointBlock::from_points(&skyline).unwrap();
-        CacheItem { id, constraints, skyline, mbr, inserted_at: id, last_used: id, use_count: 0 }
+        CacheItem {
+            id,
+            constraints,
+            skyline,
+            mbr,
+            inserted_at: id,
+            last_used: id,
+            use_count: 0,
+            cost: crate::cache::ItemCost::default(),
+            key_hash: id,
+        }
     }
 
     fn rng() -> StdRng {

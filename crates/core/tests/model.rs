@@ -86,7 +86,7 @@ fn harness_a_concurrent_touch_insert_keeps_clock_monotone() {
 
     let outcome = Explorer::new().with_preemption_bound(2).explore(|| {
         let cache = Arc::new(RwLock::new(Cache::with_capacity(2, None, ReplacementPolicy::Lru)));
-        let id = cache.write().insert(c0.clone(), &pts);
+        let id = cache.write().insert(c0.clone(), &pts).expect("Lru admits below capacity");
         let cache2 = cache.clone();
         let h = thread::spawn(move || cache2.write().touch(id));
         cache.write().insert(c1.clone(), &pts);
@@ -170,8 +170,9 @@ fn harness_c_concurrent_execute_admits_no_deadlock() {
         assert_eq!(got_b.0, want);
         let hits = usize::from(got_a.1) + usize::from(got_b.1);
         assert!(hits <= 1, "an empty cache admits at most one hit");
-        // Every execute() publishes: 2 items; a hit also touches its item.
-        assert_eq!(service.cache().len(), 2);
+        // Every miss publishes its result; an exact hit touches the
+        // existing item instead of re-inserting a duplicate.
+        assert_eq!(service.cache().len(), 2 - hits);
         service.cache().with_read(|cache| {
             let touches: u64 = cache.iter().map(|it| it.use_count).sum();
             assert_eq!(touches as usize, hits, "hits and touches must agree");

@@ -37,7 +37,9 @@ pub mod workload;
 
 pub use real_estate::RealEstateGen;
 pub use synthetic::{Distribution, SyntheticGen};
-pub use workload::{DimStats, IndependentWorkload, InteractiveWorkload, QuerySpec, Workload};
+pub use workload::{
+    DimStats, IndependentWorkload, InteractiveWorkload, QuerySpec, Workload, ZipfWorkload,
+};
 
 pub(crate) mod util {
     use rand::Rng;

@@ -255,6 +255,129 @@ impl IndependentWorkload {
     }
 }
 
+/// Generator for a Zipf-skewed, session-correlated workload: a fixed
+/// pool of base queries is drawn up front, and every issued query picks
+/// a base by Zipf rank (`weight(r) ∝ 1/rᔆ` over the pool ordered by
+/// rank), so a handful of "hot" regions dominate the stream — the
+/// popularity skew real multi-user traffic shows and the regime where
+/// frequency-aware cache replacement (TinyLFU admission, cost-aware
+/// eviction) separates from pure recency.
+///
+/// With probability [`ZipfWorkload::refine_prob`], an issued query is
+/// additionally refined once (same single-bound mutation as the
+/// interactive workload) to model session drift around a hot region;
+/// the refinement perturbs the issued copy only, never the pool.
+///
+/// With [`ZipfWorkload::rotate_every`] set, the rank→base assignment
+/// additionally shifts by a quarter of the pool every period, so the
+/// *identity* of the hot queries drifts over the stream (trending
+/// traffic). Popularity drift is the regime where frequency *aging*
+/// matters: a policy that never forgets (use-count eviction) pins
+/// formerly-hot items, while TinyLFU's periodic halving adapts.
+///
+/// [`QuerySpec::chain`] carries the pool index of the base query
+/// (equal to the Zipf rank while rotation is off) and
+/// [`QuerySpec::step`] is 0 for verbatim pool queries, 1 for drifted
+/// ones.
+#[derive(Clone, Debug)]
+pub struct ZipfWorkload {
+    stats: Vec<DimStats>,
+    params: GenParams,
+    pool: usize,
+    exponent: f64,
+    refine_prob: f64,
+    rotate_every: usize,
+}
+
+impl ZipfWorkload {
+    /// Creates a generator anchored on the dataset statistics with a
+    /// pool of 200 base queries, exponent 1.1 and 5% drift.
+    pub fn new(stats: Vec<DimStats>) -> Self {
+        let constrained_dims = stats.len();
+        ZipfWorkload {
+            stats,
+            params: GenParams { constrained_dims, sigma_span: 3.0 },
+            pool: 200,
+            exponent: 1.1,
+            refine_prob: 0.05,
+            rotate_every: 0,
+        }
+    }
+
+    /// Constrains only the first `k` dimensions.
+    pub fn constrained_dims(mut self, k: usize) -> Self {
+        assert!(k > 0 && k <= self.stats.len());
+        self.params.constrained_dims = k;
+        self
+    }
+
+    /// Sets the base-query pool size (must be nonzero).
+    pub fn pool(mut self, pool: usize) -> Self {
+        assert!(pool > 0, "pool must be nonzero");
+        self.pool = pool;
+        self
+    }
+
+    /// Sets the Zipf exponent `s` (`weight(r) ∝ 1/rᔆ`; larger = more
+    /// skew; must be finite and non-negative).
+    pub fn exponent(mut self, s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        self.exponent = s;
+        self
+    }
+
+    /// Sets the probability that an issued query drifts one refinement
+    /// away from its base (must lie in `[0, 1]`).
+    pub fn refine_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        self.refine_prob = p;
+        self
+    }
+
+    /// Shifts which pool entries are hot every `period` issued queries
+    /// (`0` disables rotation, the default): each period moves the
+    /// rank→base assignment forward by `pool / 4` (minimum 1), so the
+    /// popular set drifts deterministically over the stream.
+    pub fn rotate_every(mut self, period: usize) -> Self {
+        self.rotate_every = period;
+        self
+    }
+
+    /// Generates `total` Zipf-distributed queries.
+    pub fn generate(&self, total: usize, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bases: Vec<Constraints> = (0..self.pool)
+            .map(|_| initial_constraints(&mut rng, &self.stats, &self.params))
+            .collect();
+        // Cumulative Zipf weights over ranks 1..=pool; a uniform draw in
+        // [0, cum.last()) binary-searches to its rank.
+        let mut cum = Vec::with_capacity(self.pool);
+        let mut acc = 0.0f64;
+        for rank in 1..=self.pool {
+            acc += (rank as f64).powf(-self.exponent);
+            cum.push(acc);
+        }
+        let queries = (0..total)
+            .map(|i| {
+                let u: f64 = rng.gen_range(0.0..acc);
+                let rank = cum.partition_point(|&c| c <= u);
+                let offset =
+                    i.checked_div(self.rotate_every).map_or(0, |r| r * (self.pool / 4).max(1));
+                let idx = (rank + offset) % self.pool;
+                // skylint: allow(no-panic-paths) — rank < pool (partition_point over the pool-sized table) and the offset is reduced mod pool.
+                let base = bases.get(idx).expect("index stays inside the pool");
+                if rng.gen_bool(self.refine_prob) {
+                    let drifted = refine(&mut rng, base, &self.stats, &self.params);
+                    QuerySpec { constraints: drifted, chain: idx, step: 1 }
+                } else {
+                    QuerySpec { constraints: base.clone(), chain: idx, step: 0 }
+                }
+            })
+            .collect();
+        Workload { queries }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +484,67 @@ mod tests {
                 assert!(q.constraints.lo()[i].is_finite());
                 assert!(q.constraints.hi()[i].is_finite());
             }
+        }
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed() {
+        let gen = ZipfWorkload::new(stats_3d()).pool(50).exponent(1.2).refine_prob(0.1);
+        let w = gen.generate(1_000, 11);
+        assert_eq!(w.len(), 1_000);
+        let w2 = gen.generate(1_000, 11);
+        for (a, b) in w.queries().iter().zip(w2.queries()) {
+            assert_eq!(a.constraints, b.constraints);
+            assert_eq!((a.chain, a.step), (b.chain, b.step));
+        }
+        // Skew: rank 0 must dominate any deep-tail rank by a wide margin.
+        let count = |rank: usize| w.queries().iter().filter(|q| q.chain == rank).count();
+        assert!(count(0) >= 5 * count(40).max(1), "rank 0: {}, rank 40: {}", count(0), count(40));
+        // All ranks index the pool.
+        assert!(w.queries().iter().all(|q| q.chain < 50));
+    }
+
+    #[test]
+    fn zipf_repeats_base_queries_verbatim_and_drifts_some() {
+        let gen = ZipfWorkload::new(stats_3d()).pool(20).refine_prob(0.25);
+        let w = gen.generate(400, 3);
+        let verbatim: Vec<_> = w.queries().iter().filter(|q| q.step == 0).collect();
+        let drifted = w.queries().iter().filter(|q| q.step == 1).count();
+        assert!(drifted > 40 && drifted < 180, "drift count {drifted} outside ~25% band");
+        // Every verbatim issue of the same rank is the identical box —
+        // the exact-hit repetition the cache feeds on.
+        for q in &verbatim {
+            let twin = verbatim.iter().find(|p| p.chain == q.chain).unwrap();
+            assert_eq!(twin.constraints, q.constraints);
+        }
+    }
+
+    #[test]
+    fn zipf_rotation_shifts_the_hot_base() {
+        let gen =
+            ZipfWorkload::new(stats_3d()).pool(16).exponent(1.5).refine_prob(0.0).rotate_every(100);
+        let w = gen.generate(200, 7);
+        let hot = |qs: &[QuerySpec]| {
+            let mut counts = [0usize; 16];
+            for q in qs {
+                counts[q.chain] += 1;
+            }
+            (0..16).max_by_key(|&i| counts[i]).unwrap()
+        };
+        // Rank 0 dominates each period; the period offset is pool/4 = 4.
+        let first = hot(&w.queries()[..100]);
+        let second = hot(&w.queries()[100..]);
+        assert_eq!(first, 0, "rank 0 maps to base 0 before any rotation");
+        assert_eq!(second, 4, "one rotation shifts the hot base by pool/4");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let gen = ZipfWorkload::new(stats_3d()).pool(10).exponent(0.0).refine_prob(0.0);
+        let w = gen.generate(2_000, 9);
+        for rank in 0..10 {
+            let n = w.queries().iter().filter(|q| q.chain == rank).count();
+            assert!((120..=280).contains(&n), "rank {rank} drawn {n} times under uniform weights");
         }
     }
 

@@ -181,8 +181,21 @@ impl Aabb {
     }
 
     /// Volume of the intersection with `other` (0 when disjoint).
+    ///
+    /// Allocation-free — equivalent to `intersection(other)` followed by
+    /// [`Aabb::area`], but computed per dimension without materializing
+    /// the intersection box, so comparator-position callers (cache
+    /// cover-ordering, R\*-tree split heuristics) stay off the allocator.
     pub fn overlap_area(&self, other: &Aabb) -> f64 {
-        self.intersection(other).map_or(0.0, |b| b.area())
+        if !self.intersects(other) {
+            return 0.0;
+        }
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .zip(other.lo.iter().zip(other.hi.iter()))
+            .map(|((al, ah), (bl, bh))| ah.min(*bh) - al.max(*bl))
+            .product()
     }
 
     /// Squared minimum distance from a coordinate vector to the box

@@ -64,10 +64,10 @@ fn queries_stats_and_control_verbs_over_tcp() {
     let stats = alice.roundtrip("STATS");
     assert!(stats.starts_with("OK coalesced="), "got {stats:?}");
     assert!(stats.contains("negative_inserts=1"), "got {stats:?}");
-    // Alice's miss and Bob's hit both re-cache (the engine refreshes the
-    // cached item), so two epochs were published.
-    assert!(stats.contains("cache_len=2"), "got {stats:?}");
-    assert!(stats.contains("epoch=2"), "got {stats:?}");
+    // Only Alice's miss cached a result — Bob's exact hit touches her
+    // item instead of re-inserting — so one epoch was published.
+    assert!(stats.contains("cache_len=1"), "got {stats:?}");
+    assert!(stats.contains("epoch=1"), "got {stats:?}");
 
     // Malformed input gets an ERR, and the connection keeps working.
     assert!(alice.roundtrip("Q 1 x").starts_with("ERR "));

@@ -75,6 +75,15 @@ impl FetchPlan {
         FetchPlan::single(c.region())
     }
 
+    /// A coalescing plan over an MPR/composed-cover *remainder*: the
+    /// region lists the planners emit routinely contain overlapping or
+    /// abutting boxes (subtraction fragments, per-item unknown space),
+    /// so each heap row must be fetched at most once for the merged
+    /// skyline to stay duplicate-budget exact.
+    pub fn remainder(regions: Vec<HyperRect>) -> Self {
+        FetchPlan::new(regions).coalesced()
+    }
+
     /// Sets the lane count (builder style).
     pub fn with_lanes(mut self, lanes: usize) -> Self {
         self.lanes = lanes;
